@@ -1,0 +1,101 @@
+// ABL7 — DAG scheduling ablation (DESIGN.md).
+//
+// The scheduler ablation ABL1 uses independent task batches; real
+// applications ship dependency graphs. This harness runs the tiled
+// Cholesky DAG in pure simulation on the paper's starpu+2gpu model and
+// sweeps (a) the scheduler policy and (b) the tile granularity, reporting
+// modeled makespans against the aggregate-throughput lower bound — the
+// DAG's critical path keeps every policy above it, and model-based
+// placement matters more as tiles shrink.
+#include <cstdio>
+#include <memory>
+
+#include "discovery/presets.hpp"
+#include "solvers/tiled_cholesky.hpp"
+#include "solvers/tiled_lu.hpp"
+#include "starvm/bridge.hpp"
+#include "starvm/engine.hpp"
+
+namespace {
+
+struct RunResult {
+  double makespan = 0.0;
+  double total_flops = 0.0;
+};
+
+RunResult run(std::size_t n, int tiles, starvm::SchedulerKind policy, bool lu) {
+  starvm::BridgeOptions bridge;
+  bridge.scheduler = policy;
+  bridge.mode = starvm::ExecutionMode::kPureSim;
+  auto config = starvm::engine_config_from_platform(
+      pdl::discovery::paper_platform_starpu_2gpu(), bridge);
+  starvm::Engine engine(std::move(config).value());
+
+  // Pure simulation: data is never touched, so skip initialization.
+  std::unique_ptr<double[]> a(new double[n * n]);
+  double flops = 0.0;
+  if (lu) {
+    auto result = solvers::tiled_lu(engine, a.get(), n, tiles);
+    if (!result.ok()) {
+      std::fprintf(stderr, "lu failed: %s\n", result.error().str().c_str());
+      std::exit(1);
+    }
+    flops = result.value().total_flops;
+  } else {
+    auto result = solvers::tiled_cholesky(engine, a.get(), n, tiles);
+    if (!result.ok()) {
+      std::fprintf(stderr, "cholesky failed: %s\n", result.error().str().c_str());
+      std::exit(1);
+    }
+    flops = result.value().total_flops;
+  }
+  return RunResult{engine.stats().makespan_seconds, flops};
+}
+
+double aggregate_gflops() {
+  auto config = starvm::engine_config_from_platform(
+      pdl::discovery::paper_platform_starpu_2gpu());
+  double total = 0.0;
+  for (const auto& d : config.value().devices) total += d.sustained_gflops;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 8192;
+  std::printf("=== ABL7: DAG scheduling (N=%zu, starpu+2gpu, pure sim) ===\n", n);
+  const double agg = aggregate_gflops();
+
+  for (const bool lu : {false, true}) {
+    std::printf("%s:\n", lu ? "tiled LU (denser trailing updates)"
+                            : "tiled Cholesky");
+    std::printf("%8s %8s %12s | %10s %10s %10s\n", "tiles", "tasks", "bound [s]",
+                "eager", "ws", "heft");
+    for (int tiles : {4, 8, 16, 32}) {
+      const int t = tiles;
+      const int tasks = lu ? t + t * (t - 1) + (t - 1) * t * (2 * t - 1) / 6
+                           : t + t * (t - 1) + t * (t - 1) * (t - 2) / 6;
+      double bound = 0.0;
+      std::printf("%8d %8d", tiles, tasks);
+      bool first = true;
+      for (auto policy : {starvm::SchedulerKind::kEager,
+                          starvm::SchedulerKind::kWorkStealing,
+                          starvm::SchedulerKind::kHeft}) {
+        const RunResult r = run(n, tiles, policy, lu);
+        if (first) {
+          bound = r.total_flops / (agg * 1e9);
+          std::printf(" %12.3f |", bound);
+          first = false;
+        }
+        std::printf(" %10.3f", r.makespan);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("makespan [s]; bound = total FLOPs / aggregate device rate.\n");
+  std::printf("Coarse tilings expose too little parallelism for 8 devices;\n");
+  std::printf("fine tilings raise the scheduling stakes (HEFT vs greedy).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// ABL6 — DGEMM kernel baselines (DESIGN.md): GFLOPS of the three variants
+// that stand in for the paper's GotoBlas2/CuBLAS payloads. The blocked
+// kernel is the unit the simulated devices "execute"; the parallel variant
+// is the SMP reference.
+#include <benchmark/benchmark.h>
+
+#include "kernels/dgemm.hpp"
+#include "kernels/matrix.hpp"
+
+namespace {
+
+void set_gflops(benchmark::State& state, std::size_t n) {
+  state.counters["GFLOPS"] = benchmark::Counter(
+      kernels::dgemm_flops(n, n, n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_DgemmNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  kernels::Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  for (auto _ : state) {
+    kernels::dgemm_naive(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, n);
+}
+BENCHMARK(BM_DgemmNaive)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_DgemmBlocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  kernels::Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  for (auto _ : state) {
+    kernels::dgemm_blocked(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, n);
+}
+BENCHMARK(BM_DgemmBlocked)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DgemmParallel(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  kernels::Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  for (auto _ : state) {
+    kernels::dgemm_parallel(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, n);
+}
+// UseRealTime: the work happens on pool threads; CPU time of the calling
+// thread would make the rate meaningless.
+BENCHMARK(BM_DgemmParallel)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_DgemmBlockSizeSweep(benchmark::State& state) {
+  // The tile-size knob of the blocked kernel (fixed N=256).
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 256;
+  kernels::Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  for (auto _ : state) {
+    kernels::dgemm_blocked(n, n, n, a.data(), b.data(), c.data(), block);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, n);
+}
+BENCHMARK(BM_DgemmBlockSizeSweep)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

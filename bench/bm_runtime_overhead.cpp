@@ -1,0 +1,91 @@
+// ABL5 — runtime overhead vs task granularity (DESIGN.md).
+//
+// StarPU-class runtimes pay per-task submission/scheduling/dependency
+// costs; tasks must be coarse enough to amortize them. This benchmark
+// measures starvm's real per-task wall cost (empty kernels) and the
+// effective throughput at several kernel durations.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "starvm/engine.hpp"
+
+namespace {
+
+void BM_SubmitDrainEmptyTasks(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  starvm::Codelet noop;
+  noop.name = "noop";
+  noop.impls.push_back({starvm::DeviceKind::kCpu, [](const starvm::ExecContext&) {}});
+  for (auto _ : state) {
+    starvm::EngineConfig config = starvm::EngineConfig::cpus(4);
+    starvm::Engine engine(std::move(config));
+    std::vector<std::vector<double>> buffers(static_cast<std::size_t>(tasks),
+                                             std::vector<double>(1));
+    for (auto& buf : buffers) {
+      starvm::DataHandle* h = engine.register_vector(buf.data(), 1);
+      engine.submit(starvm::TaskDesc{&noop, {{h, starvm::Access::kReadWrite}}});
+    }
+    engine.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_SubmitDrainEmptyTasks)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_DependencyChain(benchmark::State& state) {
+  // Worst case for the dependency tracker: every task depends on the last.
+  const int tasks = static_cast<int>(state.range(0));
+  starvm::Codelet noop;
+  noop.name = "noop";
+  noop.impls.push_back({starvm::DeviceKind::kCpu, [](const starvm::ExecContext&) {}});
+  for (auto _ : state) {
+    starvm::Engine engine(starvm::EngineConfig::cpus(2));
+    std::vector<double> data(1);
+    starvm::DataHandle* h = engine.register_vector(data.data(), 1);
+    for (int i = 0; i < tasks; ++i) {
+      engine.submit(starvm::TaskDesc{&noop, {{h, starvm::Access::kReadWrite}}});
+    }
+    engine.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_DependencyChain)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Efficiency at a given kernel duration: wall time of N tasks vs ideal.
+void BM_GranularityEfficiency(benchmark::State& state) {
+  const auto kernel_us = static_cast<std::uint64_t>(state.range(0));
+  constexpr int kTasks = 64;
+  starvm::Codelet busy;
+  busy.name = "busy";
+  busy.impls.push_back(
+      {starvm::DeviceKind::kCpu, [kernel_us](const starvm::ExecContext&) {
+         const auto end = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(kernel_us);
+         while (std::chrono::steady_clock::now() < end) {
+         }
+       }});
+  for (auto _ : state) {
+    starvm::Engine engine(starvm::EngineConfig::cpus(4));
+    std::vector<std::vector<double>> buffers(kTasks, std::vector<double>(1));
+    for (auto& buf : buffers) {
+      starvm::DataHandle* h = engine.register_vector(buf.data(), 1);
+      engine.submit(starvm::TaskDesc{&busy, {{h, starvm::Access::kReadWrite}}});
+    }
+    engine.wait_all();
+  }
+  // Ideal: kTasks * kernel_us / 4 devices.
+  state.counters["ideal_ms"] =
+      static_cast<double>(kTasks) * static_cast<double>(kernel_us) / 4.0 / 1e3;
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_GranularityEfficiency)
+    ->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

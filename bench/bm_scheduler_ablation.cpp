@@ -1,0 +1,144 @@
+// ABL1 — scheduler-policy ablation (DESIGN.md).
+//
+// The paper defers "highly dynamic run-time schedulers" to future work
+// (§VI); this harness quantifies what the policy choice costs on the
+// paper's own testbed model. Synthetic task mixes run in pure simulation
+// on the starpu+2gpu platform; for each (workload, policy) pair the
+// modeled makespan is reported next to a lower bound (total work divided
+// by aggregate throughput).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "discovery/presets.hpp"
+#include "starvm/bridge.hpp"
+#include "starvm/engine.hpp"
+
+namespace {
+
+struct Workload {
+  const char* name;
+  std::vector<double> task_flops;  ///< FLOPs per task
+  bool chain = false;  ///< tasks form one dependency chain (no parallelism)
+};
+
+Workload uniform_workload(int tasks, double flops) {
+  Workload w{"uniform", {}, false};
+  w.task_flops.assign(static_cast<std::size_t>(tasks), flops);
+  return w;
+}
+
+Workload bimodal_workload(int tasks) {
+  // 10% big tasks, 90% small — the mix where greedy policies misplace work.
+  Workload w{"bimodal", {}, false};
+  for (int i = 0; i < tasks; ++i) {
+    w.task_flops.push_back(i % 10 == 0 ? 4e9 : 2e8);
+  }
+  std::mt19937 rng(7);
+  std::shuffle(w.task_flops.begin(), w.task_flops.end(), rng);
+  return w;
+}
+
+Workload chain_workload(int tasks, double flops) {
+  Workload w{"chain", {}, true};
+  w.task_flops.assign(static_cast<std::size_t>(tasks), flops);
+  return w;
+}
+
+double run(const Workload& workload, starvm::SchedulerKind policy) {
+  starvm::BridgeOptions bridge;
+  bridge.scheduler = policy;
+  bridge.mode = starvm::ExecutionMode::kPureSim;
+  auto config = starvm::engine_config_from_platform(
+      pdl::discovery::paper_platform_starpu_2gpu(), bridge);
+  config.value().task_overhead_us = 10.0;
+  starvm::Engine engine(std::move(config).value());
+
+  // One codelet per distinct cost so the analytic model sees exact FLOPs
+  // (codelets must outlive their tasks).
+  std::map<double, std::unique_ptr<starvm::Codelet>> codelets;
+  const auto codelet_for = [&](double flops) {
+    auto it = codelets.find(flops);
+    if (it == codelets.end()) {
+      auto codelet = std::make_unique<starvm::Codelet>();
+      codelet->name = "synthetic_" + std::to_string(flops);
+      codelet->impls.push_back({starvm::DeviceKind::kCpu, nullptr});
+      codelet->impls.push_back({starvm::DeviceKind::kAccelerator, nullptr});
+      codelet->flops = [flops](const std::vector<starvm::BufferView>&) {
+        return flops;
+      };
+      it = codelets.emplace(flops, std::move(codelet)).first;
+    }
+    return it->second.get();
+  };
+
+  std::vector<double> chain_buffer(1, 0.0);
+  starvm::DataHandle* chain_handle =
+      workload.chain ? engine.register_vector(chain_buffer.data(), 1) : nullptr;
+
+  for (double flops : workload.task_flops) {
+    starvm::TaskDesc desc;
+    desc.codelet = codelet_for(flops);
+    if (workload.chain) {
+      desc.buffers.push_back({chain_handle, starvm::Access::kReadWrite});
+    }
+    engine.submit(std::move(desc));
+  }
+  engine.wait_all();
+  return engine.stats().makespan_seconds;
+}
+
+double aggregate_gflops() {
+  auto config = starvm::engine_config_from_platform(
+      pdl::discovery::paper_platform_starpu_2gpu());
+  double total = 0.0;
+  for (const auto& d : config.value().devices) total += d.sustained_gflops;
+  return total;
+}
+
+double fastest_gflops() {
+  auto config = starvm::engine_config_from_platform(
+      pdl::discovery::paper_platform_starpu_2gpu());
+  double best = 0.0;
+  for (const auto& d : config.value().devices) {
+    best = std::max(best, d.sustained_gflops);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ABL1: scheduler policy ablation (pure sim, starpu+2gpu "
+              "platform) ===\n");
+  const double agg = aggregate_gflops();
+  const double fastest = fastest_gflops();
+
+  std::vector<Workload> workloads;
+  workloads.push_back(uniform_workload(256, 5e8));
+  workloads.push_back(bimodal_workload(256));
+  workloads.push_back(chain_workload(64, 5e8));
+
+  std::printf("%-10s %12s | %10s %10s %10s\n", "workload", "bound [s]", "eager",
+              "ws", "heft");
+  for (const auto& w : workloads) {
+    double total_flops = 0.0;
+    for (double f : w.task_flops) total_flops += f;
+    // Chains cannot use more than one device at a time.
+    const double bound =
+        w.chain ? total_flops / (fastest * 1e9) : total_flops / (agg * 1e9);
+    std::printf("%-10s %12.3f |", w.name, bound);
+    for (auto policy : {starvm::SchedulerKind::kEager,
+                        starvm::SchedulerKind::kWorkStealing,
+                        starvm::SchedulerKind::kHeft}) {
+      std::printf(" %10.3f", run(w, policy));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nmakespan in seconds; 'bound' = total work / aggregate rate\n");
+  std::printf("(chain bound uses the fastest single device).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// ABL3 — static pre-selection cost vs repository size (DESIGN.md).
+//
+// Cascabel's step 2 matches every repository variant's platform patterns
+// against the target PDL (paper §IV-C). This microbenchmark sweeps the
+// repository size and the target-platform width to show pre-selection
+// stays cheap enough to run per compilation.
+#include <benchmark/benchmark.h>
+
+#include "cascabel/selection.hpp"
+#include "discovery/presets.hpp"
+#include "pdl/pattern.hpp"
+#include "pdl/well_known.hpp"
+
+namespace {
+
+/// A repository with `n` variants spread over the default platform names.
+cascabel::TaskRepository make_repository(int n) {
+  cascabel::TaskRepository repo = cascabel::TaskRepository::with_defaults();
+  const char* platforms[] = {"x86", "smp", "cuda", "opencl", "cell"};
+  for (int i = 0; i < n; ++i) {
+    cascabel::TaskVariant v;
+    // ~8 variants per interface; every interface keeps an x86 fall-back.
+    v.pragma.task_interface = "Iface" + std::to_string(i / 8);
+    v.pragma.variant_name = "variant" + std::to_string(i);
+    v.pragma.target_platforms = {i % 8 == 0 ? "x86" : platforms[i % 5]};
+    repo.add_variant(std::move(v));
+  }
+  return repo;
+}
+
+void BM_Preselect(benchmark::State& state) {
+  const int variants = static_cast<int>(state.range(0));
+  cascabel::TaskRepository repo = make_repository(variants);
+  pdl::Platform target = pdl::discovery::paper_platform_starpu_2gpu();
+  for (auto _ : state) {
+    pdl::Diagnostics diags;
+    auto result = cascabel::preselect(repo, target, diags);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * variants);
+}
+BENCHMARK(BM_Preselect)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+/// Target width: many workers to scan during matching and mapping.
+void BM_PreselectWideTarget(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  cascabel::TaskRepository repo = make_repository(64);
+  pdl::Platform target("wide");
+  pdl::ProcessingUnit* m = target.add_master("m");
+  m->descriptor().add(pdl::props::kArchitecture, "x86");
+  for (int i = 0; i < workers; ++i) {
+    pdl::ProcessingUnit* w =
+        m->add_child(pdl::PuKind::kWorker, "w" + std::to_string(i));
+    w->descriptor().add(pdl::props::kArchitecture,
+                        i % 4 == 0 ? "gpu" : "x86_core");
+  }
+  for (auto _ : state) {
+    pdl::Diagnostics diags;
+    auto result = cascabel::preselect(repo, target, diags);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PreselectWideTarget)->Arg(4)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_PatternMatchOnly(benchmark::State& state) {
+  pdl::Platform target = pdl::discovery::paper_platform_starpu_2gpu();
+  for (auto _ : state) {
+    auto result = pdl::match(
+        "M(ARCHITECTURE=x86)[W(ARCHITECTURE=x86_core)x8,W(ARCHITECTURE=gpu)x2]",
+        target);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PatternMatchOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

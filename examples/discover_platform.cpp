@@ -1,0 +1,53 @@
+// Automatic PDL generation (paper Figure 1 and §V): describe the machine
+// this program runs on, attach the paper's two GPUs from the simulated
+// device database, and print the resulting PDL document — including the
+// `ocl:` extension properties of paper Listing 2.
+//
+//   $ ./discover_platform
+#include <cstdio>
+
+#include "discovery/discovery.hpp"
+#include "pdl/extension.hpp"
+#include "pdl/query.hpp"
+#include "pdl/serializer.hpp"
+#include "pdl/validate.hpp"
+#include "pdl/well_known.hpp"
+
+int main() {
+  using namespace pdl;
+  using namespace pdl::discovery;
+
+  // What does this host look like?
+  const HostCpuInfo cpu = read_host_cpu();
+  std::printf("host: %s, %d socket(s), %d core(s), %d logical cpu(s)\n",
+              cpu.model_name.c_str(), cpu.sockets, cpu.physical_cores,
+              cpu.logical_cpus);
+
+  // Generate a GPGPU platform: this host + the paper's two GPUs (simulated
+  // device database stands in for the OpenCL runtime query).
+  Platform platform = make_gpgpu_platform(
+      cpu, cpu.physical_cores, {"GeForce GTX 480", "GeForce GTX 285"});
+
+  Diagnostics diags;
+  const bool structure_ok = validate(platform, diags);
+  const bool schema_ok = builtin_registry().validate_properties(platform, diags);
+  std::printf("validation: structure=%s schema=%s (%zu diagnostic(s))\n",
+              structure_ok ? "ok" : "BAD", schema_ok ? "ok" : "BAD", diags.size());
+
+  std::printf("\n=== Generated PDL ===\n%s\n", serialize(platform).c_str());
+
+  // Show the Listing-2 style properties of the first GPU.
+  std::printf("=== GPU worker properties (ocl: subschema) ===\n");
+  for (const ProcessingUnit* pu :
+       pus_with_property(platform, props::kArchitecture, "gpu")) {
+    for (const auto& prop : pu->descriptor().properties()) {
+      if (prop.xsi_type == props::kOclPropertyType) {
+        std::printf("  %s: %s = %s%s%s\n", pu->id().c_str(), prop.name.c_str(),
+                    prop.value.c_str(), prop.unit.empty() ? "" : " ",
+                    prop.unit.c_str());
+      }
+    }
+    break;  // first GPU is enough for the demo
+  }
+  return structure_ok && schema_ok ? 0 : 1;
+}

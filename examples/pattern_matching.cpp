@@ -1,0 +1,57 @@
+// Platform patterns (paper §II, §III): multiple logical platform patterns
+// co-existing for a single physical system, and pattern matching as the
+// basis for expressing architectural constraints of optimized code.
+//
+//   $ ./pattern_matching
+#include <cstdio>
+#include <vector>
+
+#include "discovery/presets.hpp"
+#include "pdl/pattern.hpp"
+#include "pdl/serializer.hpp"
+
+int main() {
+  using namespace pdl;
+
+  const Platform testbed = discovery::paper_platform_starpu_2gpu();
+  std::printf("concrete platform: %s\n", testbed.name().c_str());
+  std::printf("structural summary: %s\n\n",
+              pattern_to_string(*testbed.masters()[0]).c_str());
+
+  // Multiple logical control-views of the same physical machine
+  // (paper: "Multiple logic platform patterns can co-exist for a single
+  // target system").
+  struct View {
+    const char* description;
+    const char* pattern;
+  };
+  const std::vector<View> views = {
+      {"OpenCL-style host-device view", "M[W(ARCHITECTURE=gpu)]"},
+      {"dual-GPU view", "M[W(ARCHITECTURE=gpu)x2]"},
+      {"SMP view (8 CPU cores)", "M[W(ARCHITECTURE=x86_core)x8]"},
+      {"hybrid view (cores + GPUs)",
+       "M[W(ARCHITECTURE=x86_core)x8,W(ARCHITECTURE=gpu)x2]"},
+      {"quad-GPU requirement (unsatisfied)", "M[W(ARCHITECTURE=gpu)x4]"},
+      {"Cell-style view (unsatisfied)", "M[W(ARCHITECTURE=spe)x8]"},
+  };
+
+  std::printf("%-40s %-8s\n", "logical platform pattern", "matches");
+  for (const auto& view : views) {
+    const MatchResult result = match(view.pattern, testbed);
+    std::printf("%-40s %-8s", view.description, result ? "yes" : "no");
+    if (!result) std::printf("  (%s)", result.reason.c_str());
+    std::printf("\n");
+  }
+
+  // Architectural constraints for optimized code (paper §II): a hand-tuned
+  // kernel declares its requirements; tools check them before selecting it.
+  std::printf("\nexpert kernel requires: M[W(ARCHITECTURE=gpu)x2] + 8 cores\n");
+  const MatchResult requirement =
+      match("M(ARCHITECTURE=x86)[W(ARCHITECTURE=x86_core)x8,W(ARCHITECTURE=gpu)x2]",
+            testbed);
+  std::printf("requirement satisfied: %s\n", requirement ? "yes" : "no");
+  if (requirement) {
+    std::printf("static mapping bound %zu PU(s)\n", requirement.bindings.size());
+  }
+  return requirement ? 0 : 1;
+}

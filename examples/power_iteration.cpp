@@ -1,0 +1,93 @@
+// A second domain scenario: power iteration (dominant eigenvalue of a
+// dense matrix) as a *multi-call-site* task program. Each iteration
+// offloads the matrix-vector product through the Idgemm interface (an
+// n x 1 DGEMM) and normalizes on the host — the shape of many iterative
+// solvers the paper's introduction motivates: repeated offload of a heavy
+// kernel with host-side glue between calls, data handles reused across
+// iterations.
+//
+//   $ ./power_iteration [n] [iterations]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cascabel/builtin_variants.hpp"
+#include "cascabel/rt.hpp"
+#include "discovery/presets.hpp"
+#include "kernels/matrix.hpp"
+#include "kernels/vector_ops.hpp"
+#include "starvm/trace_export.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 512;
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  // Symmetric matrix with a strongly dominant eigenvalue: random symmetric
+  // noise + n*I + a rank-one boost (2·ones), so lambda_max ~ 3n with a gap
+  // of ~2n — power iteration converges in a handful of steps.
+  kernels::Matrix a(n, n);
+  a.fill_random(42);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = (a.at(i, j) + a.at(j, i)) / 2.0 + 2.0;
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+    a.at(i, i) += static_cast<double>(n);
+  }
+
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> y(n, 0.0);
+
+  cascabel::TaskRepository repo = cascabel::TaskRepository::with_defaults();
+  cascabel::register_builtin_variants(repo);
+  cascabel::rt::Context ctx(pdl::discovery::paper_platform_starpu_2gpu(),
+                            std::move(repo));
+
+  double eigenvalue = 0.0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(y.begin(), y.end(), 0.0);
+    if (iter > 0) ctx.host_modified(y.data());
+    // y += A * x as an n x 1 DGEMM: C=y (BLOCK rows), A (BLOCK rows),
+    // B=x broadcast. Handles for A and x are registered once and reused.
+    auto status = ctx.execute(
+        "Idgemm", "all",
+        {cascabel::rt::arg_matrix(y.data(), n, 1,
+                                  cascabel::AccessMode::kReadWrite,
+                                  cascabel::DistributionKind::kBlock),
+         cascabel::rt::arg_matrix(a.data(), n, n, cascabel::AccessMode::kRead,
+                                  cascabel::DistributionKind::kBlock),
+         cascabel::rt::arg_matrix(x.data(), n, 1, cascabel::AccessMode::kRead,
+                                  cascabel::DistributionKind::kNone)});
+    if (!status.ok()) {
+      std::fprintf(stderr, "execute failed: %s\n", status.error().str().c_str());
+      return 1;
+    }
+    ctx.wait();
+
+    // Host-side glue: Rayleigh quotient and normalization. The runtime is
+    // told about the direct host writes so its transfer model re-fetches.
+    eigenvalue = kernels::ddot(n, x.data(), y.data());
+    const double norm = kernels::dnrm2(n, y.data());
+    for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / norm;
+    ctx.host_modified(x.data());
+    std::printf("iteration %2d: lambda ~= %.6f\n", iter + 1, eigenvalue);
+  }
+
+  // Residual check: ||A x - lambda x|| should be small by now.
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) y[i] += a.at(i, j) * x[j];
+  }
+  kernels::daxpy(n, -eigenvalue, x.data(), y.data());
+  const double residual = kernels::dnrm2(n, y.data());
+  std::printf("\nresidual ||Ax - lambda x|| = %.3e\n", residual);
+
+  const auto stats = ctx.stats();
+  std::printf("%d offloaded calls -> %llu tasks; modeled makespan %.3f ms\n",
+              iterations, static_cast<unsigned long long>(stats.tasks_completed),
+              stats.makespan_seconds * 1e3);
+  std::printf("\n%s", starvm::to_ascii_gantt(stats).c_str());
+  return residual < 1e-3 * eigenvalue ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Quickstart: build the paper's Listing-1 platform in code, serialize it to
+// PDL XML, parse it back, validate it, and query it.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "pdl/model.hpp"
+#include "pdl/parser.hpp"
+#include "pdl/query.hpp"
+#include "pdl/serializer.hpp"
+#include "pdl/validate.hpp"
+#include "pdl/well_known.hpp"
+
+int main() {
+  using namespace pdl;
+
+  // 1. Build the Listing-1 platform: an x86 Master controlling a GPU Worker
+  //    connected by an rDMA interconnect.
+  Platform platform;
+  ProcessingUnit* master = platform.add_master("0");
+  master->descriptor().add(props::kArchitecture, props::kArchX86);
+
+  ProcessingUnit* gpu = master->add_child(PuKind::kWorker, "1");
+  gpu->descriptor().add(props::kArchitecture, props::kArchGpu);
+
+  Interconnect ic;
+  ic.type = "rDMA";
+  ic.from = "0";
+  ic.to = "1";
+  master->interconnects().push_back(ic);
+
+  // 2. Serialize — a bare <Master> root, exactly the paper's shape.
+  SerializeOptions options;
+  options.bare_master_root = true;
+  const std::string xml = serialize(platform, options);
+  std::printf("=== PDL document ===\n%s\n", xml.c_str());
+
+  // 3. Parse it back and validate the structural rules of §III-A.
+  Diagnostics diags;
+  auto parsed = parse_platform(xml, diags);
+  if (!parsed || !validate(parsed.value(), diags)) {
+    std::printf("invalid PDL:\n");
+    for (const auto& d : diags) std::printf("  %s\n", d.str().c_str());
+    return 1;
+  }
+
+  // 4. Query it.
+  const Platform& p = parsed.value();
+  std::printf("=== Queries ===\n");
+  std::printf("total PUs: %d, workers: %d, depth: %d\n", total_pu_count(p),
+              worker_count(p), hierarchy_depth(p));
+  for (const ProcessingUnit* pu : pus_with_property(p, props::kArchitecture, "gpu")) {
+    std::printf("gpu worker: id=%s controlled by %s\n", pu->id().c_str(),
+                pu->parent()->id().c_str());
+  }
+  const auto path = data_path(p, "0", "1");
+  std::printf("data path 0 -> 1: %zu hop(s), via %s\n", path.size(),
+              path.empty() || path[0].interconnect == nullptr
+                  ? "control link"
+                  : path[0].interconnect->type.c_str());
+  std::printf("quickstart OK\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// The paper's Listings 3+4 end-to-end: an annotated serial vecadd program
+// is translated by Cascabel against a GPGPU platform description, the
+// generated source is printed, and the program is executed in-process
+// through the cascabel::rt veneer.
+//
+//   $ ./vecadd_offload
+#include <cstdio>
+#include <vector>
+
+#include "cascabel/builtin_variants.hpp"
+#include "cascabel/rt.hpp"
+#include "cascabel/translator.hpp"
+#include "discovery/presets.hpp"
+
+namespace {
+
+constexpr const char* kAnnotatedProgram = R"(
+// Task definition (paper Listing 3).
+#pragma cascabel task : x86 \
+  : Ivecadd \
+  : vecadd01 \
+  : ( A: readwrite, B: read )
+void vectoradd(double *A, double *B, int n) {
+  for (int i = 0; i < n; ++i) A[i] += B[i];
+}
+
+int main() {
+  const int N = 4096;
+  static double A[4096];
+  static double B[4096];
+  // Task execution (paper Listing 4).
+#pragma cascabel execute Ivecadd : executionset01 (A:BLOCK:N, B:BLOCK:N)
+  vectoradd(A, B, N);
+  return 0;
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace cascabel;
+
+  // Translate against the paper's GPU testbed.
+  pdl::Platform target = pdl::discovery::paper_platform_starpu_2gpu();
+  auto translation = translate(kAnnotatedProgram, "vecadd.cpp", target);
+  if (!translation.ok()) {
+    std::printf("translation failed: %s\n", translation.error().str().c_str());
+    return 1;
+  }
+
+  std::printf("=== Generated source (Cascabel output) ===\n%s\n",
+              translation.value().output_source.c_str());
+  std::printf("=== Compile plan ===\n%s\n",
+              translation.value().compile_plan.to_makefile().c_str());
+
+  // Execute the same call in-process through the rt veneer.
+  TaskRepository repo = TaskRepository::with_defaults();
+  register_builtin_variants(repo);
+  rt::Context ctx(target, std::move(repo));
+
+  const std::size_t n = 4096;
+  std::vector<double> a(n, 1.0), b(n, 2.0);
+  auto status = ctx.execute(
+      "Ivecadd", "all",
+      {rt::arg(a.data(), n, AccessMode::kReadWrite, DistributionKind::kBlock),
+       rt::arg(b.data(), n, AccessMode::kRead, DistributionKind::kBlock)});
+  if (!status.ok()) {
+    std::printf("execute failed: %s\n", status.error().str().c_str());
+    return 1;
+  }
+  ctx.wait();
+
+  bool ok = true;
+  for (double v : a) ok &= (v == 3.0);
+  const auto stats = ctx.stats();
+  std::printf("=== Execution ===\n");
+  std::printf("result %s; %llu task(s) over %zu device(s), modeled makespan %.3f ms\n",
+              ok ? "correct" : "WRONG",
+              static_cast<unsigned long long>(stats.tasks_completed),
+              stats.devices.size(), stats.makespan_seconds * 1e3);
+  for (const auto& d : stats.devices) {
+    std::printf("  %-12s %-12s tasks=%llu busy=%.3f ms\n", d.name.c_str(),
+                std::string(starvm::to_string(d.kind)).c_str(),
+                static_cast<unsigned long long>(d.tasks_run),
+                d.busy_seconds * 1e3);
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,158 @@
+#include "annot/annotated_program.hpp"
+
+#include "annot/pragma_parser.hpp"
+#include "annot/source_scanner.hpp"
+#include "util/string_util.hpp"
+
+namespace cascabel {
+
+const TaskVariant* AnnotatedProgram::find_variant(std::string_view name) const {
+  for (const auto& v : variants) {
+    if (v.pragma.variant_name == name) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<const TaskVariant*> AnnotatedProgram::variants_of(
+    std::string_view interface_name) const {
+  std::vector<const TaskVariant*> out;
+  for (const auto& v : variants) {
+    if (v.pragma.task_interface == interface_name) out.push_back(&v);
+  }
+  return out;
+}
+
+pdl::util::Result<AnnotatedProgram> parse_annotated_source(std::string_view source,
+                                                           std::string source_name,
+                                                           pdl::Diagnostics& diags) {
+  AnnotatedProgram program;
+  program.source = std::string(source);
+  program.source_name = std::move(source_name);
+
+  const auto where = [&](const SourceRange& range) {
+    return program.source_name + ":" + std::to_string(range.line);
+  };
+
+  const auto pragmas = find_cascabel_pragmas(source);
+  for (const auto& raw : pragmas) {
+    switch (classify_pragma(raw.text)) {
+      case PragmaKind::kTask: {
+        auto parsed = parse_task_pragma(raw.text);
+        if (!parsed) {
+          add_error(diags, parsed.error().message, where(raw.range));
+          continue;
+        }
+        TaskVariant variant;
+        variant.pragma = std::move(parsed).value();
+        variant.pragma.range = raw.range;
+
+        auto fn = next_function_definition(source, raw.range.end);
+        if (!fn) {
+          add_error(diags,
+                    "task pragma '" + variant.pragma.variant_name +
+                        "' is not followed by a function definition",
+                    where(raw.range));
+          continue;
+        }
+        // Cross-check pragma parameters against the function signature.
+        for (const auto& param : variant.pragma.params) {
+          bool found = false;
+          for (const auto& name : fn->param_names) {
+            if (name == param.name) found = true;
+          }
+          if (!found) {
+            add_warning(diags,
+                        "pragma parameter '" + param.name + "' does not appear in '" +
+                            fn->name + "' signature",
+                        where(raw.range));
+          }
+        }
+        variant.function = std::move(*fn);
+        variant.source_text = std::string(source.substr(
+            variant.function.definition.begin,
+            variant.function.definition.end - variant.function.definition.begin));
+
+        if (program.find_variant(variant.pragma.variant_name) != nullptr) {
+          add_error(diags,
+                    "duplicate taskname '" + variant.pragma.variant_name + "'",
+                    where(raw.range));
+          continue;
+        }
+        program.variants.push_back(std::move(variant));
+        break;
+      }
+      case PragmaKind::kExecute: {
+        auto parsed = parse_execute_pragma(raw.text);
+        if (!parsed) {
+          add_error(diags, parsed.error().message, where(raw.range));
+          continue;
+        }
+        auto call = next_call_statement(source, raw.range.end);
+        if (!call) {
+          add_error(diags,
+                    "execute pragma '" + parsed.value().task_interface +
+                        "' is not followed by a call statement",
+                    where(raw.range));
+          continue;
+        }
+        call->pragma = std::move(parsed).value();
+        call->pragma.range = raw.range;
+        program.calls.push_back(std::move(*call));
+        break;
+      }
+      case PragmaKind::kUnknown:
+        add_warning(diags, "unknown cascabel directive: '" + raw.text + "'",
+                    where(raw.range));
+        break;
+    }
+  }
+
+  // Semantic checks: every call references a known interface; distributions
+  // reference declared parameters.
+  for (const auto& call : program.calls) {
+    const auto impls = program.variants_of(call.pragma.task_interface);
+    if (impls.empty()) {
+      add_error(diags,
+                "execute references unknown task interface '" +
+                    call.pragma.task_interface + "'",
+                where(call.pragma.range));
+      continue;
+    }
+    for (const auto& dist : call.pragma.distributions) {
+      bool known = false;
+      for (const auto* impl : impls) {
+        for (const auto& param : impl->pragma.params) {
+          if (param.name == dist.param) known = true;
+        }
+      }
+      if (!known) {
+        add_warning(diags,
+                    "distribution names unknown parameter '" + dist.param + "'",
+                    where(call.pragma.range));
+      }
+    }
+  }
+
+  // Signature consistency across variants of one interface (paper: "same
+  // functionality and function signature for all implementations").
+  for (const auto& v : program.variants) {
+    const auto impls = program.variants_of(v.pragma.task_interface);
+    for (const auto* other : impls) {
+      if (other == &v) continue;
+      if (other->function.param_types.size() != v.function.param_types.size()) {
+        add_error(diags,
+                  "variants '" + v.pragma.variant_name + "' and '" +
+                      other->pragma.variant_name + "' of interface '" +
+                      v.pragma.task_interface + "' differ in arity",
+                  where(v.pragma.range));
+      }
+    }
+  }
+
+  if (pdl::has_errors(diags)) {
+    return pdl::util::Error{"annotated program has errors", program.source_name};
+  }
+  return program;
+}
+
+}  // namespace cascabel

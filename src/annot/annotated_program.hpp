@@ -1,0 +1,36 @@
+// Front-end driver: scan an annotated serial C/C++ program into task
+// variants and call sites (Cascabel step 1, "task registration").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "annot/task_model.hpp"
+#include "pdl/diagnostics.hpp"
+#include "util/result.hpp"
+
+namespace cascabel {
+
+/// A fully scanned input program.
+struct AnnotatedProgram {
+  std::string source;               ///< the original text (spans index into it)
+  std::string source_name;          ///< for diagnostics
+  std::vector<TaskVariant> variants;
+  std::vector<CallSite> calls;
+
+  /// The variant for a given variant name; nullptr when absent.
+  const TaskVariant* find_variant(std::string_view name) const;
+  /// All variants implementing a task interface.
+  std::vector<const TaskVariant*> variants_of(std::string_view interface_name) const;
+};
+
+/// Parse an annotated program. Pragma syntax errors and dangling pragmas
+/// (task pragma without a following function, execute pragma without a
+/// following call) are reported in `diags`; the Result fails only when the
+/// program is unusable (any error-severity diagnostic).
+pdl::util::Result<AnnotatedProgram> parse_annotated_source(std::string_view source,
+                                                           std::string source_name,
+                                                           pdl::Diagnostics& diags);
+
+}  // namespace cascabel

@@ -1,0 +1,36 @@
+// Parser for the cascabel pragma grammar (paper §IV-A):
+//
+//   #pragma cascabel task
+//     : targetplatformlist        e.g.  x86   |  cuda, opencl
+//     : taskidentifier            the task interface name
+//     : taskname                  unique name of this implementation variant
+//     : ( parameterlist )         A: readwrite, B: read
+//
+//   #pragma cascabel execute taskidentifier
+//     : executiongroup            references a PDL LogicGroupAttribute
+//     ( distributionslist )       A:BLOCK:N, B:CYCLIC:64
+//
+// Fields are separated by top-level ':' (colons inside parentheses belong
+// to the parameter/distribution entries).
+#pragma once
+
+#include <string_view>
+
+#include "annot/task_model.hpp"
+#include "util/result.hpp"
+
+namespace cascabel {
+
+/// Which pragma a raw text is; kUnknown for other cascabel directives.
+enum class PragmaKind { kTask, kExecute, kUnknown };
+
+/// Classify "cascabel ..." text.
+PragmaKind classify_pragma(std::string_view text);
+
+/// Parse a task pragma ("cascabel task : ..." — text starts at "cascabel").
+pdl::util::Result<TaskPragma> parse_task_pragma(std::string_view text);
+
+/// Parse an execute pragma ("cascabel execute ...").
+pdl::util::Result<ExecutePragma> parse_execute_pragma(std::string_view text);
+
+}  // namespace cascabel

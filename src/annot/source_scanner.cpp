@@ -1,0 +1,308 @@
+#include "annot/source_scanner.hpp"
+
+#include <cctype>
+
+#include "util/string_util.hpp"
+
+namespace cascabel {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// If `pos` sits at the start of a comment, string or char literal, advance
+/// past it and return true. Otherwise leave `pos` alone and return false.
+bool skip_noncode(std::string_view s, std::size_t& pos) {
+  if (pos >= s.size()) return false;
+  const char c = s[pos];
+  if (c == '/' && pos + 1 < s.size()) {
+    if (s[pos + 1] == '/') {
+      while (pos < s.size() && s[pos] != '\n') ++pos;
+      return true;
+    }
+    if (s[pos + 1] == '*') {
+      const auto end = s.find("*/", pos + 2);
+      pos = end == std::string_view::npos ? s.size() : end + 2;
+      return true;
+    }
+  }
+  if (c == '"' || c == '\'') {
+    const char quote = c;
+    ++pos;
+    while (pos < s.size() && s[pos] != quote) {
+      if (s[pos] == '\\') ++pos;  // escape
+      ++pos;
+    }
+    if (pos < s.size()) ++pos;  // closing quote
+    return true;
+  }
+  return false;
+}
+
+void skip_ws_and_comments(std::string_view s, std::size_t& pos) {
+  while (pos < s.size()) {
+    if (std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+      continue;
+    }
+    if (s[pos] == '/' && pos + 1 < s.size() && (s[pos + 1] == '/' || s[pos + 1] == '*')) {
+      skip_noncode(s, pos);
+      continue;
+    }
+    return;
+  }
+}
+
+/// Split `text` on top-level commas (ignoring commas inside (), [], <>, {}).
+std::vector<std::string> split_top_level(std::string_view text) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::size_t start = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (c == '"' || c == '\'' || (c == '/' && pos + 1 < text.size() &&
+                                  (text[pos + 1] == '/' || text[pos + 1] == '*'))) {
+      skip_noncode(text, pos);
+      continue;
+    }
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      out.emplace_back(pdl::util::trim(text.substr(start, pos - start)));
+      start = pos + 1;
+    }
+    ++pos;
+  }
+  const auto last = pdl::util::trim(text.substr(start));
+  if (!last.empty()) out.emplace_back(last);
+  return out;
+}
+
+}  // namespace
+
+int line_of(std::string_view source, std::size_t pos) {
+  int line = 1;
+  for (std::size_t i = 0; i < pos && i < source.size(); ++i) {
+    if (source[i] == '\n') ++line;
+  }
+  return line;
+}
+
+std::vector<RawPragma> find_cascabel_pragmas(std::string_view source) {
+  std::vector<RawPragma> out;
+  std::size_t pos = 0;
+  while (pos < source.size()) {
+    if (skip_noncode(source, pos)) continue;
+    if (source[pos] != '#') {
+      ++pos;
+      continue;
+    }
+    // A preprocessor directive: check it is "# pragma".
+    const std::size_t hash = pos;
+    std::size_t p = pos + 1;
+    while (p < source.size() && (source[p] == ' ' || source[p] == '\t')) ++p;
+    if (source.substr(p, 6) != "pragma") {
+      // Skip to end of the directive (with continuations).
+      while (pos < source.size() && source[pos] != '\n') {
+        if (source[pos] == '\\' && pos + 1 < source.size() && source[pos + 1] == '\n') {
+          pos += 2;
+          continue;
+        }
+        ++pos;
+      }
+      continue;
+    }
+    p += 6;
+    // Collect the full logical line (folding "\\\n" continuations).
+    std::string text;
+    while (p < source.size() && source[p] != '\n') {
+      if (source[p] == '\\' && p + 1 < source.size() && source[p + 1] == '\n') {
+        text += ' ';
+        p += 2;
+        continue;
+      }
+      text += source[p];
+      ++p;
+    }
+    const std::string_view trimmed = pdl::util::trim(text);
+    if (pdl::util::starts_with(trimmed, "cascabel")) {
+      RawPragma pragma;
+      pragma.text = std::string(trimmed);
+      pragma.range = SourceRange{hash, p, line_of(source, hash)};
+      out.push_back(std::move(pragma));
+    }
+    pos = p;
+  }
+  return out;
+}
+
+std::size_t find_matching(std::string_view source, std::size_t open_pos, char open_char,
+                          char close_char) {
+  if (open_pos >= source.size() || source[open_pos] != open_char) {
+    return std::string_view::npos;
+  }
+  int depth = 0;
+  std::size_t pos = open_pos;
+  while (pos < source.size()) {
+    if (skip_noncode(source, pos)) continue;
+    const char c = source[pos];
+    if (c == open_char) ++depth;
+    if (c == close_char) {
+      --depth;
+      if (depth == 0) return pos + 1;
+    }
+    ++pos;
+  }
+  return std::string_view::npos;
+}
+
+namespace {
+
+/// Parse "double *A" / "const float* x" / "void": type text + name.
+void parse_param(std::string_view text, std::string& type, std::string& name) {
+  // The name is the last identifier not followed by more identifier text.
+  std::size_t name_begin = std::string_view::npos;
+  std::size_t name_end = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    if (is_ident_start(text[pos])) {
+      const std::size_t start = pos;
+      while (pos < text.size() && is_ident_char(text[pos])) ++pos;
+      // Skip array suffix positions; the last identifier wins.
+      name_begin = start;
+      name_end = pos;
+      continue;
+    }
+    ++pos;
+  }
+  if (name_begin == std::string_view::npos) {
+    type = std::string(pdl::util::trim(text));
+    name.clear();
+    return;
+  }
+  name = std::string(text.substr(name_begin, name_end - name_begin));
+  std::string t(text.substr(0, name_begin));
+  t += text.substr(name_end);
+  type = std::string(pdl::util::trim(t));
+  // Single-identifier params ("void", or an unnamed "double") are types.
+  if (type.empty()) {
+    type = name;
+    name.clear();
+  }
+}
+
+}  // namespace
+
+std::optional<FunctionInfo> next_function_definition(std::string_view source,
+                                                     std::size_t from,
+                                                     std::size_t limit) {
+  if (limit == std::string::npos) limit = source.size();
+  std::size_t pos = from;
+  std::size_t decl_start = std::string_view::npos;  // first token of the declaration
+
+  while (pos < limit) {
+    if (std::isspace(static_cast<unsigned char>(source[pos]))) {
+      ++pos;
+      continue;
+    }
+    if (skip_noncode(source, pos)) continue;
+    const char c = source[pos];
+    if (c == '#') {
+      // Preprocessor line: skip and reset.
+      while (pos < source.size() && source[pos] != '\n') {
+        if (source[pos] == '\\' && pos + 1 < source.size() && source[pos + 1] == '\n') {
+          pos += 2;
+          continue;
+        }
+        ++pos;
+      }
+      decl_start = std::string_view::npos;
+      continue;
+    }
+    if (c == ';' || c == '}' || c == '{') {
+      ++pos;
+      decl_start = std::string_view::npos;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const std::size_t ident_begin = pos;
+      while (pos < source.size() && is_ident_char(source[pos])) ++pos;
+      if (decl_start == std::string_view::npos) decl_start = ident_begin;
+
+      // Lookahead: identifier '(' ... ')' then '{' => definition.
+      std::size_t after = pos;
+      skip_ws_and_comments(source, after);
+      if (after < source.size() && source[after] == '(') {
+        const std::size_t close = find_matching(source, after, '(', ')');
+        if (close == std::string_view::npos) return std::nullopt;
+        std::size_t brace = close;
+        skip_ws_and_comments(source, brace);
+        if (brace < source.size() && source[brace] == '{') {
+          const std::size_t body_end = find_matching(source, brace, '{', '}');
+          if (body_end == std::string_view::npos) return std::nullopt;
+
+          FunctionInfo info;
+          info.name = std::string(source.substr(ident_begin, pos - ident_begin));
+          info.return_type = std::string(pdl::util::trim(
+              source.substr(decl_start, ident_begin - decl_start)));
+          const std::string_view params =
+              source.substr(after + 1, close - after - 2);
+          for (const auto& p : split_top_level(params)) {
+            if (p == "void" || p.empty()) continue;
+            std::string type, name;
+            parse_param(p, type, name);
+            info.param_types.push_back(std::move(type));
+            info.param_names.push_back(std::move(name));
+          }
+          info.definition =
+              SourceRange{decl_start, body_end, line_of(source, decl_start)};
+          info.body = SourceRange{brace, body_end, line_of(source, brace)};
+          return info;
+        }
+        // Declaration or call: continue scanning after the paren group.
+        pos = close;
+        continue;
+      }
+      continue;
+    }
+    ++pos;
+  }
+  return std::nullopt;
+}
+
+std::optional<CallSite> next_call_statement(std::string_view source, std::size_t from) {
+  std::size_t pos = from;
+  skip_ws_and_comments(source, pos);
+  if (pos >= source.size() || !is_ident_start(source[pos])) return std::nullopt;
+
+  const std::size_t stmt_begin = pos;
+  // Callee may be qualified: ns::fn or obj.method — take the token chain.
+  std::size_t callee_end = pos;
+  while (callee_end < source.size() &&
+         (is_ident_char(source[callee_end]) || source[callee_end] == ':' ||
+          source[callee_end] == '.')) {
+    ++callee_end;
+  }
+  std::size_t open = callee_end;
+  skip_ws_and_comments(source, open);
+  if (open >= source.size() || source[open] != '(') return std::nullopt;
+  const std::size_t close = find_matching(source, open, '(', ')');
+  if (close == std::string_view::npos) return std::nullopt;
+  std::size_t semi = close;
+  skip_ws_and_comments(source, semi);
+  if (semi >= source.size() || source[semi] != ';') return std::nullopt;
+
+  CallSite call;
+  call.callee = std::string(source.substr(stmt_begin, callee_end - stmt_begin));
+  call.args = split_top_level(source.substr(open + 1, close - open - 2));
+  call.statement = SourceRange{stmt_begin, semi + 1, line_of(source, stmt_begin)};
+  return call;
+}
+
+}  // namespace cascabel

@@ -1,0 +1,50 @@
+// Lightweight C/C++ source scanning — the slice of the ROSE front-end the
+// paper's prototype actually uses (see DESIGN.md "Substitutions"): locate
+// cascabel pragmas, the function definition following a task pragma, and
+// the call statement following an execute pragma.
+//
+// The scanner is comment-, string- and preprocessor-aware but does not
+// build an AST; spans are byte ranges into the original text so the
+// code generator can splice.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "annot/task_model.hpp"
+
+namespace cascabel {
+
+/// A raw "#pragma cascabel ..." occurrence: its text with backslash
+/// continuations folded, plus its source range.
+struct RawPragma {
+  std::string text;  ///< content after "#pragma", single-spaced
+  SourceRange range;
+};
+
+/// All cascabel pragmas in the text, in order.
+std::vector<RawPragma> find_cascabel_pragmas(std::string_view source);
+
+/// Scan forward from `from` to the next function *definition* and parse its
+/// signature. Returns nullopt when none is found before `limit` (npos =
+/// end). Handles comments/strings; skips declarations (no body).
+std::optional<FunctionInfo> next_function_definition(std::string_view source,
+                                                     std::size_t from,
+                                                     std::size_t limit = std::string::npos);
+
+/// Scan forward from `from` to the next statement and, when it is a plain
+/// call `callee(arg, ...);`, extract callee and argument texts.
+std::optional<CallSite> next_call_statement(std::string_view source, std::size_t from);
+
+/// Position one past `pos`'s matching close of `open_char`/`close_char`
+/// (e.g. braces), honoring comments/strings. npos when unbalanced.
+std::size_t find_matching(std::string_view source, std::size_t open_pos, char open_char,
+                          char close_char);
+
+/// 1-based line number of byte `pos`.
+int line_of(std::string_view source, std::size_t pos);
+
+}  // namespace cascabel

@@ -1,0 +1,73 @@
+#include "cascabel/builtin_variants.hpp"
+
+#include "kernels/dgemm.hpp"
+#include "kernels/vector_ops.hpp"
+
+namespace cascabel {
+
+namespace {
+
+TaskVariant make_variant(std::string interface_name, std::string variant_name,
+                         std::vector<std::string> platforms,
+                         std::vector<ParamSpec> params) {
+  TaskVariant v;
+  v.pragma.task_interface = std::move(interface_name);
+  v.pragma.variant_name = std::move(variant_name);
+  v.pragma.target_platforms = std::move(platforms);
+  v.pragma.params = std::move(params);
+  v.function.name = v.pragma.variant_name;  // synthetic: no source text
+  return v;
+}
+
+/// C (rows x cols) += A (rows x k) * B (k x cols); geometry from handles.
+void dgemm_exec(const starvm::ExecContext& ctx) {
+  const auto& c = ctx.handle(0);
+  const auto& a = ctx.handle(1);
+  kernels::dgemm_blocked(c.rows(), c.cols(), a.cols(), ctx.buffer(1), ctx.buffer(2),
+                         ctx.buffer(0));
+}
+
+double dgemm_flops(const std::vector<starvm::BufferView>& buffers) {
+  const auto& c = *buffers[0].handle;
+  const auto& a = *buffers[1].handle;
+  return kernels::dgemm_flops(c.rows(), c.cols(), a.cols());
+}
+
+void vecadd_exec(const starvm::ExecContext& ctx) {
+  kernels::vector_add(ctx.buffer(0), ctx.buffer(1), ctx.handle(0).cols());
+}
+
+double vecadd_flops(const std::vector<starvm::BufferView>& buffers) {
+  return static_cast<double>(buffers[0].handle->cols());
+}
+
+}  // namespace
+
+void register_builtin_variants(TaskRepository& repo) {
+  const std::vector<ParamSpec> dgemm_params = {
+      {"C", AccessMode::kReadWrite}, {"A", AccessMode::kRead}, {"B", AccessMode::kRead}};
+  const std::vector<ParamSpec> vecadd_params = {{"A", AccessMode::kReadWrite},
+                                                {"B", AccessMode::kRead}};
+
+  repo.add_variant(make_variant("Idgemm", "dgemm_seq", {"x86"}, dgemm_params));
+  repo.bind(BoundImpl{"dgemm_seq", starvm::DeviceKind::kCpu, dgemm_exec, dgemm_flops});
+
+  repo.add_variant(make_variant("Idgemm", "dgemm_smp", {"smp"}, dgemm_params));
+  repo.bind(BoundImpl{"dgemm_smp", starvm::DeviceKind::kCpu, dgemm_exec, dgemm_flops});
+
+  repo.add_variant(make_variant("Idgemm", "dgemm_cublas", {"cuda"}, dgemm_params));
+  repo.bind(BoundImpl{"dgemm_cublas", starvm::DeviceKind::kAccelerator, dgemm_exec,
+                      dgemm_flops});
+
+  repo.add_variant(make_variant("Ivecadd", "vecadd_seq", {"x86"}, vecadd_params));
+  repo.bind(BoundImpl{"vecadd_seq", starvm::DeviceKind::kCpu, vecadd_exec, vecadd_flops});
+
+  repo.add_variant(make_variant("Ivecadd", "vecadd_smp", {"smp"}, vecadd_params));
+  repo.bind(BoundImpl{"vecadd_smp", starvm::DeviceKind::kCpu, vecadd_exec, vecadd_flops});
+
+  repo.add_variant(make_variant("Ivecadd", "vecadd_ocl", {"opencl"}, vecadd_params));
+  repo.bind(BoundImpl{"vecadd_ocl", starvm::DeviceKind::kAccelerator, vecadd_exec,
+                      vecadd_flops});
+}
+
+}  // namespace cascabel

@@ -1,0 +1,49 @@
+// Output generation (paper §IV-C step 3): construct the translated source
+// file from the annotated input program, the pre-selection result and the
+// target platform description.
+//
+// The transformation is source-to-source:
+//   * a prologue includes cascabel/rt.hpp and embeds the target PDL;
+//   * every cascabel pragma is commented out (the annotated function
+//     definitions remain — they are the sequential fall-backs);
+//   * every annotated call statement is replaced by a generated block that
+//     registers/decomposes the data per the distribution specifiers and
+//     submits tasks through cascabel::rt;
+//   * an epilogue registers adapters for the in-file variants and
+//     initializes the global runtime context from the embedded PDL.
+//
+// The result is a self-contained C++ translation unit compilable against
+// this repository's headers and libraries (verified by an integration
+// test that really compiles and runs one).
+#pragma once
+
+#include <string>
+
+#include "annot/annotated_program.hpp"
+#include "cascabel/selection.hpp"
+#include "pdl/diagnostics.hpp"
+#include "pdl/model.hpp"
+#include "util/result.hpp"
+
+namespace cascabel {
+
+struct CodegenOptions {
+  std::string program_name = "cascabel_program";
+  /// Insert `cascabel::rt::wait()` after every generated call block so the
+  /// translated program preserves the serial program's semantics at every
+  /// statement boundary.
+  bool sync_each_call = true;
+  /// Emit the embedded-PDL + initialize() epilogue (disable when the host
+  /// application initializes the runtime itself).
+  bool emit_initialize = true;
+};
+
+/// Generate the translated source. Problems that make a specific call site
+/// untranslatable (e.g. a parameter without extent information) keep the
+/// original call and add a warning; structural problems fail the Result.
+pdl::util::Result<std::string> generate_source(const AnnotatedProgram& program,
+                                               const pdl::Platform& target,
+                                               const CodegenOptions& options,
+                                               pdl::Diagnostics& diags);
+
+}  // namespace cascabel

@@ -1,0 +1,40 @@
+// Runtime -> descriptor feedback: the paper's §VI future work, implemented.
+//
+// "We have observed that tracking dynamically changing system resources
+//  via platform descriptors can be difficult. In future we will
+//  investigate how platform descriptors could be utilized for supporting
+//  highly dynamic run-time schedulers."
+//
+// The PDL already provides the mechanism: *unfixed* properties are
+// "marked to be editable by other tools or users ... with later
+// instantiation by a runtime" (§III-B). This module closes that loop: the
+// rates a starvm execution actually observed per device are written back
+// into a clone of the platform description as unfixed MEASURED_GFLOPS
+// properties, and any *unfixed* SUSTAINED_GFLOPS is re-instantiated with
+// the observed value — so the next translation/scheduling round runs on
+// measured rather than datasheet numbers.
+//
+// Device -> PU mapping: the starvm bridge names devices after the Worker
+// PU they came from ("cpu_cores#3", "gpu1", "master:0"); refine_platform
+// inverts that naming.
+#pragma once
+
+#include "pdl/model.hpp"
+#include "starvm/stats.hpp"
+
+namespace cascabel {
+
+struct RefineReport {
+  int pus_updated = 0;        ///< PUs that received MEASURED_GFLOPS
+  int sustained_updated = 0;  ///< unfixed SUSTAINED_GFLOPS re-instantiated
+};
+
+/// Clone `platform` and instantiate measurement feedback from `stats`
+/// (per-device observed GFLOPS = sum of task FLOPs / busy seconds; devices
+/// expanded from one PU with quantity>1 are averaged). Devices without
+/// FLOPs-modeled tasks are skipped. `report` (optional) receives counts.
+pdl::Platform refine_platform(const pdl::Platform& platform,
+                              const starvm::EngineStats& stats,
+                              RefineReport* report = nullptr);
+
+}  // namespace cascabel

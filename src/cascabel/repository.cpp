@@ -1,0 +1,85 @@
+#include "cascabel/repository.hpp"
+
+#include <set>
+
+#include "util/string_util.hpp"
+
+namespace cascabel {
+
+TaskRepository TaskRepository::with_defaults() {
+  TaskRepository repo;
+  repo.set_platform_requirement("x86", "M");
+  repo.set_platform_requirement("smp", "M[W(ARCHITECTURE=x86_core)]");
+  repo.set_platform_requirement("cuda", "M[W(ARCHITECTURE=gpu)]");
+  repo.set_platform_requirement("opencl", "M[W(ARCHITECTURE=gpu)]");
+  repo.set_platform_requirement("cell", "M[W(ARCHITECTURE=spe)]");
+  return repo;
+}
+
+bool TaskRepository::register_program(const AnnotatedProgram& program) {
+  for (const auto& v : program.variants) {
+    if (find_variant(v.pragma.variant_name) != nullptr) return false;
+  }
+  for (const auto& v : program.variants) {
+    variants_.push_back(v);
+  }
+  return true;
+}
+
+bool TaskRepository::add_variant(TaskVariant variant) {
+  if (find_variant(variant.pragma.variant_name) != nullptr) return false;
+  variants_.push_back(std::move(variant));
+  return true;
+}
+
+const TaskVariant* TaskRepository::find_variant(std::string_view name) const {
+  for (const auto& v : variants_) {
+    if (v.pragma.variant_name == name) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<const TaskVariant*> TaskRepository::variants_of(
+    std::string_view interface_name) const {
+  std::vector<const TaskVariant*> out;
+  for (const auto& v : variants_) {
+    if (v.pragma.task_interface == interface_name) out.push_back(&v);
+  }
+  return out;
+}
+
+std::vector<std::string> TaskRepository::interfaces() const {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  for (const auto& v : variants_) {
+    if (seen.insert(v.pragma.task_interface).second) {
+      out.push_back(v.pragma.task_interface);
+    }
+  }
+  return out;
+}
+
+void TaskRepository::bind(BoundImpl impl) {
+  bound_[impl.variant_name] = std::move(impl);
+}
+
+const BoundImpl* TaskRepository::bound(std::string_view variant_name) const {
+  const auto it = bound_.find(variant_name);
+  return it == bound_.end() ? nullptr : &it->second;
+}
+
+void TaskRepository::set_platform_requirement(std::string platform_name,
+                                              std::string pattern) {
+  requirements_[std::move(platform_name)] = std::move(pattern);
+}
+
+const std::string* TaskRepository::requirement(std::string_view platform_name) const {
+  const auto it = requirements_.find(platform_name);
+  return it == requirements_.end() ? nullptr : &it->second;
+}
+
+bool TaskRepository::is_fallback_platform(std::string_view platform_name) {
+  return pdl::util::iequals(platform_name, "x86");
+}
+
+}  // namespace cascabel

@@ -1,0 +1,84 @@
+// The task implementation repository (paper Figure 4: "repository for
+// managing task implementation variants tailored for different
+// heterogeneous platforms"; §IV-C step 1 "task registration").
+//
+// The repository holds two coupled things:
+//   * task *variants*: annotated source-level implementations, either
+//     scanned from the input program or contributed by expert programmers
+//     for specific platforms (paper Figure 1); and
+//   * *bound implementations*: the executable form of a variant (a C++
+//     callable against the starvm block API) used when translated programs
+//     run in-process.
+// It also owns the mapping from target-platform names (the pragma's
+// targetplatformlist entries: "x86", "smp", "cuda", ...) to the PDL
+// platform *patterns* a target environment must match (§IV-C step 2).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "annot/annotated_program.hpp"
+#include "annot/task_model.hpp"
+#include "starvm/codelet.hpp"
+
+namespace cascabel {
+
+/// Executable form of a variant.
+struct BoundImpl {
+  std::string variant_name;
+  starvm::DeviceKind device_kind = starvm::DeviceKind::kCpu;
+  std::function<void(const starvm::ExecContext&)> fn;
+  /// Optional FLOPs estimate (feeds the runtime's performance model).
+  std::function<double(const std::vector<starvm::BufferView>&)> flops;
+};
+
+class TaskRepository {
+ public:
+  /// A repository with the default platform-requirement table:
+  ///   x86  -> "M"                          (any Master: the fall-back)
+  ///   smp  -> "M[W(ARCHITECTURE=x86_core)]"
+  ///   cuda -> "M[W(ARCHITECTURE=gpu)]"
+  ///   opencl -> "M[W(ARCHITECTURE=gpu)]"
+  ///   cell -> "M[W(ARCHITECTURE=spe)]"
+  static TaskRepository with_defaults();
+
+  // --- Variants ---------------------------------------------------------------
+
+  /// Register every variant of a scanned program (§IV-C step 1). Variants
+  /// with duplicate names are rejected with false.
+  bool register_program(const AnnotatedProgram& program);
+
+  /// Register a single (e.g. expert-provided) variant.
+  bool add_variant(TaskVariant variant);
+
+  const TaskVariant* find_variant(std::string_view name) const;
+  std::vector<const TaskVariant*> variants_of(std::string_view interface_name) const;
+  const std::vector<TaskVariant>& variants() const { return variants_; }
+  /// All distinct task interfaces.
+  std::vector<std::string> interfaces() const;
+
+  // --- Bound implementations -----------------------------------------------------
+
+  void bind(BoundImpl impl);
+  const BoundImpl* bound(std::string_view variant_name) const;
+
+  // --- Platform requirements -------------------------------------------------------
+
+  /// Map a target-platform name to a compact PDL pattern (pattern.hpp syntax).
+  void set_platform_requirement(std::string platform_name, std::string pattern);
+  /// The pattern for a platform name; nullptr when unknown.
+  const std::string* requirement(std::string_view platform_name) const;
+  /// Whether `platform_name` designates the sequential fall-back target.
+  static bool is_fallback_platform(std::string_view platform_name);
+
+ private:
+  std::vector<TaskVariant> variants_;
+  std::map<std::string, BoundImpl, std::less<>> bound_;
+  std::map<std::string, std::string, std::less<>> requirements_;
+};
+
+}  // namespace cascabel

@@ -1,0 +1,343 @@
+#include "cascabel/rt.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "cascabel/builtin_variants.hpp"
+#include "pdl/parser.hpp"
+#include "util/logging.hpp"
+
+namespace cascabel::rt {
+
+namespace {
+
+starvm::Access to_starvm(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kRead: return starvm::Access::kRead;
+    case AccessMode::kWrite: return starvm::Access::kWrite;
+    case AccessMode::kReadWrite: return starvm::Access::kReadWrite;
+  }
+  return starvm::Access::kRead;
+}
+
+}  // namespace
+
+Context::Context(const pdl::Platform& target, TaskRepository repository,
+                 Options options)
+    : platform_(target.clone()),
+      repository_(std::move(repository)),
+      options_(options) {
+  selection_ = preselect(repository_, platform_, diags_);
+
+  starvm::BridgeOptions bridge = options_.bridge;
+  bridge.scheduler = options_.scheduler;
+  bridge.mode = options_.mode;
+  auto config = starvm::engine_config_from_platform(platform_, bridge);
+  if (!config) {
+    // An engine is still required for the object to be usable; fall back to
+    // a single CPU and record the problem.
+    pdl::add_error(diags_, "engine construction: " + config.error().str());
+    engine_ = std::make_unique<starvm::Engine>(starvm::EngineConfig::cpus(1));
+    return;
+  }
+  engine_ = std::make_unique<starvm::Engine>(std::move(config).value());
+}
+
+Context::Registered& Context::find_or_register(const Arg& a) {
+  auto it = registered_.find(a.ptr);
+  if (it != registered_.end()) {
+    Registered& reg = it->second;
+    if (reg.handle->rows() == a.rows && reg.handle->cols() == a.cols) {
+      return reg;
+    }
+    // The pointer is being reused with different geometry (e.g. the same
+    // scratch buffer viewed as a different matrix). Drain in-flight tasks,
+    // drop the old registration and fall through to a fresh one.
+    engine_->wait_all();
+    if (reg.nblocks != 0) engine_->unpartition(reg.handle);
+    registered_.erase(it);
+  }
+  Registered reg;
+  reg.handle = a.rows <= 1
+                   ? engine_->register_vector(a.ptr, a.cols)
+                   : engine_->register_matrix(a.ptr, a.rows, a.cols);
+  return registered_.emplace(a.ptr, std::move(reg)).first->second;
+}
+
+void Context::repartition(Registered& reg, const Arg& a, int nblocks) {
+  if (reg.nblocks == nblocks) return;
+  // In-flight tasks may reference the old blocks; drain before replacing.
+  engine_->wait_all();
+  if (reg.nblocks != 0) {
+    engine_->unpartition(reg.handle);
+    reg.blocks.clear();
+  }
+  if (nblocks > 1) {
+    reg.blocks = a.rows <= 1 ? engine_->partition_vector(reg.handle, nblocks)
+                             : engine_->partition_rows(reg.handle, nblocks);
+    reg.nblocks = static_cast<int>(reg.blocks.size());
+  } else {
+    reg.nblocks = 0;
+  }
+}
+
+pdl::util::Status Context::execute(std::string_view interface_name,
+                                   std::string_view group, std::vector<Arg> args) {
+  const std::string iface(interface_name);
+  const auto* candidates = selection_.candidates(iface);
+  if (candidates == nullptr || candidates->empty()) {
+    return pdl::util::Status::failure("no variant of task interface '" + iface +
+                                      "' matches the target platform");
+  }
+
+  // Which device classes may run this call: the execution group restricts
+  // the candidate PUs (paper §IV-B, LogicGroupAttribute).
+  const auto group_pus = resolve_execution_group(platform_, std::string(group), diags_);
+  const auto pu_in_group = [&](const pdl::ProcessingUnit* pu) {
+    return std::find(group_pus.begin(), group_pus.end(), pu) != group_pus.end();
+  };
+
+  // Pick one bound implementation per device kind: among usable (group-
+  // compatible, executable) candidates, non-fallback beats fallback and
+  // higher pattern specificity beats lower (ties: later registration).
+  const BoundImpl* impl_per_kind[2] = {nullptr, nullptr};
+  int best_rank[2] = {-1, -1};
+  std::function<double(const std::vector<starvm::BufferView>&)> flops_fn;
+  for (const auto& candidate : *candidates) {
+    bool usable = candidate.mapped_pus.empty();
+    for (const auto* pu : candidate.mapped_pus) {
+      usable = usable || pu_in_group(pu);
+    }
+    if (!usable) continue;
+    const BoundImpl* impl = repository_.bound(candidate.variant->pragma.variant_name);
+    if (impl == nullptr || !impl->fn) continue;  // source-only variant
+    const auto slot = static_cast<std::size_t>(impl->device_kind);
+    const int rank =
+        (candidate.is_fallback ? 0 : 1000000) + candidate.specificity;
+    if (rank < best_rank[slot]) continue;
+    best_rank[slot] = rank;
+    impl_per_kind[slot] = impl;
+    if (impl->flops) flops_fn = impl->flops;
+  }
+
+  // Restrict to device kinds the engine actually has.
+  bool engine_has_kind[2] = {false, false};
+  for (const auto& spec : engine_->config().devices) {
+    engine_has_kind[static_cast<std::size_t>(spec.kind)] = true;
+  }
+
+  const std::string codelet_key = iface + "@" + std::string(group);
+  auto codelet_it = codelets_.find(codelet_key);
+  if (codelet_it == codelets_.end()) {
+    auto codelet = std::make_unique<starvm::Codelet>();
+    codelet->name = codelet_key;
+    for (std::size_t kind = 0; kind < 2; ++kind) {
+      if (impl_per_kind[kind] != nullptr && engine_has_kind[kind]) {
+        codelet->impls.push_back(starvm::Implementation{
+            static_cast<starvm::DeviceKind>(kind), impl_per_kind[kind]->fn});
+      }
+    }
+    if (codelet->impls.empty()) {
+      return pdl::util::Status::failure(
+          "no executable implementation of '" + iface +
+          "' for the devices of this platform (group '" + std::string(group) + "')");
+    }
+    codelet->flops = flops_fn;
+    codelet_it = codelets_.emplace(codelet_key, std::move(codelet)).first;
+  }
+  starvm::Codelet* codelet = codelet_it->second.get();
+
+  // Data registration and decomposition. Every BLOCK/CYCLIC argument is
+  // split into the same number of blocks; un-distributed arguments are
+  // passed whole to every task (e.g. the B matrix of row-banded DGEMM).
+  int nblocks = 1;
+  std::size_t min_extent = SIZE_MAX;
+  bool any_distributed = false;
+  for (const auto& a : args) {
+    if (a.dist != DistributionKind::kNone) {
+      any_distributed = true;
+      min_extent = std::min(min_extent, a.rows > 1 ? a.rows : a.cols);
+    }
+  }
+  if (any_distributed) {
+    const int target_blocks =
+        options_.blocks_per_device * static_cast<int>(engine_->device_count());
+    nblocks = std::max(1, std::min<int>(target_blocks,
+                                        static_cast<int>(min_extent)));
+  }
+
+  std::vector<Registered*> regs;
+  regs.reserve(args.size());
+  for (const auto& a : args) {
+    Registered& reg = find_or_register(a);
+    if (a.dist != DistributionKind::kNone) {
+      repartition(reg, a, nblocks);
+    } else if (reg.nblocks != 0) {
+      repartition(reg, a, 1);  // whole-buffer use after being partitioned
+    }
+    regs.push_back(&reg);
+  }
+  // Partitioning may produce fewer blocks than requested (extent clamp).
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].dist != DistributionKind::kNone && regs[i]->nblocks != 0) {
+      nblocks = std::min(nblocks, regs[i]->nblocks);
+    }
+  }
+
+  // CYCLIC distributions submit blocks in round-robin order over a stride;
+  // with a dynamic scheduler this only changes issue order (the paper's
+  // distributions hint placement, the runtime decides).
+  std::vector<int> order(static_cast<std::size_t>(nblocks));
+  for (int b = 0; b < nblocks; ++b) order[static_cast<std::size_t>(b)] = b;
+  bool cyclic = false;
+  for (const auto& a : args) {
+    cyclic |= a.dist == DistributionKind::kCyclic ||
+              a.dist == DistributionKind::kBlockCyclic;
+  }
+  if (cyclic && nblocks > 1) {
+    const int stride = std::max(1, nblocks / std::max<int>(
+                                        1, static_cast<int>(engine_->device_count())));
+    std::vector<int> permuted;
+    permuted.reserve(order.size());
+    for (int offset = 0; offset < stride; ++offset) {
+      for (int b = offset; b < nblocks; b += stride) permuted.push_back(b);
+    }
+    order = std::move(permuted);
+  }
+
+  for (const int b : order) {
+    starvm::TaskDesc desc;
+    desc.codelet = codelet;
+    desc.label = iface + "[" + std::to_string(b) + "]";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      starvm::DataHandle* handle =
+          (args[i].dist != DistributionKind::kNone && regs[i]->nblocks > 0)
+              ? regs[i]->blocks[static_cast<std::size_t>(b)]
+              : regs[i]->handle;
+      desc.buffers.push_back(starvm::BufferView{handle, to_starvm(args[i].mode)});
+    }
+    engine_->submit(std::move(desc));
+  }
+  return {};
+}
+
+void Context::wait() { engine_->wait_all(); }
+
+void Context::host_modified(double* ptr) {
+  const auto it = registered_.find(ptr);
+  if (it == registered_.end()) return;
+  engine_->host_write(it->second.handle);
+}
+
+// --- Global context -----------------------------------------------------------
+
+namespace {
+
+struct PendingVariant {
+  std::string interface_name;
+  std::string variant_name;
+  std::vector<std::string> target_platforms;
+  starvm::DeviceKind kind;
+  std::function<void(const starvm::ExecContext&)> fn;
+  std::function<double(const std::vector<starvm::BufferView>&)> flops;
+};
+
+std::vector<PendingVariant>& pending_variants() {
+  static std::vector<PendingVariant> pending;
+  return pending;
+}
+
+std::unique_ptr<Context>& global_context() {
+  static std::unique_ptr<Context> ctx;
+  return ctx;
+}
+
+std::mutex g_mutex;
+
+}  // namespace
+
+bool register_variant(const std::string& interface_name,
+                      const std::string& variant_name,
+                      const std::vector<std::string>& target_platforms,
+                      starvm::DeviceKind kind,
+                      std::function<void(const starvm::ExecContext&)> fn,
+                      std::function<double(const std::vector<starvm::BufferView>&)>
+                          flops) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  pending_variants().push_back(PendingVariant{interface_name, variant_name,
+                                              target_platforms, kind, std::move(fn),
+                                              std::move(flops)});
+  return true;
+}
+
+bool initialize(const char* pdl_xml, Options options) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  pdl::Diagnostics diags;
+  auto platform = pdl::parse_platform(pdl_xml, diags);
+  if (!platform || pdl::has_errors(diags)) {
+    PDL_LOG_ERROR << "cascabel::rt::initialize: invalid PDL"
+                  << (!platform ? ": " + platform.error().str() : "");
+    for (const auto& d : diags) PDL_LOG_ERROR << d.str();
+    return false;
+  }
+
+  TaskRepository repo = TaskRepository::with_defaults();
+  register_builtin_variants(repo);
+  for (const auto& pv : pending_variants()) {
+    TaskVariant variant;
+    variant.pragma.task_interface = pv.interface_name;
+    variant.pragma.variant_name = pv.variant_name;
+    variant.pragma.target_platforms = pv.target_platforms;
+    repo.add_variant(std::move(variant));
+    repo.bind(BoundImpl{pv.variant_name, pv.kind, pv.fn, pv.flops});
+  }
+
+  global_context() =
+      std::make_unique<Context>(platform.value(), std::move(repo), options);
+  return true;
+}
+
+bool initialized() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return global_context() != nullptr;
+}
+
+bool execute(const char* interface_name, const char* group, std::vector<Arg> args) {
+  Context* ctx = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    ctx = global_context().get();
+  }
+  if (ctx == nullptr) {
+    PDL_LOG_ERROR << "cascabel::rt::execute before initialize";
+    return false;
+  }
+  auto status = ctx->execute(interface_name, group ? group : "", std::move(args));
+  if (!status.ok()) {
+    PDL_LOG_ERROR << "cascabel::rt::execute('" << interface_name
+                  << "'): " << status.error().str();
+    return false;
+  }
+  return true;
+}
+
+void wait() {
+  Context* ctx = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    ctx = global_context().get();
+  }
+  if (ctx != nullptr) ctx->wait();
+}
+
+starvm::EngineStats stats() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return global_context() ? global_context()->stats() : starvm::EngineStats{};
+}
+
+void shutdown() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  global_context().reset();
+}
+
+}  // namespace cascabel::rt

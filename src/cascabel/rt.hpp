@@ -1,0 +1,151 @@
+// cascabel::rt — the runtime veneer translated programs execute against.
+//
+// The paper's generated output programs call StarPU; ours call this veneer,
+// which binds a target PDL description, the task repository and a starvm
+// engine together:
+//
+//   * Context — an explicit object API used by examples, tests and benches;
+//   * a process-global context driven by initialize()/execute()/wait(),
+//     which is what Cascabel-generated source files use (they cannot thread
+//     a context object through unmodified application code).
+//
+// One execute() call implements paper §IV-C step 3 for a single call site:
+// data registration, BLOCK/CYCLIC decomposition, variant choice per device
+// class, and submission of one starvm task per block.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "annot/task_model.hpp"
+#include "cascabel/repository.hpp"
+#include "cascabel/selection.hpp"
+#include "pdl/diagnostics.hpp"
+#include "pdl/model.hpp"
+#include "starvm/bridge.hpp"
+#include "starvm/engine.hpp"
+#include "util/result.hpp"
+
+namespace cascabel::rt {
+
+/// One data argument of an executed task.
+struct Arg {
+  double* ptr = nullptr;
+  std::size_t rows = 1;
+  std::size_t cols = 0;
+  AccessMode mode = AccessMode::kRead;
+  DistributionKind dist = DistributionKind::kNone;
+};
+
+/// Vector argument of `n` doubles.
+inline Arg arg(double* ptr, std::size_t n, AccessMode mode,
+               DistributionKind dist = DistributionKind::kNone) {
+  return Arg{ptr, 1, n, mode, dist};
+}
+
+/// Row-major matrix argument.
+inline Arg arg_matrix(double* ptr, std::size_t rows, std::size_t cols, AccessMode mode,
+                      DistributionKind dist = DistributionKind::kNone) {
+  return Arg{ptr, rows, cols, mode, dist};
+}
+
+struct Options {
+  starvm::SchedulerKind scheduler = starvm::SchedulerKind::kHeft;
+  starvm::ExecutionMode mode = starvm::ExecutionMode::kHybrid;
+  /// BLOCK distributions split data into blocks_per_device * device_count
+  /// row bands (clamped to the data extent).
+  int blocks_per_device = 4;
+  starvm::BridgeOptions bridge;
+};
+
+/// An executable translation context: target platform + repository + engine.
+class Context {
+ public:
+  /// Takes ownership of a clone of `target`; the repository is copied.
+  /// Pre-selection runs immediately; check diagnostics() for pruning info.
+  Context(const pdl::Platform& target, TaskRepository repository,
+          Options options = {});
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  /// Execute one annotated call site: decompose and submit (asynchronous —
+  /// follow with wait()).
+  pdl::util::Status execute(std::string_view interface_name, std::string_view group,
+                            std::vector<Arg> args);
+
+  /// Block until every submitted task completed.
+  void wait();
+
+  /// Tell the runtime the host modified a previously used buffer directly
+  /// (between wait() and the next execute): invalidates device replicas in
+  /// the transfer model. No-op for unknown pointers.
+  void host_modified(double* ptr);
+
+  starvm::Engine& engine() { return *engine_; }
+  starvm::EngineStats stats() const { return engine_->stats(); }
+  const SelectionResult& selection() const { return selection_; }
+  const pdl::Platform& platform() const { return platform_; }
+  const pdl::Diagnostics& diagnostics() const { return diags_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Registered {
+    starvm::DataHandle* handle = nullptr;
+    std::vector<starvm::DataHandle*> blocks;
+    int nblocks = 0;  ///< 0 = unpartitioned
+  };
+
+  Registered& find_or_register(const Arg& a);
+  void repartition(Registered& reg, const Arg& a, int nblocks);
+
+  pdl::Platform platform_;
+  TaskRepository repository_;
+  Options options_;
+  pdl::Diagnostics diags_;
+  SelectionResult selection_;
+  std::unique_ptr<starvm::Engine> engine_;
+
+  /// ptr -> registration (keyed by base pointer; geometry must be stable).
+  std::map<double*, Registered> registered_;
+  /// Codelets must outlive their tasks; cached per interface+group.
+  std::map<std::string, std::unique_ptr<starvm::Codelet>> codelets_;
+};
+
+// --- Process-global context (used by Cascabel-generated sources) -------------
+
+/// Register an executable variant before initialize(). Safe to call from
+/// static initializers (the generated file's registration thunks).
+bool register_variant(const std::string& interface_name,
+                      const std::string& variant_name,
+                      const std::vector<std::string>& target_platforms,
+                      starvm::DeviceKind kind,
+                      std::function<void(const starvm::ExecContext&)> fn,
+                      std::function<double(const std::vector<starvm::BufferView>&)>
+                          flops = nullptr);
+
+/// Create the global context from PDL XML text. Also loads the built-in
+/// expert variants (builtin_variants.hpp) and everything registered via
+/// register_variant. Returns false (and logs) on invalid PDL.
+bool initialize(const char* pdl_xml, Options options = {});
+
+/// True between a successful initialize() and shutdown().
+bool initialized();
+
+/// Execute on the global context; logs and returns false on error.
+bool execute(const char* interface_name, const char* group, std::vector<Arg> args);
+
+/// Drain the global context.
+void wait();
+
+/// Stats of the global context (empty when uninitialized).
+starvm::EngineStats stats();
+
+/// Destroy the global context (idempotent).
+void shutdown();
+
+}  // namespace cascabel::rt

@@ -1,0 +1,155 @@
+#include "cascabel/selection.hpp"
+
+#include <algorithm>
+
+#include "pdl/pattern.hpp"
+#include "pdl/query.hpp"
+#include "pdl/well_known.hpp"
+#include "util/string_util.hpp"
+
+namespace cascabel {
+
+starvm::DeviceKind device_kind_for_target(std::string_view platform_name) {
+  // gpu-targeting entries execute on accelerators, all others on CPUs
+  // (spe counts as accelerator too — it is a simulated device).
+  if (pdl::util::iequals(platform_name, "cuda") ||
+      pdl::util::iequals(platform_name, "opencl") ||
+      pdl::util::iequals(platform_name, "cell")) {
+    return starvm::DeviceKind::kAccelerator;
+  }
+  return starvm::DeviceKind::kCpu;
+}
+
+SelectionResult preselect(const TaskRepository& repository,
+                          const pdl::Platform& target, pdl::Diagnostics& diags) {
+  SelectionResult result;
+
+  for (const auto& variant : repository.variants()) {
+    bool selected = false;
+    for (const auto& platform_name : variant.pragma.target_platforms) {
+      // Either a registered platform name ("x86", "cuda", ...) or an
+      // explicit inline requirement: pattern(M[W(ARCHITECTURE=gpu)x2])
+      // (paper §II: expert code carries its own architectural constraints).
+      const std::string* pattern = nullptr;
+      std::string inline_pattern;
+      if (pdl::util::starts_with(platform_name, "pattern(") &&
+          pdl::util::ends_with(platform_name, ")")) {
+        inline_pattern = platform_name.substr(8, platform_name.size() - 9);
+        pattern = &inline_pattern;
+      } else {
+        pattern = repository.requirement(platform_name);
+      }
+      if (pattern == nullptr) {
+        add_warning(diags,
+                    "variant '" + variant.pragma.variant_name +
+                        "' targets unknown platform '" + platform_name +
+                        "' (no requirement pattern registered)");
+        continue;
+      }
+      pdl::MatchResult match = pdl::match(*pattern, target);
+      if (!match) {
+        add_info(diags,
+                 "variant '" + variant.pragma.variant_name + "' pruned for '" +
+                     platform_name + "': " + match.reason);
+        continue;
+      }
+
+      SelectedVariant sel;
+      sel.variant = &variant;
+      sel.matched_platform = platform_name;
+      sel.is_fallback = TaskRepository::is_fallback_platform(platform_name);
+
+      // Static mapping (§IV-B): every target PU the variant may execute on.
+      // match() only witnesses the *requirement* (minimal bindings); the
+      // mapping enumerates all Workers satisfying any pattern-leaf
+      // constraint, plus the Master for the sequential fall-back.
+      auto pattern_platform = pdl::parse_pattern(*pattern);
+      if (!inline_pattern.empty()) {
+        // Inline requirements carry no platform name to classify; the
+        // device class follows the pattern's worker architectures.
+        sel.device_kind = starvm::DeviceKind::kCpu;
+        if (pattern_platform.ok()) {
+          for (const auto& pm : pattern_platform.value().masters()) {
+            for (const auto* node : pdl::subtree(*pm)) {
+              const std::string arch = node->descriptor().get("ARCHITECTURE");
+              if (node->kind() == pdl::PuKind::kWorker &&
+                  (pdl::util::iequals(arch, "gpu") ||
+                   pdl::util::iequals(arch, "spe"))) {
+                sel.device_kind = starvm::DeviceKind::kAccelerator;
+              }
+            }
+          }
+        }
+      } else {
+        sel.device_kind = device_kind_for_target(platform_name);
+      }
+
+      if (pattern_platform.ok()) {
+        std::vector<const pdl::ProcessingUnit*> pattern_leaves;
+        for (const auto& pm : pattern_platform.value().masters()) {
+          for (const auto* node : pdl::subtree(*pm)) {
+            sel.specificity +=
+                1 + static_cast<int>(node->descriptor().size());
+            if (node->kind() == pdl::PuKind::kWorker) pattern_leaves.push_back(node);
+          }
+        }
+        for (const auto* concrete : pdl::all_pus(target)) {
+          if (sel.is_fallback && concrete->kind() == pdl::PuKind::kMaster) {
+            sel.mapped_pus.push_back(concrete);
+            continue;
+          }
+          for (const auto* leaf : pattern_leaves) {
+            if (pdl::pu_satisfies(*leaf, *concrete)) {
+              sel.mapped_pus.push_back(concrete);
+              break;
+            }
+          }
+        }
+      }
+      result.by_interface[variant.pragma.task_interface].push_back(std::move(sel));
+      selected = true;
+      break;  // first matching platform entry wins for this variant
+    }
+    if (!selected) {
+      add_info(diags, "variant '" + variant.pragma.variant_name +
+                          "' has no matching platform on this target");
+    }
+  }
+
+  // Order fall-backs first and check the fall-back guarantee per interface.
+  for (auto& [interface_name, candidates] : result.by_interface) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const SelectedVariant& a, const SelectedVariant& b) {
+                       return a.is_fallback > b.is_fallback;
+                     });
+    bool has_fallback = false;
+    for (const auto& c : candidates) has_fallback |= c.is_fallback;
+    if (!has_fallback) {
+      add_error(diags,
+                "task interface '" + interface_name +
+                    "' has no sequential fall-back variant for a Master PU");
+    }
+  }
+
+  // Interfaces that lost every variant.
+  for (const auto& interface_name : repository.interfaces()) {
+    if (result.by_interface.find(interface_name) == result.by_interface.end()) {
+      add_error(diags, "task interface '" + interface_name +
+                           "' has no variant matching the target platform");
+    }
+  }
+  return result;
+}
+
+std::vector<const pdl::ProcessingUnit*> resolve_execution_group(
+    const pdl::Platform& target, const std::string& group, pdl::Diagnostics& diags) {
+  if (!group.empty()) {
+    auto members = pdl::group_members(target, group);
+    if (!members.empty()) return members;
+    add_warning(diags, "execution group '" + group +
+                           "' names no PU in the target platform; using all PUs");
+  }
+  return pdl::all_pus(target);
+}
+
+}  // namespace cascabel

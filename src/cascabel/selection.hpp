@@ -1,0 +1,68 @@
+// Static task pre-selection and mapping (paper §IV-C step 2 and §IV-B).
+//
+// For every variant the repository holds, the platform patterns implied by
+// its targetplatformlist are matched against the target PDL. Variants whose
+// patterns do not match are pruned; matching variants are statically mapped
+// to the processing units their pattern bound to. The paper requires at
+// least one sequential fall-back variant per used interface so the program
+// can always run on a Master PU.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cascabel/repository.hpp"
+#include "pdl/diagnostics.hpp"
+#include "pdl/model.hpp"
+#include "starvm/types.hpp"
+
+namespace cascabel {
+
+/// One variant that survived pre-selection for a concrete target.
+struct SelectedVariant {
+  const TaskVariant* variant = nullptr;
+  std::string matched_platform;  ///< which targetplatformlist entry matched
+  /// Worker/Master PUs the pattern bound to (candidate execution sites).
+  std::vector<const pdl::ProcessingUnit*> mapped_pus;
+  /// Device class this variant executes on when run by starvm.
+  starvm::DeviceKind device_kind = starvm::DeviceKind::kCpu;
+  bool is_fallback = false;  ///< sequential Master-only variant
+
+  /// How constrained the matched requirement pattern is (PU nodes +
+  /// property constraints). Among usable candidates of one device class,
+  /// the most specific wins (paper §II: expert variants declare tighter
+  /// requirements precisely because they are the optimized ones).
+  int specificity = 0;
+};
+
+/// Pre-selection output for a whole repository against one target platform.
+struct SelectionResult {
+  /// interface name -> surviving variants (fall-back first).
+  std::map<std::string, std::vector<SelectedVariant>> by_interface;
+
+  const std::vector<SelectedVariant>* candidates(const std::string& interface_name) const {
+    const auto it = by_interface.find(interface_name);
+    return it == by_interface.end() ? nullptr : &it->second;
+  }
+};
+
+/// Run pre-selection of every repository variant against `target`.
+/// Emits diagnostics for pruned variants (info), interfaces left without
+/// any variant (error) and interfaces without a fall-back (error, paper
+/// §IV-C step 3: "At least one sequential fall-back variant must be
+/// provided").
+SelectionResult preselect(const TaskRepository& repository,
+                          const pdl::Platform& target, pdl::Diagnostics& diags);
+
+/// Device class a target-platform name executes on: cuda/opencl/cell run
+/// on (simulated) accelerators, everything else on CPUs.
+starvm::DeviceKind device_kind_for_target(std::string_view platform_name);
+
+/// Resolve an execute annotation's executiongroup against the target PDL:
+/// the PUs carrying that LogicGroupAttribute, or every PU when the group
+/// is empty/unknown (with a warning for unknown names).
+std::vector<const pdl::ProcessingUnit*> resolve_execution_group(
+    const pdl::Platform& target, const std::string& group, pdl::Diagnostics& diags);
+
+}  // namespace cascabel

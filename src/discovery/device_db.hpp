@@ -1,0 +1,39 @@
+// Simulated accelerator device database (substitute for the paper's Nvidia
+// OpenCL run-time queries, see DESIGN.md "Substitutions").
+//
+// The paper generates PDL properties by querying OpenCL (Listing 2). We
+// have no GPUs, so the same information comes from a curated database of
+// paper-era devices with datasheet parameters. Entries carry everything the
+// PDL generator and the starvm performance models need.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdl::discovery {
+
+struct SimDeviceSpec {
+  std::string name;                  ///< CL_DEVICE_NAME, e.g. "GeForce GTX 480".
+  int compute_units = 0;             ///< CL_DEVICE_MAX_COMPUTE_UNITS.
+  int max_work_item_dims = 3;        ///< CL_DEVICE_MAX_WORK_ITEM_DIMENSIONS.
+  std::int64_t global_mem_kb = 0;    ///< CL_DEVICE_GLOBAL_MEM_SIZE (kB).
+  std::int64_t local_mem_kb = 0;     ///< CL_DEVICE_LOCAL_MEM_SIZE (kB).
+  int clock_mhz = 0;                 ///< CL_DEVICE_MAX_CLOCK_FREQUENCY.
+  std::string compute_capability;    ///< CUDA SM version ("2.0").
+  int multiprocessors = 0;           ///< CUDA SM count.
+  double peak_dp_gflops = 0.0;       ///< double-precision peak (datasheet).
+  double dgemm_efficiency = 0.65;    ///< fraction of peak a tuned DGEMM reaches.
+  double pcie_bandwidth_gbs = 5.5;   ///< effective host<->device bandwidth.
+  double pcie_latency_us = 10.0;     ///< per-transfer latency.
+};
+
+/// All devices the simulated "runtime" can enumerate.
+const std::vector<SimDeviceSpec>& simulated_device_db();
+
+/// Lookup by exact device name; nullptr when unknown.
+const SimDeviceSpec* find_device(std::string_view name);
+
+}  // namespace pdl::discovery

@@ -1,0 +1,214 @@
+#include "discovery/discovery.hpp"
+
+#include <set>
+
+#include "pdl/well_known.hpp"
+#include "util/string_util.hpp"
+
+namespace pdl::discovery {
+
+HostCpuInfo parse_cpuinfo(const std::string& cpuinfo_text) {
+  HostCpuInfo info;
+  std::set<std::string> physical_ids;
+  std::set<std::pair<std::string, std::string>> cores;  // (physical id, core id)
+  int processor_count = 0;
+  std::string current_physical_id = "0";
+
+  for (const auto& line : util::split(cpuinfo_text, '\n')) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string key(util::trim(line.substr(0, colon)));
+    const std::string value(util::trim(line.substr(colon + 1)));
+    if (key == "processor") {
+      ++processor_count;
+    } else if (key == "model name" && info.model_name == "unknown-cpu") {
+      info.model_name = value;
+    } else if (key == "vendor_id" && info.vendor == "unknown") {
+      info.vendor = value;
+    } else if (key == "cpu MHz" && info.mhz == 0.0) {
+      info.mhz = util::parse_double(value).value_or(0.0);
+    } else if (key == "physical id") {
+      current_physical_id = value;
+      physical_ids.insert(value);
+    } else if (key == "core id") {
+      cores.insert({current_physical_id, value});
+    }
+  }
+
+  info.logical_cpus = processor_count > 0 ? processor_count : 1;
+  info.sockets = physical_ids.empty() ? 1 : static_cast<int>(physical_ids.size());
+  info.physical_cores =
+      cores.empty() ? info.logical_cpus : static_cast<int>(cores.size());
+  return info;
+}
+
+HostCpuInfo read_host_cpu() {
+  auto text = util::read_file("/proc/cpuinfo");
+  if (!text) return HostCpuInfo{};
+  return parse_cpuinfo(*text);
+}
+
+HostMemInfo parse_meminfo(const std::string& meminfo_text) {
+  HostMemInfo info;
+  for (const auto& line : util::split(meminfo_text, '\n')) {
+    if (!util::starts_with(line, "MemTotal:")) continue;
+    for (const auto& token : util::split_trimmed(line.substr(9), ' ')) {
+      if (auto kb = util::parse_int(token)) {
+        info.total_bytes = *kb * 1024;
+        break;
+      }
+    }
+    break;
+  }
+  return info;
+}
+
+HostMemInfo read_host_memory() {
+  auto text = util::read_file("/proc/meminfo");
+  if (!text) return HostMemInfo{};
+  return parse_meminfo(*text);
+}
+
+namespace {
+
+/// Shared shape of the host master: descriptor, RAM region, core workers.
+std::unique_ptr<ProcessingUnit> make_host_master(const HostCpuInfo& cpu,
+                                                 std::int64_t ram_bytes,
+                                                 int cpu_workers) {
+  auto master = std::make_unique<ProcessingUnit>(PuKind::kMaster, "0");
+  auto& d = master->descriptor();
+  d.add(props::kArchitecture, props::kArchX86);
+  d.add(props::kModel, cpu.model_name);
+  d.add(props::kVendor, cpu.vendor);
+  d.add(props::kCores, std::to_string(cpu.physical_cores));
+  if (cpu.mhz > 0) {
+    d.add(props::kFrequencyMhz, std::to_string(static_cast<int>(cpu.mhz)));
+  }
+
+  MemoryRegion ram;
+  ram.id = "mr_host";
+  if (ram_bytes > 0) {
+    Property size;
+    size.name = props::kSize;
+    size.value = std::to_string(ram_bytes / 1024);
+    size.unit = "kB";
+    ram.descriptor.add(std::move(size));
+  }
+  ram.descriptor.add(props::kShared, "true");
+  master->memory_regions().push_back(std::move(ram));
+
+  if (cpu_workers > 0) {
+    auto worker = std::make_unique<ProcessingUnit>(PuKind::kWorker, "cpu_cores",
+                                                   cpu_workers);
+    worker->descriptor().add(props::kArchitecture, "x86_core");
+    if (cpu.mhz > 0) {
+      worker->descriptor().add(props::kFrequencyMhz,
+                               std::to_string(static_cast<int>(cpu.mhz)));
+    }
+    worker->logic_groups().push_back("cpu");
+    master->add_child(std::move(worker));
+  }
+  return master;
+}
+
+}  // namespace
+
+std::unique_ptr<ProcessingUnit> make_gpu_worker(const SimDeviceSpec& spec,
+                                                std::string id) {
+  auto worker = std::make_unique<ProcessingUnit>(PuKind::kWorker, std::move(id));
+  auto& d = worker->descriptor();
+  d.add(props::kArchitecture, props::kArchGpu);
+
+  // The `ocl:` extension block, exactly the properties of paper Listing 2.
+  const auto add_ocl = [&](const char* name, std::string value, std::string unit = {}) {
+    Property p;
+    p.name = name;
+    p.value = std::move(value);
+    p.unit = std::move(unit);
+    p.fixed = false;  // generated at runtime in the paper -> unfixed
+    p.xsi_type = props::kOclPropertyType;
+    d.add(std::move(p));
+  };
+  add_ocl(props::kOclDeviceName, spec.name);
+  add_ocl(props::kOclMaxComputeUnits, std::to_string(spec.compute_units));
+  add_ocl(props::kOclMaxWorkItemDimensions, std::to_string(spec.max_work_item_dims));
+  add_ocl(props::kOclGlobalMemSize, std::to_string(spec.global_mem_kb), "kB");
+  add_ocl(props::kOclLocalMemSize, std::to_string(spec.local_mem_kb), "kB");
+  add_ocl(props::kOclMaxClockFrequency, std::to_string(spec.clock_mhz));
+
+  // CUDA extension block (the case study's variants are CUDA-based).
+  const auto add_cuda = [&](const char* name, std::string value) {
+    Property p;
+    p.name = name;
+    p.value = std::move(value);
+    p.fixed = false;
+    p.xsi_type = props::kCudaPropertyType;
+    d.add(std::move(p));
+  };
+  add_cuda(props::kCudaComputeCapability, spec.compute_capability);
+  add_cuda(props::kCudaMultiprocessors, std::to_string(spec.multiprocessors));
+
+  // Base properties the starvm bridge and performance models read. The
+  // sustained rate is performance-relevant platform information made
+  // explicit in the PDL (paper §II usage scenarios: performance prediction).
+  d.add(props::kPeakGflops, std::to_string(spec.peak_dp_gflops));
+  d.add(props::kSustainedGflops,
+        std::to_string(spec.peak_dp_gflops * spec.dgemm_efficiency));
+  d.add(props::kModel, spec.name);
+
+  MemoryRegion mr;
+  mr.id = "mr_" + worker->id();
+  Property size;
+  size.name = props::kSize;
+  size.value = std::to_string(spec.global_mem_kb);
+  size.unit = "kB";
+  mr.descriptor.add(std::move(size));
+  mr.descriptor.add(props::kShared, "false");
+  worker->memory_regions().push_back(std::move(mr));
+
+  worker->logic_groups().push_back("gpu");
+  return worker;
+}
+
+Platform discover_host() {
+  const HostCpuInfo cpu = read_host_cpu();
+  const HostMemInfo mem = read_host_memory();
+  Platform platform("host");
+  platform.add_master(make_host_master(cpu, mem.total_bytes, cpu.physical_cores));
+  return platform;
+}
+
+Platform make_gpgpu_platform(const HostCpuInfo& cpu, int cpu_workers,
+                             const std::vector<std::string>& device_names) {
+  Platform platform("gpgpu");
+  ProcessingUnit* master = platform.add_master(
+      make_host_master(cpu, read_host_memory().total_bytes, cpu_workers));
+
+  int index = 1;
+  for (const auto& name : device_names) {
+    const SimDeviceSpec* spec = find_device(name);
+    if (spec == nullptr) continue;  // unknown device: skip, callers validate
+    auto worker = make_gpu_worker(*spec, "gpu" + std::to_string(index));
+    const std::string worker_id = worker->id();
+    master->add_child(std::move(worker));
+
+    Interconnect ic;
+    ic.type = "PCIe";
+    ic.from = master->id();
+    ic.to = worker_id;
+    ic.scheme = "rDMA";
+    Property bw;
+    bw.name = props::kIcBandwidthGBs;
+    bw.value = std::to_string(spec->pcie_bandwidth_gbs);
+    ic.descriptor.add(std::move(bw));
+    Property lat;
+    lat.name = props::kIcLatencyUs;
+    lat.value = std::to_string(spec->pcie_latency_us);
+    ic.descriptor.add(std::move(lat));
+    master->interconnects().push_back(std::move(ic));
+    ++index;
+  }
+  return platform;
+}
+
+}  // namespace pdl::discovery

@@ -1,0 +1,65 @@
+// Automatic PDL descriptor generation (paper Figure 1: "Possible automatic
+// generation of PDL descriptors for various platforms"; §V positions hwloc
+// as a complementary source of such information).
+//
+// Reads the host's CPU/memory configuration from /proc and sysfs (the
+// hwloc substitution, see DESIGN.md) and attaches simulated accelerators
+// from the device database to produce complete, valid Platform documents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "discovery/device_db.hpp"
+#include "pdl/model.hpp"
+
+namespace pdl::discovery {
+
+/// Host CPU summary assembled from /proc/cpuinfo (with conservative
+/// fallbacks when running on exotic kernels).
+struct HostCpuInfo {
+  std::string model_name = "unknown-cpu";
+  std::string vendor = "unknown";
+  int sockets = 1;
+  int physical_cores = 1;   ///< total across sockets
+  int logical_cpus = 1;     ///< hyperthreads included
+  double mhz = 0.0;
+};
+
+/// Host memory summary from /proc/meminfo.
+struct HostMemInfo {
+  std::int64_t total_bytes = 0;
+};
+
+/// Read the host CPU configuration; never fails (falls back to defaults).
+HostCpuInfo read_host_cpu();
+
+/// Parse a /proc/cpuinfo-format text (exposed for tests).
+HostCpuInfo parse_cpuinfo(const std::string& cpuinfo_text);
+
+/// Read the host memory configuration; never fails.
+HostMemInfo read_host_memory();
+
+/// Parse a /proc/meminfo-format text (exposed for tests).
+HostMemInfo parse_meminfo(const std::string& meminfo_text);
+
+/// Build a PDL description of this machine: one Master (the host CPU) with
+/// one x86-core Worker per physical core and a host RAM MemoryRegion.
+Platform discover_host();
+
+/// Build a GPGPU platform: the given host plus one gpu Worker per named
+/// device (looked up in the simulated device DB; unknown names are
+/// skipped). Each gpu Worker carries the `ocl:`-typed properties of paper
+/// Listing 2, a device MemoryRegion, and a PCIe-style Interconnect from
+/// the Master. `cpu_workers` controls how many x86-core Workers the Master
+/// keeps for CPU-side task execution.
+Platform make_gpgpu_platform(const HostCpuInfo& cpu, int cpu_workers,
+                             const std::vector<std::string>& device_names);
+
+/// PDL for a gpu Worker built from a device spec (exposed so tools can
+/// attach devices to custom hierarchies).
+std::unique_ptr<ProcessingUnit> make_gpu_worker(const SimDeviceSpec& spec,
+                                                std::string id);
+
+}  // namespace pdl::discovery

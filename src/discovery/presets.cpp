@@ -1,0 +1,188 @@
+#include "discovery/presets.hpp"
+
+#include "discovery/discovery.hpp"
+#include "pdl/well_known.hpp"
+
+namespace pdl::discovery {
+
+HostCpuInfo paper_testbed_cpu() {
+  HostCpuInfo cpu;
+  cpu.model_name = "Intel Xeon X5550";
+  cpu.vendor = "GenuineIntel";
+  cpu.sockets = 2;
+  cpu.physical_cores = 8;
+  cpu.logical_cpus = 16;
+  cpu.mhz = 2660.0;
+  return cpu;
+}
+
+namespace {
+
+/// Master describing the dual-X5550 host (without any workers).
+std::unique_ptr<ProcessingUnit> testbed_master() {
+  const HostCpuInfo cpu = paper_testbed_cpu();
+  auto master = std::make_unique<ProcessingUnit>(PuKind::kMaster, "0");
+  auto& d = master->descriptor();
+  d.add(props::kArchitecture, props::kArchX86);
+  d.add(props::kModel, cpu.model_name);
+  d.add(props::kVendor, cpu.vendor);
+  d.add(props::kCores, std::to_string(cpu.physical_cores));
+  d.add(props::kFrequencyMhz, "2660");
+  // Nehalem: 4 DP flops/cycle/core -> 10.64 GFLOPS per core.
+  d.add(props::kPeakGflops, "10.64");
+  d.add(props::kSustainedGflops, "9.8");
+  d.add(props::kCompiler, "gcc");
+  d.add(props::kRuntimeLibrary, "starvm");
+
+  MemoryRegion ram;
+  ram.id = "mr_host";
+  Property size;
+  size.name = props::kSize;
+  size.value = "25165824";  // 24 GB
+  size.unit = "kB";
+  ram.descriptor.add(std::move(size));
+  ram.descriptor.add(props::kShared, "true");
+  master->memory_regions().push_back(std::move(ram));
+  return master;
+}
+
+void add_cpu_workers(ProcessingUnit& master, int count) {
+  auto worker = std::make_unique<ProcessingUnit>(PuKind::kWorker, "cpu_cores", count);
+  worker->descriptor().add(props::kArchitecture, "x86_core");
+  worker->descriptor().add(props::kFrequencyMhz, "2660");
+  worker->descriptor().add(props::kPeakGflops, "10.64");
+  // GotoBLAS2 reaches ~92% of peak on Nehalem; this models the paper's
+  // single-core baseline and the per-core rate of the "starpu" program.
+  worker->descriptor().add(props::kSustainedGflops, "9.8");
+  worker->logic_groups().push_back("cpu");
+  worker->logic_groups().push_back("all");
+  master.add_child(std::move(worker));
+}
+
+void add_gpu(ProcessingUnit& master, const char* device_name, const char* id) {
+  const SimDeviceSpec* spec = find_device(device_name);
+  auto worker = make_gpu_worker(*spec, id);
+  worker->logic_groups().push_back("all");
+  const std::string worker_id = worker->id();
+  master.add_child(std::move(worker));
+
+  Interconnect ic;
+  ic.type = "PCIe";
+  ic.from = master.id();
+  ic.to = worker_id;
+  ic.scheme = "rDMA";
+  Property bw;
+  bw.name = props::kIcBandwidthGBs;
+  bw.value = std::to_string(spec->pcie_bandwidth_gbs);
+  ic.descriptor.add(std::move(bw));
+  Property lat;
+  lat.name = props::kIcLatencyUs;
+  lat.value = std::to_string(spec->pcie_latency_us);
+  ic.descriptor.add(std::move(lat));
+  master.interconnects().push_back(std::move(ic));
+}
+
+}  // namespace
+
+Platform paper_platform_single() {
+  Platform platform("testbed-single");
+  platform.add_master(testbed_master());
+  return platform;
+}
+
+Platform paper_platform_starpu_cpu() {
+  Platform platform("testbed-starpu");
+  ProcessingUnit* master = platform.add_master(testbed_master());
+  add_cpu_workers(*master, 8);
+  return platform;
+}
+
+Platform paper_platform_starpu_2gpu() {
+  Platform platform("testbed-starpu-2gpu");
+  ProcessingUnit* master = platform.add_master(testbed_master());
+  add_cpu_workers(*master, 8);
+  add_gpu(*master, "GeForce GTX 480", "gpu1");
+  add_gpu(*master, "GeForce GTX 285", "gpu2");
+  return platform;
+}
+
+Platform cell_be_platform() {
+  Platform platform("cell-be");
+  auto master = std::make_unique<ProcessingUnit>(PuKind::kMaster, "ppe0");
+  auto& d = master->descriptor();
+  d.add(props::kArchitecture, props::kArchPpe);
+  d.add(props::kModel, "Cell Broadband Engine");
+  d.add(props::kFrequencyMhz, "3200");
+  d.add(props::kCompiler, "xlc");
+
+  MemoryRegion ram;
+  ram.id = "mr_xdr";
+  Property size;
+  size.name = props::kSize;
+  size.value = "262144";  // 256 MB XDR
+  size.unit = "kB";
+  ram.descriptor.add(std::move(size));
+  master->memory_regions().push_back(std::move(ram));
+
+  auto spes = std::make_unique<ProcessingUnit>(PuKind::kWorker, "spe", 8);
+  auto& sd = spes->descriptor();
+  sd.add(props::kArchitecture, props::kArchSpe);
+  sd.add(props::kFrequencyMhz, "3200");
+  Property ls;
+  ls.name = props::kCellLocalStoreSize;
+  ls.value = "256";
+  ls.unit = "kB";
+  ls.fixed = true;
+  ls.xsi_type = props::kCellPropertyType;
+  sd.add(std::move(ls));
+  MemoryRegion local_store;
+  local_store.id = "mr_ls";
+  Property ls_size;
+  ls_size.name = props::kSize;
+  ls_size.value = "256";
+  ls_size.unit = "kB";
+  local_store.descriptor.add(std::move(ls_size));
+  local_store.descriptor.add(props::kShared, "false");
+  spes->memory_regions().push_back(std::move(local_store));
+  spes->logic_groups().push_back("spe");
+  master->add_child(std::move(spes));
+
+  Interconnect eib;
+  eib.type = "EIB";
+  eib.from = "ppe0";
+  eib.to = "spe";
+  eib.scheme = "DMA";
+  Property bw;
+  bw.name = props::kIcBandwidthGBs;
+  bw.value = "25.6";
+  eib.descriptor.add(std::move(bw));
+  master->interconnects().push_back(std::move(eib));
+
+  platform.add_master(std::move(master));
+  return platform;
+}
+
+Platform hierarchical_hybrid_platform() {
+  // The Figure 2 shape: M -> {H -> {W,W,W}, H -> {W,W}, W}.
+  Platform platform("hierarchical");
+  ProcessingUnit* master = platform.add_master("m0");
+  master->descriptor().add(props::kArchitecture, props::kArchX86);
+
+  ProcessingUnit* h0 = master->add_child(PuKind::kHybrid, "h0");
+  h0->descriptor().add(props::kArchitecture, props::kArchX86);
+  ProcessingUnit* w00 = h0->add_child(PuKind::kWorker, "w00", 4);
+  w00->descriptor().add(props::kArchitecture, "x86_core");
+  ProcessingUnit* w01 = h0->add_child(PuKind::kWorker, "w01");
+  w01->descriptor().add(props::kArchitecture, props::kArchGpu);
+
+  ProcessingUnit* h1 = master->add_child(PuKind::kHybrid, "h1");
+  h1->descriptor().add(props::kArchitecture, props::kArchX86);
+  ProcessingUnit* w10 = h1->add_child(PuKind::kWorker, "w10", 4);
+  w10->descriptor().add(props::kArchitecture, "x86_core");
+
+  ProcessingUnit* w2 = master->add_child(PuKind::kWorker, "w2");
+  w2->descriptor().add(props::kArchitecture, props::kArchGpu);
+  return platform;
+}
+
+}  // namespace pdl::discovery

@@ -1,0 +1,39 @@
+// Canned platform descriptions used throughout the reproduction:
+// the paper's §IV-D testbed in its three PDL configurations, plus platforms
+// for the paper's other motivating architectures (Cell B.E., hierarchical
+// many-core with Hybrid PUs).
+//
+// The case study's point is that the *same* input program targets all of
+// these by swapping the PDL descriptor; benches and examples pull their
+// target platforms from here.
+#pragma once
+
+#include "discovery/discovery.hpp"
+#include "pdl/model.hpp"
+
+namespace pdl::discovery {
+
+/// The paper testbed CPU: dual-socket 2.66 GHz Intel Xeon X5550 (quad-core).
+HostCpuInfo paper_testbed_cpu();
+
+/// "single": the serial input configuration — the Master alone, no worker
+/// PUs (the input task implementation runs on the Master).
+Platform paper_platform_single();
+
+/// "starpu": Master + 8 x86-core Workers (data-parallel CPU execution).
+Platform paper_platform_starpu_cpu();
+
+/// "starpu+2gpu": Master + 8 x86-core Workers + GTX480 + GTX285 Workers
+/// with PCIe interconnects — the full §IV-D machine.
+Platform paper_platform_starpu_2gpu();
+
+/// Cell B.E.-style platform: PPE Master + 8 SPE Workers with local-store
+/// MemoryRegions and an EIB interconnect (paper §I names Cell as a prime
+/// example of the architectures PDL must cover).
+Platform cell_be_platform();
+
+/// A deep hierarchy exercising Hybrid PUs: a Master controlling two Hybrid
+/// nodes, each controlling GPU and CPU-core Workers — the Figure 2 shape.
+Platform hierarchical_hybrid_platform();
+
+}  // namespace pdl::discovery

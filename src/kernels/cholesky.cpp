@@ -1,0 +1,106 @@
+#include "kernels/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kernels {
+
+bool potrf(std::size_t n, double* a, std::size_t ld) {
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * ld + j];
+    for (std::size_t k = 0; k < j; ++k) {
+      diag -= a[j * ld + k] * a[j * ld + k];
+    }
+    if (diag <= 0.0) return false;
+    diag = std::sqrt(diag);
+    a[j * ld + j] = diag;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a[i * ld + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        v -= a[i * ld + k] * a[j * ld + k];
+      }
+      a[i * ld + j] = v / diag;
+    }
+  }
+  return true;
+}
+
+void trsm_rlt(std::size_t m, std::size_t n, const double* l, std::size_t ldl,
+              double* b, std::size_t ldb) {
+  // Solve X * Lᵀ = B row by row: for each row of B, forward-substitute
+  // against the columns of L (Lᵀ is upper-triangular).
+  for (std::size_t i = 0; i < m; ++i) {
+    double* row = b + i * ldb;
+    for (std::size_t j = 0; j < n; ++j) {
+      double v = row[j];
+      for (std::size_t k = 0; k < j; ++k) {
+        v -= row[k] * l[j * ldl + k];
+      }
+      row[j] = v / l[j * ldl + j];
+    }
+  }
+}
+
+void syrk_ln(std::size_t n, std::size_t k, const double* a, std::size_t lda,
+             double* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = 0.0;
+      const double* ai = a + i * lda;
+      const double* aj = a + j * lda;
+      for (std::size_t p = 0; p < k; ++p) sum += ai[p] * aj[p];
+      c[i * ldc + j] -= sum;
+    }
+  }
+}
+
+void gemm_nt_minus(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                   std::size_t lda, const double* b, std::size_t ldb, double* c,
+                   std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* bj = b + j * ldb;
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) sum += ai[p] * bj[p];
+      ci[j] -= sum;
+    }
+  }
+}
+
+double potrf_flops(std::size_t n) {
+  const double nd = static_cast<double>(n);
+  return nd * nd * nd / 3.0;
+}
+
+double trsm_flops(std::size_t m, std::size_t n) {
+  return static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(n);
+}
+
+double syrk_flops(std::size_t n, std::size_t k) {
+  return static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(k);
+}
+
+double gemm_flops_nt(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+double cholesky_residual(std::size_t n, const double* l, std::size_t ldl,
+                         const double* a, std::size_t lda) {
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = 0.0;
+      const std::size_t kmax = std::min(i, j);
+      for (std::size_t k = 0; k <= kmax; ++k) {
+        sum += l[i * ldl + k] * l[j * ldl + k];
+      }
+      max_err = std::max(max_err, std::abs(sum - a[i * lda + j]));
+    }
+  }
+  return max_err;
+}
+
+}  // namespace kernels

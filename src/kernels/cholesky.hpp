@@ -1,0 +1,45 @@
+// Tile kernels for blocked Cholesky factorization (A = L·Lᵀ, lower).
+//
+// The four classic tile operations (POTRF/TRSM/SYRK/GEMM) as used by
+// StarPU's flagship demo — here they are the payloads of the DAG-workload
+// example and the ABL7 bench. All kernels are ld-aware (they operate on
+// tiles of a larger row-major matrix, stride `ld`).
+#pragma once
+
+#include <cstddef>
+
+namespace kernels {
+
+/// In-place unblocked Cholesky of the n x n tile `a` (lower triangle).
+/// Returns false when the tile is not positive definite.
+bool potrf(std::size_t n, double* a, std::size_t ld);
+
+/// B := B * L^-T for the n x n lower-triangular tile `l` and m x n tile
+/// `b` (the panel update right-solve: column tiles below the diagonal).
+void trsm_rlt(std::size_t m, std::size_t n, const double* l, std::size_t ldl,
+              double* b, std::size_t ldb);
+
+/// C := C - A·Aᵀ on the lower triangle of the n x n tile `c`,
+/// with A an n x k tile (symmetric rank-k update of a diagonal tile).
+void syrk_ln(std::size_t n, std::size_t k, const double* a, std::size_t lda,
+             double* c, std::size_t ldc);
+
+/// C := C - A·Bᵀ for tiles A (m x k), B (n x k), C (m x n)
+/// (the trailing update of off-diagonal tiles).
+void gemm_nt_minus(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                   std::size_t lda, const double* b, std::size_t ldb, double* c,
+                   std::size_t ldc);
+
+/// FLOP counts (standard LAPACK conventions) for the perf models.
+double potrf_flops(std::size_t n);
+double trsm_flops(std::size_t m, std::size_t n);
+double syrk_flops(std::size_t n, std::size_t k);
+double gemm_flops_nt(std::size_t m, std::size_t n, std::size_t k);
+
+/// Reference check helper: max |(L·Lᵀ)ij - Aij| over the lower triangle,
+/// where `l` is n x n lower-triangular (upper part ignored) and `a` the
+/// original matrix; both row-major with the given strides.
+double cholesky_residual(std::size_t n, const double* l, std::size_t ldl,
+                         const double* a, std::size_t lda);
+
+}  // namespace kernels

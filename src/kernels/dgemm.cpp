@@ -1,0 +1,91 @@
+#include "kernels/dgemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace kernels {
+
+double max_abs_diff(const double* a, const double* b, std::size_t n) {
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+  }
+  return max_diff;
+}
+
+void dgemm_naive(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                 const double* b, double* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        sum += a[i * k + p] * b[p * n + j];
+      }
+      c[i * n + j] += sum;
+    }
+  }
+}
+
+namespace {
+
+/// One register-friendly tile: C[i0..i1) x [j0..j1) += A * B over [p0..p1).
+/// i-k-j ordering streams B rows and keeps the C row hot.
+void dgemm_tile(std::size_t i0, std::size_t i1, std::size_t j0, std::size_t j1,
+                std::size_t p0, std::size_t p1, std::size_t n, std::size_t k,
+                const double* a, const double* b, double* c) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      const double aip = a[i * k + p];
+      const double* b_row = b + p * n;
+      double* c_row = c + i * n;
+      for (std::size_t j = j0; j < j1; ++j) {
+        c_row[j] += aip * b_row[j];
+      }
+    }
+  }
+}
+
+constexpr std::size_t kDefaultBlock = 64;
+
+void dgemm_blocked_rows(std::size_t row_begin, std::size_t row_end, std::size_t n,
+                        std::size_t k, const double* a, const double* b, double* c,
+                        std::size_t block) {
+  for (std::size_t i0 = row_begin; i0 < row_end; i0 += block) {
+    const std::size_t i1 = std::min(row_end, i0 + block);
+    for (std::size_t p0 = 0; p0 < k; p0 += block) {
+      const std::size_t p1 = std::min(k, p0 + block);
+      for (std::size_t j0 = 0; j0 < n; j0 += block) {
+        const std::size_t j1 = std::min(n, j0 + block);
+        dgemm_tile(i0, i1, j0, j1, p0, p1, n, k, a, b, c);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void dgemm_blocked(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                   const double* b, double* c, std::size_t block) {
+  if (block == 0) block = kDefaultBlock;
+  dgemm_blocked_rows(0, m, n, k, a, b, c, block);
+}
+
+void dgemm_parallel(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                    const double* b, double* c, std::size_t threads) {
+  pdl::util::ThreadPool pool(threads);
+  // Row bands are disjoint in C, so no synchronization beyond the joins.
+  const std::size_t bands = pool.size();
+  const std::size_t rows_per_band = (m + bands - 1) / bands;
+  pool.parallel_for(0, bands, [&](std::size_t band) {
+    const std::size_t row_begin = band * rows_per_band;
+    const std::size_t row_end = std::min(m, row_begin + rows_per_band);
+    if (row_begin < row_end) {
+      dgemm_blocked_rows(row_begin, row_end, n, k, a, b, c, kDefaultBlock);
+    }
+  });
+}
+
+}  // namespace kernels

@@ -1,0 +1,36 @@
+// DGEMM implementations — the task-variant repository's compute payloads.
+//
+// The paper's case study calls GotoBlas2 (CPU) and CuBLAS (GPU) DGEMM. We
+// substitute three from-scratch variants of C = A*B + C on row-major
+// double matrices (m x k times k x n):
+//   * dgemm_naive    — the textbook triple loop; the "serial input program"
+//   * dgemm_blocked  — cache-tiled ikj loops; the tuned single-core variant
+//   * dgemm_parallel — dgemm_blocked with rows split over a thread pool
+// Absolute GFLOPS are below vendor BLAS, which is irrelevant for the
+// reproduction: Figure 5 reports *speedup ratios* (see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+
+namespace kernels {
+
+/// Textbook i-j-k triple loop. C += A*B.
+void dgemm_naive(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                 const double* b, double* c);
+
+/// Cache-tiled i-k-j ordering with a configurable block size (0 = default).
+void dgemm_blocked(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                   const double* b, double* c, std::size_t block = 0);
+
+/// dgemm_blocked with row-band parallelism across `threads` workers
+/// (0 = hardware concurrency).
+void dgemm_parallel(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                    const double* b, double* c, std::size_t threads = 0);
+
+/// FLOP count of one C += A*B (2*m*n*k).
+inline double dgemm_flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace kernels

@@ -1,0 +1,97 @@
+#include "kernels/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kernels {
+
+bool getrf_nopiv(std::size_t n, double* a, std::size_t ld) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const double pivot = a[k * ld + k];
+    if (std::abs(pivot) < 1e-300) return false;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      a[i * ld + k] /= pivot;
+      const double lik = a[i * ld + k];
+      for (std::size_t j = k + 1; j < n; ++j) {
+        a[i * ld + j] -= lik * a[k * ld + j];
+      }
+    }
+  }
+  return true;
+}
+
+void trsm_lln_unit(std::size_t n, std::size_t m, const double* l, std::size_t ldl,
+                   double* b, std::size_t ldb) {
+  // Forward substitution with implicit unit diagonal, column-block RHS.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = l[i * ldl + k];
+      if (lik == 0.0) continue;
+      const double* bk = b + k * ldb;
+      double* bi = b + i * ldb;
+      for (std::size_t j = 0; j < m; ++j) bi[j] -= lik * bk[j];
+    }
+  }
+}
+
+void trsm_run(std::size_t m, std::size_t n, const double* u, std::size_t ldu,
+              double* b, std::size_t ldb) {
+  // Row-wise back substitution: x·U = b  =>  x_j = (b_j - Σ_{k<j} x_k u_kj)/u_jj.
+  for (std::size_t i = 0; i < m; ++i) {
+    double* row = b + i * ldb;
+    for (std::size_t j = 0; j < n; ++j) {
+      double v = row[j];
+      for (std::size_t k = 0; k < j; ++k) v -= row[k] * u[k * ldu + j];
+      row[j] = v / u[j * ldu + j];
+    }
+  }
+}
+
+void gemm_nn_minus(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                   std::size_t lda, const double* b, std::size_t ldb, double* c,
+                   std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c + i * ldc;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = a[i * lda + p];
+      if (aip == 0.0) continue;
+      const double* bp = b + p * ldb;
+      for (std::size_t j = 0; j < n; ++j) ci[j] -= aip * bp[j];
+    }
+  }
+}
+
+double getrf_flops(std::size_t n) {
+  const double nd = static_cast<double>(n);
+  return 2.0 * nd * nd * nd / 3.0;
+}
+
+double gemm_flops_nn(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+double lu_residual(std::size_t n, const double* lu, std::size_t ldlu,
+                   const double* a, std::size_t lda) {
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      // (L·U)ij = Σ_k L_ik U_kj with L unit-lower, U upper.
+      const std::size_t kmax = std::min(i, j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < kmax; ++k) {
+        sum += lu[i * ldlu + k] * lu[k * ldlu + j];
+      }
+      // k == kmax term: L_ii = 1 when i <= j; U_jj factor when j < i.
+      if (i <= j) {
+        sum += lu[i * ldlu + j];  // L_ii (=1) * U_ij
+      } else {
+        sum += lu[i * ldlu + j] * lu[j * ldlu + j];  // L_ij * U_jj
+      }
+      max_err = std::max(max_err, std::abs(sum - a[i * lda + j]));
+    }
+  }
+  return max_err;
+}
+
+}  // namespace kernels

@@ -1,0 +1,39 @@
+// Tile kernels for blocked LU factorization without pivoting
+// (A = L·U, L unit-lower, U upper; Doolittle, suitable for diagonally
+// dominant matrices). Complements the Cholesky tiles as the second DAG
+// workload. All kernels are ld-aware.
+#pragma once
+
+#include <cstddef>
+
+namespace kernels {
+
+/// In-place unblocked LU of the n x n tile (no pivoting). Returns false on
+/// a (near-)zero pivot.
+bool getrf_nopiv(std::size_t n, double* a, std::size_t ld);
+
+/// B := L⁻¹·B for the unit-lower n x n tile `l` and n x m tile `b`
+/// (the U row-panel update).
+void trsm_lln_unit(std::size_t n, std::size_t m, const double* l, std::size_t ldl,
+                   double* b, std::size_t ldb);
+
+/// B := B·U⁻¹ for the upper n x n tile `u` and m x n tile `b`
+/// (the L column-panel update).
+void trsm_run(std::size_t m, std::size_t n, const double* u, std::size_t ldu,
+              double* b, std::size_t ldb);
+
+/// C := C - A·B for tiles A (m x k), B (k x n), C (m x n).
+void gemm_nn_minus(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                   std::size_t lda, const double* b, std::size_t ldb, double* c,
+                   std::size_t ldc);
+
+/// FLOP counts.
+double getrf_flops(std::size_t n);
+double gemm_flops_nn(std::size_t m, std::size_t n, std::size_t k);
+
+/// max |(L·U)ij - Aij| where `lu` holds the packed in-place factorization
+/// (unit diagonal of L implicit) and `a` the original matrix.
+double lu_residual(std::size_t n, const double* lu, std::size_t ldlu,
+                   const double* a, std::size_t lda);
+
+}  // namespace kernels

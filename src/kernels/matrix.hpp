@@ -1,0 +1,45 @@
+// Row-major dense matrix helpers shared by kernels, tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+namespace kernels {
+
+/// Owning row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Deterministic pseudo-random fill in [-1, 1].
+  void fill_random(unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (auto& v : data_) v = dist(rng);
+  }
+
+  void fill(double value) {
+    for (auto& v : data_) v = value;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// max |a[i] - b[i]| over two equally sized buffers.
+double max_abs_diff(const double* a, const double* b, std::size_t n);
+
+}  // namespace kernels

@@ -1,0 +1,100 @@
+#include "pdl/catalog.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+
+#include "pdl/parser.hpp"
+#include "pdl/pattern.hpp"
+#include "pdl/query.hpp"
+
+namespace pdl {
+
+void Catalog::add(Platform platform) {
+  if (platform.name().empty()) {
+    platform.set_name("platform-" + std::to_string(platforms_.size()));
+  }
+  for (auto& existing : platforms_) {
+    if (existing.name() == platform.name()) {
+      existing = std::move(platform);
+      return;
+    }
+  }
+  platforms_.push_back(std::move(platform));
+}
+
+util::Status Catalog::add_file(const std::string& path) {
+  Diagnostics diags;
+  auto platform = parse_platform_file(path, diags);
+  if (!platform) return platform.error();
+  if (has_errors(diags)) {
+    return util::Error{"PDL document has errors", path};
+  }
+  add(std::move(platform).value());
+  return {};
+}
+
+std::size_t Catalog::add_directory(const std::string& dir,
+                                   std::vector<std::string>* errors) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    if (errors != nullptr) errors->push_back(dir + ": " + ec.message());
+    return 0;
+  }
+  // Deterministic order regardless of directory enumeration order.
+  std::vector<std::string> paths;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file() && entry.path().extension() == ".xml") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::size_t added = 0;
+  for (const auto& path : paths) {
+    auto status = add_file(path);
+    if (status.ok()) {
+      ++added;
+    } else if (errors != nullptr) {
+      errors->push_back(status.error().str());
+    }
+  }
+  return added;
+}
+
+std::vector<std::string> Catalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(platforms_.size());
+  for (const auto& p : platforms_) out.push_back(p.name());
+  return out;
+}
+
+const Platform* Catalog::find(std::string_view name) const {
+  for (const auto& p : platforms_) {
+    if (p.name() == name) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<const Platform*> Catalog::matching(std::string_view pattern) const {
+  std::vector<const Platform*> out;
+  for (const auto& p : platforms_) {
+    if (match(pattern, p)) out.push_back(&p);
+  }
+  return out;
+}
+
+const Platform* Catalog::best_match(std::string_view pattern) const {
+  const Platform* best = nullptr;
+  int best_size = std::numeric_limits<int>::max();
+  for (const Platform* p : matching(pattern)) {
+    const int size = total_pu_count(*p);
+    if (size < best_size) {
+      best_size = size;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace pdl

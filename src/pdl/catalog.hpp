@@ -1,0 +1,53 @@
+// Platform catalog: a set of PDL descriptors "for various platforms"
+// (paper Figure 1). Toolchains keep one descriptor per deployment target
+// and select by name or by architectural pattern; Cascabel-style
+// retargeting is then "translate once per catalog entry".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pdl/model.hpp"
+#include "util/result.hpp"
+
+namespace pdl {
+
+class Catalog {
+ public:
+  /// Add a platform (keyed by its name; unnamed platforms get "platform-N").
+  /// Replaces an existing entry with the same name.
+  void add(Platform platform);
+
+  /// Parse a PDL file and add it.
+  util::Status add_file(const std::string& path);
+
+  /// Add every "*.xml" file in a directory (non-recursive). Returns the
+  /// number of platforms added; files that fail to parse are skipped and
+  /// reported in `errors` when provided.
+  std::size_t add_directory(const std::string& dir,
+                            std::vector<std::string>* errors = nullptr);
+
+  std::size_t size() const { return platforms_.size(); }
+  bool empty() const { return platforms_.empty(); }
+
+  /// All catalog entry names, in insertion order.
+  std::vector<std::string> names() const;
+
+  /// Entry by name; nullptr when absent.
+  const Platform* find(std::string_view name) const;
+
+  /// Every platform satisfying a compact-syntax pattern (pattern.hpp).
+  std::vector<const Platform*> matching(std::string_view pattern) const;
+
+  /// The *tightest* platform satisfying the pattern: fewest total PUs among
+  /// the matches (ties broken by insertion order). nullptr when none match.
+  /// Rationale: code constrained to "a master with >=2 GPUs" should get the
+  /// smallest machine that provides it, leaving larger ones for bigger asks.
+  const Platform* best_match(std::string_view pattern) const;
+
+ private:
+  std::vector<Platform> platforms_;
+};
+
+}  // namespace pdl

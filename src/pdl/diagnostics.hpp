@@ -1,0 +1,57 @@
+// Diagnostics shared by the PDL structural validator, the extension-schema
+// checker, and the Cascabel front-end: tools report problems with severity
+// and location instead of aborting (PDL files are user input).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdl {
+
+enum class Severity { kInfo, kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string message;
+  std::string where;  ///< "file:line:col", PU id path, or similar locator.
+
+  std::string str() const {
+    const char* tag = severity == Severity::kError     ? "error"
+                      : severity == Severity::kWarning ? "warning"
+                                                       : "info";
+    std::string out = std::string(tag) + ": " + message;
+    if (!where.empty()) out += " [" + where + "]";
+    return out;
+  }
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+inline bool has_errors(const Diagnostics& diags) {
+  for (const auto& d : diags) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+inline std::size_t count_severity(const Diagnostics& diags, Severity severity) {
+  std::size_t n = 0;
+  for (const auto& d : diags) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+inline void add_error(Diagnostics& diags, std::string message, std::string where = {}) {
+  diags.push_back({Severity::kError, std::move(message), std::move(where)});
+}
+
+inline void add_warning(Diagnostics& diags, std::string message, std::string where = {}) {
+  diags.push_back({Severity::kWarning, std::move(message), std::move(where)});
+}
+
+inline void add_info(Diagnostics& diags, std::string message, std::string where = {}) {
+  diags.push_back({Severity::kInfo, std::move(message), std::move(where)});
+}
+
+}  // namespace pdl

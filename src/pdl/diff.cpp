@@ -1,0 +1,155 @@
+#include "pdl/diff.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "pdl/query.hpp"
+
+namespace pdl {
+
+std::string_view to_string(DiffKind kind) {
+  switch (kind) {
+    case DiffKind::kPuAdded: return "pu-added";
+    case DiffKind::kPuRemoved: return "pu-removed";
+    case DiffKind::kPuKindChanged: return "pu-kind-changed";
+    case DiffKind::kQuantityChanged: return "quantity-changed";
+    case DiffKind::kPropertyAdded: return "property-added";
+    case DiffKind::kPropertyRemoved: return "property-removed";
+    case DiffKind::kPropertyChanged: return "property-changed";
+    case DiffKind::kGroupsChanged: return "groups-changed";
+    case DiffKind::kMemoryRegionsChanged: return "memory-regions-changed";
+    case DiffKind::kInterconnectsChanged: return "interconnects-changed";
+  }
+  return "?";
+}
+
+std::string DiffEntry::str() const {
+  std::ostringstream os;
+  os << to_string(kind) << " @ " << pu_path;
+  if (!subject.empty()) os << " [" << subject << "]";
+  if (!before.empty() || !after.empty()) {
+    os << ": '" << before << "' -> '" << after << "'";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// "value|unit|fixed|type" fingerprint for change detection and reporting.
+std::string property_repr(const Property& p) {
+  std::string out = p.value;
+  if (!p.unit.empty()) out += " " + p.unit;
+  if (!p.fixed) out += " (unfixed)";
+  if (!p.xsi_type.empty()) out += " {" + p.xsi_type + "}";
+  return out;
+}
+
+std::string join_groups(const ProcessingUnit& pu) {
+  std::string out;
+  for (const auto& g : pu.logic_groups()) {
+    if (!out.empty()) out += ",";
+    out += g;
+  }
+  return out;
+}
+
+std::string interconnect_repr(const ProcessingUnit& pu) {
+  std::string out;
+  for (const auto& ic : pu.interconnects()) {
+    if (!out.empty()) out += ";";
+    out += ic.from + "->" + ic.to + ":" + ic.type;
+  }
+  return out;
+}
+
+std::string memory_region_repr(const ProcessingUnit& pu) {
+  std::string out;
+  for (const auto& mr : pu.memory_regions()) {
+    if (!out.empty()) out += ";";
+    out += mr.id;
+  }
+  return out;
+}
+
+void diff_pu(const ProcessingUnit& a, const ProcessingUnit& b,
+             std::vector<DiffEntry>& out) {
+  const std::string path = b.path();
+  if (a.kind() != b.kind()) {
+    out.push_back({DiffKind::kPuKindChanged, path, "", std::string(to_string(a.kind())),
+                   std::string(to_string(b.kind()))});
+  }
+  if (a.quantity() != b.quantity()) {
+    out.push_back({DiffKind::kQuantityChanged, path, "",
+                   std::to_string(a.quantity()), std::to_string(b.quantity())});
+  }
+  // Properties by name (first occurrence wins, matching Descriptor::find).
+  for (const auto& pb : b.descriptor().properties()) {
+    const Property* pa = a.descriptor().find(pb.name);
+    if (pa == nullptr) {
+      out.push_back(
+          {DiffKind::kPropertyAdded, path, pb.name, "", property_repr(pb)});
+    } else if (property_repr(*pa) != property_repr(pb)) {
+      out.push_back({DiffKind::kPropertyChanged, path, pb.name, property_repr(*pa),
+                     property_repr(pb)});
+    }
+  }
+  for (const auto& pa : a.descriptor().properties()) {
+    if (b.descriptor().find(pa.name) == nullptr) {
+      out.push_back(
+          {DiffKind::kPropertyRemoved, path, pa.name, property_repr(pa), ""});
+    }
+  }
+  if (join_groups(a) != join_groups(b)) {
+    out.push_back(
+        {DiffKind::kGroupsChanged, path, "", join_groups(a), join_groups(b)});
+  }
+  if (memory_region_repr(a) != memory_region_repr(b)) {
+    out.push_back({DiffKind::kMemoryRegionsChanged, path, "",
+                   memory_region_repr(a), memory_region_repr(b)});
+  }
+  if (interconnect_repr(a) != interconnect_repr(b)) {
+    out.push_back({DiffKind::kInterconnectsChanged, path, "",
+                   interconnect_repr(a), interconnect_repr(b)});
+  }
+}
+
+}  // namespace
+
+std::vector<DiffEntry> diff(const Platform& old_platform,
+                            const Platform& new_platform) {
+  std::vector<DiffEntry> out;
+  std::map<std::string, const ProcessingUnit*> old_by_id;
+  for (const auto* pu : all_pus(old_platform)) old_by_id[pu->id()] = pu;
+
+  std::map<std::string, const ProcessingUnit*> new_by_id;
+  for (const auto* pu : all_pus(new_platform)) new_by_id[pu->id()] = pu;
+
+  for (const auto& [id, new_pu] : new_by_id) {
+    const auto it = old_by_id.find(id);
+    if (it == old_by_id.end()) {
+      out.push_back({DiffKind::kPuAdded, new_pu->path(), "", "",
+                     std::string(to_string(new_pu->kind()))});
+    } else {
+      diff_pu(*it->second, *new_pu, out);
+    }
+  }
+  for (const auto& [id, old_pu] : old_by_id) {
+    if (new_by_id.find(id) == new_by_id.end()) {
+      out.push_back({DiffKind::kPuRemoved, old_pu->path(), "",
+                     std::string(to_string(old_pu->kind())), ""});
+    }
+  }
+  return out;
+}
+
+std::string to_string(const std::vector<DiffEntry>& entries) {
+  if (entries.empty()) return "(no differences)\n";
+  std::string out;
+  for (const auto& e : entries) {
+    out += e.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pdl

@@ -1,0 +1,50 @@
+// Structural diff of two platform descriptions.
+//
+// Tools that maintain descriptor catalogs, apply runtime feedback
+// (cascabel/feedback.hpp) or hand-edit unfixed properties need to see
+// *what changed* between two PDL documents; this module reports
+// processing-unit and property-level differences keyed by PU id.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pdl/model.hpp"
+
+namespace pdl {
+
+enum class DiffKind {
+  kPuAdded,            ///< PU id present only in the new platform
+  kPuRemoved,          ///< PU id present only in the old platform
+  kPuKindChanged,      ///< Master/Hybrid/Worker class changed
+  kQuantityChanged,
+  kPropertyAdded,
+  kPropertyRemoved,
+  kPropertyChanged,    ///< value, unit, fixedness or xsi:type differs
+  kGroupsChanged,      ///< LogicGroupAttribute set differs
+  kMemoryRegionsChanged,
+  kInterconnectsChanged,
+};
+
+std::string_view to_string(DiffKind kind);
+
+struct DiffEntry {
+  DiffKind kind;
+  std::string pu_path;  ///< path of the affected PU (new side when added)
+  std::string subject;  ///< property/group/region name, "" for PU-level
+  std::string before;   ///< old value ("" when not applicable)
+  std::string after;    ///< new value ("" when not applicable)
+
+  std::string str() const;
+};
+
+/// Differences transforming `old_platform` into `new_platform`.
+/// PUs are matched by id; order changes are not reported.
+std::vector<DiffEntry> diff(const Platform& old_platform,
+                            const Platform& new_platform);
+
+/// Multi-line rendering ("(no differences)\n" when empty).
+std::string to_string(const std::vector<DiffEntry>& entries);
+
+}  // namespace pdl

@@ -1,0 +1,240 @@
+#include "pdl/parser.hpp"
+
+#include <memory>
+
+#include "util/string_util.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+
+namespace pdl {
+
+namespace {
+
+std::string where_of(const xml::Element& e) {
+  const auto pos = e.pos();
+  if (pos.line == 0) return e.name();
+  return "<" + e.name() + "> at " + std::to_string(pos.line) + ":" +
+         std::to_string(pos.column);
+}
+
+/// Parse a <Property> element (base or extension-typed).
+///
+/// Base form:      <Property fixed="true"><name>N</name><value>V</value></Property>
+/// Extension form: <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+///                   <ocl:name>N</ocl:name><ocl:value unit="kB">V</ocl:value>
+///                 </Property>
+/// Child names are matched by local name so any extension prefix works.
+Property parse_property(const xml::Element& e, Diagnostics& diags) {
+  Property prop;
+  prop.fixed = !util::iequals(e.attribute_or("fixed", "true"), "false");
+  prop.xsi_type = e.attribute_or("xsi:type", "");
+
+  const xml::Element* name_el = nullptr;
+  const xml::Element* value_el = nullptr;
+  for (const auto* child : e.child_elements()) {
+    if (child->local_name() == "name") {
+      name_el = child;
+    } else if (child->local_name() == "value") {
+      value_el = child;
+    } else {
+      add_warning(diags, "unknown element <" + child->name() + "> inside <Property>",
+                  where_of(*child));
+    }
+  }
+  if (name_el == nullptr) {
+    add_error(diags, "<Property> without <name>", where_of(e));
+  } else {
+    prop.name = name_el->text_content();
+  }
+  if (value_el != nullptr) {
+    prop.value = value_el->text_content();
+    prop.unit = value_el->attribute_or("unit", "");
+  }
+  return prop;
+}
+
+/// Parse a *Descriptor element (PUDescriptor / MRDescriptor / ICDescriptor):
+/// a sequence of <Property> children.
+Descriptor parse_descriptor(const xml::Element& e, Diagnostics& diags) {
+  Descriptor d;
+  for (const auto* child : e.child_elements()) {
+    if (child->local_name() == "Property") {
+      d.add(parse_property(*child, diags));
+    } else {
+      add_warning(diags,
+                  "unknown element <" + child->name() + "> inside <" + e.name() + ">",
+                  where_of(*child));
+    }
+  }
+  return d;
+}
+
+MemoryRegion parse_memory_region(const xml::Element& e, Diagnostics& diags) {
+  MemoryRegion mr;
+  mr.id = e.attribute_or("id", "");
+  if (mr.id.empty()) {
+    add_warning(diags, "<MemoryRegion> without id", where_of(e));
+  }
+  for (const auto* child : e.child_elements()) {
+    if (child->local_name() == "MRDescriptor") {
+      mr.descriptor = parse_descriptor(*child, diags);
+    } else if (child->local_name() == "Property") {
+      // Tolerate properties directly under MemoryRegion.
+      mr.descriptor.add(parse_property(*child, diags));
+    } else {
+      add_warning(diags,
+                  "unknown element <" + child->name() + "> inside <MemoryRegion>",
+                  where_of(*child));
+    }
+  }
+  return mr;
+}
+
+Interconnect parse_interconnect(const xml::Element& e, Diagnostics& diags) {
+  Interconnect ic;
+  ic.type = e.attribute_or("type", "");
+  ic.from = e.attribute_or("from", "");
+  ic.to = e.attribute_or("to", "");
+  ic.scheme = e.attribute_or("scheme", "");
+  if (ic.from.empty() || ic.to.empty()) {
+    add_error(diags, "<Interconnect> requires 'from' and 'to' PU ids", where_of(e));
+  }
+  for (const auto* child : e.child_elements()) {
+    if (child->local_name() == "ICDescriptor") {
+      ic.descriptor = parse_descriptor(*child, diags);
+    } else if (child->local_name() == "Property") {
+      ic.descriptor.add(parse_property(*child, diags));
+    } else {
+      add_warning(diags,
+                  "unknown element <" + child->name() + "> inside <Interconnect>",
+                  where_of(*child));
+    }
+  }
+  return ic;
+}
+
+std::unique_ptr<ProcessingUnit> parse_pu(const xml::Element& e, Diagnostics& diags);
+
+void parse_pu_children(const xml::Element& e, ProcessingUnit& pu, Diagnostics& diags) {
+  for (const auto* child : e.child_elements()) {
+    const auto local = child->local_name();
+    if (local == "PUDescriptor") {
+      pu.descriptor() = parse_descriptor(*child, diags);
+    } else if (local == "MemoryRegion") {
+      pu.memory_regions().push_back(parse_memory_region(*child, diags));
+    } else if (local == "Interconnect") {
+      pu.interconnects().push_back(parse_interconnect(*child, diags));
+    } else if (local == "LogicGroupAttribute") {
+      // Group names can appear as a `group` attribute or as text content;
+      // both are normalized to the PU's group list.
+      std::string group = child->attribute_or("group", "");
+      if (group.empty()) group = child->text_content();
+      if (group.empty()) {
+        add_warning(diags, "<LogicGroupAttribute> without group name", where_of(*child));
+      } else {
+        pu.logic_groups().push_back(group);
+      }
+    } else if (pu_kind_from_string(std::string(local))) {
+      auto sub = parse_pu(*child, diags);
+      if (sub) pu.add_child(std::move(sub));
+    } else {
+      add_warning(diags,
+                  "unknown element <" + child->name() + "> inside <" + e.name() + ">",
+                  where_of(*child));
+    }
+  }
+}
+
+std::unique_ptr<ProcessingUnit> parse_pu(const xml::Element& e, Diagnostics& diags) {
+  auto kind = pu_kind_from_string(std::string(e.local_name()));
+  if (!kind) {
+    add_error(diags, "expected Master/Hybrid/Worker, got <" + e.name() + ">",
+              where_of(e));
+    return nullptr;
+  }
+  std::string id = e.attribute_or("id", "");
+  if (id.empty()) {
+    add_error(diags, "<" + e.name() + "> without id", where_of(e));
+  }
+  int quantity = 1;
+  if (auto q = e.attribute("quantity")) {
+    auto parsed = util::parse_int(*q);
+    if (!parsed || *parsed < 1) {
+      add_error(diags, "invalid quantity '" + *q + "' on <" + e.name() + ">",
+                where_of(e));
+    } else {
+      quantity = static_cast<int>(*parsed);
+    }
+  }
+  auto pu = std::make_unique<ProcessingUnit>(*kind, std::move(id), quantity);
+  parse_pu_children(e, *pu, diags);
+  return pu;
+}
+
+}  // namespace
+
+util::Result<Platform> parse_platform(std::string_view xml_text, Diagnostics& diags) {
+  auto doc = xml::parse(xml_text);
+  if (!doc) return doc.error();
+  const xml::Element* root = doc.value().root();
+  if (root == nullptr) return util::Error{"empty PDL document"};
+
+  Platform platform;
+
+  // Collect namespace declarations from the root element.
+  for (const auto& attr : root->attributes()) {
+    if (util::starts_with(attr.name, "xmlns:")) {
+      platform.declare_namespace(attr.name.substr(6), attr.value);
+    } else if (attr.name == "xmlns") {
+      platform.declare_namespace("", attr.value);
+    }
+  }
+
+  if (root->local_name() == "Platform") {
+    platform.set_name(root->attribute_or("name", ""));
+    platform.set_schema_version(root->attribute_or("version", "1.0"));
+    for (const auto* child : root->child_elements()) {
+      if (child->local_name() == "Master") {
+        auto pu = parse_pu(*child, diags);
+        if (pu) platform.add_master(std::move(pu));
+      } else if (pu_kind_from_string(std::string(child->local_name()))) {
+        add_error(diags,
+                  "top-level PU must be a Master, got <" + child->name() + ">",
+                  where_of(*child));
+      } else {
+        add_warning(diags, "unknown element <" + child->name() + "> inside <Platform>",
+                    where_of(*child));
+      }
+    }
+  } else if (root->local_name() == "Master") {
+    // Paper Listing 1: a bare Master as document root.
+    auto pu = parse_pu(*root, diags);
+    if (pu) platform.add_master(std::move(pu));
+  } else {
+    return util::Error{"PDL root must be <Platform> or <Master>, got <" +
+                       std::string(root->name()) + ">"};
+  }
+
+  if (platform.masters().empty()) {
+    add_error(diags, "platform has no Master processing unit");
+  }
+  return platform;
+}
+
+util::Result<Platform> parse_platform_file(const std::string& path, Diagnostics& diags) {
+  auto contents = util::read_file(path);
+  if (!contents) return util::Error{"cannot open file", path};
+  return parse_platform(*contents, diags);
+}
+
+util::Result<Platform> parse_platform(std::string_view xml_text) {
+  Diagnostics diags;
+  return parse_platform(xml_text, diags);
+}
+
+util::Result<Platform> parse_platform_file(const std::string& path) {
+  Diagnostics diags;
+  return parse_platform_file(path, diags);
+}
+
+}  // namespace pdl

@@ -1,0 +1,31 @@
+// PDL document parsing: XML text -> pdl::Platform.
+//
+// Accepted document shapes (both appear in the paper):
+//   * a <Platform> root wrapping one or more <Master> elements, or
+//   * a bare <Master> root (paper Listing 1).
+//
+// Parse errors (malformed XML, wrong element structure) fail the Result;
+// recoverable issues (unknown elements, missing optional attributes) are
+// appended to the Diagnostics out-parameter so tools can surface them.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "pdl/diagnostics.hpp"
+#include "pdl/model.hpp"
+#include "util/result.hpp"
+
+namespace pdl {
+
+/// Parse a platform from PDL XML text.
+util::Result<Platform> parse_platform(std::string_view xml_text, Diagnostics& diags);
+
+/// Parse a platform from a PDL file.
+util::Result<Platform> parse_platform_file(const std::string& path, Diagnostics& diags);
+
+/// Convenience overloads that discard diagnostics.
+util::Result<Platform> parse_platform(std::string_view xml_text);
+util::Result<Platform> parse_platform_file(const std::string& path);
+
+}  // namespace pdl

@@ -1,0 +1,251 @@
+#include "pdl/query.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.hpp"
+
+namespace pdl {
+
+namespace {
+
+void collect(const ProcessingUnit& pu, std::vector<const ProcessingUnit*>& out) {
+  out.push_back(&pu);
+  for (const auto& child : pu.children()) {
+    collect(*child, out);
+  }
+}
+
+bool visit_pu(const ProcessingUnit& pu,
+              const std::function<bool(const ProcessingUnit&)>& visitor) {
+  if (!visitor(pu)) return false;
+  for (const auto& child : pu.children()) {
+    if (!visit_pu(*child, visitor)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<const ProcessingUnit*> all_pus(const Platform& platform) {
+  std::vector<const ProcessingUnit*> out;
+  for (const auto& master : platform.masters()) {
+    collect(*master, out);
+  }
+  return out;
+}
+
+std::vector<const ProcessingUnit*> subtree(const ProcessingUnit& pu) {
+  std::vector<const ProcessingUnit*> out;
+  collect(pu, out);
+  return out;
+}
+
+void visit(const Platform& platform,
+           const std::function<bool(const ProcessingUnit&)>& visitor) {
+  for (const auto& master : platform.masters()) {
+    if (!visit_pu(*master, visitor)) return;
+  }
+}
+
+const ProcessingUnit* find_pu(const Platform& platform, std::string_view id) {
+  const ProcessingUnit* found = nullptr;
+  visit(platform, [&](const ProcessingUnit& pu) {
+    if (pu.id() == id) {
+      found = &pu;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+std::vector<const ProcessingUnit*> pus_of_kind(const Platform& platform, PuKind kind) {
+  std::vector<const ProcessingUnit*> out;
+  visit(platform, [&](const ProcessingUnit& pu) {
+    if (pu.kind() == kind) out.push_back(&pu);
+    return true;
+  });
+  return out;
+}
+
+std::vector<const ProcessingUnit*> pus_with_property(const Platform& platform,
+                                                     std::string_view name,
+                                                     std::string_view value) {
+  std::vector<const ProcessingUnit*> out;
+  visit(platform, [&](const ProcessingUnit& pu) {
+    if (const Property* p = pu.descriptor().find(name);
+        p != nullptr && util::iequals(p->value, value)) {
+      out.push_back(&pu);
+    }
+    return true;
+  });
+  return out;
+}
+
+std::vector<const ProcessingUnit*> group_members(const Platform& platform,
+                                                 std::string_view group) {
+  std::vector<const ProcessingUnit*> out;
+  visit(platform, [&](const ProcessingUnit& pu) {
+    if (pu.in_group(group)) out.push_back(&pu);
+    return true;
+  });
+  return out;
+}
+
+std::vector<std::string> logic_groups(const Platform& platform) {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  visit(platform, [&](const ProcessingUnit& pu) {
+    for (const auto& g : pu.logic_groups()) {
+      if (seen.insert(g).second) out.push_back(g);
+    }
+    return true;
+  });
+  return out;
+}
+
+int worker_count(const ProcessingUnit& pu) {
+  int count = pu.kind() == PuKind::kWorker ? pu.quantity() : 0;
+  for (const auto& child : pu.children()) {
+    count += worker_count(*child);
+  }
+  return count;
+}
+
+int worker_count(const Platform& platform) {
+  int count = 0;
+  for (const auto& master : platform.masters()) {
+    count += worker_count(*master);
+  }
+  return count;
+}
+
+int total_pu_count(const Platform& platform) {
+  int count = 0;
+  visit(platform, [&](const ProcessingUnit& pu) {
+    count += pu.quantity();
+    return true;
+  });
+  return count;
+}
+
+int hierarchy_depth(const Platform& platform) {
+  int max_depth = -1;
+  visit(platform, [&](const ProcessingUnit& pu) {
+    max_depth = std::max(max_depth, pu.depth());
+    return true;
+  });
+  return max_depth;
+}
+
+const Property* resolve_property(const ProcessingUnit& pu, std::string_view name) {
+  for (const ProcessingUnit* node = &pu; node != nullptr; node = node->parent()) {
+    if (const Property* p = node->descriptor().find(name)) return p;
+  }
+  return nullptr;
+}
+
+std::string resolved_value(const ProcessingUnit& pu, std::string_view name) {
+  const Property* p = resolve_property(pu, name);
+  return p != nullptr ? p->value : std::string();
+}
+
+const Interconnect* find_interconnect(const Platform& platform, std::string_view from_id,
+                                      std::string_view to_id) {
+  const Interconnect* found = nullptr;
+  visit(platform, [&](const ProcessingUnit& pu) {
+    for (const auto& ic : pu.interconnects()) {
+      if ((ic.from == from_id && ic.to == to_id) ||
+          (ic.from == to_id && ic.to == from_id)) {
+        found = &ic;
+        return false;
+      }
+    }
+    return true;
+  });
+  return found;
+}
+
+std::vector<const Interconnect*> all_interconnects(const Platform& platform) {
+  std::vector<const Interconnect*> out;
+  visit(platform, [&](const ProcessingUnit& pu) {
+    for (const auto& ic : pu.interconnects()) out.push_back(&ic);
+    return true;
+  });
+  return out;
+}
+
+std::optional<double> data_path_seconds(const Platform& platform,
+                                        std::string_view from_id,
+                                        std::string_view to_id, std::size_t bytes,
+                                        double default_bandwidth_gbs,
+                                        double default_latency_us) {
+  if (from_id == to_id) return 0.0;
+  const auto path = data_path(platform, from_id, to_id);
+  if (path.empty()) return std::nullopt;
+  double seconds = 0.0;
+  for (const auto& hop : path) {
+    double bandwidth = default_bandwidth_gbs;
+    double latency = default_latency_us;
+    if (hop.interconnect != nullptr) {
+      if (auto bw = hop.interconnect->descriptor.get_double("BANDWIDTH_GB_S")) {
+        bandwidth = *bw;
+      }
+      if (auto lat = hop.interconnect->descriptor.get_double("LATENCY_US")) {
+        latency = *lat;
+      }
+    }
+    seconds += latency * 1e-6;
+    if (bandwidth > 0.0) {
+      seconds += static_cast<double>(bytes) / (bandwidth * 1e9);
+    }
+  }
+  return seconds;
+}
+
+std::vector<DataPathHop> data_path(const Platform& platform, std::string_view from_id,
+                                   std::string_view to_id) {
+  const ProcessingUnit* from = find_pu(platform, from_id);
+  const ProcessingUnit* to = find_pu(platform, to_id);
+  if (from == nullptr || to == nullptr) return {};
+  if (from == to) return {};
+
+  // A directly declared interconnect is the authoritative single-hop path.
+  if (const Interconnect* ic = find_interconnect(platform, from_id, to_id)) {
+    return {DataPathHop{from, to, ic}};
+  }
+
+  // Otherwise route along the control hierarchy through the lowest common
+  // ancestor, using declared interconnects for individual hops when present.
+  std::vector<const ProcessingUnit*> from_chain;
+  for (const ProcessingUnit* n = from; n != nullptr; n = n->parent()) {
+    from_chain.push_back(n);
+  }
+  const ProcessingUnit* lca = nullptr;
+  std::vector<const ProcessingUnit*> to_chain;
+  for (const ProcessingUnit* n = to; n != nullptr; n = n->parent()) {
+    auto it = std::find(from_chain.begin(), from_chain.end(), n);
+    if (it != from_chain.end()) {
+      lca = n;
+      break;
+    }
+    to_chain.push_back(n);
+  }
+  if (lca == nullptr) return {};  // different masters, no declared connection
+
+  std::vector<DataPathHop> path;
+  const auto hop = [&](const ProcessingUnit* a, const ProcessingUnit* b) {
+    path.push_back(DataPathHop{a, b, find_interconnect(platform, a->id(), b->id())});
+  };
+  for (const ProcessingUnit* n = from; n != lca; n = n->parent()) {
+    hop(n, n->parent());
+  }
+  for (auto it = to_chain.rbegin(); it != to_chain.rend(); ++it) {
+    const ProcessingUnit* parent = (*it)->parent();
+    hop(parent, *it);
+  }
+  return path;
+}
+
+}  // namespace pdl

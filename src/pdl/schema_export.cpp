@@ -1,0 +1,157 @@
+#include "pdl/schema_export.hpp"
+
+#include <sstream>
+
+namespace pdl {
+
+std::string export_xsd(const SchemaRegistry& registry) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  os << "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\"\n"
+        "           targetNamespace=\"urn:pdl:base\"\n"
+        "           xmlns:pdl=\"urn:pdl:base\"\n"
+        "           elementFormDefault=\"qualified\">\n\n";
+
+  // --- Base property type (open key/value, extensible via xsi:type) ------
+  os << "  <xs:complexType name=\"PropertyType\">\n"
+        "    <xs:annotation><xs:documentation>Extensible key/value platform\n"
+        "      property; subschema types derive from this (paper SectIII-B).\n"
+        "    </xs:documentation></xs:annotation>\n"
+        "    <xs:sequence>\n"
+        "      <xs:element name=\"name\" type=\"xs:string\"/>\n"
+        "      <xs:element name=\"value\">\n"
+        "        <xs:complexType>\n"
+        "          <xs:simpleContent>\n"
+        "            <xs:extension base=\"xs:string\">\n"
+        "              <xs:attribute name=\"unit\" type=\"xs:string\"/>\n"
+        "            </xs:extension>\n"
+        "          </xs:simpleContent>\n"
+        "        </xs:complexType>\n"
+        "      </xs:element>\n"
+        "    </xs:sequence>\n"
+        "    <xs:attribute name=\"fixed\" type=\"xs:boolean\" default=\"true\"/>\n"
+        "  </xs:complexType>\n\n";
+
+  // --- Descriptor containers -------------------------------------------------
+  for (const char* name : {"PUDescriptor", "MRDescriptor", "ICDescriptor"}) {
+    os << "  <xs:complexType name=\"" << name << "Type\">\n"
+       << "    <xs:sequence>\n"
+          "      <xs:element name=\"Property\" type=\"pdl:PropertyType\""
+          " minOccurs=\"0\" maxOccurs=\"unbounded\"/>\n"
+          "    </xs:sequence>\n"
+          "  </xs:complexType>\n\n";
+  }
+
+  // --- Communication entities -------------------------------------------------
+  os << "  <xs:complexType name=\"MemoryRegionType\">\n"
+        "    <xs:sequence>\n"
+        "      <xs:element name=\"MRDescriptor\" type=\"pdl:MRDescriptorType\""
+        " minOccurs=\"0\"/>\n"
+        "    </xs:sequence>\n"
+        "    <xs:attribute name=\"id\" type=\"xs:ID\" use=\"required\"/>\n"
+        "  </xs:complexType>\n\n";
+  os << "  <xs:complexType name=\"InterconnectType\">\n"
+        "    <xs:sequence>\n"
+        "      <xs:element name=\"ICDescriptor\" type=\"pdl:ICDescriptorType\""
+        " minOccurs=\"0\"/>\n"
+        "    </xs:sequence>\n"
+        "    <xs:attribute name=\"type\" type=\"xs:string\"/>\n"
+        "    <xs:attribute name=\"from\" type=\"xs:IDREF\" use=\"required\"/>\n"
+        "    <xs:attribute name=\"to\" type=\"xs:IDREF\" use=\"required\"/>\n"
+        "    <xs:attribute name=\"scheme\" type=\"xs:string\"/>\n"
+        "  </xs:complexType>\n\n";
+
+  // --- PU hierarchy (Master at the top, Hybrid inner, Worker leaf) --------
+  os << "  <xs:complexType name=\"PUCommonType\" abstract=\"true\">\n"
+        "    <xs:sequence>\n"
+        "      <xs:element name=\"PUDescriptor\" type=\"pdl:PUDescriptorType\""
+        " minOccurs=\"0\"/>\n"
+        "      <xs:element name=\"LogicGroupAttribute\" minOccurs=\"0\""
+        " maxOccurs=\"unbounded\">\n"
+        "        <xs:complexType>\n"
+        "          <xs:attribute name=\"group\" type=\"xs:string\"/>\n"
+        "        </xs:complexType>\n"
+        "      </xs:element>\n"
+        "      <xs:element name=\"MemoryRegion\" type=\"pdl:MemoryRegionType\""
+        " minOccurs=\"0\" maxOccurs=\"unbounded\"/>\n"
+        "    </xs:sequence>\n"
+        "    <xs:attribute name=\"id\" type=\"xs:ID\" use=\"required\"/>\n"
+        "    <xs:attribute name=\"quantity\" type=\"xs:positiveInteger\""
+        " default=\"1\"/>\n"
+        "  </xs:complexType>\n\n";
+
+  os << "  <xs:complexType name=\"WorkerType\">\n"
+        "    <xs:complexContent><xs:extension base=\"pdl:PUCommonType\"/>"
+        "</xs:complexContent>\n"
+        "  </xs:complexType>\n\n";
+  os << "  <xs:complexType name=\"HybridType\">\n"
+        "    <xs:complexContent>\n"
+        "      <xs:extension base=\"pdl:PUCommonType\">\n"
+        "        <xs:sequence>\n"
+        "          <xs:choice minOccurs=\"1\" maxOccurs=\"unbounded\">\n"
+        "            <xs:element name=\"Hybrid\" type=\"pdl:HybridType\"/>\n"
+        "            <xs:element name=\"Worker\" type=\"pdl:WorkerType\"/>\n"
+        "          </xs:choice>\n"
+        "          <xs:element name=\"Interconnect\""
+        " type=\"pdl:InterconnectType\" minOccurs=\"0\""
+        " maxOccurs=\"unbounded\"/>\n"
+        "        </xs:sequence>\n"
+        "      </xs:extension>\n"
+        "    </xs:complexContent>\n"
+        "  </xs:complexType>\n\n";
+  os << "  <xs:complexType name=\"MasterType\">\n"
+        "    <xs:complexContent>\n"
+        "      <xs:extension base=\"pdl:PUCommonType\">\n"
+        "        <xs:sequence>\n"
+        "          <xs:choice minOccurs=\"0\" maxOccurs=\"unbounded\">\n"
+        "            <xs:element name=\"Hybrid\" type=\"pdl:HybridType\"/>\n"
+        "            <xs:element name=\"Worker\" type=\"pdl:WorkerType\"/>\n"
+        "          </xs:choice>\n"
+        "          <xs:element name=\"Interconnect\""
+        " type=\"pdl:InterconnectType\" minOccurs=\"0\""
+        " maxOccurs=\"unbounded\"/>\n"
+        "        </xs:sequence>\n"
+        "      </xs:extension>\n"
+        "    </xs:complexContent>\n"
+        "  </xs:complexType>\n\n";
+
+  os << "  <xs:element name=\"Master\" type=\"pdl:MasterType\"/>\n";
+  os << "  <xs:element name=\"Platform\">\n"
+        "    <xs:complexType>\n"
+        "      <xs:sequence>\n"
+        "        <xs:element name=\"Master\" type=\"pdl:MasterType\""
+        " maxOccurs=\"unbounded\"/>\n"
+        "      </xs:sequence>\n"
+        "      <xs:attribute name=\"name\" type=\"xs:string\"/>\n"
+        "      <xs:attribute name=\"version\" type=\"xs:string\"/>\n"
+        "    </xs:complexType>\n"
+        "  </xs:element>\n\n";
+
+  // --- Subschemas: derived property types with their vocabulary -----------
+  for (const Subschema& schema : registry.subschemas()) {
+    if (schema.type_name.empty()) continue;  // base vocabulary, handled above
+    const auto colon = schema.type_name.find(':');
+    const std::string local = colon == std::string::npos
+                                  ? schema.type_name
+                                  : schema.type_name.substr(colon + 1);
+    os << "  <!-- subschema '" << schema.prefix << "' (" << schema.uri << ") v"
+       << schema.version_string() << " -->\n";
+    os << "  <xs:complexType name=\"" << local << "\">\n"
+       << "    <xs:annotation><xs:documentation>\n";
+    for (const auto& def : schema.properties) {
+      os << "      " << def.name << " : " << to_string(def.kind)
+         << (def.unit_required ? " (unit required)" : "") << " — " << def.doc
+         << "\n";
+    }
+    os << "    </xs:documentation></xs:annotation>\n"
+       << "    <xs:complexContent>\n"
+          "      <xs:extension base=\"pdl:PropertyType\"/>\n"
+          "    </xs:complexContent>\n"
+          "  </xs:complexType>\n\n";
+  }
+
+  os << "</xs:schema>\n";
+  return os.str();
+}
+
+}  // namespace pdl

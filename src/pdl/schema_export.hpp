@@ -1,0 +1,21 @@
+// XSD generation (paper §III-B: "Starting from the hierarchical machine
+// model, we derive an XML Schema Definition (XSD) capable of being
+// extended with entity descriptors ...").
+//
+// Emits an XML Schema document describing the base PDL element structure
+// (Platform/Master/Hybrid/Worker, PUDescriptor/MRDescriptor/ICDescriptor,
+// Property with fixed + xsi:type) plus, for every registered subschema,
+// a derived property type with its documented vocabulary and version —
+// the machine-readable contract other tools can validate against.
+#pragma once
+
+#include <string>
+
+#include "pdl/extension.hpp"
+
+namespace pdl {
+
+/// Render the XSD for the base schema and all subschemas in `registry`.
+std::string export_xsd(const SchemaRegistry& registry);
+
+}  // namespace pdl

@@ -1,0 +1,108 @@
+#include "pdl/serializer.hpp"
+
+#include "xml/writer.hpp"
+
+namespace pdl {
+
+namespace {
+
+void write_property(xml::Element& parent, const Property& prop) {
+  xml::Element* e = parent.append_element("Property");
+  e->set_attribute("fixed", prop.fixed ? "true" : "false");
+
+  // Extension-typed properties carry their subschema prefix on the
+  // name/value children, matching paper Listing 2.
+  std::string prefix;
+  if (!prop.xsi_type.empty()) {
+    e->set_attribute("xsi:type", prop.xsi_type);
+    const auto colon = prop.xsi_type.find(':');
+    if (colon != std::string::npos) prefix = prop.xsi_type.substr(0, colon) + ":";
+  }
+  e->append_element(prefix + "name")->append_text(prop.name);
+  xml::Element* value_el = e->append_element(prefix + "value");
+  if (!prop.unit.empty()) value_el->set_attribute("unit", prop.unit);
+  value_el->append_text(prop.value);
+}
+
+void write_descriptor(xml::Element& parent, const Descriptor& descriptor,
+                      const std::string& element_name) {
+  if (descriptor.empty()) return;
+  xml::Element* e = parent.append_element(element_name);
+  for (const auto& prop : descriptor.properties()) {
+    write_property(*e, prop);
+  }
+}
+
+/// Write a PU's attributes and content into an existing element (which may
+/// be the document root for the bare-Master form).
+void fill_pu(xml::Element& e, const ProcessingUnit& pu) {
+  e.set_attribute("id", pu.id());
+  e.set_attribute("quantity", std::to_string(pu.quantity()));
+  write_descriptor(e, pu.descriptor(), "PUDescriptor");
+  for (const auto& group : pu.logic_groups()) {
+    e.append_element("LogicGroupAttribute")->set_attribute("group", group);
+  }
+  for (const auto& mr : pu.memory_regions()) {
+    xml::Element* m = e.append_element("MemoryRegion");
+    m->set_attribute("id", mr.id);
+    write_descriptor(*m, mr.descriptor, "MRDescriptor");
+  }
+  for (const auto& child : pu.children()) {
+    xml::Element* c = e.append_element(std::string(to_string(child->kind())));
+    fill_pu(*c, *child);
+  }
+  // Interconnects last, matching the paper's listing order.
+  for (const auto& ic : pu.interconnects()) {
+    xml::Element* i = e.append_element("Interconnect");
+    i->set_attribute("type", ic.type);
+    i->set_attribute("from", ic.from);
+    i->set_attribute("to", ic.to);
+    i->set_attribute("scheme", ic.scheme);
+    write_descriptor(*i, ic.descriptor, "ICDescriptor");
+  }
+}
+
+void write_namespaces(xml::Element& root, const Platform& platform) {
+  bool has_xsi = false;
+  for (const auto& [prefix, uri] : platform.namespaces()) {
+    root.set_attribute(prefix.empty() ? "xmlns" : "xmlns:" + prefix, uri);
+    if (prefix == "xsi") has_xsi = true;
+  }
+  // Extension-typed properties need xsi; declare it unconditionally so
+  // generated documents are always self-consistent.
+  if (!has_xsi) {
+    root.set_attribute("xmlns:xsi", "http://www.w3.org/2001/XMLSchema-instance");
+  }
+}
+
+}  // namespace
+
+xml::Document to_xml(const Platform& platform, const SerializeOptions& options) {
+  xml::Document doc;
+  const bool bare = options.bare_master_root && platform.masters().size() == 1 &&
+                    platform.name().empty();
+  if (bare) {
+    xml::Element* root = doc.create_root("Master");
+    write_namespaces(*root, platform);
+    fill_pu(*root, *platform.masters().front());
+    return doc;
+  }
+
+  xml::Element* root = doc.create_root("Platform");
+  if (!platform.name().empty()) root->set_attribute("name", platform.name());
+  root->set_attribute("version", platform.schema_version());
+  write_namespaces(*root, platform);
+  for (const auto& master : platform.masters()) {
+    xml::Element* m = root->append_element("Master");
+    fill_pu(*m, *master);
+  }
+  return doc;
+}
+
+std::string serialize(const Platform& platform, const SerializeOptions& options) {
+  xml::WriteOptions wo;
+  wo.pretty = options.pretty;
+  return xml::write(to_xml(platform, options), wo);
+}
+
+}  // namespace pdl

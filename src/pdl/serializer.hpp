@@ -1,0 +1,27 @@
+// PDL serialization: pdl::Platform -> XML text.
+//
+// Round-trips with pdl/parser.hpp: serialize(parse(x)) is structurally equal
+// to x for every valid document (tested in tests/pdl_roundtrip_test.cpp).
+#pragma once
+
+#include <string>
+
+#include "pdl/model.hpp"
+#include "xml/dom.hpp"
+
+namespace pdl {
+
+struct SerializeOptions {
+  /// Emit a bare <Master> root when the platform has exactly one master and
+  /// no name (matching paper Listing 1); otherwise a <Platform> wrapper.
+  bool bare_master_root = false;
+  bool pretty = true;
+};
+
+/// Serialize to XML text.
+std::string serialize(const Platform& platform, const SerializeOptions& options = {});
+
+/// Build the DOM without rendering (used by tooling that post-processes).
+xml::Document to_xml(const Platform& platform, const SerializeOptions& options = {});
+
+}  // namespace pdl

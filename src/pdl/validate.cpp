@@ -1,0 +1,155 @@
+#include "pdl/validate.hpp"
+
+#include <functional>
+#include <set>
+#include <string>
+
+namespace pdl {
+
+namespace {
+
+struct Checker {
+  const Platform& platform;
+  Diagnostics& diags;
+  std::set<std::string> pu_ids;
+  std::set<std::string> mr_ids;
+
+  void check_descriptor(const Descriptor& d, const std::string& where) {
+    std::set<std::string> seen;
+    for (const auto& p : d.properties()) {
+      if (p.name.empty()) {
+        add_warning(diags, "property with empty name (V11)", where);
+        continue;
+      }
+      if (!seen.insert(p.name).second) {
+        add_warning(diags, "duplicate property '" + p.name + "' (V11)", where);
+      }
+      if (p.fixed && p.value.empty()) {
+        add_warning(diags, "fixed property '" + p.name + "' has no value (V12)", where);
+      }
+    }
+  }
+
+  void check_pu(const ProcessingUnit& pu) {
+    const std::string where = pu.path();
+
+    // V6: unique ids.
+    if (!pu.id().empty() && !pu_ids.insert(pu.id()).second) {
+      add_error(diags, "duplicate PU id '" + pu.id() + "' (V6)", where);
+    }
+    if (pu.id().empty()) {
+      add_error(diags, "PU without id (V6)", where);
+    }
+
+    // V7: quantity.
+    if (pu.quantity() < 1) {
+      add_error(diags, "PU quantity must be >= 1 (V7)", where);
+    }
+
+    // V2/V3/V5: position rules per kind.
+    const bool top_level = pu.parent() == nullptr;
+    switch (pu.kind()) {
+      case PuKind::kMaster:
+        if (!top_level) {
+          add_error(diags, "Master '" + pu.id() + "' below the top level (V2)", where);
+        }
+        break;
+      case PuKind::kWorker:
+        if (top_level) {
+          add_error(diags, "Worker '" + pu.id() + "' is uncontrolled at top level (V4)",
+                    where);
+        }
+        if (!pu.is_leaf()) {
+          add_error(diags, "Worker '" + pu.id() + "' controls other PUs (V3)", where);
+        }
+        break;
+      case PuKind::kHybrid:
+        if (top_level) {
+          add_error(diags, "Hybrid '" + pu.id() + "' is uncontrolled at top level (V5)",
+                    where);
+        }
+        if (pu.is_leaf()) {
+          add_warning(diags,
+                      "Hybrid '" + pu.id() + "' controls nothing; use Worker instead (V5)",
+                      where);
+        }
+        break;
+    }
+
+    check_descriptor(pu.descriptor(), where);
+
+    // V10: memory region id uniqueness.
+    for (const auto& mr : pu.memory_regions()) {
+      if (!mr.id.empty() && !mr_ids.insert(mr.id).second) {
+        add_warning(diags, "duplicate MemoryRegion id '" + mr.id + "' (V10)", where);
+      }
+      check_descriptor(mr.descriptor, where + "/MR:" + mr.id);
+    }
+
+    for (const auto& child : pu.children()) {
+      check_pu(*child);
+    }
+  }
+
+  /// Interconnects are checked after the id set is complete (V8/V9).
+  void check_interconnects(const ProcessingUnit& pu) {
+    const std::string where = pu.path();
+    for (const auto& ic : pu.interconnects()) {
+      for (const std::string* endpoint : {&ic.from, &ic.to}) {
+        if (endpoint->empty() || pu_ids.count(*endpoint) == 0) {
+          add_error(diags,
+                    "interconnect endpoint '" + *endpoint + "' is not a known PU id (V8)",
+                    where);
+        }
+      }
+      // V9: the declaring PU should be involved, directly or via a descendant.
+      const auto in_scope = [&](const std::string& id) {
+        std::function<bool(const ProcessingUnit&)> walk =
+            [&](const ProcessingUnit& node) {
+              if (node.id() == id) return true;
+              for (const auto& c : node.children()) {
+                if (walk(*c)) return true;
+              }
+              return false;
+            };
+        return walk(pu);
+      };
+      if (!ic.from.empty() && !ic.to.empty() && !in_scope(ic.from) && !in_scope(ic.to)) {
+        add_warning(diags,
+                    "interconnect " + ic.from + "->" + ic.to +
+                        " does not involve the declaring PU's scope (V9)",
+                    where);
+      }
+      check_descriptor(ic.descriptor, where + "/IC:" + ic.from + "->" + ic.to);
+    }
+    for (const auto& child : pu.children()) {
+      check_interconnects(*child);
+    }
+  }
+};
+
+}  // namespace
+
+bool validate(const Platform& platform, Diagnostics& diags) {
+  const std::size_t errors_before = count_severity(diags, Severity::kError);
+  Checker checker{platform, diags, {}, {}};
+
+  // V1.
+  if (platform.masters().empty()) {
+    add_error(diags, "platform has no Master processing unit (V1)");
+  }
+  for (const auto& master : platform.masters()) {
+    checker.check_pu(*master);
+  }
+  for (const auto& master : platform.masters()) {
+    checker.check_interconnects(*master);
+  }
+  return count_severity(diags, Severity::kError) == errors_before;
+}
+
+bool is_valid(const Platform& platform) {
+  Diagnostics diags;
+  return validate(platform, diags);
+}
+
+}  // namespace pdl

@@ -1,0 +1,133 @@
+#include "solvers/tiled_cholesky.hpp"
+
+#include <atomic>
+
+#include "kernels/cholesky.hpp"
+
+namespace solvers {
+
+using starvm::Access;
+using starvm::BufferView;
+using starvm::Codelet;
+using starvm::DataHandle;
+using starvm::DeviceKind;
+using starvm::ExecContext;
+using starvm::Implementation;
+using starvm::TaskDesc;
+
+pdl::util::Result<CholeskyStats> tiled_cholesky(starvm::Engine& engine, double* a,
+                                                std::size_t n, int tiles) {
+  if (tiles < 1 || n == 0 || n % static_cast<std::size_t>(tiles) != 0) {
+    return pdl::util::Error{"tiled_cholesky: n must be a positive multiple of tiles"};
+  }
+
+  DataHandle* matrix = engine.register_matrix(a, n, n, 0, "cholesky_A");
+  std::vector<DataHandle*> grid = engine.partition_tiles(matrix, tiles, tiles);
+  const auto tile = [&](int r, int c) {
+    return grid[static_cast<std::size_t>(r) * static_cast<std::size_t>(tiles) +
+                static_cast<std::size_t>(c)];
+  };
+
+  std::atomic<bool> spd_ok{true};
+
+  // The four tile codelets. Both device classes get the same host kernel
+  // (accelerators are simulated); geometry and strides come from the
+  // handles, so the kernels work on any tile size.
+  Codelet potrf_cl;
+  potrf_cl.name = "potrf";
+  const auto potrf_fn = [&spd_ok](const ExecContext& ctx) {
+    const DataHandle& kk = ctx.handle(0);
+    if (!kernels::potrf(kk.rows(), ctx.buffer(0), kk.ld())) {
+      spd_ok.store(false);
+    }
+  };
+  potrf_cl.impls = {{DeviceKind::kCpu, potrf_fn}, {DeviceKind::kAccelerator, potrf_fn}};
+  potrf_cl.flops = [](const std::vector<BufferView>& buffers) {
+    return kernels::potrf_flops(buffers[0].handle->rows());
+  };
+
+  Codelet trsm_cl;
+  trsm_cl.name = "trsm";
+  const auto trsm_fn = [](const ExecContext& ctx) {
+    const DataHandle& kk = ctx.handle(0);
+    const DataHandle& ik = ctx.handle(1);
+    kernels::trsm_rlt(ik.rows(), kk.rows(), ctx.buffer(0), kk.ld(), ctx.buffer(1),
+                      ik.ld());
+  };
+  trsm_cl.impls = {{DeviceKind::kCpu, trsm_fn}, {DeviceKind::kAccelerator, trsm_fn}};
+  trsm_cl.flops = [](const std::vector<BufferView>& buffers) {
+    return kernels::trsm_flops(buffers[1].handle->rows(),
+                               buffers[0].handle->rows());
+  };
+
+  Codelet syrk_cl;
+  syrk_cl.name = "syrk";
+  const auto syrk_fn = [](const ExecContext& ctx) {
+    const DataHandle& ik = ctx.handle(0);
+    const DataHandle& ii = ctx.handle(1);
+    kernels::syrk_ln(ii.rows(), ik.cols(), ctx.buffer(0), ik.ld(), ctx.buffer(1),
+                     ii.ld());
+  };
+  syrk_cl.impls = {{DeviceKind::kCpu, syrk_fn}, {DeviceKind::kAccelerator, syrk_fn}};
+  syrk_cl.flops = [](const std::vector<BufferView>& buffers) {
+    return kernels::syrk_flops(buffers[1].handle->rows(),
+                               buffers[0].handle->cols());
+  };
+
+  Codelet gemm_cl;
+  gemm_cl.name = "gemm_nt";
+  const auto gemm_fn = [](const ExecContext& ctx) {
+    const DataHandle& ik = ctx.handle(0);
+    const DataHandle& jk = ctx.handle(1);
+    const DataHandle& ij = ctx.handle(2);
+    kernels::gemm_nt_minus(ij.rows(), ij.cols(), ik.cols(), ctx.buffer(0), ik.ld(),
+                           ctx.buffer(1), jk.ld(), ctx.buffer(2), ij.ld());
+  };
+  gemm_cl.impls = {{DeviceKind::kCpu, gemm_fn}, {DeviceKind::kAccelerator, gemm_fn}};
+  gemm_cl.flops = [](const std::vector<BufferView>& buffers) {
+    return kernels::gemm_flops_nt(buffers[2].handle->rows(),
+                                  buffers[2].handle->cols(),
+                                  buffers[0].handle->cols());
+  };
+
+  CholeskyStats stats;
+  const auto submit = [&](const Codelet& codelet, std::vector<BufferView> buffers,
+                          std::string label) {
+    double flops = codelet.flops ? codelet.flops(buffers) : 0.0;
+    engine.submit(TaskDesc{&codelet, std::move(buffers), std::move(label)});
+    ++stats.tasks_submitted;
+    stats.total_flops += flops;
+  };
+
+  // Right-looking tiled Cholesky; the DAG comes from the access modes.
+  for (int k = 0; k < tiles; ++k) {
+    submit(potrf_cl, {{tile(k, k), Access::kReadWrite}},
+           "potrf(" + std::to_string(k) + ")");
+    for (int i = k + 1; i < tiles; ++i) {
+      submit(trsm_cl,
+             {{tile(k, k), Access::kRead}, {tile(i, k), Access::kReadWrite}},
+             "trsm(" + std::to_string(i) + "," + std::to_string(k) + ")");
+    }
+    for (int i = k + 1; i < tiles; ++i) {
+      submit(syrk_cl,
+             {{tile(i, k), Access::kRead}, {tile(i, i), Access::kReadWrite}},
+             "syrk(" + std::to_string(i) + "," + std::to_string(k) + ")");
+      for (int j = k + 1; j < i; ++j) {
+        submit(gemm_cl,
+               {{tile(i, k), Access::kRead},
+                {tile(j, k), Access::kRead},
+                {tile(i, j), Access::kReadWrite}},
+               "gemm(" + std::to_string(i) + "," + std::to_string(j) + ")");
+      }
+    }
+  }
+
+  engine.wait_all();
+  engine.unpartition(matrix);
+  if (!spd_ok.load()) {
+    return pdl::util::Error{"matrix is not positive definite"};
+  }
+  return stats;
+}
+
+}  // namespace solvers

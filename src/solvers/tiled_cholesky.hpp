@@ -1,0 +1,36 @@
+// Tiled Cholesky factorization on the starvm runtime — the classic
+// task-DAG workload of StarPU-class systems, and the dependency-heavy
+// counterpart to the case study's embarrassingly parallel DGEMM.
+//
+// The right-looking algorithm over a T x T tile grid:
+//   for k in 0..T-1:
+//     POTRF(A[k][k])                                  RW kk
+//     for i in k+1..T-1:  TRSM(A[k][k], A[i][k])      R kk, RW ik
+//     for i in k+1..T-1:  SYRK(A[i][k], A[i][i])      R ik, RW ii
+//       for j in k+1..i-1: GEMM(A[i][k], A[j][k], A[i][j])
+//
+// No explicit dependencies are stated: the engine derives the DAG from the
+// access modes — exactly the property the paper's task annotations feed.
+#pragma once
+
+#include <cstddef>
+
+#include "starvm/engine.hpp"
+#include "util/result.hpp"
+
+namespace solvers {
+
+struct CholeskyStats {
+  int tasks_submitted = 0;
+  double total_flops = 0.0;
+};
+
+/// Factor the SPD row-major n x n matrix `a` in place (lower triangle
+/// becomes L) using `tiles` x `tiles` blocks submitted to `engine`.
+/// Requires tiles >= 1 and n divisible by tiles. Blocks until done.
+/// Fails when a diagonal tile is not positive definite (hybrid mode; in
+/// pure simulation nothing executes, so positive-definiteness is unchecked).
+pdl::util::Result<CholeskyStats> tiled_cholesky(starvm::Engine& engine, double* a,
+                                                std::size_t n, int tiles);
+
+}  // namespace solvers

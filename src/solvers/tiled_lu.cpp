@@ -1,0 +1,131 @@
+#include "solvers/tiled_lu.hpp"
+
+#include <atomic>
+
+#include "kernels/lu.hpp"
+
+namespace solvers {
+
+using starvm::Access;
+using starvm::BufferView;
+using starvm::Codelet;
+using starvm::DataHandle;
+using starvm::DeviceKind;
+using starvm::ExecContext;
+using starvm::TaskDesc;
+
+pdl::util::Result<LuStats> tiled_lu(starvm::Engine& engine, double* a,
+                                    std::size_t n, int tiles) {
+  if (tiles < 1 || n == 0 || n % static_cast<std::size_t>(tiles) != 0) {
+    return pdl::util::Error{"tiled_lu: n must be a positive multiple of tiles"};
+  }
+
+  DataHandle* matrix = engine.register_matrix(a, n, n, 0, "lu_A");
+  std::vector<DataHandle*> grid = engine.partition_tiles(matrix, tiles, tiles);
+  const auto tile = [&](int r, int c) {
+    return grid[static_cast<std::size_t>(r) * static_cast<std::size_t>(tiles) +
+                static_cast<std::size_t>(c)];
+  };
+
+  std::atomic<bool> pivot_ok{true};
+
+  Codelet getrf_cl;
+  getrf_cl.name = "getrf";
+  const auto getrf_fn = [&pivot_ok](const ExecContext& ctx) {
+    const DataHandle& kk = ctx.handle(0);
+    if (!kernels::getrf_nopiv(kk.rows(), ctx.buffer(0), kk.ld())) {
+      pivot_ok.store(false);
+    }
+  };
+  getrf_cl.impls = {{DeviceKind::kCpu, getrf_fn}, {DeviceKind::kAccelerator, getrf_fn}};
+  getrf_cl.flops = [](const std::vector<BufferView>& buffers) {
+    return kernels::getrf_flops(buffers[0].handle->rows());
+  };
+
+  Codelet trsm_l_cl;
+  trsm_l_cl.name = "trsm_l";
+  const auto trsm_l_fn = [](const ExecContext& ctx) {
+    const DataHandle& kk = ctx.handle(0);
+    const DataHandle& kj = ctx.handle(1);
+    kernels::trsm_lln_unit(kk.rows(), kj.cols(), ctx.buffer(0), kk.ld(),
+                           ctx.buffer(1), kj.ld());
+  };
+  trsm_l_cl.impls = {{DeviceKind::kCpu, trsm_l_fn},
+                     {DeviceKind::kAccelerator, trsm_l_fn}};
+  trsm_l_cl.flops = [](const std::vector<BufferView>& buffers) {
+    const auto& kk = *buffers[0].handle;
+    const auto& kj = *buffers[1].handle;
+    return static_cast<double>(kk.rows()) * static_cast<double>(kk.rows()) *
+           static_cast<double>(kj.cols());
+  };
+
+  Codelet trsm_u_cl;
+  trsm_u_cl.name = "trsm_u";
+  const auto trsm_u_fn = [](const ExecContext& ctx) {
+    const DataHandle& kk = ctx.handle(0);
+    const DataHandle& ik = ctx.handle(1);
+    kernels::trsm_run(ik.rows(), kk.rows(), ctx.buffer(0), kk.ld(), ctx.buffer(1),
+                      ik.ld());
+  };
+  trsm_u_cl.impls = {{DeviceKind::kCpu, trsm_u_fn},
+                     {DeviceKind::kAccelerator, trsm_u_fn}};
+  trsm_u_cl.flops = trsm_l_cl.flops;
+
+  Codelet gemm_cl;
+  gemm_cl.name = "gemm_nn";
+  const auto gemm_fn = [](const ExecContext& ctx) {
+    const DataHandle& ik = ctx.handle(0);
+    const DataHandle& kj = ctx.handle(1);
+    const DataHandle& ij = ctx.handle(2);
+    kernels::gemm_nn_minus(ij.rows(), ij.cols(), ik.cols(), ctx.buffer(0), ik.ld(),
+                           ctx.buffer(1), kj.ld(), ctx.buffer(2), ij.ld());
+  };
+  gemm_cl.impls = {{DeviceKind::kCpu, gemm_fn}, {DeviceKind::kAccelerator, gemm_fn}};
+  gemm_cl.flops = [](const std::vector<BufferView>& buffers) {
+    return kernels::gemm_flops_nn(buffers[2].handle->rows(),
+                                  buffers[2].handle->cols(),
+                                  buffers[0].handle->cols());
+  };
+
+  LuStats stats;
+  const auto submit = [&](const Codelet& codelet, std::vector<BufferView> buffers,
+                          std::string label) {
+    const double flops = codelet.flops ? codelet.flops(buffers) : 0.0;
+    engine.submit(TaskDesc{&codelet, std::move(buffers), std::move(label)});
+    ++stats.tasks_submitted;
+    stats.total_flops += flops;
+  };
+
+  for (int k = 0; k < tiles; ++k) {
+    submit(getrf_cl, {{tile(k, k), Access::kReadWrite}},
+           "getrf(" + std::to_string(k) + ")");
+    for (int j = k + 1; j < tiles; ++j) {
+      submit(trsm_l_cl,
+             {{tile(k, k), Access::kRead}, {tile(k, j), Access::kReadWrite}},
+             "trsmL(" + std::to_string(k) + "," + std::to_string(j) + ")");
+    }
+    for (int i = k + 1; i < tiles; ++i) {
+      submit(trsm_u_cl,
+             {{tile(k, k), Access::kRead}, {tile(i, k), Access::kReadWrite}},
+             "trsmU(" + std::to_string(i) + "," + std::to_string(k) + ")");
+    }
+    for (int i = k + 1; i < tiles; ++i) {
+      for (int j = k + 1; j < tiles; ++j) {
+        submit(gemm_cl,
+               {{tile(i, k), Access::kRead},
+                {tile(k, j), Access::kRead},
+                {tile(i, j), Access::kReadWrite}},
+               "gemm(" + std::to_string(i) + "," + std::to_string(j) + ")");
+      }
+    }
+  }
+
+  engine.wait_all();
+  engine.unpartition(matrix);
+  if (!pivot_ok.load()) {
+    return pdl::util::Error{"zero pivot encountered (matrix needs pivoting)"};
+  }
+  return stats;
+}
+
+}  // namespace solvers

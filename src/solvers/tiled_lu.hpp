@@ -1,0 +1,33 @@
+// Tiled LU factorization (no pivoting) on the starvm runtime — the second
+// DAG workload next to Cholesky, with a denser trailing-update graph
+// (every (i, j) tile updated per step, not just the lower triangle).
+//
+//   for k in 0..T-1:
+//     GETRF(A[k][k])                                   RW kk
+//     for j > k: TRSM_L(A[k][k], A[k][j])              R kk, RW kj
+//     for i > k: TRSM_U(A[k][k], A[i][k])              R kk, RW ik
+//     for i > k, j > k: GEMM(A[i][k], A[k][j], A[i][j])
+//
+// Suitable for diagonally dominant matrices (no pivoting); the engine
+// derives all ordering from access modes.
+#pragma once
+
+#include <cstddef>
+
+#include "starvm/engine.hpp"
+#include "util/result.hpp"
+
+namespace solvers {
+
+struct LuStats {
+  int tasks_submitted = 0;
+  double total_flops = 0.0;
+};
+
+/// Factor the row-major n x n matrix `a` in place (packed L\U) using
+/// `tiles` x `tiles` blocks on `engine`. Requires n divisible by tiles.
+/// Fails on a zero pivot (hybrid mode; unchecked in pure simulation).
+pdl::util::Result<LuStats> tiled_lu(starvm::Engine& engine, double* a,
+                                    std::size_t n, int tiles);
+
+}  // namespace solvers

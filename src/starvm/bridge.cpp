@@ -1,0 +1,128 @@
+#include "starvm/bridge.hpp"
+
+#include <algorithm>
+
+#include "pdl/query.hpp"
+#include "pdl/well_known.hpp"
+#include "util/string_util.hpp"
+
+namespace starvm {
+
+namespace {
+
+/// MEASURED_GFLOPS (runtime feedback, see cascabel/feedback.hpp) beats
+/// SUSTAINED_GFLOPS beats a fraction of PEAK_GFLOPS beats the option
+/// default. Inherited upward so rates can be declared once on the
+/// controller.
+double sustained_rate(const pdl::ProcessingUnit& pu, double peak_fraction,
+                      double fallback) {
+  if (const pdl::Property* p =
+          pdl::resolve_property(pu, pdl::props::kMeasuredGflops)) {
+    if (auto v = p->as_double()) return *v;
+  }
+  if (const pdl::Property* p =
+          pdl::resolve_property(pu, pdl::props::kSustainedGflops)) {
+    if (auto v = p->as_double()) return *v;
+  }
+  if (const pdl::Property* p = pdl::resolve_property(pu, pdl::props::kPeakGflops)) {
+    if (auto v = p->as_double()) return *v * peak_fraction;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+pdl::util::Result<EngineConfig> engine_config_from_platform(
+    const pdl::Platform& platform, const BridgeOptions& options) {
+  if (platform.masters().empty()) {
+    return pdl::util::Error{"platform has no Master PU"};
+  }
+
+  EngineConfig config;
+  config.scheduler = options.scheduler;
+  config.mode = options.mode;
+
+  std::vector<DeviceSpec> cpus;
+  std::vector<DeviceSpec> accelerators;
+
+  // Workers execute tasks; Hybrid PUs "act as master and worker at the
+  // same time" (paper §III-A), so they contribute execution capacity too.
+  std::vector<const pdl::ProcessingUnit*> executing_pus =
+      pdl::pus_of_kind(platform, pdl::PuKind::kWorker);
+  for (const pdl::ProcessingUnit* hybrid :
+       pdl::pus_of_kind(platform, pdl::PuKind::kHybrid)) {
+    executing_pus.push_back(hybrid);
+  }
+
+  for (const pdl::ProcessingUnit* pu : executing_pus) {
+    const std::string arch = pdl::resolved_value(*pu, pdl::props::kArchitecture);
+    if (pdl::util::iequals(arch, "x86_core") || pdl::util::iequals(arch, "x86") ||
+        pdl::util::iequals(arch, "cpu_core") || pdl::util::iequals(arch, "ppe") ||
+        arch.empty()) {
+      DeviceSpec spec;
+      spec.kind = DeviceKind::kCpu;
+      spec.sustained_gflops = sustained_rate(*pu, 0.9, options.default_cpu_gflops);
+      for (int i = 0; i < pu->quantity(); ++i) {
+        spec.name = pu->id() + "#" + std::to_string(i);
+        cpus.push_back(spec);
+      }
+    } else {
+      // Everything non-CPU is a simulated accelerator (gpu, spe, ...).
+      DeviceSpec spec;
+      spec.kind = DeviceKind::kAccelerator;
+      spec.sustained_gflops = sustained_rate(*pu, 0.65, options.default_accel_gflops);
+
+      // Device memory capacity from the worker's MemoryRegion (SIZE).
+      for (const auto& mr : pu->memory_regions()) {
+        if (const pdl::Property* size = mr.descriptor.find(pdl::props::kSize)) {
+          if (auto bytes = size->as_bytes()) {
+            spec.memory_bytes = static_cast<std::size_t>(*bytes);
+            break;
+          }
+        }
+      }
+
+      // Link parameters from the Interconnect reaching this worker.
+      if (const pdl::ProcessingUnit* controller = pu->parent()) {
+        if (const pdl::Interconnect* ic =
+                pdl::find_interconnect(platform, controller->id(), pu->id())) {
+          if (auto bw = ic->descriptor.get_double(pdl::props::kIcBandwidthGBs)) {
+            spec.link_bandwidth_gbs = *bw;
+          }
+          if (auto lat = ic->descriptor.get_double(pdl::props::kIcLatencyUs)) {
+            spec.link_latency_us = *lat;
+          }
+        }
+      }
+      for (int i = 0; i < pu->quantity(); ++i) {
+        spec.name = pu->quantity() == 1 ? pu->id()
+                                        : pu->id() + "#" + std::to_string(i);
+        accelerators.push_back(spec);
+      }
+    }
+  }
+
+  if (cpus.empty() && accelerators.empty()) {
+    // The "single" configuration: the Master executes the fall-back variant.
+    const pdl::ProcessingUnit& master = *platform.masters().front();
+    DeviceSpec spec;
+    spec.kind = DeviceKind::kCpu;
+    spec.name = "master:" + master.id();
+    spec.sustained_gflops = sustained_rate(master, 0.9, options.default_cpu_gflops);
+    config.devices.push_back(std::move(spec));
+    return config;
+  }
+
+  // StarPU-style driver cores: each accelerator consumes one CPU worker.
+  std::size_t cpu_count = cpus.size();
+  if (options.dedicate_driver_cores) {
+    cpu_count -= std::min(cpu_count, accelerators.size());
+  }
+  config.devices.assign(cpus.begin(),
+                        cpus.begin() + static_cast<std::ptrdiff_t>(cpu_count));
+  config.devices.insert(config.devices.end(), accelerators.begin(),
+                        accelerators.end());
+  return config;
+}
+
+}  // namespace starvm

@@ -1,0 +1,82 @@
+// Codelets: multi-implementation compute kernels, StarPU-style.
+//
+// A codelet bundles one logical operation (the paper's "task interface")
+// with one implementation per device kind (the paper's "task implementation
+// variants"). Cascabel's code generator emits codelet definitions from the
+// task repository; applications can also build them directly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "starvm/data.hpp"
+#include "starvm/types.hpp"
+
+namespace starvm {
+
+/// One buffer argument of a task: which handle, accessed how.
+struct BufferView {
+  DataHandle* handle = nullptr;
+  Access mode = Access::kRead;
+};
+
+/// Passed to implementations at execution time.
+struct ExecContext {
+  DeviceId device = -1;
+  DeviceKind device_kind = DeviceKind::kCpu;
+  const std::vector<BufferView>* buffers = nullptr;
+
+  /// Host pointer of buffer `i` as doubles (all our kernels are double).
+  double* buffer(std::size_t i) const {
+    return static_cast<double*>((*buffers)[i].handle->ptr());
+  }
+  const DataHandle& handle(std::size_t i) const { return *(*buffers)[i].handle; }
+  std::size_t buffer_count() const { return buffers->size(); }
+};
+
+/// One device-kind-specific implementation of a codelet.
+struct Implementation {
+  DeviceKind kind = DeviceKind::kCpu;
+  std::function<void(const ExecContext&)> fn;
+};
+
+/// A named operation with implementation variants and an optional work
+/// estimate (FLOPs as a function of the actual buffers) used by the
+/// performance models before any execution history exists.
+struct Codelet {
+  std::string name;
+  std::vector<Implementation> impls;
+  std::function<double(const std::vector<BufferView>&)> flops;
+
+  bool supports(DeviceKind kind) const {
+    for (const auto& impl : impls) {
+      if (impl.kind == kind) return true;
+    }
+    return false;
+  }
+
+  const Implementation* find_impl(DeviceKind kind) const {
+    for (const auto& impl : impls) {
+      if (impl.kind == kind) return &impl;
+    }
+    return nullptr;
+  }
+};
+
+/// A task submission: codelet + buffer arguments.
+struct TaskDesc {
+  const Codelet* codelet = nullptr;
+  std::vector<BufferView> buffers;
+  std::string label;  ///< Optional trace label; defaults to codelet name.
+  /// Higher runs earlier among ready tasks (eager scheduler; model-based
+  /// policies order by estimated finish time instead).
+  int priority = 0;
+  /// Explicit predecessors (StarPU tag-dependency equivalent) in addition
+  /// to the dependencies inferred from buffer access modes. Unknown or
+  /// already-completed ids are satisfied immediately.
+  std::vector<TaskId> depends_on;
+};
+
+}  // namespace starvm

@@ -1,0 +1,68 @@
+// Data handles: registered application buffers with replica tracking and
+// BLOCK partitioning (the paper's distribution specifier).
+//
+// starvm follows StarPU's data-management design: the application registers
+// buffers once, tasks name handles with access modes, and the runtime
+// (a) infers dependencies and (b) accounts for transfers between memory
+// nodes. Because accelerators are simulated, replicas are *bookkeeping
+// only* — all real computation touches the host buffer; the valid-set per
+// node drives the modeled transfer costs (MSI-style: a write leaves the
+// writer's node as the only valid replica).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "starvm/types.hpp"
+
+namespace starvm {
+
+class Engine;
+
+namespace detail {
+struct TaskNode;
+}
+
+/// A registered buffer (or a partition block of one).
+class DataHandle {
+ public:
+  /// Host pointer of this block (top-left element for matrix blocks).
+  void* ptr() const { return ptr_; }
+  /// Payload bytes (for matrix blocks: rows*cols*8, ignoring the stride gap).
+  std::size_t bytes() const { return bytes_; }
+  const std::string& name() const { return name_; }
+
+  /// Matrix geometry in doubles. Vectors are 1 x n with ld = n.
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Row stride of the underlying allocation (== cols for unpartitioned).
+  std::size_t ld() const { return ld_; }
+
+  /// Parent handle when this is a partition block; nullptr for roots.
+  DataHandle* parent() const { return parent_; }
+  const std::vector<DataHandle*>& children() const { return children_; }
+  bool partitioned() const { return !children_.empty(); }
+
+  /// True when node `n` holds a valid replica (bookkeeping; see header).
+  bool valid_on(MemoryNodeId n) const {
+    return n >= 0 && static_cast<std::size_t>(n) < valid_.size() && valid_[n];
+  }
+
+ private:
+  friend class Engine;
+
+  void* ptr_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::size_t rows_ = 0, cols_ = 0, ld_ = 0;
+  std::string name_;
+  DataHandle* parent_ = nullptr;
+  std::vector<DataHandle*> children_;
+
+  // --- engine-private state (guarded by the engine mutex) ---
+  std::vector<bool> valid_;  ///< replica valid per memory node
+  detail::TaskNode* last_writer_ = nullptr;
+  std::vector<detail::TaskNode*> readers_since_write_;
+};
+
+}  // namespace starvm

@@ -1,0 +1,47 @@
+// Device descriptions for engine construction.
+//
+// CPU devices execute kernels for real on host memory (node 0). Simulated
+// accelerators — the GPU substitution, DESIGN.md — execute kernels on the
+// host too (results stay correct) but their *time* is charged from the
+// sustained-GFLOPS model onto a private memory node connected to the host
+// by a modeled link.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "starvm/types.hpp"
+
+namespace starvm {
+
+struct DeviceSpec {
+  std::string name = "cpu";
+  DeviceKind kind = DeviceKind::kCpu;
+
+  /// Sustained compute rate used by the analytic cost model
+  /// (for accelerators, and for CPUs in pure-sim mode).
+  double sustained_gflops = 5.0;
+
+  /// Host link of an accelerator's memory node (ignored for CPUs).
+  double link_bandwidth_gbs = 5.5;
+  double link_latency_us = 10.0;
+
+  /// Capacity of an accelerator's memory node in bytes; 0 = unlimited.
+  /// When replicas exceed it, least-recently-used ones are evicted (with a
+  /// modeled write-back when the evicted copy is the only valid one).
+  std::size_t memory_bytes = 0;
+};
+
+struct EngineConfig {
+  std::vector<DeviceSpec> devices;
+  SchedulerKind scheduler = SchedulerKind::kHeft;
+  ExecutionMode mode = ExecutionMode::kHybrid;
+  /// Fixed per-task runtime overhead charged to the virtual clock
+  /// (submission + scheduling cost; StarPU's is in this range).
+  double task_overhead_us = 10.0;
+
+  /// Convenience: n CPU cores at the given sustained rate.
+  static EngineConfig cpus(int n, double sustained_gflops = 5.0);
+};
+
+}  // namespace starvm

@@ -1,0 +1,689 @@
+#include "starvm/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace starvm {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+EngineConfig EngineConfig::cpus(int n, double sustained_gflops) {
+  EngineConfig config;
+  for (int i = 0; i < n; ++i) {
+    DeviceSpec spec;
+    spec.name = "cpu" + std::to_string(i);
+    spec.kind = DeviceKind::kCpu;
+    spec.sustained_gflops = sustained_gflops;
+    config.devices.push_back(std::move(spec));
+  }
+  return config;
+}
+
+std::string_view to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu: return "cpu";
+    case DeviceKind::kAccelerator: return "accelerator";
+  }
+  return "?";
+}
+
+std::string_view to_string(Access access) {
+  switch (access) {
+    case Access::kRead: return "read";
+    case Access::kWrite: return "write";
+    case Access::kReadWrite: return "readwrite";
+  }
+  return "?";
+}
+
+std::string_view to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kEager: return "eager";
+    case SchedulerKind::kWorkStealing: return "ws";
+    case SchedulerKind::kHeft: return "heft";
+  }
+  return "?";
+}
+
+Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+  if (config_.devices.empty()) {
+    throw std::invalid_argument("starvm::Engine needs at least one device");
+  }
+  // Memory nodes: host = 0; every accelerator gets its own node.
+  MemoryNodeId next_node = kHostNode + 1;
+  for (std::size_t i = 0; i < config_.devices.size(); ++i) {
+    detail::DeviceState state;
+    state.spec = config_.devices[i];
+    state.id = static_cast<DeviceId>(i);
+    state.node =
+        state.spec.kind == DeviceKind::kAccelerator ? next_node++ : kHostNode;
+    devices_.push_back(std::move(state));
+  }
+  nodes_.resize(static_cast<std::size_t>(next_node));
+  for (const auto& device : devices_) {
+    if (device.node != kHostNode) {
+      nodes_[static_cast<std::size_t>(device.node)].capacity =
+          device.spec.memory_bytes;
+    }
+  }
+
+  scheduler_ = detail::make_scheduler(
+      config_.scheduler, &devices_,
+      [this](const detail::TaskNode& task, const detail::DeviceState& device) {
+        return estimated_cost(task, device);
+      });
+
+  // Pure simulation is a deterministic discrete-event loop driven by
+  // wait_all() on the caller's thread: real worker threads would race in
+  // *wall* time and distort which device pops next in *virtual* time.
+  if (config_.mode != ExecutionMode::kPureSim) {
+    workers_.reserve(devices_.size());
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      workers_.emplace_back([this, i] { worker_loop(static_cast<DeviceId>(i)); });
+    }
+  }
+}
+
+Engine::~Engine() {
+  wait_all();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+// --- Data ----------------------------------------------------------------------
+
+DataHandle* Engine::register_matrix(double* ptr, std::size_t rows, std::size_t cols,
+                                    std::size_t ld, std::string name) {
+  if (ld == 0) ld = cols;
+  auto handle = std::make_unique<DataHandle>();
+  handle->ptr_ = ptr;
+  handle->rows_ = rows;
+  handle->cols_ = cols;
+  handle->ld_ = ld;
+  handle->bytes_ = rows * cols * sizeof(double);
+  handle->name_ = name.empty() ? "m" + std::to_string(handles_.size()) : std::move(name);
+  // Fresh registrations are valid on the host only.
+  handle->valid_.assign(devices_.size() + 1, false);
+  handle->valid_[kHostNode] = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  handles_.push_back(std::move(handle));
+  return handles_.back().get();
+}
+
+DataHandle* Engine::register_vector(double* ptr, std::size_t n, std::string name) {
+  return register_matrix(ptr, 1, n, n, std::move(name));
+}
+
+std::vector<DataHandle*> Engine::partition_rows(DataHandle* handle, int nblocks) {
+  assert(handle != nullptr && nblocks >= 1);
+  assert(!handle->partitioned() && "handle is already partitioned");
+  std::vector<DataHandle*> blocks;
+  const std::size_t rows = handle->rows();
+  const std::size_t per_block = (rows + static_cast<std::size_t>(nblocks) - 1) /
+                                static_cast<std::size_t>(nblocks);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int b = 0; b < nblocks; ++b) {
+    const std::size_t row_begin = static_cast<std::size_t>(b) * per_block;
+    if (row_begin >= rows) break;
+    const std::size_t row_count = std::min(per_block, rows - row_begin);
+    auto block = std::make_unique<DataHandle>();
+    block->ptr_ = static_cast<double*>(handle->ptr_) + row_begin * handle->ld_;
+    block->rows_ = row_count;
+    block->cols_ = handle->cols_;
+    block->ld_ = handle->ld_;
+    block->bytes_ = row_count * handle->cols_ * sizeof(double);
+    block->name_ = handle->name_ + "[" + std::to_string(b) + "]";
+    block->parent_ = handle;
+    // Blocks inherit only the host replica: device-side accounting is per
+    // handle, and partitioning is a host-side operation by contract.
+    block->valid_.assign(handle->valid_.size(), false);
+    block->valid_[kHostNode] = handle->valid_[kHostNode];
+    handle->children_.push_back(block.get());
+    blocks.push_back(block.get());
+    handles_.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+std::vector<DataHandle*> Engine::partition_vector(DataHandle* handle, int nblocks) {
+  assert(handle != nullptr && handle->rows() == 1);
+  assert(!handle->partitioned() && "handle is already partitioned");
+  std::vector<DataHandle*> blocks;
+  const std::size_t n = handle->cols();
+  const std::size_t per_block = (n + static_cast<std::size_t>(nblocks) - 1) /
+                                static_cast<std::size_t>(nblocks);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int b = 0; b < nblocks; ++b) {
+    const std::size_t begin = static_cast<std::size_t>(b) * per_block;
+    if (begin >= n) break;
+    const std::size_t count = std::min(per_block, n - begin);
+    auto block = std::make_unique<DataHandle>();
+    block->ptr_ = static_cast<double*>(handle->ptr_) + begin;
+    block->rows_ = 1;
+    block->cols_ = count;
+    block->ld_ = count;
+    block->bytes_ = count * sizeof(double);
+    block->name_ = handle->name_ + "[" + std::to_string(b) + "]";
+    block->parent_ = handle;
+    // Blocks inherit only the host replica: device-side accounting is per
+    // handle, and partitioning is a host-side operation by contract.
+    block->valid_.assign(handle->valid_.size(), false);
+    block->valid_[kHostNode] = handle->valid_[kHostNode];
+    handle->children_.push_back(block.get());
+    blocks.push_back(block.get());
+    handles_.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+std::vector<DataHandle*> Engine::partition_tiles(DataHandle* handle, int row_blocks,
+                                                 int col_blocks) {
+  assert(handle != nullptr && row_blocks >= 1 && col_blocks >= 1);
+  assert(!handle->partitioned() && "handle is already partitioned");
+  std::vector<DataHandle*> tiles;
+  const std::size_t rows = handle->rows();
+  const std::size_t cols = handle->cols();
+  const std::size_t tile_rows = (rows + static_cast<std::size_t>(row_blocks) - 1) /
+                                static_cast<std::size_t>(row_blocks);
+  const std::size_t tile_cols = (cols + static_cast<std::size_t>(col_blocks) - 1) /
+                                static_cast<std::size_t>(col_blocks);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int r = 0; r < row_blocks; ++r) {
+    const std::size_t row_begin = static_cast<std::size_t>(r) * tile_rows;
+    if (row_begin >= rows) break;
+    const std::size_t row_count = std::min(tile_rows, rows - row_begin);
+    for (int c = 0; c < col_blocks; ++c) {
+      const std::size_t col_begin = static_cast<std::size_t>(c) * tile_cols;
+      if (col_begin >= cols) break;
+      const std::size_t col_count = std::min(tile_cols, cols - col_begin);
+      auto tile = std::make_unique<DataHandle>();
+      tile->ptr_ = static_cast<double*>(handle->ptr_) + row_begin * handle->ld_ +
+                   col_begin;
+      tile->rows_ = row_count;
+      tile->cols_ = col_count;
+      tile->ld_ = handle->ld_;  // tiles are strided views into the parent
+      tile->bytes_ = row_count * col_count * sizeof(double);
+      tile->name_ = handle->name_ + "(" + std::to_string(r) + "," +
+                    std::to_string(c) + ")";
+      tile->parent_ = handle;
+      tile->valid_.assign(handle->valid_.size(), false);
+      tile->valid_[kHostNode] = handle->valid_[kHostNode];
+      handle->children_.push_back(tile.get());
+      tiles.push_back(tile.get());
+      handles_.push_back(std::move(tile));
+    }
+  }
+  return tiles;
+}
+
+void Engine::unpartition(DataHandle* handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Gather: the parent becomes host-resident (writes by simulated
+  // accelerators updated host memory directly); every device replica —
+  // of the parent and of the retired blocks — is dropped.
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (static_cast<MemoryNodeId>(n) != kHostNode) {
+      drop_replica(handle, static_cast<MemoryNodeId>(n));
+      for (DataHandle* block : handle->children_) {
+        drop_replica(block, static_cast<MemoryNodeId>(n));
+      }
+    }
+  }
+  handle->valid_.assign(handle->valid_.size(), false);
+  handle->valid_[kHostNode] = true;
+  for (DataHandle* block : handle->children_) {
+    block->parent_ = nullptr;  // detach; block handles must not be reused
+  }
+  handle->children_.clear();
+}
+
+void Engine::host_write(DataHandle* handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto mark = [this](DataHandle* h) {
+    if (h->valid_.size() < devices_.size() + 1) {
+      h->valid_.resize(devices_.size() + 1, false);
+    }
+    for (std::size_t n = 0; n < h->valid_.size(); ++n) {
+      if (static_cast<MemoryNodeId>(n) != kHostNode) {
+        drop_replica(h, static_cast<MemoryNodeId>(n));
+      }
+    }
+    h->valid_[kHostNode] = true;
+  };
+  mark(handle);
+  for (DataHandle* block : handle->children_) mark(block);
+}
+
+// --- Submission --------------------------------------------------------------
+
+TaskId Engine::submit(TaskDesc desc) {
+  if (desc.codelet == nullptr || desc.codelet->impls.empty()) {
+    throw std::invalid_argument("task without codelet implementation");
+  }
+  bool any_capable = false;
+  for (const auto& device : devices_) {
+    if (desc.codelet->supports(device.spec.kind)) any_capable = true;
+  }
+  if (!any_capable) {
+    throw std::invalid_argument("no device can execute codelet '" +
+                                desc.codelet->name + "'");
+  }
+  for (const auto& view : desc.buffers) {
+    if (view.handle == nullptr) {
+      throw std::invalid_argument("task references a null data handle");
+    }
+    if (view.handle->partitioned()) {
+      throw std::invalid_argument("task references partitioned handle '" +
+                                  view.handle->name() + "'; target its blocks");
+    }
+  }
+
+  auto node = std::make_unique<detail::TaskNode>();
+  detail::TaskNode* task = node.get();
+  task->codelet = desc.codelet;
+  task->buffers = std::move(desc.buffers);
+  task->label = desc.label.empty() ? desc.codelet->name : std::move(desc.label);
+  task->priority = desc.priority;
+  if (desc.codelet->flops) task->flops = desc.codelet->flops(task->buffers);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  task->id = next_task_id_++;
+  if (first_submit_wall_ < 0.0) first_submit_wall_ = now_seconds();
+
+  // Sequential consistency per handle: R depends on the last writer; W/RW
+  // depend on the last writer and on every reader since that write.
+  const auto add_dep = [&](detail::TaskNode* dep) {
+    if (dep == nullptr || dep == task) return;
+    if (dep->state == detail::TaskState::kDone) {
+      task->ready_vtime = std::max(task->ready_vtime, dep->finish_vtime);
+      return;
+    }
+    dep->successors.push_back(task);
+    ++task->deps_remaining;
+  };
+
+  for (const auto& view : task->buffers) {
+    DataHandle* h = view.handle;
+    if (reads(view.mode)) add_dep(h->last_writer_);
+    if (writes(view.mode)) {
+      add_dep(h->last_writer_);
+      for (detail::TaskNode* reader : h->readers_since_write_) add_dep(reader);
+      h->last_writer_ = task;
+      h->readers_since_write_.clear();
+    } else {
+      h->readers_since_write_.push_back(task);
+    }
+  }
+
+  // Explicit predecessors (tag dependencies). Ids are dense from 1.
+  for (const TaskId dep_id : desc.depends_on) {
+    if (dep_id == 0 || dep_id >= next_task_id_) continue;  // unknown: satisfied
+    add_dep(tasks_[static_cast<std::size_t>(dep_id - 1)].get());
+  }
+
+  ++pending_;
+  tasks_.push_back(std::move(node));
+  if (task->deps_remaining == 0) {
+    task->state = detail::TaskState::kReady;
+    scheduler_->push(task);
+    work_cv_.notify_all();
+  }
+  return task->id;
+}
+
+void Engine::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (config_.mode == ExecutionMode::kPureSim) {
+    run_simulation_locked();
+    drain_wall_ = now_seconds();
+    return;
+  }
+  drain_cv_.wait(lock, [this] { return pending_ == 0; });
+  drain_wall_ = now_seconds();
+}
+
+bool Engine::wait(TaskId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Task ids are dense and start at 1; tasks_ preserves submission order.
+  if (id == 0 || id >= next_task_id_) return false;
+  detail::TaskNode* task = tasks_[static_cast<std::size_t>(id - 1)].get();
+  if (config_.mode == ExecutionMode::kPureSim) {
+    run_simulation_locked();
+    return task->state == detail::TaskState::kDone;
+  }
+  drain_cv_.wait(lock, [&] {
+    return task->state == detail::TaskState::kDone || pending_ == 0;
+  });
+  return task->state == detail::TaskState::kDone;
+}
+
+void Engine::run_simulation_locked() {
+  // Deterministic discrete-event loop: the device that becomes free
+  // earliest (on the virtual clock) asks the scheduler next — the
+  // virtual-time analogue of "the first idle worker pops".
+  while (pending_ > 0) {
+    std::vector<std::size_t> order(devices_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+      return devices_[a].avail_vtime < devices_[b].avail_vtime;
+    });
+
+    detail::TaskNode* task = nullptr;
+    detail::DeviceState* device = nullptr;
+    for (std::size_t i : order) {
+      task = scheduler_->pop(static_cast<DeviceId>(i));
+      if (task != nullptr) {
+        device = &devices_[i];
+        break;
+      }
+    }
+    if (task == nullptr) {
+      // Submitted-but-waiting tasks only unblock through completions, which
+      // this loop performs synchronously — reaching here means a dependency
+      // cycle or a foreign bug; bail out rather than spin.
+      break;
+    }
+
+    task->state = detail::TaskState::kRunning;
+    task->ran_on = device->id;
+    const double transfer = acquire_buffers(*task, device->node);
+    task->start_vtime = std::max(device->avail_vtime, task->ready_vtime) +
+                        config_.task_overhead_us * 1e-6;
+    task->transfer_seconds = transfer;
+    finalize_task(*task, *device, transfer, exec_estimate(*task, *device));
+  }
+}
+
+void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
+                           double transfer, double exec) {
+  task.exec_seconds = exec;
+  task.finish_vtime = task.start_vtime + transfer + exec;
+  device.avail_vtime = task.finish_vtime;
+  device.busy_seconds += exec;
+  device.transfer_seconds += transfer;
+  ++device.tasks_run;
+  perf_model_.observe(task.codelet->name, device.id, exec);
+
+  trace_.push_back(TaskTrace{task.id, task.label, device.id, task.start_vtime,
+                             task.finish_vtime, transfer, exec, task.flops});
+
+  task.state = detail::TaskState::kDone;
+  bool pushed = false;
+  for (detail::TaskNode* succ : task.successors) {
+    succ->ready_vtime = std::max(succ->ready_vtime, task.finish_vtime);
+    if (--succ->deps_remaining == 0) {
+      succ->state = detail::TaskState::kReady;
+      scheduler_->push(succ);
+      pushed = true;
+    }
+  }
+  --pending_;
+  if (pushed) work_cv_.notify_all();
+  // Every completion wakes waiters: wait(TaskId) watches individual tasks.
+  drain_cv_.notify_all();
+}
+
+// --- Cost models ----------------------------------------------------------------
+
+double Engine::link_transfer_seconds(std::size_t bytes, MemoryNodeId from,
+                                     MemoryNodeId to) const {
+  if (from == to) return 0.0;
+  // Each accelerator node connects to the host with its own link; transfers
+  // between two accelerators bounce through the host (PCIe peer-to-peer is
+  // post-2011 and the paper's testbed routes via host RAM).
+  const auto link_of = [this](MemoryNodeId node) -> const DeviceSpec* {
+    for (const auto& device : devices_) {
+      if (device.node == node) return &device.spec;
+    }
+    return nullptr;
+  };
+  double seconds = 0.0;
+  if (from != kHostNode) {
+    const DeviceSpec* spec = link_of(from);
+    seconds += transfer_seconds(bytes, spec ? spec->link_bandwidth_gbs : 5.0,
+                                spec ? spec->link_latency_us : 10.0);
+  }
+  if (to != kHostNode) {
+    const DeviceSpec* spec = link_of(to);
+    seconds += transfer_seconds(bytes, spec ? spec->link_bandwidth_gbs : 5.0,
+                                spec ? spec->link_latency_us : 10.0);
+  }
+  return seconds;
+}
+
+void Engine::drop_replica(DataHandle* handle, MemoryNodeId node) {
+  const auto n = static_cast<std::size_t>(node);
+  if (n >= handle->valid_.size() || !handle->valid_[n]) return;
+  handle->valid_[n] = false;
+  if (node != kHostNode && n < nodes_.size() && nodes_[n].capacity > 0) {
+    NodeState& state = nodes_[n];
+    state.used -= std::min(state.used, handle->bytes());
+    state.lru.remove(handle);
+  }
+}
+
+void Engine::add_replica(DataHandle* handle, MemoryNodeId node, double& cost,
+                         const std::vector<BufferView>* pinned) {
+  const auto n = static_cast<std::size_t>(node);
+  if (handle->valid_.size() < devices_.size() + 1) {
+    handle->valid_.resize(devices_.size() + 1, false);
+  }
+  NodeState* state =
+      node != kHostNode && n < nodes_.size() && nodes_[n].capacity > 0
+          ? &nodes_[n]
+          : nullptr;
+  if (handle->valid_[n]) {
+    // Refresh recency on bounded nodes.
+    if (state != nullptr) {
+      state->lru.remove(handle);
+      state->lru.push_front(handle);
+    }
+    return;
+  }
+
+  if (state != nullptr) {
+    const auto is_pinned = [&](const DataHandle* candidate) {
+      if (pinned == nullptr) return false;
+      for (const auto& view : *pinned) {
+        if (view.handle == candidate) return true;
+      }
+      return false;
+    };
+    // Evict least-recently-used replicas until the new one fits. A handle
+    // larger than the whole node is admitted anyway (it cannot be split;
+    // the model degrades gracefully rather than deadlocking).
+    while (state->used + handle->bytes() > state->capacity && !state->lru.empty()) {
+      DataHandle* victim = nullptr;
+      for (auto it = state->lru.rbegin(); it != state->lru.rend(); ++it) {
+        if (!is_pinned(*it)) {
+          victim = *it;
+          break;
+        }
+      }
+      if (victim == nullptr) break;  // everything pinned: over-commit
+      // Sole-replica eviction must write the data back to the host first.
+      bool sole = true;
+      for (std::size_t other = 0; other < victim->valid_.size(); ++other) {
+        if (other != n && victim->valid_[other]) sole = false;
+      }
+      if (sole) {
+        cost += link_transfer_seconds(victim->bytes(), node, kHostNode);
+        writeback_bytes_ += victim->bytes();
+        victim->valid_[kHostNode] = true;
+      }
+      drop_replica(victim, node);
+      ++evictions_;
+    }
+    state->used += handle->bytes();
+    state->lru.push_front(handle);
+  }
+  handle->valid_[n] = true;
+}
+
+double Engine::acquire_buffers(detail::TaskNode& task, MemoryNodeId node) {
+  double total = 0.0;
+  for (const auto& view : task.buffers) {
+    DataHandle* h = view.handle;
+    if (h->valid_.size() < devices_.size() + 1) {
+      h->valid_.resize(devices_.size() + 1, false);
+    }
+    if (reads(view.mode)) {
+      if (!h->valid_[static_cast<std::size_t>(node)]) {
+        // Prefer pulling from the host; otherwise any valid replica.
+        MemoryNodeId source = kHostNode;
+        if (!h->valid_[kHostNode]) {
+          source = -1;
+          for (std::size_t n = 0; n < h->valid_.size(); ++n) {
+            if (h->valid_[n]) {
+              source = static_cast<MemoryNodeId>(n);
+              break;
+            }
+          }
+        }
+        if (source >= 0) {
+          total += link_transfer_seconds(h->bytes(), source, node);
+          ++transfers_;
+          transfer_bytes_ += h->bytes();
+        }
+      }
+      // add_replica also refreshes LRU recency for already-valid replicas.
+      add_replica(h, node, total, &task.buffers);
+    }
+    if (writes(view.mode)) {
+      // MSI: writing invalidates every other replica. Simulated
+      // accelerators actually write host memory, so the host copy is
+      // physically current; keeping it marked invalid models the paper
+      // testbed where the result sits in GPU memory until fetched.
+      for (std::size_t n = 0; n < h->valid_.size(); ++n) {
+        if (static_cast<MemoryNodeId>(n) != node) {
+          drop_replica(h, static_cast<MemoryNodeId>(n));
+        }
+      }
+      add_replica(h, node, total, &task.buffers);
+    }
+  }
+  return total;
+}
+
+double Engine::exec_estimate(const detail::TaskNode& task,
+                             const detail::DeviceState& device) const {
+  return perf_model_.estimate(task.codelet->name, device.id, task.flops,
+                              device.spec.sustained_gflops);
+}
+
+double Engine::estimated_cost(const detail::TaskNode& task,
+                              const detail::DeviceState& device) const {
+  double transfer = 0.0;
+  for (const auto& view : task.buffers) {
+    const DataHandle* h = view.handle;
+    if (reads(view.mode) && !h->valid_on(device.node)) {
+      MemoryNodeId source = h->valid_on(kHostNode) ? kHostNode : -1;
+      if (source < 0) {
+        for (std::size_t n = 0; n < devices_.size() + 1; ++n) {
+          if (h->valid_on(static_cast<MemoryNodeId>(n))) {
+            source = static_cast<MemoryNodeId>(n);
+            break;
+          }
+        }
+      }
+      if (source >= 0) transfer += link_transfer_seconds(h->bytes(), source, device.node);
+    }
+  }
+  return transfer + exec_estimate(task, device);
+}
+
+// --- Worker loop -------------------------------------------------------------------
+
+void Engine::worker_loop(DeviceId device_id) {
+  detail::DeviceState& device = devices_[static_cast<std::size_t>(device_id)];
+  while (true) {
+    detail::TaskNode* task = nullptr;
+    double transfer = 0.0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        if (stopping_) return true;
+        task = scheduler_->pop(device_id);
+        return task != nullptr;
+      });
+      if (task == nullptr) return;  // stopping
+
+      task->state = detail::TaskState::kRunning;
+      task->ran_on = device_id;
+      transfer = acquire_buffers(*task, device.node);
+      task->start_vtime = std::max(device.avail_vtime, task->ready_vtime) +
+                          config_.task_overhead_us * 1e-6;
+      task->transfer_seconds = transfer;
+    }
+
+    // --- execute outside the lock ---
+    double exec = 0.0;
+    const Implementation* impl = task->codelet->find_impl(device.spec.kind);
+    assert(impl != nullptr);
+    pdl::util::Stopwatch sw;
+    if (impl->fn) {
+      ExecContext ctx;
+      ctx.device = device_id;
+      ctx.device_kind = device.spec.kind;
+      ctx.buffers = &task->buffers;
+      impl->fn(ctx);
+    }
+    const double measured = sw.elapsed_seconds();
+    if (device.spec.kind == DeviceKind::kAccelerator) {
+      // Simulated accelerator: host execution produced the data; the
+      // virtual clock charges what the modeled device would have taken.
+      exec = task->flops > 0.0 ? task->flops / (device.spec.sustained_gflops * 1e9)
+                               : measured;
+    } else {
+      exec = measured;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      finalize_task(*task, device, transfer, exec);
+    }
+  }
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineStats s;
+  for (const auto& device : devices_) {
+    s.makespan_seconds = std::max(s.makespan_seconds, device.avail_vtime);
+    DeviceStats ds;
+    ds.name = device.spec.name;
+    ds.kind = device.spec.kind;
+    ds.tasks_run = device.tasks_run;
+    ds.busy_seconds = device.busy_seconds;
+    ds.transfer_seconds = device.transfer_seconds;
+    s.devices.push_back(std::move(ds));
+    s.tasks_completed += device.tasks_run;
+  }
+  s.transfers = transfers_;
+  s.transfer_bytes = transfer_bytes_;
+  s.evictions = evictions_;
+  s.writeback_bytes = writeback_bytes_;
+  if (first_submit_wall_ >= 0.0 && drain_wall_ > first_submit_wall_) {
+    s.wall_seconds = drain_wall_ - first_submit_wall_;
+  }
+  s.trace = trace_;
+  return s;
+}
+
+}  // namespace starvm

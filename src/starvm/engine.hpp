@@ -1,0 +1,176 @@
+// The starvm engine: a StarPU-like heterogeneous task runtime
+// (substrate S7 — scheduling + data management for the paper's case study).
+//
+// Lifecycle:
+//   Engine engine(config);
+//   DataHandle* a = engine.register_matrix(ptr, rows, cols);
+//   auto blocks = engine.partition_rows(a, 8);       // BLOCK distribution
+//   engine.submit({&codelet, {{blocks[i], Access::kReadWrite}, ...}});
+//   engine.wait_all();
+//   EngineStats s = engine.stats();
+//
+// Dependencies are inferred from access modes per data handle with
+// sequential consistency (RAW, WAR, WAW), exactly the contract StarPU
+// gives the paper's generated programs. Each device runs its own worker
+// thread; simulated accelerators execute implementations on the host while
+// their time is charged from the performance model (DESIGN.md).
+//
+// Thread-safety: submit/wait_all may be called from the application thread
+// while workers drain; DataHandle registration and partitioning must happen
+// outside active task execution on those handles.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "starvm/codelet.hpp"
+#include "starvm/data.hpp"
+#include "starvm/device.hpp"
+#include "starvm/perf_model.hpp"
+#include "starvm/runtime_state.hpp"
+#include "starvm/scheduler.hpp"
+#include "starvm/stats.hpp"
+#include "starvm/types.hpp"
+
+namespace starvm {
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Data registration ----------------------------------------------------
+
+  /// Register a row-major matrix of doubles (rows x cols, stride ld; 0 = cols).
+  DataHandle* register_matrix(double* ptr, std::size_t rows, std::size_t cols,
+                              std::size_t ld = 0, std::string name = {});
+
+  /// Register a vector of doubles.
+  DataHandle* register_vector(double* ptr, std::size_t n, std::string name = {});
+
+  /// Split a matrix handle into `nblocks` row bands (the paper's BLOCK
+  /// distribution). Tasks must target the blocks, not the parent, until
+  /// unpartition() is called. Returns the block handles.
+  std::vector<DataHandle*> partition_rows(DataHandle* handle, int nblocks);
+
+  /// Split a vector handle into `nblocks` contiguous spans.
+  std::vector<DataHandle*> partition_vector(DataHandle* handle, int nblocks);
+
+  /// Split a matrix handle into a 2-D grid of row_blocks x col_blocks
+  /// tiles (needed by tiled linear algebra: Cholesky, LU, ...). Tiles keep
+  /// the parent's row stride, so implementations must honor ld(). Returned
+  /// row-major: tile (r, c) at index r * col_blocks + c.
+  std::vector<DataHandle*> partition_tiles(DataHandle* handle, int row_blocks,
+                                           int col_blocks);
+
+  /// Re-enable use of the parent handle; blocks become invalid for new tasks.
+  void unpartition(DataHandle* handle);
+
+  /// Declare that the application modified the buffer directly on the host,
+  /// outside any task (the StarPU acquire/release-in-RW equivalent): the
+  /// host becomes the only valid replica of the handle and of its partition
+  /// blocks. Call between wait_all() and the next submit touching it.
+  void host_write(DataHandle* handle);
+
+  // --- Task submission --------------------------------------------------------
+
+  /// Submit a task; returns its id. Dependencies on previously submitted
+  /// tasks are inferred from the buffers' access modes.
+  TaskId submit(TaskDesc desc);
+
+  /// Block until every submitted task has completed.
+  void wait_all();
+
+  /// Block until a specific task has completed; false for unknown ids.
+  /// In pure simulation this drains everything (the event loop is not
+  /// incremental), so prefer wait_all there.
+  bool wait(TaskId id);
+
+  // --- Introspection -----------------------------------------------------------
+
+  const EngineConfig& config() const { return config_; }
+  std::size_t device_count() const { return devices_.size(); }
+  /// Snapshot of statistics; call after wait_all for a consistent view.
+  EngineStats stats() const;
+  PerfModel& perf_model() { return perf_model_; }
+
+ private:
+  void worker_loop(DeviceId device);
+
+  /// Pure-simulation discrete-event loop (mutex held): repeatedly lets the
+  /// device that is free earliest on the virtual clock pop the next task.
+  void run_simulation_locked();
+
+  /// Book a completed task: virtual clock, stats, dependency release
+  /// (mutex held).
+  void finalize_task(detail::TaskNode& task, detail::DeviceState& device,
+                     double transfer, double exec);
+
+  /// Modeled cost of moving `view`'s missing replicas to `node`; updates
+  /// the handle valid-sets and transfer counters (engine mutex held).
+  double acquire_buffers(detail::TaskNode& task, MemoryNodeId node);
+
+  /// Replica bookkeeping with capacity accounting (engine mutex held).
+  /// add_replica may evict LRU replicas on bounded nodes; eviction of a
+  /// sole replica charges a write-back to the host into `cost`.
+  /// `pinned` handles (the executing task's buffers) are never evicted.
+  void add_replica(DataHandle* handle, MemoryNodeId node, double& cost,
+                   const std::vector<BufferView>* pinned);
+  void drop_replica(DataHandle* handle, MemoryNodeId node);
+
+  /// Estimate for the HEFT policy: transfers (without mutating state) plus
+  /// execution estimate (engine mutex held).
+  double estimated_cost(const detail::TaskNode& task,
+                        const detail::DeviceState& device) const;
+
+  double exec_estimate(const detail::TaskNode& task,
+                       const detail::DeviceState& device) const;
+
+  /// Modeled bandwidth/latency between memory nodes (via host when needed).
+  double link_transfer_seconds(std::size_t bytes, MemoryNodeId from,
+                               MemoryNodeId to) const;
+
+  EngineConfig config_;
+  std::vector<detail::DeviceState> devices_;
+  std::unique_ptr<detail::Scheduler> scheduler_;
+  PerfModel perf_model_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< workers wait here for tasks
+  std::condition_variable drain_cv_;  ///< wait_all waits here
+  bool stopping_ = false;
+
+  std::vector<std::unique_ptr<detail::TaskNode>> tasks_;
+  std::vector<std::unique_ptr<DataHandle>> handles_;
+  std::size_t pending_ = 0;
+  TaskId next_task_id_ = 1;
+
+  /// Memory accounting per node (index = MemoryNodeId; host unbounded).
+  struct NodeState {
+    std::size_t capacity = 0;  ///< 0 = unlimited
+    std::size_t used = 0;
+    std::list<DataHandle*> lru;  ///< front = most recently used
+  };
+  std::vector<NodeState> nodes_;
+
+  // Statistics (guarded by mutex_).
+  std::uint64_t transfers_ = 0;
+  std::uint64_t transfer_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t writeback_bytes_ = 0;
+  double first_submit_wall_ = -1.0;
+  double drain_wall_ = 0.0;
+  std::vector<TaskTrace> trace_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace starvm

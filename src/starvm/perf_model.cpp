@@ -1,0 +1,79 @@
+#include "starvm/perf_model.hpp"
+
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+
+namespace starvm {
+
+namespace {
+// Weight of the newest sample; high enough to track phase changes, low
+// enough to smooth scheduler-induced jitter.
+constexpr double kEmaAlpha = 0.25;
+// Estimate when neither history nor a FLOPs model exists.
+constexpr double kDefaultEstimateSeconds = 1e-3;
+}  // namespace
+
+double PerfModel::estimate(const std::string& codelet, int device, double flops,
+                           double device_gflops) const {
+  const auto it = history_.find({codelet, device});
+  if (it != history_.end() && it->second.count > 0) {
+    return it->second.ema_seconds;
+  }
+  if (flops > 0.0 && device_gflops > 0.0) {
+    return flops / (device_gflops * 1e9);
+  }
+  return kDefaultEstimateSeconds;
+}
+
+void PerfModel::observe(const std::string& codelet, int device, double seconds) {
+  History& h = history_[{codelet, device}];
+  if (h.count == 0) {
+    h.ema_seconds = seconds;
+  } else {
+    h.ema_seconds = kEmaAlpha * seconds + (1.0 - kEmaAlpha) * h.ema_seconds;
+  }
+  ++h.count;
+}
+
+std::uint64_t PerfModel::samples(const std::string& codelet, int device) const {
+  const auto it = history_.find({codelet, device});
+  return it == history_.end() ? 0 : it->second.count;
+}
+
+bool PerfModel::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "# starvm perf-model calibration v1\n";
+  out.precision(17);
+  for (const auto& [key, history] : history_) {
+    out << key.first << ' ' << key.second << ' ' << history.ema_seconds << ' '
+        << history.count << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool PerfModel::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string codelet;
+    int device = 0;
+    History history;
+    if (!(fields >> codelet >> device >> history.ema_seconds >> history.count)) {
+      return false;
+    }
+    history_[{codelet, device}] = history;
+  }
+  return true;
+}
+
+double transfer_seconds(std::size_t bytes, double bandwidth_gbs, double latency_us) {
+  if (bandwidth_gbs <= 0.0) return latency_us * 1e-6;
+  return latency_us * 1e-6 + static_cast<double>(bytes) / (bandwidth_gbs * 1e9);
+}
+
+}  // namespace starvm

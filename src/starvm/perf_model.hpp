@@ -1,0 +1,49 @@
+// Per-(codelet, device) execution-time estimation.
+//
+// StarPU's model-based schedulers rely on calibrated per-codelet history;
+// we reproduce that with an exponential moving average of observed costs,
+// falling back to the analytic FLOPs / sustained-GFLOPS estimate before
+// history exists (paper §II: PDL properties feed performance prediction).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace starvm {
+
+class PerfModel {
+ public:
+  /// Estimated seconds for a task of `flops` useful work on device `device`
+  /// running at `device_gflops`. History, when present, wins.
+  double estimate(const std::string& codelet, int device, double flops,
+                  double device_gflops) const;
+
+  /// Record an observed execution time (seconds).
+  void observe(const std::string& codelet, int device, double seconds);
+
+  /// Number of observations recorded for the pair.
+  std::uint64_t samples(const std::string& codelet, int device) const;
+
+  /// Persist the calibration history (StarPU keeps per-codelet calibration
+  /// across runs; so do we). Plain text, one "codelet device ema count"
+  /// record per line; codelet names must not contain whitespace.
+  bool save(const std::string& path) const;
+
+  /// Merge a previously saved history (existing pairs are overwritten).
+  /// False when the file is missing or malformed.
+  bool load(const std::string& path);
+
+ private:
+  struct History {
+    double ema_seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::pair<std::string, int>, History> history_;
+};
+
+/// Analytic transfer time: latency + bytes / bandwidth.
+double transfer_seconds(std::size_t bytes, double bandwidth_gbs, double latency_us);
+
+}  // namespace starvm

@@ -1,0 +1,56 @@
+// Internal runtime state shared by engine.cpp and scheduler.cpp.
+// Not part of the public API; everything here is guarded by the engine
+// mutex unless stated otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "starvm/codelet.hpp"
+#include "starvm/device.hpp"
+#include "starvm/types.hpp"
+
+namespace starvm::detail {
+
+enum class TaskState { kWaiting, kReady, kRunning, kDone };
+
+struct TaskNode {
+  TaskId id = 0;
+  const Codelet* codelet = nullptr;
+  std::vector<BufferView> buffers;
+  std::string label;
+  double flops = 0.0;
+  int priority = 0;
+
+  TaskState state = TaskState::kWaiting;
+  int deps_remaining = 0;
+  std::vector<TaskNode*> successors;
+
+  /// Virtual time when all dependencies have finished.
+  double ready_vtime = 0.0;
+  /// Virtual interval this task occupied on its device.
+  double start_vtime = 0.0;
+  double finish_vtime = 0.0;
+  DeviceId ran_on = -1;
+  double transfer_seconds = 0.0;  ///< modeled transfer cost paid by this task
+  double exec_seconds = 0.0;      ///< measured or modeled execution cost
+};
+
+struct DeviceState {
+  DeviceSpec spec;
+  DeviceId id = -1;
+  MemoryNodeId node = kHostNode;
+
+  /// Virtual time when the device next becomes free.
+  double avail_vtime = 0.0;
+  /// HEFT bookkeeping: estimated completion of everything queued to it.
+  double est_avail = 0.0;
+
+  // --- statistics ---
+  double busy_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  std::uint64_t tasks_run = 0;
+};
+
+}  // namespace starvm::detail

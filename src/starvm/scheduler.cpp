@@ -1,0 +1,183 @@
+#include "starvm/scheduler.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace starvm::detail {
+
+namespace {
+
+bool device_capable(const DeviceState& device, const TaskNode& task) {
+  return task.codelet->supports(device.spec.kind);
+}
+
+/// Single shared FIFO; the first idle device with a matching implementation
+/// takes the oldest runnable task. Greedy, model-free.
+class EagerScheduler final : public Scheduler {
+ public:
+  explicit EagerScheduler(const std::vector<DeviceState>* devices)
+      : devices_(devices) {}
+
+  void push(TaskNode* task) override {
+    // Stable priority order: insert before the first strictly-lower entry,
+    // so equal priorities keep submission (FIFO) order.
+    auto it = queue_.begin();
+    while (it != queue_.end() && (*it)->priority >= task->priority) ++it;
+    queue_.insert(it, task);
+  }
+
+  TaskNode* pop(DeviceId device) override {
+    const DeviceState& dev = (*devices_)[static_cast<std::size_t>(device)];
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (device_capable(dev, **it)) {
+        TaskNode* task = *it;
+        queue_.erase(it);
+        return task;
+      }
+    }
+    return nullptr;
+  }
+
+  bool empty() const override { return queue_.empty(); }
+
+ private:
+  const std::vector<DeviceState>* devices_;
+  std::deque<TaskNode*> queue_;
+};
+
+/// Per-device deques with round-robin placement and back-stealing.
+class WorkStealingScheduler final : public Scheduler {
+ public:
+  explicit WorkStealingScheduler(const std::vector<DeviceState>* devices)
+      : devices_(devices), queues_(devices->size()) {}
+
+  void push(TaskNode* task) override {
+    // Round-robin over capable devices spreads independent tasks without a
+    // model; stealing repairs imbalance afterwards.
+    const std::size_t n = queues_.size();
+    for (std::size_t probe = 0; probe < n; ++probe) {
+      const std::size_t i = (next_ + probe) % n;
+      if (device_capable((*devices_)[i], *task)) {
+        queues_[i].push_back(task);
+        next_ = i + 1;
+        return;
+      }
+    }
+    // No capable device: keep it in queue 0; pop() re-checks capability and
+    // the engine has already validated codelets, so this is unreachable in
+    // practice but keeps the invariant "pushed tasks are never dropped".
+    queues_[0].push_back(task);
+  }
+
+  TaskNode* pop(DeviceId device) override {
+    auto& own = queues_[static_cast<std::size_t>(device)];
+    const DeviceState& dev = (*devices_)[static_cast<std::size_t>(device)];
+    for (auto it = own.begin(); it != own.end(); ++it) {
+      if (device_capable(dev, **it)) {
+        TaskNode* task = *it;
+        own.erase(it);
+        return task;
+      }
+    }
+    // Steal from the back of the longest victim queue.
+    std::size_t victim = queues_.size();
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      if (i == static_cast<std::size_t>(device)) continue;
+      if (queues_[i].size() > best) {
+        best = queues_[i].size();
+        victim = i;
+      }
+    }
+    if (victim == queues_.size()) return nullptr;
+    auto& vq = queues_[victim];
+    for (auto it = vq.rbegin(); it != vq.rend(); ++it) {
+      if (device_capable(dev, **it)) {
+        TaskNode* task = *it;
+        vq.erase(std::next(it).base());
+        return task;
+      }
+    }
+    return nullptr;
+  }
+
+  bool empty() const override {
+    for (const auto& q : queues_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  const std::vector<DeviceState>* devices_;
+  std::vector<std::deque<TaskNode*>> queues_;
+  std::size_t next_ = 0;
+};
+
+/// Model-based earliest-finish-time placement (StarPU dmda-like): each task
+/// goes, at push time, to the device minimizing
+///   max(est_avail(device), task.ready) + transfer_est + exec_est.
+class HeftScheduler final : public Scheduler {
+ public:
+  HeftScheduler(const std::vector<DeviceState>* devices, CostFn cost_fn)
+      : devices_(devices), cost_fn_(std::move(cost_fn)), queues_(devices->size()) {}
+
+  void push(TaskNode* task) override {
+    double best_finish = std::numeric_limits<double>::infinity();
+    std::size_t best_device = queues_.size();
+    for (std::size_t i = 0; i < devices_->size(); ++i) {
+      const DeviceState& dev = (*devices_)[i];
+      if (!device_capable(dev, *task)) continue;
+      const double start = std::max(est_avail_.size() > i ? est_avail_[i] : 0.0,
+                                    task->ready_vtime);
+      const double finish = start + cost_fn_(*task, dev);
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_device = i;
+      }
+    }
+    if (best_device == queues_.size()) best_device = 0;  // unreachable, see WS note
+    if (est_avail_.size() != devices_->size()) est_avail_.assign(devices_->size(), 0.0);
+    est_avail_[best_device] = best_finish;
+    queues_[best_device].push_back(task);
+  }
+
+  TaskNode* pop(DeviceId device) override {
+    auto& own = queues_[static_cast<std::size_t>(device)];
+    if (own.empty()) return nullptr;
+    TaskNode* task = own.front();
+    own.pop_front();
+    return task;
+  }
+
+  bool empty() const override {
+    for (const auto& q : queues_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  const std::vector<DeviceState>* devices_;
+  CostFn cost_fn_;
+  std::vector<std::deque<TaskNode*>> queues_;
+  std::vector<double> est_avail_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          const std::vector<DeviceState>* devices,
+                                          CostFn cost_fn) {
+  switch (kind) {
+    case SchedulerKind::kEager:
+      return std::make_unique<EagerScheduler>(devices);
+    case SchedulerKind::kWorkStealing:
+      return std::make_unique<WorkStealingScheduler>(devices);
+    case SchedulerKind::kHeft:
+      return std::make_unique<HeftScheduler>(devices, std::move(cost_fn));
+  }
+  return std::make_unique<EagerScheduler>(devices);
+}
+
+}  // namespace starvm::detail

@@ -1,0 +1,40 @@
+// Task schedulers (paper §IV-B: the PDL supports "static and dynamic
+// task-mapping"; §VI flags dynamic run-time schedulers as the open issue —
+// these three policies are the ablation axis of bench/bm_scheduler_ablation).
+//
+// All methods are called with the engine mutex held.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "starvm/runtime_state.hpp"
+#include "starvm/types.hpp"
+
+namespace starvm::detail {
+
+/// Estimated cost (seconds) of running `task` on `device` — execution plus
+/// pending data transfers. Provided by the engine to model-based policies.
+using CostFn = std::function<double(const TaskNode&, const DeviceState&)>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Offer a ready task.
+  virtual void push(TaskNode* task) = 0;
+
+  /// Next task for an idle device; nullptr when none is runnable there.
+  virtual TaskNode* pop(DeviceId device) = 0;
+
+  /// True when no task is queued anywhere.
+  virtual bool empty() const = 0;
+};
+
+/// Factory. `devices` outlives the scheduler; `cost_fn` is used by kHeft.
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          const std::vector<DeviceState>* devices,
+                                          CostFn cost_fn);
+
+}  // namespace starvm::detail

@@ -1,0 +1,47 @@
+// Execution statistics and per-task traces reported by the engine.
+//
+// The modeled (virtual-clock) makespan is the quantity Figure-5 style
+// benches report; wall_seconds is the real elapsed time, meaningful for
+// CPU-only configurations in hybrid mode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "starvm/types.hpp"
+
+namespace starvm {
+
+struct TaskTrace {
+  TaskId id = 0;
+  std::string label;
+  DeviceId device = -1;
+  double start_vtime = 0.0;
+  double finish_vtime = 0.0;
+  double transfer_seconds = 0.0;
+  double exec_seconds = 0.0;
+  double flops = 0.0;  ///< work estimate from the codelet's flops model
+};
+
+struct DeviceStats {
+  std::string name;
+  DeviceKind kind = DeviceKind::kCpu;
+  std::uint64_t tasks_run = 0;
+  double busy_seconds = 0.0;      ///< modeled execution time on this device
+  double transfer_seconds = 0.0;  ///< modeled transfer time paid by its tasks
+};
+
+struct EngineStats {
+  double makespan_seconds = 0.0;  ///< modeled: max task finish on the virtual clock
+  double wall_seconds = 0.0;      ///< real elapsed time between first submit and drain
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t transfer_bytes = 0;
+  std::uint64_t evictions = 0;        ///< replicas dropped for capacity
+  std::uint64_t writeback_bytes = 0;  ///< evicted sole replicas copied home
+  std::vector<DeviceStats> devices;
+  std::vector<TaskTrace> trace;
+};
+
+}  // namespace starvm

@@ -1,0 +1,104 @@
+#include "starvm/trace_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace starvm {
+
+namespace {
+
+/// Escape a string for inclusion in a JSON string literal.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const EngineStats& stats) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+
+  // Thread-name metadata so rows carry device names.
+  for (std::size_t d = 0; d < stats.devices.size(); ++d) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << d
+       << ",\"args\":{\"name\":\"" << json_escape(stats.devices[d].name) << " ("
+       << to_string(stats.devices[d].kind) << ")\"}}";
+  }
+
+  for (const auto& t : stats.trace) {
+    if (!first) os << ",";
+    first = false;
+    const double start_us = t.start_vtime * 1e6;
+    const double dur_us = (t.finish_vtime - t.start_vtime) * 1e6;
+    os << "{\"name\":\"" << json_escape(t.label) << "\",\"ph\":\"X\",\"pid\":1"
+       << ",\"tid\":" << t.device << ",\"ts\":" << start_us << ",\"dur\":" << dur_us
+       << ",\"args\":{\"transfer_us\":" << t.transfer_seconds * 1e6
+       << ",\"exec_us\":" << t.exec_seconds * 1e6 << ",\"flops\":" << t.flops
+       << "}}";
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string to_ascii_gantt(const EngineStats& stats, int width) {
+  std::ostringstream os;
+  const double makespan = stats.makespan_seconds;
+  if (makespan <= 0.0 || stats.devices.empty()) {
+    return "(empty trace)\n";
+  }
+  width = std::max(10, width);
+  const double per_cell = makespan / width;
+
+  for (std::size_t d = 0; d < stats.devices.size(); ++d) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const auto& t : stats.trace) {
+      if (static_cast<std::size_t>(t.device) != d) continue;
+      int begin = static_cast<int>(t.start_vtime / per_cell);
+      int end = static_cast<int>(t.finish_vtime / per_cell);
+      begin = std::clamp(begin, 0, width - 1);
+      end = std::clamp(end, begin + 1, width);
+      // Tasks paint '#'; the transfer fraction at the front paints '-'.
+      const double span = t.finish_vtime - t.start_vtime;
+      const int transfer_cells =
+          span > 0.0 ? static_cast<int>((t.transfer_seconds / span) * (end - begin))
+                     : 0;
+      for (int cell = begin; cell < end; ++cell) {
+        row[static_cast<std::size_t>(cell)] =
+            cell - begin < transfer_cells ? '-' : '#';
+      }
+    }
+    char label[40];
+    std::snprintf(label, sizeof label, "%-14.14s|", stats.devices[d].name.c_str());
+    os << label << row << "|\n";
+  }
+  char footer[96];
+  std::snprintf(footer, sizeof footer,
+                "%-14s 0%*s%.3fs   ('#' compute, '-' transfer)\n", "", width - 7,
+                "", makespan);
+  os << footer;
+  return os.str();
+}
+
+}  // namespace starvm

@@ -1,0 +1,22 @@
+// Trace export: render an EngineStats task trace for humans and tools.
+//
+//   * Chrome trace-event JSON — load in chrome://tracing / Perfetto to see
+//     the per-device virtual-time schedule;
+//   * an ASCII Gantt chart for terminals and logs.
+#pragma once
+
+#include <string>
+
+#include "starvm/stats.hpp"
+
+namespace starvm {
+
+/// Chrome trace-event format (JSON array of complete events, "X" phase).
+/// One row per device; timestamps are the virtual clock in microseconds.
+std::string to_chrome_trace(const EngineStats& stats);
+
+/// Fixed-width ASCII Gantt chart of the virtual-time schedule.
+/// `width` = number of character cells spanning the makespan.
+std::string to_ascii_gantt(const EngineStats& stats, int width = 72);
+
+}  // namespace starvm

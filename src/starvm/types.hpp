@@ -1,0 +1,54 @@
+// Core vocabulary of the starvm heterogeneous runtime (substrate S7, the
+// StarPU substitute — see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace starvm {
+
+/// What physically executes tasks.
+enum class DeviceKind {
+  kCpu,          ///< A host CPU core; executes implementations directly.
+  kAccelerator,  ///< A simulated accelerator: executes on the host (for
+                 ///< correctness) while time is charged from its model.
+};
+
+std::string_view to_string(DeviceKind kind);
+
+/// Buffer access modes — the same contract as the paper's task-annotation
+/// access specifiers (read / write / readwrite), used to infer inter-task
+/// dependencies (sequential consistency per data handle, like StarPU).
+enum class Access { kRead, kWrite, kReadWrite };
+
+std::string_view to_string(Access access);
+inline bool reads(Access a) { return a != Access::kWrite; }
+inline bool writes(Access a) { return a != Access::kRead; }
+
+/// How the engine advances time (see DESIGN.md "virtual-time accounting").
+enum class ExecutionMode {
+  /// Kernels run for real; CPU task cost = measured wall time, accelerator
+  /// task cost = model. The default: correct results + modeled makespan.
+  kHybrid,
+  /// Nothing executes; every cost comes from the models. Used for
+  /// paper-scale problem sizes (8192^3 DGEMM) that are too slow to run.
+  kPureSim,
+};
+
+enum class SchedulerKind {
+  kEager,         ///< Single shared FIFO; first idle capable device wins.
+  kWorkStealing,  ///< Per-device deques with stealing.
+  kHeft,          ///< Model-based earliest-finish-time (StarPU dmda-like).
+};
+
+std::string_view to_string(SchedulerKind kind);
+
+using DeviceId = int;
+using MemoryNodeId = int;
+using TaskId = std::uint64_t;
+
+/// The host memory node; CPU devices always live here.
+inline constexpr MemoryNodeId kHostNode = 0;
+
+}  // namespace starvm

@@ -1,0 +1,176 @@
+// cascabelc — the Cascabel source-to-source compiler driver (paper §IV-C,
+// Figure 4).
+//
+//   cascabelc --pdl <platform.xml> --input <annotated.cpp>
+//             [--variants <variants.cpp>]...
+//             [--output <generated.cpp>] [--makefile <Makefile>]
+//             [--exe <name>] [--no-sync] [--print-selection] [--verbose]
+//
+// Reads an annotated serial task-based C/C++ program and a target PDL
+// descriptor, runs task registration, static pre-selection, output
+// generation and compile-plan derivation, and writes the generated source
+// plus the Makefile realizing the compilation plan. Retargeting = rerun
+// with a different --pdl; the input is never modified.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cascabel/translator.hpp"
+#include "pdl/parser.hpp"
+#include "pdl/validate.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --pdl <platform.xml> --input <annotated.cpp>\n"
+               "          [--variants <variants.cpp>]...\n"
+               "          [--output <generated.cpp>] [--makefile <Makefile>]\n"
+               "          [--exe <name>] [--no-sync] [--print-selection]"
+               " [--verbose]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string pdl_path, input_path, output_path, makefile_path;
+  std::vector<std::string> variant_paths;
+  std::string exe_name = "a.out";
+  bool sync_each_call = true;
+  bool print_selection = false;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--pdl") {
+      pdl_path = need_value();
+    } else if (flag == "--input") {
+      input_path = need_value();
+    } else if (flag == "--variants") {
+      variant_paths.emplace_back(need_value());
+    } else if (flag == "--output") {
+      output_path = need_value();
+    } else if (flag == "--makefile") {
+      makefile_path = need_value();
+    } else if (flag == "--exe") {
+      exe_name = need_value();
+    } else if (flag == "--no-sync") {
+      sync_each_call = false;
+    } else if (flag == "--print-selection") {
+      print_selection = true;
+    } else if (flag == "--verbose") {
+      verbose = true;
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (pdl_path.empty() || input_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (output_path.empty()) output_path = input_path + ".cascabel.cpp";
+  if (verbose) pdl::util::set_log_level(pdl::util::LogLevel::kInfo);
+
+  // Target platform.
+  pdl::Diagnostics diags;
+  auto platform = pdl::parse_platform_file(pdl_path, diags);
+  if (!platform) {
+    std::fprintf(stderr, "cascabelc: cannot parse PDL: %s\n",
+                 platform.error().str().c_str());
+    return 1;
+  }
+  if (!pdl::validate(platform.value(), diags)) {
+    std::fprintf(stderr, "cascabelc: invalid platform description:\n");
+    for (const auto& d : diags) std::fprintf(stderr, "  %s\n", d.str().c_str());
+    return 1;
+  }
+
+  // Input program.
+  auto source = pdl::util::read_file(input_path);
+  if (!source) {
+    std::fprintf(stderr, "cascabelc: cannot read '%s'\n", input_path.c_str());
+    return 1;
+  }
+
+  // Translate (paper §IV-C steps 1–4).
+  cascabel::TranslationOptions options;
+  options.codegen.program_name = input_path;
+  options.codegen.sync_each_call = sync_each_call;
+  options.executable_name = exe_name;
+  for (const auto& path : variant_paths) {
+    auto text = pdl::util::read_file(path);
+    if (!text) {
+      std::fprintf(stderr, "cascabelc: cannot read variants file '%s'\n",
+                   path.c_str());
+      return 1;
+    }
+    options.variant_sources.emplace_back(path, std::move(*text));
+  }
+  auto result = cascabel::translate(*source, input_path, platform.value(), options);
+
+  const auto print_diags = [&](const pdl::Diagnostics& list) {
+    for (const auto& d : list) {
+      if (d.severity != pdl::Severity::kInfo || verbose) {
+        std::fprintf(stderr, "  %s\n", d.str().c_str());
+      }
+    }
+  };
+  if (!result) {
+    std::fprintf(stderr, "cascabelc: translation failed: %s\n",
+                 result.error().str().c_str());
+    return 1;
+  }
+  print_diags(result.value().diagnostics);
+
+  if (print_selection) {
+    // The §IV-C step-2 report: which variants survived for this target.
+    std::printf("selection for target '%s':\n",
+                platform.value().name().empty() ? pdl_path.c_str()
+                                                : platform.value().name().c_str());
+    for (const auto& [interface_name, candidates] :
+         result.value().selection.by_interface) {
+      std::printf("  %s:\n", interface_name.c_str());
+      for (const auto& c : candidates) {
+        std::printf("    %-24s via %-32s %s, %zu PU(s), specificity %d\n",
+                    c.variant->pragma.variant_name.c_str(),
+                    c.matched_platform.c_str(),
+                    c.is_fallback ? "fallback" : "specific", c.mapped_pus.size(),
+                    c.specificity);
+      }
+    }
+  }
+
+  if (!pdl::util::write_file(output_path, result.value().output_source)) {
+    std::fprintf(stderr, "cascabelc: cannot write '%s'\n", output_path.c_str());
+    return 1;
+  }
+  std::printf("cascabelc: %s -> %s (%zu variant(s), %zu call site(s))\n",
+              input_path.c_str(), output_path.c_str(),
+              result.value().program.variants.size(),
+              result.value().program.calls.size());
+
+  if (!makefile_path.empty()) {
+    if (!pdl::util::write_file(makefile_path,
+                               result.value().compile_plan.to_makefile())) {
+      std::fprintf(stderr, "cascabelc: cannot write '%s'\n", makefile_path.c_str());
+      return 1;
+    }
+    std::printf("cascabelc: compile plan -> %s\n", makefile_path.c_str());
+  }
+  return 0;
+}

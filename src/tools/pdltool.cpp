@@ -1,0 +1,195 @@
+// pdltool — command-line utility over the PDL library.
+//
+//   pdltool validate <platform.xml>          structural + subschema checks
+//   pdltool query <platform.xml> <what>      what: summary | groups |
+//                                            workers | interconnects
+//   pdltool match <platform.xml> <pattern>   compact-syntax pattern match
+//   pdltool discover [--gpus]                emit PDL for this host
+//   pdltool presets                          emit the built-in platforms
+//
+// The "namespace for reference to architectural properties" usage scenario
+// of paper §II, as a tool.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "discovery/discovery.hpp"
+#include "discovery/presets.hpp"
+#include "pdl/diff.hpp"
+#include "pdl/extension.hpp"
+#include "pdl/schema_export.hpp"
+#include "pdl/parser.hpp"
+#include "pdl/pattern.hpp"
+#include "pdl/query.hpp"
+#include "pdl/serializer.hpp"
+#include "pdl/validate.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s validate <platform.xml>\n"
+               "  %s query <platform.xml> summary|groups|workers|interconnects\n"
+               "  %s match <platform.xml> <compact-pattern>\n"
+               "  %s discover [--gpus]\n"
+               "  %s presets\n"
+               "  %s xsd\n"
+               "  %s diff <old.xml> <new.xml>\n"
+               "  %s path <platform.xml> <fromPu> <toPu> [bytes]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+}
+
+int load(const char* path, pdl::Platform& out) {
+  pdl::Diagnostics diags;
+  auto platform = pdl::parse_platform_file(path, diags);
+  if (!platform) {
+    std::fprintf(stderr, "pdltool: %s\n", platform.error().str().c_str());
+    return 1;
+  }
+  for (const auto& d : diags) std::fprintf(stderr, "  %s\n", d.str().c_str());
+  if (pdl::has_errors(diags)) return 1;
+  out = std::move(platform).value();
+  return 0;
+}
+
+int cmd_validate(const char* path) {
+  pdl::Platform platform;
+  if (load(path, platform) != 0) return 1;
+  pdl::Diagnostics diags;
+  const bool structure = pdl::validate(platform, diags);
+  const bool schema = pdl::builtin_registry().validate_properties(platform, diags);
+  for (const auto& d : diags) std::printf("%s\n", d.str().c_str());
+  std::printf("%s: structure %s, subschemas %s (%zu diagnostic(s))\n", path,
+              structure ? "OK" : "INVALID", schema ? "OK" : "INVALID", diags.size());
+  return structure && schema ? 0 : 1;
+}
+
+int cmd_query(const char* path, const std::string& what) {
+  pdl::Platform platform;
+  if (load(path, platform) != 0) return 1;
+  if (what == "summary") {
+    std::printf("name: %s\n", platform.name().c_str());
+    std::printf("masters: %zu\n", platform.masters().size());
+    std::printf("total PUs (quantities): %d\n", pdl::total_pu_count(platform));
+    std::printf("workers: %d\n", pdl::worker_count(platform));
+    std::printf("hierarchy depth: %d\n", pdl::hierarchy_depth(platform));
+    for (const auto& master : platform.masters()) {
+      std::printf("structure: %s\n", pdl::pattern_to_string(*master).c_str());
+    }
+  } else if (what == "groups") {
+    for (const auto& group : pdl::logic_groups(platform)) {
+      std::printf("%s:", group.c_str());
+      for (const auto* pu : pdl::group_members(platform, group)) {
+        std::printf(" %s", pu->id().c_str());
+      }
+      std::printf("\n");
+    }
+  } else if (what == "workers") {
+    for (const auto* pu : pdl::pus_of_kind(platform, pdl::PuKind::kWorker)) {
+      std::printf("%s x%d arch=%s path=%s\n", pu->id().c_str(), pu->quantity(),
+                  pdl::resolved_value(*pu, "ARCHITECTURE").c_str(),
+                  pu->path().c_str());
+    }
+  } else if (what == "interconnects") {
+    for (const auto* ic : pdl::all_interconnects(platform)) {
+      std::printf("%s -> %s type=%s scheme=%s\n", ic->from.c_str(), ic->to.c_str(),
+                  ic->type.c_str(), ic->scheme.c_str());
+    }
+  } else {
+    std::fprintf(stderr, "pdltool: unknown query '%s'\n", what.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_match(const char* path, const char* pattern) {
+  pdl::Platform platform;
+  if (load(path, platform) != 0) return 1;
+  const pdl::MatchResult result = pdl::match(pattern, platform);
+  if (result) {
+    std::printf("MATCH (%zu binding(s))\n", result.bindings.size());
+    return 0;
+  }
+  std::printf("NO MATCH: %s\n", result.reason.c_str());
+  return 1;
+}
+
+int cmd_discover(bool with_gpus) {
+  pdl::Platform platform =
+      with_gpus
+          ? pdl::discovery::make_gpgpu_platform(
+                pdl::discovery::read_host_cpu(),
+                pdl::discovery::read_host_cpu().physical_cores,
+                {"GeForce GTX 480", "GeForce GTX 285"})
+          : pdl::discovery::discover_host();
+  std::printf("%s", pdl::serialize(platform).c_str());
+  return 0;
+}
+
+int cmd_presets() {
+  for (const auto& preset : {pdl::discovery::paper_platform_single(),
+                             pdl::discovery::paper_platform_starpu_cpu(),
+                             pdl::discovery::paper_platform_starpu_2gpu(),
+                             pdl::discovery::cell_be_platform(),
+                             pdl::discovery::hierarchical_hybrid_platform()}) {
+    std::printf("<!-- preset: %s -->\n%s\n", preset.name().c_str(),
+                pdl::serialize(preset).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "validate" && argc == 3) return cmd_validate(argv[2]);
+  if (cmd == "query" && argc == 4) return cmd_query(argv[2], argv[3]);
+  if (cmd == "match" && argc == 4) return cmd_match(argv[2], argv[3]);
+  if (cmd == "discover") {
+    return cmd_discover(argc >= 3 && std::strcmp(argv[2], "--gpus") == 0);
+  }
+  if (cmd == "presets") return cmd_presets();
+  if (cmd == "path" && (argc == 5 || argc == 6)) {
+    pdl::Platform platform;
+    if (load(argv[2], platform) != 0) return 1;
+    const std::size_t bytes =
+        argc == 6 ? static_cast<std::size_t>(std::strtoull(argv[5], nullptr, 10))
+                  : 1 << 20;
+    const auto path = pdl::data_path(platform, argv[3], argv[4]);
+    if (path.empty()) {
+      std::printf("no path from '%s' to '%s'\n", argv[3], argv[4]);
+      return 1;
+    }
+    for (const auto& hop : path) {
+      std::printf("%s -> %s via %s\n", hop.from->id().c_str(), hop.to->id().c_str(),
+                  hop.interconnect != nullptr ? hop.interconnect->type.c_str()
+                                              : "control link");
+    }
+    if (auto seconds = pdl::data_path_seconds(platform, argv[3], argv[4], bytes)) {
+      std::printf("modeled transfer of %zu bytes: %.3f us\n", bytes,
+                  *seconds * 1e6);
+    }
+    return 0;
+  }
+  if (cmd == "diff" && argc == 4) {
+    pdl::Platform old_platform, new_platform;
+    if (load(argv[2], old_platform) != 0 || load(argv[3], new_platform) != 0) {
+      return 1;
+    }
+    const auto entries = pdl::diff(old_platform, new_platform);
+    std::printf("%s", pdl::to_string(entries).c_str());
+    return entries.empty() ? 0 : 1;
+  }
+  if (cmd == "xsd") {
+    // The derived XML Schema Definition (paper §III-B).
+    std::printf("%s", pdl::export_xsd(pdl::builtin_registry()).c_str());
+    return 0;
+  }
+  usage(argv[0]);
+  return 2;
+}

@@ -1,0 +1,50 @@
+// Thread-safe leveled logging for the toolchain.
+//
+// Tools built on the library (cascabel driver, benches) want progress and
+// diagnostics on stderr without pulling in a logging framework. Severity is
+// filtered by a process-global level; each message is emitted atomically.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pdl::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-global minimum severity; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one message (appends '\n'); thread-safe.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style builder: LogStream(kInfo) << "x=" << x; emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_message(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace pdl::util
+
+#define PDL_LOG_DEBUG ::pdl::util::detail::LogStream(::pdl::util::LogLevel::kDebug)
+#define PDL_LOG_INFO ::pdl::util::detail::LogStream(::pdl::util::LogLevel::kInfo)
+#define PDL_LOG_WARN ::pdl::util::detail::LogStream(::pdl::util::LogLevel::kWarn)
+#define PDL_LOG_ERROR ::pdl::util::detail::LogStream(::pdl::util::LogLevel::kError)

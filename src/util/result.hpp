@@ -1,0 +1,106 @@
+// Result<T>: a lightweight expected-like type used across the PDL toolchain.
+//
+// The toolchain consumes documents and source files from disk, so most
+// front-end entry points can fail for reasons the caller must be able to
+// report (malformed XML, invalid PDL structure, unknown pragma syntax).
+// Those return Result<T> instead of throwing; internal logic errors still
+// use assertions/exceptions.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pdl::util {
+
+/// A failure description carried by Result<T>.
+///
+/// `where` is a free-form source locator ("file.xml:12:4" or a pragma
+/// location); empty when the error is not tied to a location.
+struct Error {
+  std::string message;
+  std::string where;
+
+  /// Human-readable "where: message" (or just the message).
+  std::string str() const {
+    return where.empty() ? message : where + ": " + message;
+  }
+};
+
+/// Minimal expected-like result: either a value of T or an Error.
+///
+/// gcc 12 / C++20 has no std::expected; this is the small subset the
+/// toolchain needs (construction, ok(), value access, error access, map).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+  /// Convenience factory for failures.
+  static Result failure(std::string message, std::string where = {}) {
+    return Result(Error{std::move(message), std::move(where)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Value or a caller-supplied fallback.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Apply `f` to the value if present, propagate the error otherwise.
+  template <typename F>
+  auto map(F&& f) const -> Result<decltype(f(std::declval<const T&>()))> {
+    if (!ok()) return error();
+    return f(value());
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue: success flag plus optional error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                    // success
+  Status(Error error) : error_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  static Status failure(std::string message, std::string where = {}) {
+    return Status(Error{std::move(message), std::move(where)});
+  }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace pdl::util

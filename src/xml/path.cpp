@@ -1,0 +1,176 @@
+#include "xml/path.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "util/string_util.hpp"
+
+namespace pdl::xml {
+
+namespace {
+
+struct Predicate {
+  // Exactly one of the two forms is active.
+  std::optional<std::pair<std::string, std::string>> attr_equals;
+  std::optional<std::size_t> index;  // 1-based position among matches
+};
+
+struct Step {
+  std::string name;  // "*" matches any element
+  std::vector<Predicate> predicates;
+};
+
+/// Parse one step "name[@a='v'][2]"; returns false on syntax error.
+bool parse_step(std::string_view text, Step& step) {
+  const auto bracket = text.find('[');
+  step.name = std::string(util::trim(text.substr(0, bracket)));
+  if (step.name.empty()) return false;
+  std::string_view rest = bracket == std::string_view::npos ? std::string_view{}
+                                                            : text.substr(bracket);
+  while (!rest.empty()) {
+    if (rest[0] != '[') return false;
+    const auto close = rest.find(']');
+    if (close == std::string_view::npos) return false;
+    std::string_view body = util::trim(rest.substr(1, close - 1));
+    Predicate pred;
+    if (!body.empty() && body[0] == '@') {
+      const auto eq = body.find('=');
+      if (eq == std::string_view::npos) return false;
+      std::string attr(util::trim(body.substr(1, eq - 1)));
+      std::string_view value = util::trim(body.substr(eq + 1));
+      if (value.size() < 2 || (value.front() != '\'' && value.front() != '"') ||
+          value.back() != value.front()) {
+        return false;
+      }
+      pred.attr_equals = {std::move(attr), std::string(value.substr(1, value.size() - 2))};
+    } else {
+      auto idx = util::parse_int(body);
+      if (!idx || *idx < 1) return false;
+      pred.index = static_cast<std::size_t>(*idx);
+    }
+    step.predicates.push_back(std::move(pred));
+    rest = rest.substr(close + 1);
+  }
+  return true;
+}
+
+bool name_matches(const Element& e, const std::string& pattern) {
+  return pattern == "*" || e.name() == pattern || e.local_name() == pattern;
+}
+
+void collect_descendants(const Element& e, const std::string& name,
+                         std::vector<const Element*>& out) {
+  for (const auto& c : e.children()) {
+    if (const auto* child = c->as_element()) {
+      if (name_matches(*child, name)) out.push_back(child);
+      collect_descendants(*child, name, out);
+    }
+  }
+}
+
+std::vector<const Element*> apply_predicates(std::vector<const Element*> matches,
+                                             const Step& step) {
+  for (const auto& pred : step.predicates) {
+    std::vector<const Element*> filtered;
+    if (pred.attr_equals) {
+      for (const auto* e : matches) {
+        if (auto v = e->attribute(pred.attr_equals->first);
+            v && *v == pred.attr_equals->second) {
+          filtered.push_back(e);
+        }
+      }
+    } else if (pred.index) {
+      if (*pred.index <= matches.size()) filtered.push_back(matches[*pred.index - 1]);
+    }
+    matches = std::move(filtered);
+  }
+  return matches;
+}
+
+}  // namespace
+
+std::vector<const Element*> select_all(const Element& context, std::string_view path) {
+  path = util::trim(path);
+  if (path.empty()) return {};
+
+  // Descendant-or-self axis: "//name".
+  if (util::starts_with(path, "//")) {
+    Step step;
+    if (!parse_step(path.substr(2), step)) return {};
+    std::vector<const Element*> out;
+    if (name_matches(context, step.name)) out.push_back(&context);
+    collect_descendants(context, step.name, out);
+    return apply_predicates(std::move(out), step);
+  }
+
+  bool anchored = false;
+  if (!path.empty() && path[0] == '/') {
+    anchored = true;
+    path = path.substr(1);
+  }
+
+  std::vector<Step> steps;
+  for (const auto& part : util::split(path, '/')) {
+    Step step;
+    if (!parse_step(part, step)) return {};
+    steps.push_back(std::move(step));
+  }
+  if (steps.empty()) return {};
+
+  std::vector<const Element*> frontier;
+  std::size_t first_step = 0;
+  if (anchored) {
+    // Leading '/': first step names the context element itself.
+    auto matches = apply_predicates(
+        name_matches(context, steps[0].name) ? std::vector<const Element*>{&context}
+                                             : std::vector<const Element*>{},
+        steps[0]);
+    frontier = std::move(matches);
+    first_step = 1;
+  } else {
+    frontier.push_back(&context);
+  }
+
+  for (std::size_t s = first_step; s < steps.size(); ++s) {
+    std::vector<const Element*> next;
+    for (const auto* e : frontier) {
+      std::vector<const Element*> matches;
+      for (const auto& c : e->children()) {
+        if (const auto* child = c->as_element()) {
+          if (name_matches(*child, steps[s].name)) matches.push_back(child);
+        }
+      }
+      matches = apply_predicates(std::move(matches), steps[s]);
+      next.insert(next.end(), matches.begin(), matches.end());
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+std::vector<Element*> select_all(Element& context, std::string_view path) {
+  auto matches = select_all(static_cast<const Element&>(context), path);
+  std::vector<Element*> out;
+  out.reserve(matches.size());
+  for (const auto* e : matches) out.push_back(const_cast<Element*>(e));
+  return out;
+}
+
+const Element* select_first(const Element& context, std::string_view path) {
+  auto matches = select_all(context, path);
+  return matches.empty() ? nullptr : matches.front();
+}
+
+Element* select_first(Element& context, std::string_view path) {
+  auto matches = select_all(context, path);
+  return matches.empty() ? nullptr : matches.front();
+}
+
+std::string select_text(const Element& context, std::string_view path) {
+  const Element* e = select_first(context, path);
+  return e != nullptr ? e->text_content() : std::string();
+}
+
+}  // namespace pdl::xml

@@ -1,0 +1,37 @@
+// Minimal path queries over the DOM — the slice of XPath the PDL toolchain
+// needs for descriptor lookups and tests.
+//
+// Grammar (steps separated by '/'):
+//   path      := ['/'] step ('/' step)*  |  '//' name
+//   step      := name predicate* | '*' predicate*
+//   predicate := '[' '@' attr '=' '\'' value '\'' ']' | '[' index ']'
+//
+// Examples:
+//   "Master/Worker"                    children named Worker under Master
+//   "Master/Worker[@id='1']"           attribute match
+//   "Master/*[2]"                      second child element (1-based)
+//   "//Property"                       every descendant named Property
+//
+// Paths are evaluated relative to a context element; a leading '/' anchors
+// the first step at the context element itself (checking its name).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace pdl::xml {
+
+/// All elements matching `path` relative to `context`.
+std::vector<const Element*> select_all(const Element& context, std::string_view path);
+std::vector<Element*> select_all(Element& context, std::string_view path);
+
+/// First match or nullptr.
+const Element* select_first(const Element& context, std::string_view path);
+Element* select_first(Element& context, std::string_view path);
+
+/// Text content of the first match ("" when no match).
+std::string select_text(const Element& context, std::string_view path);
+
+}  // namespace pdl::xml

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "annot/annotated_program.hpp"
+
+namespace cascabel {
+namespace {
+
+// The paper's Listings 3+4 as one program (sizes added per our convention).
+constexpr const char* kVecaddProgram = R"(
+#include <cstddef>
+
+#pragma cascabel task : x86 \
+  : Ivecadd \
+  : vecadd01 \
+  : ( A: readwrite, B: read )
+void vectoradd(double *A, double *B, int n) {
+  for (int i = 0; i < n; ++i) A[i] += B[i];
+}
+
+int main() {
+  const int N = 1024;
+  double A[1024] = {0};
+  double B[1024] = {0};
+#pragma cascabel execute Ivecadd : executionset01 (A:BLOCK:N, B:BLOCK:N)
+  vectoradd(A, B);
+  return 0;
+}
+)";
+
+TEST(AnnotatedProgram, ScansPaperVecaddProgram) {
+  pdl::Diagnostics diags;
+  auto program = parse_annotated_source(kVecaddProgram, "vecadd.cpp", diags);
+  ASSERT_TRUE(program.ok()) << program.error().str();
+  const AnnotatedProgram& p = program.value();
+
+  ASSERT_EQ(p.variants.size(), 1u);
+  const TaskVariant& v = p.variants[0];
+  EXPECT_EQ(v.pragma.task_interface, "Ivecadd");
+  EXPECT_EQ(v.pragma.variant_name, "vecadd01");
+  EXPECT_EQ(v.function.name, "vectoradd");
+  ASSERT_EQ(v.function.param_names.size(), 3u);
+  EXPECT_NE(v.source_text.find("A[i] += B[i]"), std::string::npos);
+
+  ASSERT_EQ(p.calls.size(), 1u);
+  const CallSite& call = p.calls[0];
+  EXPECT_EQ(call.callee, "vectoradd");
+  EXPECT_EQ(call.pragma.task_interface, "Ivecadd");
+  EXPECT_EQ(call.pragma.execution_group, "executionset01");
+  ASSERT_EQ(call.args.size(), 2u);
+}
+
+TEST(AnnotatedProgram, FindVariantAndVariantsOf) {
+  pdl::Diagnostics diags;
+  auto program = parse_annotated_source(kVecaddProgram, "vecadd.cpp", diags);
+  ASSERT_TRUE(program.ok());
+  EXPECT_NE(program.value().find_variant("vecadd01"), nullptr);
+  EXPECT_EQ(program.value().find_variant("missing"), nullptr);
+  EXPECT_EQ(program.value().variants_of("Ivecadd").size(), 1u);
+  EXPECT_TRUE(program.value().variants_of("Iother").empty());
+}
+
+TEST(AnnotatedProgram, MultipleVariantsOfOneInterface) {
+  const char* kSource = R"(
+#pragma cascabel task : x86 : Iop : op_seq : (A: readwrite)
+void op_a(double* A, int n) { (void)A; (void)n; }
+#pragma cascabel task : cuda : Iop : op_gpu : (A: readwrite)
+void op_b(double* A, int n) { (void)A; (void)n; }
+)";
+  pdl::Diagnostics diags;
+  auto program = parse_annotated_source(kSource, "multi.cpp", diags);
+  ASSERT_TRUE(program.ok()) << program.error().str();
+  EXPECT_EQ(program.value().variants_of("Iop").size(), 2u);
+}
+
+TEST(AnnotatedProgram, DanglingTaskPragmaIsError) {
+  const char* kSource = R"(
+#pragma cascabel task : x86 : I : v : (A: read)
+int x = 3;
+)";
+  pdl::Diagnostics diags;
+  auto program = parse_annotated_source(kSource, "bad.cpp", diags);
+  EXPECT_FALSE(program.ok());
+  EXPECT_TRUE(pdl::has_errors(diags));
+}
+
+TEST(AnnotatedProgram, DanglingExecutePragmaIsError) {
+  const char* kSource = R"(
+#pragma cascabel task : x86 : I : v : (A: read)
+void f(double* A) { (void)A; }
+#pragma cascabel execute I : g (A:BLOCK:4)
+int x = 3;
+)";
+  pdl::Diagnostics diags;
+  auto program = parse_annotated_source(kSource, "bad.cpp", diags);
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(AnnotatedProgram, ExecuteOfUnknownInterfaceIsError) {
+  const char* kSource = R"(
+#pragma cascabel execute Imissing : g (A:BLOCK:4)
+f(A);
+)";
+  pdl::Diagnostics diags;
+  auto program = parse_annotated_source(kSource, "bad.cpp", diags);
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(AnnotatedProgram, DuplicateVariantNamesAreError) {
+  const char* kSource = R"(
+#pragma cascabel task : x86 : I : same : (A: read)
+void f(double* A) { (void)A; }
+#pragma cascabel task : cuda : I : same : (A: read)
+void g(double* A) { (void)A; }
+)";
+  pdl::Diagnostics diags;
+  auto program = parse_annotated_source(kSource, "dup.cpp", diags);
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(AnnotatedProgram, ArityMismatchAcrossVariantsIsError) {
+  const char* kSource = R"(
+#pragma cascabel task : x86 : I : one : (A: read)
+void f(double* A) { (void)A; }
+#pragma cascabel task : cuda : I : two : (A: read)
+void g(double* A, double* B) { (void)A; (void)B; }
+)";
+  pdl::Diagnostics diags;
+  auto program = parse_annotated_source(kSource, "arity.cpp", diags);
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(AnnotatedProgram, UnknownParamInPragmaWarns) {
+  const char* kSource = R"(
+#pragma cascabel task : x86 : I : v : (Z: read)
+void f(double* A) { (void)A; }
+)";
+  pdl::Diagnostics diags;
+  auto program = parse_annotated_source(kSource, "warn.cpp", diags);
+  ASSERT_TRUE(program.ok()) << program.error().str();
+  EXPECT_GE(pdl::count_severity(diags, pdl::Severity::kWarning), 1u);
+}
+
+TEST(AnnotatedProgram, UnknownDistributionParamWarns) {
+  const char* kSource = R"(
+#pragma cascabel task : x86 : I : v : (A: readwrite)
+void f(double* A, int n) { (void)A; (void)n; }
+int main() {
+  double A[4];
+  const int N = 4;
+#pragma cascabel execute I : g (Q:BLOCK:N)
+  f(A, N);
+}
+)";
+  pdl::Diagnostics diags;
+  auto program = parse_annotated_source(kSource, "warn2.cpp", diags);
+  ASSERT_TRUE(program.ok()) << program.error().str();
+  EXPECT_GE(pdl::count_severity(diags, pdl::Severity::kWarning), 1u);
+}
+
+TEST(AnnotatedProgram, ProgramWithoutPragmasIsEmptyButValid) {
+  pdl::Diagnostics diags;
+  auto program = parse_annotated_source("int main() { return 0; }", "plain.cpp", diags);
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program.value().variants.empty());
+  EXPECT_TRUE(program.value().calls.empty());
+}
+
+}  // namespace
+}  // namespace cascabel

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "annot/source_scanner.hpp"
+
+namespace cascabel {
+namespace {
+
+TEST(FindPragmas, FindsCascabelPragmasOnly) {
+  const char* kSource = R"(
+#include <x.h>
+#pragma once
+#pragma cascabel task : x86 : I : v : (A: read)
+void f() {}
+#pragma omp parallel
+#pragma cascabel execute I : g (A:BLOCK:4)
+f();
+)";
+  const auto pragmas = find_cascabel_pragmas(kSource);
+  ASSERT_EQ(pragmas.size(), 2u);
+  EXPECT_EQ(pragmas[0].text.substr(0, 13), "cascabel task");
+  EXPECT_EQ(pragmas[1].text.substr(0, 16), "cascabel execute");
+  EXPECT_EQ(pragmas[0].range.line, 4);
+  EXPECT_EQ(pragmas[1].range.line, 7);
+}
+
+TEST(FindPragmas, FoldsBackslashContinuations) {
+  const char* kSource =
+      "#pragma cascabel task : x86 \\\n"
+      " : Iface \\\n"
+      " : name : (A: read)\n";
+  const auto pragmas = find_cascabel_pragmas(kSource);
+  ASSERT_EQ(pragmas.size(), 1u);
+  EXPECT_EQ(pragmas[0].text.find('\n'), std::string::npos);
+  EXPECT_NE(pragmas[0].text.find("Iface"), std::string::npos);
+}
+
+TEST(FindPragmas, IgnoresPragmasInCommentsAndStrings) {
+  const char* kSource = R"(
+// #pragma cascabel task : fake
+/* #pragma cascabel execute fake */
+const char* s = "#pragma cascabel task : also fake";
+#pragma cascabel execute Real : g (A:BLOCK:1)
+x();
+)";
+  const auto pragmas = find_cascabel_pragmas(kSource);
+  ASSERT_EQ(pragmas.size(), 1u);
+  EXPECT_NE(pragmas[0].text.find("Real"), std::string::npos);
+}
+
+TEST(NextFunction, ParsesSimpleDefinition) {
+  const char* kSource = "void vectoradd(double *A, double *B) { A[0] += B[0]; }";
+  const auto fn = next_function_definition(kSource, 0);
+  ASSERT_TRUE(fn.has_value());
+  EXPECT_EQ(fn->name, "vectoradd");
+  EXPECT_EQ(fn->return_type, "void");
+  ASSERT_EQ(fn->param_names.size(), 2u);
+  EXPECT_EQ(fn->param_names[0], "A");
+  EXPECT_EQ(fn->param_names[1], "B");
+  EXPECT_EQ(fn->param_types[0], "double *");
+  EXPECT_EQ(fn->definition.begin, 0u);
+  EXPECT_EQ(fn->definition.end, std::string(kSource).size());
+}
+
+TEST(NextFunction, SkipsDeclarationsAndCalls) {
+  const char* kSource = R"(
+void decl(int x);
+int other = compute(1, 2);
+static double real_one(const double* p, int n) { return p[n]; }
+)";
+  const auto fn = next_function_definition(kSource, 0);
+  ASSERT_TRUE(fn.has_value());
+  EXPECT_EQ(fn->name, "real_one");
+  EXPECT_EQ(fn->return_type, "static double");
+  ASSERT_EQ(fn->param_names.size(), 2u);
+  EXPECT_EQ(fn->param_names[0], "p");
+  EXPECT_EQ(fn->param_types[0], "const double*");
+  EXPECT_EQ(fn->param_names[1], "n");
+  EXPECT_EQ(fn->param_types[1], "int");
+}
+
+TEST(NextFunction, HandlesNestedBracesAndStrings) {
+  const char* kSource = R"(
+int f(int a) {
+  if (a) { return '}'; }
+  const char* s = "}}}";
+  return 0;
+}
+int g() { return 1; }
+)";
+  const auto fn = next_function_definition(kSource, 0);
+  ASSERT_TRUE(fn.has_value());
+  EXPECT_EQ(fn->name, "f");
+  // The body must end at f's closing brace, not g's.
+  const std::string body(std::string(kSource).substr(
+      fn->body.begin, fn->body.end - fn->body.begin));
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_EQ(body.back(), '}');
+  EXPECT_NE(body.find("\"}}}\""), std::string::npos);
+  EXPECT_EQ(body.find("return 1"), std::string::npos);
+}
+
+TEST(NextFunction, VoidParameterListIsEmpty) {
+  const auto fn = next_function_definition("int main(void) { return 0; }", 0);
+  ASSERT_TRUE(fn.has_value());
+  EXPECT_TRUE(fn->param_names.empty());
+}
+
+TEST(NextFunction, NoDefinitionReturnsNullopt) {
+  EXPECT_FALSE(next_function_definition("int x = 3; void f(int);", 0).has_value());
+  EXPECT_FALSE(next_function_definition("", 0).has_value());
+}
+
+TEST(NextCall, ParsesPlainCall) {
+  const auto call = next_call_statement("  vectoradd( A, B );", 0);
+  ASSERT_TRUE(call.has_value());
+  EXPECT_EQ(call->callee, "vectoradd");
+  ASSERT_EQ(call->args.size(), 2u);
+  EXPECT_EQ(call->args[0], "A");
+  EXPECT_EQ(call->args[1], "B");
+}
+
+TEST(NextCall, ParsesQualifiedCalleeAndExpressions) {
+  const auto call = next_call_statement("ns::obj.run(x + 1, f(y), \"s,t\");", 0);
+  ASSERT_TRUE(call.has_value());
+  EXPECT_EQ(call->callee, "ns::obj.run");
+  ASSERT_EQ(call->args.size(), 3u);
+  EXPECT_EQ(call->args[0], "x + 1");
+  EXPECT_EQ(call->args[1], "f(y)");
+  EXPECT_EQ(call->args[2], "\"s,t\"");  // comma inside string not a separator
+}
+
+TEST(NextCall, RejectsNonCalls) {
+  EXPECT_FALSE(next_call_statement("int x = 3;", 0).has_value());
+  EXPECT_FALSE(next_call_statement("f(x)", 0).has_value());  // no semicolon
+  EXPECT_FALSE(next_call_statement("", 0).has_value());
+}
+
+TEST(FindMatching, BalancedAndUnbalanced) {
+  const std::string s = "(a(b)c)";
+  EXPECT_EQ(find_matching(s, 0, '(', ')'), s.size());
+  EXPECT_EQ(find_matching("((", 0, '(', ')'), std::string::npos);
+  EXPECT_EQ(find_matching("x", 0, '(', ')'), std::string::npos);
+}
+
+TEST(LineOf, CountsNewlines) {
+  EXPECT_EQ(line_of("a\nb\nc", 0), 1);
+  EXPECT_EQ(line_of("a\nb\nc", 2), 2);
+  EXPECT_EQ(line_of("a\nb\nc", 4), 3);
+}
+
+}  // namespace
+}  // namespace cascabel

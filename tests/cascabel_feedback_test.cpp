@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "cascabel/feedback.hpp"
+#include "discovery/presets.hpp"
+#include "pdl/query.hpp"
+#include "pdl/well_known.hpp"
+#include "starvm/bridge.hpp"
+
+namespace cascabel {
+namespace {
+
+/// Stats as if device `name` ran `flops` of work in `busy` seconds.
+starvm::EngineStats stats_for(std::initializer_list<
+                              std::tuple<const char*, double, double>> devices) {
+  starvm::EngineStats stats;
+  starvm::DeviceId id = 0;
+  for (const auto& [name, flops, busy] : devices) {
+    stats.devices.push_back(
+        starvm::DeviceStats{name, starvm::DeviceKind::kCpu, 1, busy, 0.0});
+    stats.trace.push_back(
+        starvm::TaskTrace{1, "t", id, 0.0, busy, 0.0, busy, flops});
+    ++id;
+  }
+  return stats;
+}
+
+TEST(Feedback, AnnotatesMeasuredGflops) {
+  pdl::Platform target = pdl::discovery::paper_platform_starpu_cpu();
+  // Two devices from the cpu_cores PU, 5 GFLOPS observed each.
+  const auto stats =
+      stats_for({{"cpu_cores#0", 5e9, 1.0}, {"cpu_cores#1", 1e10, 2.0}});
+  RefineReport report;
+  pdl::Platform refined = refine_platform(target, stats, &report);
+  EXPECT_EQ(report.pus_updated, 1);
+
+  const pdl::ProcessingUnit* cores = pdl::find_pu(refined, "cpu_cores");
+  ASSERT_NE(cores, nullptr);
+  const pdl::Property* measured =
+      cores->descriptor().find(pdl::props::kMeasuredGflops);
+  ASSERT_NE(measured, nullptr);
+  EXPECT_FALSE(measured->fixed);  // runtime-instantiated => unfixed
+  EXPECT_NEAR(measured->as_double().value(), 5.0, 1e-6);  // 15e9 / 3.0s
+}
+
+TEST(Feedback, OriginalPlatformUntouched) {
+  pdl::Platform target = pdl::discovery::paper_platform_starpu_cpu();
+  const auto stats = stats_for({{"cpu_cores#0", 5e9, 1.0}});
+  refine_platform(target, stats);
+  EXPECT_EQ(pdl::find_pu(target, "cpu_cores")
+                ->descriptor()
+                .find(pdl::props::kMeasuredGflops),
+            nullptr);
+}
+
+TEST(Feedback, FixedSustainedIsNotOverwritten) {
+  pdl::Platform target = pdl::discovery::paper_platform_starpu_cpu();  // fixed=true
+  const auto stats = stats_for({{"cpu_cores#0", 2e9, 1.0}});
+  RefineReport report;
+  pdl::Platform refined = refine_platform(target, stats, &report);
+  EXPECT_EQ(report.sustained_updated, 0);
+  EXPECT_EQ(pdl::find_pu(refined, "cpu_cores")
+                ->descriptor()
+                .get(pdl::props::kSustainedGflops),
+            "9.8");
+}
+
+TEST(Feedback, UnfixedSustainedIsReinstantiated) {
+  pdl::Platform target = pdl::discovery::paper_platform_starpu_cpu();
+  auto* cores =
+      const_cast<pdl::ProcessingUnit*>(pdl::find_pu(target, "cpu_cores"));
+  cores->descriptor().find(pdl::props::kSustainedGflops)->fixed = false;
+
+  const auto stats = stats_for({{"cpu_cores#0", 2e9, 1.0}});
+  RefineReport report;
+  pdl::Platform refined = refine_platform(target, stats, &report);
+  EXPECT_EQ(report.sustained_updated, 1);
+  EXPECT_NEAR(pdl::find_pu(refined, "cpu_cores")
+                  ->descriptor()
+                  .get_double(pdl::props::kSustainedGflops)
+                  .value(),
+              2.0, 1e-6);
+}
+
+TEST(Feedback, MasterDeviceNameMapsBack) {
+  pdl::Platform target = pdl::discovery::paper_platform_single();
+  const auto stats = stats_for({{"master:0", 3e9, 1.0}});
+  RefineReport report;
+  pdl::Platform refined = refine_platform(target, stats, &report);
+  EXPECT_EQ(report.pus_updated, 1);
+  EXPECT_NE(pdl::find_pu(refined, "0")->descriptor().find(
+                pdl::props::kMeasuredGflops),
+            nullptr);
+}
+
+TEST(Feedback, DevicesWithoutFlopsAreSkipped) {
+  pdl::Platform target = pdl::discovery::paper_platform_starpu_cpu();
+  const auto stats = stats_for({{"cpu_cores#0", 0.0, 1.0}});
+  RefineReport report;
+  refine_platform(target, stats, &report);
+  EXPECT_EQ(report.pus_updated, 0);
+}
+
+TEST(Feedback, UnknownDeviceNamesAreIgnored) {
+  pdl::Platform target = pdl::discovery::paper_platform_starpu_cpu();
+  const auto stats = stats_for({{"mystery#0", 1e9, 1.0}});
+  RefineReport report;
+  refine_platform(target, stats, &report);
+  EXPECT_EQ(report.pus_updated, 0);
+}
+
+TEST(Feedback, RepeatedRefinementUpdatesInPlace) {
+  pdl::Platform target = pdl::discovery::paper_platform_starpu_cpu();
+  pdl::Platform once =
+      refine_platform(target, stats_for({{"cpu_cores#0", 4e9, 1.0}}));
+  pdl::Platform twice =
+      refine_platform(once, stats_for({{"cpu_cores#0", 8e9, 1.0}}));
+  const pdl::ProcessingUnit* cores = pdl::find_pu(twice, "cpu_cores");
+  // Only one MEASURED_GFLOPS property, holding the latest value.
+  int count = 0;
+  for (const auto& p : cores->descriptor().properties()) {
+    count += p.name == pdl::props::kMeasuredGflops;
+  }
+  EXPECT_EQ(count, 1);
+  EXPECT_NEAR(cores->descriptor().get_double(pdl::props::kMeasuredGflops).value(),
+              8.0, 1e-6);
+}
+
+TEST(Feedback, BridgePrefersMeasuredRate) {
+  pdl::Platform target = pdl::discovery::paper_platform_starpu_cpu();
+  pdl::Platform refined =
+      refine_platform(target, stats_for({{"cpu_cores#0", 3e9, 1.0}}));
+  auto config = starvm::engine_config_from_platform(refined);
+  ASSERT_TRUE(config.ok());
+  // All 8 CPU devices now carry the measured 3.0 instead of 9.8.
+  for (const auto& d : config.value().devices) {
+    EXPECT_NEAR(d.sustained_gflops, 3.0, 1e-6) << d.name;
+  }
+}
+
+}  // namespace
+}  // namespace cascabel

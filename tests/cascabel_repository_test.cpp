@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "cascabel/builtin_variants.hpp"
+#include "cascabel/repository.hpp"
+#include "starvm/engine.hpp"
+
+namespace cascabel {
+namespace {
+
+TaskVariant variant(const char* interface_name, const char* name,
+                    std::vector<std::string> platforms) {
+  TaskVariant v;
+  v.pragma.task_interface = interface_name;
+  v.pragma.variant_name = name;
+  v.pragma.target_platforms = std::move(platforms);
+  return v;
+}
+
+TEST(Repository, DefaultRequirementsCoverPaperPlatforms) {
+  TaskRepository repo = TaskRepository::with_defaults();
+  ASSERT_NE(repo.requirement("x86"), nullptr);
+  EXPECT_EQ(*repo.requirement("x86"), "M");
+  ASSERT_NE(repo.requirement("cuda"), nullptr);
+  EXPECT_NE(repo.requirement("cuda")->find("gpu"), std::string::npos);
+  EXPECT_NE(repo.requirement("smp"), nullptr);
+  EXPECT_NE(repo.requirement("opencl"), nullptr);
+  EXPECT_NE(repo.requirement("cell"), nullptr);
+  EXPECT_EQ(repo.requirement("vax"), nullptr);
+}
+
+TEST(Repository, AddAndLookupVariants) {
+  TaskRepository repo;
+  EXPECT_TRUE(repo.add_variant(variant("I", "a", {"x86"})));
+  EXPECT_TRUE(repo.add_variant(variant("I", "b", {"cuda"})));
+  EXPECT_TRUE(repo.add_variant(variant("J", "c", {"x86"})));
+  EXPECT_FALSE(repo.add_variant(variant("I", "a", {"cell"})));  // duplicate name
+
+  EXPECT_NE(repo.find_variant("a"), nullptr);
+  EXPECT_EQ(repo.find_variant("zz"), nullptr);
+  EXPECT_EQ(repo.variants_of("I").size(), 2u);
+  EXPECT_EQ(repo.interfaces().size(), 2u);
+}
+
+TEST(Repository, BindAndResolveImplementations) {
+  TaskRepository repo;
+  repo.add_variant(variant("I", "a", {"x86"}));
+  bool ran = false;
+  repo.bind(BoundImpl{"a", starvm::DeviceKind::kCpu,
+                      [&](const starvm::ExecContext&) { ran = true; },
+                      nullptr});
+  const BoundImpl* impl = repo.bound("a");
+  ASSERT_NE(impl, nullptr);
+  EXPECT_EQ(impl->device_kind, starvm::DeviceKind::kCpu);
+  starvm::ExecContext ctx;
+  impl->fn(ctx);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(repo.bound("other"), nullptr);
+}
+
+TEST(Repository, CustomRequirementOverrides) {
+  TaskRepository repo = TaskRepository::with_defaults();
+  repo.set_platform_requirement("cuda", "M[W(ARCHITECTURE=gpu)x4]");
+  EXPECT_EQ(*repo.requirement("cuda"), "M[W(ARCHITECTURE=gpu)x4]");
+}
+
+TEST(Repository, FallbackPlatformDetection) {
+  EXPECT_TRUE(TaskRepository::is_fallback_platform("x86"));
+  EXPECT_TRUE(TaskRepository::is_fallback_platform("X86"));
+  EXPECT_FALSE(TaskRepository::is_fallback_platform("cuda"));
+}
+
+TEST(BuiltinVariants, RegisterAllInterfaces) {
+  TaskRepository repo = TaskRepository::with_defaults();
+  register_builtin_variants(repo);
+  EXPECT_EQ(repo.variants_of("Idgemm").size(), 3u);
+  EXPECT_EQ(repo.variants_of("Ivecadd").size(), 3u);
+  // Every builtin variant has an executable binding with a flops model.
+  for (const auto& v : repo.variants()) {
+    const BoundImpl* impl = repo.bound(v.pragma.variant_name);
+    ASSERT_NE(impl, nullptr) << v.pragma.variant_name;
+    EXPECT_TRUE(static_cast<bool>(impl->fn));
+    EXPECT_TRUE(static_cast<bool>(impl->flops));
+  }
+}
+
+TEST(BuiltinVariants, DgemmImplementationComputes) {
+  TaskRepository repo;
+  register_builtin_variants(repo);
+  const BoundImpl* impl = repo.bound("dgemm_seq");
+  ASSERT_NE(impl, nullptr);
+
+  // 2x2: C += A*B with A = I, exercised through a real engine so the
+  // handles carry geometry.
+  std::vector<double> c = {0, 0, 0, 0}, a = {1, 0, 0, 1}, b = {5, 6, 7, 8};
+  starvm::EngineConfig config = starvm::EngineConfig::cpus(1);
+  starvm::Engine engine(std::move(config));
+  starvm::DataHandle* dc = engine.register_matrix(c.data(), 2, 2);
+  starvm::DataHandle* da = engine.register_matrix(a.data(), 2, 2);
+  starvm::DataHandle* db = engine.register_matrix(b.data(), 2, 2);
+  starvm::Codelet codelet;
+  codelet.name = "dgemm";
+  codelet.impls.push_back(starvm::Implementation{starvm::DeviceKind::kCpu, impl->fn});
+  codelet.flops = impl->flops;
+  engine.submit(starvm::TaskDesc{&codelet,
+                                 {{dc, starvm::Access::kReadWrite},
+                                  {da, starvm::Access::kRead},
+                                  {db, starvm::Access::kRead}}});
+  engine.wait_all();
+  EXPECT_DOUBLE_EQ(c[0], 5);
+  EXPECT_DOUBLE_EQ(c[1], 6);
+  EXPECT_DOUBLE_EQ(c[2], 7);
+  EXPECT_DOUBLE_EQ(c[3], 8);
+}
+
+}  // namespace
+}  // namespace cascabel

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/dgemm.hpp"
+#include "kernels/matrix.hpp"
+#include "kernels/vector_ops.hpp"
+
+namespace kernels {
+namespace {
+
+// All DGEMM variants must agree with the naive reference.
+class DgemmVariantTest : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DgemmVariantTest, BlockedMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Matrix a(m, k), b(k, n), c_ref(m, n), c_blk(m, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  c_ref.fill_random(3);
+  for (std::size_t i = 0; i < c_ref.rows() * c_ref.cols(); ++i) {
+    c_blk.data()[i] = c_ref.data()[i];
+  }
+  dgemm_naive(m, n, k, a.data(), b.data(), c_ref.data());
+  dgemm_blocked(m, n, k, a.data(), b.data(), c_blk.data());
+  EXPECT_LT(max_abs_diff(c_ref.data(), c_blk.data(), c_ref.rows() * c_ref.cols()),
+            1e-9);
+}
+
+TEST_P(DgemmVariantTest, ParallelMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Matrix a(m, k), b(k, n), c_ref(m, n), c_par(m, n);
+  a.fill_random(4);
+  b.fill_random(5);
+  c_ref.fill(0.5);
+  c_par.fill(0.5);
+  dgemm_naive(m, n, k, a.data(), b.data(), c_ref.data());
+  dgemm_parallel(m, n, k, a.data(), b.data(), c_par.data(), 4);
+  EXPECT_LT(max_abs_diff(c_ref.data(), c_par.data(), c_ref.rows() * c_ref.cols()),
+            1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DgemmVariantTest,
+    testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(7, 5, 3),
+                    std::make_tuple(64, 64, 64), std::make_tuple(65, 63, 67),
+                    std::make_tuple(128, 32, 96), std::make_tuple(1, 200, 1)));
+
+TEST(Dgemm, AccumulatesIntoC) {
+  // C += A*B, not C = A*B.
+  Matrix a(2, 2), b(2, 2), c(2, 2);
+  a.at(0, 0) = 1;
+  a.at(1, 1) = 1;   // identity
+  b.at(0, 0) = 3;
+  b.at(1, 1) = 4;
+  c.fill(10.0);
+  dgemm_blocked(2, 2, 2, a.data(), b.data(), c.data());
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 13.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 14.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 10.0);
+}
+
+TEST(Dgemm, IdentityTimesMatrixIsMatrix) {
+  const std::size_t n = 33;
+  Matrix eye(n, n), b(n, n), c(n, n);
+  for (std::size_t i = 0; i < n; ++i) eye.at(i, i) = 1.0;
+  b.fill_random(7);
+  dgemm_blocked(n, n, n, eye.data(), b.data(), c.data());
+  EXPECT_LT(max_abs_diff(c.data(), b.data(), n * n), 1e-12);
+}
+
+TEST(Dgemm, BlockSizeDoesNotChangeResult) {
+  const std::size_t n = 96;
+  Matrix a(n, n), b(n, n);
+  a.fill_random(8);
+  b.fill_random(9);
+  Matrix ref(n, n);
+  dgemm_blocked(n, n, n, a.data(), b.data(), ref.data(), 64);
+  for (std::size_t block : {8u, 16u, 33u, 100u, 1000u}) {
+    Matrix c(n, n);
+    dgemm_blocked(n, n, n, a.data(), b.data(), c.data(), block);
+    EXPECT_LT(max_abs_diff(ref.data(), c.data(), n * n), 1e-12) << block;
+  }
+}
+
+TEST(Dgemm, FlopCount) {
+  EXPECT_DOUBLE_EQ(dgemm_flops(2, 3, 4), 48.0);
+  EXPECT_DOUBLE_EQ(dgemm_flops(8192, 8192, 8192), 2.0 * 8192.0 * 8192.0 * 8192.0);
+}
+
+TEST(Dgemm, ZeroSizedProblemsAreNoops) {
+  Matrix a(0, 0), b(0, 0), c(0, 0);
+  dgemm_naive(0, 0, 0, a.data(), b.data(), c.data());
+  dgemm_blocked(0, 0, 0, a.data(), b.data(), c.data());
+  dgemm_parallel(0, 0, 0, a.data(), b.data(), c.data(), 2);
+}
+
+TEST(VectorOps, VectorAddMatchesPaperSemantics) {
+  // A += B (A readwrite, B read — paper Listing 3).
+  std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {10, 20, 30};
+  vector_add(a.data(), b.data(), 3);
+  EXPECT_DOUBLE_EQ(a[0], 11);
+  EXPECT_DOUBLE_EQ(a[1], 22);
+  EXPECT_DOUBLE_EQ(a[2], 33);
+}
+
+TEST(VectorOps, Daxpy) {
+  std::vector<double> x = {1, 2}, y = {10, 20};
+  daxpy(2, 3.0, x.data(), y.data());
+  EXPECT_DOUBLE_EQ(y[0], 13);
+  EXPECT_DOUBLE_EQ(y[1], 26);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  std::vector<double> x = {3, 4};
+  EXPECT_DOUBLE_EQ(ddot(2, x.data(), x.data()), 25.0);
+  EXPECT_DOUBLE_EQ(dnrm2(2, x.data()), 5.0);
+}
+
+TEST(VectorOps, Scal) {
+  std::vector<double> x = {1, -2, 4};
+  dscal(3, -0.5, x.data());
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], -2.0);
+}
+
+TEST(Matrix, FillRandomIsDeterministicPerSeed) {
+  Matrix a(4, 4), b(4, 4), c(4, 4);
+  a.fill_random(42);
+  b.fill_random(42);
+  c.fill_random(43);
+  EXPECT_EQ(max_abs_diff(a.data(), b.data(), 16), 0.0);
+  EXPECT_GT(max_abs_diff(a.data(), c.data(), 16), 0.0);
+}
+
+}  // namespace
+}  // namespace kernels

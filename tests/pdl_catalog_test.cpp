@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "discovery/presets.hpp"
+#include "pdl/catalog.hpp"
+#include "pdl/serializer.hpp"
+#include "util/string_util.hpp"
+
+namespace pdl {
+namespace {
+
+Catalog preset_catalog() {
+  Catalog catalog;
+  catalog.add(discovery::paper_platform_single());
+  catalog.add(discovery::paper_platform_starpu_cpu());
+  catalog.add(discovery::paper_platform_starpu_2gpu());
+  catalog.add(discovery::cell_be_platform());
+  catalog.add(discovery::hierarchical_hybrid_platform());
+  return catalog;
+}
+
+TEST(Catalog, AddAndFindByName) {
+  Catalog catalog = preset_catalog();
+  EXPECT_EQ(catalog.size(), 5u);
+  EXPECT_NE(catalog.find("cell-be"), nullptr);
+  EXPECT_EQ(catalog.find("not-there"), nullptr);
+  const auto names = catalog.names();
+  EXPECT_EQ(names.front(), "testbed-single");
+}
+
+TEST(Catalog, AddReplacesSameName) {
+  Catalog catalog;
+  catalog.add(discovery::paper_platform_single());
+  Platform replacement("testbed-single");
+  replacement.add_master("different");
+  catalog.add(std::move(replacement));
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.find("testbed-single")->masters()[0]->id(), "different");
+}
+
+TEST(Catalog, UnnamedPlatformsGetSyntheticNames) {
+  Catalog catalog;
+  Platform anonymous;
+  anonymous.add_master("m");
+  catalog.add(std::move(anonymous));
+  EXPECT_NE(catalog.find("platform-0"), nullptr);
+}
+
+TEST(Catalog, MatchingFiltersByPattern) {
+  Catalog catalog = preset_catalog();
+  // GPU-bearing platforms: testbed-2gpu and the hierarchical one.
+  EXPECT_EQ(catalog.matching("M[W(ARCHITECTURE=gpu)]").size(), 2u);
+  EXPECT_EQ(catalog.matching("M[W(ARCHITECTURE=spe)x8]").size(), 1u);
+  EXPECT_EQ(catalog.matching("M").size(), 5u);
+  EXPECT_TRUE(catalog.matching("M[W(ARCHITECTURE=fpga)]").empty());
+}
+
+TEST(Catalog, BestMatchPicksTightestPlatform) {
+  Catalog catalog = preset_catalog();
+  // Both gpu platforms match; the hierarchical one has fewer total PUs
+  // (13) than the testbed (1 + 8 + 2 = 11)... compare actual counts.
+  const Platform* best = catalog.best_match("M[W(ARCHITECTURE=gpu)]");
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->name(), "testbed-starpu-2gpu");  // 11 < 13
+
+  // Asking for 8 x86 cores excludes the hierarchical platform.
+  const Platform* cores = catalog.best_match("M[W(ARCHITECTURE=x86_core)x8]");
+  ASSERT_NE(cores, nullptr);
+  EXPECT_EQ(cores->name(), "testbed-starpu");
+  EXPECT_EQ(catalog.best_match("M[Wx100]"), nullptr);
+}
+
+TEST(Catalog, AddDirectoryLoadsShippedDescriptors) {
+  // The repository ships the preset platforms as PDL files in platforms/.
+  Catalog catalog;
+  std::vector<std::string> errors;
+  const std::size_t added =
+      catalog.add_directory(std::string(PDL_SOURCE_DIR) + "/platforms", &errors);
+  EXPECT_EQ(added, 5u) << util::join(errors, "; ");
+  EXPECT_NE(catalog.find("testbed-starpu-2gpu"), nullptr);
+  EXPECT_NE(catalog.find("cell-be"), nullptr);
+  // They are real PDL: pattern queries work on the loaded set.
+  EXPECT_EQ(catalog.matching("M[W(ARCHITECTURE=gpu)x2]").size(), 1u);
+}
+
+TEST(Catalog, AddDirectoryReportsMissingDir) {
+  Catalog catalog;
+  std::vector<std::string> errors;
+  EXPECT_EQ(catalog.add_directory("/no/such/dir", &errors), 0u);
+  EXPECT_EQ(errors.size(), 1u);
+}
+
+TEST(Catalog, AddFileRoundTrip) {
+  const std::string path = testing::TempDir() + "/catalog_entry.xml";
+  ASSERT_TRUE(
+      util::write_file(path, serialize(discovery::paper_platform_starpu_2gpu())));
+  Catalog catalog;
+  auto status = catalog.add_file(path);
+  ASSERT_TRUE(status.ok()) << status.error().str();
+  EXPECT_NE(catalog.find("testbed-starpu-2gpu"), nullptr);
+
+  EXPECT_FALSE(catalog.add_file("/missing.xml").ok());
+  const std::string bad = testing::TempDir() + "/bad_entry.xml";
+  ASSERT_TRUE(util::write_file(bad, "<Master><Worker/></Master>"));
+  EXPECT_FALSE(catalog.add_file(bad).ok());  // missing ids -> error diags
+}
+
+}  // namespace
+}  // namespace pdl

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "discovery/presets.hpp"
+#include "pdl/query.hpp"
+#include "pdl/well_known.hpp"
+
+namespace pdl {
+namespace {
+
+/// The Figure-2 shape: M(m0) -> { H(h0) -> {W(w00)x4, W(w01:gpu)},
+///                                H(h1) -> {W(w10)x4}, W(w2:gpu) }.
+Platform figure2_platform() { return discovery::hierarchical_hybrid_platform(); }
+
+TEST(Query, AllPusIsPreOrder) {
+  Platform p = figure2_platform();
+  const auto pus = all_pus(p);
+  ASSERT_EQ(pus.size(), 7u);
+  EXPECT_EQ(pus[0]->id(), "m0");
+  EXPECT_EQ(pus[1]->id(), "h0");
+  EXPECT_EQ(pus[2]->id(), "w00");
+  EXPECT_EQ(pus[3]->id(), "w01");
+  EXPECT_EQ(pus[4]->id(), "h1");
+  EXPECT_EQ(pus[5]->id(), "w10");
+  EXPECT_EQ(pus[6]->id(), "w2");
+}
+
+TEST(Query, SubtreeIncludesRoot) {
+  Platform p = figure2_platform();
+  const ProcessingUnit* h0 = find_pu(p, "h0");
+  ASSERT_NE(h0, nullptr);
+  const auto pus = subtree(*h0);
+  ASSERT_EQ(pus.size(), 3u);
+  EXPECT_EQ(pus[0]->id(), "h0");
+}
+
+TEST(Query, VisitStopsEarly) {
+  Platform p = figure2_platform();
+  int visited = 0;
+  visit(p, [&](const ProcessingUnit&) { return ++visited < 3; });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(Query, FindPuById) {
+  Platform p = figure2_platform();
+  EXPECT_NE(find_pu(p, "w10"), nullptr);
+  EXPECT_EQ(find_pu(p, "nope"), nullptr);
+}
+
+TEST(Query, PusOfKind) {
+  Platform p = figure2_platform();
+  EXPECT_EQ(pus_of_kind(p, PuKind::kMaster).size(), 1u);
+  EXPECT_EQ(pus_of_kind(p, PuKind::kHybrid).size(), 2u);
+  EXPECT_EQ(pus_of_kind(p, PuKind::kWorker).size(), 4u);
+}
+
+TEST(Query, PusWithPropertyIsCaseInsensitiveOnValue) {
+  Platform p = figure2_platform();
+  EXPECT_EQ(pus_with_property(p, props::kArchitecture, "GPU").size(), 2u);
+  EXPECT_EQ(pus_with_property(p, props::kArchitecture, "x86_core").size(), 2u);
+  EXPECT_TRUE(pus_with_property(p, props::kArchitecture, "spe").empty());
+}
+
+TEST(Query, WorkerCountSumsQuantities) {
+  Platform p = figure2_platform();
+  // w00 x4 + w01 + w10 x4 + w2 = 10
+  EXPECT_EQ(worker_count(p), 10);
+  const ProcessingUnit* h1 = find_pu(p, "h1");
+  EXPECT_EQ(worker_count(*h1), 4);
+}
+
+TEST(Query, TotalPuCountAndDepth) {
+  Platform p = figure2_platform();
+  // m0 + h0 + 4 + 1 + h1 + 4 + 1 = 13
+  EXPECT_EQ(total_pu_count(p), 13);
+  EXPECT_EQ(hierarchy_depth(p), 2);
+
+  Platform empty;
+  EXPECT_EQ(hierarchy_depth(empty), -1);
+  EXPECT_EQ(total_pu_count(empty), 0);
+}
+
+TEST(Query, GroupMembersAndGroupList) {
+  Platform p = discovery::paper_platform_starpu_2gpu();
+  EXPECT_EQ(group_members(p, "gpu").size(), 2u);
+  EXPECT_EQ(group_members(p, "cpu").size(), 1u);  // one Worker node (qty 8)
+  EXPECT_EQ(group_members(p, "all").size(), 3u);
+  EXPECT_TRUE(group_members(p, "nothing").empty());
+
+  const auto groups = logic_groups(p);
+  EXPECT_NE(std::find(groups.begin(), groups.end(), "gpu"), groups.end());
+  EXPECT_NE(std::find(groups.begin(), groups.end(), "cpu"), groups.end());
+}
+
+TEST(Query, ResolvePropertyInheritsUpward) {
+  Platform p("t");
+  ProcessingUnit* m = p.add_master("m");
+  m->descriptor().add(props::kCompiler, "gcc");
+  ProcessingUnit* h = m->add_child(PuKind::kHybrid, "h");
+  ProcessingUnit* w = h->add_child(PuKind::kWorker, "w");
+  w->descriptor().add(props::kArchitecture, "gpu");
+
+  // Own property wins; missing ones resolve upward.
+  EXPECT_EQ(resolved_value(*w, props::kArchitecture), "gpu");
+  EXPECT_EQ(resolved_value(*w, props::kCompiler), "gcc");
+  EXPECT_EQ(resolved_value(*w, "MISSING"), "");
+
+  // Closer declarations shadow farther ones.
+  h->descriptor().add(props::kCompiler, "clang");
+  EXPECT_EQ(resolved_value(*w, props::kCompiler), "clang");
+}
+
+TEST(Query, FindInterconnectSearchesBothDirections) {
+  Platform p = discovery::paper_platform_starpu_2gpu();
+  EXPECT_NE(find_interconnect(p, "0", "gpu1"), nullptr);
+  EXPECT_NE(find_interconnect(p, "gpu1", "0"), nullptr);
+  EXPECT_EQ(find_interconnect(p, "gpu1", "gpu2"), nullptr);
+  EXPECT_EQ(all_interconnects(p).size(), 2u);
+}
+
+TEST(Query, DataPathUsesDeclaredInterconnect) {
+  Platform p = discovery::paper_platform_starpu_2gpu();
+  const auto path = data_path(p, "0", "gpu1");
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_NE(path[0].interconnect, nullptr);
+  EXPECT_EQ(path[0].interconnect->type, "PCIe");
+}
+
+TEST(Query, DataPathRoutesThroughLowestCommonAncestor) {
+  Platform p = figure2_platform();
+  // w00 -> w10: up to h0, up to m0, down to h1, down to w10.
+  const auto path = data_path(p, "w00", "w10");
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0].from->id(), "w00");
+  EXPECT_EQ(path[0].to->id(), "h0");
+  EXPECT_EQ(path[1].to->id(), "m0");
+  EXPECT_EQ(path[2].to->id(), "h1");
+  EXPECT_EQ(path[3].to->id(), "w10");
+  // No interconnects are declared in this platform: control-link hops.
+  for (const auto& hop : path) EXPECT_EQ(hop.interconnect, nullptr);
+}
+
+TEST(Query, DataPathBetweenGpusGoesViaHost) {
+  Platform p = discovery::paper_platform_starpu_2gpu();
+  const auto path = data_path(p, "gpu1", "gpu2");
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].to->id(), "0");
+  // Each hop reuses the declared PCIe link.
+  EXPECT_NE(path[0].interconnect, nullptr);
+  EXPECT_NE(path[1].interconnect, nullptr);
+}
+
+TEST(Query, DataPathSecondsUsesIcDescriptors) {
+  Platform p = discovery::paper_platform_starpu_2gpu();
+  // Host -> gpu1 over the declared PCIe link: 5.6 GB/s, 12 us.
+  const std::size_t bytes = 56 * 1000 * 1000;  // 10 ms at 5.6 GB/s
+  auto seconds = data_path_seconds(p, "0", "gpu1", bytes);
+  ASSERT_TRUE(seconds.has_value());
+  EXPECT_NEAR(*seconds, 0.010 + 12e-6, 1e-6);
+}
+
+TEST(Query, DataPathSecondsSumsHops) {
+  Platform p = discovery::paper_platform_starpu_2gpu();
+  // gpu1 -> gpu2 routes through the host: both PCIe links traversed.
+  auto direct = data_path_seconds(p, "0", "gpu1", 1 << 20);
+  auto bounced = data_path_seconds(p, "gpu1", "gpu2", 1 << 20);
+  ASSERT_TRUE(direct.has_value());
+  ASSERT_TRUE(bounced.has_value());
+  EXPECT_GT(*bounced, *direct);
+}
+
+TEST(Query, DataPathSecondsDefaultsForControlLinks) {
+  Platform p = figure2_platform();  // no interconnects declared
+  auto seconds = data_path_seconds(p, "w00", "w10", 1000, 1.0, 10.0);
+  ASSERT_TRUE(seconds.has_value());
+  // 4 control hops at 10 us + 1 us each.
+  EXPECT_NEAR(*seconds, 4 * (10e-6 + 1e-6), 1e-9);
+}
+
+TEST(Query, DataPathSecondsEdgeCases) {
+  Platform p = figure2_platform();
+  EXPECT_EQ(data_path_seconds(p, "m0", "m0", 1 << 20), 0.0);
+  EXPECT_FALSE(data_path_seconds(p, "m0", "ghost", 1).has_value());
+}
+
+TEST(Query, DataPathDegenerateCases) {
+  Platform p = figure2_platform();
+  EXPECT_TRUE(data_path(p, "m0", "m0").empty());
+  EXPECT_TRUE(data_path(p, "m0", "ghost").empty());
+
+  // Two masters without interconnects: unreachable.
+  Platform q("two");
+  q.add_master("a");
+  q.add_master("b");
+  EXPECT_TRUE(data_path(q, "a", "b").empty());
+}
+
+}  // namespace
+}  // namespace pdl

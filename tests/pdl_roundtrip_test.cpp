@@ -1,0 +1,193 @@
+// Property-based round-trip testing: randomly generated platforms must
+// survive serialize -> parse structurally intact and validate cleanly.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "pdl/extension.hpp"
+#include "pdl/parser.hpp"
+#include "pdl/pattern.hpp"
+#include "pdl/query.hpp"
+#include "pdl/serializer.hpp"
+#include "pdl/validate.hpp"
+#include "pdl/well_known.hpp"
+
+namespace pdl {
+namespace {
+
+/// Random valid platform: masters with hybrid/worker subtrees, properties
+/// (including extension-typed, units, unfixed), groups, MRs, interconnects.
+Platform random_platform(unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> small(1, 4);
+
+  Platform platform("random-" + std::to_string(seed));
+  int next_id = 0;
+  const auto fresh_id = [&] { return "pu" + std::to_string(next_id++); };
+
+  const auto decorate = [&](ProcessingUnit& pu, const char* arch) {
+    pu.descriptor().add(props::kArchitecture, arch);
+    if (coin(rng)) pu.descriptor().add(props::kFrequencyMhz, "2000");
+    if (coin(rng)) {
+      Property p;
+      p.name = props::kOclLocalMemSize;
+      p.value = "48";
+      p.unit = "kB";
+      p.fixed = false;
+      p.xsi_type = props::kOclPropertyType;
+      pu.descriptor().add(std::move(p));
+    }
+    if (coin(rng)) pu.logic_groups().push_back(coin(rng) ? "g1" : "g2");
+    if (coin(rng)) {
+      MemoryRegion mr;
+      mr.id = "mr_" + pu.id();
+      Property size;
+      size.name = props::kSize;
+      size.value = "1024";
+      size.unit = "MB";
+      mr.descriptor.add(std::move(size));
+      pu.memory_regions().push_back(std::move(mr));
+    }
+  };
+
+  const int masters = small(rng) > 3 ? 2 : 1;
+  for (int m = 0; m < masters; ++m) {
+    ProcessingUnit* master = platform.add_master(fresh_id());
+    decorate(*master, "x86");
+    const int children = small(rng);
+    std::vector<std::string> worker_ids;
+    for (int c = 0; c < children; ++c) {
+      if (coin(rng)) {
+        ProcessingUnit* hybrid = master->add_child(PuKind::kHybrid, fresh_id());
+        decorate(*hybrid, "x86");
+        ProcessingUnit* w =
+            hybrid->add_child(PuKind::kWorker, fresh_id(), small(rng));
+        decorate(*w, coin(rng) ? "gpu" : "x86_core");
+        worker_ids.push_back(w->id());
+      } else {
+        ProcessingUnit* w =
+            master->add_child(PuKind::kWorker, fresh_id(), small(rng));
+        decorate(*w, coin(rng) ? "gpu" : "x86_core");
+        worker_ids.push_back(w->id());
+      }
+    }
+    for (const auto& wid : worker_ids) {
+      if (coin(rng)) {
+        Interconnect ic;
+        ic.type = coin(rng) ? "PCIe" : "QPI";
+        ic.from = master->id();
+        ic.to = wid;
+        ic.scheme = "rDMA";
+        Property bw;
+        bw.name = props::kIcBandwidthGBs;
+        bw.value = "8.0";
+        ic.descriptor.add(std::move(bw));
+        master->interconnects().push_back(std::move(ic));
+      }
+    }
+  }
+  return platform;
+}
+
+bool pus_equal(const ProcessingUnit& a, const ProcessingUnit& b) {
+  if (a.kind() != b.kind() || a.id() != b.id() || a.quantity() != b.quantity()) {
+    return false;
+  }
+  if (a.descriptor().size() != b.descriptor().size()) return false;
+  for (std::size_t i = 0; i < a.descriptor().size(); ++i) {
+    const Property& pa = a.descriptor().properties()[i];
+    const Property& pb = b.descriptor().properties()[i];
+    if (pa.name != pb.name || pa.value != pb.value || pa.unit != pb.unit ||
+        pa.fixed != pb.fixed || pa.xsi_type != pb.xsi_type) {
+      return false;
+    }
+  }
+  if (a.logic_groups() != b.logic_groups()) return false;
+  if (a.memory_regions().size() != b.memory_regions().size()) return false;
+  for (std::size_t i = 0; i < a.memory_regions().size(); ++i) {
+    if (a.memory_regions()[i].id != b.memory_regions()[i].id) return false;
+  }
+  if (a.interconnects().size() != b.interconnects().size()) return false;
+  for (std::size_t i = 0; i < a.interconnects().size(); ++i) {
+    const Interconnect& ia = a.interconnects()[i];
+    const Interconnect& ib = b.interconnects()[i];
+    if (ia.type != ib.type || ia.from != ib.from || ia.to != ib.to) return false;
+  }
+  if (a.children().size() != b.children().size()) return false;
+  for (std::size_t i = 0; i < a.children().size(); ++i) {
+    if (!pus_equal(*a.children()[i], *b.children()[i])) return false;
+  }
+  return true;
+}
+
+class RoundTripTest : public testing::TestWithParam<unsigned> {};
+
+TEST_P(RoundTripTest, SerializeParsePreservesStructure) {
+  const Platform original = random_platform(GetParam());
+  const std::string xml = serialize(original);
+
+  Diagnostics diags;
+  auto reparsed = parse_platform(xml, diags);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().str();
+  EXPECT_FALSE(has_errors(diags));
+
+  ASSERT_EQ(reparsed.value().masters().size(), original.masters().size());
+  for (std::size_t m = 0; m < original.masters().size(); ++m) {
+    EXPECT_TRUE(pus_equal(*original.masters()[m], *reparsed.value().masters()[m]))
+        << "seed " << GetParam() << " master " << m << "\n"
+        << xml;
+  }
+  EXPECT_EQ(reparsed.value().name(), original.name());
+}
+
+TEST_P(RoundTripTest, GeneratedPlatformsAreValid) {
+  const Platform platform = random_platform(GetParam());
+  Diagnostics diags;
+  EXPECT_TRUE(validate(platform, diags));
+  EXPECT_TRUE(builtin_registry().validate_properties(platform, diags));
+  for (const auto& d : diags) {
+    EXPECT_NE(d.severity, Severity::kError) << d.str();
+  }
+}
+
+TEST_P(RoundTripTest, DoubleRoundTripIsIdentity) {
+  const Platform original = random_platform(GetParam());
+  const std::string once = serialize(original);
+  Diagnostics diags;
+  auto reparsed = parse_platform(once, diags);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(serialize(reparsed.value()), once) << "seed " << GetParam();
+}
+
+TEST_P(RoundTripTest, CloneEqualsOriginal) {
+  const Platform original = random_platform(GetParam());
+  const Platform copy = original.clone();
+  ASSERT_EQ(copy.masters().size(), original.masters().size());
+  for (std::size_t m = 0; m < original.masters().size(); ++m) {
+    EXPECT_TRUE(pus_equal(*original.masters()[m], *copy.masters()[m]));
+  }
+}
+
+TEST_P(RoundTripTest, PlatformSatisfiesItsOwnStructuralPattern) {
+  // pattern_to_string of a concrete platform is a pattern the platform
+  // itself must satisfy: every property becomes an equality constraint
+  // against its own value, every child is present.
+  const Platform platform = random_platform(GetParam());
+  // Compact-pattern property names may not contain ()=,[] — the generator
+  // never produces such names, and values are plain tokens.
+  for (const auto& master : platform.masters()) {
+    const std::string pattern = "dummy", summary = pattern_to_string(*master);
+    (void)pattern;
+    Platform single;
+    single.add_master(clone_pu(*master));
+    const MatchResult result = match(summary, single);
+    EXPECT_TRUE(result.matched) << "seed " << GetParam() << "\npattern: " << summary
+                                << "\nreason: " << result.reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest, testing::Range(0u, 24u));
+
+}  // namespace
+}  // namespace pdl

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "pdl/model.hpp"
+#include "pdl/validate.hpp"
+
+namespace pdl {
+namespace {
+
+Platform valid_platform() {
+  Platform p("valid");
+  ProcessingUnit* m = p.add_master("m0");
+  ProcessingUnit* h = m->add_child(PuKind::kHybrid, "h0");
+  h->add_child(PuKind::kWorker, "w0", 4);
+  m->add_child(PuKind::kWorker, "w1");
+  return p;
+}
+
+TEST(Validate, AcceptsWellFormedHierarchy) {
+  Diagnostics diags;
+  EXPECT_TRUE(validate(valid_platform(), diags));
+  EXPECT_FALSE(has_errors(diags));
+}
+
+TEST(Validate, V1_RejectsEmptyPlatform) {
+  Platform p;
+  Diagnostics diags;
+  EXPECT_FALSE(validate(p, diags));
+  EXPECT_TRUE(has_errors(diags));
+}
+
+TEST(Validate, V2_RejectsNestedMaster) {
+  Platform p;
+  ProcessingUnit* m = p.add_master("m0");
+  m->add_child(PuKind::kMaster, "m1");
+  Diagnostics diags;
+  EXPECT_FALSE(validate(p, diags));
+}
+
+TEST(Validate, V3_RejectsWorkerWithChildren) {
+  Platform p;
+  ProcessingUnit* m = p.add_master("m0");
+  ProcessingUnit* w = m->add_child(PuKind::kWorker, "w0");
+  w->add_child(PuKind::kWorker, "w1");
+  Diagnostics diags;
+  EXPECT_FALSE(validate(p, diags));
+}
+
+TEST(Validate, V5_WarnsOnChildlessHybrid) {
+  Platform p;
+  ProcessingUnit* m = p.add_master("m0");
+  m->add_child(PuKind::kHybrid, "h0");
+  Diagnostics diags;
+  EXPECT_TRUE(validate(p, diags));  // warning, not error
+  EXPECT_EQ(count_severity(diags, Severity::kWarning), 1u);
+}
+
+TEST(Validate, V6_RejectsDuplicateIds) {
+  Platform p;
+  ProcessingUnit* m = p.add_master("m0");
+  m->add_child(PuKind::kWorker, "w");
+  m->add_child(PuKind::kWorker, "w");
+  Diagnostics diags;
+  EXPECT_FALSE(validate(p, diags));
+}
+
+TEST(Validate, V6_RejectsEmptyId) {
+  Platform p;
+  p.add_master("");
+  Diagnostics diags;
+  EXPECT_FALSE(validate(p, diags));
+}
+
+TEST(Validate, V7_RejectsNonPositiveQuantity) {
+  Platform p;
+  ProcessingUnit* m = p.add_master("m0");
+  m->add_child(PuKind::kWorker, "w", 0);
+  Diagnostics diags;
+  EXPECT_FALSE(validate(p, diags));
+}
+
+TEST(Validate, V8_RejectsDanglingInterconnectEndpoint) {
+  Platform p = valid_platform();
+  Interconnect ic;
+  ic.type = "PCIe";
+  ic.from = "m0";
+  ic.to = "ghost";
+  p.masters()[0]->interconnects().push_back(ic);
+  Diagnostics diags;
+  EXPECT_FALSE(validate(p, diags));
+}
+
+TEST(Validate, V9_WarnsOnOutOfScopeInterconnect) {
+  Platform p;
+  ProcessingUnit* m0 = p.add_master("m0");
+  m0->add_child(PuKind::kWorker, "w0");
+  ProcessingUnit* m1 = p.add_master("m1");
+  m1->add_child(PuKind::kWorker, "w1");
+  // Declared on m0 but connecting only m1's subtree.
+  Interconnect ic;
+  ic.type = "QPI";
+  ic.from = "m1";
+  ic.to = "w1";
+  m0->interconnects().push_back(ic);
+  Diagnostics diags;
+  EXPECT_TRUE(validate(p, diags));
+  EXPECT_GE(count_severity(diags, Severity::kWarning), 1u);
+}
+
+TEST(Validate, V10_WarnsOnDuplicateMemoryRegionIds) {
+  Platform p = valid_platform();
+  MemoryRegion a;
+  a.id = "mr";
+  MemoryRegion b;
+  b.id = "mr";
+  p.masters()[0]->memory_regions().push_back(a);
+  p.masters()[0]->memory_regions().push_back(b);
+  Diagnostics diags;
+  EXPECT_TRUE(validate(p, diags));
+  EXPECT_GE(count_severity(diags, Severity::kWarning), 1u);
+}
+
+TEST(Validate, V11_WarnsOnDuplicateProperty) {
+  Platform p = valid_platform();
+  p.masters()[0]->descriptor().add("ARCH", "x86");
+  p.masters()[0]->descriptor().add("ARCH", "x86");
+  Diagnostics diags;
+  EXPECT_TRUE(validate(p, diags));
+  EXPECT_GE(count_severity(diags, Severity::kWarning), 1u);
+}
+
+TEST(Validate, V12_WarnsOnFixedPropertyWithoutValue) {
+  Platform p = valid_platform();
+  Property prop;
+  prop.name = "EMPTY";
+  prop.fixed = true;
+  p.masters()[0]->descriptor().add(prop);
+  Diagnostics diags;
+  EXPECT_TRUE(validate(p, diags));
+  EXPECT_GE(count_severity(diags, Severity::kWarning), 1u);
+
+  // Unfixed blank values are the paper's to-be-filled-in case: no warning.
+  Platform q = valid_platform();
+  Property unfixed;
+  unfixed.name = "LATER";
+  unfixed.fixed = false;
+  q.masters()[0]->descriptor().add(unfixed);
+  Diagnostics diags2;
+  EXPECT_TRUE(validate(q, diags2));
+  EXPECT_EQ(count_severity(diags2, Severity::kWarning), 0u);
+}
+
+TEST(Validate, WorkerAtTopLevelIsRejectedViaPlatformShape) {
+  // The model API cannot add a top-level Worker through Platform, but a
+  // hand-built tree can violate it; simulate by checking a Hybrid master
+  // replacement: Hybrid at top level must error (V5).
+  Platform p;
+  auto hybrid = std::make_unique<ProcessingUnit>(PuKind::kHybrid, "h0");
+  hybrid->add_child(PuKind::kWorker, "w0");
+  p.add_master(std::move(hybrid));
+  Diagnostics diags;
+  EXPECT_FALSE(validate(p, diags));
+}
+
+TEST(Validate, IsValidConvenience) {
+  EXPECT_TRUE(is_valid(valid_platform()));
+  Platform bad;
+  EXPECT_FALSE(is_valid(bad));
+}
+
+}  // namespace
+}  // namespace pdl

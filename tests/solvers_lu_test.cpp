@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "kernels/lu.hpp"
+#include "kernels/matrix.hpp"
+#include "solvers/tiled_lu.hpp"
+#include "starvm/engine.hpp"
+
+namespace solvers {
+namespace {
+
+/// Diagonally dominant matrix: random noise + 2n on the diagonal (no
+/// pivoting needed).
+kernels::Matrix dominant_matrix(std::size_t n, unsigned seed) {
+  kernels::Matrix a(n, n);
+  a.fill_random(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.at(i, i) += 2.0 * static_cast<double>(n);
+  }
+  return a;
+}
+
+TEST(LuKernels, GetrfFactorsSmallMatrix) {
+  const std::size_t n = 12;
+  kernels::Matrix a = dominant_matrix(n, 1);
+  kernels::Matrix original = a;
+  ASSERT_TRUE(kernels::getrf_nopiv(n, a.data(), n));
+  EXPECT_LT(kernels::lu_residual(n, a.data(), n, original.data(), n), 1e-9);
+}
+
+TEST(LuKernels, GetrfRejectsZeroPivot) {
+  kernels::Matrix a(2, 2);  // all zeros
+  EXPECT_FALSE(kernels::getrf_nopiv(2, a.data(), 2));
+}
+
+TEST(LuKernels, TrsmLeftUnitLowerSolves) {
+  // L unit-lower known, X known, B = L X; trsm_lln_unit recovers X.
+  const std::size_t n = 6, m = 4;
+  kernels::Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) l.at(i, k) = 0.5 + 0.1 * (i + k);
+    l.at(i, i) = 1.0;
+  }
+  kernels::Matrix x(n, m);
+  x.fill_random(3);
+  kernels::Matrix b(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k <= i; ++k) sum += l.at(i, k) * x.at(k, j);
+      b.at(i, j) = sum;
+    }
+  }
+  kernels::trsm_lln_unit(n, m, l.data(), n, b.data(), m);
+  EXPECT_LT(kernels::max_abs_diff(b.data(), x.data(), n * m), 1e-9);
+}
+
+TEST(LuKernels, TrsmRightUpperSolves) {
+  // U upper known, X known, B = X U; trsm_run recovers X.
+  const std::size_t m = 5, n = 6;
+  kernels::Matrix u(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) u.at(i, j) = (i == j) ? 3.0 + i : 0.4;
+  }
+  kernels::Matrix x(m, n);
+  x.fill_random(4);
+  kernels::Matrix b(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k <= j; ++k) sum += x.at(i, k) * u.at(k, j);
+      b.at(i, j) = sum;
+    }
+  }
+  kernels::trsm_run(m, n, u.data(), n, b.data(), n);
+  EXPECT_LT(kernels::max_abs_diff(b.data(), x.data(), m * n), 1e-9);
+}
+
+TEST(LuKernels, GemmNnSubtracts) {
+  const std::size_t m = 3, n = 4, k = 2;
+  kernels::Matrix a(m, k), b(k, n), c(m, n);
+  a.fill_random(5);
+  b.fill_random(6);
+  c.fill(7.0);
+  kernels::Matrix expected = c;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) sum += a.at(i, p) * b.at(p, j);
+      expected.at(i, j) -= sum;
+    }
+  }
+  kernels::gemm_nn_minus(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  EXPECT_LT(kernels::max_abs_diff(c.data(), expected.data(), m * n), 1e-12);
+}
+
+class TiledLuTest
+    : public testing::TestWithParam<std::tuple<int, int, starvm::SchedulerKind>> {};
+
+TEST_P(TiledLuTest, FactorizationIsCorrect) {
+  const auto [n_int, tiles, scheduler] = GetParam();
+  const std::size_t n = static_cast<std::size_t>(n_int);
+  kernels::Matrix a = dominant_matrix(n, 17);
+  kernels::Matrix original = a;
+
+  starvm::EngineConfig config = starvm::EngineConfig::cpus(4);
+  config.scheduler = scheduler;
+  starvm::Engine engine(std::move(config));
+  auto result = tiled_lu(engine, a.data(), n, tiles);
+  ASSERT_TRUE(result.ok()) << result.error().str();
+  EXPECT_LT(kernels::lu_residual(n, a.data(), n, original.data(), n), 1e-8);
+
+  // Task count: T getrf + T(T-1) trsm + Σ (T-1-k)² gemm.
+  const int t = tiles;
+  const int gemms = (t - 1) * t * (2 * t - 1) / 6;
+  EXPECT_EQ(result.value().tasks_submitted, t + t * (t - 1) + gemms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TiledLuTest,
+    testing::Values(std::make_tuple(16, 1, starvm::SchedulerKind::kEager),
+                    std::make_tuple(32, 4, starvm::SchedulerKind::kEager),
+                    std::make_tuple(48, 4, starvm::SchedulerKind::kWorkStealing),
+                    std::make_tuple(64, 8, starvm::SchedulerKind::kHeft)));
+
+TEST(TiledLu, HeterogeneousDevicesProduceSameFactors) {
+  const std::size_t n = 48;
+  kernels::Matrix a = dominant_matrix(n, 23);
+  kernels::Matrix original = a;
+  starvm::EngineConfig config;
+  starvm::DeviceSpec cpu;
+  cpu.name = "cpu";
+  config.devices.push_back(cpu);
+  starvm::DeviceSpec accel;
+  accel.name = "gpu";
+  accel.kind = starvm::DeviceKind::kAccelerator;
+  config.devices.push_back(accel);
+  starvm::Engine engine(std::move(config));
+  auto result = tiled_lu(engine, a.data(), n, 6);
+  ASSERT_TRUE(result.ok()) << result.error().str();
+  EXPECT_LT(kernels::lu_residual(n, a.data(), n, original.data(), n), 1e-8);
+}
+
+TEST(TiledLu, RejectsBadTilingAndZeroPivots) {
+  starvm::Engine engine(starvm::EngineConfig::cpus(1));
+  std::vector<double> a(16, 0.0);  // zero matrix: zero pivot
+  EXPECT_FALSE(tiled_lu(engine, a.data(), 4, 3).ok());  // 4 % 3 != 0
+  EXPECT_FALSE(tiled_lu(engine, a.data(), 4, 2).ok());  // zero pivot
+}
+
+}  // namespace
+}  // namespace solvers

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "kernels/cholesky.hpp"
+#include "kernels/matrix.hpp"
+#include "solvers/tiled_cholesky.hpp"
+#include "starvm/engine.hpp"
+
+namespace solvers {
+namespace {
+
+/// SPD matrix: M·Mᵀ + n·I with random M.
+kernels::Matrix spd_matrix(std::size_t n, unsigned seed) {
+  kernels::Matrix m(n, n);
+  m.fill_random(seed);
+  kernels::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = i == j ? static_cast<double>(n) : 0.0;
+      for (std::size_t k = 0; k < n; ++k) sum += m.at(i, k) * m.at(j, k);
+      a.at(i, j) = sum;
+    }
+  }
+  return a;
+}
+
+// --- tile kernels -------------------------------------------------------------
+
+TEST(CholeskyKernels, PotrfMatchesDefinition) {
+  const std::size_t n = 16;
+  kernels::Matrix a = spd_matrix(n, 1);
+  kernels::Matrix original = a;
+  ASSERT_TRUE(kernels::potrf(n, a.data(), n));
+  EXPECT_LT(kernels::cholesky_residual(n, a.data(), n, original.data(), n), 1e-9);
+}
+
+TEST(CholeskyKernels, PotrfRejectsIndefiniteMatrix) {
+  kernels::Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = -5.0;  // not SPD
+  EXPECT_FALSE(kernels::potrf(2, a.data(), 2));
+}
+
+TEST(CholeskyKernels, TrsmSolvesAgainstLowerTriangularTranspose) {
+  // L known, X known, B = X·Lᵀ; trsm must recover X from (L, B).
+  const std::size_t n = 8, m = 5;
+  kernels::Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) l.at(i, j) = (i == j) ? 2.0 + i : 0.3;
+  }
+  kernels::Matrix x(m, n);
+  x.fill_random(7);
+  kernels::Matrix b(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k <= j; ++k) sum += x.at(i, k) * l.at(j, k);
+      b.at(i, j) = sum;
+    }
+  }
+  kernels::trsm_rlt(m, n, l.data(), n, b.data(), n);
+  EXPECT_LT(kernels::max_abs_diff(b.data(), x.data(), m * n), 1e-9);
+}
+
+TEST(CholeskyKernels, SyrkUpdatesLowerTriangle) {
+  const std::size_t n = 6, k = 4;
+  kernels::Matrix a(n, k);
+  a.fill_random(3);
+  kernels::Matrix c(n, n);
+  c.fill(10.0);
+  kernels::Matrix expected = c;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) sum += a.at(i, p) * a.at(j, p);
+      expected.at(i, j) -= sum;
+    }
+  }
+  kernels::syrk_ln(n, k, a.data(), k, c.data(), n);
+  EXPECT_LT(kernels::max_abs_diff(c.data(), expected.data(), n * n), 1e-12);
+  EXPECT_DOUBLE_EQ(c.at(0, n - 1), 10.0);  // strict upper untouched
+}
+
+TEST(CholeskyKernels, GemmNtSubtracts) {
+  const std::size_t m = 3, n = 4, k = 5;
+  kernels::Matrix a(m, k), b(n, k), c(m, n);
+  a.fill_random(4);
+  b.fill_random(5);
+  c.fill(1.0);
+  kernels::Matrix expected = c;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) sum += a.at(i, p) * b.at(j, p);
+      expected.at(i, j) -= sum;
+    }
+  }
+  kernels::gemm_nt_minus(m, n, k, a.data(), k, b.data(), k, c.data(), n);
+  EXPECT_LT(kernels::max_abs_diff(c.data(), expected.data(), m * n), 1e-12);
+}
+
+TEST(CholeskyKernels, FlopCounts) {
+  EXPECT_DOUBLE_EQ(kernels::potrf_flops(4), 64.0 / 3.0);
+  EXPECT_DOUBLE_EQ(kernels::trsm_flops(2, 3), 18.0);
+  EXPECT_DOUBLE_EQ(kernels::syrk_flops(3, 5), 45.0);
+  EXPECT_DOUBLE_EQ(kernels::gemm_flops_nt(2, 3, 4), 48.0);
+}
+
+// --- 2-D tile partitioning ---------------------------------------------------
+
+TEST(PartitionTiles, GridGeometryAndStrides) {
+  starvm::Engine engine(starvm::EngineConfig::cpus(1));
+  const std::size_t n = 12;
+  std::vector<double> data(n * n);
+  starvm::DataHandle* h = engine.register_matrix(data.data(), n, n);
+  auto tiles = engine.partition_tiles(h, 3, 4);
+  ASSERT_EQ(tiles.size(), 12u);
+  for (const auto* t : tiles) {
+    EXPECT_EQ(t->rows(), 4u);
+    EXPECT_EQ(t->cols(), 3u);
+    EXPECT_EQ(t->ld(), n);  // strided view into the parent
+    EXPECT_EQ(t->parent(), h);
+  }
+  // Tile (1,2) starts at row 4, column 6.
+  EXPECT_EQ(tiles[1 * 4 + 2]->ptr(), data.data() + 4 * n + 6);
+}
+
+TEST(PartitionTiles, TileTasksComposeCorrectly) {
+  starvm::Engine engine(starvm::EngineConfig::cpus(2));
+  const std::size_t n = 8;
+  std::vector<double> data(n * n, 1.0);
+  starvm::DataHandle* h = engine.register_matrix(data.data(), n, n);
+  auto tiles = engine.partition_tiles(h, 2, 2);
+
+  // Each tile task adds its (row,col) signature honoring the stride.
+  starvm::Codelet c;
+  c.name = "stamp";
+  c.impls.push_back({starvm::DeviceKind::kCpu, [](const starvm::ExecContext& ctx) {
+                       const auto& t = ctx.handle(0);
+                       for (std::size_t r = 0; r < t.rows(); ++r) {
+                         for (std::size_t col = 0; col < t.cols(); ++col) {
+                           ctx.buffer(0)[r * t.ld() + col] += 1.0;
+                         }
+                       }
+                     }});
+  for (auto* t : tiles) {
+    engine.submit(starvm::TaskDesc{&c, {{t, starvm::Access::kReadWrite}}});
+  }
+  engine.wait_all();
+  for (double v : data) EXPECT_DOUBLE_EQ(v, 2.0);  // every cell exactly once
+}
+
+// --- the tiled solver ----------------------------------------------------------
+
+class TiledCholeskyTest
+    : public testing::TestWithParam<std::tuple<int, int, starvm::SchedulerKind>> {};
+
+TEST_P(TiledCholeskyTest, FactorizationIsCorrect) {
+  const auto [n_int, tiles, scheduler] = GetParam();
+  const std::size_t n = static_cast<std::size_t>(n_int);
+  kernels::Matrix a = spd_matrix(n, 11);
+  kernels::Matrix original = a;
+
+  starvm::EngineConfig config = starvm::EngineConfig::cpus(4);
+  config.scheduler = scheduler;
+  starvm::Engine engine(std::move(config));
+  auto result = tiled_cholesky(engine, a.data(), n, tiles);
+  ASSERT_TRUE(result.ok()) << result.error().str();
+  EXPECT_LT(kernels::cholesky_residual(n, a.data(), n, original.data(), n), 1e-8);
+
+  // Task count: T potrf + T(T-1)/2 trsm + T(T-1)/2 syrk + T(T-1)(T-2)/6 gemm.
+  const int t = tiles;
+  EXPECT_EQ(result.value().tasks_submitted,
+            t + t * (t - 1) / 2 + t * (t - 1) / 2 + t * (t - 1) * (t - 2) / 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TiledCholeskyTest,
+    testing::Values(std::make_tuple(16, 1, starvm::SchedulerKind::kEager),
+                    std::make_tuple(32, 4, starvm::SchedulerKind::kEager),
+                    std::make_tuple(48, 4, starvm::SchedulerKind::kWorkStealing),
+                    std::make_tuple(64, 8, starvm::SchedulerKind::kHeft),
+                    std::make_tuple(60, 5, starvm::SchedulerKind::kHeft)));
+
+TEST(TiledCholesky, AcceleratorsParticipate) {
+  const std::size_t n = 64;
+  kernels::Matrix a = spd_matrix(n, 13);
+  kernels::Matrix original = a;
+
+  starvm::EngineConfig config;
+  starvm::DeviceSpec cpu;
+  cpu.name = "cpu";
+  config.devices.push_back(cpu);
+  starvm::DeviceSpec accel;
+  accel.name = "gpu";
+  accel.kind = starvm::DeviceKind::kAccelerator;
+  accel.sustained_gflops = 100.0;
+  config.devices.push_back(accel);
+  starvm::Engine engine(std::move(config));
+
+  auto result = tiled_cholesky(engine, a.data(), n, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(kernels::cholesky_residual(n, a.data(), n, original.data(), n), 1e-8);
+}
+
+TEST(TiledCholesky, RejectsBadTiling) {
+  starvm::Engine engine(starvm::EngineConfig::cpus(1));
+  std::vector<double> a(9);
+  EXPECT_FALSE(tiled_cholesky(engine, a.data(), 3, 2).ok());  // 3 % 2 != 0
+  EXPECT_FALSE(tiled_cholesky(engine, a.data(), 0, 1).ok());
+}
+
+TEST(TiledCholesky, DetectsNonSpdMatrix) {
+  const std::size_t n = 16;
+  kernels::Matrix a(n, n);
+  a.fill_random(5);  // random non-symmetric: almost surely not SPD
+  starvm::Engine engine(starvm::EngineConfig::cpus(2));
+  auto result = tiled_cholesky(engine, a.data(), n, 4);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace solvers

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "discovery/presets.hpp"
+#include "starvm/bridge.hpp"
+#include "starvm/engine.hpp"
+
+namespace starvm {
+namespace {
+
+using pdl::discovery::cell_be_platform;
+using pdl::discovery::paper_platform_single;
+using pdl::discovery::paper_platform_starpu_2gpu;
+using pdl::discovery::paper_platform_starpu_cpu;
+
+int count_kind(const EngineConfig& config, DeviceKind kind) {
+  int n = 0;
+  for (const auto& d : config.devices) {
+    if (d.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(Bridge, SinglePlatformYieldsOneMasterCpu) {
+  auto config = engine_config_from_platform(paper_platform_single());
+  ASSERT_TRUE(config.ok()) << config.error().str();
+  ASSERT_EQ(config.value().devices.size(), 1u);
+  EXPECT_EQ(config.value().devices[0].kind, DeviceKind::kCpu);
+  // SUSTAINED_GFLOPS=9.8 from the preset master.
+  EXPECT_NEAR(config.value().devices[0].sustained_gflops, 9.8, 1e-9);
+}
+
+TEST(Bridge, StarpuCpuPlatformYieldsEightCpus) {
+  auto config = engine_config_from_platform(paper_platform_starpu_cpu());
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(count_kind(config.value(), DeviceKind::kCpu), 8);
+  EXPECT_EQ(count_kind(config.value(), DeviceKind::kAccelerator), 0);
+}
+
+TEST(Bridge, GpuPlatformDedicatesDriverCores) {
+  auto config = engine_config_from_platform(paper_platform_starpu_2gpu());
+  ASSERT_TRUE(config.ok());
+  // StarPU-style: 8 cores - 2 GPU drivers = 6 CPU workers + 2 accelerators.
+  EXPECT_EQ(count_kind(config.value(), DeviceKind::kCpu), 6);
+  EXPECT_EQ(count_kind(config.value(), DeviceKind::kAccelerator), 2);
+}
+
+TEST(Bridge, DriverCoreDedicationCanBeDisabled) {
+  BridgeOptions options;
+  options.dedicate_driver_cores = false;
+  auto config = engine_config_from_platform(paper_platform_starpu_2gpu(), options);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(count_kind(config.value(), DeviceKind::kCpu), 8);
+  EXPECT_EQ(count_kind(config.value(), DeviceKind::kAccelerator), 2);
+}
+
+TEST(Bridge, AcceleratorRatesAndLinksComeFromPdl) {
+  auto config = engine_config_from_platform(paper_platform_starpu_2gpu());
+  ASSERT_TRUE(config.ok());
+  const DeviceSpec* gtx480 = nullptr;
+  const DeviceSpec* gtx285 = nullptr;
+  for (const auto& d : config.value().devices) {
+    if (d.name == "gpu1") gtx480 = &d;
+    if (d.name == "gpu2") gtx285 = &d;
+  }
+  ASSERT_NE(gtx480, nullptr);
+  ASSERT_NE(gtx285, nullptr);
+  // 168 * 0.62 and 88.5 * 0.80 from the device DB via SUSTAINED_GFLOPS.
+  EXPECT_NEAR(gtx480->sustained_gflops, 168.0 * 0.62, 0.5);
+  EXPECT_NEAR(gtx285->sustained_gflops, 88.5 * 0.80, 0.5);
+  // PCIe parameters from the Interconnect descriptor.
+  EXPECT_NEAR(gtx480->link_bandwidth_gbs, 5.6, 1e-6);
+  EXPECT_NEAR(gtx480->link_latency_us, 12.0, 1e-6);
+}
+
+TEST(Bridge, CellPlatformMapsSpesToAccelerators) {
+  auto config = engine_config_from_platform(cell_be_platform());
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(count_kind(config.value(), DeviceKind::kAccelerator), 8);
+}
+
+TEST(Bridge, HybridPusContributeExecutionCapacity) {
+  // Paper §III-A: Hybrids act as master AND worker — they execute tasks.
+  auto config =
+      engine_config_from_platform(pdl::discovery::hierarchical_hybrid_platform());
+  ASSERT_TRUE(config.ok());
+  // Workers: 4+4 x86 cores (CPU), 2 gpu (accelerator); hybrids h0,h1 (x86,
+  // CPU). Driver-core dedication removes 2 CPUs for the 2 accelerators.
+  EXPECT_EQ(count_kind(config.value(), DeviceKind::kAccelerator), 2);
+  EXPECT_EQ(count_kind(config.value(), DeviceKind::kCpu), 8 + 2 - 2);
+}
+
+TEST(Bridge, CpuWorkerQuantityExpands) {
+  pdl::Platform p("t");
+  pdl::ProcessingUnit* m = p.add_master("m");
+  pdl::ProcessingUnit* w = m->add_child(pdl::PuKind::kWorker, "cores", 3);
+  w->descriptor().add("ARCHITECTURE", "x86_core");
+  auto config = engine_config_from_platform(p);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(count_kind(config.value(), DeviceKind::kCpu), 3);
+  EXPECT_EQ(config.value().devices[0].name, "cores#0");
+}
+
+TEST(Bridge, EmptyPlatformFails) {
+  pdl::Platform p;
+  auto config = engine_config_from_platform(p);
+  EXPECT_FALSE(config.ok());
+}
+
+TEST(Bridge, DefaultsApplyWithoutRateProperties) {
+  pdl::Platform p("t");
+  pdl::ProcessingUnit* m = p.add_master("m");
+  pdl::ProcessingUnit* w = m->add_child(pdl::PuKind::kWorker, "w");
+  w->descriptor().add("ARCHITECTURE", "gpu");
+  BridgeOptions options;
+  options.default_accel_gflops = 77.0;
+  auto config = engine_config_from_platform(p, options);
+  ASSERT_TRUE(config.ok());
+  ASSERT_EQ(config.value().devices.size(), 1u);
+  EXPECT_DOUBLE_EQ(config.value().devices[0].sustained_gflops, 77.0);
+}
+
+TEST(Bridge, ConfiguredEnginesActuallyRun) {
+  auto config = engine_config_from_platform(paper_platform_starpu_cpu());
+  ASSERT_TRUE(config.ok());
+  Engine engine(std::move(config).value());
+  std::vector<double> data(8, 1.0);
+  DataHandle* h = engine.register_vector(data.data(), data.size());
+  Codelet c;
+  c.name = "touch";
+  c.impls.push_back(Implementation{DeviceKind::kCpu, [](const ExecContext& ctx) {
+                                     ctx.buffer(0)[0] += 1.0;
+                                   }});
+  engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}});
+  engine.wait_all();
+  EXPECT_DOUBLE_EQ(data[0], 2.0);
+}
+
+}  // namespace
+}  // namespace starvm

@@ -1,0 +1,168 @@
+// Tests of the bounded accelerator-memory model: LRU replica eviction and
+// write-back accounting.
+#include <gtest/gtest.h>
+
+#include "discovery/presets.hpp"
+#include "starvm/bridge.hpp"
+#include "starvm/engine.hpp"
+
+namespace starvm {
+namespace {
+
+/// One accelerator whose memory fits exactly `capacity_buffers` of the
+/// test's 1 KiB buffers, plus a CPU for host-side work.
+Engine capacity_engine(std::size_t capacity_buffers) {
+  EngineConfig config;
+  DeviceSpec accel;
+  accel.name = "gpu";
+  accel.kind = DeviceKind::kAccelerator;
+  accel.memory_bytes = capacity_buffers * 1024;
+  config.devices.push_back(accel);
+  config.scheduler = SchedulerKind::kEager;
+  return Engine(std::move(config));
+}
+
+constexpr std::size_t kDoubles = 128;  // 1 KiB per buffer
+
+Codelet reader_codelet() {
+  Codelet c;
+  c.name = "read";
+  c.impls.push_back({DeviceKind::kAccelerator, [](const ExecContext&) {}});
+  return c;
+}
+
+TEST(MemoryModel, ReplicasFitWithinCapacityNoEviction) {
+  Engine engine = capacity_engine(4);
+  Codelet reader = reader_codelet();
+  std::vector<std::vector<double>> buffers(3, std::vector<double>(kDoubles));
+  for (auto& buf : buffers) {
+    DataHandle* h = engine.register_vector(buf.data(), buf.size());
+    engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
+  }
+  engine.wait_all();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.transfers, 3u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(MemoryModel, LruEvictionWhenOverCapacity) {
+  Engine engine = capacity_engine(2);
+  Codelet reader = reader_codelet();
+  std::vector<std::vector<double>> buffers(4, std::vector<double>(kDoubles));
+  std::vector<DataHandle*> handles;
+  for (auto& buf : buffers) {
+    handles.push_back(engine.register_vector(buf.data(), buf.size()));
+  }
+  // Stream 4 reads through a 2-buffer device: 2 evictions.
+  for (DataHandle* h : handles) {
+    engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
+    engine.wait_all();  // serialize for deterministic LRU order
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.transfers, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  // Clean replicas (host still valid): no write-back traffic.
+  EXPECT_EQ(stats.writeback_bytes, 0u);
+  // The two oldest replicas are gone; the newest two remain (node id 1).
+  EXPECT_FALSE(handles[0]->valid_on(1));
+  EXPECT_FALSE(handles[1]->valid_on(1));
+  EXPECT_TRUE(handles[2]->valid_on(1));
+  EXPECT_TRUE(handles[3]->valid_on(1));
+}
+
+TEST(MemoryModel, ReaccessRefreshesLruOrder) {
+  Engine engine = capacity_engine(2);
+  Codelet reader = reader_codelet();
+  std::vector<std::vector<double>> buffers(3, std::vector<double>(kDoubles));
+  std::vector<DataHandle*> handles;
+  for (auto& buf : buffers) {
+    handles.push_back(engine.register_vector(buf.data(), buf.size()));
+  }
+  const auto read = [&](DataHandle* h) {
+    engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
+    engine.wait_all();
+  };
+  read(handles[0]);
+  read(handles[1]);
+  read(handles[0]);  // refresh 0: now 1 is the LRU victim
+  read(handles[2]);  // evicts 1, not 0
+  EXPECT_TRUE(handles[0]->valid_on(1));
+  EXPECT_FALSE(handles[1]->valid_on(1));
+  EXPECT_TRUE(handles[2]->valid_on(1));
+}
+
+TEST(MemoryModel, EvictingSoleReplicaWritesBack) {
+  Engine engine = capacity_engine(1);
+  Codelet writer;
+  writer.name = "write";
+  writer.impls.push_back({DeviceKind::kAccelerator, [](const ExecContext&) {}});
+
+  std::vector<double> a(kDoubles), b(kDoubles);
+  DataHandle* ha = engine.register_vector(a.data(), a.size());
+  DataHandle* hb = engine.register_vector(b.data(), b.size());
+
+  // Write `a` on the device: device holds the sole replica.
+  engine.submit(TaskDesc{&writer, {{ha, Access::kWrite}}});
+  engine.wait_all();
+  EXPECT_FALSE(ha->valid_on(kHostNode));
+
+  // Touching `b` evicts `a`, which must be written back to the host first.
+  engine.submit(TaskDesc{&writer, {{hb, Access::kWrite}}});
+  engine.wait_all();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.writeback_bytes, kDoubles * 8);
+  EXPECT_TRUE(ha->valid_on(kHostNode));  // preserved by the write-back
+  EXPECT_FALSE(ha->valid_on(1));
+}
+
+TEST(MemoryModel, PinnedBuffersAreNeverEvicted) {
+  // Capacity 1, but a task touching two buffers must hold both: the node
+  // over-commits instead of evicting the task's own data.
+  Engine engine = capacity_engine(1);
+  Codelet two;
+  two.name = "two";
+  two.impls.push_back({DeviceKind::kAccelerator, [](const ExecContext&) {}});
+  std::vector<double> a(kDoubles), b(kDoubles);
+  DataHandle* ha = engine.register_vector(a.data(), a.size());
+  DataHandle* hb = engine.register_vector(b.data(), b.size());
+  engine.submit(
+      TaskDesc{&two, {{ha, Access::kRead}, {hb, Access::kReadWrite}}});
+  engine.wait_all();
+  EXPECT_TRUE(ha->valid_on(1));
+  EXPECT_TRUE(hb->valid_on(1));
+}
+
+TEST(MemoryModel, UnlimitedByDefault) {
+  EngineConfig config;
+  DeviceSpec accel;
+  accel.kind = DeviceKind::kAccelerator;  // memory_bytes = 0 -> unlimited
+  config.devices.push_back(accel);
+  Engine engine(std::move(config));
+  Codelet reader = reader_codelet();
+  std::vector<std::vector<double>> buffers(64, std::vector<double>(kDoubles));
+  for (auto& buf : buffers) {
+    DataHandle* h = engine.register_vector(buf.data(), buf.size());
+    engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
+  }
+  engine.wait_all();
+  EXPECT_EQ(engine.stats().evictions, 0u);
+}
+
+TEST(MemoryModel, BridgeReadsCapacityFromPdl) {
+  auto config = starvm::engine_config_from_platform(
+      pdl::discovery::paper_platform_starpu_2gpu());
+  ASSERT_TRUE(config.ok());
+  for (const auto& d : config.value().devices) {
+    if (d.name == "gpu1") {
+      // GTX480: GLOBAL_MEM_SIZE 1572864 kB.
+      EXPECT_EQ(d.memory_bytes, 1572864ull * 1024);
+    }
+    if (d.name == "gpu2") {
+      EXPECT_EQ(d.memory_bytes, 1048576ull * 1024);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace starvm

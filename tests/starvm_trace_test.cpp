@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "starvm/engine.hpp"
+#include "starvm/trace_export.hpp"
+
+namespace starvm {
+namespace {
+
+EngineStats sample_stats() {
+  EngineConfig config = EngineConfig::cpus(2, 10.0);
+  config.mode = ExecutionMode::kPureSim;
+  config.task_overhead_us = 0.0;
+  Engine engine(std::move(config));
+  Codelet c;
+  c.name = "work";
+  c.impls.push_back({DeviceKind::kCpu, nullptr});
+  c.flops = [](const std::vector<BufferView>&) { return 1e8; };
+  std::vector<std::vector<double>> buffers(4, std::vector<double>(1));
+  for (auto& buf : buffers) {
+    DataHandle* h = engine.register_vector(buf.data(), 1);
+    engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}, "t"});
+  }
+  engine.wait_all();
+  return engine.stats();
+}
+
+TEST(ChromeTrace, ContainsDeviceMetadataAndTaskEvents) {
+  const std::string json = to_chrome_trace(sample_stats());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("cpu0"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"flops\":1e+08"), std::string::npos);
+  // 2 metadata events + 4 task events.
+  const auto count = [&](const char* needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = json.find(needle, pos)) != std::string::npos) {
+      ++n;
+      ++pos;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("\"ph\":\"M\""), 2u);
+  EXPECT_EQ(count("\"ph\":\"X\""), 4u);
+}
+
+TEST(ChromeTrace, EscapesLabels) {
+  EngineStats stats;
+  stats.devices.push_back(DeviceStats{"dev\"1\"", DeviceKind::kCpu, 0, 0, 0});
+  stats.trace.push_back(TaskTrace{1, "a\"b\\c\n", 0, 0.0, 1.0, 0.0, 1.0, 0.0});
+  stats.makespan_seconds = 1.0;
+  const std::string json = to_chrome_trace(stats);
+  EXPECT_NE(json.find("a\\\"b\\\\c\\n"), std::string::npos);
+  EXPECT_NE(json.find("dev\\\"1\\\""), std::string::npos);
+}
+
+TEST(AsciiGantt, RendersOneRowPerDevice) {
+  const std::string gantt = to_ascii_gantt(sample_stats(), 40);
+  // Two device rows plus the footer.
+  std::size_t newlines = 0;
+  for (char c : gantt) newlines += c == '\n';
+  EXPECT_EQ(newlines, 3u);
+  EXPECT_NE(gantt.find("cpu0"), std::string::npos);
+  EXPECT_NE(gantt.find("cpu1"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+}
+
+TEST(AsciiGantt, EmptyTraceHandled) {
+  EngineStats stats;
+  EXPECT_EQ(to_ascii_gantt(stats), "(empty trace)\n");
+}
+
+TEST(AsciiGantt, TransferFractionPaintsDashes) {
+  EngineStats stats;
+  stats.devices.push_back(DeviceStats{"gpu", DeviceKind::kAccelerator, 1, 1.0, 1.0});
+  // Half the task span is transfer.
+  stats.trace.push_back(TaskTrace{1, "t", 0, 0.0, 2.0, 1.0, 1.0, 0.0});
+  stats.makespan_seconds = 2.0;
+  const std::string gantt = to_ascii_gantt(stats, 20);
+  EXPECT_NE(gantt.find('-'), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starvm

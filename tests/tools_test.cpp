@@ -1,0 +1,187 @@
+// Smoke tests for the command-line tools: drive real binaries end-to-end
+// through the shell, the way a downstream user would.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "util/string_util.hpp"
+
+namespace {
+
+const std::string kCascabelc = std::string(PDL_BINARY_DIR) + "/src/tools/cascabelc";
+const std::string kPdltool = std::string(PDL_BINARY_DIR) + "/src/tools/pdltool";
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// Run a command, capture stdout+stderr, return exit code.
+int run(const std::string& command, std::string* output = nullptr) {
+  const std::string out_file = temp_path("tool_output.txt");
+  const int rc = std::system((command + " > " + out_file + " 2>&1").c_str());
+  if (output != nullptr) {
+    *output = pdl::util::read_file(out_file).value_or("");
+  }
+  return WEXITSTATUS(rc);
+}
+
+constexpr const char* kAnnotatedProgram = R"(
+#pragma cascabel task : x86 : Ivecadd : vecadd01 : ( A: readwrite, B: read )
+void vectoradd(double *A, double *B, int n) {
+  for (int i = 0; i < n; ++i) A[i] += B[i];
+}
+int main() {
+  const int N = 64;
+  double A[64] = {0};
+  double B[64] = {0};
+#pragma cascabel execute Ivecadd : cpu (A:BLOCK:N, B:BLOCK:N)
+  vectoradd(A, B, N);
+  return 0;
+}
+)";
+
+class ToolsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // A target PDL produced by pdltool itself (plain system(): the run()
+    // helper adds its own stdout redirect).
+    pdl_path_ = temp_path("target.pdl.xml");
+    ASSERT_EQ(
+        std::system((kPdltool + " discover --gpus > " + pdl_path_).c_str()), 0);
+    input_path_ = temp_path("input.cpp");
+    ASSERT_TRUE(pdl::util::write_file(input_path_, kAnnotatedProgram));
+  }
+  std::string pdl_path_;
+  std::string input_path_;
+};
+
+TEST_F(ToolsTest, PdltoolValidateAcceptsDiscoveredPlatform) {
+  std::string output;
+  EXPECT_EQ(run(kPdltool + " validate " + pdl_path_, &output), 0) << output;
+  EXPECT_NE(output.find("structure OK"), std::string::npos);
+}
+
+TEST_F(ToolsTest, PdltoolQuerySummary) {
+  std::string output;
+  EXPECT_EQ(run(kPdltool + " query " + pdl_path_ + " summary", &output), 0);
+  EXPECT_NE(output.find("workers:"), std::string::npos);
+  EXPECT_EQ(run(kPdltool + " query " + pdl_path_ + " workers", &output), 0);
+  EXPECT_NE(output.find("arch=gpu"), std::string::npos);
+  EXPECT_EQ(run(kPdltool + " query " + pdl_path_ + " interconnects", &output), 0);
+  EXPECT_NE(output.find("PCIe"), std::string::npos);
+}
+
+TEST_F(ToolsTest, PdltoolMatch) {
+  std::string output;
+  EXPECT_EQ(run(kPdltool + " match " + pdl_path_ + " 'M[W(ARCHITECTURE=gpu)x2]'",
+                &output),
+            0);
+  EXPECT_NE(output.find("MATCH"), std::string::npos);
+
+  EXPECT_EQ(run(kPdltool + " match " + pdl_path_ + " 'M[W(ARCHITECTURE=spe)]'",
+                &output),
+            1);
+  EXPECT_NE(output.find("NO MATCH"), std::string::npos);
+}
+
+TEST_F(ToolsTest, PdltoolRejectsInvalidUsage) {
+  EXPECT_EQ(run(kPdltool.c_str()), 2);
+  EXPECT_EQ(run(kPdltool + " validate /does/not/exist.xml"), 1);
+  EXPECT_EQ(run(kPdltool + " query " + pdl_path_ + " nonsense"), 2);
+}
+
+TEST_F(ToolsTest, PdltoolPathShowsHopsAndCost) {
+  std::string output;
+  EXPECT_EQ(run(kPdltool + " path " + pdl_path_ + " 0 gpu1 1048576", &output), 0)
+      << output;
+  EXPECT_NE(output.find("0 -> gpu1 via PCIe"), std::string::npos);
+  EXPECT_NE(output.find("modeled transfer of 1048576 bytes"), std::string::npos);
+
+  EXPECT_EQ(run(kPdltool + " path " + pdl_path_ + " 0 ghost", &output), 1);
+  EXPECT_NE(output.find("no path"), std::string::npos);
+}
+
+TEST_F(ToolsTest, PdltoolXsdIsWellFormed) {
+  std::string output;
+  EXPECT_EQ(run(kPdltool + " xsd", &output), 0);
+  EXPECT_NE(output.find("<xs:schema"), std::string::npos);
+  EXPECT_NE(output.find("oclDevicePropertyType"), std::string::npos);
+}
+
+TEST_F(ToolsTest, PdltoolDiffDetectsChanges) {
+  // Identical files: exit 0, "(no differences)".
+  std::string output;
+  EXPECT_EQ(run(kPdltool + " diff " + pdl_path_ + " " + pdl_path_, &output), 0);
+  EXPECT_NE(output.find("(no differences)"), std::string::npos);
+
+  // A modified copy: exit 1 with a property-changed line.
+  const std::string modified = temp_path("modified.pdl.xml");
+  auto text = pdl::util::read_file(pdl_path_);
+  ASSERT_TRUE(text.has_value());
+  ASSERT_TRUE(pdl::util::write_file(
+      modified, pdl::util::replace_all(*text, ">x86<", ">arm<")));
+  EXPECT_EQ(run(kPdltool + " diff " + pdl_path_ + " " + modified, &output), 1);
+  EXPECT_NE(output.find("property-changed"), std::string::npos);
+}
+
+TEST_F(ToolsTest, CascabelcVariantsFlagMergesExpertFile) {
+  const std::string variants_path = temp_path("expert.cpp");
+  ASSERT_TRUE(pdl::util::write_file(variants_path, R"(
+#pragma cascabel task : cuda : Ivecadd : vecadd_expert : ( A: readwrite, B: read )
+void vecadd_expert_impl(double *A, double *B, int n) { (void)A; (void)B; (void)n; }
+)"));
+  const std::string out_cpp = temp_path("gen_with_variants.cpp");
+  std::string output;
+  EXPECT_EQ(run(kCascabelc + " --pdl " + pdl_path_ + " --input " + input_path_ +
+                    " --variants " + variants_path + " --output " + out_cpp,
+                &output),
+            0)
+      << output;
+}
+
+TEST_F(ToolsTest, CascabelcTranslatesAndWritesOutputs) {
+  const std::string out_cpp = temp_path("generated.cpp");
+  const std::string makefile = temp_path("Makefile.generated");
+  std::string output;
+  EXPECT_EQ(run(kCascabelc + " --pdl " + pdl_path_ + " --input " + input_path_ +
+                    " --output " + out_cpp + " --makefile " + makefile +
+                    " --exe vecadd_prog",
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("1 variant(s), 1 call site(s)"), std::string::npos);
+
+  const auto generated = pdl::util::read_file(out_cpp);
+  ASSERT_TRUE(generated.has_value());
+  EXPECT_NE(generated->find("::cascabel::rt::execute"), std::string::npos);
+
+  const auto plan = pdl::util::read_file(makefile);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_NE(plan->find("vecadd_prog"), std::string::npos);
+  EXPECT_NE(plan->find("nvcc"), std::string::npos);  // gpu workers in the PDL
+}
+
+TEST_F(ToolsTest, CascabelcPrintsSelectionReport) {
+  const std::string out_cpp = temp_path("gen_sel.cpp");
+  std::string output;
+  EXPECT_EQ(run(kCascabelc + " --pdl " + pdl_path_ + " --input " + input_path_ +
+                    " --output " + out_cpp + " --print-selection",
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("selection for target"), std::string::npos);
+  EXPECT_NE(output.find("Ivecadd:"), std::string::npos);
+  EXPECT_NE(output.find("fallback"), std::string::npos);
+}
+
+TEST_F(ToolsTest, CascabelcFailsCleanlyOnBadInputs) {
+  EXPECT_EQ(run(kCascabelc.c_str()), 2);
+  EXPECT_EQ(run(kCascabelc + " --pdl /nope.xml --input " + input_path_), 1);
+  const std::string bad_input = temp_path("bad.cpp");
+  ASSERT_TRUE(pdl::util::write_file(
+      bad_input, "#pragma cascabel task : x86 : I : v : (A: read)\nint x;\n"));
+  EXPECT_EQ(run(kCascabelc + " --pdl " + pdl_path_ + " --input " + bad_input), 1);
+}
+
+}  // namespace

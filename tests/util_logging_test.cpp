@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace pdl::util {
+namespace {
+
+class LoggingTest : public testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelIsProcessGlobal) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, MacrosEmitWithoutCrashing) {
+  set_log_level(LogLevel::kOff);  // suppressed, but the full path runs
+  PDL_LOG_DEBUG << "debug " << 1;
+  PDL_LOG_INFO << "info " << 2.5;
+  PDL_LOG_WARN << "warn " << "text";
+  PDL_LOG_ERROR << "error";
+}
+
+TEST_F(LoggingTest, FilteringComparesSeverity) {
+  // Only observable through absence of crashes/output here; the filter
+  // logic itself is a simple comparison — exercise both sides.
+  set_log_level(LogLevel::kError);
+  log_message(LogLevel::kDebug, "dropped");
+  log_message(LogLevel::kError, "kept (stderr)");
+  set_log_level(LogLevel::kOff);
+  log_message(LogLevel::kError, "dropped too");
+}
+
+}  // namespace
+}  // namespace pdl::util

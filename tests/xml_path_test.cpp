@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.hpp"
+#include "xml/path.hpp"
+
+namespace pdl::xml {
+namespace {
+
+class XmlPathTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = parse(R"(
+      <Master id="0">
+        <Worker id="1"><PUDescriptor><Property><name>ARCH</name></Property></PUDescriptor></Worker>
+        <Worker id="2"/>
+        <Hybrid id="h">
+          <Worker id="3"/>
+        </Hybrid>
+      </Master>)");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+    doc_ = std::move(parsed).value();
+  }
+  Document doc_;
+};
+
+TEST_F(XmlPathTest, ChildStep) {
+  EXPECT_EQ(select_all(*doc_.root(), "Worker").size(), 2u);
+}
+
+TEST_F(XmlPathTest, MultiStepPath) {
+  EXPECT_EQ(select_all(*doc_.root(), "Hybrid/Worker").size(), 1u);
+  EXPECT_EQ(select_all(*doc_.root(), "Worker/PUDescriptor/Property").size(), 1u);
+}
+
+TEST_F(XmlPathTest, AnchoredPathChecksContextName) {
+  EXPECT_EQ(select_all(*doc_.root(), "/Master/Worker").size(), 2u);
+  EXPECT_TRUE(select_all(*doc_.root(), "/Wrong/Worker").empty());
+}
+
+TEST_F(XmlPathTest, AttributePredicate) {
+  const Element* w = select_first(*doc_.root(), "Worker[@id='2']");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->attribute("id"), "2");
+  EXPECT_EQ(select_first(*doc_.root(), "Worker[@id='99']"), nullptr);
+}
+
+TEST_F(XmlPathTest, IndexPredicateIsOneBased) {
+  const Element* w = select_first(*doc_.root(), "Worker[2]");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->attribute("id"), "2");
+  EXPECT_EQ(select_first(*doc_.root(), "Worker[3]"), nullptr);
+}
+
+TEST_F(XmlPathTest, WildcardStep) {
+  // Master's direct element children: Worker, Worker, Hybrid.
+  EXPECT_EQ(select_all(*doc_.root(), "*").size(), 3u);
+}
+
+TEST_F(XmlPathTest, DescendantAxisFindsAllDepths) {
+  EXPECT_EQ(select_all(*doc_.root(), "//Worker").size(), 3u);
+  EXPECT_EQ(select_all(*doc_.root(), "//Property").size(), 1u);
+  // Includes the context element itself when it matches.
+  EXPECT_EQ(select_all(*doc_.root(), "//Master").size(), 1u);
+}
+
+TEST_F(XmlPathTest, DescendantAxisWithPredicate) {
+  const Element* w = select_first(*doc_.root(), "//Worker[@id='3']");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->parent()->name(), "Hybrid");
+}
+
+TEST_F(XmlPathTest, SelectTextReturnsContentOrEmpty) {
+  EXPECT_EQ(select_text(*doc_.root(), "Worker/PUDescriptor/Property/name"), "ARCH");
+  EXPECT_EQ(select_text(*doc_.root(), "Nothing/here"), "");
+}
+
+TEST_F(XmlPathTest, MalformedPathsReturnEmpty) {
+  EXPECT_TRUE(select_all(*doc_.root(), "Worker[@id=2]").empty());   // unquoted
+  EXPECT_TRUE(select_all(*doc_.root(), "Worker[0]").empty());       // 0 index
+  EXPECT_TRUE(select_all(*doc_.root(), "").empty());
+  EXPECT_TRUE(select_all(*doc_.root(), "Worker[").empty());
+}
+
+TEST_F(XmlPathTest, MutableOverloadAllowsEditing) {
+  Element* w = select_first(*doc_.root(), "Worker[@id='1']");
+  ASSERT_NE(w, nullptr);
+  w->set_attribute("quantity", "4");
+  EXPECT_EQ(select_first(*doc_.root(), "Worker[@id='1']")->attribute("quantity"), "4");
+}
+
+}  // namespace
+}  // namespace pdl::xml
