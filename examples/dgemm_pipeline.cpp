@@ -5,6 +5,10 @@
 // full parameter sweep.
 //
 //   $ ./dgemm_pipeline [N]     (default N=512)
+//
+// Set PDL_TRACE=<file> to capture a merged Chrome trace (toolchain wall
+// time + the last configuration's modeled schedule); PDL_METRICS=<file>
+// writes a metrics snapshot at exit. See docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -15,6 +19,9 @@
 #include "discovery/presets.hpp"
 #include "kernels/dgemm.hpp"
 #include "kernels/matrix.hpp"
+#include "obs/env.hpp"
+#include "obs/trace.hpp"
+#include "starvm/trace_export.hpp"
 
 namespace {
 
@@ -43,8 +50,10 @@ int main() {
 }
 )";
 
-/// Translate + execute against one target; returns the modeled makespan.
-double run_configuration(const pdl::Platform& target, std::size_t n, bool verify) {
+/// Translate + execute against one target; returns the engine statistics
+/// (makespan plus the task trace the merged Chrome trace is built from).
+starvm::EngineStats run_configuration(const pdl::Platform& target, std::size_t n,
+                                      bool verify) {
   auto translation = cascabel::translate(kCaseStudyProgram, "dgemm.cpp", target);
   if (!translation.ok()) {
     std::printf("translation for %s failed: %s\n", target.name().c_str(),
@@ -83,27 +92,42 @@ double run_configuration(const pdl::Platform& target, std::size_t n, bool verify
       std::exit(1);
     }
   }
-  return ctx.stats().makespan_seconds;
+  return ctx.stats();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::init_from_env();
   const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 512;
   std::printf("Cascabel case study (paper §IV-D) — DGEMM %zux%zu\n", n, n);
   std::printf("same input program, three PDL descriptors:\n\n");
 
   const double t_single =
-      run_configuration(pdl::discovery::paper_platform_single(), n, true);
+      run_configuration(pdl::discovery::paper_platform_single(), n, true)
+          .makespan_seconds;
   const double t_cpu =
-      run_configuration(pdl::discovery::paper_platform_starpu_cpu(), n, true);
-  const double t_gpu =
+      run_configuration(pdl::discovery::paper_platform_starpu_cpu(), n, true)
+          .makespan_seconds;
+  const starvm::EngineStats gpu_stats =
       run_configuration(pdl::discovery::paper_platform_starpu_2gpu(), n, true);
+  const double t_gpu = gpu_stats.makespan_seconds;
 
   std::printf("%-14s %14s %10s\n", "configuration", "makespan [ms]", "speedup");
   std::printf("%-14s %14.2f %10.2f\n", "single", t_single * 1e3, 1.0);
   std::printf("%-14s %14.2f %10.2f\n", "starpu", t_cpu * 1e3, t_single / t_cpu);
   std::printf("%-14s %14.2f %10.2f\n", "starpu+2gpu", t_gpu * 1e3, t_single / t_gpu);
   std::printf("\nall three results verified against the naive reference.\n");
+
+  // With PDL_TRACE set, replace the span-only atexit trace with the merged
+  // timeline: toolchain wall time plus the 2-GPU configuration's schedule.
+  const std::string trace_path = obs::env_trace_path();
+  if (!trace_path.empty()) {
+    const std::string trace = starvm::merged_chrome_trace(
+        obs::Tracer::instance().snapshot(), &gpu_stats);
+    if (obs::write_text_file(trace_path, trace)) {
+      std::printf("merged trace -> %s\n", trace_path.c_str());
+    }
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "cascabel/builtin_variants.hpp"
+#include "obs/trace.hpp"
 #include "pdl/parser.hpp"
 #include "util/logging.hpp"
 
@@ -84,6 +85,7 @@ void Context::repartition(Registered& reg, const Arg& a, int nblocks) {
 pdl::util::Status Context::execute(std::string_view interface_name,
                                    std::string_view group, std::vector<Arg> args) {
   const std::string iface(interface_name);
+  obs::Span span("rt.execute", iface);
   const auto* candidates = selection_.candidates(iface);
   if (candidates == nullptr || candidates->empty()) {
     return pdl::util::Status::failure("no variant of task interface '" + iface +

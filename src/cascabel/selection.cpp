@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pdl/pattern.hpp"
 #include "pdl/query.hpp"
 #include "pdl/well_known.hpp"
@@ -22,9 +24,19 @@ starvm::DeviceKind device_kind_for_target(std::string_view platform_name) {
 
 SelectionResult preselect(const TaskRepository& repository,
                           const pdl::Platform& target, pdl::Diagnostics& diags) {
+  obs::Span span("cascabel.preselect", target.name());
+  static obs::Counter& considered = obs::counter("cascabel.variants_considered");
+  static obs::Counter& accepted = obs::counter("cascabel.variants_selected");
+  static obs::Counter& rej_unknown =
+      obs::counter("cascabel.variants_rejected.unknown_platform");
+  static obs::Counter& rej_no_match =
+      obs::counter("cascabel.variants_rejected.pattern_mismatch");
+  static obs::Counter& rej_no_entry =
+      obs::counter("cascabel.variants_rejected.no_platform_entry");
   SelectionResult result;
 
   for (const auto& variant : repository.variants()) {
+    considered.inc();
     bool selected = false;
     for (const auto& platform_name : variant.pragma.target_platforms) {
       // Either a registered platform name ("x86", "cuda", ...) or an
@@ -40,6 +52,7 @@ SelectionResult preselect(const TaskRepository& repository,
         pattern = repository.requirement(platform_name);
       }
       if (pattern == nullptr) {
+        rej_unknown.inc();
         add_warning(diags,
                     "variant '" + variant.pragma.variant_name +
                         "' targets unknown platform '" + platform_name +
@@ -48,6 +61,7 @@ SelectionResult preselect(const TaskRepository& repository,
       }
       pdl::MatchResult match = pdl::match(*pattern, target);
       if (!match) {
+        rej_no_match.inc();
         add_info(diags,
                  "variant '" + variant.pragma.variant_name + "' pruned for '" +
                      platform_name + "': " + match.reason);
@@ -107,10 +121,12 @@ SelectionResult preselect(const TaskRepository& repository,
         }
       }
       result.by_interface[variant.pragma.task_interface].push_back(std::move(sel));
+      accepted.inc();
       selected = true;
       break;  // first matching platform entry wins for this variant
     }
     if (!selected) {
+      rej_no_entry.inc();
       add_info(diags, "variant '" + variant.pragma.variant_name +
                           "' has no matching platform on this target");
     }

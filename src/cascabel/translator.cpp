@@ -1,6 +1,8 @@
 #include "cascabel/translator.hpp"
 
 #include "cascabel/builtin_variants.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cascabel {
 
@@ -8,11 +10,16 @@ pdl::util::Result<TranslationResult> translate(std::string_view source,
                                                std::string source_name,
                                                const pdl::Platform& target,
                                                const TranslationOptions& options) {
+  obs::Span translate_span("cascabel.translate", source_name);
+  static obs::Counter& translations = obs::counter("cascabel.translations");
   TranslationResult result;
 
   // Step 1 — task registration.
-  auto program =
-      parse_annotated_source(source, std::move(source_name), result.diagnostics);
+  auto program = [&] {
+    obs::Span span("cascabel.parse", source_name);
+    return parse_annotated_source(source, std::move(source_name),
+                                  result.diagnostics);
+  }();
   if (!program) return program.error();
   result.program = std::move(program).value();
 
@@ -44,16 +51,23 @@ pdl::util::Result<TranslationResult> translate(std::string_view source,
   }
 
   // Step 3 — output generation.
-  auto output =
-      generate_source(result.program, target, options.codegen, result.diagnostics);
+  auto output = [&] {
+    obs::Span span("cascabel.codegen", options.codegen.program_name);
+    return generate_source(result.program, target, options.codegen,
+                           result.diagnostics);
+  }();
   if (!output) return output.error();
   result.output_source = std::move(output).value();
 
   // Step 4 — compilation plan.
   const std::string generated_name = options.codegen.program_name + ".cascabel.cpp";
-  result.compile_plan =
-      derive_compile_plan(target, generated_name, options.executable_name);
+  {
+    obs::Span span("cascabel.compile_plan", generated_name);
+    result.compile_plan =
+        derive_compile_plan(target, generated_name, options.executable_name);
+  }
 
+  translations.inc();
   return result;
 }
 

@@ -1,0 +1,94 @@
+#include "obs/event_sink.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+namespace obs {
+
+namespace {
+
+std::mutex g_sink_mutex;
+std::shared_ptr<EventSink> g_sink;
+std::atomic<bool> g_has_sink{false};
+
+}  // namespace
+
+Event& Event::str(std::string_view key, std::string_view value) {
+  body_ += ",\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  return *this;
+}
+
+Event& Event::num(std::string_view key, double value) {
+  char buf[48];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "null");  // JSON has no NaN/Inf
+  }
+  body_ += ",\"" + json_escape(key) + "\":" + buf;
+  return *this;
+}
+
+Event& Event::num(std::string_view key, std::uint64_t value) {
+  body_ += ",\"" + json_escape(key) + "\":" + std::to_string(value);
+  return *this;
+}
+
+Event& Event::raw(std::string_view key, std::string_view json_value) {
+  body_ += ",\"" + json_escape(key) + "\":";
+  body_ += json_value;
+  return *this;
+}
+
+std::string Event::to_json() const {
+  return "{\"event\":\"" + json_escape(name_) + "\"" + body_ + "}";
+}
+
+std::shared_ptr<EventSink> set_event_sink(std::shared_ptr<EventSink> sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::shared_ptr<EventSink> previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  g_has_sink.store(g_sink != nullptr, std::memory_order_relaxed);
+  return previous;
+}
+
+bool has_event_sink() { return g_has_sink.load(std::memory_order_relaxed); }
+
+void emit_event(const Event& event) {
+  std::shared_ptr<EventSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    sink = g_sink;
+  }
+  if (sink) sink->emit(event);
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlFileSink::emit(const Event& event) {
+  if (file_ == nullptr) return;
+  const std::string line = event.to_json();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(file_, "%s\n", line.c_str());
+}
+
+void MemorySink::emit(const Event& event) {
+  const std::string line = event.to_json();
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.push_back(line);
+}
+
+std::vector<std::string> MemorySink::lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+}  // namespace obs

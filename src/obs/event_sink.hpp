@@ -1,0 +1,81 @@
+// Structured observability events with a pluggable sink.
+//
+// Producers (the starvm scheduler, chiefly) build an Event and hand it to
+// emit_event(); whatever sink the process installed decides where it goes.
+// JsonlFileSink appends one JSON object per line (JSONL); MemorySink
+// buffers rendered lines for tests. Without a sink, emit_event() is a
+// cheap no-op — producers should guard expensive event construction with
+// has_event_sink().
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs {
+
+/// One event under construction: a name plus typed key/value fields,
+/// rendered as a single JSON object {"event":<name>,...}.
+class Event {
+ public:
+  explicit Event(std::string name) : name_(std::move(name)) {}
+
+  Event& str(std::string_view key, std::string_view value);
+  Event& num(std::string_view key, double value);
+  Event& num(std::string_view key, std::uint64_t value);
+  /// Pre-rendered JSON value (arrays/objects built by the caller).
+  Event& raw(std::string_view key, std::string_view json_value);
+
+  const std::string& name() const { return name_; }
+  std::string to_json() const;
+
+ private:
+  std::string name_;
+  std::string body_;  ///< accumulated `,"key":value` fragments
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const Event& event) = 0;
+};
+
+/// Install the process-global sink (nullptr uninstalls); returns the
+/// previous one so scoped users can restore it.
+std::shared_ptr<EventSink> set_event_sink(std::shared_ptr<EventSink> sink);
+
+/// Cheap check producers use to skip event construction entirely.
+bool has_event_sink();
+
+/// Hand an event to the installed sink; no-op without one.
+void emit_event(const Event& event);
+
+/// Appends one JSON line per event to a file ("w" truncates on open).
+class JsonlFileSink final : public EventSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+  bool ok() const { return file_ != nullptr; }
+  void emit(const Event& event) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+};
+
+/// Buffers rendered JSON lines in memory (tests).
+class MemorySink final : public EventSink {
+ public:
+  void emit(const Event& event) override;
+  std::vector<std::string> lines() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace obs

@@ -1,0 +1,110 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+namespace obs {
+
+std::uint64_t Histogram::bucket_upper_bound(int i) {
+  if (i <= 0) return 0;
+  if (i >= kBucketCount - 1) return ~0ull;
+  return (1ull << i) - 1;
+}
+
+int Histogram::bucket_index(std::uint64_t v) {
+  int width = 0;
+  while (v != 0) {
+    ++width;
+    v >>= 1;
+  }
+  return width < kBucketCount ? width : kBucketCount - 1;
+}
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: atexit hooks (obs::init_from_env) and destructors of
+  // other statics snapshot metrics at shutdown, after a destructible static
+  // here would already be gone.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string Registry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"value\":" << g->value()
+       << ",\"high_water\":" << g->high_water() << "}";
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"count\":" << h->count() << ",\"sum\":" << h->sum()
+       << ",\"max\":" << h->max() << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      const std::uint64_t n = h->bucket(i);
+      if (n == 0) continue;  // sparse: empty buckets carry no information
+      if (!first_bucket) os << ",";
+      first_bucket = false;
+      os << "{\"le\":" << Histogram::bucket_upper_bound(i) << ",\"count\":" << n
+         << "}";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace obs

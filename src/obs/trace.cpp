@@ -1,0 +1,133 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+
+namespace obs {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Tracer::Tracer() : epoch_seconds_(steady_seconds()) {}
+
+Tracer& Tracer::instance() {
+  // Leaked on purpose: the obs::init_from_env atexit hook exports the trace
+  // at shutdown, after a destructible static here would already be gone.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+double Tracer::now_us() const { return (steady_seconds() - epoch_seconds_) * 1e6; }
+
+void Tracer::record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+Span::Span(std::string name, std::string detail)
+    : name_(std::move(name)), detail_(std::move(detail)) {
+  Tracer& tracer = Tracer::instance();
+  if (tracer.enabled()) start_us_ = tracer.now_us();
+}
+
+Span::~Span() {
+  if (start_us_ < 0.0) return;
+  Tracer& tracer = Tracer::instance();
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.detail = std::move(detail_);
+  record.start_us = start_us_;
+  record.dur_us = tracer.now_us() - start_us_;
+  record.tid = thread_ordinal();
+  tracer.record(std::move(record));
+}
+
+void append_chrome_span_events(std::string& out,
+                               const std::vector<SpanRecord>& spans, int pid,
+                               bool& first) {
+  const auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+  std::set<std::uint32_t> tids;
+  for (const auto& span : spans) tids.insert(span.tid);
+  for (const std::uint32_t tid : tids) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":\"host thread " +
+           std::to_string(tid) + "\"}}";
+  }
+  char buf[64];
+  for (const auto& span : spans) {
+    comma();
+    out += "{\"name\":\"" + json_escape(span.name) + "\",\"ph\":\"X\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":" + std::to_string(span.tid);
+    std::snprintf(buf, sizeof buf, ",\"ts\":%.3f,\"dur\":%.3f", span.start_us,
+                  span.dur_us);
+    out += buf;
+    if (!span.detail.empty()) {
+      out += ",\"args\":{\"detail\":\"" + json_escape(span.detail) + "\"}";
+    }
+    out += "}";
+  }
+}
+
+std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
+  std::string out = "[";
+  bool first = true;
+  append_chrome_span_events(out, spans, 1, first);
+  out += "]";
+  return out;
+}
+
+}  // namespace obs

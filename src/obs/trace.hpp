@@ -1,0 +1,85 @@
+// Span-based wall-time tracer for the toolchain pipeline.
+//
+// A Span measures one scoped unit of work (parse, validate, pre-selection,
+// codegen, ...) on the steady clock, tagged with the recording thread.
+// Recording is off by default: a disabled tracer costs one relaxed atomic
+// load per Span. Enable with Tracer::instance().set_enabled(true) or via
+// the PDL_TRACE environment variable (obs/env.hpp).
+//
+// Export: to_chrome_trace() renders spans alone; for one timeline that
+// also carries the engine's virtual-clock schedule, use
+// starvm::merged_chrome_trace() (starvm/trace_export.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs {
+
+/// Dense per-process thread numbering (0 = first thread that asked).
+std::uint32_t thread_ordinal();
+
+/// Escape a string for inclusion in a JSON string literal.
+std::string json_escape(std::string_view s);
+
+struct SpanRecord {
+  std::string name;
+  std::string detail;  ///< optional argument shown in the trace viewer
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds on the steady clock since the tracer's epoch.
+  double now_us() const;
+
+  void record(SpanRecord record);
+  std::vector<SpanRecord> snapshot() const;
+  void clear();
+
+ private:
+  Tracer();
+  std::atomic<bool> enabled_{false};
+  double epoch_seconds_ = 0.0;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+};
+
+inline bool tracing_enabled() { return Tracer::instance().enabled(); }
+
+/// RAII span: records [construction, destruction) when the tracer was
+/// enabled at construction time.
+class Span {
+ public:
+  explicit Span(std::string name, std::string detail = {});
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  std::string detail_;
+  double start_us_ = -1.0;  ///< < 0: tracing was off, nothing to record
+};
+
+/// Chrome trace-event JSON array of the spans alone (pid 1).
+std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
+
+/// Append span events (plus thread_name metadata) to an event stream under
+/// construction; `first` tracks comma placement across appenders.
+void append_chrome_span_events(std::string& out,
+                               const std::vector<SpanRecord>& spans, int pid,
+                               bool& first);
+
+}  // namespace obs

@@ -4,6 +4,9 @@
 #include <set>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pdl {
 
 namespace {
@@ -131,7 +134,12 @@ struct Checker {
 }  // namespace
 
 bool validate(const Platform& platform, Diagnostics& diags) {
+  obs::Span span("pdl.validate", platform.name());
+  static obs::Counter& validations = obs::counter("pdl.validations");
+  static obs::Counter& diag_errors = obs::counter("pdl.diags_error");
+  static obs::Counter& diag_warnings = obs::counter("pdl.diags_warning");
   const std::size_t errors_before = count_severity(diags, Severity::kError);
+  const std::size_t warnings_before = count_severity(diags, Severity::kWarning);
   Checker checker{platform, diags, {}, {}};
 
   // V1.
@@ -144,6 +152,9 @@ bool validate(const Platform& platform, Diagnostics& diags) {
   for (const auto& master : platform.masters()) {
     checker.check_interconnects(*master);
   }
+  validations.inc();
+  diag_errors.inc(count_severity(diags, Severity::kError) - errors_before);
+  diag_warnings.inc(count_severity(diags, Severity::kWarning) - warnings_before);
   return count_severity(diags, Severity::kError) == errors_before;
 }
 

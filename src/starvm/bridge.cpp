@@ -41,6 +41,7 @@ pdl::util::Result<EngineConfig> engine_config_from_platform(
   EngineConfig config;
   config.scheduler = options.scheduler;
   config.mode = options.mode;
+  config.record_decisions = options.record_decisions;
 
   std::vector<DeviceSpec> cpus;
   std::vector<DeviceSpec> accelerators;

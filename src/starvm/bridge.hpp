@@ -36,6 +36,8 @@ struct BridgeOptions {
   /// PEAK_GFLOPS.
   double default_cpu_gflops = 5.0;
   double default_accel_gflops = 50.0;
+  /// Forwarded to EngineConfig::record_decisions (scheduler decision log).
+  bool record_decisions = false;
 };
 
 /// Build an engine configuration from a platform description.

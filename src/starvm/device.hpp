@@ -40,6 +40,11 @@ struct EngineConfig {
   /// (submission + scheduling cost; StarPU's is in this range).
   double task_overhead_us = 10.0;
 
+  /// Record a SchedulerDecision (candidate devices + modeled finish times)
+  /// for every task placement. Also implied by an active obs tracer or
+  /// event sink; off by default to keep the hot path free of the cost.
+  bool record_decisions = false;
+
   /// Convenience: n CPU cores at the given sustained rate.
   static EngineConfig cpus(int n, double sustained_gflops = 5.0);
 };

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace starvm {
@@ -15,6 +19,28 @@ double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Engine telemetry (obs registry), shared by every engine instance.
+obs::Counter& tasks_completed_counter() {
+  static obs::Counter& c = obs::counter("starvm.tasks_completed");
+  return c;
+}
+obs::Counter& transfers_counter() {
+  static obs::Counter& c = obs::counter("starvm.transfers");
+  return c;
+}
+obs::Counter& evictions_counter() {
+  static obs::Counter& c = obs::counter("starvm.evictions");
+  return c;
+}
+obs::Gauge& ready_queue_gauge() {
+  static obs::Gauge& g = obs::gauge("starvm.ready_queue");
+  return g;
+}
+obs::Histogram& task_exec_us_histogram() {
+  static obs::Histogram& h = obs::histogram("starvm.task_exec_us");
+  return h;
 }
 
 }  // namespace
@@ -84,6 +110,8 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
       [this](const detail::TaskNode& task, const detail::DeviceState& device) {
         return estimated_cost(task, device);
       });
+  decision_counter_ = &obs::counter("starvm.decisions." +
+                                    std::string(to_string(config_.scheduler)));
 
   // Pure simulation is a deterministic discrete-event loop driven by
   // wait_all() on the caller's thread: real worker threads would race in
@@ -342,6 +370,9 @@ TaskId Engine::submit(TaskDesc desc) {
   if (task->deps_remaining == 0) {
     task->state = detail::TaskState::kReady;
     scheduler_->push(task);
+    if (obs::metrics_enabled()) {
+      ready_queue_gauge().set(static_cast<std::int64_t>(scheduler_->size()));
+    }
     work_cv_.notify_all();
   }
   return task->id;
@@ -402,6 +433,12 @@ void Engine::run_simulation_locked() {
 
     task->state = detail::TaskState::kRunning;
     task->ran_on = device->id;
+    if (obs::metrics_enabled()) {
+      ready_queue_gauge().set(static_cast<std::int64_t>(scheduler_->size()));
+    }
+    // Before acquire_buffers: candidate costs must see decision-time
+    // replica placement.
+    record_decision(*task, *device);
     const double transfer = acquire_buffers(*task, device->node);
     task->start_vtime = std::max(device->avail_vtime, task->ready_vtime) +
                         config_.task_overhead_us * 1e-6;
@@ -422,6 +459,11 @@ void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
 
   trace_.push_back(TaskTrace{task.id, task.label, device.id, task.start_vtime,
                              task.finish_vtime, transfer, exec, task.flops});
+  if (obs::metrics_enabled()) {
+    tasks_completed_counter().inc();
+    task_exec_us_histogram().record(
+        exec > 0.0 ? static_cast<std::uint64_t>(exec * 1e6) : 0);
+  }
 
   task.state = detail::TaskState::kDone;
   bool pushed = false;
@@ -434,9 +476,64 @@ void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
     }
   }
   --pending_;
-  if (pushed) work_cv_.notify_all();
+  if (pushed) {
+    if (obs::metrics_enabled()) {
+      ready_queue_gauge().set(static_cast<std::int64_t>(scheduler_->size()));
+    }
+    work_cv_.notify_all();
+  }
   // Every completion wakes waiters: wait(TaskId) watches individual tasks.
   drain_cv_.notify_all();
+}
+
+void Engine::record_decision(const detail::TaskNode& task,
+                             const detail::DeviceState& chosen) {
+  if (obs::metrics_enabled()) decision_counter_->inc();
+  if (!config_.record_decisions && !obs::tracing_enabled() &&
+      !obs::has_event_sink()) {
+    return;
+  }
+
+  SchedulerDecision decision;
+  decision.task = task.id;
+  decision.label = task.label;
+  decision.chosen = chosen.id;
+  decision.decided_vtime = std::max(chosen.avail_vtime, task.ready_vtime);
+  for (const auto& device : devices_) {
+    if (!task.codelet->supports(device.spec.kind)) continue;
+    DecisionCandidate candidate;
+    candidate.device = device.id;
+    candidate.device_name = device.spec.name;
+    candidate.est_finish_vtime =
+        std::max(device.avail_vtime, task.ready_vtime) +
+        estimated_cost(task, device);
+    decision.candidates.push_back(std::move(candidate));
+  }
+
+  if (obs::has_event_sink()) {
+    obs::Event event("starvm.decision");
+    event.str("task", decision.label)
+        .num("task_id", static_cast<std::uint64_t>(decision.task))
+        .num("chosen", static_cast<double>(decision.chosen))
+        .str("chosen_name", chosen.spec.name)
+        .str("policy", to_string(config_.scheduler))
+        .num("decided_vtime", decision.decided_vtime);
+    std::string candidates = "[";
+    for (std::size_t i = 0; i < decision.candidates.size(); ++i) {
+      const DecisionCandidate& c = decision.candidates[i];
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", c.est_finish_vtime);
+      if (i > 0) candidates += ",";
+      candidates += "{\"device\":" + std::to_string(c.device) + ",\"name\":\"" +
+                    obs::json_escape(c.device_name) +
+                    "\",\"est_finish_vtime\":" + buf + "}";
+    }
+    candidates += "]";
+    event.raw("candidates", candidates);
+    obs::emit_event(event);
+  }
+
+  decisions_.push_back(std::move(decision));
 }
 
 // --- Cost models ----------------------------------------------------------------
@@ -529,6 +626,7 @@ void Engine::add_replica(DataHandle* handle, MemoryNodeId node, double& cost,
       }
       drop_replica(victim, node);
       ++evictions_;
+      if (obs::metrics_enabled()) evictions_counter().inc();
     }
     state->used += handle->bytes();
     state->lru.push_front(handle);
@@ -560,6 +658,7 @@ double Engine::acquire_buffers(detail::TaskNode& task, MemoryNodeId node) {
           total += link_transfer_seconds(h->bytes(), source, node);
           ++transfers_;
           transfer_bytes_ += h->bytes();
+          if (obs::metrics_enabled()) transfers_counter().inc();
         }
       }
       // add_replica also refreshes LRU recency for already-valid replicas.
@@ -626,6 +725,10 @@ void Engine::worker_loop(DeviceId device_id) {
 
       task->state = detail::TaskState::kRunning;
       task->ran_on = device_id;
+      if (obs::metrics_enabled()) {
+        ready_queue_gauge().set(static_cast<std::int64_t>(scheduler_->size()));
+      }
+      record_decision(*task, device);
       transfer = acquire_buffers(*task, device.node);
       task->start_vtime = std::max(device.avail_vtime, task->ready_vtime) +
                           config_.task_overhead_us * 1e-6;
@@ -679,10 +782,12 @@ EngineStats Engine::stats() const {
   s.transfer_bytes = transfer_bytes_;
   s.evictions = evictions_;
   s.writeback_bytes = writeback_bytes_;
+  s.scheduler = config_.scheduler;
   if (first_submit_wall_ >= 0.0 && drain_wall_ > first_submit_wall_) {
     s.wall_seconds = drain_wall_ - first_submit_wall_;
   }
   s.trace = trace_;
+  s.decisions = decisions_;
   return s;
 }
 

@@ -37,6 +37,10 @@
 #include "starvm/stats.hpp"
 #include "starvm/types.hpp"
 
+namespace obs {
+class Counter;
+}
+
 namespace starvm {
 
 class Engine {
@@ -114,6 +118,12 @@ class Engine {
   void finalize_task(detail::TaskNode& task, detail::DeviceState& device,
                      double transfer, double exec);
 
+  /// Record a SchedulerDecision for `task` placed on `chosen` (mutex held,
+  /// before acquire_buffers mutates replica state). Counts the decision
+  /// always; captures candidates only when recording is active.
+  void record_decision(const detail::TaskNode& task,
+                       const detail::DeviceState& chosen);
+
   /// Modeled cost of moving `view`'s missing replicas to `node`; updates
   /// the handle valid-sets and transfer counters (engine mutex held).
   double acquire_buffers(detail::TaskNode& task, MemoryNodeId node);
@@ -169,6 +179,11 @@ class Engine {
   double first_submit_wall_ = -1.0;
   double drain_wall_ = 0.0;
   std::vector<TaskTrace> trace_;
+  std::vector<SchedulerDecision> decisions_;
+
+  /// Per-policy decision counter ("starvm.decisions.<policy>"), resolved
+  /// once at construction so the hot path skips the registry lookup.
+  obs::Counter* decision_counter_ = nullptr;
 
   std::vector<std::thread> workers_;
 };

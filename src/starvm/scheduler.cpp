@@ -40,6 +40,8 @@ class EagerScheduler final : public Scheduler {
 
   bool empty() const override { return queue_.empty(); }
 
+  std::size_t size() const override { return queue_.size(); }
+
  private:
   const std::vector<DeviceState>* devices_;
   std::deque<TaskNode*> queue_;
@@ -108,6 +110,12 @@ class WorkStealingScheduler final : public Scheduler {
     return true;
   }
 
+  std::size_t size() const override {
+    std::size_t total = 0;
+    for (const auto& q : queues_) total += q.size();
+    return total;
+  }
+
  private:
   const std::vector<DeviceState>* devices_;
   std::vector<std::deque<TaskNode*>> queues_;
@@ -155,6 +163,12 @@ class HeftScheduler final : public Scheduler {
       if (!q.empty()) return false;
     }
     return true;
+  }
+
+  std::size_t size() const override {
+    std::size_t total = 0;
+    for (const auto& q : queues_) total += q.size();
+    return total;
   }
 
  private:

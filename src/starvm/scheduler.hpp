@@ -30,6 +30,10 @@ class Scheduler {
 
   /// True when no task is queued anywhere.
   virtual bool empty() const = 0;
+
+  /// Number of tasks queued across every device (the ready-queue length
+  /// reported to the obs metrics registry).
+  virtual std::size_t size() const = 0;
 };
 
 /// Factory. `devices` outlives the scheduler; `cost_fn` is used by kHeft.

@@ -32,6 +32,25 @@ struct DeviceStats {
   double transfer_seconds = 0.0;  ///< modeled transfer time paid by its tasks
 };
 
+/// One device the scheduler could have placed a task on, with the finish
+/// time the cost model predicted at decision time.
+struct DecisionCandidate {
+  DeviceId device = -1;
+  std::string device_name;
+  double est_finish_vtime = 0.0;  ///< max(avail, ready) + transfer + exec estimate
+};
+
+/// A placement decision: which device won a task and what the alternatives
+/// looked like. Recorded when EngineConfig::record_decisions is set or an
+/// obs trace/event sink is active.
+struct SchedulerDecision {
+  TaskId task = 0;
+  std::string label;
+  DeviceId chosen = -1;
+  double decided_vtime = 0.0;  ///< virtual time when the task started
+  std::vector<DecisionCandidate> candidates;
+};
+
 struct EngineStats {
   double makespan_seconds = 0.0;  ///< modeled: max task finish on the virtual clock
   double wall_seconds = 0.0;      ///< real elapsed time between first submit and drain
@@ -40,8 +59,10 @@ struct EngineStats {
   std::uint64_t transfer_bytes = 0;
   std::uint64_t evictions = 0;        ///< replicas dropped for capacity
   std::uint64_t writeback_bytes = 0;  ///< evicted sole replicas copied home
+  SchedulerKind scheduler = SchedulerKind::kHeft;
   std::vector<DeviceStats> devices;
   std::vector<TaskTrace> trace;
+  std::vector<SchedulerDecision> decisions;  ///< empty unless recording enabled
 };
 
 }  // namespace starvm

@@ -1,34 +1,81 @@
 #include "starvm/trace_export.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <sstream>
-#include <vector>
 
 namespace starvm {
 
 namespace {
 
-/// Escape a string for inclusion in a JSON string literal.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
+using obs::json_escape;
+
+/// Non-finite or negative values render as 0 (degenerate stats must still
+/// produce a trace every viewer can load).
+double sane(double v) { return std::isfinite(v) && v >= 0.0 ? v : 0.0; }
+
+/// Append the engine's virtual-time schedule as Chrome events under `pid`:
+/// thread_name metadata per device (plus an "unassigned" lane when needed),
+/// one "X" event per task, one "i" event per recorded decision.
+void append_engine_events(std::ostringstream& os, const EngineStats& stats,
+                          int pid, bool& first) {
+  const auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  for (std::size_t d = 0; d < stats.devices.size(); ++d) {
+    comma();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << d << ",\"args\":{\"name\":\""
+       << json_escape(stats.devices[d].name) << " ("
+       << to_string(stats.devices[d].kind) << ")\"}}";
   }
-  return out;
+  // Tasks that never reached a device share one extra lane.
+  const auto unassigned_tid = static_cast<long>(stats.devices.size());
+  bool any_unassigned = false;
+  for (const auto& t : stats.trace) any_unassigned |= t.device < 0;
+  if (any_unassigned) {
+    os << (first ? "" : ",")
+       << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << unassigned_tid
+       << ",\"args\":{\"name\":\"unassigned\"}}";
+    first = false;
+  }
+
+  for (const auto& t : stats.trace) {
+    comma();
+    const double start_us = sane(t.start_vtime) * 1e6;
+    const double raw_dur = t.finish_vtime - t.start_vtime;
+    const double dur_us = sane(raw_dur) * 1e6;
+    const long tid = t.device < 0 ? unassigned_tid : t.device;
+    os << "{\"name\":\"" << json_escape(t.label) << "\",\"ph\":\"X\",\"pid\":"
+       << pid << ",\"tid\":" << tid << ",\"ts\":" << start_us
+       << ",\"dur\":" << dur_us
+       << ",\"args\":{\"transfer_us\":" << sane(t.transfer_seconds) * 1e6
+       << ",\"exec_us\":" << sane(t.exec_seconds) * 1e6;
+    if (std::isfinite(t.flops)) os << ",\"flops\":" << t.flops;
+    os << "}}";
+  }
+
+  for (const auto& d : stats.decisions) {
+    comma();
+    const long tid = d.chosen < 0 ? unassigned_tid : d.chosen;
+    os << "{\"name\":\"decision: " << json_escape(d.label)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"ts\":" << sane(d.decided_vtime) * 1e6
+       << ",\"args\":{\"policy\":\"" << to_string(stats.scheduler)
+       << "\",\"chosen\":" << d.chosen << ",\"candidates\":[";
+    for (std::size_t i = 0; i < d.candidates.size(); ++i) {
+      const DecisionCandidate& c = d.candidates[i];
+      if (i > 0) os << ",";
+      os << "{\"device\":" << c.device << ",\"name\":\""
+         << json_escape(c.device_name)
+         << "\",\"est_finish_us\":" << sane(c.est_finish_vtime) * 1e6 << "}";
+    }
+    os << "]}}";
+  }
 }
 
 }  // namespace
@@ -37,29 +84,34 @@ std::string to_chrome_trace(const EngineStats& stats) {
   std::ostringstream os;
   os << "[";
   bool first = true;
-
-  // Thread-name metadata so rows carry device names.
-  for (std::size_t d = 0; d < stats.devices.size(); ++d) {
-    if (!first) os << ",";
-    first = false;
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << d
-       << ",\"args\":{\"name\":\"" << json_escape(stats.devices[d].name) << " ("
-       << to_string(stats.devices[d].kind) << ")\"}}";
-  }
-
-  for (const auto& t : stats.trace) {
-    if (!first) os << ",";
-    first = false;
-    const double start_us = t.start_vtime * 1e6;
-    const double dur_us = (t.finish_vtime - t.start_vtime) * 1e6;
-    os << "{\"name\":\"" << json_escape(t.label) << "\",\"ph\":\"X\",\"pid\":1"
-       << ",\"tid\":" << t.device << ",\"ts\":" << start_us << ",\"dur\":" << dur_us
-       << ",\"args\":{\"transfer_us\":" << t.transfer_seconds * 1e6
-       << ",\"exec_us\":" << t.exec_seconds * 1e6 << ",\"flops\":" << t.flops
-       << "}}";
-  }
+  append_engine_events(os, stats, 1, first);
   os << "]";
   return os.str();
+}
+
+std::string merged_chrome_trace(const std::vector<obs::SpanRecord>& spans,
+                                const EngineStats* stats) {
+  std::string out = "[";
+  bool first = true;
+  // Wall time (toolchain) and virtual time (engine model) are unrelated
+  // clocks; distinct process lanes keep the viewer honest about that.
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"toolchain wall time\"}}";
+  first = false;
+  if (stats != nullptr) {
+    out +=
+        ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+        "\"args\":{\"name\":\"engine virtual time\"}}";
+  }
+  obs::append_chrome_span_events(out, spans, 1, first);
+  if (stats != nullptr) {
+    std::ostringstream os;
+    append_engine_events(os, *stats, 2, first);
+    out += os.str();
+  }
+  out += "]";
+  return out;
 }
 
 std::string to_ascii_gantt(const EngineStats& stats, int width) {

@@ -2,18 +2,34 @@
 //
 //   * Chrome trace-event JSON — load in chrome://tracing / Perfetto to see
 //     the per-device virtual-time schedule;
+//   * a merged timeline that also carries the toolchain's wall-time spans
+//     (obs::Tracer) in a separate process lane;
 //   * an ASCII Gantt chart for terminals and logs.
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "obs/trace.hpp"
 #include "starvm/stats.hpp"
 
 namespace starvm {
 
 /// Chrome trace-event format (JSON array of complete events, "X" phase).
 /// One row per device; timestamps are the virtual clock in microseconds.
+/// Degenerate traces are sanitized: non-finite or negative durations clamp
+/// to zero, a non-finite flops estimate is omitted from the args, and
+/// tasks that never ran (device == -1) land on an "unassigned" lane.
+/// Scheduler decisions, when recorded, appear as instant events ("i")
+/// carrying the candidate devices and their modeled finish times.
 std::string to_chrome_trace(const EngineStats& stats);
+
+/// One Chrome trace combining toolchain wall-time spans (pid 1, from
+/// obs::Tracer) with the engine's virtual-clock schedule (pid 2, when
+/// `stats` is non-null). The two clocks are unrelated; separate pid lanes
+/// keep the viewer from implying simultaneity.
+std::string merged_chrome_trace(const std::vector<obs::SpanRecord>& spans,
+                                const EngineStats* stats);
 
 /// Fixed-width ASCII Gantt chart of the virtual-time schedule.
 /// `width` = number of character cells spanning the makespan.

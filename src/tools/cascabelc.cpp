@@ -5,21 +5,36 @@
 //             [--variants <variants.cpp>]...
 //             [--output <generated.cpp>] [--makefile <Makefile>]
 //             [--exe <name>] [--no-sync] [--print-selection] [--verbose]
+//             [--trace-out <trace.json>] [--metrics-out <metrics.json>]
 //
 // Reads an annotated serial task-based C/C++ program and a target PDL
 // descriptor, runs task registration, static pre-selection, output
 // generation and compile-plan derivation, and writes the generated source
 // plus the Makefile realizing the compilation plan. Retargeting = rerun
 // with a different --pdl; the input is never modified.
+//
+// --trace-out writes a Chrome trace-event file merging the toolchain's
+// wall-time spans with a virtual-clock *schedule preview*: the translated
+// program's call sites executed on synthetic data in a pure-simulation
+// engine, including the scheduler's placement decisions. --metrics-out
+// writes the metrics registry snapshot. PDL_TRACE / PDL_METRICS are the
+// environment equivalents (docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "cascabel/rt.hpp"
 #include "cascabel/translator.hpp"
+#include "obs/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pdl/parser.hpp"
 #include "pdl/validate.hpp"
+#include "starvm/trace_export.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -29,8 +44,100 @@ void usage(const char* argv0) {
                "          [--variants <variants.cpp>]...\n"
                "          [--output <generated.cpp>] [--makefile <Makefile>]\n"
                "          [--exe <name>] [--no-sync] [--print-selection]"
-               " [--verbose]\n",
+               " [--verbose]\n"
+               "          [--trace-out <trace.json>]"
+               " [--metrics-out <metrics.json>]\n",
                argv0);
+}
+
+/// Run the translated program's call sites on synthetic data in a pure-
+/// simulation engine: source-only variants get no-op stand-in
+/// implementations, so the preview exercises the real pre-selection,
+/// decomposition and placement paths and yields a virtual-clock schedule
+/// with the scheduler's decision log.
+starvm::EngineStats schedule_preview(const cascabel::TranslationResult& result,
+                                     const pdl::Platform& platform) {
+  obs::Span span("cascabelc.schedule_preview");
+
+  cascabel::TaskRepository repo = result.repository;
+  for (const auto& variant : repo.variants()) {
+    if (repo.bound(variant.pragma.variant_name) != nullptr) continue;
+    cascabel::BoundImpl impl;
+    impl.variant_name = variant.pragma.variant_name;
+    impl.device_kind =
+        variant.pragma.target_platforms.empty()
+            ? starvm::DeviceKind::kCpu
+            : cascabel::device_kind_for_target(variant.pragma.target_platforms[0]);
+    impl.fn = [](const starvm::ExecContext&) {};
+    impl.flops = [](const std::vector<starvm::BufferView>& buffers) {
+      double elements = 0.0;
+      for (const auto& view : buffers) {
+        elements += static_cast<double>(view.handle->rows() *
+                                        view.handle->cols());
+      }
+      return 2.0 * elements;
+    };
+    repo.bind(std::move(impl));
+  }
+
+  cascabel::rt::Options options;
+  options.scheduler = starvm::SchedulerKind::kHeft;
+  options.mode = starvm::ExecutionMode::kPureSim;
+  options.bridge.record_decisions = true;
+  // Driver-core dedication is a hybrid-execution concern; in a simulated
+  // preview it could leave small hosts with zero CPU devices.
+  options.bridge.dedicate_driver_cores = false;
+  cascabel::rt::Context ctx(platform, std::move(repo), options);
+
+  // Synthetic buffers, filled through the shared thread pool (which also
+  // exercises its queue/wait instrumentation).
+  constexpr std::size_t kExtent = 256;
+  pdl::util::ThreadPool pool(2);
+  std::vector<std::unique_ptr<std::vector<double>>> storage;
+
+  for (const auto& call : result.program.calls) {
+    const auto* candidates = result.selection.candidates(call.pragma.task_interface);
+    if (candidates == nullptr || candidates->empty()) continue;
+    const auto& params = candidates->front().variant->pragma.params;
+
+    std::vector<cascabel::rt::Arg> args;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      cascabel::DistributionKind dist = cascabel::DistributionKind::kNone;
+      std::size_t rows = 1;
+      // Distributions name call-site arguments; fall back to the formal
+      // parameter name for pragma/argument mismatches.
+      const std::string& arg_name =
+          i < call.args.size() ? call.args[i] : params[i].name;
+      for (const auto& d : call.pragma.distributions) {
+        if (d.param == arg_name || d.param == params[i].name) {
+          dist = d.kind;
+          if (d.sizes.size() == 2) rows = kExtent;
+          break;
+        }
+      }
+      storage.push_back(std::make_unique<std::vector<double>>(rows * kExtent));
+      std::vector<double>& buffer = *storage.back();
+      pool.parallel_for(0, buffer.size(), [&buffer](std::size_t j) {
+        buffer[j] = 0.5 * static_cast<double>(j % 7);
+      });
+      args.push_back(
+          cascabel::rt::Arg{buffer.data(), rows, kExtent, params[i].mode, dist});
+    }
+    auto status = ctx.execute(call.pragma.task_interface,
+                              call.pragma.execution_group, args);
+    if (!status.ok() && !call.pragma.execution_group.empty()) {
+      // The execution group may exclude every device of this platform;
+      // preview the placement over all PUs instead of dropping the site.
+      status = ctx.execute(call.pragma.task_interface, "", args);
+    }
+    if (!status.ok()) {
+      PDL_LOG_WARN << "schedule preview skipped call site '"
+                   << call.pragma.task_interface
+                   << "': " << status.error().str();
+    }
+  }
+  ctx.wait();
+  return ctx.stats();
 }
 
 }  // namespace
@@ -42,10 +149,23 @@ int main(int argc, char** argv) {
   bool sync_each_call = true;
   bool print_selection = false;
   bool verbose = false;
+  // PDL_TRACE / PDL_METRICS provide defaults; flags override below.
+  obs::init_from_env();
+  std::string trace_path = obs::env_trace_path();
+  std::string metrics_path = obs::env_metrics_path();
 
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto need_value = [&]() -> const char* {
+    std::string flag = argv[i];
+    std::string inline_value;
+    bool has_inline_value = false;
+    // Long flags accept both "--flag value" and "--flag=value".
+    if (const std::size_t eq = flag.find('='); eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+      has_inline_value = true;
+    }
+    const auto need_value = [&]() -> std::string {
+      if (has_inline_value) return inline_value;
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires a value\n", flag.c_str());
         std::exit(2);
@@ -64,6 +184,10 @@ int main(int argc, char** argv) {
       makefile_path = need_value();
     } else if (flag == "--exe") {
       exe_name = need_value();
+    } else if (flag == "--trace-out") {
+      trace_path = need_value();
+    } else if (flag == "--metrics-out") {
+      metrics_path = need_value();
     } else if (flag == "--no-sync") {
       sync_each_call = false;
     } else if (flag == "--print-selection") {
@@ -85,6 +209,8 @@ int main(int argc, char** argv) {
   }
   if (output_path.empty()) output_path = input_path + ".cascabel.cpp";
   if (verbose) pdl::util::set_log_level(pdl::util::LogLevel::kInfo);
+  if (!trace_path.empty()) obs::Tracer::instance().set_enabled(true);
+  if (!trace_path.empty() || !metrics_path.empty()) obs::set_metrics_enabled(true);
 
   // Target platform.
   pdl::Diagnostics diags;
@@ -171,6 +297,28 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("cascabelc: compile plan -> %s\n", makefile_path.c_str());
+  }
+
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    const starvm::EngineStats preview =
+        schedule_preview(result.value(), platform.value());
+    if (!trace_path.empty()) {
+      const std::string trace = starvm::merged_chrome_trace(
+          obs::Tracer::instance().snapshot(), &preview);
+      if (!obs::write_text_file(trace_path, trace)) {
+        std::fprintf(stderr, "cascabelc: cannot write '%s'\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("cascabelc: trace -> %s\n", trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      if (!obs::write_metrics_file(metrics_path)) {
+        std::fprintf(stderr, "cascabelc: cannot write '%s'\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      std::printf("cascabelc: metrics -> %s\n", metrics_path.c_str());
+    }
   }
   return 0;
 }

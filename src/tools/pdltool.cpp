@@ -12,8 +12,11 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "discovery/discovery.hpp"
+#include "obs/env.hpp"
+#include "obs/metrics.hpp"
 #include "discovery/presets.hpp"
 #include "pdl/diff.hpp"
 #include "pdl/extension.hpp"
@@ -36,7 +39,9 @@ void usage(const char* argv0) {
                "  %s presets\n"
                "  %s xsd\n"
                "  %s diff <old.xml> <new.xml>\n"
-               "  %s path <platform.xml> <fromPu> <toPu> [bytes]\n",
+               "  %s path <platform.xml> <fromPu> <toPu> [bytes]\n"
+               "options: --metrics-out <file>   write an obs metrics snapshot"
+               " (also: PDL_METRICS)\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
@@ -141,7 +146,37 @@ int cmd_presets() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int raw_argc, char** raw_argv) {
+  // PDL_METRICS provides the default; --metrics-out (anywhere on the
+  // command line, "--metrics-out f" or "--metrics-out=f") overrides it.
+  obs::init_from_env();
+  std::string metrics_path = obs::env_metrics_path();
+  std::vector<char*> args;
+  for (int i = 0; i < raw_argc; ++i) {
+    std::string flag = raw_argv[i];
+    if (flag == "--metrics-out" && i + 1 < raw_argc) {
+      metrics_path = raw_argv[++i];
+      continue;
+    }
+    if (flag.rfind("--metrics-out=", 0) == 0) {
+      metrics_path = flag.substr(std::strlen("--metrics-out="));
+      continue;
+    }
+    args.push_back(raw_argv[i]);
+  }
+  const int argc = static_cast<int>(args.size());
+  char** argv = args.data();
+  if (!metrics_path.empty()) obs::set_metrics_enabled(true);
+  // Write the snapshot on every exit path once the command has run.
+  struct MetricsFlusher {
+    std::string path;
+    ~MetricsFlusher() {
+      if (!path.empty() && !obs::write_metrics_file(path)) {
+        std::fprintf(stderr, "pdltool: cannot write '%s'\n", path.c_str());
+      }
+    }
+  } flusher{metrics_path};
+
   if (argc < 2) {
     usage(argv[0]);
     return 2;

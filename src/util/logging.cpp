@@ -1,8 +1,13 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+
+#include "obs/trace.hpp"
+#include "util/string_util.hpp"
 
 namespace pdl::util {
 
@@ -10,6 +15,7 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_emit_mutex;
+std::once_flag g_env_once;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -22,16 +28,59 @@ const char* level_tag(LogLevel level) {
   return "?????";
 }
 
+/// Seconds since the first logging call, on the steady clock.
+double monotonic_seconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void env_init_once() {
+  std::call_once(g_env_once, [] {
+    monotonic_seconds();  // pin the timestamp epoch to startup
+    apply_env_log_level();
+  });
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  if (text.size() == 1 && text[0] >= '0' && text[0] <= '4') {
+    return static_cast<LogLevel>(text[0] - '0');
+  }
+  if (iequals(text, "debug")) return LogLevel::kDebug;
+  if (iequals(text, "info")) return LogLevel::kInfo;
+  if (iequals(text, "warn") || iequals(text, "warning")) return LogLevel::kWarn;
+  if (iequals(text, "error")) return LogLevel::kError;
+  if (iequals(text, "off") || iequals(text, "none")) return LogLevel::kOff;
+  return std::nullopt;
+}
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void apply_env_log_level() {
+  const char* value = std::getenv("PDL_LOG_LEVEL");
+  if (value == nullptr) return;
+  if (const auto level = parse_log_level(value)) {
+    g_level.store(*level, std::memory_order_relaxed);
+  }
+}
+
+void set_log_level(LogLevel level) {
+  env_init_once();  // explicit calls always win over the environment
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  env_init_once();
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const double now = monotonic_seconds();
+  const unsigned tid = obs::thread_ordinal();
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[pdl %s] %s\n", level_tag(level), message.c_str());
+  std::fprintf(stderr, "[pdl %.6f %s t%u] %s\n", now, level_tag(level), tid,
+               message.c_str());
 }
 
 }  // namespace pdl::util

@@ -2,15 +2,31 @@
 //
 // Tools built on the library (cascabel driver, benches) want progress and
 // diagnostics on stderr without pulling in a logging framework. Severity is
-// filtered by a process-global level; each message is emitted atomically.
+// filtered by a process-global level; each message is emitted atomically as
+//
+//   [pdl <seconds-since-start> <SEVERITY> t<thread>] <message>
+//
+// where the timestamp is monotonic (steady clock) and the thread tag is a
+// dense per-process thread ordinal. The initial level comes from the
+// PDL_LOG_LEVEL environment variable (debug|info|warn|error|off, or 0-4)
+// and defaults to warn; set_log_level() overrides it.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace pdl::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Parse a PDL_LOG_LEVEL value: severity name (any case) or digit 0-4.
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// Re-read PDL_LOG_LEVEL and apply it; no-op when unset or unparsable.
+/// Runs automatically before the first level query or message.
+void apply_env_log_level();
 
 /// Process-global minimum severity; messages below it are dropped.
 void set_log_level(LogLevel level);

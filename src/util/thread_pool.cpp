@@ -1,8 +1,30 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
 
 namespace pdl::util {
+
+namespace {
+
+// Pool telemetry (obs registry): queue depth, executed tasks and the
+// submit-to-dequeue latency distribution, shared by every pool instance.
+obs::Gauge& queue_depth() {
+  static obs::Gauge& g = obs::gauge("thread_pool.queue_depth");
+  return g;
+}
+obs::Counter& tasks_executed() {
+  static obs::Counter& c = obs::counter("thread_pool.tasks_executed");
+  return c;
+}
+obs::Histogram& wait_us() {
+  static obs::Histogram& h = obs::histogram("thread_pool.wait_us");
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -26,11 +48,13 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   Job job;
   job.work = std::move(task);
+  job.enqueued = std::chrono::steady_clock::now();
   std::future<void> fut = job.done.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     jobs_.push(std::move(job));
   }
+  queue_depth().add(1);
   cv_.notify_one();
   return fut;
 }
@@ -64,8 +88,14 @@ void ThreadPool::worker_loop() {
       job = std::move(jobs_.front());
       jobs_.pop();
     }
+    queue_depth().add(-1);
+    wait_us().record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - job.enqueued)
+            .count()));
     job.work();
     job.done.set_value();
+    tasks_executed().inc();
   }
 }
 

@@ -5,6 +5,7 @@
 // mixing the two would hide which "device" performed work.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -40,6 +41,8 @@ class ThreadPool {
   struct Job {
     std::function<void()> work;
     std::promise<void> done;
+    /// Submission time, for the queue-wait histogram (obs metrics).
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void worker_loop();

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/string_util.hpp"
 
 namespace pdl::xml {
@@ -235,6 +237,7 @@ class Parser {
       fail("expected element name");
       return nullptr;
     }
+    ++elements_parsed_;
     auto element = std::make_unique<Element>(name);
     element->set_pos(open_pos);
 
@@ -371,12 +374,29 @@ class Parser {
   int line_ = 1;
   int column_ = 1;
   util::Error error_;
+
+ public:
+  std::size_t elements_parsed_ = 0;
 };
 
 }  // namespace
 
 util::Result<Document> parse(std::string_view text, const ParseOptions& options) {
-  return Parser(text, options).run();
+  obs::Span span("xml.parse", options.source_name);
+  static obs::Counter& documents = obs::counter("xml.documents_parsed");
+  static obs::Counter& nodes = obs::counter("xml.nodes_parsed");
+  static obs::Counter& bytes = obs::counter("xml.bytes_parsed");
+  static obs::Counter& errors = obs::counter("xml.parse_errors");
+  Parser parser(text, options);
+  auto result = parser.run();
+  bytes.inc(text.size());
+  nodes.inc(parser.elements_parsed_);
+  if (result.ok()) {
+    documents.inc();
+  } else {
+    errors.inc();
+  }
+  return result;
 }
 
 util::Result<Document> parse_file(const std::string& path, ParseOptions options) {

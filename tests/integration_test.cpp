@@ -172,7 +172,8 @@ int main() {
       "/src/starvm/libstarvm.a " + PDL_BINARY_DIR +
       "/src/kernels/libpdl_kernels.a " + PDL_BINARY_DIR +
       "/src/pdl/libpdl_core.a " + PDL_BINARY_DIR + "/src/xml/libpdl_xml.a " +
-      PDL_BINARY_DIR + "/src/util/libpdl_util.a -lpthread -o " + binary_path +
+      PDL_BINARY_DIR + "/src/util/libpdl_util.a " + PDL_BINARY_DIR +
+      "/src/obs/libpdl_obs.a -lpthread -o " + binary_path +
       " 2> " + dir + "/dgemm_compile_errors.txt";
   ASSERT_EQ(std::system(compile_cmd.c_str()), 0)
       << pdl::util::read_file(dir + "/dgemm_compile_errors.txt")
@@ -229,7 +230,8 @@ int main() {
       "/src/starvm/libstarvm.a " + PDL_BINARY_DIR +
       "/src/kernels/libpdl_kernels.a " + PDL_BINARY_DIR +
       "/src/pdl/libpdl_core.a " + PDL_BINARY_DIR + "/src/xml/libpdl_xml.a " +
-      PDL_BINARY_DIR + "/src/util/libpdl_util.a -lpthread -o " + binary_path +
+      PDL_BINARY_DIR + "/src/util/libpdl_util.a " + PDL_BINARY_DIR +
+      "/src/obs/libpdl_obs.a -lpthread -o " + binary_path +
       " 2> " + dir + "/compile_errors.txt";
   const int compile_rc = std::system(compile_cmd.c_str());
   ASSERT_EQ(compile_rc, 0) << pdl::util::read_file(dir + "/compile_errors.txt")

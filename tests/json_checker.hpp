@@ -1,0 +1,208 @@
+// Minimal JSON parser for tests: validates a document and collects every
+// decoded string value, so exporter tests can assert that labels with
+// quotes, backslashes or control characters survive the round trip.
+// Not a production parser — no streaming, no duplicate-key policy.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace testjson {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;                 ///< first problem found, for messages
+  std::vector<std::string> strings;  ///< every decoded string value & key
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult run() {
+    ParseResult result;
+    skip_ws();
+    if (!parse_value(result)) {
+      result.ok = false;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail(result, "trailing characters");
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool fail(ParseResult& r, const std::string& what) {
+    if (r.error.empty()) {
+      r.error = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(ParseResult& r) {
+    if (pos_ >= text_.size()) return fail(r, "unexpected end");
+    switch (text_[pos_]) {
+      case '{': return parse_object(r);
+      case '[': return parse_array(r);
+      case '"': return parse_string(r);
+      case 't': return literal("true") || fail(r, "bad literal");
+      case 'f': return literal("false") || fail(r, "bad literal");
+      case 'n': return literal("null") || fail(r, "bad literal");
+      default: return parse_number(r);
+    }
+  }
+
+  bool parse_object(ParseResult& r) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail(r, "key expected");
+      if (!parse_string(r)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail(r, "':' expected");
+      ++pos_;
+      skip_ws();
+      if (!parse_value(r)) return false;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail(r, "',' or '}' expected");
+    }
+  }
+
+  bool parse_array(ParseResult& r) {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!parse_value(r)) return false;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail(r, "',' or ']' expected");
+    }
+  }
+
+  bool parse_string(ParseResult& r) {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        r.strings.push_back(std::move(out));
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail(r, "raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return fail(r, "dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail(r, "short \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail(r, "bad \\u escape");
+          }
+          // The exporters only emit \u00XX (control characters); decoding
+          // the Latin-1 range is enough for round-trip assertions.
+          if (value < 0x80) {
+            out += static_cast<char>(value);
+          } else {
+            out += '?';
+          }
+          break;
+        }
+        default: return fail(r, "unknown escape");
+      }
+    }
+    return fail(r, "unterminated string");
+  }
+
+  bool parse_number(ParseResult& r) {
+    const std::size_t begin = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == begin) return fail(r, "value expected");
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline ParseResult parse(std::string_view text) { return Parser(text).run(); }
+
+inline bool contains_string(const ParseResult& r, std::string_view s) {
+  for (const auto& candidate : r.strings) {
+    if (candidate == s) return true;
+  }
+  return false;
+}
+
+}  // namespace testjson

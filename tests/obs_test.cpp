@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "json_checker.hpp"
+#include "obs/env.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "starvm/engine.hpp"
+#include "starvm/trace_export.hpp"
+#include "util/string_util.hpp"
+
+namespace obs {
+namespace {
+
+TEST(Metrics, CounterCountsAndResets) {
+  Counter& c = counter("test.counter_basic");
+  const std::uint64_t before = c.value();
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), before + 5);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  // The registry hands back the same instrument for the same name.
+  EXPECT_EQ(&counter("test.counter_basic"), &c);
+}
+
+TEST(Metrics, GaugeTracksLevelAndHighWater) {
+  Gauge& g = gauge("test.gauge_basic");
+  g.reset();
+  g.add(3);
+  g.add(2);
+  g.add(-4);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.high_water(), 5);
+  g.set(10);
+  EXPECT_EQ(g.high_water(), 10);
+  g.set(-2);
+  EXPECT_EQ(g.value(), -2);
+  EXPECT_EQ(g.high_water(), 10);
+}
+
+TEST(Metrics, HistogramLog2Buckets) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 1);
+  EXPECT_EQ(Histogram::bucket_index(2), 2);
+  EXPECT_EQ(Histogram::bucket_index(3), 2);
+  EXPECT_EQ(Histogram::bucket_index(4), 3);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11);
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(10), 1023u);
+
+  Histogram& h = histogram("test.hist_basic");
+  h.reset();
+  h.record(0);
+  h.record(3);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1003u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+}
+
+TEST(Metrics, SnapshotJsonParsesAndListsInstruments) {
+  counter("test.snapshot_counter").inc(7);
+  gauge("test.snapshot_gauge").set(3);
+  histogram("test.snapshot_hist").record(42);
+  const std::string json = metrics_snapshot_json();
+  const auto parsed = testjson::parse(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << json;
+  EXPECT_TRUE(testjson::contains_string(parsed, "test.snapshot_counter"));
+  EXPECT_TRUE(testjson::contains_string(parsed, "test.snapshot_gauge"));
+  EXPECT_TRUE(testjson::contains_string(parsed, "test.snapshot_hist"));
+  EXPECT_NE(json.find("\"test.snapshot_counter\":7"), std::string::npos) << json;
+}
+
+TEST(Metrics, ResetKeepsReferencesValid) {
+  Counter& c = counter("test.reset_ref");
+  c.inc(9);
+  Registry::global().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  EXPECT_EQ(counter("test.reset_ref").value(), 1u);
+}
+
+TEST(Trace, SpanRecordsOnlyWhenEnabled) {
+  Tracer& tracer = Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(false);
+  { Span span("off.work"); }
+  EXPECT_TRUE(tracer.snapshot().empty());
+
+  tracer.set_enabled(true);
+  {
+    Span span("on.work", "detail text");
+  }
+  tracer.set_enabled(false);
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "on.work");
+  EXPECT_EQ(spans[0].detail, "detail text");
+  EXPECT_GE(spans[0].dur_us, 0.0);
+  tracer.clear();
+}
+
+TEST(Trace, ThreadOrdinalsAreStableAndDistinct) {
+  const std::uint32_t mine = thread_ordinal();
+  EXPECT_EQ(thread_ordinal(), mine);
+  std::uint32_t other = mine;
+  std::thread([&] { other = thread_ordinal(); }).join();
+  EXPECT_NE(other, mine);
+}
+
+TEST(Trace, JsonEscapeCoversSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+TEST(Trace, ChromeTraceOfSpansIsValidJson) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(SpanRecord{"parse \"quoted\"", "file\\path", 10.0, 5.0, 0});
+  spans.push_back(SpanRecord{"codegen", "", 20.0, 1.0, 1});
+  const std::string json = to_chrome_trace(spans);
+  const auto parsed = testjson::parse(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << json;
+  EXPECT_TRUE(testjson::contains_string(parsed, "parse \"quoted\""));
+  EXPECT_TRUE(testjson::contains_string(parsed, "thread_name"));
+}
+
+TEST(Events, MemorySinkReceivesValidJsonLines) {
+  auto sink = std::make_shared<MemorySink>();
+  auto previous = set_event_sink(sink);
+  EXPECT_TRUE(has_event_sink());
+  Event event("unit.test");
+  event.str("key", "value \"x\"").num("n", std::uint64_t{42}).num("f", 1.5);
+  emit_event(event);
+  set_event_sink(previous);
+
+  const auto lines = sink->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const auto parsed = testjson::parse(lines[0]);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << lines[0];
+  EXPECT_TRUE(testjson::contains_string(parsed, "unit.test"));
+  EXPECT_TRUE(testjson::contains_string(parsed, "value \"x\""));
+  EXPECT_NE(lines[0].find("\"n\":42"), std::string::npos);
+}
+
+TEST(Events, NoSinkMeansCheapNoOp) {
+  auto previous = set_event_sink(nullptr);
+  EXPECT_FALSE(has_event_sink());
+  emit_event(Event("dropped"));  // must not crash
+  set_event_sink(previous);
+}
+
+TEST(Events, JsonlFileSinkWritesOneLinePerEvent) {
+  const std::string path = testing::TempDir() + "/obs_events.jsonl";
+  {
+    auto sink = std::make_shared<JsonlFileSink>(path);
+    ASSERT_TRUE(sink->ok());
+    auto previous = set_event_sink(sink);
+    emit_event(Event("first"));
+    emit_event(Event("second"));
+    set_event_sink(previous);
+  }
+  const auto text = pdl::util::read_file(path);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_NE(text->find("{\"event\":\"first\"}\n"), std::string::npos);
+  EXPECT_NE(text->find("{\"event\":\"second\"}\n"), std::string::npos);
+}
+
+TEST(Env, TracePathIgnoresBooleanValues) {
+  setenv("PDL_TRACE", "0", 1);
+  EXPECT_EQ(env_trace_path(), "");
+  setenv("PDL_TRACE", "1", 1);
+  EXPECT_EQ(env_trace_path(), "");
+  setenv("PDL_TRACE", "/tmp/x.json", 1);
+  EXPECT_EQ(env_trace_path(), "/tmp/x.json");
+  unsetenv("PDL_TRACE");
+  EXPECT_EQ(env_trace_path(), "");
+}
+
+// --- Engine integration -------------------------------------------------------
+
+starvm::EngineStats run_sample_engine(bool record_decisions,
+                                      bool metrics = true) {
+  // Engine hot-path instruments only sample while collection is on.
+  set_metrics_enabled(metrics);
+  starvm::EngineConfig config = starvm::EngineConfig::cpus(2, 10.0);
+  config.mode = starvm::ExecutionMode::kPureSim;
+  config.record_decisions = record_decisions;
+  starvm::Engine engine(std::move(config));
+  starvm::Codelet codelet;
+  codelet.name = "work";
+  codelet.impls.push_back({starvm::DeviceKind::kCpu, nullptr});
+  codelet.flops = [](const std::vector<starvm::BufferView>&) { return 1e8; };
+  std::vector<std::vector<double>> buffers(4, std::vector<double>(8));
+  for (auto& buffer : buffers) {
+    starvm::DataHandle* handle = engine.register_vector(buffer.data(), 8);
+    engine.submit(
+        starvm::TaskDesc{&codelet, {{handle, starvm::Access::kReadWrite}}, "t"});
+  }
+  engine.wait_all();
+  return engine.stats();
+}
+
+TEST(Decisions, OffByDefault) {
+  const auto stats = run_sample_engine(false);
+  EXPECT_EQ(stats.tasks_completed, 4u);
+  EXPECT_TRUE(stats.decisions.empty());
+}
+
+TEST(Decisions, RecordedWithCandidatesWhenEnabled) {
+  const std::uint64_t counted_before =
+      counter("starvm.decisions.heft").value();
+  const auto stats = run_sample_engine(true);
+  EXPECT_EQ(counter("starvm.decisions.heft").value(), counted_before + 4);
+  ASSERT_EQ(stats.decisions.size(), 4u);
+  for (const auto& decision : stats.decisions) {
+    EXPECT_GE(decision.chosen, 0);
+    ASSERT_EQ(decision.candidates.size(), 2u) << "both CPUs are capable";
+    for (const auto& candidate : decision.candidates) {
+      EXPECT_FALSE(candidate.device_name.empty());
+      EXPECT_GE(candidate.est_finish_vtime, decision.decided_vtime);
+    }
+  }
+}
+
+TEST(Decisions, AppearAsInstantEventsInChromeTrace) {
+  const auto stats = run_sample_engine(true);
+  const std::string json = starvm::to_chrome_trace(stats);
+  const auto parsed = testjson::parse(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"candidates\":["), std::string::npos);
+}
+
+TEST(Decisions, ForwardedToEventSink) {
+  auto sink = std::make_shared<MemorySink>();
+  auto previous = set_event_sink(sink);
+  run_sample_engine(false);  // sink alone must activate recording
+  set_event_sink(previous);
+  const auto lines = sink->lines();
+  ASSERT_EQ(lines.size(), 4u);
+  for (const auto& line : lines) {
+    const auto parsed = testjson::parse(line);
+    ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << line;
+    EXPECT_TRUE(testjson::contains_string(parsed, "starvm.decision"));
+  }
+}
+
+TEST(Merged, TraceCarriesBothLanes) {
+  Tracer& tracer = Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(true);
+  { Span span("toolchain.step"); }
+  tracer.set_enabled(false);
+  const auto stats = run_sample_engine(true);
+  const std::string json =
+      starvm::merged_chrome_trace(tracer.snapshot(), &stats);
+  tracer.clear();
+
+  const auto parsed = testjson::parse(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(testjson::contains_string(parsed, "toolchain wall time"));
+  EXPECT_TRUE(testjson::contains_string(parsed, "engine virtual time"));
+  EXPECT_TRUE(testjson::contains_string(parsed, "toolchain.step"));
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << "decision events";
+}
+
+TEST(Merged, SpansAloneWhenNoStats) {
+  const std::string json = starvm::merged_chrome_trace({}, nullptr);
+  const auto parsed = testjson::parse(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(testjson::contains_string(parsed, "toolchain wall time"));
+  EXPECT_FALSE(testjson::contains_string(parsed, "engine virtual time"));
+}
+
+TEST(EngineMetrics, CountersTickOnExecution) {
+  const std::uint64_t tasks_before = counter("starvm.tasks_completed").value();
+  const std::uint64_t hist_before = histogram("starvm.task_exec_us").count();
+  run_sample_engine(false);
+  EXPECT_EQ(counter("starvm.tasks_completed").value(), tasks_before + 4);
+  EXPECT_EQ(histogram("starvm.task_exec_us").count(), hist_before + 4);
+  EXPECT_GE(gauge("starvm.ready_queue").high_water(), 1);
+}
+
+TEST(EngineMetrics, HotPathInstrumentsIdleWhileCollectionOff) {
+  const std::uint64_t tasks_before = counter("starvm.tasks_completed").value();
+  const auto stats = run_sample_engine(false, /*metrics=*/false);
+  set_metrics_enabled(true);  // restore for later tests
+  EXPECT_EQ(stats.tasks_completed, 4u);  // EngineStats itself is unaffected
+  EXPECT_EQ(counter("starvm.tasks_completed").value(), tasks_before);
+}
+
+}  // namespace
+}  // namespace obs

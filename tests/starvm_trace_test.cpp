@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "json_checker.hpp"
 #include "starvm/engine.hpp"
 #include "starvm/trace_export.hpp"
 
@@ -54,6 +58,77 @@ TEST(ChromeTrace, EscapesLabels) {
   const std::string json = to_chrome_trace(stats);
   EXPECT_NE(json.find("a\\\"b\\\\c\\n"), std::string::npos);
   EXPECT_NE(json.find("dev\\\"1\\\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyStatsYieldEmptyValidArray) {
+  const std::string json = to_chrome_trace(EngineStats{});
+  EXPECT_EQ(json, "[]");
+  EXPECT_TRUE(testjson::parse(json).ok);
+}
+
+TEST(ChromeTrace, ZeroDurationTaskStillRenders) {
+  EngineStats stats;
+  stats.devices.push_back(DeviceStats{"cpu0", DeviceKind::kCpu, 1, 0.0, 0.0});
+  stats.trace.push_back(TaskTrace{1, "instant", 0, 2.0, 2.0, 0.0, 0.0, 0.0});
+  const std::string json = to_chrome_trace(stats);
+  const auto parsed = testjson::parse(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << json;
+  EXPECT_TRUE(testjson::contains_string(parsed, "instant"));
+  EXPECT_NE(json.find("\"dur\":0"), std::string::npos);
+}
+
+TEST(ChromeTrace, DegenerateDurationsClampToZero) {
+  EngineStats stats;
+  stats.devices.push_back(DeviceStats{"cpu0", DeviceKind::kCpu, 3, 0.0, 0.0});
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  // NaN start, negative duration (finish < start), infinite transfer.
+  stats.trace.push_back(TaskTrace{1, "bad_start", 0, nan, 1.0, 0.0, 0.0, 1.0});
+  stats.trace.push_back(TaskTrace{2, "backwards", 0, 5.0, 1.0, 0.0, 0.0, 1.0});
+  stats.trace.push_back(TaskTrace{3, "bad_xfer", 0, 0.0, 1.0, inf, -2.0, 1.0});
+  const std::string json = to_chrome_trace(stats);
+  const auto parsed = testjson::parse(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << json;
+  EXPECT_EQ(json.find(":nan"), std::string::npos);
+  EXPECT_EQ(json.find(":inf"), std::string::npos);
+  EXPECT_EQ(json.find(":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos);       // NaN start
+  EXPECT_NE(json.find("\"dur\":0"), std::string::npos);      // negative duration
+  EXPECT_NE(json.find("\"transfer_us\":0"), std::string::npos);
+}
+
+TEST(ChromeTrace, NonFiniteFlopsOmitted) {
+  EngineStats stats;
+  stats.devices.push_back(DeviceStats{"cpu0", DeviceKind::kCpu, 1, 0.0, 0.0});
+  stats.trace.push_back(
+      TaskTrace{1, "t", 0, 0.0, 1.0, 0.0, 1.0, std::nan("")});
+  const std::string json = to_chrome_trace(stats);
+  ASSERT_TRUE(testjson::parse(json).ok);
+  EXPECT_EQ(json.find("\"flops\""), std::string::npos);
+}
+
+TEST(ChromeTrace, UnassignedTasksGetTheirOwnLane) {
+  EngineStats stats;
+  stats.devices.push_back(DeviceStats{"cpu0", DeviceKind::kCpu, 0, 0.0, 0.0});
+  stats.trace.push_back(TaskTrace{1, "orphan", -1, 0.0, 1.0, 0.0, 1.0, 0.0});
+  const std::string json = to_chrome_trace(stats);
+  const auto parsed = testjson::parse(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << json;
+  EXPECT_TRUE(testjson::contains_string(parsed, "unassigned"));
+  // The orphan renders on the extra lane after the last device (tid 1 here).
+  EXPECT_NE(json.find("\"name\":\"orphan\",\"ph\":\"X\",\"pid\":1,\"tid\":1"),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, HostileLabelsSurviveARoundTrip) {
+  const std::string label = "qu\"ote back\\slash ctrl\x01\ttab";
+  EngineStats stats;
+  stats.devices.push_back(DeviceStats{"dev", DeviceKind::kCpu, 1, 0.0, 0.0});
+  stats.trace.push_back(TaskTrace{1, label, 0, 0.0, 1.0, 0.0, 1.0, 0.0});
+  const std::string json = to_chrome_trace(stats);
+  const auto parsed = testjson::parse(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << json;
+  EXPECT_TRUE(testjson::contains_string(parsed, label));
 }
 
 TEST(AsciiGantt, RendersOneRowPerDevice) {

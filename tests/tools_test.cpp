@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "json_checker.hpp"
 #include "util/string_util.hpp"
 
 namespace {
@@ -173,6 +174,75 @@ TEST_F(ToolsTest, CascabelcPrintsSelectionReport) {
   EXPECT_NE(output.find("selection for target"), std::string::npos);
   EXPECT_NE(output.find("Ivecadd:"), std::string::npos);
   EXPECT_NE(output.find("fallback"), std::string::npos);
+}
+
+TEST_F(ToolsTest, CascabelcWritesMergedTraceAndMetrics) {
+  const std::string out_cpp = temp_path("gen_obs.cpp");
+  const std::string trace = temp_path("trace.json");
+  const std::string metrics = temp_path("metrics.json");
+  std::string output;
+  EXPECT_EQ(run(kCascabelc + " --pdl " + pdl_path_ + " --input " + input_path_ +
+                    " --output " + out_cpp + " --trace-out=" + trace +
+                    " --metrics-out " + metrics,
+                &output),
+            0)
+      << output;
+
+  // The trace is one Chrome trace with both clock lanes and at least one
+  // scheduler decision from the schedule preview.
+  const auto trace_text = pdl::util::read_file(trace);
+  ASSERT_TRUE(trace_text.has_value());
+  const auto trace_json = testjson::parse(*trace_text);
+  ASSERT_TRUE(trace_json.ok) << trace_json.error;
+  EXPECT_TRUE(testjson::contains_string(trace_json, "toolchain wall time"));
+  EXPECT_TRUE(testjson::contains_string(trace_json, "engine virtual time"));
+  EXPECT_TRUE(testjson::contains_string(trace_json, "cascabel.translate"));
+  EXPECT_NE(trace_text->find("\"ph\":\"i\""), std::string::npos) << *trace_text;
+
+  // The metrics snapshot parses and carries counters from several layers.
+  const auto metrics_text = pdl::util::read_file(metrics);
+  ASSERT_TRUE(metrics_text.has_value());
+  const auto metrics_json = testjson::parse(*metrics_text);
+  ASSERT_TRUE(metrics_json.ok) << metrics_json.error;
+  for (const char* name :
+       {"xml.documents_parsed", "pdl.validations", "cascabel.translations",
+        "starvm.tasks_completed", "thread_pool.tasks_executed"}) {
+    EXPECT_TRUE(testjson::contains_string(metrics_json, name))
+        << name << " missing from " << *metrics_text;
+  }
+}
+
+TEST_F(ToolsTest, PdltoolWritesMetricsSnapshot) {
+  const std::string metrics = temp_path("pdltool_metrics.json");
+  std::string output;
+  EXPECT_EQ(run(kPdltool + " validate " + pdl_path_ +
+                    " --metrics-out=" + metrics,
+                &output),
+            0)
+      << output;
+  const auto text = pdl::util::read_file(metrics);
+  ASSERT_TRUE(text.has_value());
+  const auto parsed = testjson::parse(*text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(testjson::contains_string(parsed, "pdl.validations"));
+  EXPECT_TRUE(testjson::contains_string(parsed, "xml.nodes_parsed"));
+}
+
+TEST_F(ToolsTest, EnvVarsDriveObservabilityWithoutFlags) {
+  const std::string out_cpp = temp_path("gen_env.cpp");
+  const std::string trace = temp_path("env_trace.json");
+  std::string output;
+  EXPECT_EQ(run("PDL_TRACE=" + trace + " " + kCascabelc + " --pdl " +
+                    pdl_path_ + " --input " + input_path_ + " --output " +
+                    out_cpp,
+                &output),
+            0)
+      << output;
+  const auto text = pdl::util::read_file(trace);
+  ASSERT_TRUE(text.has_value());
+  const auto parsed = testjson::parse(*text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(testjson::contains_string(parsed, "toolchain wall time"));
 }
 
 TEST_F(ToolsTest, CascabelcFailsCleanlyOnBadInputs) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "util/logging.hpp"
 
 namespace pdl::util {
@@ -8,7 +10,10 @@ namespace {
 class LoggingTest : public testing::Test {
  protected:
   void SetUp() override { saved_ = log_level(); }
-  void TearDown() override { set_log_level(saved_); }
+  void TearDown() override {
+    unsetenv("PDL_LOG_LEVEL");
+    set_log_level(saved_);
+  }
   LogLevel saved_;
 };
 
@@ -27,14 +32,70 @@ TEST_F(LoggingTest, MacrosEmitWithoutCrashing) {
   PDL_LOG_ERROR << "error";
 }
 
+TEST_F(LoggingTest, ParseLogLevelAcceptsNamesAndDigits) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("4"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("42"), std::nullopt);
+}
+
+TEST_F(LoggingTest, EnvVarSetsTheLevel) {
+  setenv("PDL_LOG_LEVEL", "debug", 1);
+  apply_env_log_level();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+
+  setenv("PDL_LOG_LEVEL", "error", 1);
+  apply_env_log_level();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+
+  // Unparsable values leave the level untouched.
+  setenv("PDL_LOG_LEVEL", "nonsense", 1);
+  apply_env_log_level();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+
+  // set_log_level overrides whatever the environment said.
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, MessagesCarryTimestampSeverityAndThreadId) {
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kInfo, "hello metrics");
+  const std::string out = testing::internal::GetCapturedStderr();
+
+  // "[pdl <seconds>.<micros> INFO  t<N>] hello metrics\n"
+  ASSERT_EQ(out.rfind("[pdl ", 0), 0u) << out;
+  EXPECT_NE(out.find(" INFO "), std::string::npos) << out;
+  EXPECT_NE(out.find(" t"), std::string::npos) << out;
+  EXPECT_NE(out.find("] hello metrics\n"), std::string::npos) << out;
+
+  // Timestamp parses as a non-negative number with sub-second precision.
+  const std::size_t begin = std::string("[pdl ").size();
+  const std::size_t end = out.find(' ', begin);
+  ASSERT_NE(end, std::string::npos);
+  const std::string stamp = out.substr(begin, end - begin);
+  EXPECT_NE(stamp.find('.'), std::string::npos) << stamp;
+  EXPECT_GE(std::stod(stamp), 0.0);
+}
+
 TEST_F(LoggingTest, FilteringComparesSeverity) {
-  // Only observable through absence of crashes/output here; the filter
-  // logic itself is a simple comparison — exercise both sides.
   set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
   log_message(LogLevel::kDebug, "dropped");
-  log_message(LogLevel::kError, "kept (stderr)");
+  log_message(LogLevel::kError, "kept");
   set_log_level(LogLevel::kOff);
   log_message(LogLevel::kError, "dropped too");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("kept"), std::string::npos);
 }
 
 }  // namespace
