@@ -54,7 +54,7 @@ void run(std::size_t mem_mib, std::size_t n) {
     std::fprintf(stderr, "execute failed: %s\n", status.error().str().c_str());
     std::exit(1);
   }
-  ctx.wait();
+  (void)ctx.wait();
 
   const auto stats = ctx.stats();
   std::printf("%10s %14.3f %12.1f %10llu %12.1f\n",

@@ -41,7 +41,7 @@ double run(int blocks_per_device, std::size_t n) {
     std::fprintf(stderr, "execute failed: %s\n", status.error().str().c_str());
     std::exit(1);
   }
-  ctx.wait();
+  (void)ctx.wait();
   const auto stats = ctx.stats();
   std::printf("%8d %10llu %14.3f %14.3f\n", blocks_per_device,
               static_cast<unsigned long long>(stats.tasks_completed),

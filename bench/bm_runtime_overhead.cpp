@@ -27,7 +27,7 @@ void BM_SubmitDrainEmptyTasks(benchmark::State& state) {
       starvm::DataHandle* h = engine.register_vector(buf.data(), 1);
       engine.submit(starvm::TaskDesc{&noop, {{h, starvm::Access::kReadWrite}}});
     }
-    engine.wait_all();
+    (void)engine.wait_all();
   }
   state.SetItemsProcessed(state.iterations() * tasks);
 }
@@ -47,7 +47,7 @@ void BM_DependencyChain(benchmark::State& state) {
     for (int i = 0; i < tasks; ++i) {
       engine.submit(starvm::TaskDesc{&noop, {{h, starvm::Access::kReadWrite}}});
     }
-    engine.wait_all();
+    (void)engine.wait_all();
   }
   state.SetItemsProcessed(state.iterations() * tasks);
 }
@@ -74,7 +74,7 @@ void BM_GranularityEfficiency(benchmark::State& state) {
       starvm::DataHandle* h = engine.register_vector(buf.data(), 1);
       engine.submit(starvm::TaskDesc{&busy, {{h, starvm::Access::kReadWrite}}});
     }
-    engine.wait_all();
+    (void)engine.wait_all();
   }
   // Ideal: kTasks * kernel_us / 4 devices.
   state.counters["ideal_ms"] =

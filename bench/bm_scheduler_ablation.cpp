@@ -87,7 +87,7 @@ double run(const Workload& workload, starvm::SchedulerKind policy) {
     }
     engine.submit(std::move(desc));
   }
-  engine.wait_all();
+  (void)engine.wait_all();
   return engine.stats().makespan_seconds;
 }
 

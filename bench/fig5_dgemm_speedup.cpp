@@ -81,7 +81,7 @@ double run_dgemm(const Config& config, std::size_t n, starvm::ExecutionMode mode
     std::fprintf(stderr, "execute failed: %s\n", status.error().str().c_str());
     std::exit(1);
   }
-  ctx.wait();
+  (void)ctx.wait();
 
   if (verify) {
     kernels::Matrix ref(n, n);

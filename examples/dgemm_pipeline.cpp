@@ -81,7 +81,7 @@ starvm::EngineStats run_configuration(const pdl::Platform& target, std::size_t n
     std::printf("execute failed: %s\n", status.error().str().c_str());
     std::exit(1);
   }
-  ctx.wait();
+  (void)ctx.wait();
 
   if (verify) {
     kernels::Matrix ref(n, n);

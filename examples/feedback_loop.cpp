@@ -50,7 +50,7 @@ starvm::EngineStats run_dgemm(const pdl::Platform& target, std::size_t n,
     std::fprintf(stderr, "execute failed: %s\n", status.error().str().c_str());
     std::exit(1);
   }
-  ctx.wait();
+  (void)ctx.wait();
   return ctx.stats();
 }
 

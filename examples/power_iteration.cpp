@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "execute failed: %s\n", status.error().str().c_str());
       return 1;
     }
-    ctx.wait();
+    (void)ctx.wait();
 
     // Host-side glue: Rayleigh quotient and normalization. The runtime is
     // told about the direct host writes so its transfer model re-fetches.

@@ -68,7 +68,7 @@ int main() {
     std::printf("execute failed: %s\n", status.error().str().c_str());
     return 1;
   }
-  ctx.wait();
+  (void)ctx.wait();
 
   bool ok = true;
   for (double v : a) ok &= (v == 3.0);

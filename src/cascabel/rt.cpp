@@ -38,10 +38,16 @@ Context::Context(const pdl::Platform& target, TaskRepository repository,
     // An engine is still required for the object to be usable; fall back to
     // a single CPU and record the problem.
     pdl::add_error(diags_, "engine construction: " + config.error().str());
-    engine_ = std::make_unique<starvm::Engine>(starvm::EngineConfig::cpus(1));
+    starvm::EngineConfig fallback = starvm::EngineConfig::cpus(1);
+    fallback.fault_tolerance = options_.fault_tolerance;
+    fallback.fault_plan = options_.fault_plan;
+    engine_ = std::make_unique<starvm::Engine>(std::move(fallback));
     return;
   }
-  engine_ = std::make_unique<starvm::Engine>(std::move(config).value());
+  starvm::EngineConfig engine_config = std::move(config).value();
+  engine_config.fault_tolerance = options_.fault_tolerance;
+  engine_config.fault_plan = options_.fault_plan;
+  engine_ = std::make_unique<starvm::Engine>(std::move(engine_config));
 }
 
 Context::Registered& Context::find_or_register(const Arg& a) {
@@ -53,8 +59,9 @@ Context::Registered& Context::find_or_register(const Arg& a) {
     }
     // The pointer is being reused with different geometry (e.g. the same
     // scratch buffer viewed as a different matrix). Drain in-flight tasks,
-    // drop the old registration and fall through to a fresh one.
-    engine_->wait_all();
+    // drop the old registration and fall through to a fresh one. Task
+    // failures stay sticky in the engine; wait() reports them.
+    (void)engine_->wait_all();
     if (reg.nblocks != 0) engine_->unpartition(reg.handle);
     registered_.erase(it);
   }
@@ -68,7 +75,8 @@ Context::Registered& Context::find_or_register(const Arg& a) {
 void Context::repartition(Registered& reg, const Arg& a, int nblocks) {
   if (reg.nblocks == nblocks) return;
   // In-flight tasks may reference the old blocks; drain before replacing.
-  engine_->wait_all();
+  // Task failures stay sticky in the engine; wait() reports them.
+  (void)engine_->wait_all();
   if (reg.nblocks != 0) {
     engine_->unpartition(reg.handle);
     reg.blocks.clear();
@@ -223,7 +231,7 @@ pdl::util::Status Context::execute(std::string_view interface_name,
   return {};
 }
 
-void Context::wait() { engine_->wait_all(); }
+pdl::util::Status Context::wait() { return engine_->wait_all(); }
 
 void Context::host_modified(double* ptr) {
   const auto it = registered_.find(ptr);
@@ -323,13 +331,19 @@ bool execute(const char* interface_name, const char* group, std::vector<Arg> arg
   return true;
 }
 
-void wait() {
+bool wait() {
   Context* ctx = nullptr;
   {
     std::lock_guard<std::mutex> lock(g_mutex);
     ctx = global_context().get();
   }
-  if (ctx != nullptr) ctx->wait();
+  if (ctx == nullptr) return true;
+  auto status = ctx->wait();
+  if (!status.ok()) {
+    PDL_LOG_ERROR << "cascabel::rt::wait: " << status.error().str();
+    return false;
+  }
+  return true;
 }
 
 starvm::EngineStats stats() {

@@ -60,6 +60,10 @@ struct Options {
   /// row bands (clamped to the data extent).
   int blocks_per_device = 4;
   starvm::BridgeOptions bridge;
+  /// Engine recovery policy (retries, backoff, blacklist, watchdog).
+  starvm::FaultToleranceConfig fault_tolerance;
+  /// Deterministic fault injection; nullptr = engine consults PDL_FAULT_PLAN.
+  std::shared_ptr<const starvm::FaultPlan> fault_plan;
 };
 
 /// An executable translation context: target platform + repository + engine.
@@ -78,8 +82,9 @@ class Context {
   pdl::util::Status execute(std::string_view interface_name, std::string_view group,
                             std::vector<Arg> args);
 
-  /// Block until every submitted task completed.
-  void wait();
+  /// Block until every submitted task completed, failed, or was cancelled;
+  /// the status aggregates task failures (see Engine::wait_all).
+  pdl::util::Status wait();
 
   /// Tell the runtime the host modified a previously used buffer directly
   /// (between wait() and the next execute): invalidates device replicas in
@@ -139,8 +144,8 @@ bool initialized();
 /// Execute on the global context; logs and returns false on error.
 bool execute(const char* interface_name, const char* group, std::vector<Arg> args);
 
-/// Drain the global context.
-void wait();
+/// Drain the global context; false (and a log line) when tasks failed.
+bool wait();
 
 /// Stats of the global context (empty when uninitialized).
 starvm::EngineStats stats();

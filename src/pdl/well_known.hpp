@@ -19,6 +19,10 @@ inline constexpr const char* kMeasuredGflops = "MEASURED_GFLOPS";    // runtime 
 inline constexpr const char* kCompiler = "COMPILER";              // toolchain for this PU
 inline constexpr const char* kRuntimeLibrary = "RUNTIME_LIBRARY"; // e.g. "starvm", "starpu"
 
+// --- Reliability properties (optional, any PU; inherited downward) --------
+inline constexpr const char* kMaxRetries = "MAX_RETRIES";  // retry budget for tasks failing on this PU
+inline constexpr const char* kMtbfHours = "MTBF_HOURS";    // declared mean time between failures
+
 // --- MemoryRegion properties ----------------------------------------------
 inline constexpr const char* kSize = "SIZE";            // value + unit attribute
 inline constexpr const char* kBandwidthGBs = "BANDWIDTH_GB_S";

@@ -122,8 +122,11 @@ pdl::util::Result<CholeskyStats> tiled_cholesky(starvm::Engine& engine, double* 
     }
   }
 
-  engine.wait_all();
+  const pdl::util::Status drain = engine.wait_all();
   engine.unpartition(matrix);
+  if (!drain.ok()) {
+    return pdl::util::Error{"cholesky tasks failed: " + drain.error().str()};
+  }
   if (!spd_ok.load()) {
     return pdl::util::Error{"matrix is not positive definite"};
   }

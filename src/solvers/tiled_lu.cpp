@@ -120,8 +120,11 @@ pdl::util::Result<LuStats> tiled_lu(starvm::Engine& engine, double* a,
     }
   }
 
-  engine.wait_all();
+  const pdl::util::Status drain = engine.wait_all();
   engine.unpartition(matrix);
+  if (!drain.ok()) {
+    return pdl::util::Error{"lu tasks failed: " + drain.error().str()};
+  }
   if (!pivot_ok.load()) {
     return pdl::util::Error{"zero pivot encountered (matrix needs pivoting)"};
   }

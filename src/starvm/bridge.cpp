@@ -30,6 +30,19 @@ double sustained_rate(const pdl::ProcessingUnit& pu, double peak_fraction,
   return fallback;
 }
 
+/// Optional `reliability` properties (MAX_RETRIES, MTBF_HOURS), inherited
+/// upward like the rate properties so a controller can declare them once.
+void apply_reliability(const pdl::ProcessingUnit& pu, DeviceSpec& spec) {
+  if (const pdl::Property* p = pdl::resolve_property(pu, pdl::props::kMaxRetries)) {
+    if (auto v = p->as_double(); v && *v >= 0.0) {
+      spec.max_retries = static_cast<int>(*v);
+    }
+  }
+  if (const pdl::Property* p = pdl::resolve_property(pu, pdl::props::kMtbfHours)) {
+    if (auto v = p->as_double(); v && *v > 0.0) spec.mtbf_hours = *v;
+  }
+}
+
 }  // namespace
 
 pdl::util::Result<EngineConfig> engine_config_from_platform(
@@ -63,6 +76,7 @@ pdl::util::Result<EngineConfig> engine_config_from_platform(
       DeviceSpec spec;
       spec.kind = DeviceKind::kCpu;
       spec.sustained_gflops = sustained_rate(*pu, 0.9, options.default_cpu_gflops);
+      apply_reliability(*pu, spec);
       for (int i = 0; i < pu->quantity(); ++i) {
         spec.name = pu->id() + "#" + std::to_string(i);
         cpus.push_back(spec);
@@ -72,6 +86,7 @@ pdl::util::Result<EngineConfig> engine_config_from_platform(
       DeviceSpec spec;
       spec.kind = DeviceKind::kAccelerator;
       spec.sustained_gflops = sustained_rate(*pu, 0.65, options.default_accel_gflops);
+      apply_reliability(*pu, spec);
 
       // Device memory capacity from the worker's MemoryRegion (SIZE).
       for (const auto& mr : pu->memory_regions()) {
@@ -110,6 +125,7 @@ pdl::util::Result<EngineConfig> engine_config_from_platform(
     spec.kind = DeviceKind::kCpu;
     spec.name = "master:" + master.id();
     spec.sustained_gflops = sustained_rate(master, 0.9, options.default_cpu_gflops);
+    apply_reliability(master, spec);
     config.devices.push_back(std::move(spec));
     return config;
   }

@@ -34,6 +34,21 @@ struct ExecContext {
   }
   const DataHandle& handle(std::size_t i) const { return *(*buffers)[i].handle; }
   std::size_t buffer_count() const { return buffers->size(); }
+
+  /// Failure-report channel: an implementation that cannot complete calls
+  /// fail() (or throws — the worker captures exceptions the same way) and
+  /// returns; the engine then retries, reroutes, or fails the task per its
+  /// fault-tolerance policy. Results of a failed attempt are discarded.
+  void fail(std::string message) const {
+    failed_ = true;
+    error_ = std::move(message);
+  }
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  mutable bool failed_ = false;
+  mutable std::string error_;
 };
 
 /// One device-kind-specific implementation of a codelet.

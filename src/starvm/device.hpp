@@ -7,9 +7,11 @@
 // by a modeled link.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "starvm/fault.hpp"
 #include "starvm/types.hpp"
 
 namespace starvm {
@@ -30,6 +32,18 @@ struct DeviceSpec {
   /// When replicas exceed it, least-recently-used ones are evicted (with a
   /// modeled write-back when the evicted copy is the only valid one).
   std::size_t memory_bytes = 0;
+
+  // --- Reliability (optional PDL `reliability` properties) -----------------
+
+  /// Per-device override of FaultToleranceConfig::max_retries for tasks
+  /// that fail *on this device* (PDL MAX_RETRIES); -1 = use the engine-wide
+  /// budget.
+  int max_retries = -1;
+
+  /// Declared mean time between failures in hours (PDL MTBF_HOURS);
+  /// 0 = unspecified. Informational: surfaced through DeviceStats so
+  /// operators can correlate observed failures with the declared rate.
+  double mtbf_hours = 0.0;
 };
 
 struct EngineConfig {
@@ -44,6 +58,13 @@ struct EngineConfig {
   /// for every task placement. Also implied by an active obs tracer or
   /// event sink; off by default to keep the hot path free of the cost.
   bool record_decisions = false;
+
+  /// Retry/backoff/blacklist/watchdog policy (docs/RUNTIME.md).
+  FaultToleranceConfig fault_tolerance;
+
+  /// Deterministic fault-injection plan; when unset the engine consults
+  /// the PDL_FAULT_PLAN environment variable at construction.
+  std::shared_ptr<const FaultPlan> fault_plan;
 
   /// Convenience: n CPU cores at the given sustained rate.
   static EngineConfig cpus(int n, double sustained_gflops = 5.0);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -41,6 +42,42 @@ obs::Gauge& ready_queue_gauge() {
 obs::Histogram& task_exec_us_histogram() {
   static obs::Histogram& h = obs::histogram("starvm.task_exec_us");
   return h;
+}
+obs::Counter& task_failures_counter() {
+  static obs::Counter& c = obs::counter("starvm.task_failures");
+  return c;
+}
+obs::Counter& task_retries_counter() {
+  static obs::Counter& c = obs::counter("starvm.task_retries");
+  return c;
+}
+obs::Counter& task_timeouts_counter() {
+  static obs::Counter& c = obs::counter("starvm.task_timeouts");
+  return c;
+}
+obs::Counter& device_blacklists_counter() {
+  static obs::Counter& c = obs::counter("starvm.device_blacklists");
+  return c;
+}
+
+/// Run one implementation attempt, turning ExecContext::fail() and thrown
+/// exceptions into a failure reason. True on success.
+bool run_attempt(const Implementation& impl, const ExecContext& ctx,
+                 std::string& reason) {
+  try {
+    impl.fn(ctx);
+    if (ctx.failed()) {
+      reason = ctx.error().empty() ? "codelet reported failure" : ctx.error();
+      return false;
+    }
+  } catch (const std::exception& e) {
+    reason = std::string("codelet threw: ") + e.what();
+    return false;
+  } catch (...) {
+    reason = "codelet threw an unknown exception";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -83,6 +120,19 @@ std::string_view to_string(SchedulerKind kind) {
   return "?";
 }
 
+const char* to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kFailure: return "failure";
+    case FaultEvent::Kind::kTimeout: return "timeout";
+    case FaultEvent::Kind::kRetry: return "retry";
+    case FaultEvent::Kind::kBlacklist: return "blacklist";
+    case FaultEvent::Kind::kReroute: return "reroute";
+    case FaultEvent::Kind::kTaskFailed: return "task_failed";
+    case FaultEvent::Kind::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
 Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   if (config_.devices.empty()) {
     throw std::invalid_argument("starvm::Engine needs at least one device");
@@ -112,11 +162,12 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
       });
   decision_counter_ = &obs::counter("starvm.decisions." +
                                     std::string(to_string(config_.scheduler)));
+  fault_plan_ = config_.fault_plan ? config_.fault_plan : FaultPlan::from_env();
 
-  // Pure simulation is a deterministic discrete-event loop driven by
+  // Simulation modes are a deterministic discrete-event loop driven by
   // wait_all() on the caller's thread: real worker threads would race in
   // *wall* time and distort which device pops next in *virtual* time.
-  if (config_.mode != ExecutionMode::kPureSim) {
+  if (config_.mode == ExecutionMode::kHybrid) {
     workers_.reserve(devices_.size());
     for (std::size_t i = 0; i < devices_.size(); ++i) {
       workers_.emplace_back([this, i] { worker_loop(static_cast<DeviceId>(i)); });
@@ -125,7 +176,7 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
 }
 
 Engine::~Engine() {
-  wait_all();
+  (void)wait_all();  // task errors were the caller's to collect
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -167,8 +218,12 @@ std::vector<DataHandle*> Engine::partition_rows(DataHandle* handle, int nblocks)
                                 static_cast<std::size_t>(nblocks);
   std::lock_guard<std::mutex> lock(mutex_);
   for (int b = 0; b < nblocks; ++b) {
-    const std::size_t row_begin = static_cast<std::size_t>(b) * per_block;
-    if (row_begin >= rows) break;
+    // Always produce exactly nblocks handles: when nblocks > rows the tail
+    // blocks are empty (rows() == 0, bytes() == 0) so callers indexing
+    // blocks[i] stay in bounds. Empty blocks point at one-past-the-end of
+    // the parent (valid to form, never dereferenced — bytes() is 0).
+    const std::size_t row_begin =
+        std::min(static_cast<std::size_t>(b) * per_block, rows);
     const std::size_t row_count = std::min(per_block, rows - row_begin);
     auto block = std::make_unique<DataHandle>();
     block->ptr_ = static_cast<double*>(handle->ptr_) + row_begin * handle->ld_;
@@ -198,12 +253,15 @@ std::vector<DataHandle*> Engine::partition_vector(DataHandle* handle, int nblock
                                 static_cast<std::size_t>(nblocks);
   std::lock_guard<std::mutex> lock(mutex_);
   for (int b = 0; b < nblocks; ++b) {
-    const std::size_t begin = static_cast<std::size_t>(b) * per_block;
-    if (begin >= n) break;
+    // Exactly nblocks handles; tail blocks are empty when nblocks > n.
+    const std::size_t begin =
+        std::min(static_cast<std::size_t>(b) * per_block, n);
     const std::size_t count = std::min(per_block, n - begin);
     auto block = std::make_unique<DataHandle>();
     block->ptr_ = static_cast<double*>(handle->ptr_) + begin;
-    block->rows_ = 1;
+    // A surplus block is fully empty (0 x 0), not a degenerate 1 x 0 row:
+    // callers test rows() == 0 to detect padding.
+    block->rows_ = count > 0 ? 1 : 0;
     block->cols_ = count;
     block->ld_ = count;
     block->bytes_ = count * sizeof(double);
@@ -233,12 +291,15 @@ std::vector<DataHandle*> Engine::partition_tiles(DataHandle* handle, int row_blo
                                 static_cast<std::size_t>(col_blocks);
   std::lock_guard<std::mutex> lock(mutex_);
   for (int r = 0; r < row_blocks; ++r) {
-    const std::size_t row_begin = static_cast<std::size_t>(r) * tile_rows;
-    if (row_begin >= rows) break;
+    // Exactly row_blocks x col_blocks handles, row-major, so tile (r, c) is
+    // always at index r * col_blocks + c; edge tiles are empty when the
+    // grid is finer than the matrix.
+    const std::size_t row_begin =
+        std::min(static_cast<std::size_t>(r) * tile_rows, rows);
     const std::size_t row_count = std::min(tile_rows, rows - row_begin);
     for (int c = 0; c < col_blocks; ++c) {
-      const std::size_t col_begin = static_cast<std::size_t>(c) * tile_cols;
-      if (col_begin >= cols) break;
+      const std::size_t col_begin =
+          std::min(static_cast<std::size_t>(c) * tile_cols, cols);
       const std::size_t col_count = std::min(tile_cols, cols - col_begin);
       auto tile = std::make_unique<DataHandle>();
       tile->ptr_ = static_cast<double*>(handle->ptr_) + row_begin * handle->ld_ +
@@ -336,10 +397,15 @@ TaskId Engine::submit(TaskDesc desc) {
 
   // Sequential consistency per handle: R depends on the last writer; W/RW
   // depend on the last writer and on every reader since that write.
+  bool poisoned = false;  // a dependency already failed or was cancelled
   const auto add_dep = [&](detail::TaskNode* dep) {
     if (dep == nullptr || dep == task) return;
     if (dep->state == detail::TaskState::kDone) {
       task->ready_vtime = std::max(task->ready_vtime, dep->finish_vtime);
+      return;
+    }
+    if (dep->state == detail::TaskState::kFailed) {
+      poisoned = true;  // still wired as last writer below: poison spreads
       return;
     }
     dep->successors.push_back(task);
@@ -365,8 +431,27 @@ TaskId Engine::submit(TaskDesc desc) {
     add_dep(tasks_[static_cast<std::size_t>(dep_id - 1)].get());
   }
 
-  ++pending_;
   tasks_.push_back(std::move(node));
+
+  // Tasks that can never run are refused at submit time — without throwing,
+  // so a long submission loop over a degraded platform drains cleanly and
+  // wait_all() reports the aggregate.
+  if (poisoned) {
+    task->state = detail::TaskState::kFailed;
+    task->error = "cancelled: a dependency failed before submission";
+    ++cancelled_tasks_;
+    record_fault_event_locked(FaultEvent::Kind::kCancelled, task->ready_vtime,
+                              task->id, -1, 0, task->error);
+    return task->id;
+  }
+  ++pending_;
+  if (!has_live_capable_device(*task->codelet)) {
+    // fail_task_locked undoes the increment above.
+    fail_task_locked(*task, "no live device can execute codelet '" +
+                                task->codelet->name + "'");
+    return task->id;
+  }
+
   if (task->deps_remaining == 0) {
     task->state = detail::TaskState::kReady;
     scheduler_->push(task);
@@ -378,15 +463,15 @@ TaskId Engine::submit(TaskDesc desc) {
   return task->id;
 }
 
-void Engine::wait_all() {
+pdl::util::Status Engine::wait_all() {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (config_.mode == ExecutionMode::kPureSim) {
+  if (config_.mode != ExecutionMode::kHybrid) {
     run_simulation_locked();
-    drain_wall_ = now_seconds();
-    return;
+  } else {
+    drain_cv_.wait(lock, [this] { return pending_ == 0; });
   }
-  drain_cv_.wait(lock, [this] { return pending_ == 0; });
   drain_wall_ = now_seconds();
+  return drain_status_locked();
 }
 
 bool Engine::wait(TaskId id) {
@@ -394,14 +479,32 @@ bool Engine::wait(TaskId id) {
   // Task ids are dense and start at 1; tasks_ preserves submission order.
   if (id == 0 || id >= next_task_id_) return false;
   detail::TaskNode* task = tasks_[static_cast<std::size_t>(id - 1)].get();
-  if (config_.mode == ExecutionMode::kPureSim) {
+  if (config_.mode != ExecutionMode::kHybrid) {
     run_simulation_locked();
     return task->state == detail::TaskState::kDone;
   }
   drain_cv_.wait(lock, [&] {
-    return task->state == detail::TaskState::kDone || pending_ == 0;
+    return task->state == detail::TaskState::kDone ||
+           task->state == detail::TaskState::kFailed || pending_ == 0;
   });
   return task->state == detail::TaskState::kDone;
+}
+
+pdl::util::Status Engine::drain_status_locked() const {
+  if (failed_tasks_ == 0 && cancelled_tasks_ == 0) return {};
+  std::string message = std::to_string(failed_tasks_) + " task(s) failed";
+  if (cancelled_tasks_ > 0) {
+    message += ", " + std::to_string(cancelled_tasks_) + " cancelled";
+  }
+  constexpr std::size_t kMaxQuoted = 3;
+  for (std::size_t i = 0; i < task_errors_.size() && i < kMaxQuoted; ++i) {
+    message += (i == 0 ? ": " : "; ") + task_errors_[i];
+  }
+  if (task_errors_.size() > kMaxQuoted) {
+    message += "; ... (" + std::to_string(task_errors_.size() - kMaxQuoted) +
+               " more, see EngineStats::errors)";
+  }
+  return pdl::util::Status::failure(std::move(message));
 }
 
 void Engine::run_simulation_locked() {
@@ -418,6 +521,7 @@ void Engine::run_simulation_locked() {
     detail::TaskNode* task = nullptr;
     detail::DeviceState* device = nullptr;
     for (std::size_t i : order) {
+      if (devices_[i].blacklisted) continue;
       task = scheduler_->pop(static_cast<DeviceId>(i));
       if (task != nullptr) {
         device = &devices_[i];
@@ -433,6 +537,7 @@ void Engine::run_simulation_locked() {
 
     task->state = detail::TaskState::kRunning;
     task->ran_on = device->id;
+    ++task->attempts;
     if (obs::metrics_enabled()) {
       ready_queue_gauge().set(static_cast<std::int64_t>(scheduler_->size()));
     }
@@ -443,7 +548,46 @@ void Engine::run_simulation_locked() {
     task->start_vtime = std::max(device->avail_vtime, task->ready_vtime) +
                         config_.task_overhead_us * 1e-6;
     task->transfer_seconds = transfer;
-    finalize_task(*task, *device, transfer, exec_estimate(*task, *device));
+
+    FaultPlan::Injection injected;
+    if (fault_plan_) {
+      injected = fault_plan_->decide(task->id, task->attempts, device->id,
+                                     device->tasks_run);
+    }
+    const double exec = exec_estimate(*task, *device) + injected.delay_seconds;
+    if (injected.fail) {
+      // Injection suppresses execution entirely (kernels run in place on
+      // host memory; a doomed attempt would corrupt its own retry's input).
+      handle_task_failure_locked(*task, *device, transfer, exec,
+                                 injected.reason, /*is_timeout=*/false);
+      continue;
+    }
+    if (config_.mode == ExecutionMode::kDeterministic) {
+      // Kernels run for real, single-threaded under the engine mutex, in
+      // virtual-clock order; the clock still charges the model, so the run
+      // replays identically while the numerics are genuine.
+      const Implementation* impl = task->codelet->find_impl(device->spec.kind);
+      if (impl != nullptr && impl->fn) {
+        ExecContext ctx;
+        ctx.device = device->id;
+        ctx.device_kind = device->spec.kind;
+        ctx.buffers = &task->buffers;
+        std::string fail_reason;
+        if (!run_attempt(*impl, ctx, fail_reason)) {
+          handle_task_failure_locked(*task, *device, transfer, exec,
+                                     fail_reason, /*is_timeout=*/false);
+          continue;
+        }
+      }
+    }
+    const double limit = watchdog_limit(*task, *device);
+    if (limit > 0.0 && exec > limit) {
+      handle_task_failure_locked(*task, *device, transfer, exec,
+                                 "watchdog: modeled execution exceeded limit",
+                                 /*is_timeout=*/true);
+      continue;
+    }
+    finalize_task(*task, *device, transfer, exec);
   }
 }
 
@@ -455,6 +599,7 @@ void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
   device.busy_seconds += exec;
   device.transfer_seconds += transfer;
   ++device.tasks_run;
+  device.consecutive_failures = 0;  // blacklisting counts *consecutive* only
   perf_model_.observe(task.codelet->name, device.id, exec);
 
   trace_.push_back(TaskTrace{task.id, task.label, device.id, task.start_vtime,
@@ -468,6 +613,8 @@ void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
   task.state = detail::TaskState::kDone;
   bool pushed = false;
   for (detail::TaskNode* succ : task.successors) {
+    // A successor cancelled by another (failed) dependency never runs.
+    if (succ->state == detail::TaskState::kFailed) continue;
     succ->ready_vtime = std::max(succ->ready_vtime, task.finish_vtime);
     if (--succ->deps_remaining == 0) {
       succ->state = detail::TaskState::kReady;
@@ -484,6 +631,162 @@ void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
   }
   // Every completion wakes waiters: wait(TaskId) watches individual tasks.
   drain_cv_.notify_all();
+}
+
+// --- Fault tolerance ----------------------------------------------------------
+
+int Engine::retry_budget(const detail::DeviceState& device) const {
+  return device.spec.max_retries >= 0 ? device.spec.max_retries
+                                      : config_.fault_tolerance.max_retries;
+}
+
+double Engine::watchdog_limit(const detail::TaskNode& task,
+                              const detail::DeviceState& device) const {
+  const double slack = config_.fault_tolerance.watchdog_slack;
+  if (slack <= 0.0) return 0.0;
+  return std::max(config_.fault_tolerance.watchdog_min_seconds,
+                  exec_estimate(task, device) * slack);
+}
+
+bool Engine::has_live_capable_device(const Codelet& codelet) const {
+  for (const auto& device : devices_) {
+    if (!device.blacklisted && codelet.supports(device.spec.kind)) return true;
+  }
+  return false;
+}
+
+void Engine::record_fault_event_locked(FaultEvent::Kind kind, double vtime,
+                                       TaskId task, DeviceId device,
+                                       int attempt, std::string detail) {
+  if (obs::has_event_sink()) {
+    obs::Event event("starvm.fault");
+    event.str("kind", to_string(kind))
+        .num("vtime", vtime)
+        .num("task_id", static_cast<std::uint64_t>(task))
+        .num("device", static_cast<double>(device))
+        .num("attempt", static_cast<std::uint64_t>(attempt < 0 ? 0 : attempt))
+        .str("detail", detail);
+    obs::emit_event(event);
+  }
+  fault_events_.push_back(
+      FaultEvent{kind, vtime, task, device, attempt, std::move(detail)});
+}
+
+void Engine::fail_task_locked(detail::TaskNode& task, const std::string& reason) {
+  task.state = detail::TaskState::kFailed;
+  task.error = reason;
+  ++failed_tasks_;
+  task_errors_.push_back("task " + std::to_string(task.id) + " '" + task.label +
+                         "': " + reason);
+  record_fault_event_locked(FaultEvent::Kind::kTaskFailed, task.ready_vtime,
+                            task.id, task.ran_on, task.attempts, reason);
+  --pending_;
+
+  // Cascade: everything transitively waiting on this task can never become
+  // ready (its deps_remaining never reaches zero), so cancel it now instead
+  // of hanging wait_all() forever.
+  std::vector<detail::TaskNode*> stack(task.successors.begin(),
+                                       task.successors.end());
+  while (!stack.empty()) {
+    detail::TaskNode* succ = stack.back();
+    stack.pop_back();
+    if (succ->state != detail::TaskState::kWaiting) continue;
+    succ->state = detail::TaskState::kFailed;
+    succ->error = "cancelled: dependency task " + std::to_string(task.id) +
+                  " failed";
+    ++cancelled_tasks_;
+    record_fault_event_locked(FaultEvent::Kind::kCancelled, task.ready_vtime,
+                              succ->id, -1, 0, succ->error);
+    --pending_;
+    stack.insert(stack.end(), succ->successors.begin(), succ->successors.end());
+  }
+  drain_cv_.notify_all();
+}
+
+void Engine::blacklist_device_locked(detail::DeviceState& device) {
+  device.blacklisted = true;
+  ++blacklists_;
+  if (obs::metrics_enabled()) device_blacklists_counter().inc();
+  record_fault_event_locked(
+      FaultEvent::Kind::kBlacklist, device.avail_vtime, 0, device.id, 0,
+      device.spec.name + " blacklisted after " +
+          std::to_string(device.consecutive_failures) +
+          " consecutive failures");
+
+  // Graceful degradation: queued work re-enters the scheduler against the
+  // shrunken candidate set; work nothing can run fails right away.
+  const std::vector<detail::TaskNode*> drained =
+      scheduler_->drain_device(device.id);
+  bool rerouted = false;
+  for (detail::TaskNode* task : drained) {
+    if (has_live_capable_device(*task->codelet)) {
+      ++reroutes_;
+      record_fault_event_locked(FaultEvent::Kind::kReroute, device.avail_vtime,
+                                task->id, device.id, task->attempts,
+                                "requeued off blacklisted " + device.spec.name);
+      scheduler_->push(task);
+      rerouted = true;
+    } else {
+      fail_task_locked(*task, "no live device can execute codelet '" +
+                                  task->codelet->name + "'");
+    }
+  }
+  if (rerouted) work_cv_.notify_all();
+}
+
+void Engine::handle_task_failure_locked(detail::TaskNode& task,
+                                        detail::DeviceState& device,
+                                        double transfer, double exec,
+                                        const std::string& reason,
+                                        bool is_timeout) {
+  // The attempt occupied the device on the virtual clock even though it
+  // produced nothing; charging it keeps device timelines monotonic. It is
+  // deliberately NOT added to busy_seconds or the trace — those describe
+  // useful work — and not fed to the perf model (failures would poison the
+  // estimates the watchdog itself relies on).
+  const double attempt_finish = task.start_vtime + transfer + exec;
+  device.avail_vtime = std::max(device.avail_vtime, attempt_finish);
+  device.transfer_seconds += transfer;
+  ++device.failures;
+  ++device.consecutive_failures;
+  ++task_failures_;
+  if (is_timeout) ++timeouts_;
+  if (obs::metrics_enabled()) {
+    task_failures_counter().inc();
+    if (is_timeout) task_timeouts_counter().inc();
+  }
+  record_fault_event_locked(
+      is_timeout ? FaultEvent::Kind::kTimeout : FaultEvent::Kind::kFailure,
+      attempt_finish, task.id, device.id, task.attempts, reason);
+
+  const int threshold = config_.fault_tolerance.blacklist_after;
+  if (threshold > 0 && !device.blacklisted &&
+      device.consecutive_failures >= threshold) {
+    blacklist_device_locked(device);
+  }
+
+  if (task.attempts <= retry_budget(device) &&
+      has_live_capable_device(*task.codelet)) {
+    ++retries_;
+    if (obs::metrics_enabled()) task_retries_counter().inc();
+    // Exponential backoff on the virtual clock: the retry may not start
+    // before attempt_finish + base * multiplier^(attempt-1).
+    const double backoff_seconds =
+        config_.fault_tolerance.backoff_base_ms * 1e-3 *
+        std::pow(config_.fault_tolerance.backoff_multiplier, task.attempts - 1);
+    task.ready_vtime = std::max(task.ready_vtime, attempt_finish + backoff_seconds);
+    task.state = detail::TaskState::kReady;
+    task.ran_on = -1;
+    record_fault_event_locked(FaultEvent::Kind::kRetry, task.ready_vtime,
+                              task.id, device.id, task.attempts,
+                              "retry " + std::to_string(task.attempts) + "/" +
+                                  std::to_string(retry_budget(device)) +
+                                  " after backoff");
+    scheduler_->push(&task);
+    work_cv_.notify_all();
+  } else {
+    fail_task_locked(task, reason);
+  }
 }
 
 void Engine::record_decision(const detail::TaskNode& task,
@@ -714,6 +1017,7 @@ void Engine::worker_loop(DeviceId device_id) {
   while (true) {
     detail::TaskNode* task = nullptr;
     double transfer = 0.0;
+    FaultPlan::Injection injected;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] {
@@ -725,6 +1029,7 @@ void Engine::worker_loop(DeviceId device_id) {
 
       task->state = detail::TaskState::kRunning;
       task->ran_on = device_id;
+      ++task->attempts;
       if (obs::metrics_enabled()) {
         ready_queue_gauge().set(static_cast<std::int64_t>(scheduler_->size()));
       }
@@ -733,19 +1038,28 @@ void Engine::worker_loop(DeviceId device_id) {
       task->start_vtime = std::max(device.avail_vtime, task->ready_vtime) +
                           config_.task_overhead_us * 1e-6;
       task->transfer_seconds = transfer;
+      if (fault_plan_) {
+        injected = fault_plan_->decide(task->id, task->attempts, device_id,
+                                       device.tasks_run);
+      }
     }
 
     // --- execute outside the lock ---
+    // An injected fault suppresses execution entirely: kernels run in place
+    // on host memory, so letting a doomed attempt run would corrupt the
+    // inputs of its own retry.
     double exec = 0.0;
+    bool failed = injected.fail;
+    std::string fail_reason = injected.reason;
     const Implementation* impl = task->codelet->find_impl(device.spec.kind);
     assert(impl != nullptr);
     pdl::util::Stopwatch sw;
-    if (impl->fn) {
+    if (impl->fn && !failed) {
       ExecContext ctx;
       ctx.device = device_id;
       ctx.device_kind = device.spec.kind;
       ctx.buffers = &task->buffers;
-      impl->fn(ctx);
+      failed = !run_attempt(*impl, ctx, fail_reason);
     }
     const double measured = sw.elapsed_seconds();
     if (device.spec.kind == DeviceKind::kAccelerator) {
@@ -756,10 +1070,23 @@ void Engine::worker_loop(DeviceId device_id) {
     } else {
       exec = measured;
     }
+    exec += injected.delay_seconds;
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      finalize_task(*task, device, transfer, exec);
+      if (!failed) {
+        const double limit = watchdog_limit(*task, device);
+        if (limit > 0.0 && exec > limit) {
+          failed = true;
+          fail_reason = "watchdog: execution exceeded limit";
+          handle_task_failure_locked(*task, device, transfer, exec, fail_reason,
+                                     /*is_timeout=*/true);
+        }
+      } else {
+        handle_task_failure_locked(*task, device, transfer, exec, fail_reason,
+                                   /*is_timeout=*/false);
+      }
+      if (!failed) finalize_task(*task, device, transfer, exec);
     }
   }
 }
@@ -775,6 +1102,9 @@ EngineStats Engine::stats() const {
     ds.tasks_run = device.tasks_run;
     ds.busy_seconds = device.busy_seconds;
     ds.transfer_seconds = device.transfer_seconds;
+    ds.failures = device.failures;
+    ds.blacklisted = device.blacklisted;
+    ds.mtbf_hours = device.spec.mtbf_hours;
     s.devices.push_back(std::move(ds));
     s.tasks_completed += device.tasks_run;
   }
@@ -782,6 +1112,15 @@ EngineStats Engine::stats() const {
   s.transfer_bytes = transfer_bytes_;
   s.evictions = evictions_;
   s.writeback_bytes = writeback_bytes_;
+  s.task_failures = task_failures_;
+  s.retries = retries_;
+  s.timeouts = timeouts_;
+  s.reroutes = reroutes_;
+  s.devices_blacklisted = blacklists_;
+  s.failed_tasks = failed_tasks_;
+  s.cancelled_tasks = cancelled_tasks_;
+  s.errors = task_errors_;
+  s.fault_events = fault_events_;
   s.scheduler = config_.scheduler;
   if (first_submit_wall_ >= 0.0 && drain_wall_ > first_submit_wall_) {
     s.wall_seconds = drain_wall_ - first_submit_wall_;

@@ -6,7 +6,7 @@
 //   DataHandle* a = engine.register_matrix(ptr, rows, cols);
 //   auto blocks = engine.partition_rows(a, 8);       // BLOCK distribution
 //   engine.submit({&codelet, {{blocks[i], Access::kReadWrite}, ...}});
-//   engine.wait_all();
+//   if (auto st = engine.wait_all(); !st.ok()) { /* tasks failed */ }
 //   EngineStats s = engine.stats();
 //
 // Dependencies are inferred from access modes per data handle with
@@ -36,6 +36,7 @@
 #include "starvm/scheduler.hpp"
 #include "starvm/stats.hpp"
 #include "starvm/types.hpp"
+#include "util/result.hpp"
 
 namespace obs {
 class Counter;
@@ -62,16 +63,19 @@ class Engine {
 
   /// Split a matrix handle into `nblocks` row bands (the paper's BLOCK
   /// distribution). Tasks must target the blocks, not the parent, until
-  /// unpartition() is called. Returns the block handles.
+  /// unpartition() is called. Always returns exactly `nblocks` handles;
+  /// when nblocks > rows the tail blocks are empty (rows() == 0).
   std::vector<DataHandle*> partition_rows(DataHandle* handle, int nblocks);
 
-  /// Split a vector handle into `nblocks` contiguous spans.
+  /// Split a vector handle into `nblocks` contiguous spans (exactly
+  /// `nblocks` handles; tail spans may be empty).
   std::vector<DataHandle*> partition_vector(DataHandle* handle, int nblocks);
 
   /// Split a matrix handle into a 2-D grid of row_blocks x col_blocks
   /// tiles (needed by tiled linear algebra: Cholesky, LU, ...). Tiles keep
   /// the parent's row stride, so implementations must honor ld(). Returned
-  /// row-major: tile (r, c) at index r * col_blocks + c.
+  /// row-major: tile (r, c) at index r * col_blocks + c — always the full
+  /// row_blocks x col_blocks grid; edge tiles may be empty.
   std::vector<DataHandle*> partition_tiles(DataHandle* handle, int row_blocks,
                                            int col_blocks);
 
@@ -90,12 +94,16 @@ class Engine {
   /// tasks are inferred from the buffers' access modes.
   TaskId submit(TaskDesc desc);
 
-  /// Block until every submitted task has completed.
-  void wait_all();
+  /// Block until every submitted task has completed, failed permanently, or
+  /// been cancelled. Ok when everything succeeded; otherwise an error
+  /// aggregating the per-task failures (EngineStats::errors has the full
+  /// list). Failures are sticky: once a task has failed, subsequent calls
+  /// keep reporting the error.
+  pdl::util::Status wait_all();
 
-  /// Block until a specific task has completed; false for unknown ids.
-  /// In pure simulation this drains everything (the event loop is not
-  /// incremental), so prefer wait_all there.
+  /// Block until a specific task has completed; false for unknown, failed,
+  /// or cancelled ids. In pure simulation this drains everything (the event
+  /// loop is not incremental), so prefer wait_all there.
   bool wait(TaskId id);
 
   // --- Introspection -----------------------------------------------------------
@@ -109,14 +117,52 @@ class Engine {
  private:
   void worker_loop(DeviceId device);
 
-  /// Pure-simulation discrete-event loop (mutex held): repeatedly lets the
-  /// device that is free earliest on the virtual clock pop the next task.
+  /// Discrete-event loop of the simulation modes (mutex held): repeatedly
+  /// lets the device that is free earliest on the virtual clock pop the
+  /// next task. In kDeterministic the popped task's kernel also executes.
   void run_simulation_locked();
 
   /// Book a completed task: virtual clock, stats, dependency release
   /// (mutex held).
   void finalize_task(detail::TaskNode& task, detail::DeviceState& device,
                      double transfer, double exec);
+
+  // --- Fault tolerance (all mutex held) -------------------------------------
+
+  /// Book a failed attempt: advance the device's virtual clock past the
+  /// attempt, count the failure, blacklist the device when it crossed the
+  /// consecutive-failure threshold, then either re-queue the task with
+  /// exponential backoff (budget left and a live device exists) or fail it
+  /// permanently.
+  void handle_task_failure_locked(detail::TaskNode& task,
+                                  detail::DeviceState& device, double transfer,
+                                  double exec, const std::string& reason,
+                                  bool is_timeout);
+
+  /// Permanently fail `task` (kFailed) and cascade-cancel every transitive
+  /// successor still waiting on it.
+  void fail_task_locked(detail::TaskNode& task, const std::string& reason);
+
+  /// Stop scheduling onto `device` and re-route its queued tasks onto the
+  /// survivors (tasks with no surviving capable device fail permanently).
+  void blacklist_device_locked(detail::DeviceState& device);
+
+  /// Retry budget for failures on `device` (per-device PDL override or the
+  /// engine-wide FaultToleranceConfig::max_retries).
+  int retry_budget(const detail::DeviceState& device) const;
+
+  /// Watchdog limit in seconds for `task` on `device`; 0 = watchdog off.
+  double watchdog_limit(const detail::TaskNode& task,
+                        const detail::DeviceState& device) const;
+
+  bool has_live_capable_device(const Codelet& codelet) const;
+
+  void record_fault_event_locked(FaultEvent::Kind kind, double vtime,
+                                 TaskId task, DeviceId device, int attempt,
+                                 std::string detail);
+
+  /// Status summarizing permanent failures so far; Ok when none.
+  pdl::util::Status drain_status_locked() const;
 
   /// Record a SchedulerDecision for `task` placed on `chosen` (mutex held,
   /// before acquire_buffers mutates replica state). Counts the decision
@@ -152,6 +198,8 @@ class Engine {
   std::vector<detail::DeviceState> devices_;
   std::unique_ptr<detail::Scheduler> scheduler_;
   PerfModel perf_model_;
+  /// Config plan, or $PDL_FAULT_PLAN at construction; nullptr = no faults.
+  std::shared_ptr<const FaultPlan> fault_plan_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   ///< workers wait here for tasks
@@ -180,6 +228,17 @@ class Engine {
   double drain_wall_ = 0.0;
   std::vector<TaskTrace> trace_;
   std::vector<SchedulerDecision> decisions_;
+
+  // Fault-tolerance statistics (guarded by mutex_).
+  std::uint64_t task_failures_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t reroutes_ = 0;
+  std::uint64_t blacklists_ = 0;
+  std::uint64_t failed_tasks_ = 0;
+  std::uint64_t cancelled_tasks_ = 0;
+  std::vector<std::string> task_errors_;   ///< one entry per failed task
+  std::vector<FaultEvent> fault_events_;
 
   /// Per-policy decision counter ("starvm.decisions.<policy>"), resolved
   /// once at construction so the hot path skips the registry lookup.

@@ -1,0 +1,158 @@
+#include "starvm/fault.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace starvm {
+
+namespace {
+
+/// splitmix64: mixes (seed, task, attempt) into a uniform 64-bit value so
+/// random-rule outcomes depend only on plan inputs, never on scheduling.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double hashed_unit(std::uint64_t seed, TaskId task, int attempt) {
+  const std::uint64_t h =
+      mix64(mix64(seed) ^ mix64(task) ^ mix64(static_cast<std::uint64_t>(attempt)));
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+}
+
+}  // namespace
+
+pdl::util::Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  for (const std::string& directive : pdl::util::split_trimmed(spec, ';')) {
+    const std::size_t colon = directive.find(':');
+    const std::string kind =
+        pdl::util::to_lower(pdl::util::trim(directive.substr(0, colon)));
+    Rule rule;
+    if (kind == "fail") {
+      rule.kind = RuleKind::kFailTask;
+    } else if (kind == "kill") {
+      rule.kind = RuleKind::kKillDevice;
+      rule.attempts = 0;  // unused; kill applies to every attempt
+    } else if (kind == "delay") {
+      rule.kind = RuleKind::kDelay;
+    } else if (kind == "random") {
+      rule.kind = RuleKind::kRandom;
+    } else {
+      return pdl::util::Error{"unknown fault directive '" + kind +
+                              "' (want fail|kill|delay|random)"};
+    }
+
+    const std::string fields =
+        colon == std::string::npos ? std::string() : directive.substr(colon + 1);
+    bool has_task = false, has_device = false, has_rate = false, has_ms = false;
+    for (const std::string& field : pdl::util::split_trimmed(fields, ',')) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        return pdl::util::Error{"malformed fault field '" + field +
+                                "' (want key=value)"};
+      }
+      const std::string key = pdl::util::to_lower(
+          pdl::util::trim(std::string_view(field).substr(0, eq)));
+      const std::string_view value =
+          pdl::util::trim(std::string_view(field).substr(eq + 1));
+      const auto as_int = pdl::util::parse_int(value);
+      const auto as_double = pdl::util::parse_double(value);
+      if (key == "task" && as_int && *as_int > 0) {
+        rule.task = static_cast<TaskId>(*as_int);
+        has_task = true;
+      } else if (key == "device" && as_int && *as_int >= 0) {
+        rule.device = static_cast<DeviceId>(*as_int);
+        has_device = true;
+      } else if (key == "attempts" && as_int && *as_int >= 1) {
+        rule.attempts = static_cast<int>(*as_int);
+      } else if (key == "after" && as_int && *as_int >= 0) {
+        rule.after = static_cast<std::uint64_t>(*as_int);
+      } else if (key == "ms" && as_double && *as_double >= 0.0) {
+        rule.delay_ms = *as_double;
+        has_ms = true;
+      } else if (key == "rate" && as_double && *as_double >= 0.0 &&
+                 *as_double <= 1.0) {
+        rule.rate = *as_double;
+        has_rate = true;
+      } else if (key == "seed" && as_int && *as_int >= 0) {
+        rule.seed = static_cast<std::uint64_t>(*as_int);
+      } else {
+        return pdl::util::Error{"bad fault field '" + field + "' in '" +
+                                directive + "'"};
+      }
+    }
+
+    switch (rule.kind) {
+      case RuleKind::kFailTask:
+        if (!has_task) return pdl::util::Error{"fail directive needs task=<id>"};
+        break;
+      case RuleKind::kKillDevice:
+        if (!has_device) return pdl::util::Error{"kill directive needs device=<d>"};
+        break;
+      case RuleKind::kDelay:
+        if (!has_ms) return pdl::util::Error{"delay directive needs ms=<x>"};
+        break;
+      case RuleKind::kRandom:
+        if (!has_rate) return pdl::util::Error{"random directive needs rate=<p>"};
+        break;
+    }
+    plan.rules_.push_back(rule);
+  }
+  return plan;
+}
+
+std::shared_ptr<const FaultPlan> FaultPlan::from_env() {
+  const char* spec = std::getenv("PDL_FAULT_PLAN");
+  if (spec == nullptr || *spec == '\0') return nullptr;
+  auto plan = parse(spec);
+  if (!plan.ok()) {
+    PDL_LOG_WARN << "ignoring PDL_FAULT_PLAN: " << plan.error().str();
+    return nullptr;
+  }
+  if (plan.value().empty()) return nullptr;
+  return std::make_shared<const FaultPlan>(std::move(plan).value());
+}
+
+FaultPlan::Injection FaultPlan::decide(TaskId task, int attempt, DeviceId device,
+                                       std::uint64_t device_tasks_completed) const {
+  Injection out;
+  for (const Rule& rule : rules_) {
+    const bool task_matches = rule.task == 0 || rule.task == task;
+    const bool device_matches = rule.device < 0 || rule.device == device;
+    if (!task_matches || !device_matches) continue;
+    switch (rule.kind) {
+      case RuleKind::kFailTask:
+        if (attempt <= rule.attempts && !out.fail) {
+          out.fail = true;
+          out.reason = "injected failure (task " + std::to_string(task) +
+                       ", attempt " + std::to_string(attempt) + ")";
+        }
+        break;
+      case RuleKind::kKillDevice:
+        if (device_tasks_completed >= rule.after && !out.fail) {
+          out.fail = true;
+          out.reason = "device " + std::to_string(device) + " killed after " +
+                       std::to_string(rule.after) + " task(s)";
+        }
+        break;
+      case RuleKind::kDelay:
+        if (attempt <= rule.attempts) out.delay_seconds += rule.delay_ms * 1e-3;
+        break;
+      case RuleKind::kRandom:
+        if (hashed_unit(rule.seed, task, attempt) < rule.rate && !out.fail) {
+          out.fail = true;
+          out.reason = "random injected failure (task " + std::to_string(task) +
+                       ", attempt " + std::to_string(attempt) + ")";
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace starvm

@@ -13,7 +13,7 @@
 
 namespace starvm::detail {
 
-enum class TaskState { kWaiting, kReady, kRunning, kDone };
+enum class TaskState { kWaiting, kReady, kRunning, kDone, kFailed };
 
 struct TaskNode {
   TaskId id = 0;
@@ -35,6 +35,10 @@ struct TaskNode {
   DeviceId ran_on = -1;
   double transfer_seconds = 0.0;  ///< modeled transfer cost paid by this task
   double exec_seconds = 0.0;      ///< measured or modeled execution cost
+
+  // --- fault tolerance ---
+  int attempts = 0;   ///< execution attempts started so far
+  std::string error;  ///< why the task failed (kFailed only)
 };
 
 struct DeviceState {
@@ -51,6 +55,11 @@ struct DeviceState {
   double busy_seconds = 0.0;
   double transfer_seconds = 0.0;
   std::uint64_t tasks_run = 0;
+
+  // --- fault tolerance ---
+  bool blacklisted = false;      ///< no longer receives work
+  int consecutive_failures = 0;  ///< reset on every successful attempt
+  std::uint64_t failures = 0;    ///< failed attempts over the device's life
 };
 
 }  // namespace starvm::detail

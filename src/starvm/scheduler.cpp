@@ -8,7 +8,15 @@ namespace starvm::detail {
 namespace {
 
 bool device_capable(const DeviceState& device, const TaskNode& task) {
-  return task.codelet->supports(device.spec.kind);
+  return !device.blacklisted && task.codelet->supports(device.spec.kind);
+}
+
+bool any_live_capable(const std::vector<DeviceState>& devices,
+                      const TaskNode& task) {
+  for (const DeviceState& device : devices) {
+    if (device_capable(device, task)) return true;
+  }
+  return false;
 }
 
 /// Single shared FIFO; the first idle device with a matching implementation
@@ -41,6 +49,21 @@ class EagerScheduler final : public Scheduler {
   bool empty() const override { return queue_.empty(); }
 
   std::size_t size() const override { return queue_.size(); }
+
+  std::vector<TaskNode*> drain_device(DeviceId) override {
+    // Shared queue: survivors keep draining it. Only evict tasks that no
+    // live device can run, so the engine can fail them instead of hanging.
+    std::vector<TaskNode*> orphans;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (!any_live_capable(*devices_, **it)) {
+        orphans.push_back(*it);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return orphans;
+  }
 
  private:
   const std::vector<DeviceState>* devices_;
@@ -116,6 +139,13 @@ class WorkStealingScheduler final : public Scheduler {
     return total;
   }
 
+  std::vector<TaskNode*> drain_device(DeviceId device) override {
+    auto& q = queues_[static_cast<std::size_t>(device)];
+    std::vector<TaskNode*> drained(q.begin(), q.end());
+    q.clear();
+    return drained;
+  }
+
  private:
   const std::vector<DeviceState>* devices_;
   std::vector<std::deque<TaskNode*>> queues_;
@@ -169,6 +199,18 @@ class HeftScheduler final : public Scheduler {
     std::size_t total = 0;
     for (const auto& q : queues_) total += q.size();
     return total;
+  }
+
+  std::vector<TaskNode*> drain_device(DeviceId device) override {
+    auto& q = queues_[static_cast<std::size_t>(device)];
+    std::vector<TaskNode*> drained(q.begin(), q.end());
+    q.clear();
+    // The dead device's backlog estimate is meaningless now; re-pushed
+    // tasks will rebuild est_avail_ on the survivors.
+    if (est_avail_.size() > static_cast<std::size_t>(device)) {
+      est_avail_[static_cast<std::size_t>(device)] = 0.0;
+    }
+    return drained;
   }
 
  private:

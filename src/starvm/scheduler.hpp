@@ -34,6 +34,13 @@ class Scheduler {
   /// Number of tasks queued across every device (the ready-queue length
   /// reported to the obs metrics registry).
   virtual std::size_t size() const = 0;
+
+  /// Remove and return every queued task that only `device` could have run
+  /// now that it is blacklisted. Per-device policies hand back the device's
+  /// whole queue (the engine re-pushes each task against the surviving
+  /// devices); the shared-queue policy only evicts tasks no live device can
+  /// execute, because survivors still drain the shared queue naturally.
+  virtual std::vector<TaskNode*> drain_device(DeviceId device) = 0;
 };
 
 /// Factory. `devices` outlives the scheduler; `cost_fn` is used by kHeft.

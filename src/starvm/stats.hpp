@@ -30,7 +30,32 @@ struct DeviceStats {
   std::uint64_t tasks_run = 0;
   double busy_seconds = 0.0;      ///< modeled execution time on this device
   double transfer_seconds = 0.0;  ///< modeled transfer time paid by its tasks
+  std::uint64_t failures = 0;     ///< failed execution attempts
+  bool blacklisted = false;       ///< removed from scheduling after failures
+  double mtbf_hours = 0.0;        ///< declared rate (PDL MTBF_HOURS); 0 = n/a
 };
+
+/// One fault-tolerance decision, in virtual-clock order. Rendered as
+/// instant events in the Chrome trace and emitted on the obs event sink.
+struct FaultEvent {
+  enum class Kind {
+    kFailure,     ///< an execution attempt failed (injected, fail(), throw)
+    kTimeout,     ///< watchdog rejected an attempt as too slow
+    kRetry,       ///< a failed task was re-queued with backoff
+    kBlacklist,   ///< a device stopped receiving work
+    kReroute,     ///< a queued task moved off a blacklisted device
+    kTaskFailed,  ///< a task permanently failed (budget exhausted / no device)
+    kCancelled,   ///< a task was cancelled because a dependency failed
+  };
+  Kind kind = Kind::kFailure;
+  double vtime = 0.0;
+  TaskId task = 0;      ///< 0 when the event concerns a device only
+  DeviceId device = -1;
+  int attempt = 0;
+  std::string detail;
+};
+
+const char* to_string(FaultEvent::Kind kind);
 
 /// One device the scheduler could have placed a task on, with the finish
 /// time the cost model predicted at decision time.
@@ -59,6 +84,18 @@ struct EngineStats {
   std::uint64_t transfer_bytes = 0;
   std::uint64_t evictions = 0;        ///< replicas dropped for capacity
   std::uint64_t writeback_bytes = 0;  ///< evicted sole replicas copied home
+
+  // --- fault tolerance ---
+  std::uint64_t task_failures = 0;        ///< failed attempts (incl. timeouts)
+  std::uint64_t retries = 0;              ///< attempts re-queued after failure
+  std::uint64_t timeouts = 0;             ///< attempts rejected by the watchdog
+  std::uint64_t reroutes = 0;             ///< tasks moved off blacklisted devices
+  std::uint64_t devices_blacklisted = 0;  ///< devices removed from scheduling
+  std::uint64_t failed_tasks = 0;         ///< tasks that permanently failed
+  std::uint64_t cancelled_tasks = 0;      ///< tasks cancelled by failed deps
+  std::vector<std::string> errors;        ///< one message per failed task
+  std::vector<FaultEvent> fault_events;   ///< recovery log, virtual-clock order
+
   SchedulerKind scheduler = SchedulerKind::kHeft;
   std::vector<DeviceStats> devices;
   std::vector<TaskTrace> trace;

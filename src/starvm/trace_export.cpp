@@ -36,6 +36,7 @@ void append_engine_events(std::ostringstream& os, const EngineStats& stats,
   const auto unassigned_tid = static_cast<long>(stats.devices.size());
   bool any_unassigned = false;
   for (const auto& t : stats.trace) any_unassigned |= t.device < 0;
+  for (const auto& e : stats.fault_events) any_unassigned |= e.device < 0;
   if (any_unassigned) {
     os << (first ? "" : ",")
        << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
@@ -57,6 +58,16 @@ void append_engine_events(std::ostringstream& os, const EngineStats& stats,
        << ",\"exec_us\":" << sane(t.exec_seconds) * 1e6;
     if (std::isfinite(t.flops)) os << ",\"flops\":" << t.flops;
     os << "}}";
+  }
+
+  for (const auto& e : stats.fault_events) {
+    comma();
+    const long tid = e.device < 0 ? unassigned_tid : e.device;
+    os << "{\"name\":\"fault: " << to_string(e.kind)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"ts\":" << sane(e.vtime) * 1e6 << ",\"args\":{\"task\":" << e.task
+       << ",\"attempt\":" << e.attempt << ",\"detail\":\""
+       << json_escape(e.detail) << "\"}}";
   }
 
   for (const auto& d : stats.decisions) {

@@ -34,6 +34,12 @@ enum class ExecutionMode {
   /// Nothing executes; every cost comes from the models. Used for
   /// paper-scale problem sizes (8192^3 DGEMM) that are too slow to run.
   kPureSim,
+  /// The pure-sim discrete-event loop, but kernels DO execute (on the
+  /// host, single-threaded, in virtual-clock order) while every cost still
+  /// comes from the models. Scheduling, fault injection, and recovery are
+  /// bit-for-bit reproducible across runs AND the numerics are real — the
+  /// mode the fault-injection harness replays under.
+  kDeterministic,
 };
 
 enum class SchedulerKind {

@@ -6,6 +6,7 @@
 //             [--output <generated.cpp>] [--makefile <Makefile>]
 //             [--exe <name>] [--no-sync] [--print-selection] [--verbose]
 //             [--trace-out <trace.json>] [--metrics-out <metrics.json>]
+//             [--fault-plan <spec>]
 //
 // Reads an annotated serial task-based C/C++ program and a target PDL
 // descriptor, runs task registration, static pre-selection, output
@@ -19,6 +20,11 @@
 // engine, including the scheduler's placement decisions. --metrics-out
 // writes the metrics registry snapshot. PDL_TRACE / PDL_METRICS are the
 // environment equivalents (docs/OBSERVABILITY.md).
+//
+// --fault-plan injects deterministic faults into the schedule preview
+// (docs/RUNTIME.md "Failure semantics"), so recovery decisions — retries,
+// reroutes, blacklists — appear in the exported trace. PDL_FAULT_PLAN is
+// the environment equivalent.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -46,7 +52,7 @@ void usage(const char* argv0) {
                "          [--exe <name>] [--no-sync] [--print-selection]"
                " [--verbose]\n"
                "          [--trace-out <trace.json>]"
-               " [--metrics-out <metrics.json>]\n",
+               " [--metrics-out <metrics.json>] [--fault-plan <spec>]\n",
                argv0);
 }
 
@@ -55,8 +61,9 @@ void usage(const char* argv0) {
 /// implementations, so the preview exercises the real pre-selection,
 /// decomposition and placement paths and yields a virtual-clock schedule
 /// with the scheduler's decision log.
-starvm::EngineStats schedule_preview(const cascabel::TranslationResult& result,
-                                     const pdl::Platform& platform) {
+starvm::EngineStats schedule_preview(
+    const cascabel::TranslationResult& result, const pdl::Platform& platform,
+    std::shared_ptr<const starvm::FaultPlan> fault_plan) {
   obs::Span span("cascabelc.schedule_preview");
 
   cascabel::TaskRepository repo = result.repository;
@@ -87,6 +94,7 @@ starvm::EngineStats schedule_preview(const cascabel::TranslationResult& result,
   // Driver-core dedication is a hybrid-execution concern; in a simulated
   // preview it could leave small hosts with zero CPU devices.
   options.bridge.dedicate_driver_cores = false;
+  options.fault_plan = std::move(fault_plan);
   cascabel::rt::Context ctx(platform, std::move(repo), options);
 
   // Synthetic buffers, filled through the shared thread pool (which also
@@ -136,7 +144,11 @@ starvm::EngineStats schedule_preview(const cascabel::TranslationResult& result,
                    << "': " << status.error().str();
     }
   }
-  ctx.wait();
+  if (auto status = ctx.wait(); !status.ok()) {
+    // Expected under an injected fault plan: the preview's value is the
+    // recovery decisions in the trace, not the failed tasks themselves.
+    PDL_LOG_WARN << "schedule preview: " << status.error().str();
+  }
   return ctx.stats();
 }
 
@@ -153,6 +165,7 @@ int main(int argc, char** argv) {
   obs::init_from_env();
   std::string trace_path = obs::env_trace_path();
   std::string metrics_path = obs::env_metrics_path();
+  std::string fault_plan_spec;
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -188,6 +201,8 @@ int main(int argc, char** argv) {
       trace_path = need_value();
     } else if (flag == "--metrics-out") {
       metrics_path = need_value();
+    } else if (flag == "--fault-plan") {
+      fault_plan_spec = need_value();
     } else if (flag == "--no-sync") {
       sync_each_call = false;
     } else if (flag == "--print-selection") {
@@ -209,6 +224,19 @@ int main(int argc, char** argv) {
   }
   if (output_path.empty()) output_path = input_path + ".cascabel.cpp";
   if (verbose) pdl::util::set_log_level(pdl::util::LogLevel::kInfo);
+  std::shared_ptr<const starvm::FaultPlan> fault_plan;
+  if (!fault_plan_spec.empty()) {
+    auto parsed = starvm::FaultPlan::parse(fault_plan_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "cascabelc: bad --fault-plan: %s\n",
+                   parsed.error().str().c_str());
+      return 2;
+    }
+    fault_plan =
+        std::make_shared<const starvm::FaultPlan>(std::move(parsed).value());
+    std::printf("cascabelc: fault plan with %zu rule(s) active in preview\n",
+                fault_plan->rule_count());
+  }
   if (!trace_path.empty()) obs::Tracer::instance().set_enabled(true);
   if (!trace_path.empty() || !metrics_path.empty()) obs::set_metrics_enabled(true);
 
@@ -301,7 +329,18 @@ int main(int argc, char** argv) {
 
   if (!trace_path.empty() || !metrics_path.empty()) {
     const starvm::EngineStats preview =
-        schedule_preview(result.value(), platform.value());
+        schedule_preview(result.value(), platform.value(), fault_plan);
+    if (preview.task_failures > 0) {
+      std::printf(
+          "cascabelc: preview faults: %llu failure(s), %llu retried, "
+          "%llu rerouted, %llu device(s) blacklisted, %llu task(s) lost\n",
+          static_cast<unsigned long long>(preview.task_failures),
+          static_cast<unsigned long long>(preview.retries),
+          static_cast<unsigned long long>(preview.reroutes),
+          static_cast<unsigned long long>(preview.devices_blacklisted),
+          static_cast<unsigned long long>(preview.failed_tasks +
+                                          preview.cancelled_tasks));
+    }
     if (!trace_path.empty()) {
       const std::string trace = starvm::merged_chrome_trace(
           obs::Tracer::instance().snapshot(), &preview);

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -103,12 +106,29 @@ std::optional<std::int64_t> parse_int(std::string_view s) {
 std::optional<double> parse_double(std::string_view s) {
   s = trim(s);
   if (s.empty()) return std::nullopt;
+  // Only plain decimal/scientific notation: strtod also accepts "inf",
+  // "nan" and hex floats ("0x1p3"), none of which are valid PDL property
+  // values — a non-finite parse would poison every model downstream.
+  bool any_digit = false;
+  for (const char c : s) {
+    if (c >= '0' && c <= '9') {
+      any_digit = true;
+    } else if (c != '.' && c != '+' && c != '-' && c != 'e' && c != 'E') {
+      return std::nullopt;
+    }
+  }
+  if (!any_digit) return std::nullopt;
   // std::from_chars<double> is available in gcc 12 but be conservative with
   // locale-free strtod on a NUL-terminated copy.
   std::string copy(s);
   char* endp = nullptr;
+  errno = 0;
   double value = std::strtod(copy.c_str(), &endp);
   if (endp != copy.c_str() + copy.size()) return std::nullopt;
+  // Overflow ("1e999") returns HUGE_VAL with ERANGE: reject rather than
+  // silently hand back infinity. Underflow-to-zero is accepted.
+  if (errno == ERANGE && !std::isfinite(value)) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
   return value;
 }
 

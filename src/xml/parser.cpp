@@ -457,6 +457,14 @@ util::Result<std::string> decode_entities(std::string_view text) {
         cp = cp * static_cast<unsigned long>(base) + static_cast<unsigned long>(v);
         if (cp > 0x10FFFF) return util::Error{"character reference out of range"};
       }
+      // XML 1.0 forbids U+0000; UTF-16 surrogates (D800–DFFF) are not
+      // Unicode scalar values and would encode as invalid UTF-8 that fails
+      // to round-trip through the writer.
+      if (cp == 0) return util::Error{"character reference to U+0000"};
+      if (cp >= 0xD800 && cp <= 0xDFFF) {
+        return util::Error{"character reference to UTF-16 surrogate '&" +
+                           std::string(entity) + ";'"};
+      }
       append_utf8(out, cp);
     } else {
       return util::Error{"unknown entity '&" + std::string(entity) + ";'"};

@@ -105,7 +105,7 @@ TEST(BuiltinVariants, DgemmImplementationComputes) {
                                  {{dc, starvm::Access::kReadWrite},
                                   {da, starvm::Access::kRead},
                                   {db, starvm::Access::kRead}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_DOUBLE_EQ(c[0], 5);
   EXPECT_DOUBLE_EQ(c[1], 6);
   EXPECT_DOUBLE_EQ(c[2], 7);

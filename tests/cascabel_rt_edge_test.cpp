@@ -61,7 +61,7 @@ TEST(ContextEdge, SourceOnlyVariantsAreSkipped) {
                            arg(b.data(), n, AccessMode::kRead,
                                DistributionKind::kBlock)})
                   .ok());
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
   for (double v : a) EXPECT_DOUBLE_EQ(v, 2.0);
 }
 
@@ -77,7 +77,7 @@ TEST(ContextEdge, PureSimContextNeverTouchesData) {
                            arg(b.data(), n, AccessMode::kRead,
                                DistributionKind::kBlock)})
                   .ok());
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
   for (double v : a) EXPECT_DOUBLE_EQ(v, 1.0);  // untouched
   EXPECT_GT(ctx.stats().makespan_seconds, 0.0);
 }
@@ -92,7 +92,7 @@ TEST(ContextEdge, StatsFeedTraceExports) {
                            arg(b.data(), n, AccessMode::kRead,
                                DistributionKind::kBlock)})
                   .ok());
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
   const auto stats = ctx.stats();
   const std::string json = starvm::to_chrome_trace(stats);
   EXPECT_NE(json.find("Ivecadd["), std::string::npos);
@@ -113,7 +113,7 @@ TEST(ContextEdge, EmptyArgListExecutes) {
                       [&runs](const starvm::ExecContext&) { ++runs; }, nullptr});
   Context ctx(paper_platform_single(), std::move(repo));
   ASSERT_TRUE(ctx.execute("Inop", "", {}).ok());
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
   EXPECT_EQ(runs, 1);
 }
 

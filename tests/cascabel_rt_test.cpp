@@ -39,7 +39,7 @@ TEST(Context, VecaddExecutesWithBlockDistribution) {
                              arg(b.data(), n, AccessMode::kRead,
                                  DistributionKind::kBlock)});
   ASSERT_TRUE(status.ok()) << status.error().str();
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
   for (double v : a) EXPECT_DOUBLE_EQ(v, 3.0);
   // Block decomposition produced multiple tasks.
   EXPECT_GT(ctx.stats().tasks_completed, 1u);
@@ -58,7 +58,7 @@ TEST(Context, DgemmRowBandedMatchesReference) {
        arg_matrix(a.data(), n, n, AccessMode::kRead, DistributionKind::kBlock),
        arg_matrix(b.data(), n, n, AccessMode::kRead, DistributionKind::kNone)});
   ASSERT_TRUE(status.ok()) << status.error().str();
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
 
   kernels::dgemm_naive(n, n, n, a.data(), b.data(), ref.data());
   EXPECT_LT(kernels::max_abs_diff(c.data(), ref.data(), n * n), 1e-9);
@@ -79,7 +79,7 @@ TEST(Context, GpuPlatformUsesAccelerators) {
        arg_matrix(a.data(), n, n, AccessMode::kRead, DistributionKind::kBlock),
        arg_matrix(b.data(), n, n, AccessMode::kRead, DistributionKind::kNone)});
   ASSERT_TRUE(status.ok()) << status.error().str();
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
 
   kernels::dgemm_naive(n, n, n, a.data(), b.data(), ref.data());
   EXPECT_LT(kernels::max_abs_diff(c.data(), ref.data(), n * n), 1e-9);
@@ -108,7 +108,7 @@ TEST(Context, GroupRestrictsToGpuOnly) {
        arg_matrix(a.data(), n, n, AccessMode::kRead, DistributionKind::kBlock),
        arg_matrix(b.data(), n, n, AccessMode::kRead, DistributionKind::kNone)});
   ASSERT_TRUE(status.ok()) << status.error().str();
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
 }
 
 TEST(Context, MostSpecificUsableVariantWins) {
@@ -140,7 +140,7 @@ TEST(Context, MostSpecificUsableVariantWins) {
                           {arg(data.data(), 8, AccessMode::kRead,
                                DistributionKind::kNone)})
                   .ok());
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
   EXPECT_EQ(tuned_runs.load(), 1);
   EXPECT_EQ(generic_runs.load(), 0);
 }
@@ -163,7 +163,7 @@ TEST(Context, SequentialCallsReuseRegisteredData) {
                                    DistributionKind::kBlock)});
     ASSERT_TRUE(status.ok());
   }
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
   for (double v : a) EXPECT_DOUBLE_EQ(v, 3.0);
 }
 
@@ -177,7 +177,7 @@ TEST(Context, CyclicDistributionComputesSameResult) {
                              arg(b.data(), n, AccessMode::kRead,
                                  DistributionKind::kCyclic)});
   ASSERT_TRUE(status.ok()) << status.error().str();
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
   for (double v : a) EXPECT_DOUBLE_EQ(v, 6.0);
 }
 
@@ -191,7 +191,7 @@ TEST(Context, HostModifiedInvalidatesReplicas) {
                            arg(b.data(), n, AccessMode::kRead,
                                DistributionKind::kBlock)})
                   .ok());
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
   const auto transfers_before = ctx.stats().transfers;
   EXPECT_GT(transfers_before, 0u);
 
@@ -204,7 +204,7 @@ TEST(Context, HostModifiedInvalidatesReplicas) {
                            arg(b.data(), n, AccessMode::kRead,
                                DistributionKind::kBlock)})
                   .ok());
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
   EXPECT_GT(ctx.stats().transfers, transfers_before);
   for (double v : a) EXPECT_DOUBLE_EQ(v, 8.0);  // 1 + 2 + 5
 
@@ -225,7 +225,7 @@ TEST(Context, PointerReuseWithDifferentGeometryReRegisters) {
                            arg(b.data(), 64 * 64, AccessMode::kRead,
                                DistributionKind::kBlock)})
                   .ok());
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
 
   // Second use: the same buffer as a 64x64 matrix in a DGEMM.
   std::vector<double> a2(64 * 64, 0.0), c2(64 * 64, 0.0);
@@ -237,7 +237,7 @@ TEST(Context, PointerReuseWithDifferentGeometryReRegisters) {
                            arg_matrix(scratch.data(), 64, 64, AccessMode::kRead,
                                       DistributionKind::kNone)})
                   .ok());
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
   // C = 0 + A2 (zeros) * scratch = 0; mainly: no crash, geometry honored.
   for (double v : c2) EXPECT_DOUBLE_EQ(v, 0.0);
 }
@@ -253,7 +253,7 @@ TEST(Context, SinglePlatformRunsSequentialFallback) {
                              arg(b.data(), n, AccessMode::kRead,
                                  DistributionKind::kBlock)});
   ASSERT_TRUE(status.ok()) << status.error().str();
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
   for (double v : a) EXPECT_DOUBLE_EQ(v, 2.0);
 }
 

@@ -63,7 +63,7 @@ double run_case_study_inprocess(const pdl::Platform& target, std::size_t n) {
        rt::arg_matrix(a.data(), n, n, AccessMode::kRead, DistributionKind::kBlock),
        rt::arg_matrix(b.data(), n, n, AccessMode::kRead, DistributionKind::kNone)});
   EXPECT_TRUE(status.ok()) << status.error().str();
-  ctx.wait();
+  EXPECT_TRUE(ctx.wait().ok());
 
   kernels::dgemm_naive(n, n, n, a.data(), b.data(), ref.data());
   EXPECT_LT(kernels::max_abs_diff(c.data(), ref.data(), n * n), 1e-9);
@@ -100,7 +100,7 @@ TEST(CaseStudy, Figure5ShapeInPureSim) {
          rt::arg_matrix(b.data(), n, n, AccessMode::kRead,
                         DistributionKind::kNone)});
     EXPECT_TRUE(status.ok()) << status.error().str();
-    ctx.wait();
+    EXPECT_TRUE(ctx.wait().ok());
     return ctx.stats().makespan_seconds;
   };
 

@@ -209,7 +209,7 @@ starvm::EngineStats run_sample_engine(bool record_decisions,
     engine.submit(
         starvm::TaskDesc{&codelet, {{handle, starvm::Access::kReadWrite}}, "t"});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   return engine.stats();
 }
 

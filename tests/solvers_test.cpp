@@ -147,7 +147,7 @@ TEST(PartitionTiles, TileTasksComposeCorrectly) {
   for (auto* t : tiles) {
     engine.submit(starvm::TaskDesc{&c, {{t, starvm::Access::kReadWrite}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   for (double v : data) EXPECT_DOUBLE_EQ(v, 2.0);  // every cell exactly once
 }
 

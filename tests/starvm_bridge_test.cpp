@@ -131,7 +131,7 @@ TEST(Bridge, ConfiguredEnginesActuallyRun) {
                                      ctx.buffer(0)[0] += 1.0;
                                    }});
   engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_DOUBLE_EQ(data[0], 2.0);
 }
 

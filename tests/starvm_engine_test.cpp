@@ -32,7 +32,7 @@ TEST(Engine, ExecutesSingleTask) {
     ran = true;
   });
   engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}, "t"});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_TRUE(ran);
   EXPECT_DOUBLE_EQ(data[0], 42.0);
 
@@ -79,7 +79,7 @@ TEST(Engine, RawDependencyOrdersWriterBeforeReader) {
   engine.submit(TaskDesc{&writer, {{h, Access::kWrite}}});
   engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
   engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
 
   ASSERT_EQ(log.size(), 3u);
   EXPECT_EQ(log[0], "write");  // both reads after the write
@@ -97,7 +97,7 @@ TEST(Engine, WawAndWarDependenciesSerializeWrites) {
   for (int i = 0; i < 6; ++i) {
     engine.submit(TaskDesc{&append, {{h, Access::kReadWrite}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_DOUBLE_EQ(data[0], 111111.0);
 }
 
@@ -122,7 +122,7 @@ TEST(Engine, IndependentTasksRunConcurrently) {
   for (DataHandle* h : {ha, hb, hc, hd}) {
     engine.submit(TaskDesc{&busy, {{h, Access::kReadWrite}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_GE(peak.load(), 2);  // at least some overlap across 4 devices
 }
 
@@ -149,12 +149,21 @@ TEST(Engine, PartitionRowsCoversMatrixWithCorrectGeometry) {
   EXPECT_EQ(blocks[1]->ptr(), data.data() + 3 * cols);
 }
 
-TEST(Engine, PartitionMoreBlocksThanRowsClamps) {
+TEST(Engine, PartitionMoreBlocksThanRowsReturnsRequestedCount) {
   Engine engine(EngineConfig::cpus(1));
   std::vector<double> data(3 * 2);
   DataHandle* h = engine.register_matrix(data.data(), 3, 2);
+  // Callers index blocks[i] for i < nblocks; the tail must exist (empty),
+  // not silently vanish.
   auto blocks = engine.partition_rows(h, 8);
-  EXPECT_EQ(blocks.size(), 3u);
+  ASSERT_EQ(blocks.size(), 8u);
+  std::size_t total_rows = 0;
+  for (const DataHandle* b : blocks) total_rows += b->rows();
+  EXPECT_EQ(total_rows, 3u);
+  for (std::size_t i = 3; i < 8; ++i) {
+    EXPECT_EQ(blocks[i]->rows(), 0u);
+    EXPECT_EQ(blocks[i]->bytes(), 0u);
+  }
 }
 
 TEST(Engine, PartitionVector) {
@@ -180,7 +189,7 @@ TEST(Engine, SubmitOnPartitionedParentIsRejected) {
   engine.unpartition(h);
   EXPECT_FALSE(h->partitioned());
   engine.submit(TaskDesc{&c, {{h, Access::kRead}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
 }
 
 TEST(Engine, BlockTasksRunIndependentlyAcrossBlocks) {
@@ -195,7 +204,7 @@ TEST(Engine, BlockTasksRunIndependentlyAcrossBlocks) {
   for (DataHandle* b : blocks) {
     engine.submit(TaskDesc{&dbl, {{b, Access::kReadWrite}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   for (double v : data) EXPECT_DOUBLE_EQ(v, 2.0);
 }
 
@@ -222,7 +231,7 @@ TEST(Engine, AcceleratorExecutesOnHostButChargesModeledTime) {
   // Pretend this op costs 1e9 flops -> 0.01 s at 100 GFLOPS.
   c.flops = [](const std::vector<BufferView>&) { return 1e9; };
   engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
 
   EXPECT_DOUBLE_EQ(data[0], 7.0);  // really executed (hybrid mode)
   const EngineStats stats = engine.stats();
@@ -249,12 +258,12 @@ TEST(Engine, TransferOnlyWhenReplicaMissing) {
                                 DeviceKind::kAccelerator);
 
   engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_EQ(engine.stats().transfers, 1u);
 
   // Second read: the replica is already valid on the device.
   engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_EQ(engine.stats().transfers, 1u);
 }
 
@@ -277,13 +286,13 @@ TEST(Engine, WriteInvalidatesOtherReplicas) {
   Codelet accel_write = make_codelet("w", [](const ExecContext&) {},
                                      DeviceKind::kAccelerator);
   engine.submit(TaskDesc{&accel_write, {{h, Access::kReadWrite}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   // Written on the accelerator: its node is the only valid replica.
   EXPECT_FALSE(h->valid_on(kHostNode));
 
   Codelet cpu_read = make_codelet("r", [](const ExecContext&) {});
   engine.submit(TaskDesc{&cpu_read, {{h, Access::kRead}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_TRUE(h->valid_on(kHostNode));  // fetched back
   EXPECT_EQ(engine.stats().transfers, 2u);
 }
@@ -323,7 +332,7 @@ TEST(Engine, PureSimSkipsExecutionButModelsTime) {
   DataHandle* h2 = engine.register_vector(other.data(), other.size());
   engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}});
   engine.submit(TaskDesc{&c, {{h2, Access::kReadWrite}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
 
   EXPECT_DOUBLE_EQ(data[0], 1.0);  // untouched
   const EngineStats stats = engine.stats();
@@ -350,7 +359,7 @@ TEST(Engine, MakespanReflectsCriticalPathInPureSim) {
   for (int i = 0; i < 5; ++i) {
     engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_NEAR(engine.stats().makespan_seconds, 0.5, 0.05);
 }
 
@@ -394,7 +403,7 @@ TEST(Engine, PriorityOrdersReadyTasksUnderEager) {
     engine.submit(std::move(desc));
   }
   release = true;
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   ASSERT_EQ(order.size(), 4u);
   EXPECT_EQ(order, (std::vector<int>{5, 2, 0, -3}));
 }
@@ -421,7 +430,7 @@ TEST(Engine, WaitForSpecificTask) {
   EXPECT_DOUBLE_EQ(b[0], 2.0);
   EXPECT_FALSE(engine.wait(999));
   EXPECT_FALSE(engine.wait(0));
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
 }
 
 TEST(Engine, ExplicitDependenciesOrderUnrelatedTasks) {
@@ -452,7 +461,7 @@ TEST(Engine, ExplicitDependenciesOrderUnrelatedTasks) {
   TaskDesc d3{&third, {{hc, Access::kWrite}}};
   d3.depends_on = {t1, t2};
   engine.submit(std::move(d3));
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
 
   ASSERT_EQ(order.size(), 3u);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
@@ -466,12 +475,12 @@ TEST(Engine, ExplicitDependencyOnCompletedOrUnknownTaskIsSatisfied) {
     ctx.buffer(0)[0] += 1.0;
   });
   const TaskId done = engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
 
   TaskDesc desc{&c, {{h, Access::kReadWrite}}};
   desc.depends_on = {done, 424242, 0};  // completed + unknown + invalid
   engine.submit(std::move(desc));
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_DOUBLE_EQ(a[0], 2.0);
 }
 
@@ -488,7 +497,7 @@ TEST(Engine, HostWriteInvalidatesDeviceReplicas) {
   Codelet reader = make_codelet("r", [](const ExecContext&) {},
                                 DeviceKind::kAccelerator);
   engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_EQ(engine.stats().transfers, 1u);
 
   // Without host_write a second read reuses the replica; after a declared
@@ -497,7 +506,7 @@ TEST(Engine, HostWriteInvalidatesDeviceReplicas) {
   EXPECT_TRUE(h->valid_on(kHostNode));
   EXPECT_FALSE(h->valid_on(1));
   engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_EQ(engine.stats().transfers, 2u);
 }
 
@@ -510,13 +519,65 @@ TEST(Engine, StatsAccumulatePerDevice) {
   for (int i = 0; i < 10; ++i) {
     engine.submit(TaskDesc{&c, {{i % 2 ? ha : hb, Access::kReadWrite}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   const EngineStats stats = engine.stats();
   EXPECT_EQ(stats.tasks_completed, 10u);
   std::uint64_t total = 0;
   for (const auto& d : stats.devices) total += d.tasks_run;
   EXPECT_EQ(total, 10u);
   EXPECT_EQ(stats.trace.size(), 10u);
+}
+
+TEST(Engine, WatchdogRejectsAttemptsExceedingModeledEstimate) {
+  // Pure sim: exec cost == model estimate + injected delay, so the
+  // watchdog decision is deterministic. A 1 s delay on attempt 1 blows the
+  // max(0.01 s, estimate * slack) limit; attempt 2 runs undelayed and fits.
+  EngineConfig config = EngineConfig::cpus(1, /*sustained_gflops=*/1.0);
+  config.mode = ExecutionMode::kPureSim;
+  config.fault_tolerance.watchdog_slack = 2.0;
+  auto plan = FaultPlan::parse("delay:ms=1000,task=1,attempts=1");
+  ASSERT_TRUE(plan.ok());
+  config.fault_plan =
+      std::make_shared<const FaultPlan>(std::move(plan).value());
+  Engine engine(std::move(config));
+
+  std::vector<double> data(8, 0.0);
+  DataHandle* h = engine.register_vector(data.data(), data.size());
+  Codelet c = make_codelet("c", [](const ExecContext&) {});
+  c.flops = [](const std::vector<BufferView>&) { return 1e6; };  // ~1 ms
+  engine.submit(TaskDesc{&c, {{h, Access::kRead}}});
+  EXPECT_TRUE(engine.wait_all().ok());
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.tasks_completed, 1u);
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.task_failures, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  bool saw_timeout_event = false;
+  for (const auto& e : stats.fault_events) {
+    if (e.kind == FaultEvent::Kind::kTimeout) saw_timeout_event = true;
+  }
+  EXPECT_TRUE(saw_timeout_event);
+}
+
+TEST(Engine, WatchdogOffByDefault) {
+  // Same delayed task, default config: the delay is just slow, not fatal.
+  EngineConfig config = EngineConfig::cpus(1, 1.0);
+  config.mode = ExecutionMode::kPureSim;
+  auto plan = FaultPlan::parse("delay:ms=1000");
+  ASSERT_TRUE(plan.ok());
+  config.fault_plan =
+      std::make_shared<const FaultPlan>(std::move(plan).value());
+  Engine engine(std::move(config));
+  std::vector<double> data(8, 0.0);
+  DataHandle* h = engine.register_vector(data.data(), data.size());
+  Codelet c = make_codelet("c", [](const ExecContext&) {});
+  engine.submit(TaskDesc{&c, {{h, Access::kRead}}});
+  EXPECT_TRUE(engine.wait_all().ok());
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.task_failures, 0u);
+  EXPECT_GE(stats.makespan_seconds, 1.0);  // the delay is on the clock
 }
 
 }  // namespace

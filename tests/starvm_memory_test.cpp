@@ -39,7 +39,7 @@ TEST(MemoryModel, ReplicasFitWithinCapacityNoEviction) {
     DataHandle* h = engine.register_vector(buf.data(), buf.size());
     engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   const EngineStats stats = engine.stats();
   EXPECT_EQ(stats.transfers, 3u);
   EXPECT_EQ(stats.evictions, 0u);
@@ -56,7 +56,7 @@ TEST(MemoryModel, LruEvictionWhenOverCapacity) {
   // Stream 4 reads through a 2-buffer device: 2 evictions.
   for (DataHandle* h : handles) {
     engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
-    engine.wait_all();  // serialize for deterministic LRU order
+    EXPECT_TRUE(engine.wait_all().ok());  // serialize for deterministic LRU order
   }
   const EngineStats stats = engine.stats();
   EXPECT_EQ(stats.transfers, 4u);
@@ -80,7 +80,7 @@ TEST(MemoryModel, ReaccessRefreshesLruOrder) {
   }
   const auto read = [&](DataHandle* h) {
     engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
-    engine.wait_all();
+    EXPECT_TRUE(engine.wait_all().ok());
   };
   read(handles[0]);
   read(handles[1]);
@@ -103,12 +103,12 @@ TEST(MemoryModel, EvictingSoleReplicaWritesBack) {
 
   // Write `a` on the device: device holds the sole replica.
   engine.submit(TaskDesc{&writer, {{ha, Access::kWrite}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_FALSE(ha->valid_on(kHostNode));
 
   // Touching `b` evicts `a`, which must be written back to the host first.
   engine.submit(TaskDesc{&writer, {{hb, Access::kWrite}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   const EngineStats stats = engine.stats();
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.writeback_bytes, kDoubles * 8);
@@ -128,7 +128,7 @@ TEST(MemoryModel, PinnedBuffersAreNeverEvicted) {
   DataHandle* hb = engine.register_vector(b.data(), b.size());
   engine.submit(
       TaskDesc{&two, {{ha, Access::kRead}, {hb, Access::kReadWrite}}});
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_TRUE(ha->valid_on(1));
   EXPECT_TRUE(hb->valid_on(1));
 }
@@ -145,8 +145,40 @@ TEST(MemoryModel, UnlimitedByDefault) {
     DataHandle* h = engine.register_vector(buf.data(), buf.size());
     engine.submit(TaskDesc{&reader, {{h, Access::kRead}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_EQ(engine.stats().evictions, 0u);
+}
+
+// --- partition geometry --------------------------------------------------------
+// partition_* must return exactly the requested block count even when the
+// data is too small; surplus blocks are empty, never missing (callers index
+// blocks[r * cols + c] unconditionally).
+
+TEST(MemoryModel, PartitionVectorPadsWithEmptyBlocks) {
+  Engine engine = capacity_engine(4);
+  std::vector<double> v(5);
+  DataHandle* h = engine.register_vector(v.data(), v.size());
+  auto blocks = engine.partition_vector(h, 8);
+  ASSERT_EQ(blocks.size(), 8u);
+  std::size_t total = 0;
+  for (const DataHandle* b : blocks) total += b->cols();  // element count
+  EXPECT_EQ(total, 5u);
+  EXPECT_EQ(blocks.back()->rows(), 0u);
+  EXPECT_EQ(blocks.back()->bytes(), 0u);
+}
+
+TEST(MemoryModel, PartitionTilesPadsWithEmptyBlocks) {
+  Engine engine = capacity_engine(4);
+  std::vector<double> m(2 * 2);
+  DataHandle* h = engine.register_matrix(m.data(), 2, 2);
+  auto tiles = engine.partition_tiles(h, 3, 3);
+  ASSERT_EQ(tiles.size(), 9u);  // full 3x3 grid, not a ragged subset
+  std::size_t cells = 0;
+  for (const DataHandle* t : tiles) cells += t->rows() * t->cols();
+  EXPECT_EQ(cells, 4u);
+  // Row 2 and column 2 of the grid are empty.
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(tiles[r * 3 + 2]->cols(), 0u);
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(tiles[2 * 3 + c]->rows(), 0u);
 }
 
 TEST(MemoryModel, BridgeReadsCapacityFromPdl) {

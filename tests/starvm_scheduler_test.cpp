@@ -22,7 +22,7 @@ EngineStats run_batch(EngineConfig config, int tasks, double flops_each) {
     DataHandle* h = engine.register_vector(buffers[static_cast<std::size_t>(i)].data(), 4);
     engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   return engine.stats();
 }
 
@@ -53,7 +53,7 @@ TEST_P(AllSchedulersTest, UsesMultipleDevices) {
     DataHandle* h = engine.register_vector(buf.data(), 1);
     engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   int devices_used = 0;
   for (const auto& d : engine.stats().devices) {
     if (d.tasks_run > 0) ++devices_used;
@@ -78,7 +78,7 @@ TEST_P(AllSchedulersTest, DependenciesRespectedUnderEveryPolicy) {
   for (int i = 0; i < 50; ++i) {
     engine.submit(TaskDesc{&inc, {{h, Access::kReadWrite}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_DOUBLE_EQ(data[0], 50.0);
 }
 
@@ -143,7 +143,7 @@ TEST(HeftScheduler, AccountsForTransferCosts) {
     DataHandle* h = engine.register_vector(buf.data(), buf.size());
     engine.submit(TaskDesc{&c, {{h, Access::kRead}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   const EngineStats stats = engine.stats();
   EXPECT_EQ(stats.devices[0].tasks_run, 20u);  // everything stayed on the CPU
   EXPECT_EQ(stats.devices[1].tasks_run, 0u);
@@ -167,7 +167,7 @@ TEST(WorkStealing, BalancesSkewedInitialPlacement) {
     DataHandle* h = engine.register_vector(buf.data(), 1);
     engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   EXPECT_EQ(executed.load(), 40);
   const EngineStats stats = engine.stats();
   int devices_used = 0;

@@ -111,7 +111,7 @@ TEST_P(StressTest, MatchesSerialReplay) {
     }
     engine.submit(std::move(desc));
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
 
   for (int h = 0; h < param.handles; ++h) {
     EXPECT_DOUBLE_EQ(actual[static_cast<std::size_t>(h)],
@@ -165,7 +165,7 @@ TEST(StressSim, VirtualClockInvariants) {
     DataHandle* h = engine.register_vector(buf.data(), buf.size());
     engine.submit(TaskDesc{&codelet, {{h, Access::kReadWrite}}});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
 
   const EngineStats stats = engine.stats();
   double last_finish = 0.0;

@@ -24,7 +24,7 @@ EngineStats sample_stats() {
     DataHandle* h = engine.register_vector(buf.data(), 1);
     engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}, "t"});
   }
-  engine.wait_all();
+  EXPECT_TRUE(engine.wait_all().ok());
   return engine.stats();
 }
 

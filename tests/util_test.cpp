@@ -78,8 +78,27 @@ TEST(StringUtil, ParseIntAcceptsOnlyFullIntegers) {
 TEST(StringUtil, ParseDoubleAcceptsFloats) {
   EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
   EXPECT_DOUBLE_EQ(parse_double("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(parse_double(" +0.125E2 ").value(), 12.5);
   EXPECT_FALSE(parse_double("abc").has_value());
   EXPECT_FALSE(parse_double("1.5x").has_value());
+}
+
+TEST(StringUtil, ParseDoubleRejectsNonFiniteAndOverflow) {
+  // strtod accepts all of these; PDL property values must not (a non-finite
+  // rate poisons the perf model downstream).
+  EXPECT_FALSE(parse_double("inf").has_value());
+  EXPECT_FALSE(parse_double("-INF").has_value());
+  EXPECT_FALSE(parse_double("infinity").has_value());
+  EXPECT_FALSE(parse_double("nan").has_value());
+  EXPECT_FALSE(parse_double("NaN(tag)").has_value());
+  EXPECT_FALSE(parse_double("0x1p3").has_value());  // hex float
+  EXPECT_FALSE(parse_double("1e999").has_value());  // ERANGE -> HUGE_VAL
+  EXPECT_FALSE(parse_double("-1e999").has_value());
+  EXPECT_FALSE(parse_double(".").has_value());      // no digits
+  EXPECT_FALSE(parse_double("e5").has_value());
+  // Underflow-to-zero is fine; tiny but representable values too.
+  EXPECT_DOUBLE_EQ(parse_double("1e-999").value(), 0.0);
+  EXPECT_GT(parse_double("1e-300").value(), 0.0);
 }
 
 TEST(StringUtil, ReplaceAllReplacesEveryOccurrence) {

@@ -192,6 +192,20 @@ TEST(XmlParser, DecodeEntitiesStandalone) {
   EXPECT_FALSE(decode_entities("&#x110000;").ok());  // beyond Unicode range
 }
 
+TEST(XmlParser, DecodeEntitiesRejectsInvalidScalarValues) {
+  // NUL and UTF-16 surrogates are not XML characters even when in-range
+  // numerically; accepting them produces ill-formed UTF-8 downstream.
+  EXPECT_FALSE(decode_entities("&#0;").ok());
+  EXPECT_FALSE(decode_entities("&#x0;").ok());
+  EXPECT_FALSE(decode_entities("&#xD800;").ok());   // first high surrogate
+  EXPECT_FALSE(decode_entities("&#xDFFF;").ok());   // last low surrogate
+  EXPECT_FALSE(decode_entities("&#55296;").ok());   // 0xD800 in decimal
+  // Neighbours of the surrogate block stay valid.
+  EXPECT_TRUE(decode_entities("&#xD7FF;").ok());
+  EXPECT_TRUE(decode_entities("&#xE000;").ok());
+  EXPECT_EQ(decode_entities("&#x10FFFF;").value(), "\xF4\x8F\xBF\xBF");
+}
+
 TEST(XmlParser, ParseFileErrorsOnMissingFile) {
   auto doc = parse_file("/does/not/exist.xml");
   ASSERT_FALSE(doc.ok());
