@@ -1,0 +1,72 @@
+// The cross-layer static analyzer behind pdlcheck, `pdltool lint` and
+// `cascabelc --analyze`: rule-based checks over (a) PDL platform
+// descriptions, (b) annotated Cascabel programs matched against a target
+// platform, and (c) statically extracted task graphs.
+//
+// Each layer is a pure function from inputs to pdl::Diagnostics entries
+// carrying a stable rule id (see rules.hpp) and a real source location;
+// callers normalize() the sink before rendering (report.hpp).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "annot/annotated_program.hpp"
+#include "cascabel/repository.hpp"
+#include "pdl/diagnostics.hpp"
+#include "pdl/model.hpp"
+#include "starvm/graph.hpp"
+
+namespace analysis {
+
+/// Per-run configuration: rule enablement, severity overrides, and the
+/// consistency model assumed for hazard analysis.
+struct AnalysisOptions {
+  /// Full rule id -> forced severity (from `--rule <id>=<severity>`).
+  std::map<std::string, pdl::Severity, std::less<>> severity_overrides;
+  /// Rules turned off entirely (from `--rule <id>=off`).
+  std::set<std::string, std::less<>> disabled;
+  /// Analyze hazards as a relaxed-consistency runtime would see them: only
+  /// explicitly declared dependencies order tasks, so same-buffer conflicts
+  /// without an explicit edge are races (A401/A402). Off by default because
+  /// starvm's engine enforces sequential consistency per buffer.
+  bool relaxed = false;
+};
+
+/// False when the rule is disabled by the options.
+bool rule_enabled(const AnalysisOptions& options, std::string_view rule);
+
+/// The severity a finding of `rule` should carry: the per-run override if
+/// present, otherwise `fallback` (normally the catalog default).
+pdl::Severity effective_severity(const AnalysisOptions& options, std::string_view rule,
+                                 pdl::Severity fallback);
+
+// --- Layer (a): PDL platform lint (rules A1xx) ------------------------------
+
+void analyze_platform(const pdl::Platform& platform, const AnalysisOptions& options,
+                      pdl::Diagnostics& diags);
+
+// --- Layer (b): program-platform matching (rules A3xx) ----------------------
+
+/// Match every repository variant and every execute site of `program`
+/// against `target`. The repository must already hold the program's
+/// variants (plus any expert variants to consider).
+void analyze_program(const cascabel::AnnotatedProgram& program,
+                     const cascabel::TaskRepository& repository,
+                     const pdl::Platform& target, const AnalysisOptions& options,
+                     pdl::Diagnostics& diags);
+
+// --- Layer (c): task-graph analysis (rules A4xx) ----------------------------
+
+/// Extract the static task graph of an annotated program: one task per
+/// execute site (accesses resolved positionally against the interface's
+/// signature), one buffer per distinct argument expression.
+starvm::TaskGraph graph_from_program(const cascabel::AnnotatedProgram& program,
+                                     const cascabel::TaskRepository& repository);
+
+void analyze_task_graph(const starvm::TaskGraph& graph, const AnalysisOptions& options,
+                        pdl::Diagnostics& diags);
+
+}  // namespace analysis

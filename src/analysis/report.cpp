@@ -1,0 +1,61 @@
+#include "analysis/report.hpp"
+
+#include "obs/trace.hpp"
+
+namespace analysis {
+
+ReportSummary summarize(const pdl::Diagnostics& diags) {
+  ReportSummary summary;
+  for (const pdl::Diagnostic& d : diags) {
+    switch (d.severity) {
+      case pdl::Severity::kError: ++summary.errors; break;
+      case pdl::Severity::kWarning: ++summary.warnings; break;
+      case pdl::Severity::kInfo: ++summary.infos; break;
+    }
+  }
+  return summary;
+}
+
+std::string render_text(const pdl::Diagnostics& diags) {
+  std::string out;
+  for (const pdl::Diagnostic& d : diags) {
+    out += d.str() + "\n";
+  }
+  const ReportSummary summary = summarize(diags);
+  out += std::to_string(summary.errors) + " error(s), " +
+         std::to_string(summary.warnings) + " warning(s)";
+  if (summary.infos > 0) out += ", " + std::to_string(summary.infos) + " note(s)";
+  out += "\n";
+  return out;
+}
+
+std::string render_json(const pdl::Diagnostics& diags) {
+  using obs::json_escape;
+  std::string out = "{\"version\":1,\"findings\":[";
+  bool first = true;
+  for (const pdl::Diagnostic& d : diags) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"severity\":\"" + std::string(pdl::to_string(d.severity)) + "\"";
+    out += ",\"rule\":\"" + json_escape(d.rule) + "\"";
+    out += ",\"file\":\"" + json_escape(d.loc.file) + "\"";
+    out += ",\"line\":" + std::to_string(d.loc.line);
+    out += ",\"col\":" + std::to_string(d.loc.column);
+    out += ",\"where\":\"" + json_escape(d.where) + "\"";
+    out += ",\"message\":\"" + json_escape(d.message) + "\"}";
+  }
+  const ReportSummary summary = summarize(diags);
+  out += "],\"summary\":{\"errors\":" + std::to_string(summary.errors) +
+         ",\"warnings\":" + std::to_string(summary.warnings) +
+         ",\"infos\":" + std::to_string(summary.infos) + "}}";
+  return out;
+}
+
+int exit_code(const pdl::Diagnostics& diags, bool werror) {
+  const ReportSummary summary = summarize(diags);
+  if (summary.errors > 0) return 1;
+  if (werror && summary.warnings > 0) return 1;
+  return 0;
+}
+
+}  // namespace analysis

@@ -1,0 +1,36 @@
+// Rendering of analyzer findings: the text and JSON output formats shared
+// by pdlcheck, `pdltool lint` and `cascabelc --analyze`.
+//
+// Callers pdl::normalize() the diagnostics first so output is sorted by
+// location and deduplicated — both formats are byte-stable given the same
+// findings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "pdl/diagnostics.hpp"
+
+namespace analysis {
+
+struct ReportSummary {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+};
+
+ReportSummary summarize(const pdl::Diagnostics& diags);
+
+/// One "file:line:col: severity: message [rule]" line per finding, plus a
+/// trailing "N error(s), M warning(s)" summary line.
+std::string render_text(const pdl::Diagnostics& diags);
+
+/// {"version":1,"findings":[{severity,rule,file,line,col,where,message}...],
+///  "summary":{"errors":N,"warnings":M,"infos":K}}
+std::string render_json(const pdl::Diagnostics& diags);
+
+/// Exit code contract shared by the tools: 1 when errors are present (or
+/// warnings with `werror`), else 0.
+int exit_code(const pdl::Diagnostics& diags, bool werror);
+
+}  // namespace analysis

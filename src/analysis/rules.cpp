@@ -1,0 +1,79 @@
+#include "analysis/rules.hpp"
+
+#include <string>
+
+namespace analysis {
+
+const std::vector<RuleInfo>& rule_catalog() {
+  using pdl::Severity;
+  static const std::vector<RuleInfo> catalog = {
+      {kUnreachableWorkerMemory, Severity::kWarning,
+       "Worker declares MemoryRegions but no Interconnect path reaches its "
+       "controlling Master; transfers fall back to modeled control links"},
+      {kUnreferencedMemoryRegion, Severity::kWarning,
+       "MemoryRegion the toolchain cannot consume (beyond the Worker's first "
+       "sized region, or without an id)"},
+      {kPropertySanity, Severity::kWarning,
+       "well-known property has a non-numeric, negative or unit-less value "
+       "(CORES, FREQUENCY_MHZ, BANDWIDTH_GB_S, MTBF_HOURS, SIZE, ...)"},
+      {kDescriptorConsistency, Severity::kError,
+       "descriptor declares the same property twice with conflicting values "
+       "(or mixes fixed and unfixed declarations of one name)"},
+      {kUndeclaredExtensionNamespace, Severity::kError,
+       "property uses an xsi:type prefix with no xmlns declaration on the "
+       "document root"},
+      {kDeadVariant, Severity::kWarning,
+       "task variant whose platform requirements match no PU of the target "
+       "platform (it can never be selected)"},
+      {kNoExecutableVariant, Severity::kError,
+       "execute site whose task interface has no variant usable on the "
+       "target platform (guaranteed runtime failure)"},
+      {kArityMismatch, Severity::kError,
+       "execute site passes a different number of arguments than the task "
+       "signature declares"},
+      {kVariantSignatureConflict, Severity::kError,
+       "variants of one task interface disagree on parameter count or "
+       "access modes"},
+      {kUnknownDistributionParam, Severity::kWarning,
+       "execute-site distribution names a parameter the task signature does "
+       "not have"},
+      {kUnknownExecutionGroup, Severity::kWarning,
+       "execute site references a LogicGroupAttribute no PU of the target "
+       "platform declares"},
+      {kUnorderedWriteWrite, Severity::kError,
+       "two tasks write the same buffer with no ordering path between them "
+       "(a race under relaxed consistency)"},
+      {kUnorderedReadWrite, Severity::kError,
+       "one task reads what another writes with no ordering path between "
+       "them (a race under relaxed consistency)"},
+      {kPartitionAliasing, Severity::kError,
+       "two distinct buffers over overlapping byte ranges (parent handle "
+       "and its blocks, or double registration) are accessed concurrently — "
+       "the engine's per-handle dependency inference cannot order them"},
+      {kDependencyCycle, Severity::kError,
+       "declared task dependencies form a cycle; the engine silently drops "
+       "forward dependencies, so the stated ordering is unenforceable"},
+      {kUnknownDependency, Severity::kWarning,
+       "declared dependency references an unknown or not-yet-submitted "
+       "task; the engine treats it as already satisfied"},
+      {kNeverSubmittedTask, Severity::kWarning,
+       "task interface has implementation variants but no execute site ever "
+       "submits it"},
+  };
+  return catalog;
+}
+
+const RuleInfo* find_rule(std::string_view id_or_number) {
+  for (const RuleInfo& rule : rule_catalog()) {
+    const std::string_view id = rule.id;
+    if (id == id_or_number) return &rule;
+    // Bare-number form: the prefix before the first '-'.
+    const auto dash = id.find('-');
+    if (dash != std::string_view::npos && id.substr(0, dash) == id_or_number) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace analysis

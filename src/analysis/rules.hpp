@@ -1,0 +1,54 @@
+// The pdlcheck rule catalog: stable ids, default severities and one-line
+// summaries for every cross-layer static-analysis rule.
+//
+// Rule id scheme (docs/ANALYSIS.md has the full catalog with examples):
+//   A1xx  PDL platform lint beyond the structural validator's V1-V12
+//   A3xx  program-platform matching (Cascabel pragmas vs the target PDL)
+//   A4xx  task-graph analysis (hazards, aliasing, cycles)
+// Ids are of the form "A301-dead-variant"; user-facing options accept the
+// full id or the bare number ("A301").
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pdl/diagnostics.hpp"
+
+namespace analysis {
+
+struct RuleInfo {
+  const char* id;  ///< Full stable id, e.g. "A301-dead-variant".
+  pdl::Severity default_severity = pdl::Severity::kWarning;
+  const char* summary;  ///< One line for --list-rules and the docs.
+};
+
+/// Every rule pdlcheck knows, in id order.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Catalog entry by full id or bare number ("A301-dead-variant" or "A301");
+/// nullptr when unknown.
+const RuleInfo* find_rule(std::string_view id_or_number);
+
+// Full rule ids, shared between the analyzer and its tests.
+inline constexpr const char* kUnreachableWorkerMemory = "A101-unreachable-worker-memory";
+inline constexpr const char* kUnreferencedMemoryRegion = "A102-unreferenced-memory-region";
+inline constexpr const char* kPropertySanity = "A103-property-sanity";
+inline constexpr const char* kDescriptorConsistency = "A104-descriptor-consistency";
+inline constexpr const char* kUndeclaredExtensionNamespace =
+    "A105-undeclared-extension-namespace";
+inline constexpr const char* kDeadVariant = "A301-dead-variant";
+inline constexpr const char* kNoExecutableVariant = "A302-no-executable-variant";
+inline constexpr const char* kArityMismatch = "A303-arity-mismatch";
+inline constexpr const char* kVariantSignatureConflict =
+    "A304-variant-signature-conflict";
+inline constexpr const char* kUnknownDistributionParam =
+    "A305-unknown-distribution-param";
+inline constexpr const char* kUnknownExecutionGroup = "A306-unknown-execution-group";
+inline constexpr const char* kUnorderedWriteWrite = "A401-unordered-write-write";
+inline constexpr const char* kUnorderedReadWrite = "A402-unordered-read-write";
+inline constexpr const char* kPartitionAliasing = "A403-partition-aliasing";
+inline constexpr const char* kDependencyCycle = "A404-dependency-cycle";
+inline constexpr const char* kUnknownDependency = "A405-unknown-dependency";
+inline constexpr const char* kNeverSubmittedTask = "A406-never-submitted-task";
+
+}  // namespace analysis

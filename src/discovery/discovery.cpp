@@ -181,6 +181,10 @@ Platform discover_host() {
 Platform make_gpgpu_platform(const HostCpuInfo& cpu, int cpu_workers,
                              const std::vector<std::string>& device_names) {
   Platform platform("gpgpu");
+  // The gpu workers carry ocl:/cuda: extension properties; declaring the
+  // prefixes keeps serialized output and the A105 analysis rule consistent.
+  platform.declare_namespace("ocl", "urn:pdl:ext:opencl");
+  platform.declare_namespace("cuda", "urn:pdl:ext:cuda");
   ProcessingUnit* master = platform.add_master(
       make_host_master(cpu, read_host_memory().total_bytes, cpu_workers));
 

@@ -99,6 +99,8 @@ Platform paper_platform_starpu_cpu() {
 
 Platform paper_platform_starpu_2gpu() {
   Platform platform("testbed-starpu-2gpu");
+  platform.declare_namespace("ocl", "urn:pdl:ext:opencl");
+  platform.declare_namespace("cuda", "urn:pdl:ext:cuda");
   ProcessingUnit* master = platform.add_master(testbed_master());
   add_cpu_workers(*master, 8);
   add_gpu(*master, "GeForce GTX 480", "gpu1");
@@ -108,6 +110,7 @@ Platform paper_platform_starpu_2gpu() {
 
 Platform cell_be_platform() {
   Platform platform("cell-be");
+  platform.declare_namespace("cell", "urn:pdl:ext:cell");
   auto master = std::make_unique<ProcessingUnit>(PuKind::kMaster, "ppe0");
   auto& d = master->descriptor();
   d.add(props::kArchitecture, props::kArchPpe);

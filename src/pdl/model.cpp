@@ -156,6 +156,7 @@ std::unique_ptr<ProcessingUnit> clone_pu(const ProcessingUnit& pu) {
   copy->memory_regions() = pu.memory_regions();
   copy->interconnects() = pu.interconnects();
   copy->logic_groups() = pu.logic_groups();
+  copy->set_loc(pu.loc());
   for (const auto& child : pu.children()) {
     copy->add_child(clone_pu(*child));
   }
@@ -165,6 +166,7 @@ std::unique_ptr<ProcessingUnit> clone_pu(const ProcessingUnit& pu) {
 Platform Platform::clone() const {
   Platform copy(name_);
   copy.schema_version_ = schema_version_;
+  copy.source_name_ = source_name_;
   copy.namespaces_ = namespaces_;
   for (const auto& m : masters_) {
     copy.add_master(clone_pu(*m));

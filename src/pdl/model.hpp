@@ -24,6 +24,8 @@
 #include <string_view>
 #include <vector>
 
+#include "pdl/diagnostics.hpp"
+
 namespace pdl {
 
 enum class PuKind { kMaster, kHybrid, kWorker };
@@ -40,6 +42,7 @@ struct Property {
   std::string unit;      ///< Optional unit on the value ("kB", "MHz", ...).
   bool fixed = true;     ///< Unfixed values are editable by downstream tools.
   std::string xsi_type;  ///< Extension subschema type, e.g. "ocl:oclDevicePropertyType".
+  SourceLoc loc;         ///< Where the <Property> element was parsed from.
 
   /// Integer view of the value; nullopt when non-numeric.
   std::optional<std::int64_t> as_int() const;
@@ -89,6 +92,7 @@ class Descriptor {
 struct MemoryRegion {
   std::string id;
   Descriptor descriptor;  ///< MRDescriptor: sizes, affinities, speeds, ...
+  SourceLoc loc;          ///< Where the <MemoryRegion> element was parsed from.
 };
 
 /// Connectivity between two PUs, referenced by PU id (paper Listing 1:
@@ -99,6 +103,7 @@ struct Interconnect {
   std::string to;      ///< PU id of the other endpoint.
   std::string scheme;  ///< Communication scheme (free-form).
   Descriptor descriptor;  ///< ICDescriptor: bandwidth, latency, ...
+  SourceLoc loc;          ///< Where the <Interconnect> element was parsed from.
 };
 
 /// A processing unit node of the hierarchy.
@@ -151,6 +156,10 @@ class ProcessingUnit {
   /// "masterId/…/thisId" path used in diagnostics.
   std::string path() const;
 
+  /// Where this PU's element was parsed from (invalid for in-memory trees).
+  const SourceLoc& loc() const { return loc_; }
+  void set_loc(SourceLoc loc) { loc_ = std::move(loc); }
+
  private:
   PuKind kind_;
   std::string id_;
@@ -159,6 +168,7 @@ class ProcessingUnit {
   std::vector<MemoryRegion> memory_regions_;
   std::vector<Interconnect> interconnects_;
   std::vector<std::string> logic_groups_;
+  SourceLoc loc_;
   ProcessingUnit* parent_ = nullptr;
   std::vector<std::unique_ptr<ProcessingUnit>> children_;
 };
@@ -182,6 +192,11 @@ class Platform {
   const std::string& schema_version() const { return schema_version_; }
   void set_schema_version(std::string v) { schema_version_ = std::move(v); }
 
+  /// The document this platform was parsed from ("" for in-memory models);
+  /// diagnostics use it as the file part of their locations.
+  const std::string& source_name() const { return source_name_; }
+  void set_source_name(std::string name) { source_name_ = std::move(name); }
+
   const std::vector<std::unique_ptr<ProcessingUnit>>& masters() const { return masters_; }
   ProcessingUnit* add_master(std::unique_ptr<ProcessingUnit> master);
   ProcessingUnit* add_master(std::string id, int quantity = 1);
@@ -198,6 +213,7 @@ class Platform {
  private:
   std::string name_;
   std::string schema_version_ = "1.0";
+  std::string source_name_;
   std::vector<std::unique_ptr<ProcessingUnit>> masters_;
   std::vector<std::pair<std::string, std::string>> namespaces_;
 };

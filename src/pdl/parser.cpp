@@ -10,12 +10,28 @@ namespace pdl {
 
 namespace {
 
-std::string where_of(const xml::Element& e) {
-  const auto pos = e.pos();
-  if (pos.line == 0) return e.name();
-  return "<" + e.name() + "> at " + std::to_string(pos.line) + ":" +
-         std::to_string(pos.column);
-}
+/// Shared parse state: the diagnostics sink plus the document name used as
+/// the file part of every SourceLoc threaded onto the model.
+struct ParseCtx {
+  Diagnostics& diags;
+  std::string source_name;
+
+  SourceLoc loc_of(const xml::Element& e) const {
+    const auto pos = e.pos();
+    return SourceLoc{source_name, pos.line, pos.column};
+  }
+
+  std::string where_of(const xml::Element& e) const { return "<" + e.name() + ">"; }
+
+  void error(const xml::Element& e, std::string message) {
+    add_finding(diags, Severity::kError, {}, std::move(message), loc_of(e),
+                where_of(e));
+  }
+  void warning(const xml::Element& e, std::string message) {
+    add_finding(diags, Severity::kWarning, {}, std::move(message), loc_of(e),
+                where_of(e));
+  }
+};
 
 /// Parse a <Property> element (base or extension-typed).
 ///
@@ -24,10 +40,11 @@ std::string where_of(const xml::Element& e) {
 ///                   <ocl:name>N</ocl:name><ocl:value unit="kB">V</ocl:value>
 ///                 </Property>
 /// Child names are matched by local name so any extension prefix works.
-Property parse_property(const xml::Element& e, Diagnostics& diags) {
+Property parse_property(const xml::Element& e, ParseCtx& ctx) {
   Property prop;
   prop.fixed = !util::iequals(e.attribute_or("fixed", "true"), "false");
   prop.xsi_type = e.attribute_or("xsi:type", "");
+  prop.loc = ctx.loc_of(e);
 
   const xml::Element* name_el = nullptr;
   const xml::Element* value_el = nullptr;
@@ -37,12 +54,11 @@ Property parse_property(const xml::Element& e, Diagnostics& diags) {
     } else if (child->local_name() == "value") {
       value_el = child;
     } else {
-      add_warning(diags, "unknown element <" + child->name() + "> inside <Property>",
-                  where_of(*child));
+      ctx.warning(*child, "unknown element <" + child->name() + "> inside <Property>");
     }
   }
   if (name_el == nullptr) {
-    add_error(diags, "<Property> without <name>", where_of(e));
+    ctx.error(e, "<Property> without <name>");
   } else {
     prop.name = name_el->text_content();
   }
@@ -55,131 +71,133 @@ Property parse_property(const xml::Element& e, Diagnostics& diags) {
 
 /// Parse a *Descriptor element (PUDescriptor / MRDescriptor / ICDescriptor):
 /// a sequence of <Property> children.
-Descriptor parse_descriptor(const xml::Element& e, Diagnostics& diags) {
+Descriptor parse_descriptor(const xml::Element& e, ParseCtx& ctx) {
   Descriptor d;
   for (const auto* child : e.child_elements()) {
     if (child->local_name() == "Property") {
-      d.add(parse_property(*child, diags));
+      d.add(parse_property(*child, ctx));
     } else {
-      add_warning(diags,
-                  "unknown element <" + child->name() + "> inside <" + e.name() + ">",
-                  where_of(*child));
+      ctx.warning(*child, "unknown element <" + child->name() + "> inside <" +
+                              e.name() + ">");
     }
   }
   return d;
 }
 
-MemoryRegion parse_memory_region(const xml::Element& e, Diagnostics& diags) {
+MemoryRegion parse_memory_region(const xml::Element& e, ParseCtx& ctx) {
   MemoryRegion mr;
   mr.id = e.attribute_or("id", "");
+  mr.loc = ctx.loc_of(e);
   if (mr.id.empty()) {
-    add_warning(diags, "<MemoryRegion> without id", where_of(e));
+    ctx.warning(e, "<MemoryRegion> without id");
   }
   for (const auto* child : e.child_elements()) {
     if (child->local_name() == "MRDescriptor") {
-      mr.descriptor = parse_descriptor(*child, diags);
+      mr.descriptor = parse_descriptor(*child, ctx);
     } else if (child->local_name() == "Property") {
       // Tolerate properties directly under MemoryRegion.
-      mr.descriptor.add(parse_property(*child, diags));
+      mr.descriptor.add(parse_property(*child, ctx));
     } else {
-      add_warning(diags,
-                  "unknown element <" + child->name() + "> inside <MemoryRegion>",
-                  where_of(*child));
+      ctx.warning(*child,
+                  "unknown element <" + child->name() + "> inside <MemoryRegion>");
     }
   }
   return mr;
 }
 
-Interconnect parse_interconnect(const xml::Element& e, Diagnostics& diags) {
+Interconnect parse_interconnect(const xml::Element& e, ParseCtx& ctx) {
   Interconnect ic;
   ic.type = e.attribute_or("type", "");
   ic.from = e.attribute_or("from", "");
   ic.to = e.attribute_or("to", "");
   ic.scheme = e.attribute_or("scheme", "");
+  ic.loc = ctx.loc_of(e);
   if (ic.from.empty() || ic.to.empty()) {
-    add_error(diags, "<Interconnect> requires 'from' and 'to' PU ids", where_of(e));
+    ctx.error(e, "<Interconnect> requires 'from' and 'to' PU ids");
   }
   for (const auto* child : e.child_elements()) {
     if (child->local_name() == "ICDescriptor") {
-      ic.descriptor = parse_descriptor(*child, diags);
+      ic.descriptor = parse_descriptor(*child, ctx);
     } else if (child->local_name() == "Property") {
-      ic.descriptor.add(parse_property(*child, diags));
+      ic.descriptor.add(parse_property(*child, ctx));
     } else {
-      add_warning(diags,
-                  "unknown element <" + child->name() + "> inside <Interconnect>",
-                  where_of(*child));
+      ctx.warning(*child,
+                  "unknown element <" + child->name() + "> inside <Interconnect>");
     }
   }
   return ic;
 }
 
-std::unique_ptr<ProcessingUnit> parse_pu(const xml::Element& e, Diagnostics& diags);
+std::unique_ptr<ProcessingUnit> parse_pu(const xml::Element& e, ParseCtx& ctx);
 
-void parse_pu_children(const xml::Element& e, ProcessingUnit& pu, Diagnostics& diags) {
+void parse_pu_children(const xml::Element& e, ProcessingUnit& pu, ParseCtx& ctx) {
   for (const auto* child : e.child_elements()) {
     const auto local = child->local_name();
     if (local == "PUDescriptor") {
-      pu.descriptor() = parse_descriptor(*child, diags);
+      pu.descriptor() = parse_descriptor(*child, ctx);
     } else if (local == "MemoryRegion") {
-      pu.memory_regions().push_back(parse_memory_region(*child, diags));
+      pu.memory_regions().push_back(parse_memory_region(*child, ctx));
     } else if (local == "Interconnect") {
-      pu.interconnects().push_back(parse_interconnect(*child, diags));
+      pu.interconnects().push_back(parse_interconnect(*child, ctx));
     } else if (local == "LogicGroupAttribute") {
       // Group names can appear as a `group` attribute or as text content;
       // both are normalized to the PU's group list.
       std::string group = child->attribute_or("group", "");
       if (group.empty()) group = child->text_content();
       if (group.empty()) {
-        add_warning(diags, "<LogicGroupAttribute> without group name", where_of(*child));
+        ctx.warning(*child, "<LogicGroupAttribute> without group name");
       } else {
         pu.logic_groups().push_back(group);
       }
     } else if (pu_kind_from_string(std::string(local))) {
-      auto sub = parse_pu(*child, diags);
+      auto sub = parse_pu(*child, ctx);
       if (sub) pu.add_child(std::move(sub));
     } else {
-      add_warning(diags,
-                  "unknown element <" + child->name() + "> inside <" + e.name() + ">",
-                  where_of(*child));
+      ctx.warning(*child, "unknown element <" + child->name() + "> inside <" +
+                              e.name() + ">");
     }
   }
 }
 
-std::unique_ptr<ProcessingUnit> parse_pu(const xml::Element& e, Diagnostics& diags) {
+std::unique_ptr<ProcessingUnit> parse_pu(const xml::Element& e, ParseCtx& ctx) {
   auto kind = pu_kind_from_string(std::string(e.local_name()));
   if (!kind) {
-    add_error(diags, "expected Master/Hybrid/Worker, got <" + e.name() + ">",
-              where_of(e));
+    ctx.error(e, "expected Master/Hybrid/Worker, got <" + e.name() + ">");
     return nullptr;
   }
   std::string id = e.attribute_or("id", "");
   if (id.empty()) {
-    add_error(diags, "<" + e.name() + "> without id", where_of(e));
+    ctx.error(e, "<" + e.name() + "> without id");
   }
   int quantity = 1;
   if (auto q = e.attribute("quantity")) {
     auto parsed = util::parse_int(*q);
     if (!parsed || *parsed < 1) {
-      add_error(diags, "invalid quantity '" + *q + "' on <" + e.name() + ">",
-                where_of(e));
+      ctx.error(e, "invalid quantity '" + *q + "' on <" + e.name() + ">");
     } else {
       quantity = static_cast<int>(*parsed);
     }
   }
   auto pu = std::make_unique<ProcessingUnit>(*kind, std::move(id), quantity);
-  parse_pu_children(e, *pu, diags);
+  pu->set_loc(ctx.loc_of(e));
+  parse_pu_children(e, *pu, ctx);
   return pu;
 }
 
 }  // namespace
 
-util::Result<Platform> parse_platform(std::string_view xml_text, Diagnostics& diags) {
-  auto doc = xml::parse(xml_text);
+util::Result<Platform> parse_platform(std::string_view xml_text, Diagnostics& diags,
+                                      std::string source_name) {
+  xml::ParseOptions xml_options;
+  xml_options.source_name = source_name;
+  auto doc = xml::parse(xml_text, xml_options);
   if (!doc) return doc.error();
   const xml::Element* root = doc.value().root();
   if (root == nullptr) return util::Error{"empty PDL document"};
 
+  ParseCtx ctx{diags, std::move(source_name)};
   Platform platform;
+  platform.set_source_name(ctx.source_name);
 
   // Collect namespace declarations from the root element.
   for (const auto& attr : root->attributes()) {
@@ -195,20 +213,18 @@ util::Result<Platform> parse_platform(std::string_view xml_text, Diagnostics& di
     platform.set_schema_version(root->attribute_or("version", "1.0"));
     for (const auto* child : root->child_elements()) {
       if (child->local_name() == "Master") {
-        auto pu = parse_pu(*child, diags);
+        auto pu = parse_pu(*child, ctx);
         if (pu) platform.add_master(std::move(pu));
       } else if (pu_kind_from_string(std::string(child->local_name()))) {
-        add_error(diags,
-                  "top-level PU must be a Master, got <" + child->name() + ">",
-                  where_of(*child));
+        ctx.error(*child, "top-level PU must be a Master, got <" + child->name() + ">");
       } else {
-        add_warning(diags, "unknown element <" + child->name() + "> inside <Platform>",
-                    where_of(*child));
+        ctx.warning(*child,
+                    "unknown element <" + child->name() + "> inside <Platform>");
       }
     }
   } else if (root->local_name() == "Master") {
     // Paper Listing 1: a bare Master as document root.
-    auto pu = parse_pu(*root, diags);
+    auto pu = parse_pu(*root, ctx);
     if (pu) platform.add_master(std::move(pu));
   } else {
     return util::Error{"PDL root must be <Platform> or <Master>, got <" +
@@ -221,10 +237,14 @@ util::Result<Platform> parse_platform(std::string_view xml_text, Diagnostics& di
   return platform;
 }
 
+util::Result<Platform> parse_platform(std::string_view xml_text, Diagnostics& diags) {
+  return parse_platform(xml_text, diags, "<memory>");
+}
+
 util::Result<Platform> parse_platform_file(const std::string& path, Diagnostics& diags) {
   auto contents = util::read_file(path);
   if (!contents) return util::Error{"cannot open file", path};
-  return parse_platform(*contents, diags);
+  return parse_platform(*contents, diags, path);
 }
 
 util::Result<Platform> parse_platform(std::string_view xml_text) {

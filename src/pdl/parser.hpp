@@ -18,10 +18,13 @@
 
 namespace pdl {
 
-/// Parse a platform from PDL XML text.
+/// Parse a platform from PDL XML text. `source_name` becomes the file part
+/// of every diagnostic location and of the model entities' SourceLocs.
+util::Result<Platform> parse_platform(std::string_view xml_text, Diagnostics& diags,
+                                      std::string source_name);
 util::Result<Platform> parse_platform(std::string_view xml_text, Diagnostics& diags);
 
-/// Parse a platform from a PDL file.
+/// Parse a platform from a PDL file (locations carry `path`).
 util::Result<Platform> parse_platform_file(const std::string& path, Diagnostics& diags);
 
 /// Convenience overloads that discard diagnostics.

@@ -17,36 +17,54 @@ struct Checker {
   std::set<std::string> pu_ids;
   std::set<std::string> mr_ids;
 
-  void check_descriptor(const Descriptor& d, const std::string& where) {
+  void report(Severity severity, const char* rule, std::string message,
+              SourceLoc loc, std::string where) {
+    add_finding(diags, severity, rule, std::move(message), std::move(loc),
+                std::move(where));
+  }
+
+  /// A descriptor's location falls back to its owner's when the property
+  /// itself was built in memory.
+  static SourceLoc prop_loc(const Property& p, const SourceLoc& owner) {
+    return p.loc.valid() ? p.loc : owner;
+  }
+
+  void check_descriptor(const Descriptor& d, const SourceLoc& loc,
+                        const std::string& where) {
     std::set<std::string> seen;
     for (const auto& p : d.properties()) {
       if (p.name.empty()) {
-        add_warning(diags, "property with empty name (V11)", where);
+        report(Severity::kWarning, "V11", "property with empty name",
+               prop_loc(p, loc), where);
         continue;
       }
       if (!seen.insert(p.name).second) {
-        add_warning(diags, "duplicate property '" + p.name + "' (V11)", where);
+        report(Severity::kWarning, "V11", "duplicate property '" + p.name + "'",
+               prop_loc(p, loc), where);
       }
       if (p.fixed && p.value.empty()) {
-        add_warning(diags, "fixed property '" + p.name + "' has no value (V12)", where);
+        report(Severity::kWarning, "V12",
+               "fixed property '" + p.name + "' has no value", prop_loc(p, loc),
+               where);
       }
     }
   }
 
   void check_pu(const ProcessingUnit& pu) {
     const std::string where = pu.path();
+    const SourceLoc& loc = pu.loc();
 
     // V6: unique ids.
     if (!pu.id().empty() && !pu_ids.insert(pu.id()).second) {
-      add_error(diags, "duplicate PU id '" + pu.id() + "' (V6)", where);
+      report(Severity::kError, "V6", "duplicate PU id '" + pu.id() + "'", loc, where);
     }
     if (pu.id().empty()) {
-      add_error(diags, "PU without id (V6)", where);
+      report(Severity::kError, "V6", "PU without id", loc, where);
     }
 
     // V7: quantity.
     if (pu.quantity() < 1) {
-      add_error(diags, "PU quantity must be >= 1 (V7)", where);
+      report(Severity::kError, "V7", "PU quantity must be >= 1", loc, where);
     }
 
     // V2/V3/V5: position rules per kind.
@@ -54,39 +72,43 @@ struct Checker {
     switch (pu.kind()) {
       case PuKind::kMaster:
         if (!top_level) {
-          add_error(diags, "Master '" + pu.id() + "' below the top level (V2)", where);
+          report(Severity::kError, "V2", "Master '" + pu.id() + "' below the top level",
+                 loc, where);
         }
         break;
       case PuKind::kWorker:
         if (top_level) {
-          add_error(diags, "Worker '" + pu.id() + "' is uncontrolled at top level (V4)",
-                    where);
+          report(Severity::kError, "V4",
+                 "Worker '" + pu.id() + "' is uncontrolled at top level", loc, where);
         }
         if (!pu.is_leaf()) {
-          add_error(diags, "Worker '" + pu.id() + "' controls other PUs (V3)", where);
+          report(Severity::kError, "V3", "Worker '" + pu.id() + "' controls other PUs",
+                 loc, where);
         }
         break;
       case PuKind::kHybrid:
         if (top_level) {
-          add_error(diags, "Hybrid '" + pu.id() + "' is uncontrolled at top level (V5)",
-                    where);
+          report(Severity::kError, "V5",
+                 "Hybrid '" + pu.id() + "' is uncontrolled at top level", loc, where);
         }
         if (pu.is_leaf()) {
-          add_warning(diags,
-                      "Hybrid '" + pu.id() + "' controls nothing; use Worker instead (V5)",
-                      where);
+          report(Severity::kWarning, "V5",
+                 "Hybrid '" + pu.id() + "' controls nothing; use Worker instead", loc,
+                 where);
         }
         break;
     }
 
-    check_descriptor(pu.descriptor(), where);
+    check_descriptor(pu.descriptor(), loc, where);
 
     // V10: memory region id uniqueness.
     for (const auto& mr : pu.memory_regions()) {
+      const SourceLoc mr_loc = mr.loc.valid() ? mr.loc : loc;
       if (!mr.id.empty() && !mr_ids.insert(mr.id).second) {
-        add_warning(diags, "duplicate MemoryRegion id '" + mr.id + "' (V10)", where);
+        report(Severity::kWarning, "V10", "duplicate MemoryRegion id '" + mr.id + "'",
+               mr_loc, where);
       }
-      check_descriptor(mr.descriptor, where + "/MR:" + mr.id);
+      check_descriptor(mr.descriptor, mr_loc, where + "/MR:" + mr.id);
     }
 
     for (const auto& child : pu.children()) {
@@ -98,11 +120,12 @@ struct Checker {
   void check_interconnects(const ProcessingUnit& pu) {
     const std::string where = pu.path();
     for (const auto& ic : pu.interconnects()) {
+      const SourceLoc ic_loc = ic.loc.valid() ? ic.loc : pu.loc();
       for (const std::string* endpoint : {&ic.from, &ic.to}) {
         if (endpoint->empty() || pu_ids.count(*endpoint) == 0) {
-          add_error(diags,
-                    "interconnect endpoint '" + *endpoint + "' is not a known PU id (V8)",
-                    where);
+          report(Severity::kError, "V8",
+                 "interconnect endpoint '" + *endpoint + "' is not a known PU id",
+                 ic_loc, where);
         }
       }
       // V9: the declaring PU should be involved, directly or via a descendant.
@@ -118,12 +141,12 @@ struct Checker {
         return walk(pu);
       };
       if (!ic.from.empty() && !ic.to.empty() && !in_scope(ic.from) && !in_scope(ic.to)) {
-        add_warning(diags,
-                    "interconnect " + ic.from + "->" + ic.to +
-                        " does not involve the declaring PU's scope (V9)",
-                    where);
+        report(Severity::kWarning, "V9",
+               "interconnect " + ic.from + "->" + ic.to +
+                   " does not involve the declaring PU's scope",
+               ic_loc, where);
       }
-      check_descriptor(ic.descriptor, where + "/IC:" + ic.from + "->" + ic.to);
+      check_descriptor(ic.descriptor, ic_loc, where + "/IC:" + ic.from + "->" + ic.to);
     }
     for (const auto& child : pu.children()) {
       check_interconnects(*child);
@@ -144,7 +167,9 @@ bool validate(const Platform& platform, Diagnostics& diags) {
 
   // V1.
   if (platform.masters().empty()) {
-    add_error(diags, "platform has no Master processing unit (V1)");
+    add_finding(diags, Severity::kError, "V1",
+                "platform has no Master processing unit",
+                SourceLoc{platform.source_name(), 1, 1});
   }
   for (const auto& master : platform.masters()) {
     checker.check_pu(*master);

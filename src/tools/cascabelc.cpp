@@ -6,7 +6,12 @@
 //             [--output <generated.cpp>] [--makefile <Makefile>]
 //             [--exe <name>] [--no-sync] [--print-selection] [--verbose]
 //             [--trace-out <trace.json>] [--metrics-out <metrics.json>]
-//             [--fault-plan <spec>]
+//             [--fault-plan <spec>] [--analyze]
+//
+// --analyze runs the cross-layer static analyzer (src/analysis) instead of
+// writing outputs: platform lint, variant/execute-site matching and task-
+// graph hazard analysis, printed as a normalized report. Exit 1 on
+// error-severity findings — the same gate `pdlcheck --program` applies.
 //
 // Reads an annotated serial task-based C/C++ program and a target PDL
 // descriptor, runs task registration, static pre-selection, output
@@ -30,6 +35,8 @@
 #include <memory>
 #include <string>
 
+#include "analysis/analyzer.hpp"
+#include "analysis/report.hpp"
 #include "cascabel/rt.hpp"
 #include "cascabel/translator.hpp"
 #include "obs/env.hpp"
@@ -52,7 +59,8 @@ void usage(const char* argv0) {
                "          [--exe <name>] [--no-sync] [--print-selection]"
                " [--verbose]\n"
                "          [--trace-out <trace.json>]"
-               " [--metrics-out <metrics.json>] [--fault-plan <spec>]\n",
+               " [--metrics-out <metrics.json>] [--fault-plan <spec>]\n"
+               "          [--analyze]\n",
                argv0);
 }
 
@@ -161,6 +169,7 @@ int main(int argc, char** argv) {
   bool sync_each_call = true;
   bool print_selection = false;
   bool verbose = false;
+  bool analyze_only = false;
   // PDL_TRACE / PDL_METRICS provide defaults; flags override below.
   obs::init_from_env();
   std::string trace_path = obs::env_trace_path();
@@ -207,6 +216,8 @@ int main(int argc, char** argv) {
       sync_each_call = false;
     } else if (flag == "--print-selection") {
       print_selection = true;
+    } else if (flag == "--analyze") {
+      analyze_only = true;
     } else if (flag == "--verbose") {
       verbose = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -290,6 +301,20 @@ int main(int argc, char** argv) {
     return 1;
   }
   print_diags(result.value().diagnostics);
+
+  if (analyze_only) {
+    pdl::Diagnostics findings;
+    const analysis::AnalysisOptions analysis_options;
+    analysis::analyze_platform(platform.value(), analysis_options, findings);
+    analysis::analyze_program(result.value().program, result.value().repository,
+                              platform.value(), analysis_options, findings);
+    const starvm::TaskGraph graph = analysis::graph_from_program(
+        result.value().program, result.value().repository);
+    analysis::analyze_task_graph(graph, analysis_options, findings);
+    pdl::normalize(findings);
+    std::printf("%s", analysis::render_text(findings).c_str());
+    return analysis::exit_code(findings, /*werror=*/false);
+  }
 
   if (print_selection) {
     // The §IV-C step-2 report: which variants survived for this target.

@@ -1,0 +1,180 @@
+// pdlcheck — the cross-layer static analyzer for the PDL toolchain.
+//
+//   pdlcheck [options] <platform.xml>...
+//
+//   --program <file>   also analyze an annotated Cascabel program against
+//                      every given platform (variant matching, execute-site
+//                      checks, static task-graph hazard analysis)
+//   --format=text|json output format (default text)
+//   --rule <id>=<sev>  per-rule severity override: error|warning|info|off
+//                      (id is "A301-dead-variant" or bare "A301"; repeatable)
+//   --werror           exit nonzero on warnings too
+//   --relaxed          analyze task hazards under relaxed consistency
+//                      (only declared dependencies order tasks)
+//   --list-rules       print the rule catalog and exit
+//
+// Exit codes: 0 clean, 1 findings at error severity (or warnings with
+// --werror), 2 usage error. Structural validation (V1-V12), subschema
+// checks and every analysis rule (A1xx/A3xx/A4xx) land in one normalized,
+// deterministic report.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/report.hpp"
+#include "analysis/rules.hpp"
+#include "annot/annotated_program.hpp"
+#include "cascabel/repository.hpp"
+#include "obs/env.hpp"
+#include "pdl/extension.hpp"
+#include "pdl/parser.hpp"
+#include "pdl/validate.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <platform.xml>...\n"
+               "  --program <file>    analyze an annotated program against the "
+               "platform(s)\n"
+               "  --format=text|json  output format (default: text)\n"
+               "  --rule <id>=<sev>   override a rule: error|warning|info|off\n"
+               "  --werror            treat warnings as errors for the exit code\n"
+               "  --relaxed           hazard analysis under relaxed consistency\n"
+               "  --list-rules        print the rule catalog and exit\n",
+               argv0);
+}
+
+int list_rules() {
+  for (const analysis::RuleInfo& rule : analysis::rule_catalog()) {
+    std::printf("%-36s %-8s %s\n", rule.id, pdl::to_string(rule.default_severity),
+                rule.summary);
+  }
+  return 0;
+}
+
+/// "--rule A301=off" / "A103-property-sanity=error" -> options entry.
+bool apply_rule_option(const std::string& spec, analysis::AnalysisOptions& options) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string id = spec.substr(0, eq);
+  const std::string value = spec.substr(eq + 1);
+  const analysis::RuleInfo* rule = analysis::find_rule(id);
+  if (rule == nullptr) {
+    std::fprintf(stderr, "pdlcheck: unknown rule '%s'\n", id.c_str());
+    return false;
+  }
+  if (value == "off") {
+    options.disabled.insert(rule->id);
+    return true;
+  }
+  pdl::Severity severity;
+  if (value == "error") {
+    severity = pdl::Severity::kError;
+  } else if (value == "warning") {
+    severity = pdl::Severity::kWarning;
+  } else if (value == "info") {
+    severity = pdl::Severity::kInfo;
+  } else {
+    std::fprintf(stderr, "pdlcheck: invalid severity '%s' (use error|warning|info|off)\n",
+                 value.c_str());
+    return false;
+  }
+  options.severity_overrides[rule->id] = severity;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::init_from_env();
+  analysis::AnalysisOptions options;
+  std::string format = "text";
+  std::string program_path;
+  bool werror = false;
+  std::vector<std::string> platform_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--relaxed") {
+      options.relaxed = true;
+    } else if (arg == "--program" && i + 1 < argc) {
+      program_path = argv[++i];
+    } else if (arg.rfind("--program=", 0) == 0) {
+      program_path = arg.substr(std::strlen("--program="));
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(std::strlen("--format="));
+      if (format != "text" && format != "json") {
+        std::fprintf(stderr, "pdlcheck: unknown format '%s'\n", format.c_str());
+        return 2;
+      }
+    } else if (arg == "--rule" && i + 1 < argc) {
+      if (!apply_rule_option(argv[++i], options)) return 2;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      if (!apply_rule_option(arg.substr(std::strlen("--rule=")), options)) return 2;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "pdlcheck: unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      platform_paths.push_back(arg);
+    }
+  }
+  if (platform_paths.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  pdl::Diagnostics diags;
+  std::vector<pdl::Platform> platforms;
+  for (const std::string& path : platform_paths) {
+    auto platform = pdl::parse_platform_file(path, diags);
+    if (!platform) {
+      pdl::add_finding(diags, pdl::Severity::kError, {}, platform.error().str(),
+                       pdl::SourceLoc{path, 1, 1});
+      continue;
+    }
+    // The full platform gate: structure (V1-V12), extension subschemas,
+    // then the analyzer's A1xx rules.
+    pdl::validate(platform.value(), diags);
+    pdl::builtin_registry().validate_properties(platform.value(), diags);
+    analysis::analyze_platform(platform.value(), options, diags);
+    platforms.push_back(std::move(platform).value());
+  }
+
+  if (!program_path.empty()) {
+    const auto source = pdl::util::read_file(program_path);
+    if (!source) {
+      pdl::add_finding(diags, pdl::Severity::kError, {},
+                       "cannot open program '" + program_path + "'",
+                       pdl::SourceLoc{program_path, 1, 1});
+    } else {
+      auto program = cascabel::parse_annotated_source(*source, program_path, diags);
+      if (program.ok()) {
+        cascabel::TaskRepository repository = cascabel::TaskRepository::with_defaults();
+        repository.register_program(program.value());
+        for (const pdl::Platform& platform : platforms) {
+          analysis::analyze_program(program.value(), repository, platform, options,
+                                    diags);
+        }
+        const starvm::TaskGraph graph =
+            analysis::graph_from_program(program.value(), repository);
+        analysis::analyze_task_graph(graph, options, diags);
+      }
+    }
+  }
+
+  pdl::normalize(diags);
+  if (format == "json") {
+    std::printf("%s\n", analysis::render_json(diags).c_str());
+  } else {
+    std::printf("%s", analysis::render_text(diags).c_str());
+  }
+  return analysis::exit_code(diags, werror);
+}

@@ -1,6 +1,7 @@
 // pdltool — command-line utility over the PDL library.
 //
 //   pdltool validate <platform.xml>          structural + subschema checks
+//   pdltool lint <platform.xml>              validate + A1xx analysis rules
 //   pdltool query <platform.xml> <what>      what: summary | groups |
 //                                            workers | interconnects
 //   pdltool match <platform.xml> <pattern>   compact-syntax pattern match
@@ -14,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
+#include "analysis/report.hpp"
 #include "discovery/discovery.hpp"
 #include "obs/env.hpp"
 #include "obs/metrics.hpp"
@@ -33,6 +36,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage:\n"
                "  %s validate <platform.xml>\n"
+               "  %s lint <platform.xml>\n"
                "  %s query <platform.xml> summary|groups|workers|interconnects\n"
                "  %s match <platform.xml> <compact-pattern>\n"
                "  %s discover [--gpus]\n"
@@ -42,7 +46,7 @@ void usage(const char* argv0) {
                "  %s path <platform.xml> <fromPu> <toPu> [bytes]\n"
                "options: --metrics-out <file>   write an obs metrics snapshot"
                " (also: PDL_METRICS)\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 int load(const char* path, pdl::Platform& out) {
@@ -68,6 +72,24 @@ int cmd_validate(const char* path) {
   std::printf("%s: structure %s, subschemas %s (%zu diagnostic(s))\n", path,
               structure ? "OK" : "INVALID", schema ? "OK" : "INVALID", diags.size());
   return structure && schema ? 0 : 1;
+}
+
+/// The analyzer gate as a subcommand: structure + subschemas + A1xx rules
+/// with pdlcheck's normalized text report (the full cross-layer analysis,
+/// including program checks, lives in the pdlcheck binary).
+int cmd_lint(const char* path) {
+  pdl::Diagnostics diags;
+  auto platform = pdl::parse_platform_file(path, diags);
+  if (!platform) {
+    std::fprintf(stderr, "pdltool: %s\n", platform.error().str().c_str());
+    return 1;
+  }
+  pdl::validate(platform.value(), diags);
+  pdl::builtin_registry().validate_properties(platform.value(), diags);
+  analysis::analyze_platform(platform.value(), analysis::AnalysisOptions{}, diags);
+  pdl::normalize(diags);
+  std::printf("%s", analysis::render_text(diags).c_str());
+  return analysis::exit_code(diags, /*werror=*/false);
 }
 
 int cmd_query(const char* path, const std::string& what) {
@@ -183,6 +205,7 @@ int main(int raw_argc, char** raw_argv) {
   }
   const std::string cmd = argv[1];
   if (cmd == "validate" && argc == 3) return cmd_validate(argv[2]);
+  if (cmd == "lint" && argc == 3) return cmd_lint(argv[2]);
   if (cmd == "query" && argc == 4) return cmd_query(argv[2], argv[3]);
   if (cmd == "match" && argc == 4) return cmd_match(argv[2], argv[3]);
   if (cmd == "discover") {

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "pdl/diagnostics.hpp"
+
+namespace pdl {
+namespace {
+
+TEST(SourceLoc, DefaultIsInvalidAndPrintsNothing) {
+  SourceLoc loc;
+  EXPECT_FALSE(loc.valid());
+  EXPECT_EQ(loc.str(), "");
+}
+
+TEST(SourceLoc, StrFormatsFileLineColumn) {
+  EXPECT_EQ((SourceLoc{"p.xml", 12, 5}).str(), "p.xml:12:5");
+  // Unknown column is omitted; unknown file falls back to <input>.
+  EXPECT_EQ((SourceLoc{"p.xml", 12, 0}).str(), "p.xml:12");
+  EXPECT_EQ((SourceLoc{"", 3, 1}).str(), "<input>:3:1");
+}
+
+TEST(Diagnostic, StrIncludesLocationRuleAndWhere) {
+  Diagnostic d{Severity::kWarning, "quantity must be >= 1", "m0/w0", "V7",
+               SourceLoc{"p.xml", 9, 3}};
+  EXPECT_EQ(d.str(), "p.xml:9:3: warning: quantity must be >= 1 [V7] [m0/w0]");
+
+  Diagnostic bare{Severity::kError, "boom", "", "", {}};
+  EXPECT_EQ(bare.str(), "error: boom");
+}
+
+TEST(Diagnostics, AddFindingPopulatesAllFields) {
+  Diagnostics diags;
+  Diagnostic& d = add_finding(diags, Severity::kError, "A301-dead-variant",
+                              "never selected", SourceLoc{"prog.cpp", 4, 0}, "Ivecadd");
+  EXPECT_EQ(&d, &diags.back());
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.rule, "A301-dead-variant");
+  EXPECT_EQ(d.message, "never selected");
+  EXPECT_EQ(d.loc.file, "prog.cpp");
+  EXPECT_EQ(d.loc.line, 4);
+  EXPECT_EQ(d.where, "Ivecadd");
+}
+
+TEST(Diagnostics, LessOrdersByLocationThenSeverity) {
+  const Diagnostic early{Severity::kInfo, "m", "", "R", SourceLoc{"a.xml", 1, 1}};
+  const Diagnostic late{Severity::kError, "m", "", "R", SourceLoc{"a.xml", 2, 1}};
+  const Diagnostic other_file{Severity::kError, "m", "", "R", SourceLoc{"b.xml", 1, 1}};
+  EXPECT_TRUE(diagnostic_less(early, late));
+  EXPECT_FALSE(diagnostic_less(late, early));
+  EXPECT_TRUE(diagnostic_less(late, other_file));
+
+  // Same location: errors sort before warnings, then by rule id.
+  const Diagnostic warn{Severity::kWarning, "m", "", "A1", SourceLoc{"a.xml", 1, 1}};
+  const Diagnostic err{Severity::kError, "m", "", "A2", SourceLoc{"a.xml", 1, 1}};
+  EXPECT_TRUE(diagnostic_less(err, warn));
+  EXPECT_FALSE(diagnostic_less(warn, err));
+  const Diagnostic err_b{Severity::kError, "m", "", "A9", SourceLoc{"a.xml", 1, 1}};
+  EXPECT_TRUE(diagnostic_less(err, err_b));
+}
+
+TEST(Diagnostics, NormalizeSortsAndDropsExactDuplicates) {
+  Diagnostics diags;
+  add_finding(diags, Severity::kWarning, "V5", "childless hybrid",
+              SourceLoc{"p.xml", 8, 0}, "m0/h0");
+  add_finding(diags, Severity::kError, "V6", "duplicate id", SourceLoc{"p.xml", 3, 0},
+              "m0");
+  // Exact duplicate of the first finding (e.g. two checks on one node).
+  add_finding(diags, Severity::kWarning, "V5", "childless hybrid",
+              SourceLoc{"p.xml", 8, 0}, "m0/h0");
+  // Same text at a different location is NOT a duplicate.
+  add_finding(diags, Severity::kWarning, "V5", "childless hybrid",
+              SourceLoc{"p.xml", 11, 0}, "m0/h1");
+
+  normalize(diags);
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].rule, "V6");  // line 3 first
+  EXPECT_EQ(diags[1].loc.line, 8);
+  EXPECT_EQ(diags[2].loc.line, 11);
+}
+
+TEST(Diagnostics, NormalizeKeepsSeverityVariants) {
+  // Identical text but different severity (per-rule override scenarios)
+  // must survive dedupe.
+  Diagnostics diags;
+  add_finding(diags, Severity::kWarning, "A103-property-sanity", "bad value",
+              SourceLoc{"p.xml", 2, 0});
+  add_finding(diags, Severity::kError, "A103-property-sanity", "bad value",
+              SourceLoc{"p.xml", 2, 0});
+  normalize(diags);
+  EXPECT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);  // errors first
+}
+
+TEST(Diagnostics, CountersAndHasErrors) {
+  Diagnostics diags;
+  EXPECT_FALSE(has_errors(diags));
+  add_warning(diags, "w");
+  add_info(diags, "i");
+  EXPECT_FALSE(has_errors(diags));
+  add_error(diags, "e");
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_EQ(count_severity(diags, Severity::kError), 1u);
+  EXPECT_EQ(count_severity(diags, Severity::kWarning), 1u);
+  EXPECT_EQ(count_severity(diags, Severity::kInfo), 1u);
+}
+
+}  // namespace
+}  // namespace pdl

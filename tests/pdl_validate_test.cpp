@@ -1,10 +1,19 @@
 #include <gtest/gtest.h>
 
 #include "pdl/model.hpp"
+#include "pdl/parser.hpp"
 #include "pdl/validate.hpp"
 
 namespace pdl {
 namespace {
+
+/// First diagnostic carrying `rule`, or nullptr.
+const Diagnostic* find_rule_diag(const Diagnostics& diags, const std::string& rule) {
+  for (const auto& d : diags) {
+    if (d.rule == rule) return &d;
+  }
+  return nullptr;
+}
 
 Platform valid_platform() {
   Platform p("valid");
@@ -159,6 +168,126 @@ TEST(Validate, WorkerAtTopLevelIsRejectedViaPlatformShape) {
   p.add_master(std::move(hybrid));
   Diagnostics diags;
   EXPECT_FALSE(validate(p, diags));
+}
+
+TEST(Validate, DiagnosticsCarryStableRuleIds) {
+  // Every structural rule tags its findings with the V-number, so tools
+  // and tests can match on ids instead of message text.
+  Platform p;
+  Diagnostics diags;
+  validate(p, diags);
+  ASSERT_NE(find_rule_diag(diags, "V1"), nullptr);
+
+  Platform dup;
+  ProcessingUnit* m = dup.add_master("m0");
+  m->add_child(PuKind::kWorker, "w");
+  m->add_child(PuKind::kWorker, "w");
+  m->add_child(PuKind::kWorker, "q", 0);
+  Diagnostics dup_diags;
+  validate(dup, dup_diags);
+  EXPECT_NE(find_rule_diag(dup_diags, "V6"), nullptr);
+  EXPECT_NE(find_rule_diag(dup_diags, "V7"), nullptr);
+}
+
+TEST(Validate, ParsedPlatformDiagnosticsPointAtRealLines) {
+  // Parse XML so the model carries SourceLocs; the duplicate Worker id is
+  // declared on line 5 of the document.
+  constexpr const char* kXml = R"(<?xml version="1.0"?>
+<Platform name="locs" version="1.0">
+  <Master id="m0" quantity="1">
+    <Worker id="w" quantity="1"></Worker>
+    <Worker id="w" quantity="1"></Worker>
+  </Master>
+</Platform>)";
+  Diagnostics parse_diags;
+  auto platform = parse_platform(kXml, parse_diags, "locs.pdl.xml");
+  ASSERT_TRUE(platform.ok());
+
+  Diagnostics diags;
+  EXPECT_FALSE(validate(platform.value(), diags));
+
+  const Diagnostic* dup = find_rule_diag(diags, "V6");
+  ASSERT_NE(dup, nullptr);
+  EXPECT_EQ(dup->loc.file, "locs.pdl.xml");
+  EXPECT_EQ(dup->loc.line, 5);
+  EXPECT_GT(dup->loc.column, 0);
+}
+
+TEST(Validate, V9_V12_WarningsCarryRuleIdsAndLocations) {
+  constexpr const char* kXml = R"(<?xml version="1.0"?>
+<Platform name="warnings" version="1.0">
+  <Master id="m0" quantity="1">
+    <PUDescriptor>
+      <Property fixed="true">
+        <name>EMPTY_FIXED</name>
+        <value></value>
+      </Property>
+      <Property fixed="true">
+        <name>ARCHITECTURE</name>
+        <value>x86</value>
+      </Property>
+      <Property fixed="true">
+        <name>ARCHITECTURE</name>
+        <value>x86</value>
+      </Property>
+    </PUDescriptor>
+    <MemoryRegion id="mr"></MemoryRegion>
+    <MemoryRegion id="mr"></MemoryRegion>
+    <Worker id="w0" quantity="1"></Worker>
+    <Worker id="w1" quantity="1"></Worker>
+    <Interconnect type="QPI" from="w1" to="w1"></Interconnect>
+  </Master>
+  <Master id="m1" quantity="1">
+    <Interconnect type="QPI" from="w0" to="w1"></Interconnect>
+  </Master>
+</Platform>)";
+  Diagnostics parse_diags;
+  auto platform = parse_platform(kXml, parse_diags, "warn.pdl.xml");
+  ASSERT_TRUE(platform.ok());
+
+  Diagnostics diags;
+  EXPECT_TRUE(validate(platform.value(), diags));  // warnings only
+
+  // V9: m1's interconnect touches only m0's subtree.
+  const Diagnostic* scope = find_rule_diag(diags, "V9");
+  ASSERT_NE(scope, nullptr);
+  EXPECT_EQ(scope->severity, Severity::kWarning);
+  EXPECT_EQ(scope->loc.file, "warn.pdl.xml");
+  EXPECT_GT(scope->loc.line, 0);
+
+  // V10: duplicate MemoryRegion id within one PU.
+  const Diagnostic* mr = find_rule_diag(diags, "V10");
+  ASSERT_NE(mr, nullptr);
+  EXPECT_EQ(mr->severity, Severity::kWarning);
+  EXPECT_GT(mr->loc.line, 0);
+
+  // V11: duplicate property name in one descriptor.
+  const Diagnostic* dup_prop = find_rule_diag(diags, "V11");
+  ASSERT_NE(dup_prop, nullptr);
+  EXPECT_EQ(dup_prop->severity, Severity::kWarning);
+
+  // V12: fixed property with empty value.
+  const Diagnostic* empty_fixed = find_rule_diag(diags, "V12");
+  ASSERT_NE(empty_fixed, nullptr);
+  EXPECT_EQ(empty_fixed->severity, Severity::kWarning);
+  EXPECT_GT(empty_fixed->loc.line, 0);
+}
+
+TEST(Validate, NormalizeMakesParsedDiagnosticsDeterministic) {
+  Platform dup;
+  ProcessingUnit* m = dup.add_master("m0");
+  m->add_child(PuKind::kWorker, "w");
+  m->add_child(PuKind::kWorker, "w");
+  Diagnostics a, b;
+  validate(dup, a);
+  validate(dup, b);
+  validate(dup, b);  // duplicate run: normalize() must collapse repeats
+  normalize(a);
+  normalize(b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].str(), b[i].str());
+  }
 }
 
 TEST(Validate, IsValidConvenience) {

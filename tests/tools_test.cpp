@@ -12,6 +12,7 @@ namespace {
 
 const std::string kCascabelc = std::string(PDL_BINARY_DIR) + "/src/tools/cascabelc";
 const std::string kPdltool = std::string(PDL_BINARY_DIR) + "/src/tools/pdltool";
+const std::string kPdlcheck = std::string(PDL_BINARY_DIR) + "/src/tools/pdlcheck";
 
 std::string temp_path(const std::string& name) {
   return testing::TempDir() + "/" + name;
@@ -243,6 +244,169 @@ TEST_F(ToolsTest, EnvVarsDriveObservabilityWithoutFlags) {
   const auto parsed = testjson::parse(*text);
   ASSERT_TRUE(parsed.ok) << parsed.error;
   EXPECT_TRUE(testjson::contains_string(parsed, "toolchain wall time"));
+}
+
+TEST_F(ToolsTest, PdltoolLintPassesCleanPlatform) {
+  std::string output;
+  EXPECT_EQ(run(kPdltool + " lint " + pdl_path_, &output), 0) << output;
+  EXPECT_NE(output.find("0 error(s)"), std::string::npos);
+}
+
+TEST_F(ToolsTest, CascabelcAnalyzeReportsInsteadOfTranslating) {
+  std::string output;
+  EXPECT_EQ(run(kCascabelc + " --pdl " + pdl_path_ + " --input " + input_path_ +
+                    " --analyze",
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("error(s)"), std::string::npos);
+}
+
+TEST_F(ToolsTest, PdlcheckLintsCleanPlatform) {
+  std::string output;
+  EXPECT_EQ(run(kPdlcheck + " " + pdl_path_, &output), 0) << output;
+  EXPECT_NE(output.find("0 error(s), 0 warning(s)"), std::string::npos);
+}
+
+TEST_F(ToolsTest, PdlcheckFlagsStructuralErrorsWithRuleIds) {
+  const std::string bad = temp_path("bad_platform.pdl.xml");
+  ASSERT_TRUE(pdl::util::write_file(bad, R"(<?xml version="1.0"?>
+<Platform name="bad" version="1.0">
+  <Master id="m0" quantity="1">
+    <Worker id="w" quantity="1"></Worker>
+    <Worker id="w" quantity="1"></Worker>
+  </Master>
+</Platform>)"));
+  std::string output;
+  EXPECT_EQ(run(kPdlcheck + " " + bad, &output), 1);
+  EXPECT_NE(output.find("[V6]"), std::string::npos) << output;
+  EXPECT_NE(output.find("bad_platform.pdl.xml:"), std::string::npos) << output;
+}
+
+/// A platform whose only finding is the warning-severity A101 (worker
+/// memory without a declared interconnect path).
+std::string write_warning_platform() {
+  const std::string path = temp_path("warn_platform.pdl.xml");
+  EXPECT_TRUE(pdl::util::write_file(path, R"(<?xml version="1.0"?>
+<Platform name="warn" version="1.0">
+  <Master id="m0" quantity="1">
+    <Worker id="w0" quantity="1">
+      <MemoryRegion id="mr_w0"></MemoryRegion>
+    </Worker>
+  </Master>
+</Platform>)"));
+  return path;
+}
+
+TEST_F(ToolsTest, PdlcheckWerrorPromotesWarnings) {
+  const std::string path = write_warning_platform();
+  std::string output;
+  EXPECT_EQ(run(kPdlcheck + " " + path, &output), 0) << output;
+  EXPECT_NE(output.find("[A101-unreachable-worker-memory]"), std::string::npos);
+  EXPECT_EQ(run(kPdlcheck + " --werror " + path, &output), 1);
+}
+
+TEST_F(ToolsTest, PdlcheckRuleFlagOverridesSeverityAndDisables) {
+  const std::string path = write_warning_platform();
+  std::string output;
+  // Promote the single warning to an error: exit 1.
+  EXPECT_EQ(run(kPdlcheck + " --rule A101=error " + path, &output), 1);
+  EXPECT_NE(output.find("error:"), std::string::npos);
+  // Turn the rule off entirely: clean output.
+  EXPECT_EQ(run(kPdlcheck + " --rule A101=off " + path, &output), 0);
+  EXPECT_NE(output.find("0 error(s), 0 warning(s)"), std::string::npos);
+  // Unknown rules are rejected with usage exit code 2.
+  EXPECT_EQ(run(kPdlcheck + " --rule A999=off " + path, &output), 2);
+}
+
+TEST_F(ToolsTest, PdlcheckJsonValidatesAndCarriesFindings) {
+  const std::string path = write_warning_platform();
+  std::string output;
+  EXPECT_EQ(run(kPdlcheck + " --format=json " + path, &output), 0) << output;
+  const auto parsed = testjson::parse(output);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << output;
+  EXPECT_TRUE(testjson::contains_string(parsed, "findings"));
+  EXPECT_TRUE(testjson::contains_string(parsed, "summary"));
+  EXPECT_TRUE(testjson::contains_string(parsed, "A101-unreachable-worker-memory"));
+}
+
+TEST_F(ToolsTest, PdlcheckListRulesShowsCatalog) {
+  std::string output;
+  EXPECT_EQ(run(kPdlcheck + " --list-rules", &output), 0);
+  for (const char* id :
+       {"A101-unreachable-worker-memory", "A301-dead-variant",
+        "A403-partition-aliasing", "A404-dependency-cycle"}) {
+    EXPECT_NE(output.find(id), std::string::npos) << id;
+  }
+}
+
+TEST_F(ToolsTest, PdlcheckAnalyzesProgramAgainstPlatform) {
+  std::string output;
+  EXPECT_EQ(run(kPdlcheck + " --program " + input_path_ + " " + pdl_path_, &output),
+            0)
+      << output;
+}
+
+TEST_F(ToolsTest, PdlcheckDetectsSeededRaceUnderRelaxedModel) {
+  // Two unordered execute sites writing the same buffer: clean under the
+  // engine's sequential-consistency model, a write-write race when only
+  // declared dependencies order tasks.
+  const std::string racy = temp_path("racy.cpp");
+  ASSERT_TRUE(pdl::util::write_file(racy, R"(
+#pragma cascabel task : x86 : Ifill : fill01 : ( A: write )
+void fill(double *A, int n) { for (int i = 0; i < n; ++i) A[i] = 7.0; }
+int main() {
+  const int N = 64;
+  double A[64] = {0};
+#pragma cascabel execute Ifill : cpu (A:BLOCK:N)
+  fill(A, N);
+#pragma cascabel execute Ifill : cpu (A:BLOCK:N)
+  fill(A, N);
+  return 0;
+}
+)"));
+  std::string output;
+  EXPECT_EQ(run(kPdlcheck + " --program " + racy + " " + pdl_path_, &output), 0)
+      << output;
+  EXPECT_EQ(run(kPdlcheck + " --relaxed --program " + racy + " " + pdl_path_,
+                &output),
+            1)
+      << output;
+  EXPECT_NE(output.find("[A401-unordered-write-write]"), std::string::npos) << output;
+}
+
+TEST_F(ToolsTest, PdlcheckGoldenLintShippedPlatformsAndExamples) {
+  // Every platform description the repo ships must lint without errors —
+  // the same gate CI runs.
+  const std::string platforms = std::string(PDL_SOURCE_DIR) + "/platforms";
+  std::string output;
+  EXPECT_EQ(run(kPdlcheck + " " + platforms + "/cell-be.pdl.xml " + platforms +
+                    "/hierarchical.pdl.xml " + platforms +
+                    "/testbed-single.pdl.xml " + platforms +
+                    "/testbed-starpu.pdl.xml " + platforms +
+                    "/testbed-starpu-2gpu.pdl.xml",
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("0 error(s)"), std::string::npos);
+
+  // The example programs must analyze cleanly against the paper testbed.
+  const std::string testbed = platforms + "/testbed-starpu-2gpu.pdl.xml";
+  for (const char* example :
+       {"vecadd_offload.cpp", "dgemm_pipeline.cpp", "cell_offload.cpp",
+        "cholesky_dag.cpp"}) {
+    const std::string program =
+        std::string(PDL_SOURCE_DIR) + "/examples/" + example;
+    EXPECT_EQ(run(kPdlcheck + " --program " + program + " " + testbed, &output), 0)
+        << example << ":\n" << output;
+  }
+}
+
+TEST_F(ToolsTest, PdlcheckRejectsUnknownFlagsAndMissingFiles) {
+  std::string output;
+  EXPECT_EQ(run(kPdlcheck.c_str(), &output), 2);
+  EXPECT_EQ(run(kPdlcheck + " --nonsense " + pdl_path_, &output), 2);
+  EXPECT_EQ(run(kPdlcheck + " /does/not/exist.xml", &output), 1);
 }
 
 TEST_F(ToolsTest, CascabelcFailsCleanlyOnBadInputs) {
