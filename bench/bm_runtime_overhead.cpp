@@ -86,6 +86,100 @@ BENCHMARK(BM_GranularityEfficiency)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Same workload as BM_SubmitDrainEmptyTasks but through submit_batch:
+/// dependency inference, node allocation and worker wakeup are paid once
+/// per batch. The delta against the per-submit variant is the batching win.
+void BM_SubmitBatchEmptyTasks(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  starvm::Codelet noop;
+  noop.name = "noop";
+  noop.impls.push_back({starvm::DeviceKind::kCpu, [](const starvm::ExecContext&) {}});
+  for (auto _ : state) {
+    starvm::Engine engine(starvm::EngineConfig::cpus(4));
+    std::vector<std::vector<double>> buffers(static_cast<std::size_t>(tasks),
+                                             std::vector<double>(1));
+    std::vector<starvm::TaskDesc> batch;
+    batch.reserve(buffers.size());
+    for (auto& buf : buffers) {
+      starvm::DataHandle* h = engine.register_vector(buf.data(), 1);
+      batch.push_back(starvm::TaskDesc{&noop, {{h, starvm::Access::kReadWrite}}});
+    }
+    engine.submit_batch(std::move(batch));
+    (void)engine.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_SubmitBatchEmptyTasks)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Contended submission: `producers` application threads submit
+/// concurrently (disjoint handle sets) while the 4 workers drain. Scaling
+/// from 1 to N producers exercises the lock split — wiring serializes on
+/// the submit mutex but placement and the per-device ready queues do not.
+void BM_MultiProducerSubmitDrain(benchmark::State& state) {
+  const int producers = static_cast<int>(state.range(0));
+  constexpr int kTotalTasks = 8000;
+  const int per_producer = kTotalTasks / producers;
+  starvm::Codelet noop;
+  noop.name = "noop";
+  noop.impls.push_back({starvm::DeviceKind::kCpu, [](const starvm::ExecContext&) {}});
+  for (auto _ : state) {
+    starvm::Engine engine(starvm::EngineConfig::cpus(4));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(producers));
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&engine, &noop, per_producer] {
+        std::vector<std::vector<double>> buffers(
+            static_cast<std::size_t>(per_producer), std::vector<double>(1));
+        for (auto& buf : buffers) {
+          starvm::DataHandle* h = engine.register_vector(buf.data(), 1);
+          engine.submit(
+              starvm::TaskDesc{&noop, {{h, starvm::Access::kReadWrite}}});
+        }
+        (void)engine.wait_all();  // buffers must outlive the drain
+      });
+    }
+    for (auto& t : threads) t.join();
+    (void)engine.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * producers * per_producer);
+}
+BENCHMARK(BM_MultiProducerSubmitDrain)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Work-stealing under imbalance: round-robin placement lands every 4th
+/// task (a 20 us spinner) on the same device queue; idle peers must steal
+/// the backlog for the drain to finish anywhere near the ideal.
+void BM_WorkStealingImbalanced(benchmark::State& state) {
+  constexpr int kTasks = 256;
+  starvm::Codelet mixed;
+  mixed.name = "mixed";
+  mixed.impls.push_back(
+      {starvm::DeviceKind::kCpu, [](const starvm::ExecContext& ctx) {
+         if (ctx.handle(0).cols() > 1) {  // heavy marker: 2-wide buffer
+           const auto end =
+               std::chrono::steady_clock::now() + std::chrono::microseconds(20);
+           while (std::chrono::steady_clock::now() < end) {
+           }
+         }
+       }});
+  for (auto _ : state) {
+    starvm::EngineConfig config = starvm::EngineConfig::cpus(4);
+    config.scheduler = starvm::SchedulerKind::kWorkStealing;
+    starvm::Engine engine(std::move(config));
+    std::vector<std::vector<double>> buffers(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+      auto& buf = buffers[static_cast<std::size_t>(i)];
+      buf.resize(i % 4 == 0 ? 2 : 1);
+      starvm::DataHandle* h = engine.register_vector(buf.data(), buf.size());
+      engine.submit(starvm::TaskDesc{&mixed, {{h, starvm::Access::kReadWrite}}});
+    }
+    (void)engine.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_WorkStealingImbalanced)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

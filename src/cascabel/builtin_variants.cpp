@@ -27,6 +27,14 @@ void dgemm_exec(const starvm::ExecContext& ctx) {
                          ctx.buffer(0));
 }
 
+/// Register-blocked/SIMD variant of the same interface (see dgemm_tiled).
+void dgemm_tiled_exec(const starvm::ExecContext& ctx) {
+  const auto& c = ctx.handle(0);
+  const auto& a = ctx.handle(1);
+  kernels::dgemm_tiled(c.rows(), c.cols(), a.cols(), ctx.buffer(1), ctx.buffer(2),
+                       ctx.buffer(0));
+}
+
 double dgemm_flops(const std::vector<starvm::BufferView>& buffers) {
   const auto& c = *buffers[0].handle;
   const auto& a = *buffers[1].handle;
@@ -51,6 +59,14 @@ void register_builtin_variants(TaskRepository& repo) {
 
   repo.add_variant(make_variant("Idgemm", "dgemm_seq", {"x86"}, dgemm_params));
   repo.bind(BoundImpl{"dgemm_seq", starvm::DeviceKind::kCpu, dgemm_exec, dgemm_flops});
+
+  // Tuned single-core variant: register-blocked 4x4 micro-kernel (SIMD
+  // when the build enables PDL_ENABLE_NATIVE_ARCH). Same fallback platform
+  // as dgemm_seq — the selector keeps both and the runtime's performance
+  // model learns which one wins on the host.
+  repo.add_variant(make_variant("Idgemm", "dgemm_tiled", {"x86"}, dgemm_params));
+  repo.bind(BoundImpl{"dgemm_tiled", starvm::DeviceKind::kCpu, dgemm_tiled_exec,
+                      dgemm_flops});
 
   repo.add_variant(make_variant("Idgemm", "dgemm_smp", {"smp"}, dgemm_params));
   repo.bind(BoundImpl{"dgemm_smp", starvm::DeviceKind::kCpu, dgemm_exec, dgemm_flops});

@@ -215,6 +215,11 @@ pdl::util::Status Context::execute(std::string_view interface_name,
     order = std::move(permuted);
   }
 
+  // One batched submission for the whole block sweep: dependencies are
+  // inferred once, task nodes are pre-reserved and the workers are woken
+  // once per involved device instead of once per block.
+  std::vector<starvm::TaskDesc> batch;
+  batch.reserve(order.size());
   for (const int b : order) {
     starvm::TaskDesc desc;
     desc.codelet = codelet;
@@ -226,8 +231,9 @@ pdl::util::Status Context::execute(std::string_view interface_name,
               : regs[i]->handle;
       desc.buffers.push_back(starvm::BufferView{handle, to_starvm(args[i].mode)});
     }
-    engine_->submit(std::move(desc));
+    batch.push_back(std::move(desc));
   }
+  engine_->submit_batch(std::move(batch));
   return {};
 }
 

@@ -65,6 +65,65 @@ void dgemm_blocked_rows(std::size_t row_begin, std::size_t row_end, std::size_t 
   }
 }
 
+/// 4x4 register-blocked micro-kernel: C[i..i+4) x [j..j+4) += A*B over
+/// [p0..p1). The 16 partial sums stay in registers for the whole k extent,
+/// so each C element is loaded and stored once per tile instead of once
+/// per p. The j-contiguous pairs are what the compiler vectorizes.
+void dgemm_micro_4x4(std::size_t i, std::size_t j, std::size_t p0,
+                     std::size_t p1, std::size_t n, std::size_t k,
+                     const double* a, const double* b, double* c) {
+  double c00 = 0.0, c01 = 0.0, c02 = 0.0, c03 = 0.0;
+  double c10 = 0.0, c11 = 0.0, c12 = 0.0, c13 = 0.0;
+  double c20 = 0.0, c21 = 0.0, c22 = 0.0, c23 = 0.0;
+  double c30 = 0.0, c31 = 0.0, c32 = 0.0, c33 = 0.0;
+  const double* a0 = a + i * k;
+  const double* a1 = a0 + k;
+  const double* a2 = a1 + k;
+  const double* a3 = a2 + k;
+  for (std::size_t p = p0; p < p1; ++p) {
+    const double* b_row = b + p * n + j;
+    const double b0 = b_row[0], b1 = b_row[1], b2 = b_row[2], b3 = b_row[3];
+    const double va0 = a0[p], va1 = a1[p], va2 = a2[p], va3 = a3[p];
+    c00 += va0 * b0; c01 += va0 * b1; c02 += va0 * b2; c03 += va0 * b3;
+    c10 += va1 * b0; c11 += va1 * b1; c12 += va1 * b2; c13 += va1 * b3;
+    c20 += va2 * b0; c21 += va2 * b1; c22 += va2 * b2; c23 += va2 * b3;
+    c30 += va3 * b0; c31 += va3 * b1; c32 += va3 * b2; c33 += va3 * b3;
+  }
+  double* c0 = c + i * n + j;
+  double* c1 = c0 + n;
+  double* c2 = c1 + n;
+  double* c3 = c2 + n;
+  c0[0] += c00; c0[1] += c01; c0[2] += c02; c0[3] += c03;
+  c1[0] += c10; c1[1] += c11; c1[2] += c12; c1[3] += c13;
+  c2[0] += c20; c2[1] += c21; c2[2] += c22; c2[3] += c23;
+  c3[0] += c30; c3[1] += c31; c3[2] += c32; c3[3] += c33;
+}
+
+void dgemm_tiled_rows(std::size_t row_begin, std::size_t row_end, std::size_t n,
+                      std::size_t k, const double* a, const double* b, double* c,
+                      std::size_t block) {
+  for (std::size_t i0 = row_begin; i0 < row_end; i0 += block) {
+    const std::size_t i1 = std::min(row_end, i0 + block);
+    for (std::size_t p0 = 0; p0 < k; p0 += block) {
+      const std::size_t p1 = std::min(k, p0 + block);
+      for (std::size_t j0 = 0; j0 < n; j0 += block) {
+        const std::size_t j1 = std::min(n, j0 + block);
+        // Interior in 4x4 micro-tiles; fringes (tile edges not divisible
+        // by 4) fall back to the scalar kernel.
+        const std::size_t i4 = i0 + (i1 - i0) / 4 * 4;
+        const std::size_t j4 = j0 + (j1 - j0) / 4 * 4;
+        for (std::size_t i = i0; i < i4; i += 4) {
+          for (std::size_t j = j0; j < j4; j += 4) {
+            dgemm_micro_4x4(i, j, p0, p1, n, k, a, b, c);
+          }
+        }
+        if (j4 < j1) dgemm_tile(i0, i4, j4, j1, p0, p1, n, k, a, b, c);
+        if (i4 < i1) dgemm_tile(i4, i1, j0, j1, p0, p1, n, k, a, b, c);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void dgemm_blocked(std::size_t m, std::size_t n, std::size_t k, const double* a,
@@ -73,19 +132,32 @@ void dgemm_blocked(std::size_t m, std::size_t n, std::size_t k, const double* a,
   dgemm_blocked_rows(0, m, n, k, a, b, c, block);
 }
 
+void dgemm_tiled(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                 const double* b, double* c, std::size_t block) {
+  if (block == 0) block = kDefaultBlock;
+  dgemm_tiled_rows(0, m, n, k, a, b, c, block);
+}
+
 void dgemm_parallel(std::size_t m, std::size_t n, std::size_t k, const double* a,
                     const double* b, double* c, std::size_t threads) {
-  pdl::util::ThreadPool pool(threads);
   // Row bands are disjoint in C, so no synchronization beyond the joins.
-  const std::size_t bands = pool.size();
-  const std::size_t rows_per_band = (m + bands - 1) / bands;
-  pool.parallel_for(0, bands, [&](std::size_t band) {
-    const std::size_t row_begin = band * rows_per_band;
-    const std::size_t row_end = std::min(m, row_begin + rows_per_band);
-    if (row_begin < row_end) {
-      dgemm_blocked_rows(row_begin, row_end, n, k, a, b, c, kDefaultBlock);
-    }
-  });
+  const auto run_bands = [&](pdl::util::ThreadPool& pool) {
+    const std::size_t bands = pool.size();
+    const std::size_t rows_per_band = (m + bands - 1) / bands;
+    pool.parallel_for(0, bands, [&](std::size_t band) {
+      const std::size_t row_begin = band * rows_per_band;
+      const std::size_t row_end = std::min(m, row_begin + rows_per_band);
+      if (row_begin < row_end) {
+        dgemm_blocked_rows(row_begin, row_end, n, k, a, b, c, kDefaultBlock);
+      }
+    });
+  };
+  if (threads == 0) {
+    run_bands(pdl::util::global_pool());
+  } else {
+    pdl::util::ThreadPool pool(threads);
+    run_bands(pool);
+  }
 }
 
 }  // namespace kernels

@@ -91,10 +91,15 @@ pdl::util::Result<CholeskyStats> tiled_cholesky(starvm::Engine& engine, double* 
   };
 
   CholeskyStats stats;
+  // Build the whole DAG as one batch: dependency inference, node
+  // allocation and worker wakeup are then paid once per factorization
+  // instead of once per tile task (submission order is preserved, so the
+  // inferred edges are identical to per-task submission).
+  std::vector<TaskDesc> batch;
   const auto submit = [&](const Codelet& codelet, std::vector<BufferView> buffers,
                           std::string label) {
     double flops = codelet.flops ? codelet.flops(buffers) : 0.0;
-    engine.submit(TaskDesc{&codelet, std::move(buffers), std::move(label)});
+    batch.push_back(TaskDesc{&codelet, std::move(buffers), std::move(label)});
     ++stats.tasks_submitted;
     stats.total_flops += flops;
   };
@@ -122,6 +127,7 @@ pdl::util::Result<CholeskyStats> tiled_cholesky(starvm::Engine& engine, double* 
     }
   }
 
+  engine.submit_batch(std::move(batch));
   const pdl::util::Status drain = engine.wait_all();
   engine.unpartition(matrix);
   if (!drain.ok()) {

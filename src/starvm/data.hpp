@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -46,7 +47,7 @@ class DataHandle {
 
   /// True when node `n` holds a valid replica (bookkeeping; see header).
   bool valid_on(MemoryNodeId n) const {
-    return n >= 0 && static_cast<std::size_t>(n) < valid_.size() && valid_[n];
+    return n >= 0 && n < 64 && (valid_ & node_bit(n)) != 0;
   }
 
  private:
@@ -59,8 +60,15 @@ class DataHandle {
   DataHandle* parent_ = nullptr;
   std::vector<DataHandle*> children_;
 
-  // --- engine-private state (guarded by the engine mutex) ---
-  std::vector<bool> valid_;  ///< replica valid per memory node
+  // --- engine-private state ---
+  static std::uint64_t node_bit(MemoryNodeId n) { return std::uint64_t{1} << n; }
+
+  /// Replica valid-set, one bit per memory node (ids are dense and small:
+  /// host + one per accelerator; <= 64 nodes enforced at engine
+  /// construction). A plain word instead of vector<bool> keeps handle
+  /// registration allocation-free. Guarded by the engine's memory mutex.
+  std::uint64_t valid_ = 0;
+  /// Dependency-inference tails, guarded by the engine's submit mutex.
   detail::TaskNode* last_writer_ = nullptr;
   std::vector<detail::TaskNode*> readers_since_write_;
 };

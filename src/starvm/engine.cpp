@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/event_sink.hpp"
@@ -140,12 +142,18 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   // Memory nodes: host = 0; every accelerator gets its own node.
   MemoryNodeId next_node = kHostNode + 1;
   for (std::size_t i = 0; i < config_.devices.size(); ++i) {
-    detail::DeviceState state;
+    // DeviceState embeds mutexes and atomics (immovable): build in place.
+    detail::DeviceState& state = devices_.emplace_back();
     state.spec = config_.devices[i];
     state.id = static_cast<DeviceId>(i);
     state.node =
         state.spec.kind == DeviceKind::kAccelerator ? next_node++ : kHostNode;
-    devices_.push_back(std::move(state));
+  }
+  if (static_cast<std::size_t>(next_node) > 64) {
+    // DataHandle tracks replica validity in a 64-bit mask, one bit per
+    // memory node (host + one per accelerator).
+    throw std::invalid_argument(
+        "starvm::Engine supports at most 63 accelerator memory nodes");
   }
   nodes_.resize(static_cast<std::size_t>(next_node));
   for (const auto& device : devices_) {
@@ -154,20 +162,31 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
           device.spec.memory_bytes;
     }
   }
+  single_node_ = next_node == kHostNode + 1;
+  device_gflops_.reserve(devices_.size());
+  for (const auto& device : devices_) {
+    device_gflops_.push_back(device.spec.sustained_gflops);
+  }
 
-  scheduler_ = detail::make_scheduler(
-      config_.scheduler, &devices_,
-      [this](const detail::TaskNode& task, const detail::DeviceState& device) {
-        return estimated_cost(task, device);
-      });
+  detail::CostRowFn cost = [this](const detail::TaskNode& task, double* out) {
+    estimated_cost_row(task, out);
+  };
+  // Simulation modes are a deterministic discrete-event loop driven by
+  // wait_all() on the caller's thread: real worker threads would race in
+  // *wall* time and distort which device pops next in *virtual* time. The
+  // real-threads path instead uses the lock-split HybridDispatch.
+  if (hybrid()) {
+    dispatch_ = std::make_unique<detail::HybridDispatch>(config_.scheduler,
+                                                         &devices_, cost);
+  } else {
+    scheduler_ = detail::make_scheduler(config_.scheduler, &devices_,
+                                        std::move(cost));
+  }
   decision_counter_ = &obs::counter("starvm.decisions." +
                                     std::string(to_string(config_.scheduler)));
   fault_plan_ = config_.fault_plan ? config_.fault_plan : FaultPlan::from_env();
 
-  // Simulation modes are a deterministic discrete-event loop driven by
-  // wait_all() on the caller's thread: real worker threads would race in
-  // *wall* time and distort which device pops next in *virtual* time.
-  if (config_.mode == ExecutionMode::kHybrid) {
+  if (hybrid()) {
     workers_.reserve(devices_.size());
     for (std::size_t i = 0; i < devices_.size(); ++i) {
       workers_.emplace_back([this, i] { worker_loop(static_cast<DeviceId>(i)); });
@@ -177,11 +196,8 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
 
 Engine::~Engine() {
   (void)wait_all();  // task errors were the caller's to collect
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  work_cv_.notify_all();
+  stopping_.store(true);
+  if (dispatch_) dispatch_->notify_all();
   for (auto& w : workers_) w.join();
 }
 
@@ -190,19 +206,26 @@ Engine::~Engine() {
 DataHandle* Engine::register_matrix(double* ptr, std::size_t rows, std::size_t cols,
                                     std::size_t ld, std::string name) {
   if (ld == 0) ld = cols;
-  auto handle = std::make_unique<DataHandle>();
-  handle->ptr_ = ptr;
-  handle->rows_ = rows;
-  handle->cols_ = cols;
-  handle->ld_ = ld;
-  handle->bytes_ = rows * cols * sizeof(double);
-  handle->name_ = name.empty() ? "m" + std::to_string(handles_.size()) : std::move(name);
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  DataHandle& handle = handles_.emplace_back();
+  handle.ptr_ = ptr;
+  handle.rows_ = rows;
+  handle.cols_ = cols;
+  handle.ld_ = ld;
+  handle.bytes_ = rows * cols * sizeof(double);
   // Fresh registrations are valid on the host only.
-  handle->valid_.assign(devices_.size() + 1, false);
-  handle->valid_[kHostNode] = true;
-  std::lock_guard<std::mutex> lock(mutex_);
-  handles_.push_back(std::move(handle));
-  return handles_.back().get();
+  handle.valid_ = DataHandle::node_bit(kHostNode);
+  if (name.empty()) {
+    // "m<index>" fits SSO; std::to_chars keeps the hot registration path
+    // free of std::to_string's temporary.
+    char buf[2 + std::numeric_limits<std::size_t>::digits10 + 1] = {'m'};
+    const auto end = std::to_chars(buf + 1, buf + sizeof(buf),
+                                   handles_.size() - 1);
+    handle.name_.assign(buf, end.ptr);
+  } else {
+    handle.name_ = std::move(name);
+  }
+  return &handle;
 }
 
 DataHandle* Engine::register_vector(double* ptr, std::size_t n, std::string name) {
@@ -216,7 +239,8 @@ std::vector<DataHandle*> Engine::partition_rows(DataHandle* handle, int nblocks)
   const std::size_t rows = handle->rows();
   const std::size_t per_block = (rows + static_cast<std::size_t>(nblocks) - 1) /
                                 static_cast<std::size_t>(nblocks);
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  std::lock_guard<std::mutex> mem(memory_mutex_);
   for (int b = 0; b < nblocks; ++b) {
     // Always produce exactly nblocks handles: when nblocks > rows the tail
     // blocks are empty (rows() == 0, bytes() == 0) so callers indexing
@@ -225,21 +249,19 @@ std::vector<DataHandle*> Engine::partition_rows(DataHandle* handle, int nblocks)
     const std::size_t row_begin =
         std::min(static_cast<std::size_t>(b) * per_block, rows);
     const std::size_t row_count = std::min(per_block, rows - row_begin);
-    auto block = std::make_unique<DataHandle>();
-    block->ptr_ = static_cast<double*>(handle->ptr_) + row_begin * handle->ld_;
-    block->rows_ = row_count;
-    block->cols_ = handle->cols_;
-    block->ld_ = handle->ld_;
-    block->bytes_ = row_count * handle->cols_ * sizeof(double);
-    block->name_ = handle->name_ + "[" + std::to_string(b) + "]";
-    block->parent_ = handle;
+    DataHandle& block = handles_.emplace_back();
+    block.ptr_ = static_cast<double*>(handle->ptr_) + row_begin * handle->ld_;
+    block.rows_ = row_count;
+    block.cols_ = handle->cols_;
+    block.ld_ = handle->ld_;
+    block.bytes_ = row_count * handle->cols_ * sizeof(double);
+    block.name_ = handle->name_ + "[" + std::to_string(b) + "]";
+    block.parent_ = handle;
     // Blocks inherit only the host replica: device-side accounting is per
     // handle, and partitioning is a host-side operation by contract.
-    block->valid_.assign(handle->valid_.size(), false);
-    block->valid_[kHostNode] = handle->valid_[kHostNode];
-    handle->children_.push_back(block.get());
-    blocks.push_back(block.get());
-    handles_.push_back(std::move(block));
+    block.valid_ = handle->valid_ & DataHandle::node_bit(kHostNode);
+    handle->children_.push_back(&block);
+    blocks.push_back(&block);
   }
   return blocks;
 }
@@ -251,29 +273,28 @@ std::vector<DataHandle*> Engine::partition_vector(DataHandle* handle, int nblock
   const std::size_t n = handle->cols();
   const std::size_t per_block = (n + static_cast<std::size_t>(nblocks) - 1) /
                                 static_cast<std::size_t>(nblocks);
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  std::lock_guard<std::mutex> mem(memory_mutex_);
   for (int b = 0; b < nblocks; ++b) {
     // Exactly nblocks handles; tail blocks are empty when nblocks > n.
     const std::size_t begin =
         std::min(static_cast<std::size_t>(b) * per_block, n);
     const std::size_t count = std::min(per_block, n - begin);
-    auto block = std::make_unique<DataHandle>();
-    block->ptr_ = static_cast<double*>(handle->ptr_) + begin;
+    DataHandle& block = handles_.emplace_back();
+    block.ptr_ = static_cast<double*>(handle->ptr_) + begin;
     // A surplus block is fully empty (0 x 0), not a degenerate 1 x 0 row:
     // callers test rows() == 0 to detect padding.
-    block->rows_ = count > 0 ? 1 : 0;
-    block->cols_ = count;
-    block->ld_ = count;
-    block->bytes_ = count * sizeof(double);
-    block->name_ = handle->name_ + "[" + std::to_string(b) + "]";
-    block->parent_ = handle;
+    block.rows_ = count > 0 ? 1 : 0;
+    block.cols_ = count;
+    block.ld_ = count;
+    block.bytes_ = count * sizeof(double);
+    block.name_ = handle->name_ + "[" + std::to_string(b) + "]";
+    block.parent_ = handle;
     // Blocks inherit only the host replica: device-side accounting is per
     // handle, and partitioning is a host-side operation by contract.
-    block->valid_.assign(handle->valid_.size(), false);
-    block->valid_[kHostNode] = handle->valid_[kHostNode];
-    handle->children_.push_back(block.get());
-    blocks.push_back(block.get());
-    handles_.push_back(std::move(block));
+    block.valid_ = handle->valid_ & DataHandle::node_bit(kHostNode);
+    handle->children_.push_back(&block);
+    blocks.push_back(&block);
   }
   return blocks;
 }
@@ -289,7 +310,8 @@ std::vector<DataHandle*> Engine::partition_tiles(DataHandle* handle, int row_blo
                                 static_cast<std::size_t>(row_blocks);
   const std::size_t tile_cols = (cols + static_cast<std::size_t>(col_blocks) - 1) /
                                 static_cast<std::size_t>(col_blocks);
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  std::lock_guard<std::mutex> mem(memory_mutex_);
   for (int r = 0; r < row_blocks; ++r) {
     // Exactly row_blocks x col_blocks handles, row-major, so tile (r, c) is
     // always at index r * col_blocks + c; edge tiles are empty when the
@@ -301,41 +323,39 @@ std::vector<DataHandle*> Engine::partition_tiles(DataHandle* handle, int row_blo
       const std::size_t col_begin =
           std::min(static_cast<std::size_t>(c) * tile_cols, cols);
       const std::size_t col_count = std::min(tile_cols, cols - col_begin);
-      auto tile = std::make_unique<DataHandle>();
-      tile->ptr_ = static_cast<double*>(handle->ptr_) + row_begin * handle->ld_ +
-                   col_begin;
-      tile->rows_ = row_count;
-      tile->cols_ = col_count;
-      tile->ld_ = handle->ld_;  // tiles are strided views into the parent
-      tile->bytes_ = row_count * col_count * sizeof(double);
-      tile->name_ = handle->name_ + "(" + std::to_string(r) + "," +
-                    std::to_string(c) + ")";
-      tile->parent_ = handle;
-      tile->valid_.assign(handle->valid_.size(), false);
-      tile->valid_[kHostNode] = handle->valid_[kHostNode];
-      handle->children_.push_back(tile.get());
-      tiles.push_back(tile.get());
-      handles_.push_back(std::move(tile));
+      DataHandle& tile = handles_.emplace_back();
+      tile.ptr_ = static_cast<double*>(handle->ptr_) + row_begin * handle->ld_ +
+                  col_begin;
+      tile.rows_ = row_count;
+      tile.cols_ = col_count;
+      tile.ld_ = handle->ld_;  // tiles are strided views into the parent
+      tile.bytes_ = row_count * col_count * sizeof(double);
+      tile.name_ = handle->name_ + "(" + std::to_string(r) + "," +
+                   std::to_string(c) + ")";
+      tile.parent_ = handle;
+      tile.valid_ = handle->valid_ & DataHandle::node_bit(kHostNode);
+      handle->children_.push_back(&tile);
+      tiles.push_back(&tile);
     }
   }
   return tiles;
 }
 
 void Engine::unpartition(DataHandle* handle) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  std::lock_guard<std::mutex> mem(memory_mutex_);
   // Gather: the parent becomes host-resident (writes by simulated
   // accelerators updated host memory directly); every device replica —
   // of the parent and of the retired blocks — is dropped.
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
     if (static_cast<MemoryNodeId>(n) != kHostNode) {
-      drop_replica(handle, static_cast<MemoryNodeId>(n));
+      drop_replica_locked(handle, static_cast<MemoryNodeId>(n));
       for (DataHandle* block : handle->children_) {
-        drop_replica(block, static_cast<MemoryNodeId>(n));
+        drop_replica_locked(block, static_cast<MemoryNodeId>(n));
       }
     }
   }
-  handle->valid_.assign(handle->valid_.size(), false);
-  handle->valid_[kHostNode] = true;
+  handle->valid_ = DataHandle::node_bit(kHostNode);
   for (DataHandle* block : handle->children_) {
     block->parent_ = nullptr;  // detach; block handles must not be reused
   }
@@ -343,17 +363,15 @@ void Engine::unpartition(DataHandle* handle) {
 }
 
 void Engine::host_write(DataHandle* handle) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  std::lock_guard<std::mutex> mem(memory_mutex_);
   const auto mark = [this](DataHandle* h) {
-    if (h->valid_.size() < devices_.size() + 1) {
-      h->valid_.resize(devices_.size() + 1, false);
-    }
-    for (std::size_t n = 0; n < h->valid_.size(); ++n) {
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
       if (static_cast<MemoryNodeId>(n) != kHostNode) {
-        drop_replica(h, static_cast<MemoryNodeId>(n));
+        drop_replica_locked(h, static_cast<MemoryNodeId>(n));
       }
     }
-    h->valid_[kHostNode] = true;
+    h->valid_ |= DataHandle::node_bit(kHostNode);
   };
   mark(handle);
   for (DataHandle* block : handle->children_) mark(block);
@@ -361,7 +379,7 @@ void Engine::host_write(DataHandle* handle) {
 
 // --- Submission --------------------------------------------------------------
 
-TaskId Engine::submit(TaskDesc desc) {
+void Engine::validate_desc(const TaskDesc& desc) const {
   if (desc.codelet == nullptr || desc.codelet->impls.empty()) {
     throw std::invalid_argument("task without codelet implementation");
   }
@@ -382,112 +400,251 @@ TaskId Engine::submit(TaskDesc desc) {
                                   view.handle->name() + "'; target its blocks");
     }
   }
+}
 
-  auto node = std::make_unique<detail::TaskNode>();
-  detail::TaskNode* task = node.get();
-  task->codelet = desc.codelet;
-  task->buffers = std::move(desc.buffers);
-  task->label = desc.label.empty() ? desc.codelet->name : std::move(desc.label);
-  task->priority = desc.priority;
-  if (desc.codelet->flops) task->flops = desc.codelet->flops(task->buffers);
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  task->id = next_task_id_++;
-  if (first_submit_wall_ < 0.0) first_submit_wall_ = now_seconds();
+detail::TaskNode& Engine::wire_task_locked(TaskDesc&& desc, double flops) {
+  detail::TaskNode& task = tasks_.emplace_back();
+  task.id = next_task_id_++;
+  task.codelet = desc.codelet;
+  task.buffers = std::move(desc.buffers);
+  task.label = desc.label.empty() ? desc.codelet->name : std::move(desc.label);
+  task.priority = desc.priority;
+  task.flops = flops;
+  auto [row_it, inserted] = model_rows_.try_emplace(task.codelet, nullptr);
+  if (inserted) row_it->second = &perf_model_.row(task.codelet->name);
+  task.model_row = row_it->second;
+  if (first_submit_wall_.load(std::memory_order_relaxed) < 0.0) {
+    first_submit_wall_.store(now_seconds(), std::memory_order_relaxed);
+  }
+  // Count the task before any edge exists: a predecessor that fails while
+  // we are still wiring may cascade-cancel this task (decrementing
+  // pending_), so the increment must already be visible.
+  pending_.fetch_add(1);
 
   // Sequential consistency per handle: R depends on the last writer; W/RW
   // depend on the last writer and on every reader since that write.
   bool poisoned = false;  // a dependency already failed or was cancelled
   const auto add_dep = [&](detail::TaskNode* dep) {
-    if (dep == nullptr || dep == task) return;
-    if (dep->state == detail::TaskState::kDone) {
-      task->ready_vtime = std::max(task->ready_vtime, dep->finish_vtime);
-      return;
-    }
-    if (dep->state == detail::TaskState::kFailed) {
+    if (dep == nullptr || dep == &task) return;
+    std::lock_guard<std::mutex> edge(dep->edge_mutex);
+    const detail::TaskState s = dep->state.load();
+    if (s == detail::TaskState::kFailed) {
       poisoned = true;  // still wired as last writer below: poison spreads
       return;
     }
-    dep->successors.push_back(task);
-    ++task->deps_remaining;
+    if (dep->released) {
+      // The dependency already finished; inherit its finish time (the
+      // edge_mutex hand-off makes finish_vtime safe to read here).
+      detail::vtime_raise(task.ready_vtime, dep->finish_vtime);
+      return;
+    }
+    dep->successors.push_back(&task);
+    task.deps_remaining.fetch_add(1, std::memory_order_relaxed);
   };
 
-  for (const auto& view : task->buffers) {
+  for (const auto& view : task.buffers) {
     DataHandle* h = view.handle;
     if (reads(view.mode)) add_dep(h->last_writer_);
     if (writes(view.mode)) {
       add_dep(h->last_writer_);
       for (detail::TaskNode* reader : h->readers_since_write_) add_dep(reader);
-      h->last_writer_ = task;
+      h->last_writer_ = &task;
       h->readers_since_write_.clear();
     } else {
-      h->readers_since_write_.push_back(task);
+      h->readers_since_write_.push_back(&task);
     }
   }
 
   // Explicit predecessors (tag dependencies). Ids are dense from 1.
   for (const TaskId dep_id : desc.depends_on) {
     if (dep_id == 0 || dep_id >= next_task_id_) continue;  // unknown: satisfied
-    add_dep(tasks_[static_cast<std::size_t>(dep_id - 1)].get());
+    add_dep(&tasks_[static_cast<std::size_t>(dep_id - 1)]);
   }
-
-  tasks_.push_back(std::move(node));
 
   // Tasks that can never run are refused at submit time — without throwing,
   // so a long submission loop over a degraded platform drains cleanly and
   // wait_all() reports the aggregate.
   if (poisoned) {
-    task->state = detail::TaskState::kFailed;
-    task->error = "cancelled: a dependency failed before submission";
-    ++cancelled_tasks_;
-    record_fault_event_locked(FaultEvent::Kind::kCancelled, task->ready_vtime,
-                              task->id, -1, 0, task->error);
-    return task->id;
+    detail::TaskState expected = detail::TaskState::kWaiting;
+    if (task.state.compare_exchange_strong(expected,
+                                           detail::TaskState::kFailed)) {
+      task.error = "cancelled: a dependency failed before submission";
+      pending_.fetch_sub(1);
+      {
+        std::lock_guard<std::mutex> fault(fault_mutex_);
+        ++cancelled_tasks_;
+        record_fault_event_locked(FaultEvent::Kind::kCancelled,
+                                  task.ready_vtime.load(), task.id, -1, 0,
+                                  task.error);
+      }
+      notify_drain();
+    }
+    return task;
   }
-  ++pending_;
-  if (!has_live_capable_device(*task->codelet)) {
-    // fail_task_locked undoes the increment above.
-    fail_task_locked(*task, "no live device can execute codelet '" +
-                                task->codelet->name + "'");
-    return task->id;
+  if (!has_live_capable_device(*task.codelet)) {
+    std::lock_guard<std::mutex> fault(fault_mutex_);
+    fail_task_locked(task, "no live device can execute codelet '" +
+                               task.codelet->name + "'");
   }
+  return task;
+}
 
-  if (task->deps_remaining == 0) {
-    task->state = detail::TaskState::kReady;
+void Engine::publish_submission(detail::TaskNode* task) {
+  // Drop the submission reference; dependencies released while we were
+  // wiring have already decremented, so whoever takes it to zero dispatches.
+  if (task->deps_remaining.fetch_sub(1) != 1) return;
+  detail::TaskState expected = detail::TaskState::kWaiting;
+  if (!task->state.compare_exchange_strong(expected,
+                                           detail::TaskState::kReady)) {
+    return;  // cancelled or failed during wiring
+  }
+  if (hybrid()) {
+    dispatch_ready(task);
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dispatch_ready(task);
+  }
+}
+
+void Engine::dispatch_ready(detail::TaskNode* task) {
+  if (hybrid()) {
+    if (!dispatch_->push(task)) {
+      // Every capable device was blacklisted after the readiness check.
+      std::lock_guard<std::mutex> fault(fault_mutex_);
+      fail_task_locked(*task, "no live device can execute codelet '" +
+                                  task->codelet->name + "'");
+      return;
+    }
+    if (obs::metrics_enabled()) {
+      ready_queue_gauge().set(static_cast<std::int64_t>(dispatch_->size()));
+    }
+  } else {
     scheduler_->push(task);
     if (obs::metrics_enabled()) {
       ready_queue_gauge().set(static_cast<std::int64_t>(scheduler_->size()));
     }
-    work_cv_.notify_all();
   }
+}
+
+TaskId Engine::submit(TaskDesc desc) {
+  validate_desc(desc);
+  double flops = 0.0;
+  if (desc.codelet->flops) flops = desc.codelet->flops(desc.buffers);
+
+  detail::TaskNode* task = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    task = &wire_task_locked(std::move(desc), flops);
+  }
+  publish_submission(task);
   return task->id;
 }
 
-pdl::util::Status Engine::wait_all() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (config_.mode != ExecutionMode::kHybrid) {
-    run_simulation_locked();
-  } else {
-    drain_cv_.wait(lock, [this] { return pending_ == 0; });
+std::vector<TaskId> Engine::submit_batch(std::vector<TaskDesc> descs) {
+  if (descs.empty()) return {};
+  for (const TaskDesc& desc : descs) validate_desc(desc);
+  std::vector<double> flops(descs.size(), 0.0);
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    if (descs[i].codelet->flops) {
+      flops[i] = descs[i].codelet->flops(descs[i].buffers);
+    }
   }
-  drain_wall_ = now_seconds();
+
+  std::vector<detail::TaskNode*> nodes;
+  nodes.reserve(descs.size());
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    tasks_.reserve_more(descs.size());
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+      nodes.push_back(&wire_task_locked(std::move(descs[i]), flops[i]));
+    }
+  }
+
+  std::vector<TaskId> ids;
+  ids.reserve(nodes.size());
+  for (const detail::TaskNode* task : nodes) ids.push_back(task->id);
+
+  // Publish the whole batch, then hand every now-ready task to the
+  // dispatcher in one call (each involved device queue is locked and its
+  // workers woken once).
+  std::vector<detail::TaskNode*> ready;
+  for (detail::TaskNode* task : nodes) {
+    if (task->deps_remaining.fetch_sub(1) != 1) continue;
+    detail::TaskState expected = detail::TaskState::kWaiting;
+    if (task->state.compare_exchange_strong(expected,
+                                            detail::TaskState::kReady)) {
+      ready.push_back(task);
+    }
+  }
+  if (!ready.empty()) {
+    if (hybrid()) {
+      const std::vector<detail::TaskNode*> rejected =
+          dispatch_->push_batch(ready);
+      if (obs::metrics_enabled()) {
+        ready_queue_gauge().set(static_cast<std::int64_t>(dispatch_->size()));
+      }
+      if (!rejected.empty()) {
+        std::lock_guard<std::mutex> fault(fault_mutex_);
+        for (detail::TaskNode* task : rejected) {
+          fail_task_locked(*task, "no live device can execute codelet '" +
+                                      task->codelet->name + "'");
+        }
+      }
+    } else {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (detail::TaskNode* task : ready) scheduler_->push(task);
+      if (obs::metrics_enabled()) {
+        ready_queue_gauge().set(static_cast<std::int64_t>(scheduler_->size()));
+      }
+    }
+  }
+  return ids;
+}
+
+pdl::util::Status Engine::wait_all() {
+  if (!hybrid()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    run_simulation_locked();
+    drain_wall_.store(now_seconds());
+    std::lock_guard<std::mutex> fault(fault_mutex_);
+    return drain_status_locked();
+  }
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] { return pending_.load() == 0; });
+  }
+  drain_wall_.store(now_seconds());
+  std::lock_guard<std::mutex> fault(fault_mutex_);
   return drain_status_locked();
 }
 
 bool Engine::wait(TaskId id) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  // Task ids are dense and start at 1; tasks_ preserves submission order.
-  if (id == 0 || id >= next_task_id_) return false;
-  detail::TaskNode* task = tasks_[static_cast<std::size_t>(id - 1)].get();
-  if (config_.mode != ExecutionMode::kHybrid) {
-    run_simulation_locked();
-    return task->state == detail::TaskState::kDone;
+  detail::TaskNode* task = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    // Task ids are dense and start at 1; tasks_ preserves submission order.
+    if (id == 0 || id >= next_task_id_) return false;
+    task = &tasks_[static_cast<std::size_t>(id - 1)];
   }
-  drain_cv_.wait(lock, [&] {
-    return task->state == detail::TaskState::kDone ||
-           task->state == detail::TaskState::kFailed || pending_ == 0;
-  });
-  return task->state == detail::TaskState::kDone;
+  if (!hybrid()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    run_simulation_locked();
+    return task->state.load() == detail::TaskState::kDone;
+  }
+  // Register as a waiter first (sequentially consistent), so a finalizer
+  // that misses us in waiters_ has necessarily published the state change
+  // we are about to re-check under drain_mutex_.
+  waiters_.fetch_add(1);
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [&] {
+      const detail::TaskState s = task->state.load();
+      return s == detail::TaskState::kDone ||
+             s == detail::TaskState::kFailed || pending_.load() == 0;
+    });
+  }
+  waiters_.fetch_sub(1);
+  return task->state.load() == detail::TaskState::kDone;
 }
 
 pdl::util::Status Engine::drain_status_locked() const {
@@ -507,21 +664,33 @@ pdl::util::Status Engine::drain_status_locked() const {
   return pdl::util::Status::failure(std::move(message));
 }
 
+void Engine::notify_drain() {
+  // Empty critical section: orders this notification against a waiter that
+  // has passed its predicate re-check but not yet released drain_mutex_ in
+  // cv.wait — without it the wakeup could be lost.
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+  }
+  drain_cv_.notify_all();
+}
+
 void Engine::run_simulation_locked() {
   // Deterministic discrete-event loop: the device that becomes free
   // earliest (on the virtual clock) asks the scheduler next — the
   // virtual-time analogue of "the first idle worker pops".
-  while (pending_ > 0) {
-    std::vector<std::size_t> order(devices_.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
-      return devices_[a].avail_vtime < devices_[b].avail_vtime;
-    });
+  while (pending_.load() > 0) {
+    sim_order_.resize(devices_.size());
+    for (std::size_t i = 0; i < sim_order_.size(); ++i) sim_order_[i] = i;
+    std::sort(sim_order_.begin(), sim_order_.end(),
+              [this](std::size_t a, std::size_t b) {
+                return devices_[a].avail_vtime.load() <
+                       devices_[b].avail_vtime.load();
+              });
 
     detail::TaskNode* task = nullptr;
     detail::DeviceState* device = nullptr;
-    for (std::size_t i : order) {
-      if (devices_[i].blacklisted) continue;
+    for (std::size_t i : sim_order_) {
+      if (devices_[i].blacklisted.load()) continue;
       task = scheduler_->pop(static_cast<DeviceId>(i));
       if (task != nullptr) {
         device = &devices_[i];
@@ -535,7 +704,7 @@ void Engine::run_simulation_locked() {
       break;
     }
 
-    task->state = detail::TaskState::kRunning;
+    task->state.store(detail::TaskState::kRunning);
     task->ran_on = device->id;
     ++task->attempts;
     if (obs::metrics_enabled()) {
@@ -545,8 +714,9 @@ void Engine::run_simulation_locked() {
     // replica placement.
     record_decision(*task, *device);
     const double transfer = acquire_buffers(*task, device->node);
-    task->start_vtime = std::max(device->avail_vtime, task->ready_vtime) +
-                        config_.task_overhead_us * 1e-6;
+    task->start_vtime =
+        std::max(device->avail_vtime.load(), task->ready_vtime.load()) +
+        config_.task_overhead_us * 1e-6;
     task->transfer_seconds = transfer;
 
     FaultPlan::Injection injected;
@@ -558,8 +728,8 @@ void Engine::run_simulation_locked() {
     if (injected.fail) {
       // Injection suppresses execution entirely (kernels run in place on
       // host memory; a doomed attempt would corrupt its own retry's input).
-      handle_task_failure_locked(*task, *device, transfer, exec,
-                                 injected.reason, /*is_timeout=*/false);
+      handle_task_failure(*task, *device, transfer, exec, injected.reason,
+                          /*is_timeout=*/false);
       continue;
     }
     if (config_.mode == ExecutionMode::kDeterministic) {
@@ -574,17 +744,17 @@ void Engine::run_simulation_locked() {
         ctx.buffers = &task->buffers;
         std::string fail_reason;
         if (!run_attempt(*impl, ctx, fail_reason)) {
-          handle_task_failure_locked(*task, *device, transfer, exec,
-                                     fail_reason, /*is_timeout=*/false);
+          handle_task_failure(*task, *device, transfer, exec, fail_reason,
+                              /*is_timeout=*/false);
           continue;
         }
       }
     }
     const double limit = watchdog_limit(*task, *device);
     if (limit > 0.0 && exec > limit) {
-      handle_task_failure_locked(*task, *device, transfer, exec,
-                                 "watchdog: modeled execution exceeded limit",
-                                 /*is_timeout=*/true);
+      handle_task_failure(*task, *device, transfer, exec,
+                          "watchdog: modeled execution exceeded limit",
+                          /*is_timeout=*/true);
       continue;
     }
     finalize_task(*task, *device, transfer, exec);
@@ -595,42 +765,50 @@ void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
                            double transfer, double exec) {
   task.exec_seconds = exec;
   task.finish_vtime = task.start_vtime + transfer + exec;
-  device.avail_vtime = task.finish_vtime;
+  detail::vtime_raise(device.avail_vtime, task.finish_vtime);
   device.busy_seconds += exec;
   device.transfer_seconds += transfer;
   ++device.tasks_run;
   device.consecutive_failures = 0;  // blacklisting counts *consecutive* only
-  perf_model_.observe(task.codelet->name, device.id, exec);
+  PerfModel::observe_in(*task.model_row, device.id, exec);
 
-  trace_.push_back(TaskTrace{task.id, task.label, device.id, task.start_vtime,
-                             task.finish_vtime, transfer, exec, task.flops});
+  device.trace.push_back(TaskTrace{task.id, task.label, device.id,
+                                   task.start_vtime, task.finish_vtime,
+                                   transfer, exec, task.flops});
   if (obs::metrics_enabled()) {
     tasks_completed_counter().inc();
     task_exec_us_histogram().record(
         exec > 0.0 ? static_cast<std::uint64_t>(exec * 1e6) : 0);
   }
 
-  task.state = detail::TaskState::kDone;
-  bool pushed = false;
-  for (detail::TaskNode* succ : task.successors) {
-    // A successor cancelled by another (failed) dependency never runs.
-    if (succ->state == detail::TaskState::kFailed) continue;
-    succ->ready_vtime = std::max(succ->ready_vtime, task.finish_vtime);
-    if (--succ->deps_remaining == 0) {
-      succ->state = detail::TaskState::kReady;
-      scheduler_->push(succ);
-      pushed = true;
+  // Release the dependency edges: late subscribers (add_dep) that take
+  // edge_mutex after this see released == true and read finish_vtime.
+  std::vector<detail::TaskNode*> successors;
+  {
+    std::lock_guard<std::mutex> edge(task.edge_mutex);
+    task.released = true;
+    successors.swap(task.successors);
+  }
+  task.state.store(detail::TaskState::kDone);
+  for (detail::TaskNode* succ : successors) {
+    // A successor cancelled by another (failed) dependency never runs; the
+    // load is only an optimization — the CAS below is the real gate.
+    if (succ->state.load() == detail::TaskState::kFailed) continue;
+    detail::vtime_raise(succ->ready_vtime, task.finish_vtime);
+    if (succ->deps_remaining.fetch_sub(1) == 1) {
+      detail::TaskState expected = detail::TaskState::kWaiting;
+      if (succ->state.compare_exchange_strong(expected,
+                                              detail::TaskState::kReady)) {
+        dispatch_ready(succ);
+      }
     }
   }
-  --pending_;
-  if (pushed) {
-    if (obs::metrics_enabled()) {
-      ready_queue_gauge().set(static_cast<std::int64_t>(scheduler_->size()));
-    }
-    work_cv_.notify_all();
+  const std::size_t left = pending_.fetch_sub(1) - 1;
+  if (hybrid() && (left == 0 || waiters_.load() > 0)) {
+    // Only signal when someone can be listening: wait_all sleeps on
+    // pending_ == 0, wait(TaskId) registers itself in waiters_.
+    notify_drain();
   }
-  // Every completion wakes waiters: wait(TaskId) watches individual tasks.
-  drain_cv_.notify_all();
 }
 
 // --- Fault tolerance ----------------------------------------------------------
@@ -650,7 +828,9 @@ double Engine::watchdog_limit(const detail::TaskNode& task,
 
 bool Engine::has_live_capable_device(const Codelet& codelet) const {
   for (const auto& device : devices_) {
-    if (!device.blacklisted && codelet.supports(device.spec.kind)) return true;
+    if (!device.blacklisted.load() && codelet.supports(device.spec.kind)) {
+      return true;
+    }
   }
   return false;
 }
@@ -673,120 +853,155 @@ void Engine::record_fault_event_locked(FaultEvent::Kind kind, double vtime,
 }
 
 void Engine::fail_task_locked(detail::TaskNode& task, const std::string& reason) {
-  task.state = detail::TaskState::kFailed;
+  // CAS into kFailed: a concurrent cascade-cancel (kWaiting -> kFailed) may
+  // have beaten us here, in which case all the bookkeeping already happened.
+  detail::TaskState cur = task.state.load();
+  do {
+    if (cur == detail::TaskState::kFailed) return;
+  } while (!task.state.compare_exchange_weak(cur, detail::TaskState::kFailed));
+
   task.error = reason;
   ++failed_tasks_;
   task_errors_.push_back("task " + std::to_string(task.id) + " '" + task.label +
                          "': " + reason);
-  record_fault_event_locked(FaultEvent::Kind::kTaskFailed, task.ready_vtime,
-                            task.id, task.ran_on, task.attempts, reason);
-  --pending_;
+  record_fault_event_locked(FaultEvent::Kind::kTaskFailed,
+                            task.ready_vtime.load(), task.id, task.ran_on,
+                            task.attempts, reason);
+  pending_.fetch_sub(1);
 
   // Cascade: everything transitively waiting on this task can never become
   // ready (its deps_remaining never reaches zero), so cancel it now instead
-  // of hanging wait_all() forever.
-  std::vector<detail::TaskNode*> stack(task.successors.begin(),
-                                       task.successors.end());
+  // of hanging wait_all() forever. The snapshot happens after the kFailed
+  // store above, so late subscribers poison themselves instead of adding an
+  // edge the cascade would miss.
+  std::vector<detail::TaskNode*> stack;
+  {
+    std::lock_guard<std::mutex> edge(task.edge_mutex);
+    stack = task.successors;
+  }
   while (!stack.empty()) {
     detail::TaskNode* succ = stack.back();
     stack.pop_back();
-    if (succ->state != detail::TaskState::kWaiting) continue;
-    succ->state = detail::TaskState::kFailed;
+    detail::TaskState expected = detail::TaskState::kWaiting;
+    if (!succ->state.compare_exchange_strong(expected,
+                                             detail::TaskState::kFailed)) {
+      continue;  // already running, done, or cancelled by another cascade
+    }
     succ->error = "cancelled: dependency task " + std::to_string(task.id) +
                   " failed";
     ++cancelled_tasks_;
-    record_fault_event_locked(FaultEvent::Kind::kCancelled, task.ready_vtime,
-                              succ->id, -1, 0, succ->error);
-    --pending_;
-    stack.insert(stack.end(), succ->successors.begin(), succ->successors.end());
+    record_fault_event_locked(FaultEvent::Kind::kCancelled,
+                              task.ready_vtime.load(), succ->id, -1, 0,
+                              succ->error);
+    pending_.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> edge(succ->edge_mutex);
+      stack.insert(stack.end(), succ->successors.begin(),
+                   succ->successors.end());
+    }
   }
-  drain_cv_.notify_all();
+  notify_drain();
 }
 
 void Engine::blacklist_device_locked(detail::DeviceState& device) {
-  device.blacklisted = true;
+  device.blacklisted.store(true);
   ++blacklists_;
   if (obs::metrics_enabled()) device_blacklists_counter().inc();
   record_fault_event_locked(
-      FaultEvent::Kind::kBlacklist, device.avail_vtime, 0, device.id, 0,
+      FaultEvent::Kind::kBlacklist, device.avail_vtime.load(), 0, device.id, 0,
       device.spec.name + " blacklisted after " +
           std::to_string(device.consecutive_failures) +
           " consecutive failures");
 
-  // Graceful degradation: queued work re-enters the scheduler against the
-  // shrunken candidate set; work nothing can run fails right away.
+  // Graceful degradation: queued work re-enters the dispatcher against the
+  // shrunken candidate set; work nothing can run fails right away. Note the
+  // direct dispatch_->push (not dispatch_ready): fault_mutex_ is held here
+  // and dispatch_ready would try to re-take it on a push failure.
   const std::vector<detail::TaskNode*> drained =
-      scheduler_->drain_device(device.id);
-  bool rerouted = false;
+      hybrid() ? dispatch_->drain_device(device.id)
+               : scheduler_->drain_device(device.id);
   for (detail::TaskNode* task : drained) {
     if (has_live_capable_device(*task->codelet)) {
       ++reroutes_;
-      record_fault_event_locked(FaultEvent::Kind::kReroute, device.avail_vtime,
-                                task->id, device.id, task->attempts,
+      record_fault_event_locked(FaultEvent::Kind::kReroute,
+                                device.avail_vtime.load(), task->id, device.id,
+                                task->attempts,
                                 "requeued off blacklisted " + device.spec.name);
-      scheduler_->push(task);
-      rerouted = true;
+      const bool pushed =
+          hybrid() ? dispatch_->push(task) : (scheduler_->push(task), true);
+      if (!pushed) {
+        fail_task_locked(*task, "no live device can execute codelet '" +
+                                    task->codelet->name + "'");
+      }
     } else {
       fail_task_locked(*task, "no live device can execute codelet '" +
                                   task->codelet->name + "'");
     }
   }
-  if (rerouted) work_cv_.notify_all();
 }
 
-void Engine::handle_task_failure_locked(detail::TaskNode& task,
-                                        detail::DeviceState& device,
-                                        double transfer, double exec,
-                                        const std::string& reason,
-                                        bool is_timeout) {
+void Engine::handle_task_failure(detail::TaskNode& task,
+                                 detail::DeviceState& device, double transfer,
+                                 double exec, const std::string& reason,
+                                 bool is_timeout) {
   // The attempt occupied the device on the virtual clock even though it
   // produced nothing; charging it keeps device timelines monotonic. It is
   // deliberately NOT added to busy_seconds or the trace — those describe
   // useful work — and not fed to the perf model (failures would poison the
   // estimates the watchdog itself relies on).
   const double attempt_finish = task.start_vtime + transfer + exec;
-  device.avail_vtime = std::max(device.avail_vtime, attempt_finish);
+  detail::vtime_raise(device.avail_vtime, attempt_finish);
   device.transfer_seconds += transfer;
   ++device.failures;
   ++device.consecutive_failures;
-  ++task_failures_;
-  if (is_timeout) ++timeouts_;
-  if (obs::metrics_enabled()) {
-    task_failures_counter().inc();
-    if (is_timeout) task_timeouts_counter().inc();
-  }
-  record_fault_event_locked(
-      is_timeout ? FaultEvent::Kind::kTimeout : FaultEvent::Kind::kFailure,
-      attempt_finish, task.id, device.id, task.attempts, reason);
 
-  const int threshold = config_.fault_tolerance.blacklist_after;
-  if (threshold > 0 && !device.blacklisted &&
-      device.consecutive_failures >= threshold) {
-    blacklist_device_locked(device);
-  }
+  bool retry = false;
+  {
+    std::lock_guard<std::mutex> fault(fault_mutex_);
+    ++task_failures_;
+    if (is_timeout) ++timeouts_;
+    if (obs::metrics_enabled()) {
+      task_failures_counter().inc();
+      if (is_timeout) task_timeouts_counter().inc();
+    }
+    record_fault_event_locked(
+        is_timeout ? FaultEvent::Kind::kTimeout : FaultEvent::Kind::kFailure,
+        attempt_finish, task.id, device.id, task.attempts, reason);
 
-  if (task.attempts <= retry_budget(device) &&
-      has_live_capable_device(*task.codelet)) {
-    ++retries_;
-    if (obs::metrics_enabled()) task_retries_counter().inc();
-    // Exponential backoff on the virtual clock: the retry may not start
-    // before attempt_finish + base * multiplier^(attempt-1).
-    const double backoff_seconds =
-        config_.fault_tolerance.backoff_base_ms * 1e-3 *
-        std::pow(config_.fault_tolerance.backoff_multiplier, task.attempts - 1);
-    task.ready_vtime = std::max(task.ready_vtime, attempt_finish + backoff_seconds);
-    task.state = detail::TaskState::kReady;
-    task.ran_on = -1;
-    record_fault_event_locked(FaultEvent::Kind::kRetry, task.ready_vtime,
-                              task.id, device.id, task.attempts,
-                              "retry " + std::to_string(task.attempts) + "/" +
-                                  std::to_string(retry_budget(device)) +
-                                  " after backoff");
-    scheduler_->push(&task);
-    work_cv_.notify_all();
-  } else {
-    fail_task_locked(task, reason);
+    const int threshold = config_.fault_tolerance.blacklist_after;
+    if (threshold > 0 && !device.blacklisted.load() &&
+        device.consecutive_failures >= threshold) {
+      blacklist_device_locked(device);
+    }
+
+    if (task.attempts <= retry_budget(device) &&
+        has_live_capable_device(*task.codelet)) {
+      ++retries_;
+      if (obs::metrics_enabled()) task_retries_counter().inc();
+      // Exponential backoff on the virtual clock: the retry may not start
+      // before attempt_finish + base * multiplier^(attempt-1).
+      const double backoff_seconds =
+          config_.fault_tolerance.backoff_base_ms * 1e-3 *
+          std::pow(config_.fault_tolerance.backoff_multiplier,
+                   task.attempts - 1);
+      detail::vtime_raise(task.ready_vtime, attempt_finish + backoff_seconds);
+      task.ran_on = -1;
+      record_fault_event_locked(FaultEvent::Kind::kRetry,
+                                task.ready_vtime.load(), task.id, device.id,
+                                task.attempts,
+                                "retry " + std::to_string(task.attempts) + "/" +
+                                    std::to_string(retry_budget(device)) +
+                                    " after backoff");
+      task.state.store(detail::TaskState::kReady);
+      retry = true;
+    } else {
+      fail_task_locked(task, reason);
+    }
   }
+  // Re-dispatch outside fault_mutex_: the hybrid push-failure path inside
+  // dispatch_ready takes it again. In the simulation modes the caller holds
+  // mutex_, which is what scheduler_ pushes require.
+  if (retry) dispatch_ready(&task);
 }
 
 void Engine::record_decision(const detail::TaskNode& task,
@@ -794,21 +1009,22 @@ void Engine::record_decision(const detail::TaskNode& task,
   if (obs::metrics_enabled()) decision_counter_->inc();
   if (!config_.record_decisions && !obs::tracing_enabled() &&
       !obs::has_event_sink()) {
-    return;
+    return;  // hot path: no candidate vector, no lock
   }
 
   SchedulerDecision decision;
   decision.task = task.id;
   decision.label = task.label;
   decision.chosen = chosen.id;
-  decision.decided_vtime = std::max(chosen.avail_vtime, task.ready_vtime);
+  decision.decided_vtime =
+      std::max(chosen.avail_vtime.load(), task.ready_vtime.load());
   for (const auto& device : devices_) {
     if (!task.codelet->supports(device.spec.kind)) continue;
     DecisionCandidate candidate;
     candidate.device = device.id;
     candidate.device_name = device.spec.name;
     candidate.est_finish_vtime =
-        std::max(device.avail_vtime, task.ready_vtime) +
+        std::max(device.avail_vtime.load(), task.ready_vtime.load()) +
         estimated_cost(task, device);
     decision.candidates.push_back(std::move(candidate));
   }
@@ -836,6 +1052,7 @@ void Engine::record_decision(const detail::TaskNode& task,
     obs::emit_event(event);
   }
 
+  std::lock_guard<std::mutex> lock(decisions_mutex_);
   decisions_.push_back(std::move(decision));
 }
 
@@ -867,10 +1084,10 @@ double Engine::link_transfer_seconds(std::size_t bytes, MemoryNodeId from,
   return seconds;
 }
 
-void Engine::drop_replica(DataHandle* handle, MemoryNodeId node) {
+void Engine::drop_replica_locked(DataHandle* handle, MemoryNodeId node) {
   const auto n = static_cast<std::size_t>(node);
-  if (n >= handle->valid_.size() || !handle->valid_[n]) return;
-  handle->valid_[n] = false;
+  if (!handle->valid_on(node)) return;
+  handle->valid_ &= ~DataHandle::node_bit(node);
   if (node != kHostNode && n < nodes_.size() && nodes_[n].capacity > 0) {
     NodeState& state = nodes_[n];
     state.used -= std::min(state.used, handle->bytes());
@@ -878,17 +1095,15 @@ void Engine::drop_replica(DataHandle* handle, MemoryNodeId node) {
   }
 }
 
-void Engine::add_replica(DataHandle* handle, MemoryNodeId node, double& cost,
-                         const std::vector<BufferView>* pinned) {
+void Engine::add_replica_locked(DataHandle* handle, MemoryNodeId node,
+                                double& cost,
+                                const std::vector<BufferView>* pinned) {
   const auto n = static_cast<std::size_t>(node);
-  if (handle->valid_.size() < devices_.size() + 1) {
-    handle->valid_.resize(devices_.size() + 1, false);
-  }
   NodeState* state =
       node != kHostNode && n < nodes_.size() && nodes_[n].capacity > 0
           ? &nodes_[n]
           : nullptr;
-  if (handle->valid_[n]) {
+  if (handle->valid_on(node)) {
     // Refresh recency on bounded nodes.
     if (state != nullptr) {
       state->lru.remove(handle);
@@ -918,40 +1133,38 @@ void Engine::add_replica(DataHandle* handle, MemoryNodeId node, double& cost,
       }
       if (victim == nullptr) break;  // everything pinned: over-commit
       // Sole-replica eviction must write the data back to the host first.
-      bool sole = true;
-      for (std::size_t other = 0; other < victim->valid_.size(); ++other) {
-        if (other != n && victim->valid_[other]) sole = false;
-      }
+      const bool sole = (victim->valid_ & ~DataHandle::node_bit(node)) == 0;
       if (sole) {
         cost += link_transfer_seconds(victim->bytes(), node, kHostNode);
         writeback_bytes_ += victim->bytes();
-        victim->valid_[kHostNode] = true;
+        victim->valid_ |= DataHandle::node_bit(kHostNode);
       }
-      drop_replica(victim, node);
+      drop_replica_locked(victim, node);
       ++evictions_;
       if (obs::metrics_enabled()) evictions_counter().inc();
     }
     state->used += handle->bytes();
     state->lru.push_front(handle);
   }
-  handle->valid_[n] = true;
+  handle->valid_ |= DataHandle::node_bit(node);
 }
 
 double Engine::acquire_buffers(detail::TaskNode& task, MemoryNodeId node) {
+  // Single-node platforms (CPU-only) never transfer: every handle stays
+  // valid on the host and MSI bookkeeping is a no-op. Skip the lock.
+  if (single_node_) return 0.0;
   double total = 0.0;
+  std::lock_guard<std::mutex> lock(memory_mutex_);
   for (const auto& view : task.buffers) {
     DataHandle* h = view.handle;
-    if (h->valid_.size() < devices_.size() + 1) {
-      h->valid_.resize(devices_.size() + 1, false);
-    }
     if (reads(view.mode)) {
-      if (!h->valid_[static_cast<std::size_t>(node)]) {
+      if (!h->valid_on(node)) {
         // Prefer pulling from the host; otherwise any valid replica.
         MemoryNodeId source = kHostNode;
-        if (!h->valid_[kHostNode]) {
+        if (!h->valid_on(kHostNode)) {
           source = -1;
-          for (std::size_t n = 0; n < h->valid_.size(); ++n) {
-            if (h->valid_[n]) {
+          for (std::size_t n = 0; n < nodes_.size(); ++n) {
+            if (h->valid_on(static_cast<MemoryNodeId>(n))) {
               source = static_cast<MemoryNodeId>(n);
               break;
             }
@@ -965,19 +1178,19 @@ double Engine::acquire_buffers(detail::TaskNode& task, MemoryNodeId node) {
         }
       }
       // add_replica also refreshes LRU recency for already-valid replicas.
-      add_replica(h, node, total, &task.buffers);
+      add_replica_locked(h, node, total, &task.buffers);
     }
     if (writes(view.mode)) {
       // MSI: writing invalidates every other replica. Simulated
       // accelerators actually write host memory, so the host copy is
       // physically current; keeping it marked invalid models the paper
       // testbed where the result sits in GPU memory until fetched.
-      for (std::size_t n = 0; n < h->valid_.size(); ++n) {
+      for (std::size_t n = 0; n < nodes_.size(); ++n) {
         if (static_cast<MemoryNodeId>(n) != node) {
-          drop_replica(h, static_cast<MemoryNodeId>(n));
+          drop_replica_locked(h, static_cast<MemoryNodeId>(n));
         }
       }
-      add_replica(h, node, total, &task.buffers);
+      add_replica_locked(h, node, total, &task.buffers);
     }
   }
   return total;
@@ -985,148 +1198,199 @@ double Engine::acquire_buffers(detail::TaskNode& task, MemoryNodeId node) {
 
 double Engine::exec_estimate(const detail::TaskNode& task,
                              const detail::DeviceState& device) const {
-  return perf_model_.estimate(task.codelet->name, device.id, task.flops,
-                              device.spec.sustained_gflops);
+  return PerfModel::estimate_in(*task.model_row, device.id, task.flops,
+                                device.spec.sustained_gflops);
 }
 
 double Engine::estimated_cost(const detail::TaskNode& task,
                               const detail::DeviceState& device) const {
   double transfer = 0.0;
-  for (const auto& view : task.buffers) {
-    const DataHandle* h = view.handle;
-    if (reads(view.mode) && !h->valid_on(device.node)) {
+  if (!single_node_) {
+    std::lock_guard<std::mutex> lock(memory_mutex_);
+    for (const auto& view : task.buffers) {
+      const DataHandle* h = view.handle;
+      if (reads(view.mode) && !h->valid_on(device.node)) {
+        MemoryNodeId source = h->valid_on(kHostNode) ? kHostNode : -1;
+        if (source < 0) {
+          for (std::size_t n = 0; n < devices_.size() + 1; ++n) {
+            if (h->valid_on(static_cast<MemoryNodeId>(n))) {
+              source = static_cast<MemoryNodeId>(n);
+              break;
+            }
+          }
+        }
+        if (source >= 0) {
+          transfer += link_transfer_seconds(h->bytes(), source, device.node);
+        }
+      }
+    }
+  }
+  return transfer + exec_estimate(task, device);
+}
+
+void Engine::estimated_cost_row(const detail::TaskNode& task,
+                                double* out) const {
+  const std::size_t n = devices_.size();
+  PerfModel::estimate_row_in(*task.model_row, task.flops,
+                             device_gflops_.data(), n, out);
+  if (single_node_) return;  // no replicas to move, nothing to add
+  std::lock_guard<std::mutex> lock(memory_mutex_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const detail::DeviceState& device = devices_[i];
+    for (const auto& view : task.buffers) {
+      const DataHandle* h = view.handle;
+      if (!reads(view.mode) || h->valid_on(device.node)) continue;
       MemoryNodeId source = h->valid_on(kHostNode) ? kHostNode : -1;
       if (source < 0) {
-        for (std::size_t n = 0; n < devices_.size() + 1; ++n) {
-          if (h->valid_on(static_cast<MemoryNodeId>(n))) {
-            source = static_cast<MemoryNodeId>(n);
+        for (std::size_t node = 0; node < devices_.size() + 1; ++node) {
+          if (h->valid_on(static_cast<MemoryNodeId>(node))) {
+            source = static_cast<MemoryNodeId>(node);
             break;
           }
         }
       }
-      if (source >= 0) transfer += link_transfer_seconds(h->bytes(), source, device.node);
+      if (source >= 0) {
+        out[i] += link_transfer_seconds(h->bytes(), source, device.node);
+      }
     }
   }
-  return transfer + exec_estimate(task, device);
 }
 
 // --- Worker loop -------------------------------------------------------------------
 
 void Engine::worker_loop(DeviceId device_id) {
   detail::DeviceState& device = devices_[static_cast<std::size_t>(device_id)];
-  while (true) {
-    detail::TaskNode* task = nullptr;
-    double transfer = 0.0;
-    FaultPlan::Injection injected;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] {
-        if (stopping_) return true;
-        task = scheduler_->pop(device_id);
-        return task != nullptr;
-      });
-      if (task == nullptr) return;  // stopping
-
-      task->state = detail::TaskState::kRunning;
-      task->ran_on = device_id;
-      ++task->attempts;
-      if (obs::metrics_enabled()) {
-        ready_queue_gauge().set(static_cast<std::int64_t>(scheduler_->size()));
-      }
-      record_decision(*task, device);
-      transfer = acquire_buffers(*task, device.node);
-      task->start_vtime = std::max(device.avail_vtime, task->ready_vtime) +
-                          config_.task_overhead_us * 1e-6;
-      task->transfer_seconds = transfer;
-      if (fault_plan_) {
-        injected = fault_plan_->decide(task->id, task->attempts, device_id,
-                                       device.tasks_run);
-      }
-    }
-
-    // --- execute outside the lock ---
-    // An injected fault suppresses execution entirely: kernels run in place
-    // on host memory, so letting a doomed attempt run would corrupt the
-    // inputs of its own retry.
-    double exec = 0.0;
-    bool failed = injected.fail;
-    std::string fail_reason = injected.reason;
-    const Implementation* impl = task->codelet->find_impl(device.spec.kind);
-    assert(impl != nullptr);
-    pdl::util::Stopwatch sw;
-    if (impl->fn && !failed) {
-      ExecContext ctx;
-      ctx.device = device_id;
-      ctx.device_kind = device.spec.kind;
-      ctx.buffers = &task->buffers;
-      failed = !run_attempt(*impl, ctx, fail_reason);
-    }
-    const double measured = sw.elapsed_seconds();
-    if (device.spec.kind == DeviceKind::kAccelerator) {
-      // Simulated accelerator: host execution produced the data; the
-      // virtual clock charges what the modeled device would have taken.
-      exec = task->flops > 0.0 ? task->flops / (device.spec.sustained_gflops * 1e9)
-                               : measured;
-    } else {
-      exec = measured;
-    }
-    exec += injected.delay_seconds;
-
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!failed) {
-        const double limit = watchdog_limit(*task, device);
-        if (limit > 0.0 && exec > limit) {
-          failed = true;
-          fail_reason = "watchdog: execution exceeded limit";
-          handle_task_failure_locked(*task, device, transfer, exec, fail_reason,
-                                     /*is_timeout=*/true);
-        }
-      } else {
-        handle_task_failure_locked(*task, device, transfer, exec, fail_reason,
-                                   /*is_timeout=*/false);
-      }
-      if (!failed) finalize_task(*task, device, transfer, exec);
-    }
+  for (;;) {
+    detail::TaskNode* task = dispatch_->wait_pop(device_id, stopping_);
+    if (task == nullptr) return;  // stopping
+    run_task_hybrid(*task, device);
   }
 }
 
+void Engine::run_task_hybrid(detail::TaskNode& task,
+                             detail::DeviceState& device) {
+  task.state.store(detail::TaskState::kRunning);
+  task.ran_on = device.id;
+  ++task.attempts;
+  if (obs::metrics_enabled()) {
+    ready_queue_gauge().set(static_cast<std::int64_t>(dispatch_->size()));
+  }
+  record_decision(task, device);
+  const double transfer = acquire_buffers(task, device.node);
+  task.start_vtime =
+      std::max(device.avail_vtime.load(), task.ready_vtime.load()) +
+      config_.task_overhead_us * 1e-6;
+  task.transfer_seconds = transfer;
+  FaultPlan::Injection injected;
+  if (fault_plan_) {
+    injected = fault_plan_->decide(task.id, task.attempts, device.id,
+                                   device.tasks_run);
+  }
+
+  // --- execute, no engine lock held ---
+  // An injected fault suppresses execution entirely: kernels run in place
+  // on host memory, so letting a doomed attempt run would corrupt the
+  // inputs of its own retry.
+  bool failed = injected.fail;
+  std::string fail_reason = injected.reason;
+  const Implementation* impl = task.codelet->find_impl(device.spec.kind);
+  assert(impl != nullptr);
+  double measured = 0.0;  // a body-less codelet costs no measurable time
+  if (impl->fn && !failed) {
+    ExecContext ctx;
+    ctx.device = device.id;
+    ctx.device_kind = device.spec.kind;
+    ctx.buffers = &task.buffers;
+    pdl::util::Stopwatch sw;
+    failed = !run_attempt(*impl, ctx, fail_reason);
+    measured = sw.elapsed_seconds();
+  }
+  double exec = 0.0;
+  if (device.spec.kind == DeviceKind::kAccelerator) {
+    // Simulated accelerator: host execution produced the data; the
+    // virtual clock charges what the modeled device would have taken.
+    exec = task.flops > 0.0
+               ? task.flops / (device.spec.sustained_gflops * 1e9)
+               : measured;
+  } else {
+    exec = measured;
+  }
+  exec += injected.delay_seconds;
+
+  if (failed) {
+    handle_task_failure(task, device, transfer, exec, fail_reason,
+                        /*is_timeout=*/false);
+    return;
+  }
+  const double limit = watchdog_limit(task, device);
+  if (limit > 0.0 && exec > limit) {
+    handle_task_failure(task, device, transfer, exec,
+                        "watchdog: execution exceeded limit",
+                        /*is_timeout=*/true);
+    return;
+  }
+  finalize_task(task, device, transfer, exec);
+}
+
 EngineStats Engine::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   EngineStats s;
-  for (const auto& device : devices_) {
-    s.makespan_seconds = std::max(s.makespan_seconds, device.avail_vtime);
-    DeviceStats ds;
-    ds.name = device.spec.name;
-    ds.kind = device.spec.kind;
-    ds.tasks_run = device.tasks_run;
-    ds.busy_seconds = device.busy_seconds;
-    ds.transfer_seconds = device.transfer_seconds;
-    ds.failures = device.failures;
-    ds.blacklisted = device.blacklisted;
-    ds.mtbf_hours = device.spec.mtbf_hours;
-    s.devices.push_back(std::move(ds));
-    s.tasks_completed += device.tasks_run;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& device : devices_) {
+      s.makespan_seconds = std::max(s.makespan_seconds, device.avail_vtime.load());
+      DeviceStats ds;
+      ds.name = device.spec.name;
+      ds.kind = device.spec.kind;
+      ds.tasks_run = device.tasks_run;
+      ds.busy_seconds = device.busy_seconds;
+      ds.transfer_seconds = device.transfer_seconds;
+      ds.failures = device.failures;
+      ds.blacklisted = device.blacklisted.load();
+      ds.mtbf_hours = device.spec.mtbf_hours;
+      s.devices.push_back(std::move(ds));
+      s.tasks_completed += device.tasks_run;
+      s.trace.insert(s.trace.end(), device.trace.begin(), device.trace.end());
+    }
   }
-  s.transfers = transfers_;
-  s.transfer_bytes = transfer_bytes_;
-  s.evictions = evictions_;
-  s.writeback_bytes = writeback_bytes_;
-  s.task_failures = task_failures_;
-  s.retries = retries_;
-  s.timeouts = timeouts_;
-  s.reroutes = reroutes_;
-  s.devices_blacklisted = blacklists_;
-  s.failed_tasks = failed_tasks_;
-  s.cancelled_tasks = cancelled_tasks_;
-  s.errors = task_errors_;
-  s.fault_events = fault_events_;
+  // Per-device traces are each in completion order; merge into the global
+  // virtual-clock order the callers expect.
+  std::stable_sort(s.trace.begin(), s.trace.end(),
+                   [](const TaskTrace& a, const TaskTrace& b) {
+                     if (a.start_vtime != b.start_vtime) {
+                       return a.start_vtime < b.start_vtime;
+                     }
+                     return a.id < b.id;
+                   });
+  if (dispatch_) s.steals = dispatch_->steals();
+  {
+    std::lock_guard<std::mutex> mem(memory_mutex_);
+    s.transfers = transfers_;
+    s.transfer_bytes = transfer_bytes_;
+    s.evictions = evictions_;
+    s.writeback_bytes = writeback_bytes_;
+  }
+  {
+    std::lock_guard<std::mutex> fault(fault_mutex_);
+    s.task_failures = task_failures_;
+    s.retries = retries_;
+    s.timeouts = timeouts_;
+    s.reroutes = reroutes_;
+    s.devices_blacklisted = blacklists_;
+    s.failed_tasks = failed_tasks_;
+    s.cancelled_tasks = cancelled_tasks_;
+    s.errors = task_errors_;
+    s.fault_events = fault_events_;
+  }
   s.scheduler = config_.scheduler;
-  if (first_submit_wall_ >= 0.0 && drain_wall_ > first_submit_wall_) {
-    s.wall_seconds = drain_wall_ - first_submit_wall_;
+  const double first = first_submit_wall_.load();
+  const double drained = drain_wall_.load();
+  if (first >= 0.0 && drained > first) {
+    s.wall_seconds = drained - first;
   }
-  s.trace = trace_;
-  s.decisions = decisions_;
+  {
+    std::lock_guard<std::mutex> lock(decisions_mutex_);
+    s.decisions = decisions_;
+  }
   return s;
 }
 

@@ -15,17 +15,29 @@
 // thread; simulated accelerators execute implementations on the host while
 // their time is charged from the performance model (DESIGN.md).
 //
-// Thread-safety: submit/wait_all may be called from the application thread
-// while workers drain; DataHandle registration and partitioning must happen
-// outside active task execution on those handles.
+// Thread-safety: submit/submit_batch/wait_all may be called concurrently
+// from multiple application threads while workers drain; DataHandle
+// registration and partitioning must happen outside active task execution
+// on those handles.
+//
+// Locking (real-threads mode; see docs/RUNTIME.md "Scheduling & locking
+// architecture"): submission wiring is serialized by submit_mutex_;
+// dependency release goes through per-task edge mutexes; ready tasks flow
+// through per-device queues (scheduler.hpp HybridDispatch); replica
+// bookkeeping has its own memory_mutex_ (skipped entirely on single-node
+// platforms); fault handling has fault_mutex_. The simulation modes keep
+// the single coarse mutex_ for the discrete-event loop.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "starvm/codelet.hpp"
@@ -94,6 +106,14 @@ class Engine {
   /// tasks are inferred from the buffers' access modes.
   TaskId submit(TaskDesc desc);
 
+  /// Submit many tasks at once: validates every descriptor up front (throws
+  /// before anything is enqueued), wires the whole batch's dependencies
+  /// under one lock acquisition, pre-reserves the task nodes, and wakes the
+  /// workers once per involved device instead of once per task. Returned
+  /// ids are in descriptor order. Dependencies between batch members follow
+  /// from descriptor order exactly as if each had been submit()ed in turn.
+  std::vector<TaskId> submit_batch(std::vector<TaskDesc> descs);
+
   /// Block until every submitted task has completed, failed permanently, or
   /// been cancelled. Ok when everything succeeded; otherwise an error
   /// aggregating the per-task failures (EngineStats::errors has the full
@@ -115,36 +135,59 @@ class Engine {
   PerfModel& perf_model() { return perf_model_; }
 
  private:
+  bool hybrid() const { return config_.mode == ExecutionMode::kHybrid; }
+
   void worker_loop(DeviceId device);
 
-  /// Discrete-event loop of the simulation modes (mutex held): repeatedly
+  /// One task execution on a hybrid worker: decision, buffer acquisition,
+  /// kernel run, then finalize or the failure path. No global lock.
+  void run_task_hybrid(detail::TaskNode& task, detail::DeviceState& device);
+
+  /// Validate a descriptor (throws std::invalid_argument).
+  void validate_desc(const TaskDesc& desc) const;
+
+  /// Append a node to the arena and wire its dependencies (submit_mutex_
+  /// held). The node still holds its submission reference: it cannot
+  /// become ready until publish_submission drops it.
+  detail::TaskNode& wire_task_locked(TaskDesc&& desc, double flops);
+
+  /// Drop the submission reference; when that makes the task ready,
+  /// dispatch it. Returns true when the task was dispatched.
+  void publish_submission(detail::TaskNode* task);
+
+  /// Route a ready task to the workers (hybrid) or the simulation scheduler
+  /// (mutex_ must be held by the caller in the simulation modes).
+  void dispatch_ready(detail::TaskNode* task);
+
+  /// Discrete-event loop of the simulation modes (mutex_ held): repeatedly
   /// lets the device that is free earliest on the virtual clock pop the
   /// next task. In kDeterministic the popped task's kernel also executes.
   void run_simulation_locked();
 
-  /// Book a completed task: virtual clock, stats, dependency release
-  /// (mutex held).
+  /// Book a completed task: virtual clock, stats, dependency release.
+  /// Called by the owning worker (hybrid, lock-free on the global path) or
+  /// under mutex_ (simulation).
   void finalize_task(detail::TaskNode& task, detail::DeviceState& device,
                      double transfer, double exec);
 
-  // --- Fault tolerance (all mutex held) -------------------------------------
+  // --- Fault tolerance (cold path; fault_mutex_) -----------------------------
 
   /// Book a failed attempt: advance the device's virtual clock past the
   /// attempt, count the failure, blacklist the device when it crossed the
   /// consecutive-failure threshold, then either re-queue the task with
   /// exponential backoff (budget left and a live device exists) or fail it
-  /// permanently.
-  void handle_task_failure_locked(detail::TaskNode& task,
-                                  detail::DeviceState& device, double transfer,
-                                  double exec, const std::string& reason,
-                                  bool is_timeout);
+  /// permanently. Takes fault_mutex_ itself.
+  void handle_task_failure(detail::TaskNode& task, detail::DeviceState& device,
+                           double transfer, double exec,
+                           const std::string& reason, bool is_timeout);
 
   /// Permanently fail `task` (kFailed) and cascade-cancel every transitive
-  /// successor still waiting on it.
+  /// successor still waiting on it (fault_mutex_ held).
   void fail_task_locked(detail::TaskNode& task, const std::string& reason);
 
   /// Stop scheduling onto `device` and re-route its queued tasks onto the
-  /// survivors (tasks with no surviving capable device fail permanently).
+  /// survivors (tasks with no surviving capable device fail permanently)
+  /// (fault_mutex_ held).
   void blacklist_device_locked(detail::DeviceState& device);
 
   /// Retry budget for failures on `device` (per-device PDL override or the
@@ -161,31 +204,43 @@ class Engine {
                                  TaskId task, DeviceId device, int attempt,
                                  std::string detail);
 
-  /// Status summarizing permanent failures so far; Ok when none.
+  /// Status summarizing permanent failures so far; Ok when none
+  /// (fault_mutex_ held).
   pdl::util::Status drain_status_locked() const;
 
-  /// Record a SchedulerDecision for `task` placed on `chosen` (mutex held,
-  /// before acquire_buffers mutates replica state). Counts the decision
-  /// always; captures candidates only when recording is active.
+  /// Wake everyone blocked in wait/wait_all after pending_/task state
+  /// changed (never called with drain_mutex_ held).
+  void notify_drain();
+
+  /// Record a SchedulerDecision for `task` placed on `chosen` (called by
+  /// the executing worker before acquire_buffers mutates replica state).
+  /// Counts the decision always; allocates nothing unless recording is
+  /// active (decisions_mutex_ taken only then).
   void record_decision(const detail::TaskNode& task,
                        const detail::DeviceState& chosen);
 
   /// Modeled cost of moving `view`'s missing replicas to `node`; updates
-  /// the handle valid-sets and transfer counters (engine mutex held).
+  /// the handle valid-sets and transfer counters (memory_mutex_ taken
+  /// internally; returns 0 immediately on single-node platforms).
   double acquire_buffers(detail::TaskNode& task, MemoryNodeId node);
 
-  /// Replica bookkeeping with capacity accounting (engine mutex held).
+  /// Replica bookkeeping with capacity accounting (memory_mutex_ held).
   /// add_replica may evict LRU replicas on bounded nodes; eviction of a
   /// sole replica charges a write-back to the host into `cost`.
   /// `pinned` handles (the executing task's buffers) are never evicted.
-  void add_replica(DataHandle* handle, MemoryNodeId node, double& cost,
-                   const std::vector<BufferView>* pinned);
-  void drop_replica(DataHandle* handle, MemoryNodeId node);
+  void add_replica_locked(DataHandle* handle, MemoryNodeId node, double& cost,
+                          const std::vector<BufferView>* pinned);
+  void drop_replica_locked(DataHandle* handle, MemoryNodeId node);
 
   /// Estimate for the HEFT policy: transfers (without mutating state) plus
-  /// execution estimate (engine mutex held).
+  /// execution estimate. Takes memory_mutex_ only on multi-node platforms.
   double estimated_cost(const detail::TaskNode& task,
                         const detail::DeviceState& device) const;
+
+  /// Row form for placement: fills out[i] for every device, taking the
+  /// perf-model lock once and memory_mutex_ at most once for the whole row
+  /// instead of once per candidate device.
+  void estimated_cost_row(const detail::TaskNode& task, double* out) const;
 
   double exec_estimate(const detail::TaskNode& task,
                        const detail::DeviceState& device) const;
@@ -195,21 +250,55 @@ class Engine {
                                MemoryNodeId to) const;
 
   EngineConfig config_;
-  std::vector<detail::DeviceState> devices_;
+  /// deque, not vector: DeviceState embeds mutexes/atomics (immovable) and
+  /// deque growth never relocates elements.
+  mutable std::deque<detail::DeviceState> devices_;
+  /// Simulation-mode scheduler (null in hybrid mode).
   std::unique_ptr<detail::Scheduler> scheduler_;
+  /// Hybrid-mode lock-split dispatch (null in the simulation modes).
+  std::unique_ptr<detail::HybridDispatch> dispatch_;
   PerfModel perf_model_;
   /// Config plan, or $PDL_FAULT_PLAN at construction; nullptr = no faults.
   std::shared_ptr<const FaultPlan> fault_plan_;
+  /// True when every device lives on the host memory node: replica
+  /// bookkeeping is then a no-op and acquire_buffers skips memory_mutex_.
+  bool single_node_ = false;
+  /// spec.sustained_gflops per device, flattened for estimate_row
+  /// (immutable after construction).
+  std::vector<double> device_gflops_;
 
+  /// Simulation modes: guards the discrete-event loop and everything it
+  /// touches. Hybrid mode: only scheduler_ remains under it (unused).
   mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   ///< workers wait here for tasks
-  std::condition_variable drain_cv_;  ///< wait_all waits here
-  bool stopping_ = false;
 
-  std::vector<std::unique_ptr<detail::TaskNode>> tasks_;
-  std::vector<std::unique_ptr<DataHandle>> handles_;
-  std::size_t pending_ = 0;
-  TaskId next_task_id_ = 1;
+  /// Serializes submission wiring: task-id assignment, arena growth,
+  /// handle registration and dependency-tail updates. Guarantees a total
+  /// submission order, which keeps the inferred DAG acyclic.
+  mutable std::mutex submit_mutex_;
+  /// Replica valid-sets, LRU accounting and transfer counters.
+  mutable std::mutex memory_mutex_;
+  /// Failure/retry/blacklist/cancel bookkeeping (cold path).
+  mutable std::mutex fault_mutex_;
+  /// SchedulerDecision log (taken only when recording is active).
+  mutable std::mutex decisions_mutex_;
+  /// Pairs with drain_cv_ for wait/wait_all sleeping.
+  mutable std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<bool> stopping_{false};
+  /// Tasks submitted but not yet done/failed/cancelled.
+  std::atomic<std::size_t> pending_{0};
+  /// Threads blocked in wait(TaskId); finalize only signals drain_cv_ when
+  /// someone is actually watching or pending_ hit zero, instead of once
+  /// per completed task.
+  std::atomic<int> waiters_{0};
+
+  detail::TaskArena tasks_;  ///< submit_mutex_
+  /// Codelet -> calibration row, resolved once per distinct codelet so the
+  /// per-task wiring path never takes the perf-model mutex.
+  std::unordered_map<const Codelet*, PerfModel::Row*> model_rows_;  ///< submit_mutex_
+  detail::Arena<DataHandle> handles_;  ///< submit_mutex_
+  TaskId next_task_id_ = 1;  ///< submit_mutex_
 
   /// Memory accounting per node (index = MemoryNodeId; host unbounded).
   struct NodeState {
@@ -217,19 +306,18 @@ class Engine {
     std::size_t used = 0;
     std::list<DataHandle*> lru;  ///< front = most recently used
   };
-  std::vector<NodeState> nodes_;
+  std::vector<NodeState> nodes_;  ///< memory_mutex_
 
-  // Statistics (guarded by mutex_).
-  std::uint64_t transfers_ = 0;
-  std::uint64_t transfer_bytes_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t writeback_bytes_ = 0;
-  double first_submit_wall_ = -1.0;
-  double drain_wall_ = 0.0;
-  std::vector<TaskTrace> trace_;
-  std::vector<SchedulerDecision> decisions_;
+  // Statistics.
+  std::uint64_t transfers_ = 0;        ///< memory_mutex_
+  std::uint64_t transfer_bytes_ = 0;   ///< memory_mutex_
+  std::uint64_t evictions_ = 0;        ///< memory_mutex_
+  std::uint64_t writeback_bytes_ = 0;  ///< memory_mutex_
+  std::atomic<double> first_submit_wall_{-1.0};
+  std::atomic<double> drain_wall_{0.0};
+  std::vector<SchedulerDecision> decisions_;  ///< decisions_mutex_
 
-  // Fault-tolerance statistics (guarded by mutex_).
+  // Fault-tolerance statistics (guarded by fault_mutex_).
   std::uint64_t task_failures_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t timeouts_ = 0;
@@ -243,6 +331,10 @@ class Engine {
   /// Per-policy decision counter ("starvm.decisions.<policy>"), resolved
   /// once at construction so the hot path skips the registry lookup.
   obs::Counter* decision_counter_ = nullptr;
+
+  /// Scratch for run_simulation_locked's per-iteration device ordering
+  /// (mutex_): reused instead of reallocated every loop turn.
+  std::vector<std::size_t> sim_order_;
 
   std::vector<std::thread> workers_;
 };

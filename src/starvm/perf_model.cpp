@@ -12,33 +12,85 @@ namespace {
 constexpr double kEmaAlpha = 0.25;
 // Estimate when neither history nor a FLOPs model exists.
 constexpr double kDefaultEstimateSeconds = 1e-3;
-}  // namespace
 
-double PerfModel::estimate(const std::string& codelet, int device, double flops,
-                           double device_gflops) const {
-  const auto it = history_.find({codelet, device});
-  if (it != history_.end() && it->second.count > 0) {
-    return it->second.ema_seconds;
-  }
+double analytic_estimate(double flops, double device_gflops) {
   if (flops > 0.0 && device_gflops > 0.0) {
     return flops / (device_gflops * 1e9);
   }
   return kDefaultEstimateSeconds;
 }
+}  // namespace
 
-void PerfModel::observe(const std::string& codelet, int device, double seconds) {
-  History& h = history_[{codelet, device}];
-  if (h.count == 0) {
-    h.ema_seconds = seconds;
-  } else {
-    h.ema_seconds = kEmaAlpha * seconds + (1.0 - kEmaAlpha) * h.ema_seconds;
+PerfModel::Row& PerfModel::row(std::string_view codelet) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = history_.find(codelet);
+  if (it == history_.end()) {
+    it = history_.emplace(std::string(codelet), std::make_unique<Row>()).first;
   }
-  ++h.count;
+  return *it->second;
 }
 
-std::uint64_t PerfModel::samples(const std::string& codelet, int device) const {
-  const auto it = history_.find({codelet, device});
-  return it == history_.end() ? 0 : it->second.count;
+PerfModel::Row* PerfModel::find_row(std::string_view codelet) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = history_.find(codelet);
+  return it == history_.end() ? nullptr : it->second.get();
+}
+
+double PerfModel::estimate_in(const Row& row, int device, double flops,
+                              double device_gflops) {
+  if (device >= 0 && device < kMaxDevices) {
+    const DeviceHistory& h = row[static_cast<std::size_t>(device)];
+    if (h.count.load(std::memory_order_acquire) > 0) {
+      return h.ema_seconds.load(std::memory_order_relaxed);
+    }
+  }
+  return analytic_estimate(flops, device_gflops);
+}
+
+void PerfModel::estimate_row_in(const Row& row, double flops,
+                                const double* device_gflops, std::size_t n,
+                                double* out) {
+  for (std::size_t i = 0; i < n && i < static_cast<std::size_t>(kMaxDevices);
+       ++i) {
+    const DeviceHistory& h = row[i];
+    out[i] = h.count.load(std::memory_order_acquire) > 0
+                 ? h.ema_seconds.load(std::memory_order_relaxed)
+                 : analytic_estimate(flops, device_gflops[i]);
+  }
+}
+
+void PerfModel::observe_in(Row& row, int device, double seconds) {
+  if (device < 0 || device >= kMaxDevices) return;
+  DeviceHistory& h = row[static_cast<std::size_t>(device)];
+  const std::uint64_t count = h.count.load(std::memory_order_relaxed);
+  const double ema =
+      count == 0 ? seconds
+                 : kEmaAlpha * seconds +
+                       (1.0 - kEmaAlpha) *
+                           h.ema_seconds.load(std::memory_order_relaxed);
+  h.ema_seconds.store(ema, std::memory_order_relaxed);
+  h.count.store(count + 1, std::memory_order_release);
+}
+
+double PerfModel::estimate(std::string_view codelet, int device, double flops,
+                           double device_gflops) const {
+  if (const Row* row = find_row(codelet)) {
+    return estimate_in(*row, device, flops, device_gflops);
+  }
+  return analytic_estimate(flops, device_gflops);
+}
+
+void PerfModel::observe(std::string_view codelet, int device, double seconds) {
+  if (device < 0 || device >= kMaxDevices) return;
+  observe_in(row(codelet), device, seconds);
+}
+
+std::uint64_t PerfModel::samples(std::string_view codelet, int device) const {
+  if (device < 0 || device >= kMaxDevices) return 0;
+  const Row* row = find_row(codelet);
+  if (row == nullptr) return 0;
+  return (*row)[static_cast<std::size_t>(device)].count.load(
+      std::memory_order_acquire);
 }
 
 bool PerfModel::save(const std::string& path) const {
@@ -46,9 +98,16 @@ bool PerfModel::save(const std::string& path) const {
   if (!out) return false;
   out << "# starvm perf-model calibration v1\n";
   out.precision(17);
-  for (const auto& [key, history] : history_) {
-    out << key.first << ' ' << key.second << ' ' << history.ema_seconds << ' '
-        << history.count << '\n';
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [codelet, row] : history_) {
+    for (int device = 0; device < kMaxDevices; ++device) {
+      const DeviceHistory& h = (*row)[static_cast<std::size_t>(device)];
+      const std::uint64_t count = h.count.load(std::memory_order_acquire);
+      if (count == 0) continue;
+      out << codelet << ' ' << device << ' '
+          << h.ema_seconds.load(std::memory_order_relaxed) << ' ' << count
+          << '\n';
+    }
   }
   return static_cast<bool>(out);
 }
@@ -57,16 +116,25 @@ bool PerfModel::load(const std::string& path) {
   std::ifstream in(path);
   if (!in) return false;
   std::string line;
+  std::lock_guard<std::mutex> lock(mutex_);
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
     std::string codelet;
     int device = 0;
-    History history;
-    if (!(fields >> codelet >> device >> history.ema_seconds >> history.count)) {
+    double ema = 0.0;
+    std::uint64_t count = 0;
+    if (!(fields >> codelet >> device >> ema >> count) || device < 0 ||
+        device >= kMaxDevices) {
       return false;
     }
-    history_[{codelet, device}] = history;
+    auto it = history_.find(codelet);
+    if (it == history_.end()) {
+      it = history_.emplace(std::move(codelet), std::make_unique<Row>()).first;
+    }
+    DeviceHistory& h = (*it->second)[static_cast<std::size_t>(device)];
+    h.ema_seconds.store(ema, std::memory_order_relaxed);
+    h.count.store(count, std::memory_order_release);
   }
   return true;
 }

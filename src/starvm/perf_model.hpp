@@ -4,27 +4,74 @@
 // we reproduce that with an exponential moving average of observed costs,
 // falling back to the analytic FLOPs / sustained-GFLOPS estimate before
 // history exists (paper §II: PDL properties feed performance prediction).
+//
+// Thread-safe two ways:
+//  - The name-keyed API (estimate/observe/samples/save/load) takes an
+//    internal mutex and is safe from any thread.
+//  - The hot path avoids that mutex entirely: row() hands out a stable
+//    pointer to a codelet's calibration row once (at task wiring), and
+//    estimate_in / observe_in operate on the row's atomic cells lock-free.
+//    Each (codelet, device) cell has a single writer — the device's worker
+//    thread — so a relaxed-store / release-count protocol suffices; readers
+//    pair it with an acquire load of the count.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
-#include <utility>
+#include <string_view>
 
 namespace starvm {
 
 class PerfModel {
  public:
+  /// Row width; engines enforce far fewer devices than this at construction.
+  static constexpr int kMaxDevices = 64;
+
+  /// One (codelet, device) calibration cell. `count` is released *after*
+  /// `ema_seconds` so an estimator that observes count > 0 reads a real
+  /// sample, never a half-initialized one.
+  struct DeviceHistory {
+    std::atomic<double> ema_seconds{0.0};
+    std::atomic<std::uint64_t> count{0};
+  };
+  /// A codelet's calibration row, indexed by device id. Address is stable
+  /// for the model's lifetime — safe to cache on task nodes.
+  using Row = std::array<DeviceHistory, kMaxDevices>;
+
+  /// Stable pointer to `codelet`'s row, created empty on first use. Takes
+  /// the mutex; call once per codelet and cache, not once per task.
+  Row& row(std::string_view codelet);
+
+  /// Lock-free estimate from a cached row: history wins, else the analytic
+  /// FLOPs / sustained-GFLOPS model, else a fixed default.
+  static double estimate_in(const Row& row, int device, double flops,
+                            double device_gflops);
+
+  /// Lock-free batched estimate: fills `out[i]` for devices [0, n), where
+  /// `device_gflops[i]` feeds the analytic fallback. The HEFT placement
+  /// path calls this once per task instead of n map lookups.
+  static void estimate_row_in(const Row& row, double flops,
+                              const double* device_gflops, std::size_t n,
+                              double* out);
+
+  /// Lock-free observation into a cached row (single writer per cell).
+  static void observe_in(Row& row, int device, double seconds);
+
   /// Estimated seconds for a task of `flops` useful work on device `device`
   /// running at `device_gflops`. History, when present, wins.
-  double estimate(const std::string& codelet, int device, double flops,
+  double estimate(std::string_view codelet, int device, double flops,
                   double device_gflops) const;
 
   /// Record an observed execution time (seconds).
-  void observe(const std::string& codelet, int device, double seconds);
+  void observe(std::string_view codelet, int device, double seconds);
 
   /// Number of observations recorded for the pair.
-  std::uint64_t samples(const std::string& codelet, int device) const;
+  std::uint64_t samples(std::string_view codelet, int device) const;
 
   /// Persist the calibration history (StarPU keeps per-codelet calibration
   /// across runs; so do we). Plain text, one "codelet device ema count"
@@ -36,11 +83,13 @@ class PerfModel {
   bool load(const std::string& path);
 
  private:
-  struct History {
-    double ema_seconds = 0.0;
-    std::uint64_t count = 0;
-  };
-  std::map<std::pair<std::string, int>, History> history_;
+  Row* find_row(std::string_view codelet) const;
+
+  /// Rows are heap-allocated so map rebalancing never moves them; the map
+  /// itself (insertion only) is guarded by the mutex, the cells are not.
+  using HistoryMap = std::map<std::string, std::unique_ptr<Row>, std::less<>>;
+  HistoryMap history_;
+  mutable std::mutex mutex_;
 };
 
 /// Analytic transfer time: latency + bytes / bandwidth.

@@ -1,14 +1,36 @@
 // Internal runtime state shared by engine.cpp and scheduler.cpp.
-// Not part of the public API; everything here is guarded by the engine
-// mutex unless stated otherwise.
+// Not part of the public API.
+//
+// Concurrency model (real-threads / kHybrid path — see docs/RUNTIME.md,
+// "Scheduling & locking architecture"):
+//   - Fields marked "immutable after wiring" are written while the task is
+//     private to the submitting thread (under the engine's submit mutex)
+//     and never change afterwards.
+//   - `state`, `deps_remaining` and `ready_vtime` are atomics; task-state
+//     transitions go through compare-exchange so exactly one thread wins a
+//     kWaiting -> kReady (publish) or kWaiting -> kFailed (cancel) race.
+//   - `successors`, `released` and the finish_vtime handoff to late
+//     subscribers are guarded by the per-task `edge_mutex`.
+//   - Each DeviceState embeds its own ReadyQueue (mutex + cv + deque); the
+//     owning worker pops from the front, idle peers steal from the back.
+// The virtual-clock simulation modes keep the single engine mutex and
+// simply use the atomics with plain load/store semantics.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "starvm/codelet.hpp"
 #include "starvm/device.hpp"
+#include "starvm/perf_model.hpp"
+#include "starvm/stats.hpp"
 #include "starvm/types.hpp"
 
 namespace starvm::detail {
@@ -16,20 +38,33 @@ namespace starvm::detail {
 enum class TaskState { kWaiting, kReady, kRunning, kDone, kFailed };
 
 struct TaskNode {
+  // --- immutable after wiring ---
   TaskId id = 0;
   const Codelet* codelet = nullptr;
   std::vector<BufferView> buffers;
   std::string label;
   double flops = 0.0;
   int priority = 0;
+  /// Cached calibration row for `codelet` (set at wiring): lets workers and
+  /// placement estimate/observe without the perf-model mutex or map lookup.
+  PerfModel::Row* model_row = nullptr;
 
-  TaskState state = TaskState::kWaiting;
-  int deps_remaining = 0;
+  // --- dependency tracking ---
+  std::atomic<TaskState> state{TaskState::kWaiting};
+  /// Unreleased predecessors + 1 "submission reference" that the submitter
+  /// drops after wiring completes, so a task can never become ready while
+  /// its edges are still being added.
+  std::atomic<int> deps_remaining{1};
+  /// Guards successors + released + the finish_vtime handoff.
+  std::mutex edge_mutex;
   std::vector<TaskNode*> successors;
+  /// True once finalize_task has swapped the successor list out; later
+  /// subscribers read finish_vtime instead of adding an edge.
+  bool released = false;
 
-  /// Virtual time when all dependencies have finished.
-  double ready_vtime = 0.0;
-  /// Virtual interval this task occupied on its device.
+  /// Virtual time when all dependencies have finished (CAS-max updated).
+  std::atomic<double> ready_vtime{0.0};
+  /// Virtual interval this task occupied on its device (owner-written).
   double start_vtime = 0.0;
   double finish_vtime = 0.0;
   DeviceId ran_on = -1;
@@ -41,25 +76,100 @@ struct TaskNode {
   std::string error;  ///< why the task failed (kFailed only)
 };
 
+/// Raise an atomic virtual clock to at least `v` (concurrent max).
+inline void vtime_raise(std::atomic<double>& clock, double v) {
+  double cur = clock.load(std::memory_order_relaxed);
+  while (cur < v && !clock.compare_exchange_weak(cur, v)) {
+  }
+}
+
+/// Per-device ready queue for the real-threads path. The owning worker
+/// pops from the front; idle peers steal from the back (oldest work first,
+/// the classic Cilk/ABP orientation that minimizes owner interference).
+struct ReadyQueue {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<TaskNode*> tasks;     ///< guarded by m
+  std::uint64_t steals_out = 0;    ///< tasks stolen FROM this queue (by m)
+  /// Workers currently blocked in cv.wait. Written under m (between the
+  /// queue re-check and the wait, so a pusher holding m sees either the
+  /// task consumed or the sleeper registered — no lost wakeup); atomic so
+  /// heuristic reads (peer nudges) may skip the lock. Pushers skip the
+  /// notify syscall entirely when this is zero: an awake worker re-polls
+  /// the queue before it ever sleeps.
+  std::atomic<int> sleepers{0};
+};
+
 struct DeviceState {
   DeviceSpec spec;
   DeviceId id = -1;
   MemoryNodeId node = kHostNode;
 
-  /// Virtual time when the device next becomes free.
-  double avail_vtime = 0.0;
+  /// Virtual time when the device next becomes free (raised by its worker;
+  /// read by schedulers and decision recording).
+  std::atomic<double> avail_vtime{0.0};
   /// HEFT bookkeeping: estimated completion of everything queued to it.
-  double est_avail = 0.0;
+  /// Racy-by-design in hybrid mode (a stale read only degrades placement,
+  /// never correctness); the simulation scheduler keeps its own copy.
+  std::atomic<double> est_avail{0.0};
 
-  // --- statistics ---
+  ReadyQueue queue;  ///< hybrid path; unused by the simulation modes
+
+  /// Completed-task trace, owner-written (worker thread or sim loop);
+  /// merged and sorted by Engine::stats() after quiescence.
+  std::vector<TaskTrace> trace;
+
+  // --- statistics (owner-written) ---
   double busy_seconds = 0.0;
   double transfer_seconds = 0.0;
   std::uint64_t tasks_run = 0;
 
   // --- fault tolerance ---
-  bool blacklisted = false;      ///< no longer receives work
+  std::atomic<bool> blacklisted{false};  ///< no longer receives work
   int consecutive_failures = 0;  ///< reset on every successful attempt
   std::uint64_t failures = 0;    ///< failed attempts over the device's life
 };
+
+/// Chunked TaskNode pool: node addresses are stable for the engine's
+/// lifetime (successor edges are raw pointers) and allocation happens once
+/// per kChunk submissions instead of once per task. Guarded by the
+/// engine's submit mutex; ids are dense from 1, so node i lives at
+/// index id - 1.
+/// Chunked stable-address arena: elements never move once created (they
+/// are referred to by raw pointer everywhere), and appending amortizes to
+/// one allocation per kChunk elements instead of one per element (or per
+/// deque page — std::deque<DataHandle> fits ~3 handles per 512-byte page).
+template <typename T>
+class Arena {
+ public:
+  static constexpr std::size_t kChunk = 64;
+
+  T& emplace_back() {
+    if (size_ == chunks_.size() * kChunk) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    return (*this)[size_++];
+  }
+
+  /// Pre-allocate room for `n` more elements (batched submission).
+  void reserve_more(std::size_t n) {
+    while (chunks_.size() * kChunk < size_ + n) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+  }
+
+  T& operator[](std::size_t i) {
+    return (*chunks_[i / kChunk])[i % kChunk];
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  using Chunk = std::array<T, kChunk>;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_ = 0;
+};
+
+using TaskArena = Arena<TaskNode>;
 
 }  // namespace starvm::detail

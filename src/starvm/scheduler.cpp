@@ -1,17 +1,20 @@
 #include "starvm/scheduler.hpp"
 
-#include <deque>
+#include <algorithm>
+#include <chrono>
 #include <limits>
+#include <thread>
 
 namespace starvm::detail {
 
 namespace {
 
 bool device_capable(const DeviceState& device, const TaskNode& task) {
-  return !device.blacklisted && task.codelet->supports(device.spec.kind);
+  return !device.blacklisted.load(std::memory_order_relaxed) &&
+         task.codelet->supports(device.spec.kind);
 }
 
-bool any_live_capable(const std::vector<DeviceState>& devices,
+bool any_live_capable(const std::deque<DeviceState>& devices,
                       const TaskNode& task) {
   for (const DeviceState& device : devices) {
     if (device_capable(device, task)) return true;
@@ -19,20 +22,26 @@ bool any_live_capable(const std::vector<DeviceState>& devices,
   return false;
 }
 
+/// Stable priority order: insert after the last entry with priority >= ours,
+/// so equal priorities keep submission (FIFO) order. Scanning from the BACK
+/// makes the common all-default-priority case O(1) — a front scan walks the
+/// entire queue per push and turns a burst of N submissions into O(N^2).
+void priority_insert(std::deque<TaskNode*>& queue, TaskNode* task) {
+  auto it = queue.end();
+  while (it != queue.begin() && (*std::prev(it))->priority < task->priority) {
+    --it;
+  }
+  queue.insert(it, task);
+}
+
 /// Single shared FIFO; the first idle device with a matching implementation
 /// takes the oldest runnable task. Greedy, model-free.
 class EagerScheduler final : public Scheduler {
  public:
-  explicit EagerScheduler(const std::vector<DeviceState>* devices)
+  explicit EagerScheduler(const std::deque<DeviceState>* devices)
       : devices_(devices) {}
 
-  void push(TaskNode* task) override {
-    // Stable priority order: insert before the first strictly-lower entry,
-    // so equal priorities keep submission (FIFO) order.
-    auto it = queue_.begin();
-    while (it != queue_.end() && (*it)->priority >= task->priority) ++it;
-    queue_.insert(it, task);
-  }
+  void push(TaskNode* task) override { priority_insert(queue_, task); }
 
   TaskNode* pop(DeviceId device) override {
     const DeviceState& dev = (*devices_)[static_cast<std::size_t>(device)];
@@ -66,14 +75,14 @@ class EagerScheduler final : public Scheduler {
   }
 
  private:
-  const std::vector<DeviceState>* devices_;
+  const std::deque<DeviceState>* devices_;
   std::deque<TaskNode*> queue_;
 };
 
 /// Per-device deques with round-robin placement and back-stealing.
 class WorkStealingScheduler final : public Scheduler {
  public:
-  explicit WorkStealingScheduler(const std::vector<DeviceState>* devices)
+  explicit WorkStealingScheduler(const std::deque<DeviceState>* devices)
       : devices_(devices), queues_(devices->size()) {}
 
   void push(TaskNode* task) override {
@@ -147,7 +156,7 @@ class WorkStealingScheduler final : public Scheduler {
   }
 
  private:
-  const std::vector<DeviceState>* devices_;
+  const std::deque<DeviceState>* devices_;
   std::vector<std::deque<TaskNode*>> queues_;
   std::size_t next_ = 0;
 };
@@ -157,18 +166,21 @@ class WorkStealingScheduler final : public Scheduler {
 ///   max(est_avail(device), task.ready) + transfer_est + exec_est.
 class HeftScheduler final : public Scheduler {
  public:
-  HeftScheduler(const std::vector<DeviceState>* devices, CostFn cost_fn)
+  HeftScheduler(const std::deque<DeviceState>* devices, CostRowFn cost_fn)
       : devices_(devices), cost_fn_(std::move(cost_fn)), queues_(devices->size()) {}
 
   void push(TaskNode* task) override {
+    costs_.resize(devices_->size());
+    cost_fn_(*task, costs_.data());
     double best_finish = std::numeric_limits<double>::infinity();
     std::size_t best_device = queues_.size();
     for (std::size_t i = 0; i < devices_->size(); ++i) {
       const DeviceState& dev = (*devices_)[i];
       if (!device_capable(dev, *task)) continue;
-      const double start = std::max(est_avail_.size() > i ? est_avail_[i] : 0.0,
-                                    task->ready_vtime);
-      const double finish = start + cost_fn_(*task, dev);
+      const double start =
+          std::max(est_avail_.size() > i ? est_avail_[i] : 0.0,
+                   task->ready_vtime.load(std::memory_order_relaxed));
+      const double finish = start + costs_[i];
       if (finish < best_finish) {
         best_finish = finish;
         best_device = i;
@@ -214,17 +226,18 @@ class HeftScheduler final : public Scheduler {
   }
 
  private:
-  const std::vector<DeviceState>* devices_;
-  CostFn cost_fn_;
+  const std::deque<DeviceState>* devices_;
+  CostRowFn cost_fn_;
   std::vector<std::deque<TaskNode*>> queues_;
   std::vector<double> est_avail_;
+  std::vector<double> costs_;  ///< scratch row (engine mutex held)
 };
 
 }  // namespace
 
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
-                                          const std::vector<DeviceState>* devices,
-                                          CostFn cost_fn) {
+                                          const std::deque<DeviceState>* devices,
+                                          CostRowFn cost_fn) {
   switch (kind) {
     case SchedulerKind::kEager:
       return std::make_unique<EagerScheduler>(devices);
@@ -234,6 +247,349 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
       return std::make_unique<HeftScheduler>(devices, std::move(cost_fn));
   }
   return std::make_unique<EagerScheduler>(devices);
+}
+
+// --- HybridDispatch ----------------------------------------------------------
+
+HybridDispatch::HybridDispatch(SchedulerKind kind,
+                               std::deque<DeviceState>* devices, CostRowFn cost_fn)
+    : kind_(kind), devices_(devices), cost_fn_(std::move(cost_fn)) {}
+
+DeviceId HybridDispatch::place(const TaskNode& task) {
+  const std::size_t n = devices_->size();
+  if (kind_ == SchedulerKind::kWorkStealing) {
+    const std::size_t start = rr_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t probe = 0; probe < n; ++probe) {
+      const std::size_t i = (start + probe) % n;
+      if (device_capable((*devices_)[i], task)) {
+        return static_cast<DeviceId>(i);
+      }
+    }
+    return -1;
+  }
+  // kHeft: earliest estimated finish over the atomic per-device backlogs.
+  // Concurrent placements may read slightly stale est_avail values — a
+  // heuristic race that degrades placement, never correctness. The cost
+  // row is fetched in one call (single model/memory lock round-trip);
+  // thread_local scratch keeps concurrent submitters allocation-free.
+  static thread_local std::vector<double> costs;
+  costs.resize(n);
+  cost_fn_(task, costs.data());
+  double best_finish = std::numeric_limits<double>::infinity();
+  DeviceId best_device = -1;
+  const double ready = task.ready_vtime.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    DeviceState& dev = (*devices_)[i];
+    if (!device_capable(dev, task)) continue;
+    const double start =
+        std::max(dev.est_avail.load(std::memory_order_relaxed), ready);
+    const double finish = start + costs[i];
+    if (finish < best_finish) {
+      best_finish = finish;
+      best_device = static_cast<DeviceId>(i);
+    }
+  }
+  if (best_device >= 0) {
+    vtime_raise((*devices_)[static_cast<std::size_t>(best_device)].est_avail,
+                best_finish);
+  }
+  return best_device;
+}
+
+bool HybridDispatch::push_to(DeviceId device, TaskNode* task, bool notify) {
+  DeviceState& dev = (*devices_)[static_cast<std::size_t>(device)];
+  bool wake = false;
+  bool nudge_peer = false;
+  {
+    std::lock_guard<std::mutex> lock(dev.queue.m);
+    // Re-check under the queue mutex: blacklisting sets the flag first and
+    // drains the queue after, both against this mutex, so either we insert
+    // before the drain (and the task is re-routed) or we see the flag.
+    if (dev.blacklisted.load(std::memory_order_relaxed)) return false;
+    const bool was_empty = dev.queue.tasks.empty();
+    dev.queue.tasks.push_back(task);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Wake only on the empty -> non-empty transition, and only when someone
+    // is actually asleep (sleepers is registered under this mutex before
+    // the worker waits, so this read cannot miss a sleeper that already
+    // passed its queue re-check). A non-empty queue means the owner is
+    // either awake or has an undelivered wakeup: it drains to empty under
+    // this mutex before it ever sleeps again. Skipping the futex syscall on
+    // the other pushes is the difference between one wake per task and one
+    // per burst.
+    wake = notify && was_empty &&
+           dev.queue.sleepers.load(std::memory_order_relaxed) > 0;
+    nudge_peer = notify && kind_ == SchedulerKind::kWorkStealing &&
+                 dev.queue.tasks.size() > 1 && devices_->size() > 1;
+  }
+  // Notify with the mutex released: a woken worker immediately re-acquires
+  // the queue mutex, so signalling while holding it forces an extra block/
+  // unblock cycle on every handoff.
+  if (wake) dev.queue.cv.notify_one();
+  if (nudge_peer) {
+    // The owner may be busy for a while; nudge one sleeping peer so
+    // back-stealing picks the backlog up without waiting for its rescan
+    // timeout (heuristic — a stale sleepers read at worst delays a steal).
+    const std::size_t peer =
+        (static_cast<std::size_t>(device) + 1) % devices_->size();
+    ReadyQueue& pq = (*devices_)[peer].queue;
+    if (pq.sleepers.load(std::memory_order_relaxed) > 0) pq.cv.notify_one();
+  }
+  return true;
+}
+
+bool HybridDispatch::push(TaskNode* task) {
+  if (kind_ == SchedulerKind::kEager) {
+    if (!any_live_capable(*devices_, *task)) return false;
+    bool wake;
+    {
+      std::lock_guard<std::mutex> lock(shared_.m);
+      priority_insert(shared_.tasks, task);
+      count_.fetch_add(1, std::memory_order_relaxed);
+      wake = shared_.sleepers.load(std::memory_order_relaxed) > 0;
+    }
+    // notify_all, not notify_one: the shared queue is capability-filtered
+    // at pop time, so waking a single worker could pick one whose device
+    // cannot run this task while the capable worker keeps sleeping.
+    if (wake) shared_.cv.notify_all();
+    return true;
+  }
+  // A device can be blacklisted between place() and push_to(); re-place
+  // until the insert lands or no candidate remains.
+  for (;;) {
+    const DeviceId device = place(*task);
+    if (device < 0) return false;
+    if (push_to(device, task, /*notify=*/true)) return true;
+  }
+}
+
+std::vector<TaskNode*> HybridDispatch::push_batch(
+    const std::vector<TaskNode*>& tasks) {
+  std::vector<TaskNode*> rejected;
+  if (kind_ == SchedulerKind::kEager) {
+    bool wake;
+    {
+      std::lock_guard<std::mutex> lock(shared_.m);
+      for (TaskNode* task : tasks) {
+        if (!any_live_capable(*devices_, *task)) {
+          rejected.push_back(task);
+          continue;
+        }
+        priority_insert(shared_.tasks, task);
+        count_.fetch_add(1, std::memory_order_relaxed);
+      }
+      wake = shared_.sleepers.load(std::memory_order_relaxed) > 0;
+    }
+    if (wake) shared_.cv.notify_all();
+    return rejected;
+  }
+
+  // Bucket per device so each involved queue is locked and notified once.
+  std::vector<std::vector<TaskNode*>> buckets(devices_->size());
+  for (TaskNode* task : tasks) {
+    const DeviceId device = place(*task);
+    if (device < 0) {
+      rejected.push_back(task);
+      continue;
+    }
+    buckets[static_cast<std::size_t>(device)].push_back(task);
+  }
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].empty()) continue;
+    DeviceState& dev = (*devices_)[i];
+    bool placed = false;
+    bool was_empty = false;
+    {
+      std::lock_guard<std::mutex> lock(dev.queue.m);
+      if (!dev.blacklisted.load(std::memory_order_relaxed)) {
+        was_empty = dev.queue.tasks.empty();
+        for (TaskNode* task : buckets[i]) dev.queue.tasks.push_back(task);
+        count_.fetch_add(buckets[i].size(), std::memory_order_relaxed);
+        placed = true;
+      }
+    }
+    if (placed) {
+      if (kind_ == SchedulerKind::kWorkStealing && buckets[i].size() > 1) {
+        // A burst on one device is exactly what stealing exists for: wake
+        // every worker, not just the owner.
+        notify_all();
+      } else if (was_empty &&
+                 dev.queue.sleepers.load(std::memory_order_relaxed) > 0) {
+        // Empty -> non-empty transition only (see push_to). Safe to read
+        // sleepers after unlocking: a sleeper either registered before our
+        // push (visible via the mutex) or re-checked the queue after it
+        // and found the batch.
+        dev.queue.cv.notify_one();
+      }
+    } else {
+      // Blacklisted while batching: fall back to one-by-one re-placement.
+      for (TaskNode* task : buckets[i]) {
+        if (!push(task)) rejected.push_back(task);
+      }
+    }
+  }
+  return rejected;
+}
+
+TaskNode* HybridDispatch::pop_local(DeviceId device) {
+  DeviceState& dev = (*devices_)[static_cast<std::size_t>(device)];
+  if (kind_ == SchedulerKind::kEager) {
+    std::lock_guard<std::mutex> lock(shared_.m);
+    for (auto it = shared_.tasks.begin(); it != shared_.tasks.end(); ++it) {
+      if (device_capable(dev, **it)) {
+        TaskNode* task = *it;
+        shared_.tasks.erase(it);
+        count_.fetch_sub(1, std::memory_order_relaxed);
+        return task;
+      }
+    }
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(dev.queue.m);
+  if (dev.queue.tasks.empty()) return nullptr;
+  // Per-device queues only ever receive tasks the device can run.
+  TaskNode* task = dev.queue.tasks.front();
+  dev.queue.tasks.pop_front();
+  count_.fetch_sub(1, std::memory_order_relaxed);
+  return task;
+}
+
+TaskNode* HybridDispatch::steal_for(DeviceId thief) {
+  // Only the work-stealing policy steals: kEager has nothing device-bound,
+  // and kHeft's model-based placement is final — stealing would silently
+  // override the cost model (and move work off the accelerators it chose).
+  if (kind_ != SchedulerKind::kWorkStealing) return nullptr;
+  const std::size_t n = devices_->size();
+  const DeviceState& me = (*devices_)[static_cast<std::size_t>(thief)];
+  for (std::size_t offset = 1; offset < n; ++offset) {
+    const std::size_t v = (static_cast<std::size_t>(thief) + offset) % n;
+    DeviceState& victim = (*devices_)[v];
+    std::lock_guard<std::mutex> lock(victim.queue.m);
+    // Steal the oldest work we can actually run, from the back — the
+    // owner pops the front, so contention on a 2-element queue is nil.
+    for (auto it = victim.queue.tasks.rbegin();
+         it != victim.queue.tasks.rend(); ++it) {
+      if ((*it)->codelet->supports(me.spec.kind)) {
+        TaskNode* task = *it;
+        victim.queue.tasks.erase(std::next(it).base());
+        ++victim.queue.steals_out;
+        count_.fetch_sub(1, std::memory_order_relaxed);
+        return task;
+      }
+    }
+  }
+  return nullptr;
+}
+
+TaskNode* HybridDispatch::wait_pop(DeviceId device,
+                                   const std::atomic<bool>& stopping) {
+  DeviceState& dev = (*devices_)[static_cast<std::size_t>(device)];
+  ReadyQueue& q = kind_ == SchedulerKind::kEager ? shared_ : dev.queue;
+  // Empty polls since the last task; governs the yield-before-sleep below.
+  int idle_polls = 0;
+  for (;;) {
+    if (TaskNode* task = pop_local(device)) return task;
+    if (!dev.blacklisted.load(std::memory_order_relaxed)) {
+      if (TaskNode* task = steal_for(device)) return task;
+    }
+    // Yield a few times before sleeping: while a submitter is actively
+    // producing, the worker stays runnable (sleepers == 0, so pushes skip
+    // the futex syscall) and each yield hands the core to the submitter,
+    // which typically queues a burst the next poll drains. Only a queue
+    // that stays empty across several quanta puts the worker to sleep.
+    if (idle_polls < 8 && !stopping.load(std::memory_order_relaxed)) {
+      ++idle_polls;
+      std::this_thread::yield();
+      continue;
+    }
+    idle_polls = 0;
+    std::unique_lock<std::mutex> lock(q.m);
+    // Re-check under the queue mutex: a push after our pop_local above
+    // would otherwise be a lost wakeup.
+    if (kind_ == SchedulerKind::kEager) {
+      for (auto it = shared_.tasks.begin(); it != shared_.tasks.end(); ++it) {
+        if (device_capable(dev, **it)) {
+          TaskNode* task = *it;
+          shared_.tasks.erase(it);
+          count_.fetch_sub(1, std::memory_order_relaxed);
+          return task;
+        }
+      }
+    } else if (!dev.queue.tasks.empty()) {
+      TaskNode* task = dev.queue.tasks.front();
+      dev.queue.tasks.pop_front();
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+    if (stopping.load(std::memory_order_relaxed)) return nullptr;
+    // Register as a sleeper BEFORE waiting, still under q.m: a pusher that
+    // takes q.m after us must see sleepers > 0 and notify; one that ran
+    // before us already enqueued the task our re-check above would have
+    // found. Either way no wakeup is lost, and pushers may skip the futex
+    // syscall entirely whenever sleepers == 0.
+    q.sleepers.fetch_add(1, std::memory_order_relaxed);
+    if (kind_ == SchedulerKind::kWorkStealing &&
+        count_.load(std::memory_order_relaxed) > 0) {
+      // Work is queued somewhere we could steal from; rescan soon even if
+      // nobody nudges us. Non-stealing policies only receive work through
+      // their own queue's notification, so they sleep without a timeout.
+      q.cv.wait_for(lock, std::chrono::milliseconds(2));
+    } else {
+      q.cv.wait(lock);
+    }
+    q.sleepers.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<TaskNode*> HybridDispatch::drain_device(DeviceId device) {
+  DeviceState& dev = (*devices_)[static_cast<std::size_t>(device)];
+  if (kind_ == SchedulerKind::kEager) {
+    // Shared queue: survivors keep draining it; evict only orphans.
+    std::vector<TaskNode*> orphans;
+    std::lock_guard<std::mutex> lock(shared_.m);
+    for (auto it = shared_.tasks.begin(); it != shared_.tasks.end();) {
+      if (!any_live_capable(*devices_, **it)) {
+        orphans.push_back(*it);
+        it = shared_.tasks.erase(it);
+        count_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+    return orphans;
+  }
+  std::lock_guard<std::mutex> lock(dev.queue.m);
+  std::vector<TaskNode*> drained(dev.queue.tasks.begin(),
+                                 dev.queue.tasks.end());
+  dev.queue.tasks.clear();
+  count_.fetch_sub(drained.size(), std::memory_order_relaxed);
+  return drained;
+}
+
+std::uint64_t HybridDispatch::steals() const {
+  std::uint64_t total = 0;
+  for (DeviceState& dev : *devices_) {
+    std::lock_guard<std::mutex> lock(dev.queue.m);
+    total += dev.queue.steals_out;
+  }
+  return total;
+}
+
+void HybridDispatch::notify_all() {
+  // The empty critical sections order this notification against workers in
+  // wait_pop: a worker holds the queue mutex from its stopping/queue
+  // re-check until cv.wait releases it, so locking here guarantees the
+  // worker either sees the new state or is already waiting when we notify.
+  {
+    std::lock_guard<std::mutex> lock(shared_.m);
+  }
+  shared_.cv.notify_all();
+  for (DeviceState& dev : *devices_) {
+    {
+      std::lock_guard<std::mutex> lock(dev.queue.m);
+    }
+    dev.queue.cv.notify_all();
+  }
 }
 
 }  // namespace starvm::detail

@@ -2,9 +2,18 @@
 // task-mapping"; §VI flags dynamic run-time schedulers as the open issue —
 // these three policies are the ablation axis of bench/bm_scheduler_ablation).
 //
-// All methods are called with the engine mutex held.
+// Two implementations of the same three policies live here:
+//   - Scheduler: the single-queue-discipline used by the virtual-clock
+//     simulation modes. All methods are called with the engine mutex held.
+//   - HybridDispatch: the lock-split dispatch used by the real-threads
+//     (kHybrid) path — per-device ready queues + condition variables with
+//     work stealing; it takes only the ReadyQueue mutexes of the devices
+//     involved, never a global lock.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -14,9 +23,13 @@
 
 namespace starvm::detail {
 
-/// Estimated cost (seconds) of running `task` on `device` — execution plus
-/// pending data transfers. Provided by the engine to model-based policies.
-using CostFn = std::function<double(const TaskNode&, const DeviceState&)>;
+/// Batched cost estimate: fills `out[i]` with the estimated cost (seconds)
+/// of running `task` on device i — execution plus pending data transfers —
+/// for every device in the platform. Row-at-a-time so the engine can take
+/// its memory lock and the perf-model history lock once per task instead of
+/// once per (task, device) candidate; with four candidate devices that
+/// alone removes three lock/lookup round-trips from every HEFT placement.
+using CostRowFn = std::function<void(const TaskNode&, double* out)>;
 
 class Scheduler {
  public:
@@ -45,7 +58,66 @@ class Scheduler {
 
 /// Factory. `devices` outlives the scheduler; `cost_fn` is used by kHeft.
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
-                                          const std::vector<DeviceState>* devices,
-                                          CostFn cost_fn);
+                                          const std::deque<DeviceState>* devices,
+                                          CostRowFn cost_fn);
+
+/// Lock-split ready-task dispatch for the real-threads path.
+///
+/// Placement happens at push time per policy (kEager: one shared
+/// priority-ordered queue; kWorkStealing: round-robin over capable live
+/// devices; kHeft: earliest-estimated-finish over atomic per-device
+/// backlogs). Workers pop their own queue front; under kWorkStealing an
+/// idle worker additionally steals from peers' backs before sleeping
+/// (kHeft placement is final — the model chose the device — and kEager's
+/// shared queue makes stealing moot). Pushes re-check the target's
+/// blacklist flag under its queue mutex, so a task can never be stranded
+/// on a device blacklisted concurrently with placement.
+class HybridDispatch {
+ public:
+  HybridDispatch(SchedulerKind kind, std::deque<DeviceState>* devices,
+                 CostRowFn cost_fn);
+
+  /// Place one ready task and wake one worker. False when no live capable
+  /// device exists (the engine then fails the task).
+  bool push(TaskNode* task);
+
+  /// Place a batch, taking each involved queue's mutex once and waking its
+  /// workers once. Tasks with no live capable device are returned for the
+  /// engine to fail.
+  std::vector<TaskNode*> push_batch(const std::vector<TaskNode*>& tasks);
+
+  /// Blocking pop for `device`'s worker: own queue front, then steal from
+  /// peers' backs; sleeps on the device's cv (with a short timeout so
+  /// stealable work left on peers is eventually noticed). Returns nullptr
+  /// once `stopping` is set and nothing is locally runnable.
+  TaskNode* wait_pop(DeviceId device, const std::atomic<bool>& stopping);
+
+  /// Blacklist support: remove and return everything queued on `device`
+  /// (shared-queue policy: only tasks no live device can run).
+  std::vector<TaskNode*> drain_device(DeviceId device);
+
+  /// Tasks currently queued (approximate under concurrency; exact at rest).
+  std::size_t size() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Total tasks obtained by stealing (sums ReadyQueue::steals_out).
+  std::uint64_t steals() const;
+
+  /// Wake every worker (shutdown).
+  void notify_all();
+
+ private:
+  bool push_to(DeviceId device, TaskNode* task, bool notify);
+  TaskNode* pop_local(DeviceId device);
+  TaskNode* steal_for(DeviceId thief);
+  /// Policy choice among capable live devices; -1 = none.
+  DeviceId place(const TaskNode& task);
+
+  SchedulerKind kind_;
+  std::deque<DeviceState>* devices_;
+  CostRowFn cost_fn_;
+  ReadyQueue shared_;  ///< kEager: one priority-ordered queue for everyone
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::size_t> rr_{0};  ///< kWorkStealing round-robin cursor
+};
 
 }  // namespace starvm::detail

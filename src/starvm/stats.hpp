@@ -80,6 +80,9 @@ struct EngineStats {
   double makespan_seconds = 0.0;  ///< modeled: max task finish on the virtual clock
   double wall_seconds = 0.0;      ///< real elapsed time between first submit and drain
   std::uint64_t tasks_completed = 0;
+  /// Tasks an idle worker took from a peer's ready queue instead of its own
+  /// (real-threads mode with a per-device policy; 0 in the simulation modes).
+  std::uint64_t steals = 0;
   std::uint64_t transfers = 0;
   std::uint64_t transfer_bytes = 0;
   std::uint64_t evictions = 0;        ///< replicas dropped for capacity

@@ -99,4 +99,11 @@ void ThreadPool::worker_loop() {
   }
 }
 
+ThreadPool& global_pool() {
+  // Meyers singleton: constructed on first use, joined at exit. Sized to
+  // hardware concurrency (the 0 convention of the constructor).
+  static ThreadPool pool(0);
+  return pool;
+}
+
 }  // namespace pdl::util

@@ -54,4 +54,9 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Process-wide pool sized to hardware concurrency, created on first use.
+/// Callers that repeatedly fan out small kernels (dgemm_parallel per task)
+/// share this instead of paying thread creation + join per call.
+ThreadPool& global_pool();
+
 }  // namespace pdl::util

@@ -72,7 +72,7 @@ TEST(Repository, FallbackPlatformDetection) {
 TEST(BuiltinVariants, RegisterAllInterfaces) {
   TaskRepository repo = TaskRepository::with_defaults();
   register_builtin_variants(repo);
-  EXPECT_EQ(repo.variants_of("Idgemm").size(), 3u);
+  EXPECT_EQ(repo.variants_of("Idgemm").size(), 4u);
   EXPECT_EQ(repo.variants_of("Ivecadd").size(), 3u);
   // Every builtin variant has an executable binding with a flops model.
   for (const auto& v : repo.variants()) {

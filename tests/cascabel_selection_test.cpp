@@ -33,8 +33,9 @@ TEST(Preselect, SingleKeepsOnlyFallback) {
   pdl::Diagnostics diags;
   SelectionResult result = preselect(repo, target, diags);
   EXPECT_FALSE(pdl::has_errors(diags));
+  // Both fallback ("x86") variants survive on a single-core target.
   EXPECT_EQ(selected_names(result, "Idgemm"),
-            std::vector<std::string>({"dgemm_seq"}));
+            std::vector<std::string>({"dgemm_seq", "dgemm_tiled"}));
 }
 
 TEST(Preselect, StarpuCpuAddsSmpVariant) {
@@ -43,9 +44,10 @@ TEST(Preselect, StarpuCpuAddsSmpVariant) {
   pdl::Diagnostics diags;
   SelectionResult result = preselect(repo, target, diags);
   const auto names = selected_names(result, "Idgemm");
-  ASSERT_EQ(names.size(), 2u);
-  EXPECT_EQ(names[0], "dgemm_seq");  // fall-back ordered first
-  EXPECT_EQ(names[1], "dgemm_smp");
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "dgemm_seq");  // fall-backs ordered first
+  EXPECT_EQ(names[1], "dgemm_tiled");
+  EXPECT_EQ(names[2], "dgemm_smp");
 }
 
 TEST(Preselect, GpuPlatformKeepsCudaVariant) {
@@ -54,7 +56,7 @@ TEST(Preselect, GpuPlatformKeepsCudaVariant) {
   pdl::Diagnostics diags;
   SelectionResult result = preselect(repo, target, diags);
   const auto names = selected_names(result, "Idgemm");
-  ASSERT_EQ(names.size(), 3u);
+  ASSERT_EQ(names.size(), 4u);
   EXPECT_EQ(names[0], "dgemm_seq");
 
   // The CUDA variant's static mapping binds the two gpu Workers.

@@ -27,6 +27,36 @@ TEST_P(DgemmVariantTest, BlockedMatchesNaive) {
             1e-9);
 }
 
+TEST_P(DgemmVariantTest, TiledMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Matrix a(m, k), b(k, n), c_ref(m, n), c_tiled(m, n);
+  a.fill_random(10);
+  b.fill_random(11);
+  c_ref.fill(0.25);
+  c_tiled.fill(0.25);
+  dgemm_naive(m, n, k, a.data(), b.data(), c_ref.data());
+  dgemm_tiled(m, n, k, a.data(), b.data(), c_tiled.data());
+  EXPECT_LT(
+      max_abs_diff(c_ref.data(), c_tiled.data(), c_ref.rows() * c_ref.cols()),
+      1e-9);
+}
+
+TEST(Dgemm, TiledFringeShapesMatchNaive) {
+  // Exercise every interior/fringe split around the 4x4 micro-tile.
+  for (std::size_t m = 1; m <= 9; ++m) {
+    for (std::size_t n = 1; n <= 9; ++n) {
+      const std::size_t k = 5;
+      Matrix a(m, k), b(k, n), c_ref(m, n), c_tiled(m, n);
+      a.fill_random(static_cast<int>(m * 16 + n));
+      b.fill_random(static_cast<int>(m * 16 + n + 1));
+      dgemm_naive(m, n, k, a.data(), b.data(), c_ref.data());
+      dgemm_tiled(m, n, k, a.data(), b.data(), c_tiled.data());
+      ASSERT_LT(max_abs_diff(c_ref.data(), c_tiled.data(), m * n), 1e-9)
+          << "m=" << m << " n=" << n;
+    }
+  }
+}
+
 TEST_P(DgemmVariantTest, ParallelMatchesNaive) {
   const auto [m, n, k] = GetParam();
   Matrix a(m, k), b(k, n), c_ref(m, n), c_par(m, n);
@@ -36,6 +66,19 @@ TEST_P(DgemmVariantTest, ParallelMatchesNaive) {
   c_par.fill(0.5);
   dgemm_naive(m, n, k, a.data(), b.data(), c_ref.data());
   dgemm_parallel(m, n, k, a.data(), b.data(), c_par.data(), 4);
+  EXPECT_LT(max_abs_diff(c_ref.data(), c_par.data(), c_ref.rows() * c_ref.cols()),
+            1e-9);
+}
+
+TEST_P(DgemmVariantTest, ParallelSharedPoolMatchesNaive) {
+  // threads == 0 routes through the process-wide pool; repeated calls must
+  // reuse it (and stay correct) rather than building a pool per call.
+  const auto [m, n, k] = GetParam();
+  Matrix a(m, k), b(k, n), c_ref(m, n), c_par(m, n);
+  a.fill_random(12);
+  b.fill_random(13);
+  dgemm_naive(m, n, k, a.data(), b.data(), c_ref.data());
+  dgemm_parallel(m, n, k, a.data(), b.data(), c_par.data(), 0);
   EXPECT_LT(max_abs_diff(c_ref.data(), c_par.data(), c_ref.rows() * c_ref.cols()),
             1e-9);
 }

@@ -101,6 +101,60 @@ TEST(Engine, WawAndWarDependenciesSerializeWrites) {
   EXPECT_DOUBLE_EQ(data[0], 111111.0);
 }
 
+TEST(Engine, SubmitBatchPreservesIntraBatchDependencies) {
+  // A batch is wired in order under one lock acquisition; the inferred
+  // edges must be identical to submitting the descriptors one by one.
+  Engine engine(EngineConfig::cpus(4));
+  std::vector<double> data(1, 0.0);
+  DataHandle* h = engine.register_vector(data.data(), 1);
+
+  Codelet append = make_codelet("append", [&](const ExecContext& ctx) {
+    ctx.buffer(0)[0] = ctx.buffer(0)[0] * 10.0 + 1.0;
+  });
+  std::vector<TaskDesc> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back(TaskDesc{&append, {{h, Access::kReadWrite}}});
+  }
+  const std::vector<TaskId> ids = engine.submit_batch(std::move(batch));
+  ASSERT_EQ(ids.size(), 6u);
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], ids[i - 1] + 1) << "ids must be dense and ordered";
+  }
+  EXPECT_TRUE(engine.wait_all().ok());
+  EXPECT_DOUBLE_EQ(data[0], 111111.0);
+}
+
+TEST(Engine, SubmitBatchDependsOnEarlierSubmissions) {
+  // Cross-boundary RAW: a batch's readers must wait for a writer that was
+  // submitted individually before the batch.
+  Engine engine(EngineConfig::cpus(4));
+  std::vector<double> data(1, 0.0);
+  DataHandle* h = engine.register_vector(data.data(), 1);
+
+  Codelet writer = make_codelet("w", [&](const ExecContext& ctx) {
+    ctx.buffer(0)[0] = 7.0;
+  });
+  std::atomic<int> misreads{0};
+  Codelet reader = make_codelet("r", [&](const ExecContext& ctx) {
+    if (ctx.buffer(0)[0] != 7.0) misreads.fetch_add(1);
+  });
+  engine.submit(TaskDesc{&writer, {{h, Access::kWrite}}});
+  std::vector<TaskDesc> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(TaskDesc{&reader, {{h, Access::kRead}}});
+  }
+  (void)engine.submit_batch(std::move(batch));
+  EXPECT_TRUE(engine.wait_all().ok());
+  EXPECT_EQ(misreads.load(), 0);
+}
+
+TEST(Engine, SubmitBatchEmptyIsNoop) {
+  Engine engine(EngineConfig::cpus(1));
+  EXPECT_TRUE(engine.submit_batch({}).empty());
+  EXPECT_TRUE(engine.wait_all().ok());
+  EXPECT_EQ(engine.stats().tasks_completed, 0u);
+}
+
 TEST(Engine, IndependentTasksRunConcurrently) {
   Engine engine(EngineConfig::cpus(4));
   std::vector<double> a(1), b(1), c(1), d(1);

@@ -8,7 +8,9 @@
 // racing readers) diverges.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "starvm/engine.hpp"
@@ -139,6 +141,182 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(c.devices) + "a" + std::to_string(c.accelerators) +
              "_h" + std::to_string(c.handles) + "_t" + std::to_string(c.tasks);
     });
+
+/// Concurrent submission: several application threads submit dependency
+/// chains at once while the workers drain. Each producer owns a disjoint
+/// handle set, so its per-handle serial order is its program order and a
+/// serial replay per producer defines the expected values — while the
+/// chains themselves hop across device shards (HEFT places successive
+/// tasks of a chain on whichever device is least loaded). Exercises the
+/// submit-mutex / edge-mutex / ready-queue split under real contention;
+/// runs under TSan in CI (the *Stress* filter).
+TEST(StressMultiProducer, ConcurrentSubmitMatchesSerialReplay) {
+  constexpr int kProducers = 4;
+  constexpr int kHandlesPerProducer = 4;
+  constexpr int kTasksPerProducer = 400;
+
+  Engine engine(EngineConfig::cpus(4));
+
+  Codelet codelet;
+  codelet.name = "fold";
+  const auto kernel = [](const ExecContext& ctx) {
+    double sum = 0.0;
+    for (std::size_t i = 1; i < ctx.buffer_count(); ++i) sum += ctx.buffer(i)[0];
+    ctx.buffer(0)[0] = fold(ctx.buffer(0)[0], sum);
+  };
+  codelet.impls.push_back({DeviceKind::kCpu, kernel});
+
+  // Values owned per producer; registered and submitted from the producer's
+  // own thread so registration races with wiring and draining.
+  std::vector<std::vector<double>> actual(
+      kProducers, std::vector<double>(kHandlesPerProducer));
+  std::vector<std::vector<double>> expected = actual;
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::mt19937 rng(static_cast<unsigned>(100 + p));
+      std::uniform_int_distribution<int> pick(0, kHandlesPerProducer - 1);
+      auto& values = actual[static_cast<std::size_t>(p)];
+      auto& replay = expected[static_cast<std::size_t>(p)];
+      for (int h = 0; h < kHandlesPerProducer; ++h) {
+        values[static_cast<std::size_t>(h)] = p * 100.0 + h + 1.0;
+        replay[static_cast<std::size_t>(h)] = values[static_cast<std::size_t>(h)];
+      }
+      std::vector<DataHandle*> handles(kHandlesPerProducer);
+      for (int h = 0; h < kHandlesPerProducer; ++h) {
+        handles[static_cast<std::size_t>(h)] =
+            engine.register_vector(&values[static_cast<std::size_t>(h)], 1);
+      }
+      for (int t = 0; t < kTasksPerProducer; ++t) {
+        const int target = pick(rng);
+        const int read = pick(rng);
+        TaskDesc desc;
+        desc.codelet = &codelet;
+        desc.buffers.push_back(
+            {handles[static_cast<std::size_t>(target)], Access::kReadWrite});
+        if (read != target) {
+          desc.buffers.push_back(
+              {handles[static_cast<std::size_t>(read)], Access::kRead});
+        }
+        engine.submit(std::move(desc));
+        // Replay immediately: this producer is the only writer of its set,
+        // so its submission order is the per-handle serial order.
+        double sum = 0.0;
+        if (read != target) sum = replay[static_cast<std::size_t>(read)];
+        auto& tgt = replay[static_cast<std::size_t>(target)];
+        tgt = fold(tgt, sum);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(engine.wait_all().ok());
+
+  for (int p = 0; p < kProducers; ++p) {
+    for (int h = 0; h < kHandlesPerProducer; ++h) {
+      EXPECT_DOUBLE_EQ(actual[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)],
+                       expected[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)])
+          << "producer " << p << " handle " << h;
+    }
+  }
+  EXPECT_EQ(engine.stats().tasks_completed,
+            static_cast<std::uint64_t>(kProducers * kTasksPerProducer));
+}
+
+/// Replay is wrong when the producer's replay races the engine's kernels
+/// on the same doubles — it must not: the replay writes `expected`, the
+/// kernels write `actual`, disjoint storage. What CAN race is submission
+/// against execution, which is the point. This variant pins that property
+/// under the work-stealing policy, where idle shards steal the backlog.
+TEST(StressMultiProducer, WorkStealingConcurrentSubmit) {
+  constexpr int kProducers = 2;
+  constexpr int kTasks = 500;
+
+  EngineConfig config = EngineConfig::cpus(4);
+  config.scheduler = SchedulerKind::kWorkStealing;
+  Engine engine(std::move(config));
+
+  Codelet codelet;
+  codelet.name = "chain";
+  codelet.impls.push_back({DeviceKind::kCpu, [](const ExecContext& ctx) {
+                             ctx.buffer(0)[0] = fold(ctx.buffer(0)[0], 0.0);
+                           }});
+
+  std::vector<double> values(kProducers, 1.0);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      DataHandle* h = engine.register_vector(&values[static_cast<std::size_t>(p)], 1);
+      for (int t = 0; t < kTasks; ++t) {
+        engine.submit(TaskDesc{&codelet, {{h, Access::kReadWrite}}});
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(engine.wait_all().ok());
+
+  double expected = 1.0;
+  for (int t = 0; t < kTasks; ++t) expected = fold(expected, 0.0);
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_DOUBLE_EQ(values[static_cast<std::size_t>(p)], expected) << p;
+  }
+}
+
+/// kDeterministic must be bit-reproducible: the same program run twice
+/// produces byte-identical output buffers (the mode exists so failures
+/// can be replayed exactly; see docs/RUNTIME.md).
+TEST(StressDeterminism, DeterministicModeIsByteIdentical) {
+  const auto run = [](std::vector<double>& data) {
+    constexpr int kHandles = 6;
+    constexpr int kTasks = 300;
+    EngineConfig config = EngineConfig::cpus(4);
+    config.mode = ExecutionMode::kDeterministic;
+    Engine engine(std::move(config));
+
+    Codelet codelet;
+    codelet.name = "fold";
+    const auto kernel = [](const ExecContext& ctx) {
+      double sum = 0.0;
+      for (std::size_t i = 1; i < ctx.buffer_count(); ++i) {
+        sum += ctx.buffer(i)[0];
+      }
+      ctx.buffer(0)[0] = fold(ctx.buffer(0)[0], sum);
+    };
+    codelet.impls.push_back({DeviceKind::kCpu, kernel});
+
+    data.assign(kHandles, 0.0);
+    for (int h = 0; h < kHandles; ++h) data[static_cast<std::size_t>(h)] = h + 0.5;
+    std::vector<DataHandle*> handles(kHandles);
+    for (int h = 0; h < kHandles; ++h) {
+      handles[static_cast<std::size_t>(h)] =
+          engine.register_vector(&data[static_cast<std::size_t>(h)], 1);
+    }
+    std::mt19937 rng(42);
+    std::uniform_int_distribution<int> pick(0, kHandles - 1);
+    for (int t = 0; t < kTasks; ++t) {
+      const int target = pick(rng);
+      const int read = pick(rng);
+      TaskDesc desc;
+      desc.codelet = &codelet;
+      desc.buffers.push_back(
+          {handles[static_cast<std::size_t>(target)], Access::kReadWrite});
+      if (read != target) {
+        desc.buffers.push_back(
+            {handles[static_cast<std::size_t>(read)], Access::kRead});
+      }
+      engine.submit(std::move(desc));
+    }
+    ASSERT_TRUE(engine.wait_all().ok());
+  };
+
+  std::vector<double> first, second;
+  run(first);
+  run(second);
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(0, std::memcmp(first.data(), second.data(),
+                           first.size() * sizeof(double)));
+}
 
 /// The same property must hold in pure simulation for the virtual clock:
 /// per-device busy time must sum to the trace's execution costs and the

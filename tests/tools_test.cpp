@@ -2,6 +2,8 @@
 // through the shell, the way a downstream user would.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <string>
 
@@ -15,7 +17,10 @@ const std::string kPdltool = std::string(PDL_BINARY_DIR) + "/src/tools/pdltool";
 const std::string kPdlcheck = std::string(PDL_BINARY_DIR) + "/src/tools/pdlcheck";
 
 std::string temp_path(const std::string& name) {
-  return testing::TempDir() + "/" + name;
+  // PID-qualified: ctest runs each test in its own process, often in
+  // parallel, and a shared fixed name lets concurrent tests clobber each
+  // other's files.
+  return testing::TempDir() + "/" + std::to_string(getpid()) + "." + name;
 }
 
 /// Run a command, capture stdout+stderr, return exit code.
