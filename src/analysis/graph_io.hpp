@@ -1,0 +1,34 @@
+// Text format for task-graph fixtures: lets tests, fixtures and the
+// `pdlcheck --graph` / `pdltool plan` CLIs describe a DAG with real byte
+// sizes and FLOP counts — the inputs the A4xx/A5xx analyses need — without
+// writing C++ against the TaskGraph recorder.
+//
+// One directive per line; '#' starts a comment; blank lines are ignored:
+//
+//   buffer <name> <bytes> [base]
+//   task <name> [flops=<double>] [read=<buffer>] [write=<buffer>]
+//               [rw=<buffer>] [after=<task>]
+//
+// `buffer` registers a root allocation (`base` places it explicitly so
+// aliasing can be modeled, like TaskGraph::add_buffer_at). `task` records
+// one task in submission order; each read=/write=/rw= names a previously
+// declared buffer, each after= a previously declared task. Sizes accept an
+// optional kB/MB/GB suffix (decimal, like PDL SIZE units).
+#pragma once
+
+#include <string>
+
+#include "starvm/graph.hpp"
+#include "util/result.hpp"
+
+namespace analysis {
+
+/// Parse the fixture text; `filename` seeds the SourceLocs threaded into
+/// buffers and tasks (and therefore into diagnostics).
+pdl::util::Result<starvm::TaskGraph> parse_graph_text(
+    const std::string& text, const std::string& filename = "<graph>");
+
+/// Parse a fixture file from disk.
+pdl::util::Result<starvm::TaskGraph> load_graph_file(const std::string& path);
+
+}  // namespace analysis

@@ -1,5 +1,6 @@
 #include "analysis/rules.hpp"
 
+#include <algorithm>
 #include <string>
 
 namespace analysis {
@@ -59,6 +60,22 @@ const std::vector<RuleInfo>& rule_catalog() {
       {kNeverSubmittedTask, Severity::kWarning,
        "task interface has implementation variants but no execute site ever "
        "submits it"},
+      {kMemoryCapacityExceeded, Severity::kError,
+       "peak working set placed on a device by the modeled HEFT schedule "
+       "exceeds the capacity its PDL MemoryRegion declares (SIZE)"},
+      {kNoTransferPath, Severity::kWarning,
+       "modeled schedule moves data to a device whose PU has no declared "
+       "Interconnect to its controller; transfer cost falls back to "
+       "control-link defaults"},
+      {kTransferBoundTask, Severity::kWarning,
+       "task whose modeled transfer time under declared BANDWIDTH_GB_S / "
+       "LATENCY_US exceeds its modeled compute time on the chosen device"},
+      {kLoadImbalance, Severity::kWarning,
+       "device left idle for most of the modeled makespan while the "
+       "schedule runs far above its critical-path lower bound"},
+      {kInterconnectOversubscribed, Severity::kWarning,
+       "declared Interconnect carries overlapping modeled transfers for a "
+       "significant fraction of the makespan (contention window)"},
   };
   return catalog;
 }
@@ -74,6 +91,64 @@ const RuleInfo* find_rule(std::string_view id_or_number) {
     }
   }
   return nullptr;
+}
+
+namespace {
+
+std::size_t common_prefix(std::string_view a, std::string_view b) {
+  std::size_t n = 0;
+  while (n < a.size() && n < b.size() && a[n] == b[n]) ++n;
+  return n;
+}
+
+/// Plain Levenshtein distance; the catalog is tiny, quadratic is fine.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t above = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string suggest_rule(std::string_view id_or_number) {
+  // Users write either the bare number ("A403") or the full id; suggest in
+  // the same form they used so the fix is copy-pasteable.
+  const bool bare = id_or_number.find('-') == std::string_view::npos;
+  std::string best;
+  std::size_t best_distance = 0;
+  std::size_t best_prefix = 0;
+  for (const RuleInfo& rule : rule_catalog()) {
+    std::string_view candidate = rule.id;
+    if (bare) {
+      const auto dash = candidate.find('-');
+      if (dash != std::string_view::npos) candidate = candidate.substr(0, dash);
+    }
+    const std::size_t distance = edit_distance(id_or_number, candidate);
+    // Equal-distance ties go to the candidate sharing the longer prefix
+    // ("A510" suggests "A501", not "A101"), then to catalog order.
+    const std::size_t prefix = common_prefix(id_or_number, candidate);
+    if (best.empty() || distance < best_distance ||
+        (distance == best_distance && prefix > best_prefix)) {
+      best = std::string(candidate);
+      best_distance = distance;
+      best_prefix = prefix;
+    }
+  }
+  // "Plausibly close": a couple of edits, scaled up for long full ids (so
+  // "A510" suggests "A501", but unrelated strings suggest nothing).
+  const std::size_t budget = std::max<std::size_t>(2, id_or_number.size() / 3);
+  if (best_distance > budget) return {};
+  return best;
 }
 
 }  // namespace analysis

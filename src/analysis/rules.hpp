@@ -5,10 +5,12 @@
 //   A1xx  PDL platform lint beyond the structural validator's V1-V12
 //   A3xx  program-platform matching (Cascabel pragmas vs the target PDL)
 //   A4xx  task-graph analysis (hazards, aliasing, cycles)
+//   A5xx  schedule-aware capacity & interference analysis (modeled HEFT)
 // Ids are of the form "A301-dead-variant"; user-facing options accept the
 // full id or the bare number ("A301").
 #pragma once
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -28,6 +30,12 @@ const std::vector<RuleInfo>& rule_catalog();
 /// Catalog entry by full id or bare number ("A301-dead-variant" or "A301");
 /// nullptr when unknown.
 const RuleInfo* find_rule(std::string_view id_or_number);
+
+/// The catalog id closest to a misspelled rule id (edit distance over the
+/// form the user wrote: bare numbers compare against bare numbers, full ids
+/// against full ids). Empty when nothing is plausibly close — tools use
+/// this for "unknown rule 'A999'; did you mean 'A403'?" errors.
+std::string suggest_rule(std::string_view id_or_number);
 
 // Full rule ids, shared between the analyzer and its tests.
 inline constexpr const char* kUnreachableWorkerMemory = "A101-unreachable-worker-memory";
@@ -50,5 +58,11 @@ inline constexpr const char* kPartitionAliasing = "A403-partition-aliasing";
 inline constexpr const char* kDependencyCycle = "A404-dependency-cycle";
 inline constexpr const char* kUnknownDependency = "A405-unknown-dependency";
 inline constexpr const char* kNeverSubmittedTask = "A406-never-submitted-task";
+inline constexpr const char* kMemoryCapacityExceeded = "A501-memory-capacity-exceeded";
+inline constexpr const char* kNoTransferPath = "A502-no-transfer-path";
+inline constexpr const char* kTransferBoundTask = "A503-transfer-bound-task";
+inline constexpr const char* kLoadImbalance = "A504-load-imbalance";
+inline constexpr const char* kInterconnectOversubscribed =
+    "A505-interconnect-oversubscribed";
 
 }  // namespace analysis

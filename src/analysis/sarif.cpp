@@ -1,0 +1,94 @@
+#include "analysis/sarif.hpp"
+
+#include <set>
+#include <vector>
+
+#include "analysis/rules.hpp"
+#include "obs/trace.hpp"
+
+namespace analysis {
+
+namespace {
+
+const char* sarif_level(pdl::Severity severity) {
+  switch (severity) {
+    case pdl::Severity::kError: return "error";
+    case pdl::Severity::kWarning: return "warning";
+    case pdl::Severity::kInfo: return "note";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string render_sarif(const pdl::Diagnostics& diags) {
+  using obs::json_escape;
+
+  // Driver rule table: the catalog rules the findings reference, in
+  // catalog order (stable ruleIndex regardless of finding order).
+  std::set<std::string_view> referenced;
+  for (const pdl::Diagnostic& d : diags) {
+    if (!d.rule.empty()) referenced.insert(d.rule);
+  }
+  std::vector<const RuleInfo*> rules;
+  for (const RuleInfo& info : rule_catalog()) {
+    if (referenced.count(info.id) > 0) rules.push_back(&info);
+  }
+  const auto rule_index = [&rules](std::string_view id) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (id == rules[i]->id) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  std::string out =
+      "{\"$schema\":"
+      "\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"pdlcheck\","
+      "\"informationUri\":\"docs/ANALYSIS.md\",\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"id\":\"" + json_escape(rules[i]->id) + "\"";
+    out += ",\"shortDescription\":{\"text\":\"" +
+           json_escape(rules[i]->summary) + "\"}";
+    out += ",\"defaultConfiguration\":{\"level\":\"" +
+           std::string(sarif_level(rules[i]->default_severity)) + "\"}}";
+  }
+  out += "]}},\"results\":[";
+  bool first = true;
+  for (const pdl::Diagnostic& d : diags) {
+    if (!first) out += ",";
+    first = false;
+    out += "{";
+    if (!d.rule.empty()) {
+      out += "\"ruleId\":\"" + json_escape(d.rule) + "\",";
+      const int index = rule_index(d.rule);
+      if (index >= 0) {
+        out += "\"ruleIndex\":" + std::to_string(index) + ",";
+      }
+    }
+    out += "\"level\":\"" + std::string(sarif_level(d.severity)) + "\"";
+    out += ",\"message\":{\"text\":\"" + json_escape(d.message) + "\"}";
+    out += ",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+           "{\"uri\":\"" +
+           json_escape(d.loc.file.empty() ? "<input>" : d.loc.file) + "\"}";
+    if (d.loc.valid()) {
+      out += ",\"region\":{\"startLine\":" + std::to_string(d.loc.line);
+      if (d.loc.column > 0) {
+        out += ",\"startColumn\":" + std::to_string(d.loc.column);
+      }
+      out += "}";
+    }
+    out += "}";
+    if (!d.where.empty()) {
+      out += ",\"logicalLocations\":[{\"fullyQualifiedName\":\"" +
+             json_escape(d.where) + "\"}]";
+    }
+    out += "}]}";
+  }
+  out += "]}]}";
+  return out;
+}
+
+}  // namespace analysis

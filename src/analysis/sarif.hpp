@@ -1,0 +1,19 @@
+// SARIF 2.1.0 rendering of analyzer findings, for CI code-scanning
+// integration (GitHub annotates PRs from uploaded SARIF files).
+//
+// Like report.hpp's text/JSON formats: callers pdl::normalize() first and
+// the output is byte-stable given the same findings. One run, one driver
+// ("pdlcheck"); the driver's rule table holds exactly the catalog rules the
+// findings reference, in catalog order, so ruleIndex is stable too.
+#pragma once
+
+#include <string>
+
+#include "pdl/diagnostics.hpp"
+
+namespace analysis {
+
+/// Findings as a complete SARIF 2.1.0 document (minified JSON).
+std::string render_sarif(const pdl::Diagnostics& diags);
+
+}  // namespace analysis

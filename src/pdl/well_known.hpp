@@ -5,6 +5,15 @@
 // on, mirroring the names used in the paper's listings.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+
+namespace pdl {
+struct Interconnect;
+struct MemoryRegion;
+class ProcessingUnit;
+}  // namespace pdl
+
 namespace pdl::props {
 
 // --- Base PU properties (paper Listing 1) ---------------------------------
@@ -59,5 +68,31 @@ inline constexpr const char* kArchX86 = "x86";
 inline constexpr const char* kArchGpu = "gpu";
 inline constexpr const char* kArchSpe = "spe";   // Cell synergistic PU
 inline constexpr const char* kArchPpe = "ppe";   // Cell power PU
+
+// --- Typed accessors ---------------------------------------------------------
+// One implementation of the lookup conventions every consumer (starvm bridge,
+// capacity analyzer, Cascabel) previously re-derived by hand.
+
+/// Declared capacity of a MemoryRegion: its SIZE property normalized to
+/// bytes. nullopt when absent, non-numeric, or the unit is unknown.
+std::optional<std::uint64_t> memory_capacity_bytes(const MemoryRegion& mr);
+
+/// Capacity of a PU's directly attached memory: the first MemoryRegion with
+/// a usable SIZE, in declaration order. nullopt when no region declares one.
+std::optional<std::uint64_t> memory_capacity_bytes(const ProcessingUnit& pu);
+
+/// Effective compute rate of a PU in GFLOP/s with the toolchain-wide
+/// precedence: MEASURED_GFLOPS (runtime feedback) beats SUSTAINED_GFLOPS
+/// beats PEAK_GFLOPS * `peak_fraction` beats `fallback`. Properties are
+/// resolved with upward inheritance (pdl::resolve_property) so rates can
+/// be declared once on a controller.
+double sustained_gflops(const ProcessingUnit& pu, double peak_fraction,
+                        double fallback);
+
+/// BANDWIDTH_GB_S of an Interconnect; nullopt when absent or non-numeric.
+std::optional<double> link_bandwidth_gbs(const Interconnect& ic);
+
+/// LATENCY_US of an Interconnect; nullopt when absent or non-numeric.
+std::optional<double> link_latency_us(const Interconnect& ic);
 
 }  // namespace pdl::props

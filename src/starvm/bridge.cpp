@@ -10,26 +10,6 @@ namespace starvm {
 
 namespace {
 
-/// MEASURED_GFLOPS (runtime feedback, see cascabel/feedback.hpp) beats
-/// SUSTAINED_GFLOPS beats a fraction of PEAK_GFLOPS beats the option
-/// default. Inherited upward so rates can be declared once on the
-/// controller.
-double sustained_rate(const pdl::ProcessingUnit& pu, double peak_fraction,
-                      double fallback) {
-  if (const pdl::Property* p =
-          pdl::resolve_property(pu, pdl::props::kMeasuredGflops)) {
-    if (auto v = p->as_double()) return *v;
-  }
-  if (const pdl::Property* p =
-          pdl::resolve_property(pu, pdl::props::kSustainedGflops)) {
-    if (auto v = p->as_double()) return *v;
-  }
-  if (const pdl::Property* p = pdl::resolve_property(pu, pdl::props::kPeakGflops)) {
-    if (auto v = p->as_double()) return *v * peak_fraction;
-  }
-  return fallback;
-}
-
 /// Optional `reliability` properties (MAX_RETRIES, MTBF_HOURS), inherited
 /// upward like the rate properties so a controller can declare them once.
 void apply_reliability(const pdl::ProcessingUnit& pu, DeviceSpec& spec) {
@@ -75,7 +55,7 @@ pdl::util::Result<EngineConfig> engine_config_from_platform(
         arch.empty()) {
       DeviceSpec spec;
       spec.kind = DeviceKind::kCpu;
-      spec.sustained_gflops = sustained_rate(*pu, 0.9, options.default_cpu_gflops);
+      spec.sustained_gflops = pdl::props::sustained_gflops(*pu, 0.9, options.default_cpu_gflops);
       apply_reliability(*pu, spec);
       for (int i = 0; i < pu->quantity(); ++i) {
         spec.name = pu->id() + "#" + std::to_string(i);
@@ -85,27 +65,22 @@ pdl::util::Result<EngineConfig> engine_config_from_platform(
       // Everything non-CPU is a simulated accelerator (gpu, spe, ...).
       DeviceSpec spec;
       spec.kind = DeviceKind::kAccelerator;
-      spec.sustained_gflops = sustained_rate(*pu, 0.65, options.default_accel_gflops);
+      spec.sustained_gflops = pdl::props::sustained_gflops(*pu, 0.65, options.default_accel_gflops);
       apply_reliability(*pu, spec);
 
       // Device memory capacity from the worker's MemoryRegion (SIZE).
-      for (const auto& mr : pu->memory_regions()) {
-        if (const pdl::Property* size = mr.descriptor.find(pdl::props::kSize)) {
-          if (auto bytes = size->as_bytes()) {
-            spec.memory_bytes = static_cast<std::size_t>(*bytes);
-            break;
-          }
-        }
+      if (auto bytes = pdl::props::memory_capacity_bytes(*pu)) {
+        spec.memory_bytes = static_cast<std::size_t>(*bytes);
       }
 
       // Link parameters from the Interconnect reaching this worker.
       if (const pdl::ProcessingUnit* controller = pu->parent()) {
         if (const pdl::Interconnect* ic =
                 pdl::find_interconnect(platform, controller->id(), pu->id())) {
-          if (auto bw = ic->descriptor.get_double(pdl::props::kIcBandwidthGBs)) {
+          if (auto bw = pdl::props::link_bandwidth_gbs(*ic)) {
             spec.link_bandwidth_gbs = *bw;
           }
-          if (auto lat = ic->descriptor.get_double(pdl::props::kIcLatencyUs)) {
+          if (auto lat = pdl::props::link_latency_us(*ic)) {
             spec.link_latency_us = *lat;
           }
         }
@@ -124,7 +99,7 @@ pdl::util::Result<EngineConfig> engine_config_from_platform(
     DeviceSpec spec;
     spec.kind = DeviceKind::kCpu;
     spec.name = "master:" + master.id();
-    spec.sustained_gflops = sustained_rate(master, 0.9, options.default_cpu_gflops);
+    spec.sustained_gflops = pdl::props::sustained_gflops(master, 0.9, options.default_cpu_gflops);
     apply_reliability(master, spec);
     config.devices.push_back(std::move(spec));
     return config;

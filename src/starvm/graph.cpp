@@ -23,12 +23,15 @@ int TaskGraph::add_buffer(std::string name, std::uint64_t bytes,
 
 int TaskGraph::add_buffer_at(std::string name, std::uint64_t base,
                              std::uint64_t bytes, pdl::SourceLoc loc) {
+  if (base > UINT64_MAX - bytes) return -1;  // wrapped range: see header
   GraphBuffer buffer;
   buffer.name = std::move(name);
   buffer.base = base;
   buffer.bytes = bytes;
   buffer.loc = std::move(loc);
-  next_base_ = std::max(next_base_, base + bytes + kGuardGap);
+  const std::uint64_t end = base + bytes;  // no wrap: checked above
+  next_base_ = std::max(next_base_,
+                        end > UINT64_MAX - kGuardGap ? end : end + kGuardGap);
   buffers_.push_back(std::move(buffer));
   return static_cast<int>(buffers_.size() - 1);
 }
@@ -71,6 +74,46 @@ int TaskGraph::add_task(std::string name, std::vector<GraphAccess> accesses,
   task.loc = std::move(loc);
   tasks_.push_back(std::move(task));
   return static_cast<int>(tasks_.size() - 1);
+}
+
+void TaskGraph::set_task_flops(int task, double flops) {
+  if (task < 0 || task >= static_cast<int>(tasks_.size())) return;
+  tasks_[task].flops = flops;
+}
+
+int TaskGraph::root_of(int buffer) const {
+  if (buffer < 0 || buffer >= static_cast<int>(buffers_.size())) return -1;
+  int node = buffer;
+  while (buffers_[node].parent >= 0) node = buffers_[node].parent;
+  return node;
+}
+
+std::vector<TaskGraph::LiveInterval> TaskGraph::root_live_intervals() const {
+  std::vector<LiveInterval> intervals(buffers_.size());
+  for (int t = 0; t < static_cast<int>(tasks_.size()); ++t) {
+    for (const GraphAccess& access : tasks_[t].accesses) {
+      const int root = root_of(access.buffer);
+      if (root < 0) continue;
+      LiveInterval& li = intervals[root];
+      if (li.first_task < 0) li.first_task = t;
+      li.last_task = t;
+    }
+  }
+  // Non-root handles carry their root's interval so callers can index by
+  // whichever buffer id they hold.
+  for (int b = 0; b < static_cast<int>(buffers_.size()); ++b) {
+    const int root = root_of(b);
+    if (root >= 0 && root != b) intervals[b] = intervals[root];
+  }
+  return intervals;
+}
+
+std::uint64_t TaskGraph::total_root_bytes() const {
+  std::uint64_t total = 0;
+  for (const GraphBuffer& buffer : buffers_) {
+    if (buffer.parent < 0) total += buffer.bytes;
+  }
+  return total;
 }
 
 std::vector<TaskGraph::Edge> TaskGraph::edges(bool include_inferred) const {

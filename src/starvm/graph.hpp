@@ -48,6 +48,9 @@ struct GraphTask {
   std::string name;
   std::vector<GraphAccess> accesses;
   std::vector<int> declared_deps;  ///< Task indices as written by the program.
+  /// Useful work of the task for analytic cost models; 0 = unknown (static
+  /// analyses fall back to the perf model's default estimate).
+  double flops = 0.0;
   pdl::SourceLoc loc;
 };
 
@@ -61,7 +64,11 @@ class TaskGraph {
 
   /// Register a root buffer at an explicit base address. Overlapping an
   /// existing range is allowed — that is precisely how double registration
-  /// over one allocation is modeled.
+  /// over one allocation is modeled. Zero-byte buffers are legal and never
+  /// overlap anything (empty tail blocks). A range whose `base + bytes`
+  /// would wrap past 2^64 is rejected (returns -1): wrapped ranges would
+  /// make every overlap and footprint query downstream (A403/A501)
+  /// garbage-in.
   int add_buffer_at(std::string name, std::uint64_t base, std::uint64_t bytes,
                     pdl::SourceLoc loc = {});
 
@@ -75,6 +82,9 @@ class TaskGraph {
   /// the engine would silently satisfy those, see declared-cycle notes).
   int add_task(std::string name, std::vector<GraphAccess> accesses,
                std::vector<int> declared_deps = {}, pdl::SourceLoc loc = {});
+
+  /// Attach an analytic cost to a recorded task (see GraphTask::flops).
+  void set_task_flops(int task, double flops);
 
   // --- Introspection --------------------------------------------------------
 
@@ -123,6 +133,26 @@ class TaskGraph {
   /// tree (parent/block overlap) as opposed to two independent
   /// registrations over one range — rules word their findings differently.
   bool same_lineage(int a, int b) const;
+
+  /// Root ancestor of a buffer in the partition tree (itself for roots);
+  /// -1 for out-of-range indices. Capacity analysis accounts whole
+  /// allocations: a transfer of any partition block moves its root.
+  int root_of(int buffer) const;
+
+  /// Liveness of a root allocation in submission order: the first and last
+  /// task touching the root or any of its partition blocks.
+  struct LiveInterval {
+    int first_task = -1;  ///< -1 when no task ever touches the root.
+    int last_task = -1;
+  };
+
+  /// One LiveInterval per buffer; non-root buffers carry the interval of
+  /// their root so footprint queries can index by any handle.
+  std::vector<LiveInterval> root_live_intervals() const;
+
+  /// Sum of all root-buffer bytes — the total working set assuming every
+  /// allocation is live at once (the capacity analyzer's upper bound).
+  std::uint64_t total_root_bytes() const;
 
   /// A declared-dependency cycle (task indices in cycle order), or empty.
   /// Cycles can only arise through forward declared deps; the engine

@@ -80,6 +80,18 @@ double PerfModel::estimate(std::string_view codelet, int device, double flops,
   return analytic_estimate(flops, device_gflops);
 }
 
+std::optional<double> PerfModel::history_estimate(std::string_view codelet,
+                                                  int device) const {
+  if (device < 0 || device >= kMaxDevices) return std::nullopt;
+  const Row* row = find_row(codelet);
+  if (row == nullptr) return std::nullopt;
+  const DeviceHistory& h = (*row)[static_cast<std::size_t>(device)];
+  if (h.count.load(std::memory_order_acquire) == 0) return std::nullopt;
+  return h.ema_seconds.load(std::memory_order_relaxed);
+}
+
+double PerfModel::default_estimate_seconds() { return kDefaultEstimateSeconds; }
+
 void PerfModel::observe(std::string_view codelet, int device, double seconds) {
   if (device < 0 || device >= kMaxDevices) return;
   observe_in(row(codelet), device, seconds);

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -66,6 +67,16 @@ class PerfModel {
   /// running at `device_gflops`. History, when present, wins.
   double estimate(std::string_view codelet, int device, double flops,
                   double device_gflops) const;
+
+  /// Calibrated estimate only: the EMA when the pair has history, nullopt
+  /// otherwise. Side-effect-free — never creates a row, so static analyses
+  /// (schedule simulation) can probe an engine's model without mutating it.
+  std::optional<double> history_estimate(std::string_view codelet,
+                                         int device) const;
+
+  /// The fixed fallback estimate used when neither history nor a FLOPs
+  /// model exists; exposed so static analyses produce the same numbers.
+  static double default_estimate_seconds();
 
   /// Record an observed execution time (seconds).
   void observe(std::string_view codelet, int device, double seconds);

@@ -36,6 +36,7 @@
 #include <string>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/capacity.hpp"
 #include "analysis/report.hpp"
 #include "cascabel/rt.hpp"
 #include "cascabel/translator.hpp"
@@ -311,6 +312,10 @@ int main(int argc, char** argv) {
     const starvm::TaskGraph graph = analysis::graph_from_program(
         result.value().program, result.value().repository);
     analysis::analyze_task_graph(graph, analysis_options, findings);
+    // Schedule-aware capacity & interference rules (A5xx) over a modeled
+    // HEFT placement of the extracted graph on the target platform.
+    analysis::analyze_schedule(graph, platform.value(), analysis_options,
+                               findings);
     pdl::normalize(findings);
     std::printf("%s", analysis::render_text(findings).c_str());
     return analysis::exit_code(findings, /*werror=*/false);

@@ -5,26 +5,38 @@
 //   --program <file>   also analyze an annotated Cascabel program against
 //                      every given platform (variant matching, execute-site
 //                      checks, static task-graph hazard analysis)
-//   --format=text|json output format (default text)
+//   --format=text|json|sarif
+//                      output format (default text); sarif emits a SARIF
+//                      2.1.0 document for CI code-scanning upload
 //   --rule <id>=<sev>  per-rule severity override: error|warning|info|off
 //                      (id is "A301-dead-variant" or bare "A301"; repeatable)
 //   --werror           exit nonzero on warnings too
 //   --relaxed          analyze task hazards under relaxed consistency
 //                      (only declared dependencies order tasks)
+//   --graph <file>     analyze a task-graph fixture (graph_io.hpp text
+//                      format) instead of / in addition to --program
+//   --plan             schedule-aware capacity & interference analysis
+//                      (A5xx): simulate a HEFT schedule of the graph(s) on
+//                      each platform; text format also prints the plan
 //   --list-rules       print the rule catalog and exit
 //
 // Exit codes: 0 clean, 1 findings at error severity (or warnings with
 // --werror), 2 usage error. Structural validation (V1-V12), subschema
-// checks and every analysis rule (A1xx/A3xx/A4xx) land in one normalized,
-// deterministic report.
+// checks and every analysis rule (A1xx/A3xx/A4xx/A5xx) land in one
+// normalized, deterministic report.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/capacity.hpp"
+#include "analysis/graph_io.hpp"
 #include "analysis/report.hpp"
 #include "analysis/rules.hpp"
+#include "analysis/sarif.hpp"
+#include "analysis/schedule_sim.hpp"
 #include "annot/annotated_program.hpp"
 #include "cascabel/repository.hpp"
 #include "obs/env.hpp"
@@ -40,10 +52,13 @@ void usage(const char* argv0) {
                "usage: %s [options] <platform.xml>...\n"
                "  --program <file>    analyze an annotated program against the "
                "platform(s)\n"
-               "  --format=text|json  output format (default: text)\n"
+               "  --format=text|json|sarif  output format (default: text)\n"
                "  --rule <id>=<sev>   override a rule: error|warning|info|off\n"
                "  --werror            treat warnings as errors for the exit code\n"
                "  --relaxed           hazard analysis under relaxed consistency\n"
+               "  --graph <file>      analyze a task-graph fixture file\n"
+               "  --plan              schedule-aware A5xx analysis (and plan "
+               "summary)\n"
                "  --list-rules        print the rule catalog and exit\n",
                argv0);
 }
@@ -64,7 +79,13 @@ bool apply_rule_option(const std::string& spec, analysis::AnalysisOptions& optio
   const std::string value = spec.substr(eq + 1);
   const analysis::RuleInfo* rule = analysis::find_rule(id);
   if (rule == nullptr) {
-    std::fprintf(stderr, "pdlcheck: unknown rule '%s'\n", id.c_str());
+    const std::string suggestion = analysis::suggest_rule(id);
+    if (suggestion.empty()) {
+      std::fprintf(stderr, "pdlcheck: unknown rule '%s'\n", id.c_str());
+    } else {
+      std::fprintf(stderr, "pdlcheck: unknown rule '%s'; did you mean '%s'?\n",
+                   id.c_str(), suggestion.c_str());
+    }
     return false;
   }
   if (value == "off") {
@@ -94,6 +115,8 @@ int main(int argc, char** argv) {
   analysis::AnalysisOptions options;
   std::string format = "text";
   std::string program_path;
+  std::string graph_path;
+  bool plan = false;
   bool werror = false;
   std::vector<std::string> platform_paths;
 
@@ -108,9 +131,15 @@ int main(int argc, char** argv) {
       program_path = argv[++i];
     } else if (arg.rfind("--program=", 0) == 0) {
       program_path = arg.substr(std::strlen("--program="));
+    } else if (arg == "--plan") {
+      plan = true;
+    } else if (arg == "--graph" && i + 1 < argc) {
+      graph_path = argv[++i];
+    } else if (arg.rfind("--graph=", 0) == 0) {
+      graph_path = arg.substr(std::strlen("--graph="));
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(std::strlen("--format="));
-      if (format != "text" && format != "json") {
+      if (format != "text" && format != "json" && format != "sarif") {
         std::fprintf(stderr, "pdlcheck: unknown format '%s'\n", format.c_str());
         return 2;
       }
@@ -133,6 +162,7 @@ int main(int argc, char** argv) {
 
   pdl::Diagnostics diags;
   std::vector<pdl::Platform> platforms;
+  std::vector<std::string> parsed_paths;  // parallel to `platforms`
   for (const std::string& path : platform_paths) {
     auto platform = pdl::parse_platform_file(path, diags);
     if (!platform) {
@@ -146,8 +176,12 @@ int main(int argc, char** argv) {
     pdl::builtin_registry().validate_properties(platform.value(), diags);
     analysis::analyze_platform(platform.value(), options, diags);
     platforms.push_back(std::move(platform).value());
+    parsed_paths.push_back(path);
   }
 
+  // Graphs to run the A4xx (and, with --plan, A5xx) analyses over, paired
+  // with a label for the plan summary.
+  std::vector<std::pair<std::string, starvm::TaskGraph>> graphs;
   if (!program_path.empty()) {
     const auto source = pdl::util::read_file(program_path);
     if (!source) {
@@ -163,17 +197,39 @@ int main(int argc, char** argv) {
           analysis::analyze_program(program.value(), repository, platform, options,
                                     diags);
         }
-        const starvm::TaskGraph graph =
-            analysis::graph_from_program(program.value(), repository);
-        analysis::analyze_task_graph(graph, options, diags);
+        graphs.emplace_back(program_path, analysis::graph_from_program(
+                                              program.value(), repository));
       }
+    }
+  }
+  if (!graph_path.empty()) {
+    auto graph = analysis::load_graph_file(graph_path);
+    if (!graph.ok()) {
+      pdl::add_finding(diags, pdl::Severity::kError, {}, graph.error().str(),
+                       pdl::SourceLoc{graph_path, 1, 1});
+    } else {
+      graphs.emplace_back(graph_path, std::move(graph).value());
+    }
+  }
+  std::string plan_text;
+  for (const auto& [label, graph] : graphs) {
+    analysis::analyze_task_graph(graph, options, diags);
+    if (!plan) continue;
+    for (std::size_t p = 0; p < platforms.size(); ++p) {
+      const analysis::SchedulePlan schedule =
+          analysis::analyze_schedule(graph, platforms[p], options, diags);
+      plan_text += "== " + label + " on " + parsed_paths[p] + " ==\n";
+      plan_text += analysis::render_plan_text(schedule, graph);
     }
   }
 
   pdl::normalize(diags);
   if (format == "json") {
     std::printf("%s\n", analysis::render_json(diags).c_str());
+  } else if (format == "sarif") {
+    std::printf("%s\n", analysis::render_sarif(diags).c_str());
   } else {
+    std::printf("%s", plan_text.c_str());
     std::printf("%s", analysis::render_text(diags).c_str());
   }
   return analysis::exit_code(diags, werror);

@@ -2,6 +2,9 @@
 //
 //   pdltool validate <platform.xml>          structural + subschema checks
 //   pdltool lint <platform.xml>              validate + A1xx analysis rules
+//   pdltool plan <platform.xml> <graph>      schedule-aware capacity &
+//                                            interference analysis (A5xx)
+//                                            of a task-graph fixture
 //   pdltool query <platform.xml> <what>      what: summary | groups |
 //                                            workers | interconnects
 //   pdltool match <platform.xml> <pattern>   compact-syntax pattern match
@@ -16,7 +19,10 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/capacity.hpp"
+#include "analysis/graph_io.hpp"
 #include "analysis/report.hpp"
+#include "analysis/schedule_sim.hpp"
 #include "discovery/discovery.hpp"
 #include "obs/env.hpp"
 #include "obs/metrics.hpp"
@@ -37,6 +43,7 @@ void usage(const char* argv0) {
                "usage:\n"
                "  %s validate <platform.xml>\n"
                "  %s lint <platform.xml>\n"
+               "  %s plan <platform.xml> <graph-file>\n"
                "  %s query <platform.xml> summary|groups|workers|interconnects\n"
                "  %s match <platform.xml> <compact-pattern>\n"
                "  %s discover [--gpus]\n"
@@ -46,7 +53,8 @@ void usage(const char* argv0) {
                "  %s path <platform.xml> <fromPu> <toPu> [bytes]\n"
                "options: --metrics-out <file>   write an obs metrics snapshot"
                " (also: PDL_METRICS)\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0);
 }
 
 int load(const char* path, pdl::Platform& out) {
@@ -88,6 +96,28 @@ int cmd_lint(const char* path) {
   pdl::builtin_registry().validate_properties(platform.value(), diags);
   analysis::analyze_platform(platform.value(), analysis::AnalysisOptions{}, diags);
   pdl::normalize(diags);
+  std::printf("%s", analysis::render_text(diags).c_str());
+  return analysis::exit_code(diags, /*werror=*/false);
+}
+
+/// Schedule-aware analysis of a task-graph fixture against a platform:
+/// prints the modeled plan (makespan, loads, peaks) and the A5xx findings,
+/// with pdlcheck's exit-code contract.
+int cmd_plan(const char* platform_path, const char* graph_path) {
+  pdl::Platform platform;
+  if (load(platform_path, platform) != 0) return 1;
+  auto graph = analysis::load_graph_file(graph_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "pdltool: %s\n", graph.error().str().c_str());
+    return 1;
+  }
+  const analysis::AnalysisOptions options;
+  pdl::Diagnostics diags;
+  analysis::analyze_task_graph(graph.value(), options, diags);
+  const analysis::SchedulePlan plan =
+      analysis::analyze_schedule(graph.value(), platform, options, diags);
+  pdl::normalize(diags);
+  std::printf("%s", analysis::render_plan_text(plan, graph.value()).c_str());
   std::printf("%s", analysis::render_text(diags).c_str());
   return analysis::exit_code(diags, /*werror=*/false);
 }
@@ -206,6 +236,7 @@ int main(int raw_argc, char** raw_argv) {
   const std::string cmd = argv[1];
   if (cmd == "validate" && argc == 3) return cmd_validate(argv[2]);
   if (cmd == "lint" && argc == 3) return cmd_lint(argv[2]);
+  if (cmd == "plan" && argc == 4) return cmd_plan(argv[2], argv[3]);
   if (cmd == "query" && argc == 4) return cmd_query(argv[2], argv[3]);
   if (cmd == "match" && argc == 4) return cmd_match(argv[2], argv[3]);
   if (cmd == "discover") {

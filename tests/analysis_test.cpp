@@ -661,6 +661,72 @@ TEST(Report, JsonEscapesHostileStrings) {
       testjson::contains_string(parsed, "quote \" backslash \\ newline \n done"));
 }
 
+TEST(Report, JsonEscapesNonAsciiAndControlCharacters) {
+  pdl::Diagnostics diags;
+  // UTF-8 bytes pass through verbatim (JSON is UTF-8); C0 controls must be
+  // \u-escaped or the document is invalid.
+  pdl::add_finding(diags, pdl::Severity::kWarning, "A999-test",
+                   "caf\xc3\xa9 \xe2\x86\x92 ctrl\x01tab\tdone",
+                   pdl::SourceLoc{"caf\xc3\xa9.xml", 3, 1});
+  const std::string json = render_json(diags);
+  const testjson::ParseResult parsed = testjson::parse(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(testjson::contains_string(
+      parsed, "caf\xc3\xa9 \xe2\x86\x92 ctrl\x01tab\tdone"));
+  EXPECT_TRUE(testjson::contains_string(parsed, "caf\xc3\xa9.xml"));
+  // The raw byte stream itself may not contain unescaped controls.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
+TEST(Report, RenderersPropagateLineAndColumn) {
+  pdl::Diagnostics diags;
+  pdl::add_finding(diags, pdl::Severity::kError, kPartitionAliasing,
+                   "aliased ranges", pdl::SourceLoc{"prog.cpp", 12, 34}, "m");
+  const std::string text = render_text(diags);
+  EXPECT_NE(text.find("prog.cpp:12:34: error: aliased ranges"),
+            std::string::npos);
+  const std::string json = render_json(diags);
+  const testjson::ParseResult parsed = testjson::parse(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_NE(json.find("\"line\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"col\":34"), std::string::npos);
+}
+
+TEST(Report, ParsedProgramLocReachesRenderedA3xxFindings) {
+  // End-to-end: the pragma's line in the parsed source must surface in the
+  // rendered report, not just in the Diagnostic struct.
+  const ParsedProgram parsed = parse_program(R"(
+#pragma cascabel task : cell : If : f_spe : ( A: readwrite )
+void f_spe_impl(double *A, int n) { (void)A; (void)n; }
+)");
+  const pdl::Diagnostics diags =
+      analyze_against(parsed, pdl::discovery::paper_platform_starpu_2gpu());
+  const pdl::Diagnostic* d = find_finding(diags, kDeadVariant);
+  ASSERT_NE(d, nullptr) << render_text(diags);
+  ASSERT_GT(d->loc.line, 0);
+  const std::string text = render_text(diags);
+  EXPECT_NE(text.find("prog.cpp:" + std::to_string(d->loc.line)),
+            std::string::npos);
+}
+
+TEST(Report, TaskGraphLocReachesRenderedA4xxFindings) {
+  starvm::TaskGraph g;
+  const int parent = g.add_buffer("m", 100, pdl::SourceLoc{"prog.cpp", 7, 3});
+  const std::vector<int> blocks = g.partition(parent, 2);
+  g.add_task("whole", {{parent, starvm::Access::kWrite}},
+             {}, pdl::SourceLoc{"prog.cpp", 20, 1});
+  g.add_task("block", {{blocks[0], starvm::Access::kWrite}},
+             {}, pdl::SourceLoc{"prog.cpp", 21, 1});
+  pdl::Diagnostics diags;
+  analyze_task_graph(g, {}, diags);
+  const pdl::Diagnostic* d = find_finding(diags, kPartitionAliasing);
+  ASSERT_NE(d, nullptr) << render_text(diags);
+  EXPECT_EQ(d->loc.file, "prog.cpp");
+  EXPECT_GT(d->loc.line, 0);
+  EXPECT_NE(render_text(diags).find("prog.cpp:"), std::string::npos);
+}
+
 TEST(Report, ExitCodeContract) {
   pdl::Diagnostics clean;
   EXPECT_EQ(exit_code(clean, false), 0);

@@ -143,6 +143,91 @@ TEST(TaskGraph, AcyclicDeclaredDepsReportNoCycle) {
   EXPECT_TRUE(g.find_declared_cycle().empty());
 }
 
+TEST(TaskGraph, AddBufferAtRejectsWrappingRange) {
+  TaskGraph g;
+  // base + bytes past 2^64 would wrap and poison every overlap query.
+  EXPECT_EQ(g.add_buffer_at("wrap", UINT64_MAX, 2), -1);
+  EXPECT_EQ(g.add_buffer_at("wrap2", UINT64_MAX - 9, 10 + 1), -1);
+  EXPECT_TRUE(g.buffers().empty());
+  // The exact fit (base + bytes == 2^64) is still representable.
+  EXPECT_GE(g.add_buffer_at("fit", UINT64_MAX - 10, 10), 0);
+  // Fresh allocation would land past the top: it fails safely, it does
+  // not wrap around into the low ranges.
+  EXPECT_EQ(g.add_buffer("later", 64), -1);
+}
+
+TEST(TaskGraph, ZeroByteBuffersNeverOverlap) {
+  TaskGraph g;
+  const int a = g.add_buffer("a", 256);
+  const int empty = g.add_buffer_at("empty", g.buffers()[a].base, 0);
+  EXPECT_EQ(g.buffers()[empty].bytes, 0u);
+  EXPECT_FALSE(g.ranges_overlap(a, empty));
+  EXPECT_FALSE(g.ranges_overlap(empty, empty));
+}
+
+TEST(TaskGraph, OverlappingExplicitRangesAreModeled) {
+  TaskGraph g;
+  const int a = g.add_buffer("a", 256);
+  // Partial overlap (tail of `a` / head of `b`) counts, not just identity.
+  const int b = g.add_buffer_at("b", g.buffers()[a].base + 128, 256);
+  EXPECT_TRUE(g.ranges_overlap(a, b));
+  EXPECT_FALSE(g.same_lineage(a, b));
+}
+
+TEST(TaskGraph, RootOfWalksPartitionLineage) {
+  TaskGraph g;
+  const int root = g.add_buffer("m", 1000);
+  const auto rows = g.partition(root, 2);
+  const auto tiles = g.partition(rows[0], 2);
+  EXPECT_EQ(g.root_of(root), root);
+  EXPECT_EQ(g.root_of(rows[1]), root);
+  EXPECT_EQ(g.root_of(tiles[0]), root);
+  EXPECT_EQ(g.root_of(-1), -1);
+  EXPECT_EQ(g.root_of(999), -1);
+}
+
+TEST(TaskGraph, RootLiveIntervalsSpanFirstToLastTouch) {
+  TaskGraph g;
+  const int a = g.add_buffer("a", 100);
+  const int b = g.add_buffer("b", 100);
+  const int idle = g.add_buffer("idle", 100);
+  const auto blocks = g.partition(b, 2);
+  g.add_task("t0", {{a, Access::kWrite}});
+  g.add_task("t1", {{blocks[0], Access::kWrite}});
+  g.add_task("t2", {{a, Access::kRead}, {blocks[1], Access::kRead}});
+  const auto live = g.root_live_intervals();
+  EXPECT_EQ(live[static_cast<std::size_t>(a)].first_task, 0);
+  EXPECT_EQ(live[static_cast<std::size_t>(a)].last_task, 2);
+  // A block touch counts against the root, and blocks carry the root's
+  // interval so footprint queries can index by any handle.
+  EXPECT_EQ(live[static_cast<std::size_t>(b)].first_task, 1);
+  EXPECT_EQ(live[static_cast<std::size_t>(b)].last_task, 2);
+  EXPECT_EQ(live[static_cast<std::size_t>(blocks[0])].first_task, 1);
+  EXPECT_EQ(live[static_cast<std::size_t>(blocks[0])].last_task, 2);
+  // Never-touched roots report an empty interval.
+  EXPECT_EQ(live[static_cast<std::size_t>(idle)].first_task, -1);
+  EXPECT_EQ(live[static_cast<std::size_t>(idle)].last_task, -1);
+}
+
+TEST(TaskGraph, TotalRootBytesCountsRootsOnly) {
+  TaskGraph g;
+  g.add_buffer("a", 300);
+  const int b = g.add_buffer("b", 700);
+  g.partition(b, 2);  // blocks must not double-count their root's bytes
+  EXPECT_EQ(g.total_root_bytes(), 1000u);
+}
+
+TEST(TaskGraph, SetTaskFlopsIsBoundsChecked) {
+  TaskGraph g;
+  const int t = g.add_task("t", {});
+  EXPECT_EQ(g.tasks()[static_cast<std::size_t>(t)].flops, 0.0);
+  g.set_task_flops(t, 2.5e9);
+  EXPECT_EQ(g.tasks()[static_cast<std::size_t>(t)].flops, 2.5e9);
+  g.set_task_flops(-1, 1.0);   // out of range: ignored, no crash
+  g.set_task_flops(42, 1.0);
+  EXPECT_EQ(g.tasks()[static_cast<std::size_t>(t)].flops, 2.5e9);
+}
+
 TEST(TaskGraph, PartitionOfPartitionKeepsLineage) {
   TaskGraph g;
   const int root = g.add_buffer("m", 1000);

@@ -324,6 +324,91 @@ TEST_F(ToolsTest, PdlcheckRuleFlagOverridesSeverityAndDisables) {
   EXPECT_EQ(run(kPdlcheck + " --rule A999=off " + path, &output), 2);
 }
 
+TEST_F(ToolsTest, PdlcheckUnknownRuleSuggestsNearestId) {
+  std::string output;
+  // Bare-number typo: suggested in bare-number form.
+  EXPECT_EQ(run(kPdlcheck + " --rule A510=off " + pdl_path_, &output), 2);
+  EXPECT_NE(output.find("unknown rule 'A510'"), std::string::npos) << output;
+  EXPECT_NE(output.find("did you mean 'A501'"), std::string::npos) << output;
+  // Full-id typo: suggested in full-id form.
+  EXPECT_EQ(
+      run(kPdlcheck + " --rule A403-partiton-aliasing=error " + pdl_path_,
+          &output),
+      2);
+  EXPECT_NE(output.find("did you mean 'A403-partition-aliasing'"),
+            std::string::npos)
+      << output;
+  // Nothing plausibly close: a plain unknown-rule error, no suggestion.
+  EXPECT_EQ(run(kPdlcheck + " --rule zzz-unrelated=off " + pdl_path_, &output),
+            2);
+  EXPECT_EQ(output.find("did you mean"), std::string::npos) << output;
+}
+
+TEST_F(ToolsTest, PdlcheckPlanFiresCapacityRulesOnFixtures) {
+  const std::string platform =
+      std::string(PDL_SOURCE_DIR) + "/tests/fixtures/undersized.pdl.xml";
+  const std::string graph =
+      std::string(PDL_SOURCE_DIR) + "/tests/fixtures/oversubscribed.graph";
+  std::string output;
+  // A501 is an error: exit 1.
+  EXPECT_EQ(
+      run(kPdlcheck + " --plan --graph " + graph + " " + platform, &output), 1);
+  EXPECT_NE(output.find("schedule plan:"), std::string::npos) << output;
+  EXPECT_NE(output.find("makespan:"), std::string::npos);
+  EXPECT_NE(output.find("[A501-memory-capacity-exceeded]"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("[A503-transfer-bound-task]"), std::string::npos);
+  EXPECT_NE(output.find("[A505-interconnect-oversubscribed]"),
+            std::string::npos);
+  // Byte-identical across runs: the modeled schedule is deterministic.
+  std::string again;
+  EXPECT_EQ(
+      run(kPdlcheck + " --plan --graph " + graph + " " + platform, &again), 1);
+  EXPECT_EQ(output, again);
+  // Shipped platforms stay clean under --plan (no graph: lint only).
+  const std::string testbed = std::string(PDL_SOURCE_DIR) +
+                              "/platforms/testbed-starpu-2gpu.pdl.xml";
+  EXPECT_EQ(run(kPdlcheck + " --plan " + testbed, &output), 0) << output;
+}
+
+TEST_F(ToolsTest, PdlcheckSarifOutputIsValidJson) {
+  const std::string platform =
+      std::string(PDL_SOURCE_DIR) + "/tests/fixtures/undersized.pdl.xml";
+  const std::string graph =
+      std::string(PDL_SOURCE_DIR) + "/tests/fixtures/oversubscribed.graph";
+  std::string output;
+  EXPECT_EQ(run(kPdlcheck + " --format=sarif --plan --graph " + graph + " " +
+                    platform,
+                &output),
+            1);
+  const testjson::ParseResult parsed = testjson::parse(output);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << output;
+  EXPECT_TRUE(testjson::contains_string(parsed, "2.1.0"));
+  EXPECT_TRUE(testjson::contains_string(parsed, "pdlcheck"));
+  EXPECT_TRUE(
+      testjson::contains_string(parsed, "A501-memory-capacity-exceeded"));
+  EXPECT_TRUE(
+      testjson::contains_string(parsed, "A505-interconnect-oversubscribed"));
+  // A clean run still renders a valid (empty-results) SARIF document.
+  EXPECT_EQ(run(kPdlcheck + " --format=sarif " + pdl_path_, &output), 0);
+  EXPECT_TRUE(testjson::parse(output).ok) << output;
+}
+
+TEST_F(ToolsTest, PdltoolPlanSubcommand) {
+  const std::string platform =
+      std::string(PDL_SOURCE_DIR) + "/tests/fixtures/undersized.pdl.xml";
+  const std::string graph =
+      std::string(PDL_SOURCE_DIR) + "/tests/fixtures/oversubscribed.graph";
+  std::string output;
+  EXPECT_EQ(run(kPdltool + " plan " + platform + " " + graph, &output), 1);
+  EXPECT_NE(output.find("schedule plan:"), std::string::npos) << output;
+  EXPECT_NE(output.find("critical path:"), std::string::npos);
+  EXPECT_NE(output.find("[A501-memory-capacity-exceeded]"), std::string::npos);
+  // Bad inputs fail cleanly.
+  EXPECT_EQ(run(kPdltool + " plan " + platform + " /does/not/exist.graph"), 1);
+  EXPECT_EQ(run(kPdltool + " plan"), 2);
+}
+
 TEST_F(ToolsTest, PdlcheckJsonValidatesAndCarriesFindings) {
   const std::string path = write_warning_platform();
   std::string output;
