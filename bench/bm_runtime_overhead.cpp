@@ -34,6 +34,32 @@ void BM_SubmitDrainEmptyTasks(benchmark::State& state) {
 BENCHMARK(BM_SubmitDrainEmptyTasks)->Arg(100)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+/// Overhead gate for the always-on flight recorder: the identical workload
+/// with the recorder disabled. BM_SubmitDrainEmptyTasks above runs with the
+/// default (recorder on, 1024 records/device); the delta between the two is
+/// the recorder's per-task cost and must stay within the CI noise gate.
+void BM_SubmitDrainRecorderOff(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  starvm::Codelet noop;
+  noop.name = "noop";
+  noop.impls.push_back({starvm::DeviceKind::kCpu, [](const starvm::ExecContext&) {}});
+  for (auto _ : state) {
+    starvm::EngineConfig config = starvm::EngineConfig::cpus(4);
+    config.flight_records_per_device = 0;
+    starvm::Engine engine(std::move(config));
+    std::vector<std::vector<double>> buffers(static_cast<std::size_t>(tasks),
+                                             std::vector<double>(1));
+    for (auto& buf : buffers) {
+      starvm::DataHandle* h = engine.register_vector(buf.data(), 1);
+      engine.submit(starvm::TaskDesc{&noop, {{h, starvm::Access::kReadWrite}}});
+    }
+    (void)engine.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_SubmitDrainRecorderOff)->Arg(10000)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_DependencyChain(benchmark::State& state) {
   // Worst case for the dependency tracker: every task depends on the last.
   const int tasks = static_cast<int>(state.range(0));

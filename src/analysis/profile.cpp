@@ -1,0 +1,354 @@
+#include "analysis/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "starvm/bridge.hpp"
+#include "starvm/codelet.hpp"
+#include "starvm/engine.hpp"
+
+namespace analysis {
+
+namespace {
+
+/// Fixed-format milliseconds; deterministic across platforms.
+std::string ms(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  return buf;
+}
+
+std::string gf(double gflops) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f", gflops);
+  return buf;
+}
+
+std::string ratio2(double r) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f", r);
+  return buf;
+}
+
+/// Codelet identity for aggregation: the translator stamps each expanded
+/// call-site instance as "Idgemm[17]"; the static model only ever sees the
+/// un-expanded "Idgemm". Stripping the trailing "[...]" lets drift and
+/// model-vs-measured rows line up per codelet instead of per instance.
+std::string base_label(const std::string& label) {
+  if (!label.empty() && label.back() == ']') {
+    const std::size_t open = label.rfind('[');
+    if (open != std::string::npos && open > 0) {
+      return label.substr(0, open);
+    }
+  }
+  return label;
+}
+
+}  // namespace
+
+const char* to_string(CriticalEdge edge) {
+  switch (edge) {
+    case CriticalEdge::kStart: return "start";
+    case CriticalEdge::kDependency: return "dependency";
+    case CriticalEdge::kDevice: return "device";
+  }
+  return "?";
+}
+
+RunProfile profile_run(const starvm::EngineStats& stats) {
+  RunProfile profile;
+  const double overhead = stats.task_overhead_us * 1e-6;
+  profile.makespan_seconds = stats.makespan_seconds;
+  profile.flight_records = stats.flight_records;
+  profile.flight_overwritten = stats.flight_overwritten;
+
+  profile.tasks.reserve(stats.trace.size());
+  for (const starvm::TaskTrace& t : stats.trace) {
+    TaskProfile p;
+    p.id = t.id;
+    p.label = t.label;
+    p.device = t.device;
+    if (t.device >= 0 &&
+        static_cast<std::size_t>(t.device) < stats.devices.size()) {
+      p.device_name = stats.devices[static_cast<std::size_t>(t.device)].name;
+    }
+    p.ready_seconds = t.ready_vtime;
+    p.start_seconds = t.start_vtime;
+    p.finish_seconds = t.finish_vtime;
+    p.overhead_seconds = overhead;
+    p.transfer_seconds = t.transfer_seconds;
+    p.compute_seconds = t.exec_seconds;
+    // start = max(device available, ready) + overhead, so everything between
+    // ready and (start - overhead) is time spent queued behind other work.
+    p.queue_wait_seconds =
+        std::max(0.0, t.start_vtime - overhead - t.ready_vtime);
+    profile.tasks.push_back(std::move(p));
+  }
+  if (profile.tasks.empty()) return profile;
+
+  // --- Measured critical path: walk backwards from the last finisher. ------
+  // At every step decide why the task started when it did: if dispatch time
+  // (start - overhead) coincides with its ready time, a dependency was the
+  // constraint — follow the predecessor whose finish set that ready time.
+  // Otherwise the device was busy — follow the latest task on the same
+  // device that finished by dispatch time.
+  const double eps = 1e-9 * std::max(1.0, profile.makespan_seconds) + 1e-12;
+  int cur = 0;
+  for (std::size_t i = 1; i < profile.tasks.size(); ++i) {
+    if (profile.tasks[i].finish_seconds >
+        profile.tasks[static_cast<std::size_t>(cur)].finish_seconds) {
+      cur = static_cast<int>(i);
+    }
+  }
+  std::vector<CriticalStep> reversed;
+  CriticalEdge incoming = CriticalEdge::kStart;  // why the *current* step waited
+  for (std::size_t guard = 0; guard <= profile.tasks.size(); ++guard) {
+    const TaskProfile& t = profile.tasks[static_cast<std::size_t>(cur)];
+    const double dispatch = t.start_seconds - t.overhead_seconds;
+    int pred = -1;
+    CriticalEdge edge = CriticalEdge::kStart;
+    if (t.ready_seconds > eps && dispatch <= t.ready_seconds + eps) {
+      // Ready-bound: the predecessor is whichever task's finish equals the
+      // ready time (ready_vtime is the max over dependency finishes).
+      for (std::size_t j = 0; j < profile.tasks.size(); ++j) {
+        if (static_cast<int>(j) == cur) continue;
+        const double f = profile.tasks[j].finish_seconds;
+        if (f <= t.ready_seconds + eps && f >= t.ready_seconds - eps &&
+            (pred < 0 ||
+             f > profile.tasks[static_cast<std::size_t>(pred)].finish_seconds)) {
+          pred = static_cast<int>(j);
+        }
+      }
+      if (pred >= 0) edge = CriticalEdge::kDependency;
+    }
+    if (pred < 0 && dispatch > eps) {
+      // Device-bound: the device drained earlier work until dispatch time.
+      for (std::size_t j = 0; j < profile.tasks.size(); ++j) {
+        if (static_cast<int>(j) == cur) continue;
+        const TaskProfile& c = profile.tasks[j];
+        if (c.device != t.device || c.finish_seconds > dispatch + eps) continue;
+        if (pred < 0 ||
+            c.finish_seconds >
+                profile.tasks[static_cast<std::size_t>(pred)].finish_seconds) {
+          pred = static_cast<int>(j);
+        }
+      }
+      if (pred >= 0) edge = CriticalEdge::kDevice;
+    }
+    reversed.push_back(CriticalStep{cur, incoming});
+    if (pred < 0) break;
+    incoming = edge;
+    cur = pred;
+  }
+  profile.critical_path.assign(reversed.rbegin(), reversed.rend());
+  // The walk recorded, at each step, why its *successor* waited; after the
+  // reversal the first step is the path's origin.
+  if (!profile.critical_path.empty()) {
+    for (std::size_t i = profile.critical_path.size(); i-- > 1;) {
+      profile.critical_path[i].edge = profile.critical_path[i - 1].edge;
+    }
+    profile.critical_path.front().edge = CriticalEdge::kStart;
+  }
+  for (const CriticalStep& step : profile.critical_path) {
+    TaskProfile& t = profile.tasks[static_cast<std::size_t>(step.task)];
+    t.on_critical_path = true;
+    profile.critical_queue_wait_seconds += t.queue_wait_seconds;
+    profile.critical_overhead_seconds += t.overhead_seconds;
+    profile.critical_transfer_seconds += t.transfer_seconds;
+    profile.critical_compute_seconds += t.compute_seconds;
+  }
+
+  // --- Rate drift per (codelet, device). -----------------------------------
+  std::map<std::pair<std::string, starvm::DeviceId>, RateDrift> drift;
+  for (const TaskProfile& t : profile.tasks) {
+    RateDrift& d = drift[{base_label(t.label), t.device}];
+    d.label = base_label(t.label);
+    d.device = t.device;
+    d.device_name = t.device_name;
+    ++d.tasks;
+    d.exec_seconds += t.compute_seconds;
+  }
+  for (const starvm::TaskTrace& t : stats.trace) {
+    drift[{base_label(t.label), t.device}].flops += t.flops;
+  }
+  for (auto& [key, d] : drift) {
+    if (d.exec_seconds > 0.0 && d.flops > 0.0) {
+      d.measured_gflops = d.flops / d.exec_seconds / 1e9;
+    }
+    if (d.device >= 0 &&
+        static_cast<std::size_t>(d.device) < stats.devices.size()) {
+      d.declared_gflops =
+          stats.devices[static_cast<std::size_t>(d.device)].declared_gflops;
+    }
+    if (d.measured_gflops > 0.0 && d.declared_gflops > 0.0) {
+      d.drift_ratio = d.measured_gflops / d.declared_gflops;
+    }
+    profile.drift.push_back(d);
+  }
+  return profile;
+}
+
+ModelComparison diff_against_plan(const RunProfile& profile,
+                                  const SchedulePlan& plan,
+                                  const starvm::TaskGraph& graph) {
+  ModelComparison cmp;
+  cmp.modeled_makespan_seconds = plan.makespan_seconds;
+  cmp.measured_makespan_seconds = profile.makespan_seconds;
+  cmp.modeled_critical_seconds = plan.critical_path_seconds;
+
+  std::map<std::string, ModelComparison::NameDelta> by_name;
+  const std::vector<starvm::GraphTask>& tasks = graph.tasks();
+  for (std::size_t i = 0; i < plan.placements.size() && i < tasks.size(); ++i) {
+    ModelComparison::NameDelta& d = by_name[base_label(tasks[i].name)];
+    d.name = base_label(tasks[i].name);
+    ++d.modeled_tasks;
+    d.modeled_seconds +=
+        plan.placements[i].finish_seconds - plan.placements[i].start_seconds;
+  }
+  for (const TaskProfile& t : profile.tasks) {
+    ModelComparison::NameDelta& d = by_name[base_label(t.label)];
+    d.name = base_label(t.label);
+    ++d.measured_tasks;
+    d.measured_seconds += t.finish_seconds - t.start_seconds;
+  }
+  for (auto& [name, d] : by_name) {
+    if (d.modeled_seconds > 0.0 && d.measured_seconds > 0.0) {
+      d.ratio = d.measured_seconds / d.modeled_seconds;
+    }
+    cmp.tasks.push_back(std::move(d));
+  }
+  return cmp;
+}
+
+pdl::util::Result<starvm::EngineStats> run_graph_on_platform(
+    const starvm::TaskGraph& graph, const pdl::Platform& platform) {
+  starvm::BridgeOptions options;
+  options.mode = starvm::ExecutionMode::kPureSim;
+  // The static simulator schedules every PU; dropping driver cores here
+  // would diff a smaller machine against the plan's larger one.
+  options.dedicate_driver_cores = false;
+  auto config = starvm::engine_config_from_platform(platform, options);
+  if (!config.ok()) return config.error();
+
+  // Synthetic backing store: the kernels never run in pure-sim mode, but
+  // registration wants real byte ranges for the transfer model. Declared
+  // before the engine so the engine (and its workers) die first.
+  std::vector<std::vector<double>> storage;
+  std::deque<starvm::Codelet> codelets;  // deque: stable addresses
+  starvm::Engine engine(std::move(config).value());
+
+  std::vector<starvm::DataHandle*> handles;
+  handles.reserve(graph.buffers().size());
+  storage.reserve(graph.buffers().size());
+  for (const starvm::GraphBuffer& buffer : graph.buffers()) {
+    const std::size_t doubles =
+        std::max<std::size_t>(1, static_cast<std::size_t>(buffer.bytes / 8));
+    storage.emplace_back(doubles, 0.0);
+    handles.push_back(
+        engine.register_vector(storage.back().data(), doubles, buffer.name));
+  }
+
+  const std::vector<starvm::GraphTask>& tasks = graph.tasks();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const starvm::GraphTask& task = tasks[i];
+    starvm::Codelet& codelet = codelets.emplace_back();
+    codelet.name = task.name;
+    codelet.impls = {{starvm::DeviceKind::kCpu, {}},
+                     {starvm::DeviceKind::kAccelerator, {}}};
+    const double flops = task.flops;
+    codelet.flops = [flops](const std::vector<starvm::BufferView>&) {
+      return flops;
+    };
+
+    starvm::TaskDesc desc;
+    desc.codelet = &codelet;
+    desc.label = task.name;
+    for (const starvm::GraphAccess& access : task.accesses) {
+      if (access.buffer < 0 ||
+          static_cast<std::size_t>(access.buffer) >= handles.size()) {
+        continue;
+      }
+      desc.buffers.push_back(
+          {handles[static_cast<std::size_t>(access.buffer)], access.mode});
+    }
+    // Task ids are dense from 1 in submission order, so graph index d maps
+    // to id d + 1; forward references are dropped like the engine drops them.
+    for (const int dep : task.declared_deps) {
+      if (dep >= 0 && static_cast<std::size_t>(dep) < i) {
+        desc.depends_on.push_back(static_cast<starvm::TaskId>(dep + 1));
+      }
+    }
+    engine.submit(std::move(desc));
+  }
+  // A failed drain still yields a profile-worthy trace; the stats carry the
+  // errors for the caller to surface.
+  (void)engine.wait_all();
+  return engine.stats();
+}
+
+std::string render_profile_text(const RunProfile& profile) {
+  std::ostringstream os;
+  if (profile.tasks.empty()) {
+    os << "profile: empty trace\n";
+    return os.str();
+  }
+  os << "measured critical path (" << profile.critical_path.size()
+     << " steps, makespan " << ms(profile.makespan_seconds) << "):\n";
+  for (const CriticalStep& step : profile.critical_path) {
+    const TaskProfile& t = profile.tasks[static_cast<std::size_t>(step.task)];
+    os << "  [" << to_string(step.edge) << "] task " << t.id << " '" << t.label
+       << "' on " << (t.device_name.empty() ? "?" : t.device_name)
+       << ": ready " << ms(t.ready_seconds) << ", start "
+       << ms(t.start_seconds) << ", finish " << ms(t.finish_seconds)
+       << " (wait " << ms(t.queue_wait_seconds) << ", transfer "
+       << ms(t.transfer_seconds) << ", compute " << ms(t.compute_seconds)
+       << ")\n";
+  }
+  os << "critical-path attribution: queue wait "
+     << ms(profile.critical_queue_wait_seconds) << ", overhead "
+     << ms(profile.critical_overhead_seconds) << ", transfer "
+     << ms(profile.critical_transfer_seconds) << ", compute "
+     << ms(profile.critical_compute_seconds) << "\n";
+  os << "rate drift per (task, device):\n";
+  for (const RateDrift& d : profile.drift) {
+    os << "  " << d.label << " @ "
+       << (d.device_name.empty() ? "?" : d.device_name) << ": " << d.tasks
+       << " task(s), measured " << gf(d.measured_gflops)
+       << " GFLOPS, declared " << gf(d.declared_gflops) << " GFLOPS";
+    if (d.drift_ratio > 0.0) os << ", ratio " << ratio2(d.drift_ratio);
+    os << "\n";
+  }
+  os << "flight recorder: " << profile.flight_records << " record(s), "
+     << profile.flight_overwritten << " overwritten\n";
+  return os.str();
+}
+
+std::string render_comparison_text(const ModelComparison& cmp) {
+  std::ostringstream os;
+  os << "model vs measured:\n";
+  os << "  makespan: modeled " << ms(cmp.modeled_makespan_seconds)
+     << ", measured " << ms(cmp.measured_makespan_seconds);
+  if (cmp.modeled_makespan_seconds > 0.0 &&
+      cmp.measured_makespan_seconds > 0.0) {
+    os << " (ratio "
+       << ratio2(cmp.measured_makespan_seconds / cmp.modeled_makespan_seconds)
+       << ")";
+  }
+  os << "; critical-path lower bound " << ms(cmp.modeled_critical_seconds)
+     << "\n";
+  os << "  per-task (by name):\n";
+  for (const ModelComparison::NameDelta& d : cmp.tasks) {
+    os << "    " << d.name << ": modeled " << d.modeled_tasks << " x "
+       << ms(d.modeled_seconds) << ", measured " << d.measured_tasks << " x "
+       << ms(d.measured_seconds);
+    if (d.ratio > 0.0) os << ", ratio " << ratio2(d.ratio);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace analysis

@@ -4,6 +4,11 @@
 //   PDL_TRACE=1         enable the tracer without an output file (the
 //                       program decides where the trace goes)
 //   PDL_METRICS=<path>  write a metrics snapshot to <path> at exit
+//   PDL_METRICS_PROM=<path>
+//                       write a Prometheus text-format snapshot to <path>
+//                       at exit AND periodically while the process runs
+//                       (PDL_METRICS_PROM_PERIOD_MS, default 1000), via
+//                       tmp+rename so scrapers never read a torn file
 //
 // Tools call init_from_env() at startup; benches, tests and examples can
 // do the same to opt in without flag plumbing. Programs that produce a
@@ -20,6 +25,20 @@ std::string env_trace_path();
 
 /// PDL_METRICS's value ("" when unset or "0").
 std::string env_metrics_path();
+
+/// PDL_METRICS_PROM's value ("" when unset or "0").
+std::string env_metrics_prom_path();
+
+/// Write the Prometheus rendering of the metrics registry to `path`
+/// atomically (tmp file + rename). False on I/O error.
+bool write_prometheus_file(const std::string& path);
+
+/// Start (at most once per process) a detached background thread that
+/// rewrites `path` with a fresh Prometheus snapshot every `period_ms`.
+/// Returns false when an exporter is already running. Used by
+/// init_from_env() for PDL_METRICS_PROM; callable directly by services.
+bool start_prometheus_exporter(const std::string& path,
+                               unsigned period_ms = 1000);
 
 /// Apply the environment: enable the tracer when PDL_TRACE is set (and not
 /// "0"), and register an atexit hook that writes the env-named trace and

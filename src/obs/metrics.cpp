@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace obs {
@@ -17,6 +19,33 @@ int Histogram::bucket_index(std::uint64_t v) {
     v >>= 1;
   }
   return width < kBucketCount ? width : kBucketCount - 1;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target sample (1-based, nearest-rank then interpolated).
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const double in_bucket = static_cast<double>(bucket(i));
+    if (in_bucket == 0.0) continue;
+    if (cum + in_bucket >= target) {
+      // Linear interpolation across the bucket's value range. Bucket 0
+      // holds only zeros; bucket i >= 1 covers [2^(i-1), 2^i - 1].
+      if (i == 0) return 0.0;
+      const double lo = static_cast<double>(i == 1 ? 1 : (1ull << (i - 1)));
+      const double hi = static_cast<double>(bucket_upper_bound(i));
+      const double frac =
+          in_bucket > 0.0 ? (target - cum) / in_bucket : 0.0;
+      const double est = lo + (hi - lo) * std::min(std::max(frac, 0.0), 1.0);
+      // Never report beyond the largest observed sample.
+      return std::min(est, static_cast<double>(max()));
+    }
+    cum += in_bucket;
+  }
+  return static_cast<double>(max());
 }
 
 namespace {
@@ -83,8 +112,13 @@ std::string Registry::snapshot_json() const {
   for (const auto& [name, h] : histograms_) {
     if (!first) os << ",";
     first = false;
+    char q50[32], q95[32], q99[32];
+    std::snprintf(q50, sizeof(q50), "%.9g", h->quantile(0.50));
+    std::snprintf(q95, sizeof(q95), "%.9g", h->quantile(0.95));
+    std::snprintf(q99, sizeof(q99), "%.9g", h->quantile(0.99));
     os << "\"" << name << "\":{\"count\":" << h->count() << ",\"sum\":" << h->sum()
-       << ",\"max\":" << h->max() << ",\"buckets\":[";
+       << ",\"max\":" << h->max() << ",\"p50\":" << q50 << ",\"p95\":" << q95
+       << ",\"p99\":" << q99 << ",\"buckets\":[";
     bool first_bucket = true;
     for (int i = 0; i < Histogram::kBucketCount; ++i) {
       const std::uint64_t n = h->bucket(i);
@@ -97,6 +131,71 @@ std::string Registry::snapshot_json() const {
     os << "]}";
   }
   os << "}}";
+  return os.str();
+}
+
+namespace {
+
+/// "starvm.task_exec_us" -> "pdl_starvm_task_exec_us": Prometheus metric
+/// names allow [a-zA-Z0-9_:] only.
+std::string prom_name(const std::string& name) {
+  std::string out = "pdl_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void prom_number(std::ostringstream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+std::string Registry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = prom_name(name);
+    os << "# TYPE " << pn << " counter\n" << pn << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = prom_name(name);
+    os << "# TYPE " << pn << " gauge\n" << pn << " " << g->value() << "\n";
+    os << "# TYPE " << pn << "_high_water gauge\n"
+       << pn << "_high_water " << g->high_water() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pn = prom_name(name);
+    os << "# TYPE " << pn << " histogram\n";
+    std::uint64_t cum = 0;
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      const std::uint64_t n = h->bucket(i);
+      if (n == 0) continue;  // sparse, like the JSON rendering
+      cum += n;
+      os << pn << "_bucket{le=\"" << Histogram::bucket_upper_bound(i)
+         << "\"} " << cum << "\n";
+    }
+    os << pn << "_bucket{le=\"+Inf\"} " << h->count() << "\n";
+    os << pn << "_sum " << h->sum() << "\n";
+    os << pn << "_count " << h->count() << "\n";
+    // Quantile estimates as companion gauges: Prometheus histograms have
+    // no native quantile series, and mixing types under one name is
+    // invalid exposition.
+    for (const auto& [suffix, q] :
+         {std::pair<const char*, double>{"_p50", 0.50},
+          {"_p95", 0.95},
+          {"_p99", 0.99}}) {
+      os << "# TYPE " << pn << suffix << " gauge\n" << pn << suffix << " ";
+      prom_number(os, h->quantile(q));
+      os << "\n";
+    }
+  }
   return os.str();
 }
 

@@ -91,6 +91,12 @@ class Histogram {
   static std::uint64_t bucket_upper_bound(int i);
   static int bucket_index(std::uint64_t v);
 
+  /// Estimated q-quantile (0 < q <= 1) by linear interpolation inside the
+  /// log2 bucket containing the target rank, clamped to the observed max.
+  /// 0 when the histogram is empty. Approximate by construction: exact to
+  /// within the bucket's width (a factor of 2 at worst).
+  double quantile(double q) const;
+
   void reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -115,7 +121,17 @@ class Registry {
   Histogram& histogram(const std::string& name);
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histograms carry count/sum/max, estimated p50/p95/p99, and the sparse
+  /// bucket list.
   std::string snapshot_json() const;
+
+  /// Prometheus text exposition format (the starvmd scrape surface).
+  /// Names are prefixed "pdl_" with dots mapped to underscores. Counters
+  /// render as `counter`, gauges as `gauge` (plus a `_high_water` gauge),
+  /// histograms as `histogram` with cumulative log2 `le` buckets plus
+  /// `_p50`/`_p95`/`_p99` gauges (quantile estimates; see
+  /// Histogram::quantile).
+  std::string render_prometheus() const;
 
   /// Zero every instrument in place; previously returned references stay
   /// valid (instruments are never destroyed before process exit).
@@ -151,6 +167,9 @@ inline Histogram& histogram(const std::string& name) {
 }
 inline std::string metrics_snapshot_json() {
   return Registry::global().snapshot_json();
+}
+inline std::string render_prometheus() {
+  return Registry::global().render_prometheus();
 }
 
 }  // namespace obs

@@ -59,6 +59,20 @@ struct EngineConfig {
   /// event sink; off by default to keep the hot path free of the cost.
   bool record_decisions = false;
 
+  /// Flight recorder (docs/OBSERVABILITY.md "Flight recorder & profiling"):
+  /// ring capacity in records per device (rounded up to a power of two;
+  /// 64 bytes per record), plus one ring for the fault path. Always on by
+  /// default — recording is a handful of relaxed atomic stores per task —
+  /// with bounded memory (oldest records are overwritten). 0 disables it.
+  std::size_t flight_records_per_device = 1024;
+
+  /// Path prefix for automatic post-mortem flight dumps: on a watchdog
+  /// fire or a failed wait_all() the engine writes <prefix>.jsonl and
+  /// <prefix>.trace.json once. Empty = no automatic dump (explicit
+  /// Engine::dump_flight_recorder still works); the PDL_FLIGHT_DUMP
+  /// environment variable supplies a default at engine construction.
+  std::string flight_dump_prefix;
+
   /// Retry/backoff/blacklist/watchdog policy (docs/RUNTIME.md).
   FaultToleranceConfig fault_tolerance;
 

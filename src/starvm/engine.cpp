@@ -6,12 +6,15 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <stdexcept>
 
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "starvm/trace_export.hpp"
 #include "util/stopwatch.hpp"
 
 namespace starvm {
@@ -28,6 +31,14 @@ double now_seconds() {
 obs::Counter& tasks_completed_counter() {
   static obs::Counter& c = obs::counter("starvm.tasks_completed");
   return c;
+}
+obs::Counter& tasks_submitted_counter() {
+  static obs::Counter& c = obs::counter("starvm.tasks_submitted");
+  return c;
+}
+obs::Histogram& submit_batch_histogram() {
+  static obs::Histogram& h = obs::histogram("starvm.submit_batch_tasks");
+  return h;
 }
 obs::Counter& transfers_counter() {
   static obs::Counter& c = obs::counter("starvm.transfers");
@@ -60,6 +71,21 @@ obs::Counter& task_timeouts_counter() {
 obs::Counter& device_blacklists_counter() {
   static obs::Counter& c = obs::counter("starvm.device_blacklists");
   return c;
+}
+
+/// Flight-record kind for a fault-tolerance event (1:1; the recorder keeps
+/// its own stable numbering so old dumps survive FaultEvent refactors).
+obs::FlightKind flight_kind_of(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kFailure: return obs::FlightKind::kFailure;
+    case FaultEvent::Kind::kTimeout: return obs::FlightKind::kTimeout;
+    case FaultEvent::Kind::kRetry: return obs::FlightKind::kRetry;
+    case FaultEvent::Kind::kBlacklist: return obs::FlightKind::kBlacklist;
+    case FaultEvent::Kind::kReroute: return obs::FlightKind::kReroute;
+    case FaultEvent::Kind::kTaskFailed: return obs::FlightKind::kTaskFailed;
+    case FaultEvent::Kind::kCancelled: return obs::FlightKind::kCancelled;
+  }
+  return obs::FlightKind::kFailure;
 }
 
 /// Run one implementation attempt, turning ExecContext::fail() and thrown
@@ -185,6 +211,22 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   decision_counter_ = &obs::counter("starvm.decisions." +
                                     std::string(to_string(config_.scheduler)));
   fault_plan_ = config_.fault_plan ? config_.fault_plan : FaultPlan::from_env();
+
+  // Flight recorder: one ring per device plus one for the fault path
+  // (whose producers fault_mutex_ serializes). Built before the workers so
+  // the very first task is already recorded.
+  if (config_.flight_records_per_device > 0) {
+    flight_ = std::make_unique<obs::FlightRecorder>(
+        devices_.size() + 1, config_.flight_records_per_device);
+  }
+  flight_dump_prefix_ = config_.flight_dump_prefix;
+  if (flight_dump_prefix_.empty()) {
+    const char* env = std::getenv("PDL_FLIGHT_DUMP");
+    if (env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0')) {
+      flight_dump_prefix_ = env;
+    }
+  }
 
   if (hybrid()) {
     workers_.reserve(devices_.size());
@@ -403,6 +445,10 @@ void Engine::validate_desc(const TaskDesc& desc) const {
 }
 
 detail::TaskNode& Engine::wire_task_locked(TaskDesc&& desc, double flops) {
+  // Counted here — the one place both submit() and submit_batch() funnel
+  // through — so a batch of N adds exactly N, never 1.
+  ++tasks_submitted_;
+  if (obs::metrics_enabled()) tasks_submitted_counter().inc();
   detail::TaskNode& task = tasks_.emplace_back();
   task.id = next_task_id_++;
   task.codelet = desc.codelet;
@@ -542,6 +588,7 @@ TaskId Engine::submit(TaskDesc desc) {
 
 std::vector<TaskId> Engine::submit_batch(std::vector<TaskDesc> descs) {
   if (descs.empty()) return {};
+  if (obs::metrics_enabled()) submit_batch_histogram().record(descs.size());
   for (const TaskDesc& desc : descs) validate_desc(desc);
   std::vector<double> flops(descs.size(), 0.0);
   for (std::size_t i = 0; i < descs.size(); ++i) {
@@ -602,20 +649,30 @@ std::vector<TaskId> Engine::submit_batch(std::vector<TaskDesc> descs) {
 }
 
 pdl::util::Status Engine::wait_all() {
+  pdl::util::Status status;
   if (!hybrid()) {
     std::lock_guard<std::mutex> lock(mutex_);
     run_simulation_locked();
     drain_wall_.store(now_seconds());
-    std::lock_guard<std::mutex> fault(fault_mutex_);
-    return drain_status_locked();
+    {
+      std::lock_guard<std::mutex> fault(fault_mutex_);
+      status = drain_status_locked();
+    }
+  } else {
+    {
+      std::unique_lock<std::mutex> lock(drain_mutex_);
+      drain_cv_.wait(lock, [this] { return pending_.load() == 0; });
+    }
+    drain_wall_.store(now_seconds());
+    {
+      std::lock_guard<std::mutex> fault(fault_mutex_);
+      status = drain_status_locked();
+    }
   }
-  {
-    std::unique_lock<std::mutex> lock(drain_mutex_);
-    drain_cv_.wait(lock, [this] { return pending_.load() == 0; });
-  }
-  drain_wall_.store(now_seconds());
-  std::lock_guard<std::mutex> fault(fault_mutex_);
-  return drain_status_locked();
+  // Post-mortem on an aggregated failure, after fault_mutex_ is released
+  // (the dump reads task labels under submit_mutex_ and writes files).
+  if (!status.ok()) maybe_auto_dump("wait_all_failure");
+  return status;
 }
 
 bool Engine::wait(TaskId id) {
@@ -718,6 +775,16 @@ void Engine::run_simulation_locked() {
         std::max(device->avail_vtime.load(), task->ready_vtime.load()) +
         config_.task_overhead_us * 1e-6;
     task->transfer_seconds = transfer;
+    if (flight_) {
+      // mutex_ is held: the sim loop is the sole producer for every ring.
+      obs::FlightRing& ring = flight_->ring(static_cast<std::size_t>(device->id));
+      ring.record(obs::FlightKind::kQueueDepth, 0, 0, device->id,
+                  task->start_vtime, 0.0,
+                  static_cast<double>(scheduler_->size()));
+      ring.record(obs::FlightKind::kTaskStart,
+                  static_cast<std::uint32_t>(task->attempts), task->id,
+                  device->id, task->start_vtime, 0.0, 0.0);
+    }
 
     FaultPlan::Injection injected;
     if (fault_plan_) {
@@ -774,7 +841,19 @@ void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
 
   device.trace.push_back(TaskTrace{task.id, task.label, device.id,
                                    task.start_vtime, task.finish_vtime,
-                                   transfer, exec, task.flops});
+                                   transfer, exec, task.flops,
+                                   task.ready_vtime.load()});
+  if (flight_) {
+    // Owning worker (hybrid) or the sim loop under mutex_: single producer.
+    obs::FlightRing& ring = flight_->ring(static_cast<std::size_t>(device.id));
+    ring.record(obs::FlightKind::kTaskEnd,
+                static_cast<std::uint32_t>(task.attempts), task.id, device.id,
+                task.start_vtime, task.finish_vtime, exec, transfer);
+    if (transfer > 0.0) {
+      ring.record(obs::FlightKind::kTransfer, 0, task.id, device.id,
+                  task.start_vtime, task.start_vtime + transfer, transfer);
+    }
+  }
   if (obs::metrics_enabled()) {
     tasks_completed_counter().inc();
     task_exec_us_histogram().record(
@@ -850,6 +929,14 @@ void Engine::record_fault_event_locked(FaultEvent::Kind kind, double vtime,
   }
   fault_events_.push_back(
       FaultEvent{kind, vtime, task, device, attempt, std::move(detail)});
+  if (flight_) {
+    // The dedicated fault ring: every caller holds fault_mutex_, so the
+    // SPSC contract holds via mutex hand-off.
+    flight_->ring(devices_.size())
+        .record(flight_kind_of(kind),
+                static_cast<std::uint32_t>(attempt < 0 ? 0 : attempt),
+                static_cast<std::uint64_t>(task), device, vtime, 0.0, 0.0);
+  }
 }
 
 void Engine::fail_task_locked(detail::TaskNode& task, const std::string& reason) {
@@ -1002,6 +1089,9 @@ void Engine::handle_task_failure(detail::TaskNode& task,
   // dispatch_ready takes it again. In the simulation modes the caller holds
   // mutex_, which is what scheduler_ pushes require.
   if (retry) dispatch_ready(&task);
+  // A watchdog fire is the flight recorder's primary trigger: dump while
+  // the evidence is still resident (also after fault_mutex_ is released).
+  if (is_timeout) maybe_auto_dump("watchdog");
 }
 
 void Engine::record_decision(const detail::TaskNode& task,
@@ -1281,6 +1371,16 @@ void Engine::run_task_hybrid(detail::TaskNode& task,
       std::max(device.avail_vtime.load(), task.ready_vtime.load()) +
       config_.task_overhead_us * 1e-6;
   task.transfer_seconds = transfer;
+  if (flight_) {
+    // This worker owns the device ring: single producer by construction.
+    obs::FlightRing& ring = flight_->ring(static_cast<std::size_t>(device.id));
+    ring.record(obs::FlightKind::kQueueDepth, 0, 0, device.id,
+                task.start_vtime, 0.0,
+                static_cast<double>(dispatch_->size()));
+    ring.record(obs::FlightKind::kTaskStart,
+                static_cast<std::uint32_t>(task.attempts), task.id, device.id,
+                task.start_vtime, 0.0, 0.0);
+  }
   FaultPlan::Injection injected;
   if (fault_plan_) {
     injected = fault_plan_->decide(task.id, task.attempts, device.id,
@@ -1332,6 +1432,54 @@ void Engine::run_task_hybrid(detail::TaskNode& task,
   finalize_task(task, device, transfer, exec);
 }
 
+// --- Flight recorder ------------------------------------------------------------
+
+std::vector<obs::FlightEvent> Engine::flight_snapshot() const {
+  if (!flight_) return {};
+  return flight_->snapshot();
+}
+
+bool Engine::dump_flight_recorder(const std::string& prefix,
+                                  const std::string& reason) const {
+  if (!flight_ || prefix.empty()) return false;
+  const std::vector<obs::FlightEvent> events = flight_->snapshot();
+  // Resolve task labels up front: ids are dense from 1, and the label of a
+  // wired task is immutable, so one pass under submit_mutex_ suffices.
+  std::vector<std::string> labels;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    labels.resize(static_cast<std::size_t>(next_task_id_));
+    for (TaskId id = 1; id < next_task_id_; ++id) {
+      labels[static_cast<std::size_t>(id)] =
+          tasks_[static_cast<std::size_t>(id - 1)].label;
+    }
+  }
+  const obs::FlightLabelFn label = [&labels](std::uint64_t task) {
+    return task < labels.size() ? labels[static_cast<std::size_t>(task)]
+                                : std::string();
+  };
+  bool ok = true;
+  {
+    std::ofstream out(prefix + ".jsonl", std::ios::binary);
+    out << obs::flight_events_jsonl(events, reason, flight_->produced(),
+                                    flight_->overwritten(), label);
+    ok = static_cast<bool>(out) && ok;
+  }
+  {
+    std::ofstream out(prefix + ".trace.json", std::ios::binary);
+    out << flight_chrome_trace(events, label);
+    ok = static_cast<bool>(out) && ok;
+  }
+  return ok;
+}
+
+void Engine::maybe_auto_dump(const char* reason) const {
+  if (!flight_ || flight_dump_prefix_.empty()) return;
+  bool expected = false;
+  if (!flight_dumped_.compare_exchange_strong(expected, true)) return;
+  dump_flight_recorder(flight_dump_prefix_, reason);
+}
+
 EngineStats Engine::stats() const {
   EngineStats s;
   {
@@ -1347,6 +1495,7 @@ EngineStats Engine::stats() const {
       ds.failures = device.failures;
       ds.blacklisted = device.blacklisted.load();
       ds.mtbf_hours = device.spec.mtbf_hours;
+      ds.declared_gflops = device.spec.sustained_gflops;
       s.devices.push_back(std::move(ds));
       s.tasks_completed += device.tasks_run;
       s.trace.insert(s.trace.end(), device.trace.begin(), device.trace.end());
@@ -1382,6 +1531,15 @@ EngineStats Engine::stats() const {
     s.fault_events = fault_events_;
   }
   s.scheduler = config_.scheduler;
+  s.task_overhead_us = config_.task_overhead_us;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    s.tasks_submitted = tasks_submitted_;
+  }
+  if (flight_) {
+    s.flight_records = flight_->produced();
+    s.flight_overwritten = flight_->overwritten();
+  }
   const double first = first_submit_wall_.load();
   const double drained = drain_wall_.load();
   if (first >= 0.0 && drained > first) {

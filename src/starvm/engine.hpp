@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "starvm/codelet.hpp"
 #include "starvm/data.hpp"
 #include "starvm/device.hpp"
@@ -133,6 +134,23 @@ class Engine {
   /// Snapshot of statistics; call after wait_all for a consistent view.
   EngineStats stats() const;
   PerfModel& perf_model() { return perf_model_; }
+
+  // --- Flight recorder ---------------------------------------------------------
+
+  /// The always-on flight recorder; nullptr when disabled
+  /// (EngineConfig::flight_records_per_device == 0).
+  const obs::FlightRecorder* flight_recorder() const { return flight_.get(); }
+
+  /// Merged, time-ordered snapshot of every flight ring. Safe at any time,
+  /// including while workers are running (torn records are dropped).
+  std::vector<obs::FlightEvent> flight_snapshot() const;
+
+  /// Explicit post-mortem dump: write <prefix>.jsonl (one record per line)
+  /// and <prefix>.trace.json (Chrome trace; recorder events on their own
+  /// process lane, end-less records as instant events). False when the
+  /// recorder is disabled or a file cannot be written.
+  bool dump_flight_recorder(const std::string& prefix,
+                            const std::string& reason = "explicit") const;
 
  private:
   bool hybrid() const { return config_.mode == ExecutionMode::kHybrid; }
@@ -327,6 +345,22 @@ class Engine {
   std::uint64_t cancelled_tasks_ = 0;
   std::vector<std::string> task_errors_;   ///< one entry per failed task
   std::vector<FaultEvent> fault_events_;
+
+  // Flight recorder (tentpole, docs/OBSERVABILITY.md). Ring i belongs to
+  // device i (its worker / the sim loop is the sole producer); the extra
+  // ring at index devices_.size() takes the fault-path events, whose
+  // producers are serialized by fault_mutex_. Null when disabled.
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  /// Ensures the automatic post-mortem dump fires at most once per engine.
+  mutable std::atomic<bool> flight_dumped_{false};
+  /// Auto-dump prefix (config or $PDL_FLIGHT_DUMP); empty = no auto dump.
+  std::string flight_dump_prefix_;
+  std::uint64_t tasks_submitted_ = 0;  ///< submit_mutex_
+
+  /// Write the post-mortem dump if an auto-dump prefix is configured and no
+  /// dump has happened yet. Must be called WITHOUT fault_mutex_ held (the
+  /// snapshot reads task labels under submit_mutex_ and writes files).
+  void maybe_auto_dump(const char* reason) const;
 
   /// Per-policy decision counter ("starvm.decisions.<policy>"), resolved
   /// once at construction so the hot path skips the registry lookup.

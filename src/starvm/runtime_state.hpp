@@ -161,6 +161,9 @@ class Arena {
   T& operator[](std::size_t i) {
     return (*chunks_[i / kChunk])[i % kChunk];
   }
+  const T& operator[](std::size_t i) const {
+    return (*chunks_[i / kChunk])[i % kChunk];
+  }
 
   std::size_t size() const { return size_; }
 

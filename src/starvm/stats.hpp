@@ -22,6 +22,10 @@ struct TaskTrace {
   double transfer_seconds = 0.0;
   double exec_seconds = 0.0;
   double flops = 0.0;  ///< work estimate from the codelet's flops model
+  /// Virtual time when every dependency had finished; start - ready is the
+  /// task's queue wait (scheduling + device contention). Appended last so
+  /// positional initializers predating it stay valid (defaults to 0).
+  double ready_vtime = 0.0;
 };
 
 struct DeviceStats {
@@ -33,6 +37,9 @@ struct DeviceStats {
   std::uint64_t failures = 0;     ///< failed execution attempts
   bool blacklisted = false;       ///< removed from scheduling after failures
   double mtbf_hours = 0.0;        ///< declared rate (PDL MTBF_HOURS); 0 = n/a
+  /// Declared sustained rate (DeviceSpec::sustained_gflops): the baseline
+  /// the profiler's measured-rate drift is computed against.
+  double declared_gflops = 0.0;
 };
 
 /// One fault-tolerance decision, in virtual-clock order. Rendered as
@@ -79,7 +86,13 @@ struct SchedulerDecision {
 struct EngineStats {
   double makespan_seconds = 0.0;  ///< modeled: max task finish on the virtual clock
   double wall_seconds = 0.0;      ///< real elapsed time between first submit and drain
+  /// Tasks accepted by submit()/submit_batch() — counted once per task, so
+  /// a batch of N adds N (not 1).
+  std::uint64_t tasks_submitted = 0;
   std::uint64_t tasks_completed = 0;
+  /// Per-task virtual overhead charged at dispatch
+  /// (EngineConfig::task_overhead_us), echoed for the profiler.
+  double task_overhead_us = 0.0;
   /// Tasks an idle worker took from a peer's ready queue instead of its own
   /// (real-threads mode with a per-device policy; 0 in the simulation modes).
   std::uint64_t steals = 0;
@@ -98,6 +111,10 @@ struct EngineStats {
   std::uint64_t cancelled_tasks = 0;      ///< tasks cancelled by failed deps
   std::vector<std::string> errors;        ///< one message per failed task
   std::vector<FaultEvent> fault_events;   ///< recovery log, virtual-clock order
+
+  // --- flight recorder ---
+  std::uint64_t flight_records = 0;      ///< records produced across all rings
+  std::uint64_t flight_overwritten = 0;  ///< records lost to ring wraparound
 
   SchedulerKind scheduler = SchedulerKind::kHeft;
   std::vector<DeviceStats> devices;

@@ -125,6 +125,58 @@ std::string merged_chrome_trace(const std::vector<obs::SpanRecord>& spans,
   return out;
 }
 
+std::string flight_chrome_trace(const std::vector<obs::FlightEvent>& events,
+                                const obs::FlightLabelFn& label) {
+  constexpr int kPid = 3;  // pids 1/2 belong to merged_chrome_trace's lanes
+  std::ostringstream os;
+  os << "[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kPid
+     << ",\"args\":{\"name\":\"flight recorder\"}}";
+
+  // One tid per ring. Ring index == device for the per-device rings; the
+  // highest ring index present is assumed to be the fault ring only when
+  // it carries fault-kind records (it does, by construction).
+  std::uint32_t max_ring = 0;
+  for (const auto& e : events) max_ring = std::max(max_ring, e.ring);
+  for (std::uint32_t r = 0; r <= max_ring; ++r) {
+    bool fault_ring = false, seen = false;
+    for (const auto& e : events) {
+      if (e.ring != r) continue;
+      seen = true;
+      fault_ring |= e.kind >= obs::FlightKind::kRetry;
+    }
+    if (!seen && r == max_ring) break;
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << kPid
+       << ",\"tid\":" << r << ",\"args\":{\"name\":\""
+       << (fault_ring ? "faults" : ("device " + std::to_string(r))) << "\"}}";
+  }
+
+  for (const auto& e : events) {
+    std::string name = to_string(e.kind);
+    if (e.task != 0) {
+      const std::string task_label = label ? label(e.task) : std::string();
+      name += ": " + (task_label.empty() ? "task " + std::to_string(e.task)
+                                         : task_label);
+    }
+    os << ",{\"name\":\"" << json_escape(name) << "\",\"pid\":" << kPid
+       << ",\"tid\":" << e.ring << ",\"ts\":" << sane(e.t0) * 1e6;
+    if (e.has_end()) {
+      os << ",\"ph\":\"X\",\"dur\":" << sane(e.t1 - e.t0) * 1e6;
+    } else {
+      // No end timestamp: either a point event or an attempt cut short by
+      // the crash being dumped — render it as an instant, not a zero-width
+      // sliver that viewers hide.
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    os << ",\"args\":{\"seq\":" << e.seq << ",\"task\":" << e.task
+       << ",\"device\":" << e.device << ",\"attempt\":" << e.aux
+       << ",\"value\":" << e.value;
+    if (e.value2 != 0.0) os << ",\"value2\":" << e.value2;
+    os << "}}";
+  }
+  os << "]";
+  return os.str();
+}
+
 std::string to_ascii_gantt(const EngineStats& stats, int width) {
   std::ostringstream os;
   const double makespan = stats.makespan_seconds;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 #include "starvm/stats.hpp"
 
@@ -34,5 +35,15 @@ std::string merged_chrome_trace(const std::vector<obs::SpanRecord>& spans,
 /// Fixed-width ASCII Gantt chart of the virtual-time schedule.
 /// `width` = number of character cells spanning the makespan.
 std::string to_ascii_gantt(const EngineStats& stats, int width = 72);
+
+/// Chrome trace of a flight-recorder snapshot, on its own process lane
+/// (pid 3, "flight recorder") so post-mortem evidence never mixes with the
+/// schedule lanes. Records with an end timestamp become "X" complete
+/// events; records without one (a task that started but never finished —
+/// exactly what a post-mortem wants to show — and point events like
+/// retries) become "i" instant events. One tid per ring; the fault-path
+/// ring renders as tid = device count, named "faults".
+std::string flight_chrome_trace(const std::vector<obs::FlightEvent>& events,
+                                const obs::FlightLabelFn& label = {});
 
 }  // namespace starvm

@@ -6,7 +6,13 @@
 //             [--output <generated.cpp>] [--makefile <Makefile>]
 //             [--exe <name>] [--no-sync] [--print-selection] [--verbose]
 //             [--trace-out <trace.json>] [--metrics-out <metrics.json>]
-//             [--fault-plan <spec>] [--analyze]
+//             [--fault-plan <spec>] [--analyze] [--profile]
+//
+// --profile runs the schedule preview and prints the model-vs-measured
+// report (docs/OBSERVABILITY.md "Flight recorder & profiling"): the
+// measured critical path with queue-wait/transfer/compute attribution, the
+// per-(task, device) rate drift against the declared GFLOPS, and the diff
+// against the A5xx modeled schedule of the extracted task graph.
 //
 // --analyze runs the cross-layer static analyzer (src/analysis) instead of
 // writing outputs: platform lint, variant/execute-site matching and task-
@@ -37,7 +43,9 @@
 
 #include "analysis/analyzer.hpp"
 #include "analysis/capacity.hpp"
+#include "analysis/profile.hpp"
 #include "analysis/report.hpp"
+#include "analysis/schedule_sim.hpp"
 #include "cascabel/rt.hpp"
 #include "cascabel/translator.hpp"
 #include "obs/env.hpp"
@@ -61,7 +69,7 @@ void usage(const char* argv0) {
                " [--verbose]\n"
                "          [--trace-out <trace.json>]"
                " [--metrics-out <metrics.json>] [--fault-plan <spec>]\n"
-               "          [--analyze]\n",
+               "          [--analyze] [--profile]\n",
                argv0);
 }
 
@@ -171,6 +179,7 @@ int main(int argc, char** argv) {
   bool print_selection = false;
   bool verbose = false;
   bool analyze_only = false;
+  bool profile = false;
   // PDL_TRACE / PDL_METRICS provide defaults; flags override below.
   obs::init_from_env();
   std::string trace_path = obs::env_trace_path();
@@ -219,6 +228,8 @@ int main(int argc, char** argv) {
       print_selection = true;
     } else if (flag == "--analyze") {
       analyze_only = true;
+    } else if (flag == "--profile") {
+      profile = true;
     } else if (flag == "--verbose") {
       verbose = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -357,9 +368,23 @@ int main(int argc, char** argv) {
     std::printf("cascabelc: compile plan -> %s\n", makefile_path.c_str());
   }
 
-  if (!trace_path.empty() || !metrics_path.empty()) {
+  if (!trace_path.empty() || !metrics_path.empty() || profile) {
     const starvm::EngineStats preview =
         schedule_preview(result.value(), platform.value(), fault_plan);
+    if (profile) {
+      // Measured side: the preview run. Modeled side: the A5xx HEFT
+      // simulation of the statically extracted graph — same platform, same
+      // task names, so the comparison aligns by name.
+      const analysis::RunProfile run_profile = analysis::profile_run(preview);
+      std::printf("%s", analysis::render_profile_text(run_profile).c_str());
+      const starvm::TaskGraph graph = analysis::graph_from_program(
+          result.value().program, result.value().repository);
+      const analysis::SchedulePlan plan =
+          analysis::simulate_schedule(graph, platform.value());
+      std::printf("%s", analysis::render_comparison_text(
+                            analysis::diff_against_plan(run_profile, plan, graph))
+                            .c_str());
+    }
     if (preview.task_failures > 0) {
       std::printf(
           "cascabelc: preview faults: %llu failure(s), %llu retried, "

@@ -5,6 +5,11 @@
 //   pdltool plan <platform.xml> <graph>      schedule-aware capacity &
 //                                            interference analysis (A5xx)
 //                                            of a task-graph fixture
+//   pdltool profile <platform.xml> <graph>   run the graph on a pure-sim
+//                                            engine built from the platform,
+//                                            print the measured critical
+//                                            path + rate drift, and diff it
+//                                            against the modeled schedule
 //   pdltool query <platform.xml> <what>      what: summary | groups |
 //                                            workers | interconnects
 //   pdltool match <platform.xml> <pattern>   compact-syntax pattern match
@@ -21,6 +26,7 @@
 #include "analysis/analyzer.hpp"
 #include "analysis/capacity.hpp"
 #include "analysis/graph_io.hpp"
+#include "analysis/profile.hpp"
 #include "analysis/report.hpp"
 #include "analysis/schedule_sim.hpp"
 #include "discovery/discovery.hpp"
@@ -44,6 +50,7 @@ void usage(const char* argv0) {
                "  %s validate <platform.xml>\n"
                "  %s lint <platform.xml>\n"
                "  %s plan <platform.xml> <graph-file>\n"
+               "  %s profile <platform.xml> <graph-file>\n"
                "  %s query <platform.xml> summary|groups|workers|interconnects\n"
                "  %s match <platform.xml> <compact-pattern>\n"
                "  %s discover [--gpus]\n"
@@ -54,7 +61,7 @@ void usage(const char* argv0) {
                "options: --metrics-out <file>   write an obs metrics snapshot"
                " (also: PDL_METRICS)\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0);
+               argv0, argv0);
 }
 
 int load(const char* path, pdl::Platform& out) {
@@ -120,6 +127,37 @@ int cmd_plan(const char* platform_path, const char* graph_path) {
   std::printf("%s", analysis::render_plan_text(plan, graph.value()).c_str());
   std::printf("%s", analysis::render_text(diags).c_str());
   return analysis::exit_code(diags, /*werror=*/false);
+}
+
+/// Model-vs-measured profiling of a task-graph fixture: execute the graph
+/// on a pure-sim engine built from the platform (flight recorder on), then
+/// print the measured critical path, the per-(task, device) rate drift and
+/// the diff against the A5xx modeled schedule.
+int cmd_profile(const char* platform_path, const char* graph_path) {
+  pdl::Platform platform;
+  if (load(platform_path, platform) != 0) return 1;
+  auto graph = analysis::load_graph_file(graph_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "pdltool: %s\n", graph.error().str().c_str());
+    return 1;
+  }
+  auto stats = analysis::run_graph_on_platform(graph.value(), platform);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "pdltool: %s\n", stats.error().str().c_str());
+    return 1;
+  }
+  const analysis::RunProfile profile = analysis::profile_run(stats.value());
+  const analysis::SchedulePlan plan =
+      analysis::simulate_schedule(graph.value(), platform);
+  std::printf("%s", analysis::render_profile_text(profile).c_str());
+  std::printf("%s",
+              analysis::render_comparison_text(
+                  analysis::diff_against_plan(profile, plan, graph.value()))
+                  .c_str());
+  for (const auto& error : stats.value().errors) {
+    std::fprintf(stderr, "pdltool: %s\n", error.c_str());
+  }
+  return stats.value().failed_tasks == 0 ? 0 : 1;
 }
 
 int cmd_query(const char* path, const std::string& what) {
@@ -237,6 +275,7 @@ int main(int raw_argc, char** raw_argv) {
   if (cmd == "validate" && argc == 3) return cmd_validate(argv[2]);
   if (cmd == "lint" && argc == 3) return cmd_lint(argv[2]);
   if (cmd == "plan" && argc == 4) return cmd_plan(argv[2], argv[3]);
+  if (cmd == "profile" && argc == 4) return cmd_profile(argv[2], argv[3]);
   if (cmd == "query" && argc == 4) return cmd_query(argv[2], argv[3]);
   if (cmd == "match" && argc == 4) return cmd_match(argv[2], argv[3]);
   if (cmd == "discover") {

@@ -1,0 +1,29 @@
+// The §IV-D case-study input as a standalone annotated source, for
+// cascabelc's CLI (examples/dgemm_pipeline.cpp embeds the same program as
+// a raw string for its self-contained demo, so it cannot be fed to the
+// translator directly). CI runs `cascabelc --profile` over this file and,
+// in a second pass, a fault plan that exhausts the retry budget to force
+// a flight-recorder post-mortem dump.
+//
+// Serial input: double-precision matrix multiplication via an optimized
+// library call (our kernels library stands in for GotoBlas2).
+#pragma cascabel task : x86 : Idgemm : dgemm_input : ( C: readwrite, A: read, B: read )
+void dgemm_serial(double *C, double *A, double *B, int n) {
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < n; ++k) sum += A[i*n+k] * B[k*n+j];
+      C[i*n+j] += sum;
+    }
+}
+
+int main() {
+  const int n = 8192;
+  double *C = new double[n*n];
+  double *A = new double[n*n];
+  double *B = new double[n*n];
+#pragma cascabel execute Idgemm : all (C:BLOCK:n:n, A:BLOCK:n:n, B:WHOLE:n:n)
+  dgemm_serial(C, A, B, n);
+  delete[] C; delete[] A; delete[] B;
+  return 0;
+}

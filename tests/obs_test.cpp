@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <sstream>
 #include <thread>
 
 #include "json_checker.hpp"
 #include "obs/env.hpp"
 #include "obs/event_sink.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "starvm/engine.hpp"
@@ -301,6 +303,143 @@ TEST(EngineMetrics, HotPathInstrumentsIdleWhileCollectionOff) {
   set_metrics_enabled(true);  // restore for later tests
   EXPECT_EQ(stats.tasks_completed, 4u);  // EngineStats itself is unaffected
   EXPECT_EQ(counter("starvm.tasks_completed").value(), tasks_before);
+}
+
+TEST(Metrics, QuantileInterpolatesAndClampsToObservedMax) {
+  Histogram& h = histogram("test.hist_quantile");
+  h.reset();
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty histogram
+
+  for (int i = 0; i < 99; ++i) h.record(100);
+  // One populated bucket [64, 127]: every quantile interpolates inside it
+  // and never exceeds the observed max.
+  EXPECT_GT(h.quantile(0.05), 0.0);
+  EXPECT_LE(h.quantile(0.99), 100.0);
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.99));
+
+  h.record(100000);  // a single outlier in a much higher bucket
+  EXPECT_LE(h.quantile(1.0), 100000.0);
+  EXPECT_GT(h.quantile(1.0), h.quantile(0.5));
+  // p50 stays with the bulk of the distribution, not the outlier.
+  EXPECT_LE(h.quantile(0.5), 127.0);
+}
+
+TEST(Metrics, PrometheusExposesAllInstrumentKinds) {
+  counter("test.prom_counter").inc(3);
+  gauge("test.prom_gauge").set(7);
+  Histogram& h = histogram("test.prom_hist");
+  h.reset();
+  h.record(5);
+  h.record(900);
+
+  const std::string text = render_prometheus();
+  EXPECT_NE(text.find("# TYPE pdl_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pdl_test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("pdl_test_prom_gauge_high_water"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pdl_test_prom_hist histogram"),
+            std::string::npos);
+  // Cumulative le-buckets end with the +Inf catch-all and the quantile
+  // estimate gauges ride along.
+  EXPECT_NE(text.find("pdl_test_prom_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("pdl_test_prom_hist_sum 905"), std::string::npos);
+  EXPECT_NE(text.find("pdl_test_prom_hist_count 2"), std::string::npos);
+  EXPECT_NE(text.find("pdl_test_prom_hist_p50"), std::string::npos);
+  EXPECT_NE(text.find("pdl_test_prom_hist_p99"), std::string::npos);
+}
+
+TEST(Metrics, SnapshotJsonCarriesQuantileEstimates) {
+  Histogram& h = histogram("test.hist_json_quantiles");
+  h.reset();
+  for (int i = 0; i < 32; ++i) h.record(10);
+  const std::string json = metrics_snapshot_json();
+  const auto parsed = testjson::parse(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << json;
+  EXPECT_TRUE(testjson::contains_string(parsed, "test.hist_json_quantiles"));
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+// --- Flight recorder rings ---------------------------------------------------
+
+TEST(Flight, RingRecordsAndSnapshotsInOrder) {
+  FlightRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  ring.record(FlightKind::kTaskStart, 1, 42, 0, 1.0, 0.0, 0.0);
+  ring.record(FlightKind::kTaskEnd, 1, 42, 0, 1.0, 2.5, 1.5);
+  EXPECT_EQ(ring.produced(), 2u);
+  EXPECT_EQ(ring.overwritten(), 0u);
+
+  std::vector<FlightEvent> events;
+  ring.snapshot_into(events, 3);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].ring, 3u);
+  EXPECT_EQ(events[0].kind, FlightKind::kTaskStart);
+  EXPECT_EQ(events[0].task, 42u);
+  EXPECT_FALSE(events[0].has_end());
+  EXPECT_EQ(events[1].kind, FlightKind::kTaskEnd);
+  EXPECT_TRUE(events[1].has_end());
+  EXPECT_DOUBLE_EQ(events[1].t1, 2.5);
+  EXPECT_DOUBLE_EQ(events[1].value, 1.5);
+}
+
+TEST(Flight, RingWraparoundKeepsNewestRecords) {
+  FlightRing ring(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ring.record(FlightKind::kQueueDepth, 0, i, 0, static_cast<double>(i), 0.0,
+                0.0);
+  }
+  EXPECT_EQ(ring.produced(), 20u);
+  EXPECT_EQ(ring.overwritten(), 12u);
+
+  std::vector<FlightEvent> events;
+  ring.snapshot_into(events, 0);
+  ASSERT_EQ(events.size(), 8u);  // exactly the resident window
+  EXPECT_EQ(events.front().seq, 12u);  // oldest survivor
+  EXPECT_EQ(events.back().seq, 19u);   // newest record
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+}
+
+TEST(Flight, RecorderMergesRingsByTime) {
+  FlightRecorder recorder(2, 8);
+  recorder.ring(0).record(FlightKind::kTaskStart, 0, 1, 0, 2.0, 0.0, 0.0);
+  recorder.ring(1).record(FlightKind::kTaskStart, 0, 2, 1, 1.0, 0.0, 0.0);
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].task, 2u);  // earlier t0 first, regardless of ring
+  EXPECT_EQ(events[1].task, 1u);
+  EXPECT_EQ(recorder.produced(), 2u);
+  EXPECT_GT(recorder.memory_bytes(), 0u);
+}
+
+TEST(Flight, EventsJsonlHeaderAndLabels) {
+  FlightRecorder recorder(1, 8);
+  recorder.ring(0).record(FlightKind::kTaskStart, 1, 7, 0, 0.5, 0.0, 0.0);
+  recorder.ring(0).record(FlightKind::kFailure, 2, 7, 0, 0.9, 0.0, 0.0);
+  const std::string jsonl = flight_events_jsonl(
+      recorder.snapshot(), "unit_test", recorder.produced(),
+      recorder.overwritten(),
+      [](std::uint64_t task) { return task == 7 ? "dgemm[7]" : ""; });
+
+  // One JSON object per line; the header line carries the dump reason.
+  std::istringstream lines(jsonl);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    const auto parsed = testjson::parse(line);
+    ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+  EXPECT_NE(jsonl.find("\"reason\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(jsonl.find("task_start"), std::string::npos);
+  EXPECT_NE(jsonl.find("failure"), std::string::npos);
+  EXPECT_NE(jsonl.find("dgemm[7]"), std::string::npos);
 }
 
 }  // namespace

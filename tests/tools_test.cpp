@@ -508,4 +508,57 @@ TEST_F(ToolsTest, CascabelcFailsCleanlyOnBadInputs) {
   EXPECT_EQ(run(kCascabelc + " --pdl " + pdl_path_ + " --input " + bad_input), 1);
 }
 
+TEST_F(ToolsTest, PdltoolProfileReportsCriticalPathAndDrift) {
+  const std::string platform =
+      std::string(PDL_SOURCE_DIR) + "/tests/fixtures/undersized.pdl.xml";
+  const std::string graph =
+      std::string(PDL_SOURCE_DIR) + "/tests/fixtures/dgemm_pipeline.graph";
+  std::string output;
+  EXPECT_EQ(run(kPdltool + " profile " + platform + " " + graph, &output), 0)
+      << output;
+  EXPECT_NE(output.find("measured critical path"), std::string::npos);
+  EXPECT_NE(output.find("critical-path attribution"), std::string::npos);
+  EXPECT_NE(output.find("rate drift"), std::string::npos);
+  // The instance labels collapse to one dgemm codelet per device row.
+  EXPECT_NE(output.find("dgemm @ "), std::string::npos);
+  EXPECT_NE(output.find("model vs measured"), std::string::npos);
+  EXPECT_NE(output.find("reduce"), std::string::npos);
+
+  EXPECT_EQ(run(kPdltool + " profile " + platform + " /no/such.graph"), 1);
+}
+
+TEST_F(ToolsTest, CascabelcProfileAndFlightDump) {
+  const std::string platform = std::string(PDL_SOURCE_DIR) +
+                               "/platforms/testbed-starpu-2gpu.pdl.xml";
+  const std::string input = std::string(PDL_SOURCE_DIR) +
+                            "/tests/fixtures/dgemm_pipeline.cascabel.cpp";
+  const std::string out_cpp = temp_path("profile_gen.cpp");
+  std::string output;
+  EXPECT_EQ(run(kCascabelc + " --pdl " + platform + " --input " + input +
+                    " --output " + out_cpp + " --profile",
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("measured critical path"), std::string::npos);
+  EXPECT_NE(output.find("rate drift"), std::string::npos);
+  EXPECT_NE(output.find("model vs measured"), std::string::npos);
+  EXPECT_NE(output.find("flight recorder:"), std::string::npos);
+
+  // A fault plan that outlives the retry budget forces the preview's
+  // wait_all to fail; PDL_FLIGHT_DUMP must leave the post-mortem behind.
+  const std::string prefix = temp_path("tool_flight");
+  EXPECT_EQ(run("PDL_FLIGHT_DUMP=" + prefix + " " + kCascabelc + " --pdl " +
+                    platform + " --input " + input + " --output " + out_cpp +
+                    " --profile --fault-plan 'fail:task=2,attempts=9'",
+                &output),
+            0)
+      << output;
+  const auto jsonl = pdl::util::read_file(prefix + ".jsonl");
+  ASSERT_TRUE(jsonl.has_value()) << "flight dump missing";
+  EXPECT_NE(jsonl->find("\"reason\":\"wait_all_failure\""), std::string::npos);
+  const auto trace = pdl::util::read_file(prefix + ".trace.json");
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_NE(trace->find("flight recorder"), std::string::npos);
+}
+
 }  // namespace
