@@ -1,14 +1,23 @@
-// ABL7 — DAG scheduling ablation (DESIGN.md).
+// ABL7 — DAG scheduling ablation (DESIGN.md), plus the placement-class
+// scalability gate.
 //
-// The scheduler ablation ABL1 uses independent task batches; real
-// applications ship dependency graphs. This harness runs the tiled
-// Cholesky DAG in pure simulation on the paper's starpu+2gpu model and
-// sweeps (a) the scheduler policy and (b) the tile granularity, reporting
-// modeled makespans against the aggregate-throughput lower bound — the
-// DAG's critical path keeps every policy above it, and model-based
-// placement matters more as tiles shrink.
+// Run without arguments, this prints the ABL7 table: the tiled Cholesky/LU
+// DAGs in pure simulation on the paper's starpu+2gpu model, sweeping the
+// scheduler policy and tile granularity against the aggregate-throughput
+// lower bound.
+//
+// Run with any argument it becomes a google-benchmark binary exposing
+// BM_DagSubmitDrain/{4,1000}: per-task submit+drain cost of a dependent
+// two-wave DAG on the manycore platform at 4 and at 1000+ devices. CI
+// compares the two — class-based HEFT keeps the 1000-device per-task cost
+// within 3x of the 4-device cost instead of the ~250x a per-device scan
+// would give.
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <vector>
 
 #include "discovery/presets.hpp"
 #include "solvers/tiled_cholesky.hpp"
@@ -60,9 +69,72 @@ double aggregate_gflops() {
   return total;
 }
 
+// Per-task submit/drain cost at `devices` workers: a two-wave dependent
+// DAG (compute then reduce per block) on the manycore platform, pure
+// simulation, HEFT placement. One iteration = submit + drain 1024 tasks.
+void BM_DagSubmitDrain(benchmark::State& state) {
+  const int devices = static_cast<int>(state.range(0));
+  constexpr int kBlocks = 512;
+  starvm::BridgeOptions bridge;
+  bridge.scheduler = starvm::SchedulerKind::kHeft;
+  bridge.mode = starvm::ExecutionMode::kPureSim;
+  auto config = starvm::engine_config_from_platform(
+      pdl::discovery::manycore_platform(devices), bridge);
+  starvm::EngineConfig engine_config = std::move(config).value();
+  // Escape hatch for before/after comparisons (EXPERIMENTS.md): force the
+  // exhaustive per-device HEFT scan instead of class-based placement.
+  if (std::getenv("PDL_DAG_BENCH_EXHAUSTIVE") != nullptr) {
+    engine_config.placement_classes = false;
+  }
+  starvm::Engine engine(std::move(engine_config));
+
+  std::vector<double> data(kBlocks * 8, 1.0);
+  starvm::DataHandle* h = engine.register_vector(data.data(), data.size());
+  const auto blocks = engine.partition_vector(h, kBlocks);
+  starvm::Codelet compute;
+  compute.name = "compute";
+  compute.impls.push_back(starvm::Implementation{starvm::DeviceKind::kCpu, nullptr});
+  compute.flops = [](const std::vector<starvm::BufferView>&) { return 1e7; };
+  starvm::Codelet reduce = compute;
+  reduce.name = "reduce";
+
+  for (auto _ : state) {
+    std::vector<starvm::TaskDesc> batch;
+    batch.reserve(2 * blocks.size());
+    for (starvm::DataHandle* b : blocks) {
+      batch.push_back(starvm::TaskDesc{&compute, {{b, starvm::Access::kReadWrite}}});
+    }
+    for (starvm::DataHandle* b : blocks) {
+      batch.push_back(starvm::TaskDesc{&reduce, {{b, starvm::Access::kReadWrite}}});
+    }
+    engine.submit_batch(std::move(batch));
+    if (!engine.wait_all().ok()) state.SkipWithError("wait_all failed");
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kBlocks);
+  state.counters["devices"] = devices;
+}
+BENCHMARK(BM_DagSubmitDrain)->Arg(4)->Arg(1000)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+int run_abl7_table();
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    // google-benchmark mode (CI scalability gate / snapshots).
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return run_abl7_table();
+}
+
+namespace {
+
+int run_abl7_table() {
   const std::size_t n = 8192;
   std::printf("=== ABL7: DAG scheduling (N=%zu, starpu+2gpu, pure sim) ===\n", n);
   const double agg = aggregate_gflops();
@@ -99,3 +171,5 @@ int main() {
   std::printf("fine tilings raise the scheduling stakes (HEFT vs greedy).\n");
   return 0;
 }
+
+}  // namespace

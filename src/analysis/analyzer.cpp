@@ -235,6 +235,25 @@ void for_each_descriptor(
   }
 }
 
+/// A106: quantities the parser accepts but that almost certainly encode a
+/// typo or unit mistake — every expanded instance becomes a scheduled
+/// device, so "131072" where "1024" was meant melts tools downstream. The
+/// threshold sits well above real many-core parts (ET-SOC1: ~1.1k cores).
+constexpr int kQuantitySanityThreshold = 65536;
+
+void check_quantity_sanity(const pdl::Platform& platform, Emitter& out) {
+  for (const pdl::ProcessingUnit* pu : pdl::all_pus(platform)) {
+    if (pu->quantity() > kQuantitySanityThreshold) {
+      out.emit(kQuantitySanity,
+               "PU '" + pu->id() + "' declares quantity " +
+                   std::to_string(pu->quantity()) + " (sanity threshold " +
+                   std::to_string(kQuantitySanityThreshold) +
+                   "); every instance becomes a scheduled device",
+               pu->loc(), pu->path());
+    }
+  }
+}
+
 }  // namespace
 
 void analyze_platform(const pdl::Platform& platform, const AnalysisOptions& options,
@@ -245,6 +264,7 @@ void analyze_platform(const pdl::Platform& platform, const AnalysisOptions& opti
   Emitter out{options, diags};
   check_worker_memory_reachability(platform, out);
   check_unreferenced_memory_regions(platform, out);
+  check_quantity_sanity(platform, out);
   for_each_descriptor(platform, [&](const pdl::Descriptor& d, const pdl::SourceLoc& loc,
                                     const std::string& where) {
     check_property_values(d, loc, where, out);

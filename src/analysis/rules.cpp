@@ -23,6 +23,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {kUndeclaredExtensionNamespace, Severity::kError,
        "property uses an xsi:type prefix with no xmlns declaration on the "
        "document root"},
+      {kQuantitySanity, Severity::kWarning,
+       "PU quantity above the sanity threshold (65536): likely a typo or a "
+       "unit mistake; each instance becomes a scheduled device"},
       {kDeadVariant, Severity::kWarning,
        "task variant whose platform requirements match no PU of the target "
        "platform (it can never be selected)"},

@@ -44,6 +44,7 @@ inline constexpr const char* kPropertySanity = "A103-property-sanity";
 inline constexpr const char* kDescriptorConsistency = "A104-descriptor-consistency";
 inline constexpr const char* kUndeclaredExtensionNamespace =
     "A105-undeclared-extension-namespace";
+inline constexpr const char* kQuantitySanity = "A106-quantity-sanity";
 inline constexpr const char* kDeadVariant = "A301-dead-variant";
 inline constexpr const char* kNoExecutableVariant = "A302-no-executable-variant";
 inline constexpr const char* kArityMismatch = "A303-arity-mismatch";

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 #include <set>
+#include <tuple>
 
 #include "pdl/query.hpp"
 #include "pdl/well_known.hpp"
@@ -27,7 +28,9 @@ bool is_cpu_architecture(const pdl::ProcessingUnit& pu) {
   return pdl::util::iequals(arch, "x86_core") ||
          pdl::util::iequals(arch, "x86") ||
          pdl::util::iequals(arch, "cpu_core") ||
-         pdl::util::iequals(arch, "ppe") || arch.empty();
+         pdl::util::iequals(arch, "ppe") ||
+         pdl::util::iequals(arch, "riscv") ||
+         pdl::util::iequals(arch, "riscv_core") || arch.empty();
 }
 
 /// Host memory space (index 0): the first sized MemoryRegion found on a
@@ -78,8 +81,10 @@ Derived derive_devices(const pdl::Platform& platform) {
       dev.gflops =
           pdl::props::sustained_gflops(*pu, 0.9, kDefaultCpuGflops);
       dev.space = 0;
+      // Bridge naming rule: `id` for quantity 1, `id#i` for expansions.
       for (int i = 0; i < pu->quantity(); ++i) {
-        dev.name = pu->id() + "#" + std::to_string(i);
+        dev.name = pu->quantity() == 1 ? pu->id()
+                                       : pu->id() + "#" + std::to_string(i);
         d.devices.push_back(dev);
       }
       continue;
@@ -278,13 +283,39 @@ SchedulePlan simulate_schedule(const starvm::TaskGraph& graph,
   plan.device_busy_seconds.assign(plan.devices.size(), 0.0);
   if (ndev == 0) return plan;
 
+  // --- Placement classes: interchangeable devices evaluated once ------------
+  // Mirrors the runtime's grouping (Engine::build_placement_classes): same
+  // kind/rate/link/space means one candidate per class, and accelerators
+  // stay singleton because each owns a private space. Keeps this model
+  // O(classes) per task — and consistent with what the engine actually
+  // evaluates — on quantity-expanded 1k-worker platforms. Classes are
+  // created in order of their lowest member, preserving the exhaustive
+  // loop's lowest-index tie-breaking.
+  std::vector<int> class_rep;                   // representative device index
+  std::vector<int> class_of(plan.devices.size(), 0);
+  {
+    std::map<std::tuple<bool, double, double, double, int, int>, int> flavors;
+    for (int d = 0; d < ndev; ++d) {
+      const SimDevice& dev = plan.devices[d];
+      const auto key =
+          std::make_tuple(dev.is_cpu, dev.gflops, dev.link_bandwidth_gbs,
+                          dev.link_latency_us, dev.space, dev.ic);
+      const auto [it, inserted] =
+          flavors.emplace(key, static_cast<int>(class_rep.size()));
+      if (inserted) class_rep.push_back(d);
+      class_of[d] = it->second;
+    }
+  }
+  const int nclasses = static_cast<int>(class_rep.size());
+
   // --- Critical path on the fastest device (the makespan lower bound) -------
   std::vector<double> fastest(tasks.size(), 0.0);
   for (int t = 0; t < n; ++t) {
     double best = 0.0;
-    for (int d = 0; d < ndev; ++d) {
+    for (int c = 0; c < nclasses; ++c) {
+      const int d = class_rep[c];
       const double est = compute_estimate(tasks[t], plan.devices[d], d, model);
-      if (d == 0 || est < best) best = est;
+      if (c == 0 || est < best) best = est;
     }
     fastest[t] = best;
   }
@@ -337,6 +368,14 @@ SchedulePlan simulate_schedule(const starvm::TaskGraph& graph,
   std::vector<FootprintInterval> intervals;
   std::vector<TransferWindow> windows;
   std::vector<double> device_free(plan.devices.size(), 0.0);
+  // Per-class members ordered by (free time, index): begin() is the member
+  // the exhaustive scan would pick from that class, so placement evaluates
+  // one candidate per class instead of one per device.
+  std::vector<std::set<std::pair<double, int>>> class_free(
+      static_cast<std::size_t>(nclasses));
+  for (int d = 0; d < ndev; ++d) {
+    class_free[static_cast<std::size_t>(class_of[d])].insert({0.0, d});
+  }
 
   // The legs data must travel for task access on `dev` given residency:
   // nothing when a copy is already in dev's space, otherwise source->host
@@ -426,16 +465,20 @@ SchedulePlan simulate_schedule(const starvm::TaskGraph& graph,
     double best_transfer = 0.0;
     double best_compute = 0.0;
     double best_start = 0.0;
-    for (int d = 0; d < ndev; ++d) {
+    for (int c = 0; c < nclasses; ++c) {
+      // Least-loaded member stands for the class: any other member only
+      // starts later and costs the same, so it can never win.
+      const int d = class_free[static_cast<std::size_t>(c)].begin()->second;
       const SimDevice& dev = plan.devices[d];
       const double start = std::max(ready, device_free[d]);
       double transfer = 0.0;
       for (int root : roots) {
         transfer += transfer_legs(root, dev, start + transfer, false, nullptr);
       }
-      const double compute = compute_estimate(tasks[t], dev, d, model);
+      const double compute =
+          compute_estimate(tasks[t], dev, class_rep[c], model);
       const double finish = start + transfer + compute;
-      if (d == 0 || finish < best_finish) {
+      if (c == 0 || finish < best_finish) {
         best = d;
         best_finish = finish;
         best_transfer = transfer;
@@ -456,7 +499,11 @@ SchedulePlan simulate_schedule(const starvm::TaskGraph& graph,
     placement.transfer_seconds = best_transfer;
     placement.compute_seconds = best_compute;
     placement.finish_seconds = best_finish;
+    class_free[static_cast<std::size_t>(class_of[best])].erase(
+        {device_free[best], best});
     device_free[best] = best_finish;
+    class_free[static_cast<std::size_t>(class_of[best])].insert(
+        {best_finish, best});
     plan.device_busy_seconds[best] += best_finish - best_start;
     plan.makespan_seconds = std::max(plan.makespan_seconds, best_finish);
 

@@ -165,6 +165,57 @@ Platform cell_be_platform() {
   return platform;
 }
 
+Platform manycore_platform(int workers) {
+  // ET-SOC1-class: one RISC-V management core over `workers` identical
+  // minion cores — platforms/manycore-1k.pdl.xml built in code, with the
+  // worker count as a knob for benchmarks and tests.
+  Platform platform("manycore-1k");
+  auto master = std::make_unique<ProcessingUnit>(PuKind::kMaster, "mgmt");
+  auto& d = master->descriptor();
+  d.add(props::kArchitecture, "riscv");
+  d.add(props::kModel, "ET-SOC1-class management core");
+  d.add(props::kFrequencyMhz, "1000");
+  d.add(props::kSustainedGflops, "2.0");
+  d.add(props::kRuntimeLibrary, "starvm");
+
+  MemoryRegion ram;
+  ram.id = "mr_lpddr";
+  Property size;
+  size.name = props::kSize;
+  size.value = "16777216";  // 16 GB LPDDR
+  size.unit = "kB";
+  ram.descriptor.add(std::move(size));
+  ram.descriptor.add(props::kShared, "true");
+  master->memory_regions().push_back(std::move(ram));
+
+  auto minions =
+      std::make_unique<ProcessingUnit>(PuKind::kWorker, "minion", workers);
+  minions->descriptor().add(props::kArchitecture, "riscv_core");
+  minions->descriptor().add(props::kFrequencyMhz, "1000");
+  minions->descriptor().add(props::kSustainedGflops, "1.5");
+  minions->logic_groups().push_back("minions");
+  minions->logic_groups().push_back("all");
+  master->add_child(std::move(minions));
+
+  Interconnect noc;
+  noc.type = "mesh-noc";
+  noc.from = "mgmt";
+  noc.to = "minion";
+  noc.scheme = "LoadStore";
+  Property bw;
+  bw.name = props::kIcBandwidthGBs;
+  bw.value = "32";
+  noc.descriptor.add(std::move(bw));
+  Property lat;
+  lat.name = props::kIcLatencyUs;
+  lat.value = "0.2";
+  noc.descriptor.add(std::move(lat));
+  master->interconnects().push_back(std::move(noc));
+
+  platform.add_master(std::move(master));
+  return platform;
+}
+
 Platform hierarchical_hybrid_platform() {
   // The Figure 2 shape: M -> {H -> {W,W,W}, H -> {W,W}, W}.
   Platform platform("hierarchical");

@@ -32,6 +32,12 @@ Platform paper_platform_starpu_2gpu();
 /// example of the architectures PDL must cover).
 Platform cell_be_platform();
 
+/// ET-SOC1-class many-core: one RISC-V management Master over `workers`
+/// identical quantity-expanded minion Workers on a mesh NoC — the
+/// scheduler-scalability platform (platforms/manycore-1k.pdl.xml ships the
+/// 1088-worker XML form). All workers collapse into one placement class.
+Platform manycore_platform(int workers = 1088);
+
 /// A deep hierarchy exercising Hybrid PUs: a Master controlling two Hybrid
 /// nodes, each controlling GPU and CPU-core Workers — the Figure 2 shape.
 Platform hierarchical_hybrid_platform();

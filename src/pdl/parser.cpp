@@ -1,5 +1,6 @@
 #include "pdl/parser.hpp"
 
+#include <limits>
 #include <memory>
 
 #include "util/string_util.hpp"
@@ -172,8 +173,13 @@ std::unique_ptr<ProcessingUnit> parse_pu(const xml::Element& e, ParseCtx& ctx) {
   int quantity = 1;
   if (auto q = e.attribute("quantity")) {
     auto parsed = util::parse_int(*q);
-    if (!parsed || *parsed < 1) {
-      ctx.error(e, "invalid quantity '" + *q + "' on <" + e.name() + ">");
+    // Upper bound matters too: parse_int yields int64, and quantity is
+    // stored as int — "1e9"-style or absurd values must not wrap on the
+    // narrowing cast and silently expand to garbage.
+    if (!parsed || *parsed < 1 ||
+        *parsed > std::numeric_limits<int>::max()) {
+      ctx.error(e, "invalid quantity '" + *q + "' on <" + e.name() +
+                       "> (expected an integer >= 1)");
     } else {
       quantity = static_cast<int>(*parsed);
     }

@@ -52,13 +52,19 @@ pdl::util::Result<EngineConfig> engine_config_from_platform(
     const std::string arch = pdl::resolved_value(*pu, pdl::props::kArchitecture);
     if (pdl::util::iequals(arch, "x86_core") || pdl::util::iequals(arch, "x86") ||
         pdl::util::iequals(arch, "cpu_core") || pdl::util::iequals(arch, "ppe") ||
-        arch.empty()) {
+        pdl::util::iequals(arch, "riscv") ||
+        pdl::util::iequals(arch, "riscv_core") || arch.empty()) {
       DeviceSpec spec;
       spec.kind = DeviceKind::kCpu;
       spec.sustained_gflops = pdl::props::sustained_gflops(*pu, 0.9, options.default_cpu_gflops);
       apply_reliability(*pu, spec);
+      // Same naming rule as accelerators below: `id` when the PU stands
+      // for one device, `id#i` only for real quantity expansions (a
+      // quantity="1" CPU used to be named `id#0`, which broke name parity
+      // with accelerators and split profile instance pooling).
       for (int i = 0; i < pu->quantity(); ++i) {
-        spec.name = pu->id() + "#" + std::to_string(i);
+        spec.name = pu->quantity() == 1 ? pu->id()
+                                        : pu->id() + "#" + std::to_string(i);
         cpus.push_back(spec);
       }
     } else {

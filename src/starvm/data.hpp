@@ -10,6 +10,7 @@
 // writer's node as the only valid replica).
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -48,6 +49,14 @@ class DataHandle {
   /// True when node `n` holds a valid replica (bookkeeping; see header).
   bool valid_on(MemoryNodeId n) const {
     return n >= 0 && n < 64 && (valid_ & node_bit(n)) != 0;
+  }
+
+  /// Lowest-numbered node holding a valid replica; -1 when none. The host
+  /// is node 0, so "prefer the host, else the first valid node" is exactly
+  /// the mask's lowest set bit — O(1) where the transfer-source search used
+  /// to scan every node per buffer. Guarded by the engine's memory mutex.
+  MemoryNodeId first_valid_node() const {
+    return valid_ == 0 ? -1 : static_cast<MemoryNodeId>(std::countr_zero(valid_));
   }
 
  private:

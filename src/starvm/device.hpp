@@ -59,6 +59,13 @@ struct EngineConfig {
   /// event sink; off by default to keep the hot path free of the cost.
   bool record_decisions = false;
 
+  /// Group interchangeable host-node devices into placement classes so
+  /// HEFT evaluates one candidate per device flavor instead of one per
+  /// device (sublinear placement on quantity-expanded platforms). False
+  /// forces singleton classes — the exhaustive per-device scan — which
+  /// only exists for equivalence testing and A/B measurement.
+  bool placement_classes = true;
+
   /// Flight recorder (docs/OBSERVABILITY.md "Flight recorder & profiling"):
   /// ring capacity in records per device (rounded up to a power of two;
   /// 64 bytes per record), plus one ring for the fault path. Always on by

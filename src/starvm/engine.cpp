@@ -9,7 +9,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <stdexcept>
+#include <tuple>
 
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
@@ -189,24 +191,29 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
     }
   }
   single_node_ = next_node == kHostNode + 1;
-  device_gflops_.reserve(devices_.size());
+  // Node -> owning device spec, so the transfer model resolves a link in
+  // O(1) instead of scanning every device per leg.
+  node_spec_.assign(nodes_.size(), nullptr);
   for (const auto& device : devices_) {
-    device_gflops_.push_back(device.spec.sustained_gflops);
+    if (device.node != kHostNode) {
+      node_spec_[static_cast<std::size_t>(device.node)] = &device.spec;
+    }
   }
+  build_placement_classes();
 
-  detail::CostRowFn cost = [this](const detail::TaskNode& task, double* out) {
-    estimated_cost_row(task, out);
+  detail::CostClassFn cost = [this](const detail::TaskNode& task, double* out) {
+    estimated_cost_class_row(task, out);
   };
   // Simulation modes are a deterministic discrete-event loop driven by
   // wait_all() on the caller's thread: real worker threads would race in
   // *wall* time and distort which device pops next in *virtual* time. The
   // real-threads path instead uses the lock-split HybridDispatch.
   if (hybrid()) {
-    dispatch_ = std::make_unique<detail::HybridDispatch>(config_.scheduler,
-                                                         &devices_, cost);
+    dispatch_ = std::make_unique<detail::HybridDispatch>(
+        config_.scheduler, &devices_, &classes_, cost);
   } else {
     scheduler_ = detail::make_scheduler(config_.scheduler, &devices_,
-                                        std::move(cost));
+                                        &classes_, std::move(cost));
   }
   decision_counter_ = &obs::counter("starvm.decisions." +
                                     std::string(to_string(config_.scheduler)));
@@ -234,6 +241,59 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
       workers_.emplace_back([this, i] { worker_loop(static_cast<DeviceId>(i)); });
     }
   }
+}
+
+void Engine::build_placement_classes() {
+  class_of_.resize(devices_.size());
+  // Full-spec key (not just the cost-model inputs): merging only devices
+  // that also share the fault-tolerance knobs keeps retry budgets and
+  // per-device overrides trivially uniform within a class.
+  using Flavor =
+      std::tuple<int, double, double, double, std::uint64_t, int, double>;
+  std::map<Flavor, std::size_t> flavors;
+  for (const auto& device : devices_) {
+    std::size_t cls = classes_.size();
+    // Accelerators own private memory nodes — their replica state (and so
+    // their transfer estimate) differs per device — so they stay singleton
+    // classes even when spec-identical. Host-node devices group by flavor.
+    if (config_.placement_classes && device.node == kHostNode) {
+      const Flavor key{static_cast<int>(device.spec.kind),
+                       device.spec.sustained_gflops,
+                       device.spec.link_bandwidth_gbs,
+                       device.spec.link_latency_us,
+                       static_cast<std::uint64_t>(device.spec.memory_bytes),
+                       device.spec.max_retries,
+                       device.spec.mtbf_hours};
+      cls = flavors.emplace(key, cls).first->second;
+    }
+    if (cls == classes_.size()) {
+      // Devices arrive in id order, so classes are created in order of
+      // their lowest member — preserving exhaustive HEFT's lowest-index
+      // tie-breaking when classes are evaluated front to back.
+      detail::PlacementClass& fresh = classes_.emplace_back();
+      fresh.kind = device.spec.kind;
+      fresh.node = device.node;
+      fresh.representative = device.id;
+    }
+    detail::PlacementClass& pc = classes_[cls];
+    pc.members.push_back(device.id);
+    pc.live_members.store(static_cast<int>(pc.members.size()),
+                          std::memory_order_relaxed);
+    class_of_[static_cast<std::size_t>(device.id)] = cls;
+  }
+  class_gflops_.reserve(classes_.size());
+  for (const auto& pc : classes_) {
+    class_gflops_.push_back(
+        devices_[static_cast<std::size_t>(pc.representative)]
+            .spec.sustained_gflops);
+  }
+}
+
+const DeviceSpec* Engine::node_link_spec(MemoryNodeId node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= node_spec_.size()) {
+    return nullptr;
+  }
+  return node_spec_[static_cast<std::size_t>(node)];
 }
 
 Engine::~Engine() {
@@ -426,8 +486,8 @@ void Engine::validate_desc(const TaskDesc& desc) const {
     throw std::invalid_argument("task without codelet implementation");
   }
   bool any_capable = false;
-  for (const auto& device : devices_) {
-    if (desc.codelet->supports(device.spec.kind)) any_capable = true;
+  for (const auto& pc : classes_) {
+    if (desc.codelet->supports(pc.kind)) any_capable = true;
   }
   if (!any_capable) {
     throw std::invalid_argument("no device can execute codelet '" +
@@ -734,32 +794,20 @@ void Engine::notify_drain() {
 void Engine::run_simulation_locked() {
   // Deterministic discrete-event loop: the device that becomes free
   // earliest (on the virtual clock) asks the scheduler next — the
-  // virtual-time analogue of "the first idle worker pops".
+  // virtual-time analogue of "the first idle worker pops". The scheduler
+  // keeps an avail-ordered index incrementally (pop_earliest /
+  // on_device_time_advanced), so one loop turn costs O(log devices)
+  // instead of re-sorting every device each iteration.
   while (pending_.load() > 0) {
-    sim_order_.resize(devices_.size());
-    for (std::size_t i = 0; i < sim_order_.size(); ++i) sim_order_[i] = i;
-    std::sort(sim_order_.begin(), sim_order_.end(),
-              [this](std::size_t a, std::size_t b) {
-                return devices_[a].avail_vtime.load() <
-                       devices_[b].avail_vtime.load();
-              });
-
-    detail::TaskNode* task = nullptr;
-    detail::DeviceState* device = nullptr;
-    for (std::size_t i : sim_order_) {
-      if (devices_[i].blacklisted.load()) continue;
-      task = scheduler_->pop(static_cast<DeviceId>(i));
-      if (task != nullptr) {
-        device = &devices_[i];
-        break;
-      }
-    }
+    DeviceId chosen = -1;
+    detail::TaskNode* task = scheduler_->pop_earliest(&chosen);
     if (task == nullptr) {
       // Submitted-but-waiting tasks only unblock through completions, which
       // this loop performs synchronously — reaching here means a dependency
       // cycle or a foreign bug; bail out rather than spin.
       break;
     }
+    detail::DeviceState* device = &devices_[static_cast<std::size_t>(chosen)];
 
     task->state.store(detail::TaskState::kRunning);
     task->ran_on = device->id;
@@ -797,6 +845,7 @@ void Engine::run_simulation_locked() {
       // host memory; a doomed attempt would corrupt its own retry's input).
       handle_task_failure(*task, *device, transfer, exec, injected.reason,
                           /*is_timeout=*/false);
+      scheduler_->on_device_time_advanced(device->id);
       continue;
     }
     if (config_.mode == ExecutionMode::kDeterministic) {
@@ -813,6 +862,7 @@ void Engine::run_simulation_locked() {
         if (!run_attempt(*impl, ctx, fail_reason)) {
           handle_task_failure(*task, *device, transfer, exec, fail_reason,
                               /*is_timeout=*/false);
+          scheduler_->on_device_time_advanced(device->id);
           continue;
         }
       }
@@ -822,9 +872,12 @@ void Engine::run_simulation_locked() {
       handle_task_failure(*task, *device, transfer, exec,
                           "watchdog: modeled execution exceeded limit",
                           /*is_timeout=*/true);
+      scheduler_->on_device_time_advanced(device->id);
       continue;
     }
     finalize_task(*task, *device, transfer, exec);
+    // Only the executing device's clock moved this turn; re-key just it.
+    scheduler_->on_device_time_advanced(device->id);
   }
 }
 
@@ -906,8 +959,11 @@ double Engine::watchdog_limit(const detail::TaskNode& task,
 }
 
 bool Engine::has_live_capable_device(const Codelet& codelet) const {
-  for (const auto& device : devices_) {
-    if (!device.blacklisted.load() && codelet.supports(device.spec.kind)) {
+  // O(classes), not O(devices): live_members counts the non-blacklisted
+  // members of each class.
+  for (const auto& pc : classes_) {
+    if (pc.live_members.load(std::memory_order_relaxed) > 0 &&
+        codelet.supports(pc.kind)) {
       return true;
     }
   }
@@ -992,6 +1048,8 @@ void Engine::fail_task_locked(detail::TaskNode& task, const std::string& reason)
 
 void Engine::blacklist_device_locked(detail::DeviceState& device) {
   device.blacklisted.store(true);
+  classes_[class_of_[static_cast<std::size_t>(device.id)]]
+      .live_members.fetch_sub(1, std::memory_order_relaxed);
   ++blacklists_;
   if (obs::metrics_enabled()) device_blacklists_counter().inc();
   record_fault_event_locked(
@@ -1108,11 +1166,22 @@ void Engine::record_decision(const detail::TaskNode& task,
   decision.chosen = chosen.id;
   decision.decided_vtime =
       std::max(chosen.avail_vtime.load(), task.ready_vtime.load());
-  for (const auto& device : devices_) {
-    if (!task.codelet->supports(device.spec.kind)) continue;
+  // One candidate per placement class keeps the log exact without a
+  // per-member walk: members share the cost estimate, and the entry for
+  // the winner's class is computed on the winner itself, so the chosen
+  // device always appears with its own numbers.
+  const std::size_t chosen_class = class_of_[static_cast<std::size_t>(chosen.id)];
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const detail::PlacementClass& pc = classes_[c];
+    if (!task.codelet->supports(pc.kind)) continue;
+    const detail::DeviceState& device =
+        c == chosen_class
+            ? chosen
+            : devices_[static_cast<std::size_t>(pc.representative)];
     DecisionCandidate candidate;
     candidate.device = device.id;
     candidate.device_name = device.spec.name;
+    candidate.class_size = static_cast<int>(pc.members.size());
     candidate.est_finish_vtime =
         std::max(device.avail_vtime.load(), task.ready_vtime.load()) +
         estimated_cost(task, device);
@@ -1135,7 +1204,8 @@ void Engine::record_decision(const detail::TaskNode& task,
       if (i > 0) candidates += ",";
       candidates += "{\"device\":" + std::to_string(c.device) + ",\"name\":\"" +
                     obs::json_escape(c.device_name) +
-                    "\",\"est_finish_vtime\":" + buf + "}";
+                    "\",\"devices\":" + std::to_string(c.class_size) +
+                    ",\"est_finish_vtime\":" + buf + "}";
     }
     candidates += "]";
     event.raw("candidates", candidates);
@@ -1153,12 +1223,19 @@ double Engine::link_transfer_seconds(std::size_t bytes, MemoryNodeId from,
   if (from == to) return 0.0;
   // Each accelerator node connects to the host with its own link; transfers
   // between two accelerators bounce through the host (PCIe peer-to-peer is
-  // post-2011 and the paper's testbed routes via host RAM).
+  // post-2011 and the paper's testbed routes via host RAM). Link parameters
+  // come from the node→spec index built at construction — O(1) per leg.
   const auto link_of = [this](MemoryNodeId node) -> const DeviceSpec* {
-    for (const auto& device : devices_) {
-      if (device.node == node) return &device.spec;
+    const DeviceSpec* spec = node_link_spec(node);
+    if (spec == nullptr) {
+      // Every non-host node is created from a device at construction, so a
+      // miss means the caller passed a node this engine never made. Flag it
+      // (EngineStats::link_spec_misses; tests assert it stays zero) rather
+      // than silently modeling the default link.
+      assert(false && "memory node without an owning device spec");
+      link_spec_misses_.fetch_add(1, std::memory_order_relaxed);
     }
-    return nullptr;
+    return spec;
   };
   double seconds = 0.0;
   if (from != kHostNode) {
@@ -1250,16 +1327,7 @@ double Engine::acquire_buffers(detail::TaskNode& task, MemoryNodeId node) {
     if (reads(view.mode)) {
       if (!h->valid_on(node)) {
         // Prefer pulling from the host; otherwise any valid replica.
-        MemoryNodeId source = kHostNode;
-        if (!h->valid_on(kHostNode)) {
-          source = -1;
-          for (std::size_t n = 0; n < nodes_.size(); ++n) {
-            if (h->valid_on(static_cast<MemoryNodeId>(n))) {
-              source = static_cast<MemoryNodeId>(n);
-              break;
-            }
-          }
-        }
+        const MemoryNodeId source = h->first_valid_node();
         if (source >= 0) {
           total += link_transfer_seconds(h->bytes(), source, node);
           ++transfers_;
@@ -1300,15 +1368,7 @@ double Engine::estimated_cost(const detail::TaskNode& task,
     for (const auto& view : task.buffers) {
       const DataHandle* h = view.handle;
       if (reads(view.mode) && !h->valid_on(device.node)) {
-        MemoryNodeId source = h->valid_on(kHostNode) ? kHostNode : -1;
-        if (source < 0) {
-          for (std::size_t n = 0; n < devices_.size() + 1; ++n) {
-            if (h->valid_on(static_cast<MemoryNodeId>(n))) {
-              source = static_cast<MemoryNodeId>(n);
-              break;
-            }
-          }
-        }
+        const MemoryNodeId source = h->first_valid_node();
         if (source >= 0) {
           transfer += link_transfer_seconds(h->bytes(), source, device.node);
         }
@@ -1318,29 +1378,26 @@ double Engine::estimated_cost(const detail::TaskNode& task,
   return transfer + exec_estimate(task, device);
 }
 
-void Engine::estimated_cost_row(const detail::TaskNode& task,
-                                double* out) const {
-  const std::size_t n = devices_.size();
-  PerfModel::estimate_row_in(*task.model_row, task.flops,
-                             device_gflops_.data(), n, out);
+void Engine::estimated_cost_class_row(const detail::TaskNode& task,
+                                      double* out) const {
+  const std::size_t nc = classes_.size();
+  for (std::size_t c = 0; c < nc; ++c) {
+    // The representative's calibration history stands in for every member:
+    // members are spec-identical, so their analytic estimates match and
+    // their measured histories converge on the same kernels.
+    out[c] = PerfModel::estimate_in(*task.model_row, classes_[c].representative,
+                                    task.flops, class_gflops_[c]);
+  }
   if (single_node_) return;  // no replicas to move, nothing to add
   std::lock_guard<std::mutex> lock(memory_mutex_);
-  for (std::size_t i = 0; i < n; ++i) {
-    const detail::DeviceState& device = devices_[i];
+  for (std::size_t c = 0; c < nc; ++c) {
+    const MemoryNodeId node = classes_[c].node;
     for (const auto& view : task.buffers) {
       const DataHandle* h = view.handle;
-      if (!reads(view.mode) || h->valid_on(device.node)) continue;
-      MemoryNodeId source = h->valid_on(kHostNode) ? kHostNode : -1;
-      if (source < 0) {
-        for (std::size_t node = 0; node < devices_.size() + 1; ++node) {
-          if (h->valid_on(static_cast<MemoryNodeId>(node))) {
-            source = static_cast<MemoryNodeId>(node);
-            break;
-          }
-        }
-      }
+      if (!reads(view.mode) || h->valid_on(node)) continue;
+      const MemoryNodeId source = h->first_valid_node();
       if (source >= 0) {
-        out[i] += link_transfer_seconds(h->bytes(), source, device.node);
+        out[c] += link_transfer_seconds(h->bytes(), source, node);
       }
     }
   }
@@ -1518,6 +1575,7 @@ EngineStats Engine::stats() const {
     s.evictions = evictions_;
     s.writeback_bytes = writeback_bytes_;
   }
+  s.link_spec_misses = link_spec_misses_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> fault(fault_mutex_);
     s.task_failures = task_failures_;

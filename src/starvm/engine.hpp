@@ -131,6 +131,14 @@ class Engine {
 
   const EngineConfig& config() const { return config_; }
   std::size_t device_count() const { return devices_.size(); }
+  /// Number of placement classes (groups of interchangeable devices) the
+  /// schedulers evaluate per task; a quantity-expanded 1k-worker group
+  /// counts once. Equals device_count() when
+  /// EngineConfig::placement_classes is false.
+  std::size_t placement_class_count() const { return classes_.size(); }
+  /// Spec of the device owning memory node `node` (the node→spec index
+  /// behind the transfer model); nullptr for the host node or unknown ids.
+  const DeviceSpec* node_link_spec(MemoryNodeId node) const;
   /// Snapshot of statistics; call after wait_all for a consistent view.
   EngineStats stats() const;
   PerfModel& perf_model() { return perf_model_; }
@@ -255,10 +263,13 @@ class Engine {
   double estimated_cost(const detail::TaskNode& task,
                         const detail::DeviceState& device) const;
 
-  /// Row form for placement: fills out[i] for every device, taking the
-  /// perf-model lock once and memory_mutex_ at most once for the whole row
-  /// instead of once per candidate device.
-  void estimated_cost_row(const detail::TaskNode& task, double* out) const;
+  /// Class form for placement: fills out[c] for every placement class,
+  /// taking the perf-model lock once and memory_mutex_ at most once for
+  /// the whole row instead of once per candidate. Member devices of a
+  /// class share kind, rate, link parameters and memory node, so one
+  /// estimate is exact for all of them.
+  void estimated_cost_class_row(const detail::TaskNode& task,
+                                double* out) const;
 
   double exec_estimate(const detail::TaskNode& task,
                        const detail::DeviceState& device) const;
@@ -281,9 +292,24 @@ class Engine {
   /// True when every device lives on the host memory node: replica
   /// bookkeeping is then a no-op and acquire_buffers skips memory_mutex_.
   bool single_node_ = false;
-  /// spec.sustained_gflops per device, flattened for estimate_row
-  /// (immutable after construction).
-  std::vector<double> device_gflops_;
+
+  /// Placement classes (see runtime_state.hpp) and supporting flat indexes,
+  /// all immutable after construction except PlacementClass::live_members
+  /// (decremented under fault_mutex_ when a member is blacklisted).
+  detail::PlacementClassSet classes_;
+  std::vector<std::size_t> class_of_;   ///< device id -> class index
+  std::vector<double> class_gflops_;    ///< representative's sustained rate
+  /// Memory node -> owning device's spec (host slot = nullptr): the O(1)
+  /// replacement for the per-call device scan in link_transfer_seconds.
+  std::vector<const DeviceSpec*> node_spec_;
+  /// Transfers modeled with the hard-coded default link because a node had
+  /// no spec in node_spec_ — unreachable for engine-built platforms;
+  /// surfaced via EngineStats so tests can assert it stays zero.
+  mutable std::atomic<std::uint64_t> link_spec_misses_{0};
+
+  /// Group interchangeable devices into classes_ / class_of_ /
+  /// class_gflops_ (constructor only; device list already built).
+  void build_placement_classes();
 
   /// Simulation modes: guards the discrete-event loop and everything it
   /// touches. Hybrid mode: only scheduler_ remains under it (unused).
@@ -365,10 +391,6 @@ class Engine {
   /// Per-policy decision counter ("starvm.decisions.<policy>"), resolved
   /// once at construction so the hot path skips the registry lookup.
   obs::Counter* decision_counter_ = nullptr;
-
-  /// Scratch for run_simulation_locked's per-iteration device ordering
-  /// (mutex_): reused instead of reallocated every loop turn.
-  std::vector<std::size_t> sim_order_;
 
   std::vector<std::thread> workers_;
 };

@@ -47,18 +47,6 @@ double PerfModel::estimate_in(const Row& row, int device, double flops,
   return analytic_estimate(flops, device_gflops);
 }
 
-void PerfModel::estimate_row_in(const Row& row, double flops,
-                                const double* device_gflops, std::size_t n,
-                                double* out) {
-  for (std::size_t i = 0; i < n && i < static_cast<std::size_t>(kMaxDevices);
-       ++i) {
-    const DeviceHistory& h = row[i];
-    out[i] = h.count.load(std::memory_order_acquire) > 0
-                 ? h.ema_seconds.load(std::memory_order_relaxed)
-                 : analytic_estimate(flops, device_gflops[i]);
-  }
-}
-
 void PerfModel::observe_in(Row& row, int device, double seconds) {
   if (device < 0 || device >= kMaxDevices) return;
   DeviceHistory& h = row[static_cast<std::size_t>(device)];

@@ -53,13 +53,6 @@ class PerfModel {
   static double estimate_in(const Row& row, int device, double flops,
                             double device_gflops);
 
-  /// Lock-free batched estimate: fills `out[i]` for devices [0, n), where
-  /// `device_gflops[i]` feeds the analytic fallback. The HEFT placement
-  /// path calls this once per task instead of n map lookups.
-  static void estimate_row_in(const Row& row, double flops,
-                              const double* device_gflops, std::size_t n,
-                              double* out);
-
   /// Lock-free observation into a cached row (single writer per cell).
   static void observe_in(Row& row, int device, double seconds);
 

@@ -130,6 +130,29 @@ struct DeviceState {
   std::uint64_t failures = 0;    ///< failed attempts over the device's life
 };
 
+/// Devices that are interchangeable for placement, grouped once at engine
+/// construction: same kind, same modeled rate, same link parameters and the
+/// same memory node mean every member produces the same cost estimate for
+/// any task, so HEFT evaluates one candidate per class instead of one per
+/// device. All host-node CPUs with one spec collapse into a single class (a
+/// 1k-worker quantity expansion becomes one candidate); accelerators own
+/// private memory nodes — their replica state differs per device — and stay
+/// singleton classes. Classes are created in device-id order, so the class
+/// order matches exhaustive HEFT's lowest-index tie-breaking.
+struct PlacementClass {
+  DeviceKind kind = DeviceKind::kCpu;
+  MemoryNodeId node = kHostNode;
+  /// Lowest member id; its perf-model history row stands in for the class.
+  DeviceId representative = -1;
+  std::vector<DeviceId> members;  ///< ascending device ids
+  /// Members not blacklisted; decremented by the engine's blacklist path.
+  /// Atomic so the hybrid submit path can read it without the fault mutex.
+  std::atomic<int> live_members{0};
+};
+
+/// std::deque, not vector: the embedded atomic makes the struct immovable.
+using PlacementClassSet = std::deque<PlacementClass>;
+
 /// Chunked TaskNode pool: node addresses are stable for the engine's
 /// lifetime (successor edges are raw pointers) and allocation happens once
 /// per kChunk submissions instead of once per task. Guarded by the

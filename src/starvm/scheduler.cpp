@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <set>
 #include <thread>
+#include <utility>
 
 namespace starvm::detail {
 
@@ -22,6 +24,19 @@ bool any_live_capable(const std::deque<DeviceState>& devices,
   return false;
 }
 
+/// Class-granular capability probe: O(classes) instead of O(devices), using
+/// the live-member counts the engine maintains on its blacklist path.
+bool any_live_capable_class(const PlacementClassSet& classes,
+                            const TaskNode& task) {
+  for (const PlacementClass& pc : classes) {
+    if (pc.live_members.load(std::memory_order_relaxed) > 0 &&
+        task.codelet->supports(pc.kind)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 /// Stable priority order: insert after the last entry with priority >= ours,
 /// so equal priorities keep submission (FIFO) order. Scanning from the BACK
 /// makes the common all-default-priority case O(1) — a front scan walks the
@@ -34,12 +49,64 @@ void priority_insert(std::deque<TaskNode*>& queue, TaskNode* task) {
   queue.insert(it, task);
 }
 
+/// (avail_vtime, device) ordered index with cached keys, so one device can
+/// be re-keyed in O(log n) when its clock advances. Backs pop_earliest():
+/// iterating from begin() visits devices in the same (avail, id) order the
+/// old per-iteration sort produced, without touching the other n-1 devices.
+class AvailIndex {
+ public:
+  explicit AvailIndex(std::size_t devices) : key_(devices, kAbsent) {}
+
+  void insert(DeviceId device, double key) {
+    const auto d = static_cast<std::size_t>(device);
+    if (key_[d] != kAbsent) order_.erase({key_[d], device});
+    key_[d] = key;
+    order_.insert({key, device});
+  }
+
+  void erase(DeviceId device) {
+    const auto d = static_cast<std::size_t>(device);
+    if (key_[d] == kAbsent) return;
+    order_.erase({key_[d], device});
+    key_[d] = kAbsent;
+  }
+
+  bool contains(DeviceId device) const {
+    return key_[static_cast<std::size_t>(device)] != kAbsent;
+  }
+
+  /// Re-key if present; no-op for devices not in the index.
+  void rekey(DeviceId device, double key) {
+    if (contains(device)) insert(device, key);
+  }
+
+  auto begin() const { return order_.begin(); }
+  auto end() const { return order_.end(); }
+
+ private:
+  // Virtual clocks are non-negative, so -1 can never collide with a real
+  // key; it marks "not in order_".
+  static constexpr double kAbsent = -1.0;
+  std::set<std::pair<double, DeviceId>> order_;
+  std::vector<double> key_;
+};
+
+double device_avail(const std::deque<DeviceState>& devices, DeviceId device) {
+  return devices[static_cast<std::size_t>(device)].avail_vtime.load(
+      std::memory_order_relaxed);
+}
+
 /// Single shared FIFO; the first idle device with a matching implementation
 /// takes the oldest runnable task. Greedy, model-free.
 class EagerScheduler final : public Scheduler {
  public:
   explicit EagerScheduler(const std::deque<DeviceState>* devices)
-      : devices_(devices) {}
+      : devices_(devices), avail_(devices->size()) {
+    for (std::size_t i = 0; i < devices->size(); ++i) {
+      avail_.insert(static_cast<DeviceId>(i),
+                    device_avail(*devices, static_cast<DeviceId>(i)));
+    }
+  }
 
   void push(TaskNode* task) override { priority_insert(queue_, task); }
 
@@ -55,13 +122,37 @@ class EagerScheduler final : public Scheduler {
     return nullptr;
   }
 
+  TaskNode* pop_earliest(DeviceId* device) override {
+    if (queue_.empty()) return nullptr;
+    // The shared queue is capability-filtered at pop time, so the earliest
+    // device may come up empty-handed while a later one can run something;
+    // keep scanning (bounded by the number of distinct device kinds in
+    // practice — a capable device usually sits at the front).
+    for (const auto& [key, d] : avail_) {
+      if ((*devices_)[static_cast<std::size_t>(d)].blacklisted.load(
+              std::memory_order_relaxed)) {
+        continue;
+      }
+      if (TaskNode* task = pop(d)) {
+        *device = d;
+        return task;
+      }
+    }
+    return nullptr;
+  }
+
+  void on_device_time_advanced(DeviceId device) override {
+    avail_.rekey(device, device_avail(*devices_, device));
+  }
+
   bool empty() const override { return queue_.empty(); }
 
   std::size_t size() const override { return queue_.size(); }
 
-  std::vector<TaskNode*> drain_device(DeviceId) override {
+  std::vector<TaskNode*> drain_device(DeviceId device) override {
     // Shared queue: survivors keep draining it. Only evict tasks that no
     // live device can run, so the engine can fail them instead of hanging.
+    avail_.erase(device);
     std::vector<TaskNode*> orphans;
     for (auto it = queue_.begin(); it != queue_.end();) {
       if (!any_live_capable(*devices_, **it)) {
@@ -77,15 +168,22 @@ class EagerScheduler final : public Scheduler {
  private:
   const std::deque<DeviceState>* devices_;
   std::deque<TaskNode*> queue_;
+  AvailIndex avail_;  ///< every live device, keyed by its virtual clock
 };
 
 /// Per-device deques with round-robin placement and back-stealing.
 class WorkStealingScheduler final : public Scheduler {
  public:
   explicit WorkStealingScheduler(const std::deque<DeviceState>* devices)
-      : devices_(devices), queues_(devices->size()) {}
+      : devices_(devices), queues_(devices->size()), avail_(devices->size()) {
+    for (std::size_t i = 0; i < devices->size(); ++i) {
+      avail_.insert(static_cast<DeviceId>(i),
+                    device_avail(*devices, static_cast<DeviceId>(i)));
+    }
+  }
 
   void push(TaskNode* task) override {
+    ++total_;
     // Round-robin over capable devices spreads independent tasks without a
     // model; stealing repairs imbalance afterwards.
     const std::size_t n = queues_.size();
@@ -110,6 +208,7 @@ class WorkStealingScheduler final : public Scheduler {
       if (device_capable(dev, **it)) {
         TaskNode* task = *it;
         own.erase(it);
+        --total_;
         return task;
       }
     }
@@ -129,29 +228,44 @@ class WorkStealingScheduler final : public Scheduler {
       if (device_capable(dev, **it)) {
         TaskNode* task = *it;
         vq.erase(std::next(it).base());
+        --total_;
         return task;
       }
     }
     return nullptr;
   }
 
-  bool empty() const override {
-    for (const auto& q : queues_) {
-      if (!q.empty()) return false;
+  TaskNode* pop_earliest(DeviceId* device) override {
+    if (total_ == 0) return nullptr;
+    for (const auto& [key, d] : avail_) {
+      if ((*devices_)[static_cast<std::size_t>(d)].blacklisted.load(
+              std::memory_order_relaxed)) {
+        continue;
+      }
+      // pop() steals when the device's own queue is empty, so the earliest
+      // device finds work as long as any capable task is queued anywhere.
+      if (TaskNode* task = pop(d)) {
+        *device = d;
+        return task;
+      }
     }
-    return true;
+    return nullptr;
   }
 
-  std::size_t size() const override {
-    std::size_t total = 0;
-    for (const auto& q : queues_) total += q.size();
-    return total;
+  void on_device_time_advanced(DeviceId device) override {
+    avail_.rekey(device, device_avail(*devices_, device));
   }
+
+  bool empty() const override { return total_ == 0; }
+
+  std::size_t size() const override { return total_; }
 
   std::vector<TaskNode*> drain_device(DeviceId device) override {
+    avail_.erase(device);
     auto& q = queues_[static_cast<std::size_t>(device)];
     std::vector<TaskNode*> drained(q.begin(), q.end());
     q.clear();
+    total_ -= drained.size();
     return drained;
   }
 
@@ -159,37 +273,79 @@ class WorkStealingScheduler final : public Scheduler {
   const std::deque<DeviceState>* devices_;
   std::vector<std::deque<TaskNode*>> queues_;
   std::size_t next_ = 0;
+  std::size_t total_ = 0;
+  AvailIndex avail_;  ///< every live device, keyed by its virtual clock
 };
 
 /// Model-based earliest-finish-time placement (StarPU dmda-like): each task
-/// goes, at push time, to the device minimizing
-///   max(est_avail(device), task.ready) + transfer_est + exec_est.
+/// goes, at push time, to the placement class minimizing
+///   max(est_avail(cheapest member), task.ready) + transfer_est + exec_est,
+/// then to that cheapest member. With singleton classes this is exactly the
+/// classic per-device HEFT scan; with grouped classes it evaluates one
+/// candidate per device flavor and picks the member with the smallest
+/// estimated backlog in O(log members).
 class HeftScheduler final : public Scheduler {
  public:
-  HeftScheduler(const std::deque<DeviceState>* devices, CostRowFn cost_fn)
-      : devices_(devices), cost_fn_(std::move(cost_fn)), queues_(devices->size()) {}
-
-  void push(TaskNode* task) override {
-    costs_.resize(devices_->size());
-    cost_fn_(*task, costs_.data());
-    double best_finish = std::numeric_limits<double>::infinity();
-    std::size_t best_device = queues_.size();
-    for (std::size_t i = 0; i < devices_->size(); ++i) {
-      const DeviceState& dev = (*devices_)[i];
-      if (!device_capable(dev, *task)) continue;
-      const double start =
-          std::max(est_avail_.size() > i ? est_avail_[i] : 0.0,
-                   task->ready_vtime.load(std::memory_order_relaxed));
-      const double finish = start + costs_[i];
-      if (finish < best_finish) {
-        best_finish = finish;
-        best_device = i;
+  HeftScheduler(const std::deque<DeviceState>* devices,
+                const PlacementClassSet* classes, CostClassFn cost_fn)
+      : devices_(devices),
+        classes_(classes),
+        cost_fn_(std::move(cost_fn)),
+        queues_(devices->size()),
+        est_avail_(devices->size(), 0.0),
+        class_of_(devices->size(), 0),
+        members_(classes->size()),
+        ready_(devices->size()) {
+    for (std::size_t c = 0; c < classes->size(); ++c) {
+      for (const DeviceId m : (*classes)[c].members) {
+        class_of_[static_cast<std::size_t>(m)] = c;
+        members_[c].insert({0.0, m});
       }
     }
-    if (best_device == queues_.size()) best_device = 0;  // unreachable, see WS note
-    if (est_avail_.size() != devices_->size()) est_avail_.assign(devices_->size(), 0.0);
-    est_avail_[best_device] = best_finish;
-    queues_[best_device].push_back(task);
+  }
+
+  void push(TaskNode* task) override {
+    costs_.resize(classes_->size());
+    cost_fn_(*task, costs_.data());
+    const double ready = task->ready_vtime.load(std::memory_order_relaxed);
+    double best_finish = std::numeric_limits<double>::infinity();
+    std::size_t best_class = classes_->size();
+    DeviceId best_device = -1;
+    for (std::size_t c = 0; c < classes_->size(); ++c) {
+      const PlacementClass& pc = (*classes_)[c];
+      if (!task->codelet->supports(pc.kind)) continue;
+      const auto& members = members_[c];
+      if (members.empty()) continue;  // every member blacklisted
+      // The cheapest member is the class's candidate: all members share one
+      // cost estimate, so the smallest backlog finishes first, ties to the
+      // lowest device id (the exhaustive scan's tie-break).
+      const auto& [est, dev] = *members.begin();
+      const double finish = std::max(est, ready) + costs_[c];
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_class = c;
+        best_device = dev;
+      }
+    }
+    if (best_device < 0) {
+      // Unreachable in practice (the engine validates codelets against the
+      // platform), but keeps the invariant "pushed tasks are never dropped":
+      // park on queue 0 without touching the class candidate sets.
+      queues_[0].push_back(task);
+      ++total_;
+      if (queues_[0].size() == 1) ready_.insert(0, device_avail(*devices_, 0));
+      return;
+    }
+    auto& members = members_[best_class];
+    members.erase({est_avail_[static_cast<std::size_t>(best_device)], best_device});
+    est_avail_[static_cast<std::size_t>(best_device)] = best_finish;
+    members.insert({best_finish, best_device});
+    auto& queue = queues_[static_cast<std::size_t>(best_device)];
+    queue.push_back(task);
+    ++total_;
+    if (queue.size() == 1) {
+      ready_.insert(best_device, device_avail(*devices_, best_device));
+    }
   }
 
   TaskNode* pop(DeviceId device) override {
@@ -197,39 +353,61 @@ class HeftScheduler final : public Scheduler {
     if (own.empty()) return nullptr;
     TaskNode* task = own.front();
     own.pop_front();
+    --total_;
+    if (own.empty()) ready_.erase(device);
     return task;
   }
 
-  bool empty() const override {
-    for (const auto& q : queues_) {
-      if (!q.empty()) return false;
+  TaskNode* pop_earliest(DeviceId* device) override {
+    // ready_ holds exactly the devices with queued work, keyed by their
+    // virtual clock, so the front entry is the device the old sorted scan
+    // would have reached first. Blacklisted devices were drained out.
+    for (const auto& [key, d] : ready_) {
+      if ((*devices_)[static_cast<std::size_t>(d)].blacklisted.load(
+              std::memory_order_relaxed)) {
+        continue;
+      }
+      *device = d;
+      return pop(d);
     }
-    return true;
+    return nullptr;
   }
 
-  std::size_t size() const override {
-    std::size_t total = 0;
-    for (const auto& q : queues_) total += q.size();
-    return total;
+  void on_device_time_advanced(DeviceId device) override {
+    ready_.rekey(device, device_avail(*devices_, device));
   }
+
+  bool empty() const override { return total_ == 0; }
+
+  std::size_t size() const override { return total_; }
 
   std::vector<TaskNode*> drain_device(DeviceId device) override {
-    auto& q = queues_[static_cast<std::size_t>(device)];
+    const auto d = static_cast<std::size_t>(device);
+    auto& q = queues_[d];
     std::vector<TaskNode*> drained(q.begin(), q.end());
     q.clear();
-    // The dead device's backlog estimate is meaningless now; re-pushed
-    // tasks will rebuild est_avail_ on the survivors.
-    if (est_avail_.size() > static_cast<std::size_t>(device)) {
-      est_avail_[static_cast<std::size_t>(device)] = 0.0;
-    }
+    total_ -= drained.size();
+    ready_.erase(device);
+    // The dead device stops being a class candidate, and its backlog
+    // estimate is meaningless now; re-pushed tasks will rebuild est_avail_
+    // on the survivors.
+    members_[class_of_[d]].erase({est_avail_[d], device});
+    est_avail_[d] = 0.0;
     return drained;
   }
 
  private:
   const std::deque<DeviceState>* devices_;
-  CostRowFn cost_fn_;
+  const PlacementClassSet* classes_;
+  CostClassFn cost_fn_;
   std::vector<std::deque<TaskNode*>> queues_;
   std::vector<double> est_avail_;
+  std::vector<std::size_t> class_of_;
+  /// Per-class live members ordered by (estimated backlog, id); begin() is
+  /// the class candidate HEFT compares against the other classes.
+  std::vector<std::set<std::pair<double, DeviceId>>> members_;
+  AvailIndex ready_;  ///< devices with queued work, keyed by virtual clock
+  std::size_t total_ = 0;
   std::vector<double> costs_;  ///< scratch row (engine mutex held)
 };
 
@@ -237,14 +415,15 @@ class HeftScheduler final : public Scheduler {
 
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
                                           const std::deque<DeviceState>* devices,
-                                          CostRowFn cost_fn) {
+                                          const PlacementClassSet* classes,
+                                          CostClassFn cost_fn) {
   switch (kind) {
     case SchedulerKind::kEager:
       return std::make_unique<EagerScheduler>(devices);
     case SchedulerKind::kWorkStealing:
       return std::make_unique<WorkStealingScheduler>(devices);
     case SchedulerKind::kHeft:
-      return std::make_unique<HeftScheduler>(devices, std::move(cost_fn));
+      return std::make_unique<HeftScheduler>(devices, classes, std::move(cost_fn));
   }
   return std::make_unique<EagerScheduler>(devices);
 }
@@ -252,12 +431,62 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
 // --- HybridDispatch ----------------------------------------------------------
 
 HybridDispatch::HybridDispatch(SchedulerKind kind,
-                               std::deque<DeviceState>* devices, CostRowFn cost_fn)
-    : kind_(kind), devices_(devices), cost_fn_(std::move(cost_fn)) {}
+                               std::deque<DeviceState>* devices,
+                               const PlacementClassSet* classes,
+                               CostClassFn cost_fn)
+    : kind_(kind),
+      devices_(devices),
+      classes_(classes),
+      cost_fn_(std::move(cost_fn)),
+      class_rr_(new std::atomic<std::size_t>[classes->size()]) {
+  for (std::size_t c = 0; c < classes->size(); ++c) {
+    class_rr_[c].store(0, std::memory_order_relaxed);
+  }
+}
+
+DeviceId HybridDispatch::pick_member(std::size_t cls) {
+  const PlacementClass& pc = (*classes_)[cls];
+  const std::size_t m = pc.members.size();
+  if (m == 1) {
+    const DeviceId only = pc.members[0];
+    return (*devices_)[static_cast<std::size_t>(only)].blacklisted.load(
+               std::memory_order_relaxed)
+               ? -1
+               : only;
+  }
+  // Two-choice load balancing: probe a small rotating window and take the
+  // member with the smallest estimated backlog. Near-optimal spread at O(1)
+  // cost — a full member scan would reintroduce the O(devices) walk the
+  // classes exist to avoid.
+  constexpr std::size_t kProbes = 2;
+  const std::size_t start = class_rr_[cls].fetch_add(1, std::memory_order_relaxed);
+  DeviceId best = -1;
+  double best_est = std::numeric_limits<double>::infinity();
+  for (std::size_t probe = 0; probe < kProbes && probe < m; ++probe) {
+    const DeviceId candidate = pc.members[(start + probe) % m];
+    const DeviceState& dev = (*devices_)[static_cast<std::size_t>(candidate)];
+    if (dev.blacklisted.load(std::memory_order_relaxed)) continue;
+    const double est = dev.est_avail.load(std::memory_order_relaxed);
+    if (est < best_est) {
+      best_est = est;
+      best = candidate;
+    }
+  }
+  if (best >= 0) return best;
+  // Every probed member was blacklisted (rare); fall back to a full scan
+  // for any survivor.
+  for (const DeviceId candidate : pc.members) {
+    if (!(*devices_)[static_cast<std::size_t>(candidate)].blacklisted.load(
+            std::memory_order_relaxed)) {
+      return candidate;
+    }
+  }
+  return -1;
+}
 
 DeviceId HybridDispatch::place(const TaskNode& task) {
-  const std::size_t n = devices_->size();
   if (kind_ == SchedulerKind::kWorkStealing) {
+    const std::size_t n = devices_->size();
     const std::size_t start = rr_.fetch_add(1, std::memory_order_relaxed);
     for (std::size_t probe = 0; probe < n; ++probe) {
       const std::size_t i = (start + probe) % n;
@@ -267,26 +496,33 @@ DeviceId HybridDispatch::place(const TaskNode& task) {
     }
     return -1;
   }
-  // kHeft: earliest estimated finish over the atomic per-device backlogs.
-  // Concurrent placements may read slightly stale est_avail values — a
-  // heuristic race that degrades placement, never correctness. The cost
-  // row is fetched in one call (single model/memory lock round-trip);
-  // thread_local scratch keeps concurrent submitters allocation-free.
+  // kHeft: earliest estimated finish over the placement classes — one cost
+  // estimate per device flavor, not per device — then the cheapest probed
+  // member inside the winning class. Concurrent placements may read
+  // slightly stale est_avail values — a heuristic race that degrades
+  // placement, never correctness. The cost row is fetched in one call
+  // (single model/memory lock round-trip); thread_local scratch keeps
+  // concurrent submitters allocation-free.
   static thread_local std::vector<double> costs;
-  costs.resize(n);
+  const std::size_t nc = classes_->size();
+  costs.resize(nc);
   cost_fn_(task, costs.data());
   double best_finish = std::numeric_limits<double>::infinity();
   DeviceId best_device = -1;
   const double ready = task.ready_vtime.load(std::memory_order_relaxed);
-  for (std::size_t i = 0; i < n; ++i) {
-    DeviceState& dev = (*devices_)[i];
-    if (!device_capable(dev, task)) continue;
+  for (std::size_t c = 0; c < nc; ++c) {
+    const PlacementClass& pc = (*classes_)[c];
+    if (!task.codelet->supports(pc.kind)) continue;
+    if (pc.live_members.load(std::memory_order_relaxed) <= 0) continue;
+    const DeviceId member = pick_member(c);
+    if (member < 0) continue;
+    const DeviceState& dev = (*devices_)[static_cast<std::size_t>(member)];
     const double start =
         std::max(dev.est_avail.load(std::memory_order_relaxed), ready);
-    const double finish = start + costs[i];
+    const double finish = start + costs[c];
     if (finish < best_finish) {
       best_finish = finish;
-      best_device = static_cast<DeviceId>(i);
+      best_device = member;
     }
   }
   if (best_device >= 0) {
@@ -340,7 +576,7 @@ bool HybridDispatch::push_to(DeviceId device, TaskNode* task, bool notify) {
 
 bool HybridDispatch::push(TaskNode* task) {
   if (kind_ == SchedulerKind::kEager) {
-    if (!any_live_capable(*devices_, *task)) return false;
+    if (!any_live_capable_class(*classes_, *task)) return false;
     bool wake;
     {
       std::lock_guard<std::mutex> lock(shared_.m);
@@ -371,7 +607,7 @@ std::vector<TaskNode*> HybridDispatch::push_batch(
     {
       std::lock_guard<std::mutex> lock(shared_.m);
       for (TaskNode* task : tasks) {
-        if (!any_live_capable(*devices_, *task)) {
+        if (!any_live_capable_class(*classes_, *task)) {
           rejected.push_back(task);
           continue;
         }

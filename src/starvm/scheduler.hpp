@@ -9,6 +9,15 @@
 //     (kHybrid) path — per-device ready queues + condition variables with
 //     work stealing; it takes only the ReadyQueue mutexes of the devices
 //     involved, never a global lock.
+//
+// Both HEFT implementations are hierarchical: candidates are the engine's
+// placement classes (groups of interchangeable devices, see
+// runtime_state.hpp), so the per-task cost evaluation is O(classes) — one
+// estimate per distinct device flavor — instead of O(devices). The concrete
+// member inside the winning class is picked in O(log members) (simulation:
+// the member with the smallest estimated backlog) or O(1) (hybrid:
+// cheapest of a bounded probe window). A 1k-worker platform has one CPU
+// class, so placement cost no longer scales with the quantity expansion.
 #pragma once
 
 #include <atomic>
@@ -23,13 +32,12 @@
 
 namespace starvm::detail {
 
-/// Batched cost estimate: fills `out[i]` with the estimated cost (seconds)
-/// of running `task` on device i — execution plus pending data transfers —
-/// for every device in the platform. Row-at-a-time so the engine can take
-/// its memory lock and the perf-model history lock once per task instead of
-/// once per (task, device) candidate; with four candidate devices that
-/// alone removes three lock/lookup round-trips from every HEFT placement.
-using CostRowFn = std::function<void(const TaskNode&, double* out)>;
+/// Batched cost estimate: fills `out[c]` with the estimated cost (seconds)
+/// of running `task` on a device of placement class c — execution plus
+/// pending data transfers. Class-at-a-time so the engine can take its
+/// memory lock and the perf-model history lock once per task and every
+/// member of a quantity-expanded worker group shares one evaluation.
+using CostClassFn = std::function<void(const TaskNode&, double* out)>;
 
 class Scheduler {
  public:
@@ -40,6 +48,18 @@ class Scheduler {
 
   /// Next task for an idle device; nullptr when none is runnable there.
   virtual TaskNode* pop(DeviceId device) = 0;
+
+  /// Pop for the earliest-available live device: equivalent to trying
+  /// pop() over every live device in ascending (avail_vtime, id) order and
+  /// returning the first hit. Implementations keep avail-ordered indexes
+  /// so the simulation loop costs O(log devices) per task instead of
+  /// sorting every device each iteration. Returns nullptr when nothing is
+  /// runnable anywhere; on success `*device` is the chosen device.
+  virtual TaskNode* pop_earliest(DeviceId* device) = 0;
+
+  /// The simulation loop advanced `device`'s avail_vtime (a task finished
+  /// or failed there); avail-ordered indexes re-key that device.
+  virtual void on_device_time_advanced(DeviceId device) = 0;
 
   /// True when no task is queued anywhere.
   virtual bool empty() const = 0;
@@ -56,17 +76,20 @@ class Scheduler {
   virtual std::vector<TaskNode*> drain_device(DeviceId device) = 0;
 };
 
-/// Factory. `devices` outlives the scheduler; `cost_fn` is used by kHeft.
+/// Factory. `devices` and `classes` outlive the scheduler; `cost_fn` is
+/// used by kHeft and produces one estimate per placement class.
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
                                           const std::deque<DeviceState>* devices,
-                                          CostRowFn cost_fn);
+                                          const PlacementClassSet* classes,
+                                          CostClassFn cost_fn);
 
 /// Lock-split ready-task dispatch for the real-threads path.
 ///
 /// Placement happens at push time per policy (kEager: one shared
 /// priority-ordered queue; kWorkStealing: round-robin over capable live
-/// devices; kHeft: earliest-estimated-finish over atomic per-device
-/// backlogs). Workers pop their own queue front; under kWorkStealing an
+/// devices; kHeft: earliest-estimated-finish over the placement classes,
+/// then the cheapest of a bounded member probe window inside the winning
+/// class). Workers pop their own queue front; under kWorkStealing an
 /// idle worker additionally steals from peers' backs before sleeping
 /// (kHeft placement is final — the model chose the device — and kEager's
 /// shared queue makes stealing moot). Pushes re-check the target's
@@ -75,7 +98,7 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
 class HybridDispatch {
  public:
   HybridDispatch(SchedulerKind kind, std::deque<DeviceState>* devices,
-                 CostRowFn cost_fn);
+                 const PlacementClassSet* classes, CostClassFn cost_fn);
 
   /// Place one ready task and wake one worker. False when no live capable
   /// device exists (the engine then fails the task).
@@ -111,13 +134,21 @@ class HybridDispatch {
   TaskNode* steal_for(DeviceId thief);
   /// Policy choice among capable live devices; -1 = none.
   DeviceId place(const TaskNode& task);
+  /// Live member of class `cls` with the cheapest estimated backlog among a
+  /// bounded probe window (two-choice load balancing); -1 when every member
+  /// is blacklisted.
+  DeviceId pick_member(std::size_t cls);
 
   SchedulerKind kind_;
   std::deque<DeviceState>* devices_;
-  CostRowFn cost_fn_;
+  const PlacementClassSet* classes_;
+  CostClassFn cost_fn_;
   ReadyQueue shared_;  ///< kEager: one priority-ordered queue for everyone
   std::atomic<std::size_t> count_{0};
   std::atomic<std::size_t> rr_{0};  ///< kWorkStealing round-robin cursor
+  /// Per-class probe cursors for kHeft member selection (heap-allocated
+  /// array: atomics are immovable and the count is fixed at construction).
+  std::unique_ptr<std::atomic<std::size_t>[]> class_rr_;
 };
 
 }  // namespace starvm::detail

@@ -64,11 +64,16 @@ struct FaultEvent {
 
 const char* to_string(FaultEvent::Kind kind);
 
-/// One device the scheduler could have placed a task on, with the finish
-/// time the cost model predicted at decision time.
+/// One candidate the scheduler could have placed a task on, with the
+/// finish time the cost model predicted at decision time. A candidate
+/// stands for a whole placement class: `class_size` interchangeable
+/// devices share the recorded estimate, so the log stays exact (every
+/// distinct cost appears, the winner always among them) without one entry
+/// per device of a 1k-worker group.
 struct DecisionCandidate {
   DeviceId device = -1;
   std::string device_name;
+  int class_size = 1;  ///< devices this candidate stands for
   double est_finish_vtime = 0.0;  ///< max(avail, ready) + transfer + exec estimate
 };
 
@@ -100,6 +105,10 @@ struct EngineStats {
   std::uint64_t transfer_bytes = 0;
   std::uint64_t evictions = 0;        ///< replicas dropped for capacity
   std::uint64_t writeback_bytes = 0;  ///< evicted sole replicas copied home
+  /// Transfers modeled with the hard-coded default link because a memory
+  /// node had no owning device spec. Always 0 for engine-built platforms
+  /// (every non-host node is created from a device); non-zero means a bug.
+  std::uint64_t link_spec_misses = 0;
 
   // --- fault tolerance ---
   std::uint64_t task_failures = 0;        ///< failed attempts (incl. timeouts)

@@ -82,8 +82,8 @@ void append_engine_events(std::ostringstream& os, const EngineStats& stats,
       const DecisionCandidate& c = d.candidates[i];
       if (i > 0) os << ",";
       os << "{\"device\":" << c.device << ",\"name\":\""
-         << json_escape(c.device_name)
-         << "\",\"est_finish_us\":" << sane(c.est_finish_vtime) * 1e6 << "}";
+         << json_escape(c.device_name) << "\",\"devices\":" << c.class_size
+         << ",\"est_finish_us\":" << sane(c.est_finish_vtime) * 1e6 << "}";
     }
     os << "]}}";
   }

@@ -235,6 +235,19 @@ TEST(AnalyzePlatform, A105_RequiresDeclaredExtensionNamespaces) {
   EXPECT_EQ(find_finding(lint_platform(p), kUndeclaredExtensionNamespace), nullptr);
 }
 
+TEST(AnalyzePlatform, A106_FlagsQuantitiesAboveSanityThreshold) {
+  pdl::Platform p("huge");
+  pdl::ProcessingUnit* m = p.add_master("m0");
+  m->add_child(pdl::PuKind::kWorker, "fleet", 1088);   // manycore-scale: fine
+  m->add_child(pdl::PuKind::kWorker, "typo", 70000);   // above 65536
+
+  const pdl::Diagnostics diags = lint_platform(p);
+  const pdl::Diagnostic* d = find_finding(diags, kQuantitySanity, "'typo'");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, pdl::Severity::kWarning);
+  EXPECT_EQ(count_rule(diags, kQuantitySanity), 1u);
+}
+
 TEST(AnalyzePlatform, DisabledRulesAndOverridesApply) {
   pdl::Platform p("opts");
   pdl::ProcessingUnit* m = p.add_master("m0");

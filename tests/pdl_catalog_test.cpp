@@ -75,9 +75,10 @@ TEST(Catalog, AddDirectoryLoadsShippedDescriptors) {
   std::vector<std::string> errors;
   const std::size_t added =
       catalog.add_directory(std::string(PDL_SOURCE_DIR) + "/platforms", &errors);
-  EXPECT_EQ(added, 5u) << util::join(errors, "; ");
+  EXPECT_EQ(added, 6u) << util::join(errors, "; ");
   EXPECT_NE(catalog.find("testbed-starpu-2gpu"), nullptr);
   EXPECT_NE(catalog.find("cell-be"), nullptr);
+  EXPECT_NE(catalog.find("manycore-1k"), nullptr);
   // They are real PDL: pattern queries work on the loaded set.
   EXPECT_EQ(catalog.matching("M[W(ARCHITECTURE=gpu)x2]").size(), 1u);
 }

@@ -190,6 +190,24 @@ TEST(PdlParser, ReportsInvalidQuantity) {
   EXPECT_TRUE(has_errors(diags));
 }
 
+TEST(PdlParser, ReportsQuantityOverflowAndNonPositive) {
+  // quantity is stored as int; values past INT_MAX must be rejected, not
+  // silently wrapped into a bogus (possibly negative) device count.
+  for (const char* bad : {"9999999999", "4294967296", "0", "-2"}) {
+    Diagnostics diags;
+    auto platform = parse_platform(
+        std::string("<Master id=\"0\" quantity=\"") + bad + "\"/>", diags);
+    ASSERT_TRUE(platform.ok()) << bad;
+    EXPECT_TRUE(has_errors(diags)) << bad;
+  }
+  // Large-but-representable quantities are a lint concern (A106), not a
+  // parse error.
+  Diagnostics diags;
+  auto platform = parse_platform("<Master id=\"0\" quantity=\"65535\"/>", diags);
+  ASSERT_TRUE(platform.ok());
+  EXPECT_FALSE(has_errors(diags));
+}
+
 TEST(PdlParser, RejectsNonPdlRoot) {
   Diagnostics diags;
   auto platform = parse_platform("<Banana/>", diags);

@@ -100,6 +100,40 @@ TEST(Bridge, CpuWorkerQuantityExpands) {
   EXPECT_EQ(config.value().devices[0].name, "cores#0");
 }
 
+TEST(Bridge, QuantityOneCpuWorkerKeepsPlainName) {
+  // Regression: quantity="1" CPUs used to be named "id#0" while accelerators
+  // were named "id" — breaking name parity and profile instance pooling.
+  pdl::Platform p("t");
+  pdl::ProcessingUnit* m = p.add_master("m");
+  pdl::ProcessingUnit* w = m->add_child(pdl::PuKind::kWorker, "solo", 1);
+  w->descriptor().add("ARCHITECTURE", "x86_core");
+  auto config = engine_config_from_platform(p);
+  ASSERT_TRUE(config.ok());
+  ASSERT_EQ(config.value().devices.size(), 1u);
+  EXPECT_EQ(config.value().devices[0].name, "solo");
+}
+
+TEST(Bridge, ManycoreThousandWorkerRoundTrip) {
+  // The ET-SOC1-class platform: 1088 quantity-expanded RISC-V workers
+  // bridge to 1088 host-node CPU devices with stable `id#i` names, and the
+  // engine collapses them into a single placement class.
+  auto config =
+      engine_config_from_platform(pdl::discovery::manycore_platform(1088));
+  ASSERT_TRUE(config.ok()) << config.error().str();
+  EXPECT_EQ(count_kind(config.value(), DeviceKind::kCpu), 1088);
+  EXPECT_EQ(count_kind(config.value(), DeviceKind::kAccelerator), 0);
+  EXPECT_EQ(config.value().devices.front().name, "minion#0");
+  EXPECT_EQ(config.value().devices.back().name, "minion#1087");
+  // No accelerators means driver-core dedication must not eat any workers.
+  EXPECT_EQ(config.value().devices.size(), 1088u);
+
+  EngineConfig engine_config = std::move(config).value();
+  engine_config.mode = ExecutionMode::kPureSim;  // 1088 threads would be absurd
+  Engine engine(std::move(engine_config));
+  EXPECT_EQ(engine.device_count(), 1088u);
+  EXPECT_EQ(engine.placement_class_count(), 1u);
+}
+
 TEST(Bridge, EmptyPlatformFails) {
   pdl::Platform p;
   auto config = engine_config_from_platform(p);

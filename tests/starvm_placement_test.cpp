@@ -1,0 +1,183 @@
+// Placement classes (hierarchical HEFT): grouping, schedule equivalence
+// with the exhaustive per-device scan, the node→spec transfer index, and
+// thousand-device scalability of the simulation hot path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "discovery/presets.hpp"
+#include "starvm/bridge.hpp"
+#include "starvm/engine.hpp"
+
+namespace starvm {
+namespace {
+
+Codelet sim_codelet(std::string name, double flops,
+                    DeviceKind kind = DeviceKind::kCpu) {
+  Codelet c;
+  c.name = std::move(name);
+  c.impls.push_back(Implementation{kind, nullptr});
+  c.flops = [flops](const std::vector<BufferView>&) { return flops; };
+  return c;
+}
+
+/// Pure-sim config over a heterogeneous mix: 4 identical CPUs, 2 identical
+/// but slower CPUs, 1 accelerator.
+EngineConfig mixed_config(SchedulerKind scheduler, bool placement_classes) {
+  EngineConfig config = EngineConfig::cpus(4, 10.0);
+  for (int i = 0; i < 2; ++i) {
+    DeviceSpec slow;
+    slow.name = "slow" + std::to_string(i);
+    slow.kind = DeviceKind::kCpu;
+    slow.sustained_gflops = 2.0;
+    config.devices.push_back(slow);
+  }
+  DeviceSpec accel;
+  accel.name = "gpu";
+  accel.kind = DeviceKind::kAccelerator;
+  accel.sustained_gflops = 50.0;
+  accel.link_bandwidth_gbs = 8.0;
+  accel.link_latency_us = 5.0;
+  config.devices.push_back(accel);
+  config.scheduler = scheduler;
+  config.mode = ExecutionMode::kPureSim;
+  config.placement_classes = placement_classes;
+  return config;
+}
+
+/// A small diamond-heavy DAG over partitioned vectors; returns the makespan.
+double run_fixture(EngineConfig config) {
+  Engine engine(std::move(config));
+  std::vector<double> data(1024, 1.0);
+  DataHandle* h = engine.register_vector(data.data(), data.size());
+  auto blocks = engine.partition_vector(h, 8);
+  Codelet big = sim_codelet("big", 4e8);
+  Codelet small = sim_codelet("small", 5e7);
+  for (DataHandle* b : blocks) {
+    engine.submit(TaskDesc{&big, {{b, Access::kReadWrite}}});
+    engine.submit(TaskDesc{&small, {{b, Access::kRead}}});
+  }
+  // A reduction-style tail serializing on the first block.
+  for (int i = 0; i < 4; ++i) {
+    engine.submit(TaskDesc{&small, {{blocks[0], Access::kReadWrite}}});
+  }
+  EXPECT_TRUE(engine.wait_all().ok());
+  return engine.stats().makespan_seconds;
+}
+
+TEST(PlacementClasses, GroupIdenticalHostDevicesOnly) {
+  Engine engine(mixed_config(SchedulerKind::kHeft, true));
+  // 4 fast CPUs -> 1 class, 2 slow CPUs -> 1 class, accelerator singleton.
+  EXPECT_EQ(engine.device_count(), 7u);
+  EXPECT_EQ(engine.placement_class_count(), 3u);
+}
+
+TEST(PlacementClasses, DisabledTogglesBackToSingletonClasses) {
+  Engine engine(mixed_config(SchedulerKind::kHeft, false));
+  EXPECT_EQ(engine.placement_class_count(), engine.device_count());
+}
+
+TEST(PlacementClasses, HeftScheduleMatchesExhaustiveScan) {
+  // Deterministic-mode equivalence: class-based placement must produce the
+  // same-cost schedule as exhaustive per-device HEFT (identical members
+  // make any tie-break difference cost-neutral).
+  const double grouped = run_fixture(mixed_config(SchedulerKind::kHeft, true));
+  const double exhaustive =
+      run_fixture(mixed_config(SchedulerKind::kHeft, false));
+  EXPECT_DOUBLE_EQ(grouped, exhaustive);
+}
+
+TEST(PlacementClasses, EagerAndWorkStealingUnaffectedByToggle) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kEager, SchedulerKind::kWorkStealing}) {
+    const double grouped = run_fixture(mixed_config(kind, true));
+    const double exhaustive = run_fixture(mixed_config(kind, false));
+    EXPECT_DOUBLE_EQ(grouped, exhaustive) << to_string(kind);
+  }
+}
+
+TEST(PlacementClasses, ThousandWorkerPlatformSchedulesInOneClass) {
+  auto bridged =
+      engine_config_from_platform(pdl::discovery::manycore_platform(1088));
+  ASSERT_TRUE(bridged.ok()) << bridged.error().str();
+  EngineConfig config = std::move(bridged).value();
+  config.mode = ExecutionMode::kPureSim;
+  config.scheduler = SchedulerKind::kHeft;
+  config.task_overhead_us = 0.0;
+  Engine engine(std::move(config));
+  ASSERT_EQ(engine.device_count(), 1088u);
+  ASSERT_EQ(engine.placement_class_count(), 1u);
+
+  std::vector<double> data(4096, 1.0);
+  DataHandle* h = engine.register_vector(data.data(), data.size());
+  auto blocks = engine.partition_vector(h, 256);
+  Codelet c = sim_codelet("tile", 1.5e7);  // 0.01 s at 1.5 GFLOPS
+  std::vector<TaskDesc> batch;
+  for (DataHandle* b : blocks) {
+    batch.push_back(TaskDesc{&c, {{b, Access::kReadWrite}}});
+  }
+  engine.submit_batch(std::move(batch));
+  EXPECT_TRUE(engine.wait_all().ok());
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.tasks_completed, 256u);
+  // 256 independent equal tasks on 1088 identical workers: every task runs
+  // in the first wave, so the makespan is one task's modeled cost.
+  EXPECT_NEAR(stats.makespan_seconds, 0.01, 1e-4);
+}
+
+TEST(TransferIndex, NodeSpecResolvesEveryAcceleratorNode) {
+  Engine engine(mixed_config(SchedulerKind::kHeft, true));
+  // Host node has no owning link spec; the accelerator's node does.
+  EXPECT_EQ(engine.node_link_spec(kHostNode), nullptr);
+  const DeviceSpec* spec = engine.node_link_spec(1);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_DOUBLE_EQ(spec->link_bandwidth_gbs, 8.0);
+  EXPECT_DOUBLE_EQ(spec->link_latency_us, 5.0);
+  // Out-of-range nodes resolve to nothing instead of a default link.
+  EXPECT_EQ(engine.node_link_spec(-1), nullptr);
+  EXPECT_EQ(engine.node_link_spec(99), nullptr);
+}
+
+TEST(TransferIndex, NoDefaultLinkFallbackOnValidPlatforms) {
+  // Exercise real transfers through the accelerator and check the
+  // hard-coded 5.0 GB/s / 10 us fallback was never consulted.
+  EngineConfig config = mixed_config(SchedulerKind::kHeft, true);
+  Engine engine(std::move(config));
+  std::vector<double> data(2048, 1.0);
+  DataHandle* h = engine.register_vector(data.data(), data.size());
+  Codelet on_gpu = sim_codelet("gpu_work", 1e8, DeviceKind::kAccelerator);
+  Codelet on_cpu = sim_codelet("cpu_work", 1e8);
+  engine.submit(TaskDesc{&on_gpu, {{h, Access::kReadWrite}}});
+  engine.submit(TaskDesc{&on_cpu, {{h, Access::kRead}}});
+  EXPECT_TRUE(engine.wait_all().ok());
+  const EngineStats stats = engine.stats();
+  EXPECT_GT(stats.transfers, 0u);
+  EXPECT_EQ(stats.link_spec_misses, 0u);
+}
+
+TEST(PlacementClasses, DecisionLogRecordsClassCandidates) {
+  EngineConfig config = mixed_config(SchedulerKind::kHeft, true);
+  config.record_decisions = true;
+  Engine engine(std::move(config));
+  std::vector<double> data(64, 1.0);
+  DataHandle* h = engine.register_vector(data.data(), data.size());
+  Codelet c = sim_codelet("t", 1e8);
+  engine.submit(TaskDesc{&c, {{h, Access::kReadWrite}}});
+  EXPECT_TRUE(engine.wait_all().ok());
+  const EngineStats stats = engine.stats();
+  ASSERT_EQ(stats.decisions.size(), 1u);
+  // CPU-only codelet: the two CPU classes are candidates, the accelerator
+  // class is not. Sizes echo the member counts.
+  ASSERT_EQ(stats.decisions[0].candidates.size(), 2u);
+  EXPECT_EQ(stats.decisions[0].candidates[0].class_size, 4);
+  EXPECT_EQ(stats.decisions[0].candidates[1].class_size, 2);
+  // The winner appears among the candidates under its own device id.
+  bool chosen_listed = false;
+  for (const auto& cand : stats.decisions[0].candidates) {
+    if (cand.device == stats.decisions[0].chosen) chosen_listed = true;
+  }
+  EXPECT_TRUE(chosen_listed);
+}
+
+}  // namespace
+}  // namespace starvm
