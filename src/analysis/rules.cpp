@@ -79,6 +79,18 @@ const std::vector<RuleInfo>& rule_catalog() {
       {kInterconnectOversubscribed, Severity::kWarning,
        "declared Interconnect carries overlapping modeled transfers for a "
        "significant fraction of the makespan (contention window)"},
+      {kMcDeadlock, Severity::kError,
+       "an explored interleaving left submitted tasks that never completed, "
+       "failed, or were cancelled (scheduler went dry with work pending)"},
+      {kMcDivergentReplay, Severity::kError,
+       "an explored interleaving diverged from the canonical run (output "
+       "hash, replay state, or device virtual-clock monotonicity)"},
+      {kMcLostTask, Severity::kError,
+       "exactly-once execution violated in an explored interleaving (double "
+       "execution after re-routing, or completed-and-failed)"},
+      {kMcUnboundedRetryCycle, Severity::kError,
+       "a task consumed more execution attempts than the retry budget "
+       "allows in an explored interleaving"},
   };
   return catalog;
 }

@@ -66,4 +66,14 @@ inline constexpr const char* kLoadImbalance = "A504-load-imbalance";
 inline constexpr const char* kInterconnectOversubscribed =
     "A505-interconnect-oversubscribed";
 
+// A6xx — model-checking findings (docs/MODEL_CHECKING.md): safety
+// invariants the starmc explorer checks at every terminal state of the
+// deterministic engine's reduced interleaving space. Each finding carries a
+// replayable decision trace as its evidence.
+inline constexpr const char* kMcDeadlock = "A601-deadlock";
+inline constexpr const char* kMcDivergentReplay = "A602-divergent-replay";
+inline constexpr const char* kMcLostTask = "A603-lost-task";
+inline constexpr const char* kMcUnboundedRetryCycle =
+    "A604-unbounded-retry-cycle";
+
 }  // namespace analysis

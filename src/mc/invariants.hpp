@@ -1,0 +1,61 @@
+// Safety invariants the explorer checks at every terminal state
+// (docs/MODEL_CHECKING.md "Invariants"). Each maps to one A6xx rule:
+//
+//   A601-deadlock              a submitted task is unaccounted for at
+//                              termination (never completed, failed, or
+//                              cancelled): the scheduler went dry with work
+//                              pending — the lost-wakeup observable.
+//   A602-divergent-replay      the terminal output diverges from the
+//                              canonical run (numeric schedule-dependence),
+//                              an identical decision vector produced a
+//                              different state hash, or a device's virtual
+//                              clock ran backwards.
+//   A603-lost-task             exactly-once violated: a task appears twice
+//                              in the completion trace (double execution
+//                              after re-routing) or both completed and
+//                              permanently failed/cancelled.
+//   A604-unbounded-retry-cycle a task consumed more attempts than the
+//                              configured retry budget allows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "starvm/stats.hpp"
+
+namespace mc {
+
+struct RunOutcome;
+
+/// What the invariant pass needs to know beyond the run itself.
+struct InvariantContext {
+  /// Tasks the program submits (ids dense 1..expected_tasks); 0 disables
+  /// the A601 accounting.
+  std::size_t expected_tasks = 0;
+  /// Maximum attempts any task may legally consume (engine retry budget
+  /// plus per-device overrides, plus the initial attempt).
+  int attempt_ceiling = 0;
+  /// Compare output_hash against canonical_hash (A602)?
+  bool check_serial = true;
+  bool has_canonical = false;
+  std::uint64_t canonical_hash = 0;
+};
+
+struct Violation {
+  std::string rule;
+  std::string message;
+};
+
+/// Check one terminal execution against the A601–A604 invariants.
+std::vector<Violation> check_invariants(const RunOutcome& run,
+                                        const InvariantContext& ctx);
+
+/// Hash of the observable terminal state: completion trace (task, device,
+/// quantized virtual times), failure accounting, error messages, and the
+/// program output hash. Two runs replaying the same decision vector must
+/// produce equal state hashes (byte-stable replay).
+std::uint64_t state_hash(const starvm::EngineStats& stats,
+                         std::uint64_t output_hash);
+
+}  // namespace mc

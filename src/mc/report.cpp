@@ -1,0 +1,36 @@
+#include "mc/report.hpp"
+
+#include "analysis/rules.hpp"
+
+namespace mc {
+
+std::string format_trace(const std::vector<int>& trace) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(trace[i]);
+  }
+  out += "]";
+  return out;
+}
+
+void report_findings(const Result& result, const std::string& label,
+                     const analysis::AnalysisOptions& options,
+                     pdl::Diagnostics& diags) {
+  for (const Finding& finding : result.findings) {
+    if (!analysis::rule_enabled(options, finding.rule)) continue;
+    pdl::Severity severity = pdl::Severity::kError;
+    if (const analysis::RuleInfo* info = analysis::find_rule(finding.rule)) {
+      severity = info->default_severity;
+    }
+    severity = analysis::effective_severity(options, finding.rule, severity);
+    std::string message = finding.message + "; replay trace " +
+                          format_trace(finding.trace) + " (" +
+                          std::to_string(finding.occurrences) +
+                          " of the explored terminal states)";
+    pdl::add_finding(diags, severity, finding.rule, std::move(message),
+                     pdl::SourceLoc{label, 1, 1});
+  }
+}
+
+}  // namespace mc

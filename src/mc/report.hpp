@@ -1,0 +1,26 @@
+// Bridge from explorer results to the pdl diagnostics pipeline: A6xx
+// findings flow through the same normalize/render/severity-override
+// machinery as every other pdlcheck rule, so text, JSON, and SARIF output
+// come for free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "mc/explorer.hpp"
+#include "pdl/diagnostics.hpp"
+
+namespace mc {
+
+/// Compact decision-vector rendering: "[]" or "[1,0,2]".
+std::string format_trace(const std::vector<int>& trace);
+
+/// Append `result`'s findings to `diags` as A6xx diagnostics anchored at
+/// `label` (the graph fixture path), honoring rule disable/severity
+/// overrides from `options`.
+void report_findings(const Result& result, const std::string& label,
+                     const analysis::AnalysisOptions& options,
+                     pdl::Diagnostics& diags);
+
+}  // namespace mc

@@ -7,6 +7,7 @@
 // by a modeled link.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +16,12 @@
 #include "starvm/types.hpp"
 
 namespace starvm {
+
+class DecisionOracle;
+
+namespace detail {
+class Scheduler;
+}  // namespace detail
 
 struct DeviceSpec {
   std::string name = "cpu";
@@ -86,6 +93,22 @@ struct EngineConfig {
   /// Deterministic fault-injection plan; when unset the engine consults
   /// the PDL_FAULT_PLAN environment variable at construction.
   std::shared_ptr<const FaultPlan> fault_plan;
+
+  /// Decision oracle for the simulation modes (docs/MODEL_CHECKING.md):
+  /// every nondeterministic choice point — schedule pick, release order,
+  /// placement-class member — is offered to the oracle with the canonical
+  /// tie-break as alternative 0. Null keeps the fixed tie-break; non-owning
+  /// and must outlive the engine. Ignored in kHybrid (real threads cannot
+  /// be steered by a single-threaded oracle).
+  DecisionOracle* oracle = nullptr;
+
+  /// Test-only: wrap (or replace) the simulation scheduler after
+  /// construction. The model-checking harness uses this to install
+  /// deliberately broken decorators (e.g. a lost-wakeup seeder) and prove
+  /// the explorer catches them. Null for production use.
+  std::function<std::unique_ptr<detail::Scheduler>(
+      std::unique_ptr<detail::Scheduler>)>
+      wrap_scheduler;
 
   /// Convenience: n CPU cores at the given sustained rate.
   static EngineConfig cpus(int n, double sustained_gflops = 5.0);

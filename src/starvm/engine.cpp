@@ -163,6 +163,17 @@ const char* to_string(FaultEvent::Kind kind) {
   return "?";
 }
 
+const char* to_string(TaskAttempt::Outcome outcome) {
+  switch (outcome) {
+    case TaskAttempt::Outcome::kCompleted: return "completed";
+    case TaskAttempt::Outcome::kFailed: return "failed";
+    case TaskAttempt::Outcome::kTimeout: return "timeout";
+    case TaskAttempt::Outcome::kRerouted: return "rerouted";
+    case TaskAttempt::Outcome::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
 Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   if (config_.devices.empty()) {
     throw std::invalid_argument("starvm::Engine needs at least one device");
@@ -212,8 +223,14 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
     dispatch_ = std::make_unique<detail::HybridDispatch>(
         config_.scheduler, &devices_, &classes_, cost);
   } else {
+    // The oracle only steers the single-threaded simulation loop; real
+    // worker threads cannot be serialized through it.
+    oracle_ = config_.oracle;
     scheduler_ = detail::make_scheduler(config_.scheduler, &devices_,
-                                        &classes_, std::move(cost));
+                                        &classes_, std::move(cost), oracle_);
+    if (config_.wrap_scheduler) {
+      scheduler_ = config_.wrap_scheduler(std::move(scheduler_));
+    }
   }
   decision_counter_ = &obs::counter("starvm.decisions." +
                                     std::string(to_string(config_.scheduler)));
@@ -800,7 +817,9 @@ void Engine::run_simulation_locked() {
   // instead of re-sorting every device each iteration.
   while (pending_.load() > 0) {
     DeviceId chosen = -1;
-    detail::TaskNode* task = scheduler_->pop_earliest(&chosen);
+    detail::TaskNode* task = oracle_ != nullptr
+                                 ? pop_via_oracle(&chosen)
+                                 : scheduler_->pop_earliest(&chosen);
     if (task == nullptr) {
       // Submitted-but-waiting tasks only unblock through completions, which
       // this loop performs synchronously — reaching here means a dependency
@@ -841,6 +860,12 @@ void Engine::run_simulation_locked() {
     }
     const double exec = exec_estimate(*task, *device) + injected.delay_seconds;
     if (injected.fail) {
+      // Forced transition: the plan is a pure function of (task, attempt,
+      // device, history), so the firing carries no choice of its own — the
+      // explorer varies it indirectly by varying the schedule around it.
+      if (oracle_ != nullptr) {
+        oracle_->note(ChoiceKind::kFault, task->id, device->id);
+      }
       // Injection suppresses execution entirely (kernels run in place on
       // host memory; a doomed attempt would corrupt its own retry's input).
       handle_task_failure(*task, *device, transfer, exec, injected.reason,
@@ -881,6 +906,38 @@ void Engine::run_simulation_locked() {
   }
 }
 
+detail::TaskNode* Engine::pop_via_oracle(DeviceId* chosen) {
+  // Enumerate every (device, task) pair a pop could yield right now, in the
+  // canonical (avail_vtime, id) order pop_earliest scans — alternative 0 is
+  // exactly the fixed tie-break, so a CanonicalOracle replays the default
+  // schedule bit-for-bit. O(devices log devices) per turn; the oracle path
+  // only runs under a model checker on model-checking-sized platforms.
+  std::vector<std::pair<double, DeviceId>> order;
+  order.reserve(devices_.size());
+  for (const auto& device : devices_) {
+    order.emplace_back(device.avail_vtime.load(), device.id);
+  }
+  std::sort(order.begin(), order.end());
+  ChoicePoint cp;
+  cp.kind = ChoiceKind::kSchedule;
+  for (const auto& [avail, d] : order) {
+    if (detail::TaskNode* t = scheduler_->peek(d)) {
+      cp.alts.push_back({t->id, d});
+    }
+  }
+  if (cp.alts.empty()) return nullptr;
+  std::size_t pick = 0;
+  if (cp.alts.size() > 1) {
+    pick = static_cast<std::size_t>(oracle_->choose(cp));
+  } else {
+    oracle_->note(ChoiceKind::kSchedule, cp.alts[0].task, cp.alts[0].device);
+  }
+  *chosen = cp.alts[pick].device;
+  // Single-threaded under mutex_: nothing mutated a queue since the peek,
+  // so pop returns the peeked task.
+  return scheduler_->pop(*chosen);
+}
+
 void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
                            double transfer, double exec) {
   task.exec_seconds = exec;
@@ -891,6 +948,15 @@ void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
   ++device.tasks_run;
   device.consecutive_failures = 0;  // blacklisting counts *consecutive* only
   PerfModel::observe_in(*task.model_row, device.id, exec);
+  if (task.attempts > 1) {
+    // Close the attempt chain: this task failed at least once before
+    // succeeding. Cold path only — first-attempt successes never take
+    // fault_mutex_ here.
+    std::lock_guard<std::mutex> fault(fault_mutex_);
+    record_attempt_locked(task.id, task.attempts, device.id,
+                          TaskAttempt::Outcome::kCompleted, task.finish_vtime,
+                          {});
+  }
 
   device.trace.push_back(TaskTrace{task.id, task.label, device.id,
                                    task.start_vtime, task.finish_vtime,
@@ -922,6 +988,7 @@ void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
     successors.swap(task.successors);
   }
   task.state.store(detail::TaskState::kDone);
+  std::vector<detail::TaskNode*> became_ready;
   for (detail::TaskNode* succ : successors) {
     // A successor cancelled by another (failed) dependency never runs; the
     // load is only an optimization — the CAS below is the real gate.
@@ -931,9 +998,34 @@ void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
       detail::TaskState expected = detail::TaskState::kWaiting;
       if (succ->state.compare_exchange_strong(expected,
                                               detail::TaskState::kReady)) {
-        dispatch_ready(succ);
+        if (oracle_ != nullptr) {
+          became_ready.push_back(succ);  // dispatch order is a choice point
+        } else {
+          dispatch_ready(succ);
+        }
       }
     }
+  }
+  // Dependency-release order: when one finish unblocks several successors,
+  // the order they enter the scheduler decides queue positions (and HEFT
+  // backlog estimates). Canonical order (alternative 0 repeatedly) is the
+  // wiring order the loop above produced.
+  while (!became_ready.empty()) {
+    std::size_t pick = 0;
+    if (became_ready.size() > 1) {
+      ChoicePoint cp;
+      cp.kind = ChoiceKind::kRelease;
+      for (const detail::TaskNode* succ : became_ready) {
+        cp.alts.push_back({succ->id, -1});
+      }
+      pick = static_cast<std::size_t>(oracle_->choose(cp));
+    } else {
+      oracle_->note(ChoiceKind::kRelease, became_ready[0]->id, -1);
+    }
+    detail::TaskNode* succ = became_ready[pick];
+    became_ready.erase(became_ready.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+    dispatch_ready(succ);
   }
   const std::size_t left = pending_.fetch_sub(1) - 1;
   if (hybrid() && (left == 0 || waiters_.load() > 0)) {
@@ -995,6 +1087,41 @@ void Engine::record_fault_event_locked(FaultEvent::Kind kind, double vtime,
   }
 }
 
+void Engine::record_attempt_locked(TaskId task, int attempt, DeviceId device,
+                                   TaskAttempt::Outcome outcome, double vtime,
+                                   std::string cause) {
+  attempts_.push_back(
+      TaskAttempt{task, attempt, device, outcome, vtime, std::move(cause)});
+}
+
+std::string Engine::attempt_chain_locked(TaskId task) const {
+  // Digest for aggregated error messages: without it, a task that both
+  // retried and was re-routed off a blacklisted device reports only the
+  // LAST failure reason, losing which devices the earlier attempts died on.
+  std::string chain;
+  for (const TaskAttempt& a : attempts_) {
+    if (a.task != task) continue;
+    chain += chain.empty() ? " [" : "; ";
+    switch (a.outcome) {
+      case TaskAttempt::Outcome::kRerouted:
+        chain += "rerouted off device " + std::to_string(a.device);
+        break;
+      case TaskAttempt::Outcome::kCancelled:
+        chain += "cancelled";
+        break;
+      default:
+        chain += "attempt " + std::to_string(a.attempt) + " on device " +
+                 std::to_string(a.device) + ": " + to_string(a.outcome);
+        if (!a.cause.empty() && a.outcome != TaskAttempt::Outcome::kCompleted) {
+          chain += " (" + a.cause + ")";
+        }
+        break;
+    }
+  }
+  if (!chain.empty()) chain += "]";
+  return chain;
+}
+
 void Engine::fail_task_locked(detail::TaskNode& task, const std::string& reason) {
   // CAS into kFailed: a concurrent cascade-cancel (kWaiting -> kFailed) may
   // have beaten us here, in which case all the bookkeeping already happened.
@@ -1006,7 +1133,7 @@ void Engine::fail_task_locked(detail::TaskNode& task, const std::string& reason)
   task.error = reason;
   ++failed_tasks_;
   task_errors_.push_back("task " + std::to_string(task.id) + " '" + task.label +
-                         "': " + reason);
+                         "': " + reason + attempt_chain_locked(task.id));
   record_fault_event_locked(FaultEvent::Kind::kTaskFailed,
                             task.ready_vtime.load(), task.id, task.ran_on,
                             task.attempts, reason);
@@ -1036,6 +1163,8 @@ void Engine::fail_task_locked(detail::TaskNode& task, const std::string& reason)
     record_fault_event_locked(FaultEvent::Kind::kCancelled,
                               task.ready_vtime.load(), succ->id, -1, 0,
                               succ->error);
+    record_attempt_locked(succ->id, 0, -1, TaskAttempt::Outcome::kCancelled,
+                          task.ready_vtime.load(), succ->error);
     pending_.fetch_sub(1);
     {
       std::lock_guard<std::mutex> edge(succ->edge_mutex);
@@ -1072,6 +1201,13 @@ void Engine::blacklist_device_locked(detail::DeviceState& device) {
                                 device.avail_vtime.load(), task->id, device.id,
                                 task->attempts,
                                 "requeued off blacklisted " + device.spec.name);
+      record_attempt_locked(task->id, task->attempts, device.id,
+                            TaskAttempt::Outcome::kRerouted,
+                            device.avail_vtime.load(),
+                            "requeued off blacklisted " + device.spec.name);
+      if (oracle_ != nullptr) {
+        oracle_->note(ChoiceKind::kReroute, task->id, device.id);
+      }
       const bool pushed =
           hybrid() ? dispatch_->push(task) : (scheduler_->push(task), true);
       if (!pushed) {
@@ -1112,6 +1248,10 @@ void Engine::handle_task_failure(detail::TaskNode& task,
     record_fault_event_locked(
         is_timeout ? FaultEvent::Kind::kTimeout : FaultEvent::Kind::kFailure,
         attempt_finish, task.id, device.id, task.attempts, reason);
+    record_attempt_locked(task.id, task.attempts, device.id,
+                          is_timeout ? TaskAttempt::Outcome::kTimeout
+                                     : TaskAttempt::Outcome::kFailed,
+                          attempt_finish, reason);
 
     const int threshold = config_.fault_tolerance.blacklist_after;
     if (threshold > 0 && !device.blacklisted.load() &&
@@ -1587,6 +1727,7 @@ EngineStats Engine::stats() const {
     s.cancelled_tasks = cancelled_tasks_;
     s.errors = task_errors_;
     s.fault_events = fault_events_;
+    s.attempts = attempts_;
   }
   s.scheduler = config_.scheduler;
   s.task_overhead_us = config_.task_overhead_us;

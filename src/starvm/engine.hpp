@@ -190,6 +190,12 @@ class Engine {
   /// next task. In kDeterministic the popped task's kernel also executes.
   void run_simulation_locked();
 
+  /// Oracle-steered pop (mutex_ held, oracle_ non-null): enumerate every
+  /// (device, task) pair a pop could yield as a kSchedule ChoicePoint in
+  /// canonical (avail_vtime, id) order and pop whichever alternative the
+  /// oracle picks. nullptr when nothing is runnable anywhere.
+  detail::TaskNode* pop_via_oracle(DeviceId* chosen);
+
   /// Book a completed task: virtual clock, stats, dependency release.
   /// Called by the owning worker (hybrid, lock-free on the global path) or
   /// under mutex_ (simulation).
@@ -371,6 +377,19 @@ class Engine {
   std::uint64_t cancelled_tasks_ = 0;
   std::vector<std::string> task_errors_;   ///< one entry per failed task
   std::vector<FaultEvent> fault_events_;
+  /// Full per-task attempt chains (device, attempt #, cause): failures,
+  /// timeouts, reroutes, cancellations always; completions whenever the
+  /// task needed more than one attempt. Surfaced as EngineStats::attempts.
+  std::vector<TaskAttempt> attempts_;
+
+  /// Append to attempts_ (fault_mutex_ held).
+  void record_attempt_locked(TaskId task, int attempt, DeviceId device,
+                             TaskAttempt::Outcome outcome, double vtime,
+                             std::string cause);
+
+  /// One-line digest of `task`'s attempt chain for error messages
+  /// (fault_mutex_ held); empty when the chain is empty.
+  std::string attempt_chain_locked(TaskId task) const;
 
   // Flight recorder (tentpole, docs/OBSERVABILITY.md). Ring i belongs to
   // device i (its worker / the sim loop is the sole producer); the extra
@@ -391,6 +410,10 @@ class Engine {
   /// Per-policy decision counter ("starvm.decisions.<policy>"), resolved
   /// once at construction so the hot path skips the registry lookup.
   obs::Counter* decision_counter_ = nullptr;
+
+  /// Decision oracle steering the simulation loop (EngineConfig::oracle;
+  /// always null in hybrid mode). Non-owning.
+  DecisionOracle* oracle_ = nullptr;
 
   std::vector<std::thread> workers_;
 };

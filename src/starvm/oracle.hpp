@@ -1,0 +1,93 @@
+// Decision oracle: the explicit choice-point hook that makes deterministic
+// mode model-checkable (docs/MODEL_CHECKING.md).
+//
+// The discrete-event simulation modes (kPureSim / kDeterministic) resolve
+// every nondeterministic choice — which device pops next, the order newly
+// released successors are dispatched, which member of a placement class
+// hosts a task — with a fixed canonical tie-break. A DecisionOracle makes
+// that tie-break pluggable: whenever more than one alternative exists the
+// engine builds a ChoicePoint whose alternatives are listed in canonical
+// order (alternative 0 IS the fixed tie-break) and asks the oracle to pick.
+// The default oracle always answers 0, so plugging one in changes nothing
+// until an explorer starts answering differently; replaying a recorded
+// decision vector reproduces a schedule bit-for-bit.
+//
+// Forced transitions that carry no choice (a fault firing, a blacklist
+// re-route, a single-alternative pop) are reported through note() so a
+// trace consumer sees the full transition sequence, but they are not
+// indexed into the decision vector.
+//
+// All oracle calls happen with the engine mutex held, on the single thread
+// driving the simulation loop. Oracles must not call back into the engine.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "starvm/types.hpp"
+
+namespace starvm {
+
+/// What kind of nondeterminism a ChoicePoint resolves.
+enum class ChoiceKind {
+  kSchedule,  ///< which (device, queued task) pair runs next
+  kRelease,   ///< dispatch order of successors released by one finish
+  kMember,    ///< which placement-class member hosts a pushed task
+  kFault,     ///< a fault injection fired (forced; note() only)
+  kReroute,   ///< a task re-routed off a blacklisted device (forced)
+};
+
+inline std::string_view to_string(ChoiceKind kind) {
+  switch (kind) {
+    case ChoiceKind::kSchedule:
+      return "schedule";
+    case ChoiceKind::kRelease:
+      return "release";
+    case ChoiceKind::kMember:
+      return "member";
+    case ChoiceKind::kFault:
+      return "fault";
+    case ChoiceKind::kReroute:
+      return "reroute";
+  }
+  return "unknown";
+}
+
+/// One alternative at a choice point. For kSchedule: the task that would
+/// run and the device it would run on. For kRelease: the successor task
+/// (device -1). For kMember: the candidate device (task = the pushed task).
+struct ChoiceAlt {
+  TaskId task = 0;
+  DeviceId device = -1;
+};
+
+/// A resolved or pending choice. `alts` is in canonical order: index 0 is
+/// exactly what the engine's fixed tie-break would do, so an oracle that
+/// always returns 0 is behavior-preserving by construction.
+struct ChoicePoint {
+  ChoiceKind kind = ChoiceKind::kSchedule;
+  std::vector<ChoiceAlt> alts;
+};
+
+class DecisionOracle {
+ public:
+  virtual ~DecisionOracle() = default;
+
+  /// Pick an alternative; must return an index in [0, cp.alts.size()).
+  /// Called only when cp.alts.size() > 1 — singletons are forced.
+  virtual int choose(const ChoicePoint& cp) = 0;
+
+  /// A forced transition (fault firing, reroute, singleton choice) the
+  /// engine took without consulting choose().
+  virtual void note(ChoiceKind /*kind*/, TaskId /*task*/,
+                    DeviceId /*device*/) {}
+};
+
+/// The engine's built-in tie-break, reified: always alternative 0.
+class CanonicalOracle final : public DecisionOracle {
+ public:
+  int choose(const ChoicePoint&) override { return 0; }
+};
+
+}  // namespace starvm

@@ -122,6 +122,14 @@ class EagerScheduler final : public Scheduler {
     return nullptr;
   }
 
+  TaskNode* peek(DeviceId device) const override {
+    const DeviceState& dev = (*devices_)[static_cast<std::size_t>(device)];
+    for (TaskNode* task : queue_) {
+      if (device_capable(dev, *task)) return task;
+    }
+    return nullptr;
+  }
+
   TaskNode* pop_earliest(DeviceId* device) override {
     if (queue_.empty()) return nullptr;
     // The shared queue is capability-filtered at pop time, so the earliest
@@ -235,6 +243,31 @@ class WorkStealingScheduler final : public Scheduler {
     return nullptr;
   }
 
+  TaskNode* peek(DeviceId device) const override {
+    // Mirror pop()'s scan exactly — own queue front-to-back, then the back
+    // of the longest victim queue — without erasing anything.
+    const auto& own = queues_[static_cast<std::size_t>(device)];
+    const DeviceState& dev = (*devices_)[static_cast<std::size_t>(device)];
+    for (TaskNode* task : own) {
+      if (device_capable(dev, *task)) return task;
+    }
+    std::size_t victim = queues_.size();
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      if (i == static_cast<std::size_t>(device)) continue;
+      if (queues_[i].size() > best) {
+        best = queues_[i].size();
+        victim = i;
+      }
+    }
+    if (victim == queues_.size()) return nullptr;
+    const auto& vq = queues_[victim];
+    for (auto it = vq.rbegin(); it != vq.rend(); ++it) {
+      if (device_capable(dev, **it)) return *it;
+    }
+    return nullptr;
+  }
+
   TaskNode* pop_earliest(DeviceId* device) override {
     if (total_ == 0) return nullptr;
     for (const auto& [key, d] : avail_) {
@@ -287,7 +320,8 @@ class WorkStealingScheduler final : public Scheduler {
 class HeftScheduler final : public Scheduler {
  public:
   HeftScheduler(const std::deque<DeviceState>* devices,
-                const PlacementClassSet* classes, CostClassFn cost_fn)
+                const PlacementClassSet* classes, CostClassFn cost_fn,
+                DecisionOracle* oracle)
       : devices_(devices),
         classes_(classes),
         cost_fn_(std::move(cost_fn)),
@@ -295,7 +329,8 @@ class HeftScheduler final : public Scheduler {
         est_avail_(devices->size(), 0.0),
         class_of_(devices->size(), 0),
         members_(classes->size()),
-        ready_(devices->size()) {
+        ready_(devices->size()),
+        oracle_(oracle) {
     for (std::size_t c = 0; c < classes->size(); ++c) {
       for (const DeviceId m : (*classes)[c].members) {
         class_of_[static_cast<std::size_t>(m)] = c;
@@ -336,6 +371,27 @@ class HeftScheduler final : public Scheduler {
       if (queues_[0].size() == 1) ready_.insert(0, device_avail(*devices_, 0));
       return;
     }
+    if (oracle_ != nullptr) {
+      // Placement-class member resolution is a genuine choice point: every
+      // member whose estimated backlog ties the minimum finishes the task at
+      // the same modeled time. The canonical pick (alternative 0) is the
+      // lowest device id — exactly what *members.begin() yields — so replay
+      // with a CanonicalOracle is byte-identical to running with none.
+      const auto& members = members_[best_class];
+      const double min_est = members.begin()->first;
+      ChoicePoint cp;
+      cp.kind = ChoiceKind::kMember;
+      for (const auto& [est, dev] : members) {
+        if (est != min_est) break;  // (est, id) order: ties are a prefix
+        cp.alts.push_back({task->id, dev});
+      }
+      if (cp.alts.size() > 1) {
+        const int pick = oracle_->choose(cp);
+        best_device = cp.alts[static_cast<std::size_t>(pick)].device;
+      } else {
+        oracle_->note(ChoiceKind::kMember, task->id, best_device);
+      }
+    }
     auto& members = members_[best_class];
     members.erase({est_avail_[static_cast<std::size_t>(best_device)], best_device});
     est_avail_[static_cast<std::size_t>(best_device)] = best_finish;
@@ -356,6 +412,15 @@ class HeftScheduler final : public Scheduler {
     --total_;
     if (own.empty()) ready_.erase(device);
     return task;
+  }
+
+  TaskNode* peek(DeviceId device) const override {
+    if ((*devices_)[static_cast<std::size_t>(device)].blacklisted.load(
+            std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    const auto& own = queues_[static_cast<std::size_t>(device)];
+    return own.empty() ? nullptr : own.front();
   }
 
   TaskNode* pop_earliest(DeviceId* device) override {
@@ -409,6 +474,7 @@ class HeftScheduler final : public Scheduler {
   AvailIndex ready_;  ///< devices with queued work, keyed by virtual clock
   std::size_t total_ = 0;
   std::vector<double> costs_;  ///< scratch row (engine mutex held)
+  DecisionOracle* oracle_ = nullptr;  ///< member-tie resolution; nullable
 };
 
 }  // namespace
@@ -416,14 +482,16 @@ class HeftScheduler final : public Scheduler {
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
                                           const std::deque<DeviceState>* devices,
                                           const PlacementClassSet* classes,
-                                          CostClassFn cost_fn) {
+                                          CostClassFn cost_fn,
+                                          DecisionOracle* oracle) {
   switch (kind) {
     case SchedulerKind::kEager:
       return std::make_unique<EagerScheduler>(devices);
     case SchedulerKind::kWorkStealing:
       return std::make_unique<WorkStealingScheduler>(devices);
     case SchedulerKind::kHeft:
-      return std::make_unique<HeftScheduler>(devices, classes, std::move(cost_fn));
+      return std::make_unique<HeftScheduler>(devices, classes,
+                                             std::move(cost_fn), oracle);
   }
   return std::make_unique<EagerScheduler>(devices);
 }

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "starvm/oracle.hpp"
 #include "starvm/runtime_state.hpp"
 #include "starvm/types.hpp"
 
@@ -48,6 +49,13 @@ class Scheduler {
 
   /// Next task for an idle device; nullptr when none is runnable there.
   virtual TaskNode* pop(DeviceId device) = 0;
+
+  /// The task pop(device) would return right now, without mutating any
+  /// queue; nullptr when pop(device) would come up empty (including a
+  /// blacklisted device). The model-checking oracle path uses this to
+  /// enumerate every (device, task) schedule alternative before committing
+  /// to one with pop().
+  virtual TaskNode* peek(DeviceId device) const = 0;
 
   /// Pop for the earliest-available live device: equivalent to trying
   /// pop() over every live device in ascending (avail_vtime, id) order and
@@ -77,11 +85,15 @@ class Scheduler {
 };
 
 /// Factory. `devices` and `classes` outlive the scheduler; `cost_fn` is
-/// used by kHeft and produces one estimate per placement class.
+/// used by kHeft and produces one estimate per placement class. `oracle`
+/// (nullable, non-owning) resolves placement-class member ties in kHeft —
+/// alternative 0 is the canonical lowest-id member, so a null oracle and a
+/// CanonicalOracle behave identically.
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
                                           const std::deque<DeviceState>* devices,
                                           const PlacementClassSet* classes,
-                                          CostClassFn cost_fn);
+                                          CostClassFn cost_fn,
+                                          DecisionOracle* oracle = nullptr);
 
 /// Lock-split ready-task dispatch for the real-threads path.
 ///

@@ -64,6 +64,30 @@ struct FaultEvent {
 
 const char* to_string(FaultEvent::Kind kind);
 
+/// One execution attempt in a task's fault-tolerance history. Every attempt
+/// that ends (success, failure, timeout) and every forced move (reroute off
+/// a blacklisted device, cancellation) appends an entry, so the full chain
+/// — which device, which attempt number, why it ended — survives aggregation
+/// into wait_all()'s one-line status. The explorer's A603/A604 oracles and
+/// EngineStats::errors both read this.
+struct TaskAttempt {
+  enum class Outcome {
+    kCompleted,  ///< the attempt finished successfully
+    kFailed,     ///< the attempt failed (injected fault, fail(), throw)
+    kTimeout,    ///< the watchdog rejected the attempt
+    kRerouted,   ///< queued work moved off a blacklisted device (no attempt)
+    kCancelled,  ///< cancelled before running (failed dependency)
+  };
+  TaskId task = 0;
+  int attempt = 0;        ///< attempt number (1-based); 0 for pre-run moves
+  DeviceId device = -1;   ///< device of the attempt (target device for moves)
+  Outcome outcome = Outcome::kCompleted;
+  double vtime = 0.0;     ///< virtual time the attempt ended / the move happened
+  std::string cause;      ///< failure reason / reroute or cancel explanation
+};
+
+const char* to_string(TaskAttempt::Outcome outcome);
+
 /// One candidate the scheduler could have placed a task on, with the
 /// finish time the cost model predicted at decision time. A candidate
 /// stands for a whole placement class: `class_size` interchangeable
@@ -120,6 +144,10 @@ struct EngineStats {
   std::uint64_t cancelled_tasks = 0;      ///< tasks cancelled by failed deps
   std::vector<std::string> errors;        ///< one message per failed task
   std::vector<FaultEvent> fault_events;   ///< recovery log, virtual-clock order
+  /// Full per-task attempt history (device, attempt #, cause) in the order
+  /// attempts ended. Populated whenever the fault path is exercised; empty
+  /// on a fault-free run.
+  std::vector<TaskAttempt> attempts;
 
   // --- flight recorder ---
   std::uint64_t flight_records = 0;      ///< records produced across all rings

@@ -18,6 +18,13 @@
 //   --plan             schedule-aware capacity & interference analysis
 //                      (A5xx): simulate a HEFT schedule of the graph(s) on
 //                      each platform; text format also prints the plan
+//   --explore          model-check the graph(s) with the starmc explorer
+//                      (A6xx): exhaustively run every reduced interleaving
+//                      of the deterministic engine and report invariant
+//                      violations with replayable decision traces; a
+//                      platform file is optional in this mode
+//   --explore-budget <n>
+//                      engine-execution budget for --explore (default 20000)
 //   --list-rules       print the rule catalog and exit
 //
 // Exit codes: 0 clean, 1 findings at error severity (or warnings with
@@ -25,6 +32,7 @@
 // checks and every analysis rule (A1xx/A3xx/A4xx/A5xx) land in one
 // normalized, deterministic report.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -37,6 +45,9 @@
 #include "analysis/rules.hpp"
 #include "analysis/sarif.hpp"
 #include "analysis/schedule_sim.hpp"
+#include "mc/explorer.hpp"
+#include "mc/graph_program.hpp"
+#include "mc/report.hpp"
 #include "annot/annotated_program.hpp"
 #include "cascabel/repository.hpp"
 #include "obs/env.hpp"
@@ -59,6 +70,9 @@ void usage(const char* argv0) {
                "  --graph <file>      analyze a task-graph fixture file\n"
                "  --plan              schedule-aware A5xx analysis (and plan "
                "summary)\n"
+               "  --explore           model-check the graph(s) with the starmc "
+               "explorer (A6xx)\n"
+               "  --explore-budget <n>  engine-execution budget for --explore\n"
                "  --list-rules        print the rule catalog and exit\n",
                argv0);
 }
@@ -117,6 +131,8 @@ int main(int argc, char** argv) {
   std::string program_path;
   std::string graph_path;
   bool plan = false;
+  bool explore = false;
+  std::size_t explore_budget = 20000;
   bool werror = false;
   std::vector<std::string> platform_paths;
 
@@ -133,6 +149,13 @@ int main(int argc, char** argv) {
       program_path = arg.substr(std::strlen("--program="));
     } else if (arg == "--plan") {
       plan = true;
+    } else if (arg == "--explore") {
+      explore = true;
+    } else if (arg == "--explore-budget" && i + 1 < argc) {
+      explore_budget = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg.rfind("--explore-budget=", 0) == 0) {
+      explore_budget = static_cast<std::size_t>(
+          std::atoll(arg.substr(std::strlen("--explore-budget=")).c_str()));
     } else if (arg == "--graph" && i + 1 < argc) {
       graph_path = argv[++i];
     } else if (arg.rfind("--graph=", 0) == 0) {
@@ -155,7 +178,9 @@ int main(int argc, char** argv) {
       platform_paths.push_back(arg);
     }
   }
-  if (platform_paths.empty()) {
+  // --explore model-checks the engine itself; a graph fixture alone is a
+  // complete input for it. Every other mode needs a platform.
+  if (platform_paths.empty() && !(explore && !graph_path.empty())) {
     usage(argv[0]);
     return 2;
   }
@@ -214,6 +239,19 @@ int main(int argc, char** argv) {
   std::string plan_text;
   for (const auto& [label, graph] : graphs) {
     analysis::analyze_task_graph(graph, options, diags);
+    if (explore) {
+      mc::GraphProgramOptions program_options;
+      auto program = mc::make_graph_program(graph, program_options);
+      if (!program.ok()) {
+        pdl::add_finding(diags, pdl::Severity::kError, {},
+                         program.error().str(), pdl::SourceLoc{label, 1, 1});
+      } else {
+        mc::Options explore_options;
+        explore_options.max_runs = explore_budget;
+        mc::Explorer explorer(std::move(program).value(), explore_options);
+        mc::report_findings(explorer.explore(), label, options, diags);
+      }
+    }
     if (!plan) continue;
     for (std::size_t p = 0; p < platforms.size(); ++p) {
       const analysis::SchedulePlan schedule =
