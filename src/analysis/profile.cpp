@@ -192,6 +192,22 @@ RunProfile profile_run(const starvm::EngineStats& stats) {
   return profile;
 }
 
+void apply_store_rates(RunProfile& profile,
+                       const starvm::perf_store::Store& store) {
+  for (RateDrift& d : profile.drift) {
+    for (const starvm::perf_store::Entry& entry : store.entries) {
+      if (entry.codelet == d.label && entry.device == d.device &&
+          entry.ema_gflops > 0.0) {
+        d.store_gflops = entry.ema_gflops;
+        if (d.measured_gflops > 0.0) {
+          d.store_drift_ratio = d.measured_gflops / d.store_gflops;
+        }
+        break;
+      }
+    }
+  }
+}
+
 ModelComparison diff_against_plan(const RunProfile& profile,
                                   const SchedulePlan& plan,
                                   const starvm::TaskGraph& graph) {
@@ -320,6 +336,12 @@ std::string render_profile_text(const RunProfile& profile) {
        << " task(s), measured " << gf(d.measured_gflops)
        << " GFLOPS, declared " << gf(d.declared_gflops) << " GFLOPS";
     if (d.drift_ratio > 0.0) os << ", ratio " << ratio2(d.drift_ratio);
+    if (d.store_gflops > 0.0) {
+      os << ", store " << gf(d.store_gflops) << " GFLOPS";
+      if (d.store_drift_ratio > 0.0) {
+        os << " (x" << ratio2(d.store_drift_ratio) << ")";
+      }
+    }
     os << "\n";
   }
   os << "flight recorder: " << profile.flight_records << " record(s), "

@@ -18,6 +18,7 @@
 #include "analysis/schedule_sim.hpp"
 #include "pdl/model.hpp"
 #include "starvm/graph.hpp"
+#include "starvm/perf_store.hpp"
 #include "starvm/stats.hpp"
 #include "util/result.hpp"
 
@@ -70,6 +71,12 @@ struct RateDrift {
   /// measured / declared; 0 when either side is unknown. 1.0 means the
   /// platform description told the truth.
   double drift_ratio = 0.0;
+  /// Learned EMA rate from a persisted perf store (apply_store_rates);
+  /// 0 = the store holds no entry for this (label, device).
+  double store_gflops = 0.0;
+  /// measured / store-learned; a ratio far from 1.0 flags a decayed store
+  /// entry (the machine, or the kernel, changed since it was learned).
+  double store_drift_ratio = 0.0;
 };
 
 struct RunProfile {
@@ -89,6 +96,14 @@ struct RunProfile {
 
 /// Profile a finished run from its statistics (call after wait_all()).
 RunProfile profile_run(const starvm::EngineStats& stats);
+
+/// Annotate the drift table with the learned rates of a persisted perf
+/// store (RateDrift::store_gflops / store_drift_ratio): the third column of
+/// the feedback loop — declared (PDL), learned (store), measured (this
+/// run). The caller is responsible for having matched the store's
+/// descriptor hash to the platform.
+void apply_store_rates(RunProfile& profile,
+                       const starvm::perf_store::Store& store);
 
 /// Modeled vs measured, aggregated by task name (robust to the two sides
 /// decomposing work differently: all same-named tasks pool together).

@@ -1,5 +1,6 @@
 #include "cascabel/builtin_variants.hpp"
 
+#include "kernels/cholesky.hpp"
 #include "kernels/dgemm.hpp"
 #include "kernels/vector_ops.hpp"
 
@@ -41,6 +42,81 @@ double dgemm_flops(const std::vector<starvm::BufferView>& buffers) {
   return kernels::dgemm_flops(c.rows(), c.cols(), a.cols());
 }
 
+/// Mixed-precision dgemm on the same Idgemm geometry; own interface so
+/// measured-rate selection can never swap it in for full-precision callers.
+void dgemm_mixed_exec(const starvm::ExecContext& ctx) {
+  const auto& c = ctx.handle(0);
+  const auto& a = ctx.handle(1);
+  kernels::dgemm_mixed(c.rows(), c.cols(), a.cols(), ctx.buffer(1), ctx.buffer(2),
+                       ctx.buffer(0));
+}
+
+/// Batched square elements, packed convention: every handle is a
+/// (batch*t x t) stack of t x t elements with t = cols (row-band
+/// decomposition preserves it: a band of b rows is b/t whole elements).
+void dgemm_batch_seq_exec(const starvm::ExecContext& ctx) {
+  const auto& c = ctx.handle(0);
+  const std::size_t t = c.cols();
+  const std::size_t batch = t == 0 ? 0 : c.rows() / t;
+  kernels::dgemm_batched_ref(batch, t, t, t, ctx.buffer(1), ctx.buffer(2),
+                             ctx.buffer(0));
+}
+
+void dgemm_batch_small_exec(const starvm::ExecContext& ctx) {
+  const auto& c = ctx.handle(0);
+  const std::size_t t = c.cols();
+  const std::size_t batch = t == 0 ? 0 : c.rows() / t;
+  kernels::dgemm_batched_small(batch, t, t, t, ctx.buffer(1), ctx.buffer(2),
+                               ctx.buffer(0));
+}
+
+double dgemm_batch_flops(const std::vector<starvm::BufferView>& buffers) {
+  const auto& c = *buffers[0].handle;
+  const std::size_t t = c.cols();
+  const std::size_t batch = t == 0 ? 0 : c.rows() / t;
+  return kernels::dgemm_batched_flops(batch, t, t, t);
+}
+
+/// B (m x n) := B·L⁻ᵀ with L the n x n lower-triangular second operand.
+void dtrsm_seq_exec(const starvm::ExecContext& ctx) {
+  const auto& bh = ctx.handle(0);
+  const auto& lh = ctx.handle(1);
+  kernels::trsm_rlt(bh.rows(), lh.rows(), ctx.buffer(1), lh.ld(), ctx.buffer(0),
+                    bh.ld());
+}
+
+void dtrsm_simd_exec(const starvm::ExecContext& ctx) {
+  const auto& bh = ctx.handle(0);
+  const auto& lh = ctx.handle(1);
+  kernels::trsm_rlt_simd(bh.rows(), lh.rows(), ctx.buffer(1), lh.ld(),
+                         ctx.buffer(0), bh.ld());
+}
+
+double dtrsm_flops(const std::vector<starvm::BufferView>& buffers) {
+  return kernels::trsm_flops(buffers[0].handle->rows(),
+                             buffers[1].handle->rows());
+}
+
+/// C (n x n) := C - A·Aᵀ on the lower triangle, A an n x k tile.
+void dsyrk_seq_exec(const starvm::ExecContext& ctx) {
+  const auto& ch = ctx.handle(0);
+  const auto& ah = ctx.handle(1);
+  kernels::syrk_ln(ch.rows(), ah.cols(), ctx.buffer(1), ah.ld(), ctx.buffer(0),
+                   ch.ld());
+}
+
+void dsyrk_simd_exec(const starvm::ExecContext& ctx) {
+  const auto& ch = ctx.handle(0);
+  const auto& ah = ctx.handle(1);
+  kernels::syrk_ln_simd(ch.rows(), ah.cols(), ctx.buffer(1), ah.ld(),
+                        ctx.buffer(0), ch.ld());
+}
+
+double dsyrk_flops(const std::vector<starvm::BufferView>& buffers) {
+  return kernels::syrk_flops(buffers[0].handle->rows(),
+                             buffers[1].handle->cols());
+}
+
 void vecadd_exec(const starvm::ExecContext& ctx) {
   kernels::vector_add(ctx.buffer(0), ctx.buffer(1), ctx.handle(0).cols());
 }
@@ -74,6 +150,47 @@ void register_builtin_variants(TaskRepository& repo) {
   repo.add_variant(make_variant("Idgemm", "dgemm_cublas", {"cuda"}, dgemm_params));
   repo.bind(BoundImpl{"dgemm_cublas", starvm::DeviceKind::kAccelerator, dgemm_exec,
                       dgemm_flops});
+
+  // Mixed-precision dgemm lives under its own interface: callers opt into
+  // the reduced accuracy explicitly, and the measured-rate selector can
+  // never flip a full-precision Idgemm call onto it.
+  repo.add_variant(make_variant("Idgemm_mixed", "dgemm_mixed", {"x86"}, dgemm_params));
+  repo.bind(BoundImpl{"dgemm_mixed", starvm::DeviceKind::kCpu, dgemm_mixed_exec,
+                      dgemm_flops});
+
+  // Batched small-GEMM: reference + cache-resident streaming variant. Both
+  // are fall-backs; the perf store learns which wins on the host and the
+  // selector flips once the sample threshold is met.
+  const std::vector<ParamSpec> batch_params = {
+      {"C", AccessMode::kReadWrite}, {"A", AccessMode::kRead}, {"B", AccessMode::kRead}};
+  repo.add_variant(make_variant("Idgemm_batch", "dgemm_batch_seq", {"x86"}, batch_params));
+  repo.bind(BoundImpl{"dgemm_batch_seq", starvm::DeviceKind::kCpu,
+                      dgemm_batch_seq_exec, dgemm_batch_flops});
+  repo.add_variant(
+      make_variant("Idgemm_batch", "dgemm_batch_small", {"x86"}, batch_params));
+  repo.bind(BoundImpl{"dgemm_batch_small", starvm::DeviceKind::kCpu,
+                      dgemm_batch_small_exec, dgemm_batch_flops});
+
+  // Triangular solve and rank-k update pairs (scalar + SIMD restructure),
+  // the tile operations of the Cholesky/LU solvers exposed as repository
+  // interfaces so selection flips show up in the decision log.
+  const std::vector<ParamSpec> dtrsm_params = {{"B", AccessMode::kReadWrite},
+                                               {"L", AccessMode::kRead}};
+  repo.add_variant(make_variant("Idtrsm", "dtrsm_seq", {"x86"}, dtrsm_params));
+  repo.bind(BoundImpl{"dtrsm_seq", starvm::DeviceKind::kCpu, dtrsm_seq_exec,
+                      dtrsm_flops});
+  repo.add_variant(make_variant("Idtrsm", "dtrsm_simd", {"x86"}, dtrsm_params));
+  repo.bind(BoundImpl{"dtrsm_simd", starvm::DeviceKind::kCpu, dtrsm_simd_exec,
+                      dtrsm_flops});
+
+  const std::vector<ParamSpec> dsyrk_params = {{"C", AccessMode::kReadWrite},
+                                               {"A", AccessMode::kRead}};
+  repo.add_variant(make_variant("Idsyrk", "dsyrk_seq", {"x86"}, dsyrk_params));
+  repo.bind(BoundImpl{"dsyrk_seq", starvm::DeviceKind::kCpu, dsyrk_seq_exec,
+                      dsyrk_flops});
+  repo.add_variant(make_variant("Idsyrk", "dsyrk_simd", {"x86"}, dsyrk_params));
+  repo.bind(BoundImpl{"dsyrk_simd", starvm::DeviceKind::kCpu, dsyrk_simd_exec,
+                      dsyrk_flops});
 
   repo.add_variant(make_variant("Ivecadd", "vecadd_seq", {"x86"}, vecadd_params));
   repo.bind(BoundImpl{"vecadd_seq", starvm::DeviceKind::kCpu, vecadd_exec, vecadd_flops});

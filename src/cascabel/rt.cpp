@@ -28,25 +28,54 @@ Context::Context(const pdl::Platform& target, TaskRepository repository,
     : platform_(target.clone()),
       repository_(std::move(repository)),
       options_(options) {
-  selection_ = preselect(repository_, platform_, diags_);
-
+  // Engine config first: the perf store is keyed by the hash of the device
+  // descriptors the bridge derives, so pre-selection can only trust the
+  // store after that hash has been checked.
   starvm::BridgeOptions bridge = options_.bridge;
   bridge.scheduler = options_.scheduler;
   bridge.mode = options_.mode;
   auto config = starvm::engine_config_from_platform(platform_, bridge);
+  starvm::EngineConfig engine_config;
   if (!config) {
     // An engine is still required for the object to be usable; fall back to
     // a single CPU and record the problem.
     pdl::add_error(diags_, "engine construction: " + config.error().str());
-    starvm::EngineConfig fallback = starvm::EngineConfig::cpus(1);
-    fallback.fault_tolerance = options_.fault_tolerance;
-    fallback.fault_plan = options_.fault_plan;
-    engine_ = std::make_unique<starvm::Engine>(std::move(fallback));
-    return;
+    engine_config = starvm::EngineConfig::cpus(1);
+  } else {
+    engine_config = std::move(config).value();
   }
-  starvm::EngineConfig engine_config = std::move(config).value();
   engine_config.fault_tolerance = options_.fault_tolerance;
   engine_config.fault_plan = options_.fault_plan;
+  engine_config.perf_store_path = options_.perf_store_path;
+
+  // Load the same store the engine will preload, so static pre-selection
+  // ranks variants by measured rate (paper §IV-C step 2, but from learned
+  // history instead of declared properties). Any rejection degrades to
+  // declared-rate selection — the engine counts it in EngineStats too.
+  const std::string store_path = options_.perf_store_path.empty()
+                                     ? starvm::perf_store::env_store_path()
+                                     : options_.perf_store_path;
+  SelectionOptions sel_options;
+  sel_options.min_samples = options_.perf_min_samples;
+  if (!store_path.empty()) {
+    auto loaded = starvm::perf_store::load(store_path);
+    if (loaded.status == starvm::perf_store::LoadStatus::kLoaded) {
+      if (loaded.store.descriptor_hash ==
+          starvm::perf_store::descriptor_hash(engine_config.devices)) {
+        perf_store_ = std::move(loaded.store);
+        perf_store_loaded_ = true;
+        sel_options.perf_store = &perf_store_;
+      } else {
+        pdl::add_info(diags_, "perf store '" + store_path +
+                                  "' ignored: descriptor hash mismatch "
+                                  "(stale store from another platform)");
+      }
+    } else if (loaded.status != starvm::perf_store::LoadStatus::kMissing) {
+      pdl::add_info(diags_,
+                    "perf store '" + store_path + "' ignored: " + loaded.detail);
+    }
+  }
+  selection_ = preselect(repository_, platform_, diags_, sel_options);
   engine_ = std::make_unique<starvm::Engine>(std::move(engine_config));
 }
 
@@ -108,10 +137,17 @@ pdl::util::Status Context::execute(std::string_view interface_name,
   };
 
   // Pick one bound implementation per device kind: among usable (group-
-  // compatible, executable) candidates, non-fallback beats fallback and
-  // higher pattern specificity beats lower (ties: later registration).
+  // compatible, executable) candidates, a measured rate from the perf
+  // store beats the declared order outright (and the faster learned rate
+  // wins among measured candidates); without measurements, non-fallback
+  // beats fallback and higher pattern specificity beats lower (ties:
+  // later registration). The declared-only winner is tracked alongside so
+  // a store-induced flip is visible in the diagnostics.
   const BoundImpl* impl_per_kind[2] = {nullptr, nullptr};
+  const BoundImpl* declared_choice[2] = {nullptr, nullptr};
   int best_rank[2] = {-1, -1};
+  int declared_rank[2] = {-1, -1};
+  double best_measured[2] = {0.0, 0.0};
   std::function<double(const std::vector<starvm::BufferView>&)> flops_fn;
   for (const auto& candidate : *candidates) {
     bool usable = candidate.mapped_pus.empty();
@@ -124,8 +160,18 @@ pdl::util::Status Context::execute(std::string_view interface_name,
     const auto slot = static_cast<std::size_t>(impl->device_kind);
     const int rank =
         (candidate.is_fallback ? 0 : 1000000) + candidate.specificity;
-    if (rank < best_rank[slot]) continue;
+    if (rank >= declared_rank[slot]) {
+      declared_rank[slot] = rank;
+      declared_choice[slot] = impl;
+    }
+    const double measured = candidate.measured_gflops;
+    const bool better =
+        measured > 0.0
+            ? best_measured[slot] == 0.0 || measured >= best_measured[slot]
+            : best_measured[slot] == 0.0 && rank >= best_rank[slot];
+    if (!better) continue;
     best_rank[slot] = rank;
+    best_measured[slot] = measured;
     impl_per_kind[slot] = impl;
     if (impl->flops) flops_fn = impl->flops;
   }
@@ -145,6 +191,19 @@ pdl::util::Status Context::execute(std::string_view interface_name,
       if (impl_per_kind[kind] != nullptr && engine_has_kind[kind]) {
         codelet->impls.push_back(starvm::Implementation{
             static_cast<starvm::DeviceKind>(kind), impl_per_kind[kind]->fn});
+        // The engine records this codelet's observations additionally
+        // under the chosen variant's name, so the persisted store learns
+        // per-variant rates for the next run's pre-selection.
+        codelet->calibration_alias[kind] = impl_per_kind[kind]->variant_name;
+        if (declared_choice[kind] != nullptr &&
+            impl_per_kind[kind] != declared_choice[kind]) {
+          pdl::add_info(diags_,
+                        "perf store: interface '" + iface +
+                            "' selects measured-fastest variant '" +
+                            impl_per_kind[kind]->variant_name + "' over '" +
+                            declared_choice[kind]->variant_name +
+                            "' (declared-rate choice)");
+        }
       }
     }
     if (codelet->impls.empty()) {

@@ -28,6 +28,7 @@
 #include "pdl/model.hpp"
 #include "starvm/bridge.hpp"
 #include "starvm/engine.hpp"
+#include "starvm/perf_store.hpp"
 #include "util/result.hpp"
 
 namespace cascabel::rt {
@@ -64,6 +65,14 @@ struct Options {
   starvm::FaultToleranceConfig fault_tolerance;
   /// Deterministic fault injection; nullptr = engine consults PDL_FAULT_PLAN.
   std::shared_ptr<const starvm::FaultPlan> fault_plan;
+  /// Persisted perf store (docs/RUNTIME.md "Persisted performance models"):
+  /// forwarded to EngineConfig::perf_store_path, and the same file is read
+  /// up front so static pre-selection ranks variants by measured rate.
+  /// Empty = consult PDL_PERF_STORE ("0"/unset disables persistence).
+  std::string perf_store_path;
+  /// Sample-count threshold before a store entry may override declared
+  /// rates in pre-selection (SelectionOptions::min_samples).
+  std::uint64_t perf_min_samples = 3;
 };
 
 /// An executable translation context: target platform + repository + engine.
@@ -94,6 +103,11 @@ class Context {
   starvm::Engine& engine() { return *engine_; }
   starvm::EngineStats stats() const { return engine_->stats(); }
   const SelectionResult& selection() const { return selection_; }
+  /// The perf store pre-selection consumed, or null when none was loaded
+  /// (no path configured, missing file, or a rejected/stale store).
+  const starvm::perf_store::Store* perf_store() const {
+    return perf_store_loaded_ ? &perf_store_ : nullptr;
+  }
   const pdl::Platform& platform() const { return platform_; }
   const pdl::Diagnostics& diagnostics() const { return diags_; }
   const Options& options() const { return options_; }
@@ -114,6 +128,10 @@ class Context {
   pdl::Diagnostics diags_;
   SelectionResult selection_;
   std::unique_ptr<starvm::Engine> engine_;
+  /// Perf store loaded at construction (descriptor hash already verified
+  /// against the engine config); kept alive for selection() introspection.
+  starvm::perf_store::Store perf_store_;
+  bool perf_store_loaded_ = false;
 
   /// ptr -> registration (keyed by base pointer; geometry must be stable).
   std::map<double*, Registered> registered_;

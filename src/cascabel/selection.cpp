@@ -24,6 +24,12 @@ starvm::DeviceKind device_kind_for_target(std::string_view platform_name) {
 
 SelectionResult preselect(const TaskRepository& repository,
                           const pdl::Platform& target, pdl::Diagnostics& diags) {
+  return preselect(repository, target, diags, SelectionOptions{});
+}
+
+SelectionResult preselect(const TaskRepository& repository,
+                          const pdl::Platform& target, pdl::Diagnostics& diags,
+                          const SelectionOptions& options) {
   obs::Span span("cascabel.preselect", target.name());
   static obs::Counter& considered = obs::counter("cascabel.variants_considered");
   static obs::Counter& accepted = obs::counter("cascabel.variants_selected");
@@ -117,6 +123,19 @@ SelectionResult preselect(const TaskRepository& repository,
               sel.mapped_pus.push_back(concrete);
               break;
             }
+          }
+        }
+      }
+      // Measured-rate annotation: the engine records each variant's
+      // observations under its own name (Codelet::calibration_alias), so a
+      // store entry keyed by the variant name is this variant's learned
+      // rate. The best sufficiently-sampled device rate stands for the
+      // variant; entries below the sample threshold stay advisory-only.
+      if (options.perf_store != nullptr) {
+        for (const auto& entry : options.perf_store->entries) {
+          if (entry.codelet == variant.pragma.variant_name &&
+              entry.count >= options.min_samples && entry.ema_gflops > 0.0) {
+            sel.measured_gflops = std::max(sel.measured_gflops, entry.ema_gflops);
           }
         }
       }

@@ -8,6 +8,7 @@
 // can always run on a Master PU.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "cascabel/repository.hpp"
 #include "pdl/diagnostics.hpp"
 #include "pdl/model.hpp"
+#include "starvm/perf_store.hpp"
 #include "starvm/types.hpp"
 
 namespace cascabel {
@@ -34,6 +36,25 @@ struct SelectedVariant {
   /// the most specific wins (paper §II: expert variants declare tighter
   /// requirements precisely because they are the optimized ones).
   int specificity = 0;
+
+  /// Learned rate from the persisted perf store (best device's EMA over
+  /// entries with at least SelectionOptions::min_samples observations);
+  /// 0 = no trustworthy measurement. When non-zero, rt's per-call ranking
+  /// prefers the measured-fastest variant over the declared-specificity
+  /// order — the autotuning loop's pay-off.
+  double measured_gflops = 0.0;
+};
+
+/// Measurement input for pre-selection: the persisted perf store of the
+/// target platform (docs/RUNTIME.md "Persisted performance models").
+struct SelectionOptions {
+  /// Store whose descriptor hash already matched the target; non-owning,
+  /// may be null (pure declared-rate selection).
+  const starvm::perf_store::Store* perf_store = nullptr;
+  /// Confidence threshold: entries with fewer recorded observations do not
+  /// override declared rates (a single noisy sample must not flip a
+  /// variant choice for every future run).
+  std::uint64_t min_samples = 3;
 };
 
 /// Pre-selection output for a whole repository against one target platform.
@@ -54,6 +75,12 @@ struct SelectionResult {
 /// provided").
 SelectionResult preselect(const TaskRepository& repository,
                           const pdl::Platform& target, pdl::Diagnostics& diags);
+
+/// As above, additionally annotating every surviving variant with its
+/// measured rate from the perf store (SelectedVariant::measured_gflops).
+SelectionResult preselect(const TaskRepository& repository,
+                          const pdl::Platform& target, pdl::Diagnostics& diags,
+                          const SelectionOptions& options);
 
 /// Device class a target-platform name executes on: cuda/opencl/cell run
 /// on (simulated) accelerators, everything else on CPUs.

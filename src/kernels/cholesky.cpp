@@ -54,6 +54,85 @@ void syrk_ln(std::size_t n, std::size_t k, const double* a, std::size_t lda,
   }
 }
 
+void trsm_rlt_simd(std::size_t m, std::size_t n, const double* l, std::size_t ldl,
+                   double* b, std::size_t ldb) {
+  // Rows of B are independent solves, so quartets of rows share every L
+  // load and give the compiler four independent accumulator chains. The
+  // remainder rows fall through to the scalar kernel.
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    double* r0 = b + i * ldb;
+    double* r1 = r0 + ldb;
+    double* r2 = r1 + ldb;
+    double* r3 = r2 + ldb;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* lj = l + j * ldl;
+      double v0 = r0[j];
+      double v1 = r1[j];
+      double v2 = r2[j];
+      double v3 = r3[j];
+      for (std::size_t p = 0; p < j; ++p) {
+        const double ljp = lj[p];
+        v0 -= r0[p] * ljp;
+        v1 -= r1[p] * ljp;
+        v2 -= r2[p] * ljp;
+        v3 -= r3[p] * ljp;
+      }
+      const double inv = 1.0 / lj[j];
+      r0[j] = v0 * inv;
+      r1[j] = v1 * inv;
+      r2[j] = v2 * inv;
+      r3[j] = v3 * inv;
+    }
+  }
+  if (i < m) trsm_rlt(m - i, n, l, ldl, b + i * ldb, ldb);
+}
+
+void syrk_ln_simd(std::size_t n, std::size_t k, const double* a, std::size_t lda,
+                  double* c, std::size_t ldc) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const double* ai0 = a + i * lda;
+    const double* ai1 = ai0 + lda;
+    double* ci0 = c + i * ldc;
+    double* ci1 = ci0 + ldc;
+    for (std::size_t j = 0; j < i; ++j) {
+      const double* aj = a + j * lda;
+      double s0 = 0.0;
+      double s1 = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double v = aj[p];
+        s0 += ai0[p] * v;
+        s1 += ai1[p] * v;
+      }
+      ci0[j] -= s0;
+      ci1[j] -= s1;
+    }
+    // The 2x2 diagonal corner: only the lower-triangle entries exist.
+    double d00 = 0.0;
+    double d10 = 0.0;
+    double d11 = 0.0;
+    for (std::size_t p = 0; p < k; ++p) {
+      d00 += ai0[p] * ai0[p];
+      d10 += ai1[p] * ai0[p];
+      d11 += ai1[p] * ai1[p];
+    }
+    ci0[i] -= d00;
+    ci1[i] -= d10;
+    ci1[i + 1] -= d11;
+  }
+  if (i < n) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double* aj = a + j * lda;
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) sum += ai[p] * aj[p];
+      ci[j] -= sum;
+    }
+  }
+}
+
 void gemm_nt_minus(std::size_t m, std::size_t n, std::size_t k, const double* a,
                    std::size_t lda, const double* b, std::size_t ldb, double* c,
                    std::size_t ldc) {

@@ -24,6 +24,19 @@ void trsm_rlt(std::size_t m, std::size_t n, const double* l, std::size_t ldl,
 void syrk_ln(std::size_t n, std::size_t k, const double* a, std::size_t lda,
              double* c, std::size_t ldc);
 
+/// trsm_rlt restructured for SIMD: four B rows are solved together, so each
+/// L element loads once per quartet and the compiler vectorizes across the
+/// row accumulators. Divisions become one reciprocal-multiply per column —
+/// results may differ from trsm_rlt in the last ulps.
+void trsm_rlt_simd(std::size_t m, std::size_t n, const double* l, std::size_t ldl,
+                   double* b, std::size_t ldb);
+
+/// syrk_ln restructured for SIMD: two C rows update together sharing the
+/// streamed A row, and the k-loops are plain dot products the compiler
+/// vectorizes. Same contract as syrk_ln.
+void syrk_ln_simd(std::size_t n, std::size_t k, const double* a, std::size_t lda,
+                  double* c, std::size_t ldc);
+
 /// C := C - A·Bᵀ for tiles A (m x k), B (n x k), C (m x n)
 /// (the trailing update of off-diagonal tiles).
 void gemm_nt_minus(std::size_t m, std::size_t n, std::size_t k, const double* a,

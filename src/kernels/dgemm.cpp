@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "kernels/matrix.hpp"
 #include "util/thread_pool.hpp"
@@ -136,6 +137,48 @@ void dgemm_tiled(std::size_t m, std::size_t n, std::size_t k, const double* a,
                  const double* b, double* c, std::size_t block) {
   if (block == 0) block = kDefaultBlock;
   dgemm_tiled_rows(0, m, n, k, a, b, c, block);
+}
+
+void dgemm_batched_ref(std::size_t batch, std::size_t m, std::size_t n,
+                       std::size_t k, const double* a, const double* b,
+                       double* c) {
+  for (std::size_t e = 0; e < batch; ++e) {
+    dgemm_naive(m, n, k, a + e * m * k, b + e * k * n, c + e * m * n);
+  }
+}
+
+void dgemm_batched_small(std::size_t batch, std::size_t m, std::size_t n,
+                         std::size_t k, const double* a, const double* b,
+                         double* c) {
+  // Each element is assumed cache-resident, so the win over the reference
+  // is purely the loop order: i-k-j streams B rows and keeps the C row hot,
+  // and the j-loop (inside dgemm_tile) autovectorizes.
+  for (std::size_t e = 0; e < batch; ++e) {
+    dgemm_tile(0, m, 0, n, 0, k, n, k, a + e * m * k, b + e * k * n,
+               c + e * m * n);
+  }
+}
+
+void dgemm_mixed(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                 const double* b, double* c) {
+  // Demote the inputs once up front: the hot loops then move half the bytes
+  // of the double kernels while C still accumulates in double. Products are
+  // formed in float, so the per-element error grows linearly in k with a
+  // 2^-24 rounding constant (see the header's bound).
+  std::vector<float> af(m * k);
+  std::vector<float> bf(k * n);
+  for (std::size_t i = 0; i < m * k; ++i) af[i] = static_cast<float>(a[i]);
+  for (std::size_t i = 0; i < k * n; ++i) bf[i] = static_cast<float>(b[i]);
+  for (std::size_t i = 0; i < m; ++i) {
+    double* crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = af[i * k + p];
+      const float* brow = bf.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += static_cast<double>(aip * brow[j]);
+      }
+    }
+  }
 }
 
 void dgemm_parallel(std::size_t m, std::size_t n, std::size_t k, const double* a,

@@ -38,10 +38,43 @@ void dgemm_tiled(std::size_t m, std::size_t n, std::size_t k, const double* a,
 void dgemm_parallel(std::size_t m, std::size_t n, std::size_t k, const double* a,
                     const double* b, double* c, std::size_t threads = 0);
 
+/// Reference batched GEMM: `batch` independent C_e += A_e·B_e products on
+/// densely packed operands (A at e*m*k, B at e*k*n, C at e*m*n). The
+/// textbook loop per element — the correctness baseline for the optimized
+/// batched variant.
+void dgemm_batched_ref(std::size_t batch, std::size_t m, std::size_t n,
+                       std::size_t k, const double* a, const double* b,
+                       double* c);
+
+/// Batched small-GEMM: same contract as dgemm_batched_ref, tuned for
+/// elements small enough to live in cache (the many-tiny-products shape
+/// batched solvers and fringe sweeps produce). Per element it runs the
+/// i-k-j streaming order whose inner loop autovectorizes; no cache
+/// blocking — "small" means the whole element is the block.
+void dgemm_batched_small(std::size_t batch, std::size_t m, std::size_t n,
+                         std::size_t k, const double* a, const double* b,
+                         double* c);
+
+/// Mixed-precision C += A*B: inputs are demoted to float once (halving the
+/// memory traffic of the inner loops) while C accumulates in double. The
+/// result differs from the double kernels by at most about
+/// 3 * k * max|A| * max|B| * 2^-24 per element (input + product rounding);
+/// callers that need full double accuracy must not select this variant —
+/// it is registered under its own Idgemm_mixed interface for exactly that
+/// reason.
+void dgemm_mixed(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                 const double* b, double* c);
+
 /// FLOP count of one C += A*B (2*m*n*k).
 inline double dgemm_flops(std::size_t m, std::size_t n, std::size_t k) {
   return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
          static_cast<double>(k);
+}
+
+/// FLOP count of a batched GEMM (batch * 2*m*n*k).
+inline double dgemm_batched_flops(std::size_t batch, std::size_t m,
+                                  std::size_t n, std::size_t k) {
+  return static_cast<double>(batch) * dgemm_flops(m, n, k);
 }
 
 }  // namespace kernels

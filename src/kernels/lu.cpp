@@ -47,6 +47,36 @@ void trsm_run(std::size_t m, std::size_t n, const double* u, std::size_t ldu,
   }
 }
 
+void trsm_run_simd(std::size_t m, std::size_t n, const double* u, std::size_t ldu,
+                   double* b, std::size_t ldb) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    double* r0 = b + i * ldb;
+    double* r1 = r0 + ldb;
+    double* r2 = r1 + ldb;
+    double* r3 = r2 + ldb;
+    for (std::size_t j = 0; j < n; ++j) {
+      double v0 = r0[j];
+      double v1 = r1[j];
+      double v2 = r2[j];
+      double v3 = r3[j];
+      for (std::size_t k = 0; k < j; ++k) {
+        const double ukj = u[k * ldu + j];
+        v0 -= r0[k] * ukj;
+        v1 -= r1[k] * ukj;
+        v2 -= r2[k] * ukj;
+        v3 -= r3[k] * ukj;
+      }
+      const double inv = 1.0 / u[j * ldu + j];
+      r0[j] = v0 * inv;
+      r1[j] = v1 * inv;
+      r2[j] = v2 * inv;
+      r3[j] = v3 * inv;
+    }
+  }
+  if (i < m) trsm_run(m - i, n, u, ldu, b + i * ldb, ldb);
+}
+
 void gemm_nn_minus(std::size_t m, std::size_t n, std::size_t k, const double* a,
                    std::size_t lda, const double* b, std::size_t ldb, double* c,
                    std::size_t ldc) {

@@ -22,6 +22,13 @@ void trsm_lln_unit(std::size_t n, std::size_t m, const double* l, std::size_t ld
 void trsm_run(std::size_t m, std::size_t n, const double* u, std::size_t ldu,
               double* b, std::size_t ldb);
 
+/// trsm_run restructured for SIMD: four B rows solve together so each U
+/// element loads once per quartet and the compiler vectorizes across the
+/// four accumulator chains; divisions become one reciprocal-multiply per
+/// column (last-ulp differences vs trsm_run are possible).
+void trsm_run_simd(std::size_t m, std::size_t n, const double* u, std::size_t ldu,
+                   double* b, std::size_t ldb);
+
 /// C := C - A·B for tiles A (m x k), B (k x n), C (m x n).
 void gemm_nn_minus(std::size_t m, std::size_t n, std::size_t k, const double* a,
                    std::size_t lda, const double* b, std::size_t ldb, double* c,

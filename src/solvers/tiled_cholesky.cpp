@@ -51,8 +51,8 @@ pdl::util::Result<CholeskyStats> tiled_cholesky(starvm::Engine& engine, double* 
   const auto trsm_fn = [](const ExecContext& ctx) {
     const DataHandle& kk = ctx.handle(0);
     const DataHandle& ik = ctx.handle(1);
-    kernels::trsm_rlt(ik.rows(), kk.rows(), ctx.buffer(0), kk.ld(), ctx.buffer(1),
-                      ik.ld());
+    kernels::trsm_rlt_simd(ik.rows(), kk.rows(), ctx.buffer(0), kk.ld(),
+                           ctx.buffer(1), ik.ld());
   };
   trsm_cl.impls = {{DeviceKind::kCpu, trsm_fn}, {DeviceKind::kAccelerator, trsm_fn}};
   trsm_cl.flops = [](const std::vector<BufferView>& buffers) {
@@ -65,8 +65,8 @@ pdl::util::Result<CholeskyStats> tiled_cholesky(starvm::Engine& engine, double* 
   const auto syrk_fn = [](const ExecContext& ctx) {
     const DataHandle& ik = ctx.handle(0);
     const DataHandle& ii = ctx.handle(1);
-    kernels::syrk_ln(ii.rows(), ik.cols(), ctx.buffer(0), ik.ld(), ctx.buffer(1),
-                     ii.ld());
+    kernels::syrk_ln_simd(ii.rows(), ik.cols(), ctx.buffer(0), ik.ld(),
+                          ctx.buffer(1), ii.ld());
   };
   syrk_cl.impls = {{DeviceKind::kCpu, syrk_fn}, {DeviceKind::kAccelerator, syrk_fn}};
   syrk_cl.flops = [](const std::vector<BufferView>& buffers) {

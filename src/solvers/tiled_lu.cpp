@@ -64,7 +64,7 @@ pdl::util::Result<LuStats> tiled_lu(starvm::Engine& engine, double* a,
   const auto trsm_u_fn = [](const ExecContext& ctx) {
     const DataHandle& kk = ctx.handle(0);
     const DataHandle& ik = ctx.handle(1);
-    kernels::trsm_run(ik.rows(), kk.rows(), ctx.buffer(0), kk.ld(), ctx.buffer(1),
+    kernels::trsm_run_simd(ik.rows(), kk.rows(), ctx.buffer(0), kk.ld(), ctx.buffer(1),
                       ik.ld());
   };
   trsm_u_cl.impls = {{DeviceKind::kCpu, trsm_u_fn},

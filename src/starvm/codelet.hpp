@@ -6,6 +6,7 @@
 // task repository; applications can also build them directly.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <functional>
 #include <string>
@@ -64,6 +65,15 @@ struct Codelet {
   std::string name;
   std::vector<Implementation> impls;
   std::function<double(const std::vector<BufferView>&)> flops;
+
+  /// Calibration alias per device kind (indexed by DeviceKind): when
+  /// non-empty, observed execution times are *additionally* recorded into
+  /// the perf model under this name. Cascabel sets it to the selected
+  /// variant's name, so the persisted perf store accumulates per-variant
+  /// rates even though the engine-facing codelet is named per interface —
+  /// the key that lets static pre-selection compare variants by measured
+  /// rate on the next run. HEFT itself keeps using the codelet's own row.
+  std::array<std::string, 2> calibration_alias;
 
   bool supports(DeviceKind kind) const {
     for (const auto& impl : impls) {

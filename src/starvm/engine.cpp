@@ -16,6 +16,7 @@
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "starvm/perf_store.hpp"
 #include "starvm/trace_export.hpp"
 #include "util/stopwatch.hpp"
 
@@ -252,6 +253,29 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
     }
   }
 
+  // Persisted perf store: preload previously learned rates so HEFT
+  // estimates are warm from the very first task. A missing file is a clean
+  // cold start; a wrong-version, corrupt or descriptor-mismatched store is
+  // rejected (counted in perf_store_rejected) and the run proceeds from
+  // declared rates. Done before the workers spawn: preload races nothing.
+  perf_store_path_ = config_.perf_store_path.empty()
+                         ? perf_store::env_store_path()
+                         : config_.perf_store_path;
+  descriptor_hash_ = perf_store::descriptor_hash(config_.devices);
+  if (!perf_store_path_.empty()) {
+    perf_store::LoadResult loaded = perf_store::load(perf_store_path_);
+    if (loaded.status == perf_store::LoadStatus::kLoaded) {
+      if (loaded.store.descriptor_hash == descriptor_hash_) {
+        perf_store::preload(loaded.store, perf_model_);
+        perf_store_entries_ = loaded.store.entries.size();
+      } else {
+        ++perf_store_rejected_;  // stale store from a different platform
+      }
+    } else if (loaded.status != perf_store::LoadStatus::kMissing) {
+      ++perf_store_rejected_;
+    }
+  }
+
   if (hybrid()) {
     workers_.reserve(devices_.size());
     for (std::size_t i = 0; i < devices_.size(); ++i) {
@@ -318,6 +342,12 @@ Engine::~Engine() {
   stopping_.store(true);
   if (dispatch_) dispatch_->notify_all();
   for (auto& w : workers_) w.join();
+  // Workers are gone: the model is quiescent, snapshot and persist it.
+  if (!perf_store_path_.empty()) {
+    (void)perf_store::save(
+        perf_store::from_model(perf_model_, descriptor_hash_),
+        perf_store_path_);
+  }
 }
 
 // --- Data ----------------------------------------------------------------------
@@ -533,9 +563,34 @@ detail::TaskNode& Engine::wire_task_locked(TaskDesc&& desc, double flops) {
   task.label = desc.label.empty() ? desc.codelet->name : std::move(desc.label);
   task.priority = desc.priority;
   task.flops = flops;
-  auto [row_it, inserted] = model_rows_.try_emplace(task.codelet, nullptr);
-  if (inserted) row_it->second = &perf_model_.row(task.codelet->name);
-  task.model_row = row_it->second;
+  auto [row_it, inserted] = model_rows_.try_emplace(task.codelet);
+  if (inserted) {
+    ModelRows& rows = row_it->second;
+    rows.main = &perf_model_.row(task.codelet->name);
+    for (std::size_t k = 0; k < task.codelet->calibration_alias.size(); ++k) {
+      const std::string& alias = task.codelet->calibration_alias[k];
+      if (!alias.empty()) rows.alias[k] = &perf_model_.row(alias);
+    }
+    // Seed fresh cells from the declared rates: warm (store-preloaded) and
+    // cold starts then share one estimate path, and the first observation
+    // blends with the declared prior instead of slamming the estimate.
+    // Seeding with the device's own rate keeps pre-history estimates
+    // byte-identical to the analytic fallback. seed_in no-ops on cells
+    // that already have history, so preloaded entries are untouched.
+    const int seedable = static_cast<int>(
+        std::min<std::size_t>(devices_.size(),
+                              static_cast<std::size_t>(PerfModel::kMaxDevices)));
+    for (int d = 0; d < seedable; ++d) {
+      const double rate =
+          devices_[static_cast<std::size_t>(d)].spec.sustained_gflops;
+      if (PerfModel::seed_in(*rows.main, d, rate)) ++perf_model_seeds_;
+      for (PerfModel::Row* alias : rows.alias) {
+        if (alias != nullptr) (void)PerfModel::seed_in(*alias, d, rate);
+      }
+    }
+  }
+  task.model_row = row_it->second.main;
+  task.alias_rows = row_it->second.alias;
   if (first_submit_wall_.load(std::memory_order_relaxed) < 0.0) {
     first_submit_wall_.store(now_seconds(), std::memory_order_relaxed);
   }
@@ -947,7 +1002,15 @@ void Engine::finalize_task(detail::TaskNode& task, detail::DeviceState& device,
   device.transfer_seconds += transfer;
   ++device.tasks_run;
   device.consecutive_failures = 0;  // blacklisting counts *consecutive* only
-  PerfModel::observe_in(*task.model_row, device.id, exec);
+  PerfModel::observe_in(*task.model_row, device.id, exec, task.flops);
+  // Variant alias (Codelet::calibration_alias): record the same sample
+  // under the selected variant's name so the persisted store learns
+  // per-variant rates. Same single-writer-per-cell protocol — the cell's
+  // writer is this device's worker regardless of which codelet aliases it.
+  if (PerfModel::Row* alias =
+          task.alias_rows[static_cast<std::size_t>(device.spec.kind)]) {
+    PerfModel::observe_in(*alias, device.id, exec, task.flops);
+  }
   if (task.attempts > 1) {
     // Close the attempt chain: this task failed at least once before
     // succeeding. Cold path only — first-attempt successes never take
@@ -1734,7 +1797,11 @@ EngineStats Engine::stats() const {
   {
     std::lock_guard<std::mutex> lock(submit_mutex_);
     s.tasks_submitted = tasks_submitted_;
+    s.perf_model_seeds = perf_model_seeds_;
   }
+  // Immutable after construction; no lock needed.
+  s.perf_store_entries = perf_store_entries_;
+  s.perf_store_rejected = perf_store_rejected_;
   if (flight_) {
     s.flight_records = flight_->produced();
     s.flight_overwritten = flight_->overwritten();

@@ -29,6 +29,7 @@
 // the single coarse mutex_ for the discrete-event loop.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -344,9 +345,14 @@ class Engine {
   std::atomic<int> waiters_{0};
 
   detail::TaskArena tasks_;  ///< submit_mutex_
-  /// Codelet -> calibration row, resolved once per distinct codelet so the
-  /// per-task wiring path never takes the perf-model mutex.
-  std::unordered_map<const Codelet*, PerfModel::Row*> model_rows_;  ///< submit_mutex_
+  /// A codelet's resolved calibration rows: its own row plus the per-kind
+  /// variant alias rows (Codelet::calibration_alias), so the per-task
+  /// wiring path never takes the perf-model mutex.
+  struct ModelRows {
+    PerfModel::Row* main = nullptr;
+    std::array<PerfModel::Row*, 2> alias{};
+  };
+  std::unordered_map<const Codelet*, ModelRows> model_rows_;  ///< submit_mutex_
   detail::Arena<DataHandle> handles_;  ///< submit_mutex_
   TaskId next_task_id_ = 1;  ///< submit_mutex_
 
@@ -401,6 +407,16 @@ class Engine {
   /// Auto-dump prefix (config or $PDL_FLIGHT_DUMP); empty = no auto dump.
   std::string flight_dump_prefix_;
   std::uint64_t tasks_submitted_ = 0;  ///< submit_mutex_
+
+  /// Persisted perf store (docs/RUNTIME.md "Persisted performance models"):
+  /// resolved path (config or $PDL_PERF_STORE; empty = persistence off)
+  /// and the descriptor hash the store is keyed by. Loaded at construction,
+  /// written back (tmp + rename) at destruction after the workers joined.
+  std::string perf_store_path_;
+  std::uint64_t descriptor_hash_ = 0;
+  std::uint64_t perf_store_entries_ = 0;   ///< construction only
+  std::uint64_t perf_store_rejected_ = 0;  ///< construction only
+  std::uint64_t perf_model_seeds_ = 0;     ///< submit_mutex_
 
   /// Write the post-mortem dump if an auto-dump prefix is configured and no
   /// dump has happened yet. Must be called WITHOUT fault_mutex_ held (the

@@ -43,21 +43,62 @@ double PerfModel::estimate_in(const Row& row, int device, double flops,
     if (h.count.load(std::memory_order_acquire) > 0) {
       return h.ema_seconds.load(std::memory_order_relaxed);
     }
+    if (h.seeded.load(std::memory_order_acquire) != 0) {
+      return analytic_estimate(flops, h.ema_gflops.load(std::memory_order_relaxed));
+    }
   }
   return analytic_estimate(flops, device_gflops);
 }
 
-void PerfModel::observe_in(Row& row, int device, double seconds) {
+void PerfModel::observe_in(Row& row, int device, double seconds, double flops) {
   if (device < 0 || device >= kMaxDevices) return;
   DeviceHistory& h = row[static_cast<std::size_t>(device)];
   const std::uint64_t count = h.count.load(std::memory_order_relaxed);
-  const double ema =
-      count == 0 ? seconds
-                 : kEmaAlpha * seconds +
-                       (1.0 - kEmaAlpha) *
-                           h.ema_seconds.load(std::memory_order_relaxed);
+  const double prev_rate = h.ema_gflops.load(std::memory_order_relaxed);
+  const bool seeded =
+      count == 0 && h.seeded.load(std::memory_order_relaxed) != 0;
+  double ema;
+  if (count > 0) {
+    ema = kEmaAlpha * seconds +
+          (1.0 - kEmaAlpha) * h.ema_seconds.load(std::memory_order_relaxed);
+  } else if (seeded && flops > 0.0 && prev_rate > 0.0) {
+    // First real sample: blend with the declared-rate prior (expressed in
+    // seconds through this task's own FLOPs) rather than slamming the
+    // estimate from one measurement.
+    ema = kEmaAlpha * seconds + (1.0 - kEmaAlpha) * (flops / (prev_rate * 1e9));
+  } else {
+    ema = seconds;
+  }
+  if (flops > 0.0 && seconds > 0.0) {
+    const double rate = flops / (seconds * 1e9);
+    const bool have_prior = prev_rate > 0.0 && (count > 0 || seeded);
+    const double rate_ema =
+        have_prior ? kEmaAlpha * rate + (1.0 - kEmaAlpha) * prev_rate : rate;
+    h.ema_gflops.store(rate_ema, std::memory_order_relaxed);
+  }
   h.ema_seconds.store(ema, std::memory_order_relaxed);
   h.count.store(count + 1, std::memory_order_release);
+}
+
+bool PerfModel::seed_in(Row& row, int device, double gflops) {
+  if (device < 0 || device >= kMaxDevices || gflops <= 0.0) return false;
+  DeviceHistory& h = row[static_cast<std::size_t>(device)];
+  if (h.count.load(std::memory_order_relaxed) > 0 ||
+      h.seeded.load(std::memory_order_relaxed) != 0) {
+    return false;
+  }
+  h.ema_gflops.store(gflops, std::memory_order_relaxed);
+  h.seeded.store(1, std::memory_order_release);
+  return true;
+}
+
+std::optional<double> PerfModel::measured_gflops_in(const Row& row, int device) {
+  if (device < 0 || device >= kMaxDevices) return std::nullopt;
+  const DeviceHistory& h = row[static_cast<std::size_t>(device)];
+  if (h.count.load(std::memory_order_acquire) == 0) return std::nullopt;
+  const double rate = h.ema_gflops.load(std::memory_order_relaxed);
+  if (rate <= 0.0) return std::nullopt;
+  return rate;
 }
 
 double PerfModel::estimate(std::string_view codelet, int device, double flops,
@@ -137,6 +178,33 @@ bool PerfModel::load(const std::string& path) {
     h.count.store(count, std::memory_order_release);
   }
   return true;
+}
+
+std::vector<PerfModel::Sample> PerfModel::snapshot() const {
+  std::vector<Sample> samples;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [codelet, row] : history_) {
+    for (int device = 0; device < kMaxDevices; ++device) {
+      const DeviceHistory& h = (*row)[static_cast<std::size_t>(device)];
+      const std::uint64_t count = h.count.load(std::memory_order_acquire);
+      if (count == 0) continue;
+      samples.push_back(Sample{codelet, device,
+                               h.ema_seconds.load(std::memory_order_relaxed),
+                               count,
+                               h.ema_gflops.load(std::memory_order_relaxed)});
+    }
+  }
+  return samples;
+}
+
+void PerfModel::preload(std::string_view codelet, int device,
+                        double ema_seconds, std::uint64_t count,
+                        double ema_gflops) {
+  if (device < 0 || device >= kMaxDevices || count == 0) return;
+  DeviceHistory& h = row(codelet)[static_cast<std::size_t>(device)];
+  h.ema_seconds.store(ema_seconds, std::memory_order_relaxed);
+  h.ema_gflops.store(ema_gflops, std::memory_order_relaxed);
+  h.count.store(count, std::memory_order_release);
 }
 
 double transfer_seconds(std::size_t bytes, double bandwidth_gbs, double latency_us) {

@@ -48,6 +48,11 @@ struct TaskNode {
   /// Cached calibration row for `codelet` (set at wiring): lets workers and
   /// placement estimate/observe without the perf-model mutex or map lookup.
   PerfModel::Row* model_row = nullptr;
+  /// Per-device-kind variant calibration rows (Codelet::calibration_alias,
+  /// indexed by DeviceKind; null when no alias is set). Resolved at wiring
+  /// like model_row; finalize additionally records observations here so the
+  /// persisted perf store learns per-variant rates.
+  std::array<PerfModel::Row*, 2> alias_rows{};
 
   // --- dependency tracking ---
   std::atomic<TaskState> state{TaskState::kWaiting};

@@ -134,6 +134,16 @@ struct EngineStats {
   /// (every non-host node is created from a device); non-zero means a bug.
   std::uint64_t link_spec_misses = 0;
 
+  // --- persisted perf models (docs/RUNTIME.md) ---
+  /// Calibration cells preloaded from the perf store at construction.
+  std::uint64_t perf_store_entries = 0;
+  /// Stores refused at construction (version mismatch, corrupt file, or
+  /// descriptor-hash mismatch); the run fell back to declared rates.
+  std::uint64_t perf_store_rejected = 0;
+  /// (codelet, device) cells seeded from declared SUSTAINED_GFLOPS at task
+  /// wiring — the shared warm/cold code path for pre-history estimates.
+  std::uint64_t perf_model_seeds = 0;
+
   // --- fault tolerance ---
   std::uint64_t task_failures = 0;        ///< failed attempts (incl. timeouts)
   std::uint64_t retries = 0;              ///< attempts re-queued after failure

@@ -18,6 +18,11 @@
 //   --plan             schedule-aware capacity & interference analysis
 //                      (A5xx): simulate a HEFT schedule of the graph(s) on
 //                      each platform; text format also prints the plan
+//   --perf-store <file>
+//                      feed measured rates from a persisted perf store into
+//                      the --plan simulation; the store must carry the
+//                      platform's descriptor hash, otherwise declared rates
+//                      are used (with a warning)
 //   --explore          model-check the graph(s) with the starmc explorer
 //                      (A6xx): exhaustively run every reduced interleaving
 //                      of the deterministic engine and report invariant
@@ -34,6 +39,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +58,9 @@
 #include "cascabel/repository.hpp"
 #include "obs/env.hpp"
 #include "pdl/extension.hpp"
+#include "starvm/bridge.hpp"
+#include "starvm/perf_model.hpp"
+#include "starvm/perf_store.hpp"
 #include "pdl/parser.hpp"
 #include "pdl/validate.hpp"
 #include "util/string_util.hpp"
@@ -70,6 +79,8 @@ void usage(const char* argv0) {
                "  --graph <file>      analyze a task-graph fixture file\n"
                "  --plan              schedule-aware A5xx analysis (and plan "
                "summary)\n"
+               "  --perf-store <file> feed a persisted perf store's measured "
+               "rates into --plan\n"
                "  --explore           model-check the graph(s) with the starmc "
                "explorer (A6xx)\n"
                "  --explore-budget <n>  engine-execution budget for --explore\n"
@@ -130,6 +141,7 @@ int main(int argc, char** argv) {
   std::string format = "text";
   std::string program_path;
   std::string graph_path;
+  std::string perf_store_path;
   bool plan = false;
   bool explore = false;
   std::size_t explore_budget = 20000;
@@ -160,6 +172,10 @@ int main(int argc, char** argv) {
       graph_path = argv[++i];
     } else if (arg.rfind("--graph=", 0) == 0) {
       graph_path = arg.substr(std::strlen("--graph="));
+    } else if (arg == "--perf-store" && i + 1 < argc) {
+      perf_store_path = argv[++i];
+    } else if (arg.rfind("--perf-store=", 0) == 0) {
+      perf_store_path = arg.substr(std::strlen("--perf-store="));
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(std::strlen("--format="));
       if (format != "text" && format != "json" && format != "sarif") {
@@ -202,6 +218,51 @@ int main(int argc, char** argv) {
     analysis::analyze_platform(platform.value(), options, diags);
     platforms.push_back(std::move(platform).value());
     parsed_paths.push_back(path);
+  }
+
+  // --perf-store: measured rates for the A5xx schedule simulation. The
+  // store is bound to one platform by its descriptor hash; platforms whose
+  // hash differs fall back to declared rates (with a warning) rather than
+  // simulating with another machine's measurements.
+  std::vector<std::unique_ptr<starvm::PerfModel>> platform_models(platforms.size());
+  if (!perf_store_path.empty()) {
+    const starvm::perf_store::LoadResult loaded =
+        starvm::perf_store::load(perf_store_path);
+    switch (loaded.status) {
+      case starvm::perf_store::LoadStatus::kLoaded:
+        for (std::size_t p = 0; p < platforms.size(); ++p) {
+          auto config = starvm::engine_config_from_platform(platforms[p]);
+          if (!config.ok()) continue;
+          const std::uint64_t hash =
+              starvm::perf_store::descriptor_hash(config.value().devices);
+          if (hash != loaded.store.descriptor_hash) {
+            pdl::add_finding(diags, pdl::Severity::kWarning, {},
+                             "perf store '" + perf_store_path +
+                                 "' was learned on a different platform than '" +
+                                 parsed_paths[p] +
+                                 "' (descriptor hash mismatch); using declared "
+                                 "rates",
+                             pdl::SourceLoc{perf_store_path, 1, 1});
+            continue;
+          }
+          platform_models[p] = std::make_unique<starvm::PerfModel>();
+          starvm::perf_store::preload(loaded.store, *platform_models[p]);
+        }
+        break;
+      case starvm::perf_store::LoadStatus::kMissing:
+        pdl::add_finding(diags, pdl::Severity::kWarning, {},
+                         "perf store '" + perf_store_path + "' not found",
+                         pdl::SourceLoc{perf_store_path, 1, 1});
+        break;
+      case starvm::perf_store::LoadStatus::kBadVersion:
+      case starvm::perf_store::LoadStatus::kCorrupt:
+        pdl::add_finding(diags, pdl::Severity::kWarning, {},
+                         "perf store '" + perf_store_path +
+                             "' rejected (unsupported version or corrupt); "
+                             "using declared rates",
+                         pdl::SourceLoc{perf_store_path, 1, 1});
+        break;
+    }
   }
 
   // Graphs to run the A4xx (and, with --plan, A5xx) analyses over, paired
@@ -254,8 +315,8 @@ int main(int argc, char** argv) {
     }
     if (!plan) continue;
     for (std::size_t p = 0; p < platforms.size(); ++p) {
-      const analysis::SchedulePlan schedule =
-          analysis::analyze_schedule(graph, platforms[p], options, diags);
+      const analysis::SchedulePlan schedule = analysis::analyze_schedule(
+          graph, platforms[p], options, diags, platform_models[p].get());
       plan_text += "== " + label + " on " + parsed_paths[p] + " ==\n";
       plan_text += analysis::render_plan_text(schedule, graph);
     }

@@ -10,6 +10,11 @@
 //                                            print the measured critical
 //                                            path + rate drift, and diff it
 //                                            against the modeled schedule
+//   pdltool perf dump <store>                print a persisted perf store
+//   pdltool perf check <store> <platform.xml>
+//                                            verify the store belongs to the
+//                                            platform (descriptor hash)
+//   pdltool perf clear <store>               delete a persisted perf store
 //   pdltool query <platform.xml> <what>      what: summary | groups |
 //                                            workers | interconnects
 //   pdltool match <platform.xml> <pattern>   compact-syntax pattern match
@@ -25,6 +30,9 @@
 
 #include "analysis/analyzer.hpp"
 #include "analysis/capacity.hpp"
+#include "starvm/bridge.hpp"
+#include "starvm/perf_model.hpp"
+#include "starvm/perf_store.hpp"
 #include "analysis/graph_io.hpp"
 #include "analysis/profile.hpp"
 #include "analysis/report.hpp"
@@ -51,6 +59,7 @@ void usage(const char* argv0) {
                "  %s lint <platform.xml>\n"
                "  %s plan <platform.xml> <graph-file>\n"
                "  %s profile <platform.xml> <graph-file>\n"
+               "  %s perf dump|check|clear <store> [platform.xml]\n"
                "  %s query <platform.xml> summary|groups|workers|interconnects\n"
                "  %s match <platform.xml> <compact-pattern>\n"
                "  %s discover [--gpus]\n"
@@ -59,9 +68,11 @@ void usage(const char* argv0) {
                "  %s diff <old.xml> <new.xml>\n"
                "  %s path <platform.xml> <fromPu> <toPu> [bytes]\n"
                "options: --metrics-out <file>   write an obs metrics snapshot"
-               " (also: PDL_METRICS)\n",
+               " (also: PDL_METRICS)\n"
+               "         --perf-store <file>    feed measured rates into plan/"
+               "profile (also: PDL_PERF_STORE)\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0, argv0);
+               argv0, argv0, argv0);
 }
 
 int load(const char* path, pdl::Platform& out) {
@@ -107,10 +118,46 @@ int cmd_lint(const char* path) {
   return analysis::exit_code(diags, /*werror=*/false);
 }
 
+/// Load a perf store for a platform: returns true and fills `store` only
+/// when the file loads cleanly AND its descriptor hash matches the
+/// platform's bridge-derived device list. Every rejection is explained on
+/// stderr; the caller falls back to declared rates.
+bool load_store_for_platform(const std::string& store_path,
+                             const pdl::Platform& platform,
+                             starvm::perf_store::Store& store) {
+  if (store_path.empty()) return false;
+  const starvm::perf_store::LoadResult loaded = starvm::perf_store::load(store_path);
+  if (loaded.status == starvm::perf_store::LoadStatus::kMissing) {
+    std::fprintf(stderr, "pdltool: perf store '%s' not found\n", store_path.c_str());
+    return false;
+  }
+  if (loaded.status != starvm::perf_store::LoadStatus::kLoaded) {
+    std::fprintf(stderr,
+                 "pdltool: perf store '%s' rejected (unsupported version or "
+                 "corrupt); using declared rates\n",
+                 store_path.c_str());
+    return false;
+  }
+  auto config = starvm::engine_config_from_platform(platform);
+  if (!config.ok()) return false;
+  if (starvm::perf_store::descriptor_hash(config.value().devices) !=
+      loaded.store.descriptor_hash) {
+    std::fprintf(stderr,
+                 "pdltool: perf store '%s' was learned on a different platform "
+                 "(descriptor hash mismatch); using declared rates\n",
+                 store_path.c_str());
+    return false;
+  }
+  store = loaded.store;
+  return true;
+}
+
 /// Schedule-aware analysis of a task-graph fixture against a platform:
 /// prints the modeled plan (makespan, loads, peaks) and the A5xx findings,
-/// with pdlcheck's exit-code contract.
-int cmd_plan(const char* platform_path, const char* graph_path) {
+/// with pdlcheck's exit-code contract. A matching perf store swaps the
+/// simulator's analytic estimates for learned rates.
+int cmd_plan(const char* platform_path, const char* graph_path,
+             const std::string& store_path) {
   pdl::Platform platform;
   if (load(platform_path, platform) != 0) return 1;
   auto graph = analysis::load_graph_file(graph_path);
@@ -118,11 +165,18 @@ int cmd_plan(const char* platform_path, const char* graph_path) {
     std::fprintf(stderr, "pdltool: %s\n", graph.error().str().c_str());
     return 1;
   }
+  starvm::perf_store::Store store;
+  starvm::PerfModel model;
+  const starvm::PerfModel* model_ptr = nullptr;
+  if (load_store_for_platform(store_path, platform, store)) {
+    starvm::perf_store::preload(store, model);
+    model_ptr = &model;
+  }
   const analysis::AnalysisOptions options;
   pdl::Diagnostics diags;
   analysis::analyze_task_graph(graph.value(), options, diags);
-  const analysis::SchedulePlan plan =
-      analysis::analyze_schedule(graph.value(), platform, options, diags);
+  const analysis::SchedulePlan plan = analysis::analyze_schedule(
+      graph.value(), platform, options, diags, model_ptr);
   pdl::normalize(diags);
   std::printf("%s", analysis::render_plan_text(plan, graph.value()).c_str());
   std::printf("%s", analysis::render_text(diags).c_str());
@@ -133,7 +187,8 @@ int cmd_plan(const char* platform_path, const char* graph_path) {
 /// on a pure-sim engine built from the platform (flight recorder on), then
 /// print the measured critical path, the per-(task, device) rate drift and
 /// the diff against the A5xx modeled schedule.
-int cmd_profile(const char* platform_path, const char* graph_path) {
+int cmd_profile(const char* platform_path, const char* graph_path,
+                const std::string& store_path) {
   pdl::Platform platform;
   if (load(platform_path, platform) != 0) return 1;
   auto graph = analysis::load_graph_file(graph_path);
@@ -146,7 +201,13 @@ int cmd_profile(const char* platform_path, const char* graph_path) {
     std::fprintf(stderr, "pdltool: %s\n", stats.error().str().c_str());
     return 1;
   }
-  const analysis::RunProfile profile = analysis::profile_run(stats.value());
+  analysis::RunProfile profile = analysis::profile_run(stats.value());
+  starvm::perf_store::Store store;
+  if (load_store_for_platform(store_path, platform, store)) {
+    // Third drift column: measured vs the store's learned rate, flagging
+    // decayed entries.
+    analysis::apply_store_rates(profile, store);
+  }
   const analysis::SchedulePlan plan =
       analysis::simulate_schedule(graph.value(), platform);
   std::printf("%s", analysis::render_profile_text(profile).c_str());
@@ -158,6 +219,85 @@ int cmd_profile(const char* platform_path, const char* graph_path) {
     std::fprintf(stderr, "pdltool: %s\n", error.c_str());
   }
   return stats.value().failed_tasks == 0 ? 0 : 1;
+}
+
+/// Inspect / verify / delete a persisted perf store.
+int cmd_perf(const std::string& action, const char* store_path,
+             const char* platform_path) {
+  if (action == "clear") {
+    const starvm::perf_store::LoadResult probe = starvm::perf_store::load(store_path);
+    if (probe.status == starvm::perf_store::LoadStatus::kMissing) {
+      std::printf("perf store '%s' already absent\n", store_path);
+      return 0;
+    }
+    if (std::remove(store_path) != 0) {
+      std::fprintf(stderr, "pdltool: cannot remove '%s'\n", store_path);
+      return 1;
+    }
+    std::printf("perf store '%s' cleared\n", store_path);
+    return 0;
+  }
+
+  const starvm::perf_store::LoadResult loaded = starvm::perf_store::load(store_path);
+  switch (loaded.status) {
+    case starvm::perf_store::LoadStatus::kMissing:
+      std::fprintf(stderr, "pdltool: perf store '%s' not found\n", store_path);
+      return 1;
+    case starvm::perf_store::LoadStatus::kBadVersion:
+      std::fprintf(stderr, "pdltool: perf store '%s' has an unsupported version\n",
+                   store_path);
+      return 1;
+    case starvm::perf_store::LoadStatus::kCorrupt:
+      std::fprintf(stderr, "pdltool: perf store '%s' is corrupt\n", store_path);
+      return 1;
+    case starvm::perf_store::LoadStatus::kLoaded:
+      break;
+  }
+
+  if (action == "dump") {
+    std::printf("perf store '%s': platform %016llx, %zu entr%s\n", store_path,
+                static_cast<unsigned long long>(loaded.store.descriptor_hash),
+                loaded.store.entries.size(),
+                loaded.store.entries.size() == 1 ? "y" : "ies");
+    for (const starvm::perf_store::Entry& e : loaded.store.entries) {
+      std::printf("  %s @ device %d: ema %.3g s over %llu sample(s)",
+                  e.codelet.c_str(), e.device,
+                  e.ema_seconds, static_cast<unsigned long long>(e.count));
+      if (e.ema_gflops > 0.0) std::printf(", %.2f GFLOPS", e.ema_gflops);
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  if (action == "check") {
+    if (platform_path == nullptr) {
+      std::fprintf(stderr, "pdltool: perf check needs a platform.xml\n");
+      return 2;
+    }
+    pdl::Platform platform;
+    if (load(platform_path, platform) != 0) return 1;
+    auto config = starvm::engine_config_from_platform(platform);
+    if (!config.ok()) {
+      std::fprintf(stderr, "pdltool: %s\n", config.error().str().c_str());
+      return 1;
+    }
+    const std::uint64_t hash =
+        starvm::perf_store::descriptor_hash(config.value().devices);
+    if (hash == loaded.store.descriptor_hash) {
+      std::printf("MATCH: store '%s' belongs to platform '%s' (%016llx)\n",
+                  store_path, platform.name().c_str(),
+                  static_cast<unsigned long long>(hash));
+      return 0;
+    }
+    std::printf("MISMATCH: store hash %016llx, platform hash %016llx\n",
+                static_cast<unsigned long long>(loaded.store.descriptor_hash),
+                static_cast<unsigned long long>(hash));
+    return 1;
+  }
+
+  std::fprintf(stderr, "pdltool: unknown perf action '%s' (dump|check|clear)\n",
+               action.c_str());
+  return 2;
 }
 
 int cmd_query(const char* path, const std::string& what) {
@@ -241,6 +381,9 @@ int main(int raw_argc, char** raw_argv) {
   // command line, "--metrics-out f" or "--metrics-out=f") overrides it.
   obs::init_from_env();
   std::string metrics_path = obs::env_metrics_path();
+  // PDL_PERF_STORE provides the default; --perf-store overrides it (used by
+  // the plan and profile subcommands).
+  std::string perf_store_path = starvm::perf_store::env_store_path();
   std::vector<char*> args;
   for (int i = 0; i < raw_argc; ++i) {
     std::string flag = raw_argv[i];
@@ -250,6 +393,14 @@ int main(int raw_argc, char** raw_argv) {
     }
     if (flag.rfind("--metrics-out=", 0) == 0) {
       metrics_path = flag.substr(std::strlen("--metrics-out="));
+      continue;
+    }
+    if (flag == "--perf-store" && i + 1 < raw_argc) {
+      perf_store_path = raw_argv[++i];
+      continue;
+    }
+    if (flag.rfind("--perf-store=", 0) == 0) {
+      perf_store_path = flag.substr(std::strlen("--perf-store="));
       continue;
     }
     args.push_back(raw_argv[i]);
@@ -274,8 +425,13 @@ int main(int raw_argc, char** raw_argv) {
   const std::string cmd = argv[1];
   if (cmd == "validate" && argc == 3) return cmd_validate(argv[2]);
   if (cmd == "lint" && argc == 3) return cmd_lint(argv[2]);
-  if (cmd == "plan" && argc == 4) return cmd_plan(argv[2], argv[3]);
-  if (cmd == "profile" && argc == 4) return cmd_profile(argv[2], argv[3]);
+  if (cmd == "plan" && argc == 4) return cmd_plan(argv[2], argv[3], perf_store_path);
+  if (cmd == "profile" && argc == 4) {
+    return cmd_profile(argv[2], argv[3], perf_store_path);
+  }
+  if (cmd == "perf" && (argc == 4 || argc == 5)) {
+    return cmd_perf(argv[2], argv[3], argc == 5 ? argv[4] : nullptr);
+  }
   if (cmd == "query" && argc == 4) return cmd_query(argv[2], argv[3]);
   if (cmd == "match" && argc == 4) return cmd_match(argv[2], argv[3]);
   if (cmd == "discover") {

@@ -114,6 +114,26 @@ TEST(Profile, DriftAggregatesInstancesPerCodeletAndDevice) {
   EXPECT_NE(text.find("gemm @ cpu0"), std::string::npos);
 }
 
+TEST(Profile, StoreRatesAnnotateMatchingDriftRows) {
+  RunProfile profile = profile_run(sample_stats());
+  starvm::perf_store::Store store;
+  store.descriptor_hash = 1;
+  // Matches the "gemm @ device 0" row only; "gemm @ device 1" and
+  // "reduce" have no learned cell and must stay unannotated.
+  store.entries = {{"gemm", 0, 1e-3, 6, 5.0}};
+  apply_store_rates(profile, store);
+
+  ASSERT_EQ(profile.drift.size(), 3u);
+  EXPECT_NEAR(profile.drift[0].store_gflops, 5.0, 1e-12);
+  EXPECT_NEAR(profile.drift[0].store_drift_ratio,
+              profile.drift[0].measured_gflops / 5.0, 1e-9);
+  EXPECT_EQ(profile.drift[1].store_gflops, 0.0);
+  EXPECT_EQ(profile.drift[2].store_gflops, 0.0);
+
+  const std::string text = render_profile_text(profile);
+  EXPECT_NE(text.find("store 5.00 GFLOPS"), std::string::npos);
+}
+
 TEST(Profile, DiffAlignsModeledAndMeasuredByBaseName) {
   starvm::TaskGraph graph;
   const int a = graph.add_buffer("A", 1024, {});

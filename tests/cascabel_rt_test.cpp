@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "cascabel/builtin_variants.hpp"
@@ -8,6 +11,8 @@
 #include "kernels/dgemm.hpp"
 #include "kernels/matrix.hpp"
 #include "pdl/serializer.hpp"
+#include "starvm/bridge.hpp"
+#include "starvm/perf_store.hpp"
 
 namespace cascabel::rt {
 namespace {
@@ -143,6 +148,128 @@ TEST(Context, MostSpecificUsableVariantWins) {
   EXPECT_TRUE(ctx.wait().ok());
   EXPECT_EQ(tuned_runs.load(), 1);
   EXPECT_EQ(generic_runs.load(), 0);
+}
+
+TEST(Context, WarmPerfStoreFlipsVariantSelection) {
+  // Declared ranking prefers the non-fallback smp variant; a warm store
+  // holding trustworthy measurements that say the fallback variant is
+  // faster must flip the choice (the autotuning loop's pay-off).
+  const pdl::Platform platform = paper_platform_starpu_cpu();
+  auto engine_config = starvm::engine_config_from_platform(platform);
+  ASSERT_TRUE(engine_config.ok());
+  const std::uint64_t hash =
+      starvm::perf_store::descriptor_hash(engine_config.value().devices);
+
+  std::atomic<int> slow_runs{0}, fast_runs{0};
+  const auto make_repo = [&]() {
+    TaskRepository repo = TaskRepository::with_defaults();
+    TaskVariant slow;
+    slow.pragma.task_interface = "Ibench";
+    slow.pragma.variant_name = "bench_slow";
+    slow.pragma.target_platforms = {"smp"};
+    repo.add_variant(slow);
+    repo.bind(BoundImpl{"bench_slow", starvm::DeviceKind::kCpu,
+                        [&](const starvm::ExecContext&) { ++slow_runs; }, nullptr});
+    TaskVariant fast;
+    fast.pragma.task_interface = "Ibench";
+    fast.pragma.variant_name = "bench_fast";
+    fast.pragma.target_platforms = {"x86"};
+    repo.add_variant(fast);
+    repo.bind(BoundImpl{"bench_fast", starvm::DeviceKind::kCpu,
+                        [&](const starvm::ExecContext&) { ++fast_runs; }, nullptr});
+    return repo;
+  };
+  std::vector<double> data(8, 0.0);
+  const auto run_once = [&](const Options& options) {
+    Context ctx(platform, make_repo(), options);
+    EXPECT_TRUE(ctx.execute("Ibench", "",
+                            {arg(data.data(), 8, AccessMode::kRead,
+                                 DistributionKind::kNone)})
+                    .ok());
+    EXPECT_TRUE(ctx.wait().ok());
+    bool flip_logged = false;
+    for (const auto& d : ctx.diagnostics()) {
+      if (d.str().find("measured-fastest") != std::string::npos) {
+        flip_logged = true;
+      }
+    }
+    return flip_logged;
+  };
+
+  // Cold: declared ranking wins, nothing to flip.
+  EXPECT_FALSE(run_once(Options{}));
+  EXPECT_GT(slow_runs.load(), 0);
+  EXPECT_EQ(fast_runs.load(), 0);
+
+  // Warm: the store says bench_fast measured 10x faster.
+  const std::string path =
+      std::string(::testing::TempDir()) + "rt_flip.perfstore";
+  starvm::perf_store::Store store;
+  store.descriptor_hash = hash;
+  store.entries = {{"bench_slow", 0, 1e-3, 5, 5.0},
+                   {"bench_fast", 0, 1e-4, 5, 50.0}};
+  ASSERT_TRUE(starvm::perf_store::save(store, path));
+  slow_runs = 0;
+  fast_runs = 0;
+  Options warm;
+  warm.perf_store_path = path;
+  EXPECT_TRUE(run_once(warm));  // the flip lands in the decision log
+  EXPECT_EQ(slow_runs.load(), 0);
+  EXPECT_GT(fast_runs.load(), 0);
+
+  // Below the sample threshold the measurement stays advisory-only.
+  store.entries = {{"bench_slow", 0, 1e-3, 1, 5.0},
+                   {"bench_fast", 0, 1e-4, 1, 50.0}};
+  ASSERT_TRUE(starvm::perf_store::save(store, path));
+  slow_runs = 0;
+  fast_runs = 0;
+  EXPECT_FALSE(run_once(warm));
+  EXPECT_GT(slow_runs.load(), 0);
+  EXPECT_EQ(fast_runs.load(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Context, CalibrationAliasPersistsVariantKeyedRates) {
+  // The engine observes each task under the chosen variant's name too, so
+  // the persisted store carries rates the *selector* can compare across
+  // variants — not just the opaque iface@group rows HEFT uses.
+  const std::string path =
+      std::string(::testing::TempDir()) + "rt_alias.perfstore";
+  std::remove(path.c_str());
+  Options options;
+  options.perf_store_path = path;
+  {
+    Context ctx(paper_platform_starpu_cpu(), builtin_repo(), options);
+    const std::size_t n = 64;
+    kernels::Matrix a(n, n), b(n, n), c(n, n);
+    a.fill_random(1);
+    b.fill_random(2);
+    ASSERT_TRUE(ctx.execute("Idgemm", "all",
+                            {arg_matrix(c.data(), n, n, AccessMode::kReadWrite,
+                                        DistributionKind::kBlock),
+                             arg_matrix(a.data(), n, n, AccessMode::kRead,
+                                        DistributionKind::kBlock),
+                             arg_matrix(b.data(), n, n, AccessMode::kRead,
+                                        DistributionKind::kNone)})
+                    .ok());
+    EXPECT_TRUE(ctx.wait().ok());
+  }  // engine shutdown persists the store
+
+  const starvm::perf_store::LoadResult loaded = starvm::perf_store::load(path);
+  ASSERT_EQ(loaded.status, starvm::perf_store::LoadStatus::kLoaded)
+      << loaded.detail;
+  bool has_row_key = false;
+  bool has_variant_key = false;
+  for (const starvm::perf_store::Entry& e : loaded.store.entries) {
+    if (e.codelet.rfind("Idgemm@", 0) == 0) has_row_key = true;
+    if (e.codelet == "dgemm_smp" || e.codelet == "dgemm_tiled" ||
+        e.codelet == "dgemm_seq") {
+      has_variant_key = true;
+    }
+  }
+  EXPECT_TRUE(has_row_key);
+  EXPECT_TRUE(has_variant_key);
+  std::remove(path.c_str());
 }
 
 TEST(Context, UnknownInterfaceFails) {

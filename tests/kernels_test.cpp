@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "kernels/dgemm.hpp"
 #include "kernels/matrix.hpp"
@@ -136,6 +138,63 @@ TEST(Dgemm, ZeroSizedProblemsAreNoops) {
   dgemm_naive(0, 0, 0, a.data(), b.data(), c.data());
   dgemm_blocked(0, 0, 0, a.data(), b.data(), c.data());
   dgemm_parallel(0, 0, 0, a.data(), b.data(), c.data(), 2);
+}
+
+TEST(DgemmBatched, SmallMatchesReferenceAcrossFringeShapes) {
+  // Sweep element shapes around the i-k-j kernel's vector widths, including
+  // degenerate 1-wide elements and batch sizes 1..5.
+  for (std::size_t batch = 1; batch <= 5; ++batch) {
+    for (std::size_t t = 1; t <= 9; t += 2) {
+      const std::size_t m = t, n = t + 1, k = t;
+      std::vector<double> a(batch * m * k), b(batch * k * n);
+      std::vector<double> c_ref(batch * m * n, 0.5), c_opt(batch * m * n, 0.5);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = std::sin(static_cast<double>(i + batch));
+      }
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        b[i] = std::cos(static_cast<double>(i) * 0.7);
+      }
+      dgemm_batched_ref(batch, m, n, k, a.data(), b.data(), c_ref.data());
+      dgemm_batched_small(batch, m, n, k, a.data(), b.data(), c_opt.data());
+      ASSERT_LT(max_abs_diff(c_ref.data(), c_opt.data(), c_ref.size()), 1e-12)
+          << "batch=" << batch << " t=" << t;
+    }
+  }
+}
+
+TEST(DgemmBatched, ZeroBatchAndZeroSizeAreNoops) {
+  double sentinel = 42.0;
+  dgemm_batched_small(0, 4, 4, 4, nullptr, nullptr, &sentinel);
+  dgemm_batched_small(3, 0, 0, 0, nullptr, nullptr, &sentinel);
+  EXPECT_DOUBLE_EQ(sentinel, 42.0);
+}
+
+TEST(DgemmBatched, FlopCount) {
+  EXPECT_DOUBLE_EQ(dgemm_batched_flops(10, 4, 4, 4), 10.0 * 2 * 4 * 4 * 4);
+}
+
+TEST(DgemmMixed, ErrorStaysWithinTheDocumentedBound) {
+  const std::size_t m = 24, n = 17, k = 96;
+  Matrix a(m, k), b(k, n), c_ref(m, n), c_mix(m, n);
+  a.fill_random(7);
+  b.fill_random(8);
+  c_ref.fill(1.0);
+  c_mix.fill(1.0);
+  dgemm_naive(m, n, k, a.data(), b.data(), c_ref.data());
+  dgemm_mixed(m, n, k, a.data(), b.data(), c_mix.data());
+
+  double max_a = 0.0, max_b = 0.0;
+  for (std::size_t i = 0; i < m * k; ++i) max_a = std::max(max_a, std::abs(a.data()[i]));
+  for (std::size_t i = 0; i < k * n; ++i) max_b = std::max(max_b, std::abs(b.data()[i]));
+  // Header bound: ~3 * k * max|A| * max|B| * 2^-24 per element (input
+  // demotion of both operands + float product rounding, k accumulations).
+  const double bound = 3.0 * static_cast<double>(k) * max_a * max_b *
+                       std::ldexp(1.0, -24);
+  const double err = max_abs_diff(c_ref.data(), c_mix.data(), m * n);
+  EXPECT_LT(err, bound);
+  // And the kernel must not silently be full double precision either —
+  // it demotes inputs, so *some* rounding is expected on random data.
+  EXPECT_GT(err, 0.0);
 }
 
 TEST(VectorOps, VectorAddMatchesPaperSemantics) {

@@ -75,6 +75,31 @@ TEST(LuKernels, TrsmRightUpperSolves) {
   EXPECT_LT(kernels::max_abs_diff(b.data(), x.data(), m * n), 1e-9);
 }
 
+TEST(LuKernels, TrsmRightUpperSimdMatchesScalarAcrossFringeShapes) {
+  // m sweeps across the 4-row quartet boundary (fringe of 0..3 rows).
+  for (std::size_t m = 1; m <= 11; ++m) {
+    for (std::size_t n : {1u, 4u, 7u}) {
+      kernels::Matrix u(n, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+          u.at(i, j) = (i == j) ? 2.0 + static_cast<double>(i) : 0.3;
+        }
+      }
+      kernels::Matrix b_ref(m, n), b_simd(m, n);
+      b_ref.fill_random(static_cast<unsigned>(m * 8 + n));
+      b_simd = b_ref;
+      kernels::trsm_run(m, n, u.data(), n, b_ref.data(), n);
+      kernels::trsm_run_simd(m, n, u.data(), n, b_simd.data(), n);
+      for (std::size_t i = 0; i < m * n; ++i) {
+        // Reciprocal-multiply vs division: last-ulp differences allowed.
+        ASSERT_NEAR(b_ref.data()[i], b_simd.data()[i],
+                    1e-12 * std::max(1.0, std::abs(b_ref.data()[i])))
+            << "m=" << m << " n=" << n;
+      }
+    }
+  }
+}
+
 TEST(LuKernels, GemmNnSubtracts) {
   const std::size_t m = 3, n = 4, k = 2;
   kernels::Matrix a(m, k), b(k, n), c(m, n);

@@ -27,6 +27,51 @@ kernels::Matrix spd_matrix(std::size_t n, unsigned seed) {
 
 // --- tile kernels -------------------------------------------------------------
 
+TEST(CholeskyKernels, TrsmSimdMatchesScalarAcrossFringeShapes) {
+  // Sweep m around the 4-row quartet (fringe rows 0..3) and odd n.
+  for (std::size_t m = 1; m <= 11; ++m) {
+    for (std::size_t n : {1u, 3u, 5u, 8u}) {
+      kernels::Matrix a = spd_matrix(n, static_cast<unsigned>(m * 16 + n));
+      ASSERT_TRUE(kernels::potrf(n, a.data(), n));
+      kernels::Matrix b_ref(m, n), b_simd(m, n);
+      b_ref.fill_random(static_cast<unsigned>(m + n));
+      b_simd = b_ref;
+      kernels::trsm_rlt(m, n, a.data(), n, b_ref.data(), n);
+      kernels::trsm_rlt_simd(m, n, a.data(), n, b_simd.data(), n);
+      for (std::size_t i = 0; i < m * n; ++i) {
+        // Reciprocal-multiply vs division: last-ulp differences allowed.
+        ASSERT_NEAR(b_ref.data()[i], b_simd.data()[i],
+                    1e-12 * std::max(1.0, std::abs(b_ref.data()[i])))
+            << "m=" << m << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(CholeskyKernels, SyrkSimdMatchesScalarAcrossFringeShapes) {
+  // Odd n exercises the single-row fringe below the 2-row pairs.
+  for (std::size_t n = 1; n <= 9; ++n) {
+    for (std::size_t k : {1u, 2u, 7u}) {
+      kernels::Matrix a(n, k), c_ref(n, n), c_simd(n, n);
+      a.fill_random(static_cast<unsigned>(n * 8 + k));
+      c_ref.fill_random(static_cast<unsigned>(k + 1));
+      c_simd = c_ref;
+      kernels::syrk_ln(n, k, a.data(), k, c_ref.data(), n);
+      kernels::syrk_ln_simd(n, k, a.data(), k, c_simd.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+          ASSERT_NEAR(c_ref.at(i, j), c_simd.at(i, j), 1e-12)
+              << "n=" << n << " k=" << k;
+        }
+        for (std::size_t j = i + 1; j < n; ++j) {
+          // Upper triangle untouched by both kernels.
+          ASSERT_DOUBLE_EQ(c_ref.at(i, j), c_simd.at(i, j));
+        }
+      }
+    }
+  }
+}
+
 TEST(CholeskyKernels, PotrfMatchesDefinition) {
   const std::size_t n = 16;
   kernels::Matrix a = spd_matrix(n, 1);
