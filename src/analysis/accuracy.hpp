@@ -1,0 +1,61 @@
+// Layer (e) of the cross-layer analyzer: static numerical-accuracy rules
+// (A7xx) — a forward error-bound dataflow analysis over the task graph.
+//
+// Every task carries a declared error model (starvm::ErrorModel, attached
+// via graph `model=`/`coeff=`/`eps=` options or Codelet/TaskVariant
+// metadata) claiming that one execution adds at most
+//
+//     coefficient * depth * (product of input magnitudes) * epsilon
+//
+// of absolute error per output element. Buffers carry declared magnitude
+// ranges (`range`, the maximum |value| fed in) and tolerances
+// (`tolerance`, the maximum acceptable error of the final contents). The
+// analysis walks tasks in submission order — a topological order of the
+// RAW edges Engine::submit would infer — propagating, per buffer, a
+// worst-case absolute error bound E and a magnitude bound R under
+// multiply-accumulate semantics: a task with pure-read inputs r1..rn and
+// accumulation depth d contributes
+//
+//     R_out += d * prod_i R_ri                      (magnitude growth)
+//     E_out += d * sum_i (E_ri * prod_{j!=i} R_rj)  (amplified input error)
+//              + coefficient * d * prod_i R_ri * epsilon   (own rounding)
+//
+// to each written buffer (write replaces the running bounds, rw adds to
+// them). For the mixed-precision DGEMM (coefficient 3, epsilon 2^-24,
+// d = k) this reproduces the kernel's documented closed-form bound
+// 3·k·max|A|·max|B|·2^-24 exactly.
+//
+//   A701  propagated bound of a tolerance-carrying buffer exceeds the
+//         declared tolerance (error)
+//   A702  task with no declared error model writes a tolerance-carrying
+//         buffer — the bound cannot be established (warning)
+//   A703  accumulation-depth blow-up: a RAW chain of >= 4 rounding tasks
+//         whose compound bound exceeds 8x its largest single step; the
+//         chain is reported as the finding's logical location so SARIF
+//         viewers can render the path (warning)
+//   A704  tolerance declared but no input range reaches the buffer, so
+//         the propagated bound is vacuous (info)
+//
+// docs/ANALYSIS.md has the worked mixed-precision example.
+#pragma once
+
+#include "analysis/analyzer.hpp"
+
+namespace analysis {
+
+/// Run the A7xx rules over a recorded task graph. `epsilon_floor` (>= 0)
+/// lifts every rounding model's unit roundoff to at least this value — the
+/// platform's declared ACCURACY property (see accuracy_epsilon_floor), so a
+/// program analyzed against an fp32-native platform is bounded by fp32
+/// arithmetic no matter what the kernels claim. Exact models stay exact.
+void analyze_accuracy(const starvm::TaskGraph& graph,
+                      const AnalysisOptions& options, pdl::Diagnostics& diags,
+                      double epsilon_floor = 0.0);
+
+/// The platform's accuracy floor: the largest ACCURACY value (unit roundoff
+/// of a PU's native arithmetic, a PDL base property) declared by any PU —
+/// conservative because a dynamic scheduler may place any task on any
+/// capable PU. 0 when no PU declares ACCURACY.
+double accuracy_epsilon_floor(const pdl::Platform& platform);
+
+}  // namespace analysis

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <vector>
 
+#include "util/string_util.hpp"
+
 namespace analysis {
 
 namespace {
@@ -43,6 +45,17 @@ bool parse_bytes(const std::string& token, std::uint64_t* out) {
   }
   if (scale != 1 && value > UINT64_MAX / scale) return false;
   *out = value * scale;
+  return true;
+}
+
+/// Strict positive finite double for tolerance/range/depth values: rejects
+/// "inf", "nan", hex floats and trailing garbage via util::parse_double,
+/// plus zero and negatives (a non-positive tolerance or magnitude makes
+/// every A7xx bound meaningless).
+bool parse_positive(const std::string& token, double* out) {
+  const auto value = pdl::util::parse_double(token);
+  if (!value || !(*value > 0.0)) return false;
+  *out = *value;
   return true;
 }
 
@@ -99,6 +112,46 @@ pdl::util::Result<starvm::TaskGraph> parse_graph_text(
       continue;
     }
 
+    if (directive == "tolerance" || directive == "range") {
+      std::string name;
+      std::string value_token;
+      if (!(fields >> name >> value_token)) {
+        return at(filename, lineno,
+                  directive + " needs: " + directive + " <buffer> <value>");
+      }
+      std::string extra;
+      if (fields >> extra) {
+        return at(filename, lineno, "trailing token '" + extra + "' after " +
+                                        directive + " value");
+      }
+      const auto it = buffer_ids.find(name);
+      if (it == buffer_ids.end()) {
+        return at(filename, lineno, directive + " on unknown buffer '" + name +
+                                        "' (declare the buffer first)");
+      }
+      double value = 0.0;
+      if (!parse_positive(value_token, &value)) {
+        return at(filename, lineno, "bad " + directive + " '" + value_token +
+                                        "' (want a finite value > 0)");
+      }
+      const starvm::GraphBuffer& buf =
+          graph.buffers()[static_cast<std::size_t>(it->second)];
+      if (directive == "tolerance") {
+        if (buf.has_tolerance) {
+          return at(filename, lineno,
+                    "duplicate tolerance for buffer '" + name + "'");
+        }
+        graph.set_buffer_tolerance(it->second, value, loc);
+      } else {
+        if (buf.has_range) {
+          return at(filename, lineno,
+                    "duplicate range for buffer '" + name + "'");
+        }
+        graph.set_buffer_range(it->second, value);
+      }
+      continue;
+    }
+
     if (directive == "task") {
       std::string name;
       if (!(fields >> name)) {
@@ -110,6 +163,10 @@ pdl::util::Result<starvm::TaskGraph> parse_graph_text(
       std::vector<starvm::GraphAccess> accesses;
       std::vector<int> deps;
       double flops = 0.0;
+      starvm::ErrorModel model;
+      double coeff = 0.0;  // 0 = not given
+      double eps = 0.0;
+      double depth = 0.0;
       std::string option;
       while (fields >> option) {
         const auto eq = option.find('=');
@@ -143,20 +200,65 @@ pdl::util::Result<starvm::TaskGraph> parse_graph_text(
           if (flops < 0.0) {
             return at(filename, lineno, "negative flops '" + value + "'");
           }
+        } else if (key == "model") {
+          if (model.specified()) {
+            return at(filename, lineno, "duplicate model for task '" + name + "'");
+          }
+          if (value == "exact") {
+            model = starvm::ErrorModel::exact();
+          } else if (value == "rounding") {
+            model = starvm::ErrorModel::rounding(
+                1.0, starvm::ErrorModel::kUlpDouble);
+          } else if (value == "rounding32") {
+            model = starvm::ErrorModel::rounding(
+                1.0, starvm::ErrorModel::kUlpSingle);
+          } else {
+            return at(filename, lineno,
+                      "bad model '" + value +
+                          "' (want exact, rounding or rounding32)");
+          }
+        } else if (key == "coeff") {
+          if (!parse_positive(value, &coeff)) {
+            return at(filename, lineno,
+                      "bad coeff '" + value + "' (want a finite value > 0)");
+          }
+        } else if (key == "eps") {
+          if (!parse_positive(value, &eps)) {
+            return at(filename, lineno,
+                      "bad eps '" + value + "' (want a finite value > 0)");
+          }
+        } else if (key == "depth") {
+          if (!parse_positive(value, &depth)) {
+            return at(filename, lineno,
+                      "bad depth '" + value + "' (want a finite value > 0)");
+          }
         } else {
-          return at(filename, lineno, "unknown task option '" + key +
-                                          "' (want read/write/rw/after/flops)");
+          return at(filename, lineno,
+                    "unknown task option '" + key +
+                        "' (want read/write/rw/after/flops/model/coeff/eps/"
+                        "depth)");
         }
       }
+      // coeff=/eps= refine a rounding model; without one they would be
+      // silently dead, which is exactly the typo class this format rejects.
+      if ((coeff > 0.0 || eps > 0.0) &&
+          model.kind != starvm::ErrorModel::Kind::kRounding) {
+        return at(filename, lineno,
+                  "coeff=/eps= need model=rounding or model=rounding32");
+      }
+      if (coeff > 0.0) model.coefficient = coeff;
+      if (eps > 0.0) model.epsilon = eps;
       const int id =
           graph.add_task(name, std::move(accesses), std::move(deps), loc);
       graph.set_task_flops(id, flops);
+      if (model.specified()) graph.set_task_error_model(id, model);
+      if (depth > 0.0) graph.set_task_depth(id, depth);
       task_ids[name] = id;
       continue;
     }
 
     return at(filename, lineno, "unknown directive '" + directive +
-                                    "' (want buffer or task)");
+                                    "' (want buffer, tolerance, range or task)");
   }
   return graph;
 }

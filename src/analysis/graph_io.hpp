@@ -6,14 +6,28 @@
 // One directive per line; '#' starts a comment; blank lines are ignored:
 //
 //   buffer <name> <bytes> [base]
+//   tolerance <buffer> <value>
+//   range <buffer> <value>
 //   task <name> [flops=<double>] [read=<buffer>] [write=<buffer>]
 //               [rw=<buffer>] [after=<task>]
+//               [model=exact|rounding|rounding32] [coeff=<double>]
+//               [eps=<double>] [depth=<double>]
 //
 // `buffer` registers a root allocation (`base` places it explicitly so
 // aliasing can be modeled, like TaskGraph::add_buffer_at). `task` records
 // one task in submission order; each read=/write=/rw= names a previously
 // declared buffer, each after= a previously declared task. Sizes accept an
 // optional kB/MB/GB suffix (decimal, like PDL SIZE units).
+//
+// The accuracy directives feed the A7xx analysis (docs/ANALYSIS.md):
+// `tolerance` declares the maximum acceptable per-element absolute error of
+// a buffer's final contents, `range` the maximum |value| the program feeds
+// in through it. `model=` attaches the task implementation's declared error
+// model — exact, rounding (double, eps 2^-53) or rounding32 (single, eps
+// 2^-24) — with `coeff=`/`eps=` overriding the bound's leading constant and
+// unit roundoff, and `depth=` the accumulation depth (the k of a GEMM).
+// Tolerance, range, coeff, eps and depth values must be finite and > 0
+// (strict util::parse_double; inf/nan/hex are syntax errors).
 #pragma once
 
 #include <string>

@@ -91,6 +91,18 @@ const std::vector<RuleInfo>& rule_catalog() {
       {kMcUnboundedRetryCycle, Severity::kError,
        "a task consumed more execution attempts than the retry budget "
        "allows in an explored interleaving"},
+      {kToleranceExceeded, Severity::kError,
+       "propagated worst-case error bound of a buffer's final contents "
+       "exceeds its declared tolerance"},
+      {kUnmodeledWrite, Severity::kWarning,
+       "task with no declared error model writes a tolerance-carrying "
+       "buffer, so its bound cannot be established"},
+      {kAccumulationBlowup, Severity::kWarning,
+       "long RAW chain through rounding kernels whose compound error bound "
+       "dwarfs any single step (accumulation-depth blow-up)"},
+      {kVacuousTolerance, Severity::kInfo,
+       "buffer declares a tolerance but no input range reaches it, so the "
+       "propagated bound is vacuous (declare `range` on the inputs)"},
   };
   return catalog;
 }

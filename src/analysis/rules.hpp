@@ -76,4 +76,12 @@ inline constexpr const char* kMcLostTask = "A603-lost-task";
 inline constexpr const char* kMcUnboundedRetryCycle =
     "A604-unbounded-retry-cycle";
 
+// A7xx — numerical-accuracy analysis (docs/ANALYSIS.md "Accuracy rules"):
+// forward error-bound propagation over the task graph's RAW edges using the
+// declared per-task error models and per-buffer tolerance/range directives.
+inline constexpr const char* kToleranceExceeded = "A701-tolerance-exceeded";
+inline constexpr const char* kUnmodeledWrite = "A702-unmodeled-write";
+inline constexpr const char* kAccumulationBlowup = "A703-accumulation-blowup";
+inline constexpr const char* kVacuousTolerance = "A704-vacuous-tolerance";
+
 }  // namespace analysis

@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "starvm/types.hpp"
+
 namespace cascabel {
 
 /// Parameter access specifiers (paper: read, write, readwrite).
@@ -84,6 +86,10 @@ struct TaskVariant {
   TaskPragma pragma;
   FunctionInfo function;
   std::string source_text;  ///< the function definition's source
+  /// Declared numerical-accuracy claim of this implementation (see
+  /// starvm::ErrorModel): consumed by the A7xx static analysis and by the
+  /// selection-time AccuracyGuard that vetoes faster-but-looser variants.
+  starvm::ErrorModel error_model;
 };
 
 /// The statement an execute pragma annotates.

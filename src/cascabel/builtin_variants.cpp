@@ -10,15 +10,36 @@ namespace {
 
 TaskVariant make_variant(std::string interface_name, std::string variant_name,
                          std::vector<std::string> platforms,
-                         std::vector<ParamSpec> params) {
+                         std::vector<ParamSpec> params,
+                         starvm::ErrorModel model = {}) {
   TaskVariant v;
   v.pragma.task_interface = std::move(interface_name);
   v.pragma.variant_name = std::move(variant_name);
   v.pragma.target_platforms = std::move(platforms);
   v.pragma.params = std::move(params);
   v.function.name = v.pragma.variant_name;  // synthetic: no source text
+  v.error_model = model;
   return v;
 }
+
+// Declared error models of the builtin kernels (starvm::ErrorModel: one
+// execution adds <= coefficient * k * prod|inputs| * epsilon per element).
+// Depth (the k extent) comes from the call site / guard, so it is left 0.
+//
+//   * double GEMM-likes: blocked summation over k is gamma_k ~ k*u; the
+//     coefficient 2 covers the product rounding and tile reassociation.
+//   * mixed-precision GEMM: the kernel's documented closed form — input
+//     demotion + float products, double accumulation (dgemm.hpp).
+//   * triangular solve: substitution adds a division per step on top of
+//     the multiply-accumulate recurrence.
+constexpr double kUlp = starvm::ErrorModel::kUlpDouble;
+const starvm::ErrorModel kGemmModel = starvm::ErrorModel::rounding(2.0, kUlp);
+const starvm::ErrorModel kMixedModel =
+    starvm::ErrorModel::rounding(3.0, starvm::ErrorModel::kUlpSingle);
+const starvm::ErrorModel kTrsmModel = starvm::ErrorModel::rounding(4.0, kUlp);
+const starvm::ErrorModel kSyrkModel = starvm::ErrorModel::rounding(2.0, kUlp);
+const starvm::ErrorModel kVecaddModel =
+    starvm::ErrorModel::rounding(1.0, kUlp, 1.0);
 
 /// C (rows x cols) += A (rows x k) * B (k x cols); geometry from handles.
 void dgemm_exec(const starvm::ExecContext& ctx) {
@@ -133,28 +154,29 @@ void register_builtin_variants(TaskRepository& repo) {
   const std::vector<ParamSpec> vecadd_params = {{"A", AccessMode::kReadWrite},
                                                 {"B", AccessMode::kRead}};
 
-  repo.add_variant(make_variant("Idgemm", "dgemm_seq", {"x86"}, dgemm_params));
+  repo.add_variant(make_variant("Idgemm", "dgemm_seq", {"x86"}, dgemm_params, kGemmModel));
   repo.bind(BoundImpl{"dgemm_seq", starvm::DeviceKind::kCpu, dgemm_exec, dgemm_flops});
 
   // Tuned single-core variant: register-blocked 4x4 micro-kernel (SIMD
   // when the build enables PDL_ENABLE_NATIVE_ARCH). Same fallback platform
   // as dgemm_seq — the selector keeps both and the runtime's performance
   // model learns which one wins on the host.
-  repo.add_variant(make_variant("Idgemm", "dgemm_tiled", {"x86"}, dgemm_params));
+  repo.add_variant(make_variant("Idgemm", "dgemm_tiled", {"x86"}, dgemm_params, kGemmModel));
   repo.bind(BoundImpl{"dgemm_tiled", starvm::DeviceKind::kCpu, dgemm_tiled_exec,
                       dgemm_flops});
 
-  repo.add_variant(make_variant("Idgemm", "dgemm_smp", {"smp"}, dgemm_params));
+  repo.add_variant(make_variant("Idgemm", "dgemm_smp", {"smp"}, dgemm_params, kGemmModel));
   repo.bind(BoundImpl{"dgemm_smp", starvm::DeviceKind::kCpu, dgemm_exec, dgemm_flops});
 
-  repo.add_variant(make_variant("Idgemm", "dgemm_cublas", {"cuda"}, dgemm_params));
+  repo.add_variant(make_variant("Idgemm", "dgemm_cublas", {"cuda"}, dgemm_params, kGemmModel));
   repo.bind(BoundImpl{"dgemm_cublas", starvm::DeviceKind::kAccelerator, dgemm_exec,
                       dgemm_flops});
 
   // Mixed-precision dgemm lives under its own interface: callers opt into
   // the reduced accuracy explicitly, and the measured-rate selector can
   // never flip a full-precision Idgemm call onto it.
-  repo.add_variant(make_variant("Idgemm_mixed", "dgemm_mixed", {"x86"}, dgemm_params));
+  repo.add_variant(make_variant("Idgemm_mixed", "dgemm_mixed", {"x86"}, dgemm_params,
+                               kMixedModel));
   repo.bind(BoundImpl{"dgemm_mixed", starvm::DeviceKind::kCpu, dgemm_mixed_exec,
                       dgemm_flops});
 
@@ -163,11 +185,13 @@ void register_builtin_variants(TaskRepository& repo) {
   // selector flips once the sample threshold is met.
   const std::vector<ParamSpec> batch_params = {
       {"C", AccessMode::kReadWrite}, {"A", AccessMode::kRead}, {"B", AccessMode::kRead}};
-  repo.add_variant(make_variant("Idgemm_batch", "dgemm_batch_seq", {"x86"}, batch_params));
+  repo.add_variant(make_variant("Idgemm_batch", "dgemm_batch_seq", {"x86"}, batch_params,
+                               kGemmModel));
   repo.bind(BoundImpl{"dgemm_batch_seq", starvm::DeviceKind::kCpu,
                       dgemm_batch_seq_exec, dgemm_batch_flops});
   repo.add_variant(
-      make_variant("Idgemm_batch", "dgemm_batch_small", {"x86"}, batch_params));
+      make_variant("Idgemm_batch", "dgemm_batch_small", {"x86"}, batch_params,
+                   kGemmModel));
   repo.bind(BoundImpl{"dgemm_batch_small", starvm::DeviceKind::kCpu,
                       dgemm_batch_small_exec, dgemm_batch_flops});
 
@@ -176,29 +200,30 @@ void register_builtin_variants(TaskRepository& repo) {
   // interfaces so selection flips show up in the decision log.
   const std::vector<ParamSpec> dtrsm_params = {{"B", AccessMode::kReadWrite},
                                                {"L", AccessMode::kRead}};
-  repo.add_variant(make_variant("Idtrsm", "dtrsm_seq", {"x86"}, dtrsm_params));
+  repo.add_variant(make_variant("Idtrsm", "dtrsm_seq", {"x86"}, dtrsm_params, kTrsmModel));
   repo.bind(BoundImpl{"dtrsm_seq", starvm::DeviceKind::kCpu, dtrsm_seq_exec,
                       dtrsm_flops});
-  repo.add_variant(make_variant("Idtrsm", "dtrsm_simd", {"x86"}, dtrsm_params));
+  repo.add_variant(make_variant("Idtrsm", "dtrsm_simd", {"x86"}, dtrsm_params, kTrsmModel));
   repo.bind(BoundImpl{"dtrsm_simd", starvm::DeviceKind::kCpu, dtrsm_simd_exec,
                       dtrsm_flops});
 
   const std::vector<ParamSpec> dsyrk_params = {{"C", AccessMode::kReadWrite},
                                                {"A", AccessMode::kRead}};
-  repo.add_variant(make_variant("Idsyrk", "dsyrk_seq", {"x86"}, dsyrk_params));
+  repo.add_variant(make_variant("Idsyrk", "dsyrk_seq", {"x86"}, dsyrk_params, kSyrkModel));
   repo.bind(BoundImpl{"dsyrk_seq", starvm::DeviceKind::kCpu, dsyrk_seq_exec,
                       dsyrk_flops});
-  repo.add_variant(make_variant("Idsyrk", "dsyrk_simd", {"x86"}, dsyrk_params));
+  repo.add_variant(make_variant("Idsyrk", "dsyrk_simd", {"x86"}, dsyrk_params, kSyrkModel));
   repo.bind(BoundImpl{"dsyrk_simd", starvm::DeviceKind::kCpu, dsyrk_simd_exec,
                       dsyrk_flops});
 
-  repo.add_variant(make_variant("Ivecadd", "vecadd_seq", {"x86"}, vecadd_params));
+  repo.add_variant(make_variant("Ivecadd", "vecadd_seq", {"x86"}, vecadd_params, kVecaddModel));
   repo.bind(BoundImpl{"vecadd_seq", starvm::DeviceKind::kCpu, vecadd_exec, vecadd_flops});
 
-  repo.add_variant(make_variant("Ivecadd", "vecadd_smp", {"smp"}, vecadd_params));
+  repo.add_variant(make_variant("Ivecadd", "vecadd_smp", {"smp"}, vecadd_params, kVecaddModel));
   repo.bind(BoundImpl{"vecadd_smp", starvm::DeviceKind::kCpu, vecadd_exec, vecadd_flops});
 
-  repo.add_variant(make_variant("Ivecadd", "vecadd_ocl", {"opencl"}, vecadd_params));
+  repo.add_variant(make_variant("Ivecadd", "vecadd_ocl", {"opencl"}, vecadd_params,
+                               kVecaddModel));
   repo.bind(BoundImpl{"vecadd_ocl", starvm::DeviceKind::kAccelerator, vecadd_exec,
                       vecadd_flops});
 }

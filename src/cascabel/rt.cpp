@@ -57,6 +57,7 @@ Context::Context(const pdl::Platform& target, TaskRepository repository,
                                      : options_.perf_store_path;
   SelectionOptions sel_options;
   sel_options.min_samples = options_.perf_min_samples;
+  sel_options.accuracy = options_.accuracy;
   if (!store_path.empty()) {
     auto loaded = starvm::perf_store::load(store_path);
     if (loaded.status == starvm::perf_store::LoadStatus::kLoaded) {
@@ -142,38 +143,59 @@ pdl::util::Status Context::execute(std::string_view interface_name,
   // wins among measured candidates); without measurements, non-fallback
   // beats fallback and higher pattern specificity beats lower (ties:
   // later registration). The declared-only winner is tracked alongside so
-  // a store-induced flip is visible in the diagnostics.
+  // a store-induced flip is visible in the diagnostics. Accuracy-vetoed
+  // candidates (static error bound above Options::accuracy.tolerance) are
+  // excluded outright — a measured-rate flip may not trade the program's
+  // declared accuracy for speed — and only reconsidered when a device
+  // class has nothing else to run.
   const BoundImpl* impl_per_kind[2] = {nullptr, nullptr};
+  const SelectedVariant* chosen[2] = {nullptr, nullptr};
   const BoundImpl* declared_choice[2] = {nullptr, nullptr};
-  int best_rank[2] = {-1, -1};
-  int declared_rank[2] = {-1, -1};
-  double best_measured[2] = {0.0, 0.0};
+  const SelectedVariant* vetoed_fastest[2] = {nullptr, nullptr};
   std::function<double(const std::vector<starvm::BufferView>&)> flops_fn;
-  for (const auto& candidate : *candidates) {
-    bool usable = candidate.mapped_pus.empty();
-    for (const auto* pu : candidate.mapped_pus) {
-      usable = usable || pu_in_group(pu);
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool allow_vetoed = pass == 1;
+    int best_rank[2] = {-1, -1};
+    int declared_rank[2] = {-1, -1};
+    double best_measured[2] = {0.0, 0.0};
+    for (const auto& candidate : *candidates) {
+      bool usable = candidate.mapped_pus.empty();
+      for (const auto* pu : candidate.mapped_pus) {
+        usable = usable || pu_in_group(pu);
+      }
+      if (!usable) continue;
+      const BoundImpl* impl = repository_.bound(candidate.variant->pragma.variant_name);
+      if (impl == nullptr || !impl->fn) continue;  // source-only variant
+      const auto slot = static_cast<std::size_t>(impl->device_kind);
+      if (candidate.accuracy_vetoed && !allow_vetoed) {
+        // Remember the measured-fastest refusal so the veto is loggable.
+        if (vetoed_fastest[slot] == nullptr ||
+            candidate.measured_gflops > vetoed_fastest[slot]->measured_gflops) {
+          vetoed_fastest[slot] = &candidate;
+        }
+        continue;
+      }
+      if (allow_vetoed && impl_per_kind[slot] != nullptr) continue;
+      const int rank =
+          (candidate.is_fallback ? 0 : 1000000) + candidate.specificity;
+      if (rank >= declared_rank[slot]) {
+        declared_rank[slot] = rank;
+        declared_choice[slot] = impl;
+      }
+      const double measured = candidate.measured_gflops;
+      const bool better =
+          measured > 0.0
+              ? best_measured[slot] == 0.0 || measured >= best_measured[slot]
+              : best_measured[slot] == 0.0 && rank >= best_rank[slot];
+      if (!better) continue;
+      best_rank[slot] = rank;
+      best_measured[slot] = measured;
+      impl_per_kind[slot] = impl;
+      chosen[slot] = &candidate;
+      if (impl->flops) flops_fn = impl->flops;
     }
-    if (!usable) continue;
-    const BoundImpl* impl = repository_.bound(candidate.variant->pragma.variant_name);
-    if (impl == nullptr || !impl->fn) continue;  // source-only variant
-    const auto slot = static_cast<std::size_t>(impl->device_kind);
-    const int rank =
-        (candidate.is_fallback ? 0 : 1000000) + candidate.specificity;
-    if (rank >= declared_rank[slot]) {
-      declared_rank[slot] = rank;
-      declared_choice[slot] = impl;
-    }
-    const double measured = candidate.measured_gflops;
-    const bool better =
-        measured > 0.0
-            ? best_measured[slot] == 0.0 || measured >= best_measured[slot]
-            : best_measured[slot] == 0.0 && rank >= best_rank[slot];
-    if (!better) continue;
-    best_rank[slot] = rank;
-    best_measured[slot] = measured;
-    impl_per_kind[slot] = impl;
-    if (impl->flops) flops_fn = impl->flops;
+    // The second pass only fills device classes the veto left empty.
+    if (impl_per_kind[0] != nullptr || impl_per_kind[1] != nullptr) break;
   }
 
   // Restrict to device kinds the engine actually has.
@@ -187,6 +209,7 @@ pdl::util::Status Context::execute(std::string_view interface_name,
   if (codelet_it == codelets_.end()) {
     auto codelet = std::make_unique<starvm::Codelet>();
     codelet->name = codelet_key;
+    bool model_known = true;
     for (std::size_t kind = 0; kind < 2; ++kind) {
       if (impl_per_kind[kind] != nullptr && engine_has_kind[kind]) {
         codelet->impls.push_back(starvm::Implementation{
@@ -204,8 +227,43 @@ pdl::util::Status Context::execute(std::string_view interface_name,
                             declared_choice[kind]->variant_name +
                             "' (declared-rate choice)");
         }
+        // Codelet metadata carries the loosest claim among the selected
+        // implementations (any unspecified one makes the whole claim
+        // unspecified) so downstream analyses judge the worst case.
+        const starvm::ErrorModel& model = chosen[kind]->variant->error_model;
+        if (!model.specified()) {
+          model_known = false;
+        } else if (model_known &&
+                   (!codelet->error_model.specified() ||
+                    model.coefficient * model.epsilon >
+                        codelet->error_model.coefficient *
+                            codelet->error_model.epsilon)) {
+          codelet->error_model = model;
+        }
+        // The accuracy veto's visible trace: a vetoed candidate was on the
+        // table for this device class and a tighter variant won instead.
+        if (vetoed_fastest[kind] != nullptr &&
+            chosen[kind] != vetoed_fastest[kind] &&
+            !chosen[kind]->accuracy_vetoed) {
+          pdl::add_info(
+              diags_,
+              "accuracy guard: veto variant '" +
+                  vetoed_fastest[kind]->variant->pragma.variant_name +
+                  "' of interface '" + iface + "' (static error bound " +
+                  std::to_string(vetoed_fastest[kind]->static_error_bound) +
+                  " > tolerance " + std::to_string(options_.accuracy.tolerance) +
+                  "); keeping '" + chosen[kind]->variant->pragma.variant_name +
+                  "'");
+        } else if (chosen[kind]->accuracy_vetoed) {
+          pdl::add_warning(
+              diags_,
+              "accuracy guard: no candidate of interface '" + iface +
+                  "' meets the tolerance; using vetoed variant '" +
+                  chosen[kind]->variant->pragma.variant_name + "'");
+        }
       }
     }
+    if (!model_known) codelet->error_model = starvm::ErrorModel{};
     if (codelet->impls.empty()) {
       return pdl::util::Status::failure(
           "no executable implementation of '" + iface +
@@ -315,6 +373,7 @@ struct PendingVariant {
   starvm::DeviceKind kind;
   std::function<void(const starvm::ExecContext&)> fn;
   std::function<double(const std::vector<starvm::BufferView>&)> flops;
+  starvm::ErrorModel error_model;
 };
 
 std::vector<PendingVariant>& pending_variants() {
@@ -337,11 +396,12 @@ bool register_variant(const std::string& interface_name,
                       starvm::DeviceKind kind,
                       std::function<void(const starvm::ExecContext&)> fn,
                       std::function<double(const std::vector<starvm::BufferView>&)>
-                          flops) {
+                          flops,
+                      starvm::ErrorModel error_model) {
   std::lock_guard<std::mutex> lock(g_mutex);
   pending_variants().push_back(PendingVariant{interface_name, variant_name,
                                               target_platforms, kind, std::move(fn),
-                                              std::move(flops)});
+                                              std::move(flops), error_model});
   return true;
 }
 
@@ -363,6 +423,7 @@ bool initialize(const char* pdl_xml, Options options) {
     variant.pragma.task_interface = pv.interface_name;
     variant.pragma.variant_name = pv.variant_name;
     variant.pragma.target_platforms = pv.target_platforms;
+    variant.error_model = pv.error_model;
     repo.add_variant(std::move(variant));
     repo.bind(BoundImpl{pv.variant_name, pv.kind, pv.fn, pv.flops});
   }

@@ -73,6 +73,12 @@ struct Options {
   /// Sample-count threshold before a store entry may override declared
   /// rates in pre-selection (SelectionOptions::min_samples).
   std::uint64_t perf_min_samples = 3;
+  /// Accuracy requirement of the program (docs/RUNTIME.md "Accuracy-guarded
+  /// selection"): when enabled, a measured-rate flip may not select a
+  /// variant whose declared static error bound exceeds the tolerance, no
+  /// matter how much faster the perf store says it is. The veto is logged
+  /// in diagnostics().
+  AccuracyGuard accuracy;
 };
 
 /// An executable translation context: target platform + repository + engine.
@@ -143,13 +149,17 @@ class Context {
 
 /// Register an executable variant before initialize(). Safe to call from
 /// static initializers (the generated file's registration thunks).
+/// `error_model` is the implementation's declared accuracy claim (see
+/// starvm::ErrorModel); unspecified variants are never vetoed by the
+/// AccuracyGuard but make every bound they touch unknown (A702).
 bool register_variant(const std::string& interface_name,
                       const std::string& variant_name,
                       const std::vector<std::string>& target_platforms,
                       starvm::DeviceKind kind,
                       std::function<void(const starvm::ExecContext&)> fn,
                       std::function<double(const std::vector<starvm::BufferView>&)>
-                          flops = nullptr);
+                          flops = nullptr,
+                      starvm::ErrorModel error_model = {});
 
 /// Create the global context from PDL XML text. Also loads the built-in
 /// expert variants (builtin_variants.hpp) and everything registered via

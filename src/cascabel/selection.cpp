@@ -139,6 +139,24 @@ SelectionResult preselect(const TaskRepository& repository,
           }
         }
       }
+      // Accuracy veto: evaluate the variant's declared error model at the
+      // guard's depth and magnitude — the same closed form A701 propagates
+      // statically. A vetoed variant stays selectable as a last resort but
+      // may never win a measured-rate flip (rt::execute skips it).
+      if (options.accuracy.enabled && variant.error_model.specified()) {
+        const starvm::ErrorModel& model = variant.error_model;
+        const double depth = options.accuracy.depth > 0.0
+                                 ? options.accuracy.depth
+                                 : (model.depth > 0.0 ? model.depth : 1.0);
+        sel.static_error_bound = model.term(depth, options.accuracy.magnitude);
+        if (sel.static_error_bound > options.accuracy.tolerance) {
+          sel.accuracy_vetoed = true;
+          add_info(diags, "accuracy guard: variant '" +
+                              variant.pragma.variant_name +
+                              "' declares a static error bound above the "
+                              "tolerance; it may not win a measured-rate flip");
+        }
+      }
       result.by_interface[variant.pragma.task_interface].push_back(std::move(sel));
       accepted.inc();
       selected = true;

@@ -43,6 +43,32 @@ struct SelectedVariant {
   /// prefers the measured-fastest variant over the declared-specificity
   /// order — the autotuning loop's pay-off.
   double measured_gflops = 0.0;
+
+  /// Static per-element error bound of this variant's declared error model
+  /// evaluated at the AccuracyGuard's depth and magnitude; negative when
+  /// the variant declares no model (nothing to judge).
+  double static_error_bound = -1.0;
+  /// True when the guard is enabled and the declared bound exceeds its
+  /// tolerance: rt::execute refuses to flip onto this variant for speed
+  /// (the accuracy veto), logging the refused trade.
+  bool accuracy_vetoed = false;
+};
+
+/// Static accuracy requirement the autotuner enforces at selection time
+/// (docs/RUNTIME.md "Accuracy-guarded selection"). When enabled, every
+/// candidate's declared error model is evaluated at `depth`/`magnitude`
+/// (the same closed form the A7xx analysis propagates, A701) and variants
+/// whose bound exceeds `tolerance` are vetoed: a measured-rate flip in
+/// rt::execute may not trade the program's accuracy away for speed.
+struct AccuracyGuard {
+  bool enabled = false;
+  /// Maximum acceptable per-element absolute error of the call's outputs.
+  double tolerance = 0.0;
+  /// Input-magnitude product the bounds are evaluated at (max|A|*max|B|).
+  double magnitude = 1.0;
+  /// Accumulation depth (the k extent); variants with a model-default
+  /// depth use their own when this is 0.
+  double depth = 1.0;
 };
 
 /// Measurement input for pre-selection: the persisted perf store of the
@@ -55,6 +81,9 @@ struct SelectionOptions {
   /// override declared rates (a single noisy sample must not flip a
   /// variant choice for every future run).
   std::uint64_t min_samples = 3;
+  /// Accuracy requirement evaluated against every candidate's declared
+  /// error model (SelectedVariant::accuracy_vetoed); disabled by default.
+  AccuracyGuard accuracy;
 };
 
 /// Pre-selection output for a whole repository against one target platform.

@@ -65,6 +65,16 @@ void dgemm_batched_small(std::size_t batch, std::size_t m, std::size_t n,
 void dgemm_mixed(std::size_t m, std::size_t n, std::size_t k, const double* a,
                  const double* b, double* c);
 
+/// The documented worst-case per-element absolute error dgemm_mixed adds:
+/// 3 * k * max|A| * max|B| * 2^-24 (one input demotion per operand plus the
+/// float product rounding, accumulated over the k extent in double). Both
+/// the registered error model and the soundness property test use this
+/// exact expression, so the claim checked is the claim shipped.
+inline double dgemm_mixed_error_bound(std::size_t k, double max_a,
+                                      double max_b) {
+  return 3.0 * static_cast<double>(k) * max_a * max_b * 0x1p-24;
+}
+
 /// FLOP count of one C += A*B (2*m*n*k).
 inline double dgemm_flops(std::size_t m, std::size_t n, std::size_t k) {
   return 2.0 * static_cast<double>(m) * static_cast<double>(n) *

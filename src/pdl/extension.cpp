@@ -53,6 +53,8 @@ SchemaRegistry SchemaRegistry::with_builtins() {
       {props::kBandwidthGBs, PropertyValueKind::kDouble, false, "bandwidth (GB/s)"},
       {props::kLatencyNs, PropertyValueKind::kDouble, false, "latency (ns)"},
       {props::kShared, PropertyValueKind::kBool, false, "region shared between PUs"},
+      {props::kAccuracy, PropertyValueKind::kDouble, false,
+       "unit roundoff of the PU's native arithmetic"},
       {props::kIcLatencyUs, PropertyValueKind::kDouble, false, "link latency (us)"},
   };
   registry.register_subschema(std::move(base));

@@ -28,6 +28,14 @@ inline constexpr const char* kMeasuredGflops = "MEASURED_GFLOPS";    // runtime 
 inline constexpr const char* kCompiler = "COMPILER";              // toolchain for this PU
 inline constexpr const char* kRuntimeLibrary = "RUNTIME_LIBRARY"; // e.g. "starvm", "starpu"
 
+// --- Accuracy properties (optional, any PU; inherited downward) -----------
+// Unit roundoff of the PU's native arithmetic (2^-53 for IEEE double,
+// 2^-24 for single). The A7xx analysis floors every rounding model's
+// epsilon to the platform's largest declared ACCURACY — a program bound
+// for an fp32-native accelerator is bounded by fp32 arithmetic no matter
+// what its kernels claim.
+inline constexpr const char* kAccuracy = "ACCURACY";
+
 // --- Reliability properties (optional, any PU; inherited downward) --------
 inline constexpr const char* kMaxRetries = "MAX_RETRIES";  // retry budget for tasks failing on this PU
 inline constexpr const char* kMtbfHours = "MTBF_HOURS";    // declared mean time between failures

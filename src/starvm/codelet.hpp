@@ -66,6 +66,12 @@ struct Codelet {
   std::vector<Implementation> impls;
   std::function<double(const std::vector<BufferView>&)> flops;
 
+  /// Declared numerical-accuracy claim of this operation (the loosest model
+  /// among the bound implementations): what the A7xx static analysis
+  /// propagates and the autotuner's AccuracyGuard judges. kUnspecified
+  /// means no claim — analyses treat the output as unbounded (A702).
+  ErrorModel error_model;
+
   /// Calibration alias per device kind (indexed by DeviceKind): when
   /// non-empty, observed execution times are *additionally* recorded into
   /// the perf model under this name. Cascabel sets it to the selected

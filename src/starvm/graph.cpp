@@ -76,6 +76,30 @@ int TaskGraph::add_task(std::string name, std::vector<GraphAccess> accesses,
   return static_cast<int>(tasks_.size() - 1);
 }
 
+void TaskGraph::set_buffer_tolerance(int buffer, double tolerance,
+                                     pdl::SourceLoc loc) {
+  if (buffer < 0 || buffer >= static_cast<int>(buffers_.size())) return;
+  buffers_[static_cast<std::size_t>(buffer)].tolerance = tolerance;
+  buffers_[static_cast<std::size_t>(buffer)].has_tolerance = true;
+  buffers_[static_cast<std::size_t>(buffer)].tolerance_loc = std::move(loc);
+}
+
+void TaskGraph::set_buffer_range(int buffer, double range) {
+  if (buffer < 0 || buffer >= static_cast<int>(buffers_.size())) return;
+  buffers_[static_cast<std::size_t>(buffer)].range = range;
+  buffers_[static_cast<std::size_t>(buffer)].has_range = true;
+}
+
+void TaskGraph::set_task_error_model(int task, ErrorModel model) {
+  if (task < 0 || task >= static_cast<int>(tasks_.size())) return;
+  tasks_[static_cast<std::size_t>(task)].error_model = model;
+}
+
+void TaskGraph::set_task_depth(int task, double depth) {
+  if (task < 0 || task >= static_cast<int>(tasks_.size())) return;
+  tasks_[static_cast<std::size_t>(task)].depth = depth;
+}
+
 void TaskGraph::set_task_flops(int task, double flops) {
   if (task < 0 || task >= static_cast<int>(tasks_.size())) return;
   tasks_[task].flops = flops;

@@ -35,6 +35,16 @@ struct GraphBuffer {
   int parent = -1;          ///< Index of the parent buffer; -1 for roots.
   std::vector<int> children;
   pdl::SourceLoc loc;  ///< Source location of the registration, if known.
+
+  // Accuracy contract (A7xx, docs/ANALYSIS.md): a declared tolerance is the
+  // maximum acceptable per-element absolute error of the buffer's final
+  // contents; a declared range is the maximum |value| the program feeds in
+  // through this buffer (the magnitude the error bounds are evaluated at).
+  double tolerance = 0.0;
+  bool has_tolerance = false;
+  pdl::SourceLoc tolerance_loc;  ///< Where the tolerance was declared.
+  double range = 0.0;
+  bool has_range = false;
 };
 
 /// One buffer access of a recorded task.
@@ -51,6 +61,12 @@ struct GraphTask {
   /// Useful work of the task for analytic cost models; 0 = unknown (static
   /// analyses fall back to the perf model's default estimate).
   double flops = 0.0;
+  /// Declared error model of the implementation this task runs (A7xx);
+  /// kUnspecified tasks make every bound they write unknown (A702).
+  ErrorModel error_model;
+  /// Accumulation depth the error model is evaluated at; 0 falls back to
+  /// the model's own default depth, then to 1.
+  double depth = 0.0;
   pdl::SourceLoc loc;
 };
 
@@ -85,6 +101,24 @@ class TaskGraph {
 
   /// Attach an analytic cost to a recorded task (see GraphTask::flops).
   void set_task_flops(int task, double flops);
+
+  /// Declare the maximum acceptable absolute error of a buffer's final
+  /// contents (A701 checks propagated bounds against it). `loc` is the
+  /// declaration site the finding should point at.
+  void set_buffer_tolerance(int buffer, double tolerance,
+                            pdl::SourceLoc loc = {});
+
+  /// Declare the maximum |value| the program feeds in through a buffer —
+  /// the magnitude error bounds are evaluated at. Without ranges on the
+  /// inputs every rounding bound is vacuous (A704).
+  void set_buffer_range(int buffer, double range);
+
+  /// Attach the implementation's declared error model to a recorded task.
+  void set_task_error_model(int task, ErrorModel model);
+
+  /// Accumulation depth the task's error model is evaluated at (e.g. the k
+  /// extent of a GEMM); see GraphTask::depth.
+  void set_task_depth(int task, double depth);
 
   // --- Introspection --------------------------------------------------------
 

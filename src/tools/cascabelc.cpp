@@ -42,6 +42,7 @@
 #include <string>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/accuracy.hpp"
 #include "analysis/capacity.hpp"
 #include "analysis/profile.hpp"
 #include "analysis/report.hpp"
@@ -323,6 +324,9 @@ int main(int argc, char** argv) {
     const starvm::TaskGraph graph = analysis::graph_from_program(
         result.value().program, result.value().repository);
     analysis::analyze_task_graph(graph, analysis_options, findings);
+    // A7xx accuracy bounds at the platform's declared arithmetic floor.
+    analysis::analyze_accuracy(graph, analysis_options, findings,
+                               analysis::accuracy_epsilon_floor(platform.value()));
     // Schedule-aware capacity & interference rules (A5xx) over a modeled
     // HEFT placement of the extracted graph on the target platform.
     analysis::analyze_schedule(graph, platform.value(), analysis_options,

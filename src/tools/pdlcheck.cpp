@@ -36,6 +36,7 @@
 // --werror), 2 usage error. Structural validation (V1-V12), subschema
 // checks and every analysis rule (A1xx/A3xx/A4xx/A5xx) land in one
 // normalized, deterministic report.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/accuracy.hpp"
 #include "analysis/analyzer.hpp"
 #include "analysis/capacity.hpp"
 #include "analysis/graph_io.hpp"
@@ -297,9 +299,19 @@ int main(int argc, char** argv) {
       graphs.emplace_back(graph_path, std::move(graph).value());
     }
   }
+  // A7xx bounds are judged at the loosest arithmetic any analyzed platform
+  // declares (ACCURACY property): a dynamic scheduler may place any task on
+  // any capable PU, so the worst PU's roundoff is the honest floor. With no
+  // platforms (pure --graph runs) the kernels' own declared epsilons stand.
+  double epsilon_floor = 0.0;
+  for (const pdl::Platform& platform : platforms) {
+    epsilon_floor =
+        std::max(epsilon_floor, analysis::accuracy_epsilon_floor(platform));
+  }
   std::string plan_text;
   for (const auto& [label, graph] : graphs) {
     analysis::analyze_task_graph(graph, options, diags);
+    analysis::analyze_accuracy(graph, options, diags, epsilon_floor);
     if (explore) {
       mc::GraphProgramOptions program_options;
       auto program = mc::make_graph_program(graph, program_options);

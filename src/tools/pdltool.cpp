@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/accuracy.hpp"
 #include "analysis/capacity.hpp"
 #include "starvm/bridge.hpp"
 #include "starvm/perf_model.hpp"
@@ -175,6 +176,8 @@ int cmd_plan(const char* platform_path, const char* graph_path,
   const analysis::AnalysisOptions options;
   pdl::Diagnostics diags;
   analysis::analyze_task_graph(graph.value(), options, diags);
+  analysis::analyze_accuracy(graph.value(), options, diags,
+                             analysis::accuracy_epsilon_floor(platform));
   const analysis::SchedulePlan plan = analysis::analyze_schedule(
       graph.value(), platform, options, diags, model_ptr);
   pdl::normalize(diags);

@@ -229,6 +229,101 @@ TEST(Context, WarmPerfStoreFlipsVariantSelection) {
   std::remove(path.c_str());
 }
 
+TEST(Context, AccuracyGuardVetoesFasterButLooserVariant) {
+  // The autotuning flip meets the A7xx accuracy contract: a warm store says
+  // the fp32-flavoured variant is 10x faster, but its declared error model
+  // cannot meet the program's tolerance, so the guard refuses the flip and
+  // keeps the accurate variant — and says so in the decision log. Relaxing
+  // the tolerance re-enables the flip unchanged.
+  const pdl::Platform platform = paper_platform_starpu_cpu();
+  auto engine_config = starvm::engine_config_from_platform(platform);
+  ASSERT_TRUE(engine_config.ok());
+  const std::uint64_t hash =
+      starvm::perf_store::descriptor_hash(engine_config.value().devices);
+
+  std::atomic<int> accurate_runs{0}, loose_runs{0};
+  const auto make_repo = [&]() {
+    TaskRepository repo = TaskRepository::with_defaults();
+    TaskVariant accurate;
+    accurate.pragma.task_interface = "Ibench";
+    accurate.pragma.variant_name = "bench_accurate";
+    accurate.pragma.target_platforms = {"smp"};
+    accurate.error_model =
+        starvm::ErrorModel::rounding(1.0, starvm::ErrorModel::kUlpDouble);
+    repo.add_variant(accurate);
+    repo.bind(BoundImpl{"bench_accurate", starvm::DeviceKind::kCpu,
+                        [&](const starvm::ExecContext&) { ++accurate_runs; },
+                        nullptr});
+    TaskVariant loose;
+    loose.pragma.task_interface = "Ibench";
+    loose.pragma.variant_name = "bench_loose";
+    loose.pragma.target_platforms = {"x86"};
+    loose.error_model =
+        starvm::ErrorModel::rounding(3.0, starvm::ErrorModel::kUlpSingle);
+    repo.add_variant(loose);
+    repo.bind(BoundImpl{"bench_loose", starvm::DeviceKind::kCpu,
+                        [&](const starvm::ExecContext&) { ++loose_runs; },
+                        nullptr});
+    return repo;
+  };
+
+  // Warm store: bench_loose measured 10x faster.
+  const std::string path =
+      std::string(::testing::TempDir()) + "rt_veto.perfstore";
+  starvm::perf_store::Store store;
+  store.descriptor_hash = hash;
+  store.entries = {{"bench_accurate", 0, 1e-3, 5, 5.0},
+                   {"bench_loose", 0, 1e-4, 5, 50.0}};
+  ASSERT_TRUE(starvm::perf_store::save(store, path));
+
+  std::vector<double> data(8, 0.0);
+  const auto run_once = [&](const Options& options) {
+    Context ctx(platform, make_repo(), options);
+    EXPECT_TRUE(ctx.execute("Ibench", "",
+                            {arg(data.data(), 8, AccessMode::kRead,
+                                 DistributionKind::kNone)})
+                    .ok());
+    EXPECT_TRUE(ctx.wait().ok());
+    bool veto_logged = false;
+    for (const auto& d : ctx.diagnostics()) {
+      if (d.str().find("accuracy guard: veto") != std::string::npos) {
+        veto_logged = true;
+      }
+    }
+    return veto_logged;
+  };
+
+  // Tight tolerance: loose bound 3*1000*2^-24 ~ 1.8e-4 is vetoed, the
+  // accurate variant's 1000*2^-53 ~ 1.1e-13 passes. No flip despite the
+  // measured 10x, and the veto is logged.
+  Options guarded;
+  guarded.perf_store_path = path;
+  guarded.accuracy.enabled = true;
+  guarded.accuracy.tolerance = 1e-9;
+  guarded.accuracy.depth = 1000.0;
+  EXPECT_TRUE(run_once(guarded));
+  EXPECT_GT(accurate_runs.load(), 0);
+  EXPECT_EQ(loose_runs.load(), 0);
+
+  // Relaxed tolerance: both bounds pass, the measured flip proceeds.
+  accurate_runs = 0;
+  loose_runs = 0;
+  guarded.accuracy.tolerance = 1.0;
+  EXPECT_FALSE(run_once(guarded));
+  EXPECT_EQ(accurate_runs.load(), 0);
+  EXPECT_GT(loose_runs.load(), 0);
+
+  // Guard disabled behaves exactly like the plain flip test.
+  accurate_runs = 0;
+  loose_runs = 0;
+  Options unguarded;
+  unguarded.perf_store_path = path;
+  EXPECT_FALSE(run_once(unguarded));
+  EXPECT_EQ(accurate_runs.load(), 0);
+  EXPECT_GT(loose_runs.load(), 0);
+  std::remove(path.c_str());
+}
+
 TEST(Context, CalibrationAliasPersistsVariantKeyedRates) {
   // The engine observes each task under the chosen variant's name too, so
   // the persisted store carries rates the *selector* can compare across

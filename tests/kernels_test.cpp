@@ -188,13 +188,44 @@ TEST(DgemmMixed, ErrorStaysWithinTheDocumentedBound) {
   for (std::size_t i = 0; i < k * n; ++i) max_b = std::max(max_b, std::abs(b.data()[i]));
   // Header bound: ~3 * k * max|A| * max|B| * 2^-24 per element (input
   // demotion of both operands + float product rounding, k accumulations).
-  const double bound = 3.0 * static_cast<double>(k) * max_a * max_b *
-                       std::ldexp(1.0, -24);
+  const double bound = dgemm_mixed_error_bound(k, max_a, max_b);
   const double err = max_abs_diff(c_ref.data(), c_mix.data(), m * n);
   EXPECT_LT(err, bound);
   // And the kernel must not silently be full double precision either —
   // it demotes inputs, so *some* rounding is expected on random data.
   EXPECT_GT(err, 0.0);
+}
+
+// Property test backing the registered error model (satellite of the A7xx
+// analysis): for many random shapes and seeds, the measured deviation of
+// dgemm_mixed from the double reference stays within the *shared* static
+// bound helper — the exact expression builtin_variants.cpp registers as the
+// variant's ErrorModel, so the analysis never promises tighter than reality.
+TEST(DgemmMixed, PropertyMeasuredErrorWithinSharedStaticBound) {
+  const struct { std::size_t m, n, k; } shapes[] = {
+      {1, 1, 1}, {3, 5, 7}, {16, 16, 16}, {24, 17, 96}, {8, 40, 128},
+  };
+  for (const auto& s : shapes) {
+    for (unsigned seed = 1; seed <= 10; ++seed) {
+      Matrix a(s.m, s.k), b(s.k, s.n), c_ref(s.m, s.n), c_mix(s.m, s.n);
+      a.fill_random(seed);
+      b.fill_random(seed + 1000);
+      c_ref.fill(0.5);
+      c_mix.fill(0.5);
+      dgemm_naive(s.m, s.n, s.k, a.data(), b.data(), c_ref.data());
+      dgemm_mixed(s.m, s.n, s.k, a.data(), b.data(), c_mix.data());
+      double max_a = 0.0, max_b = 0.0;
+      for (std::size_t i = 0; i < s.m * s.k; ++i)
+        max_a = std::max(max_a, std::abs(a.data()[i]));
+      for (std::size_t i = 0; i < s.k * s.n; ++i)
+        max_b = std::max(max_b, std::abs(b.data()[i]));
+      const double bound = dgemm_mixed_error_bound(s.k, max_a, max_b);
+      const double err = max_abs_diff(c_ref.data(), c_mix.data(), s.m * s.n);
+      ASSERT_LE(err, bound) << "shape " << s.m << "x" << s.n << "x" << s.k
+                            << " seed " << seed << " err " << err
+                            << " bound " << bound;
+    }
+  }
 }
 
 TEST(VectorOps, VectorAddMatchesPaperSemantics) {

@@ -371,6 +371,82 @@ TEST_F(ToolsTest, PdlcheckPlanFiresCapacityRulesOnFixtures) {
   EXPECT_EQ(run(kPdlcheck + " --plan " + testbed, &output), 0) << output;
 }
 
+TEST_F(ToolsTest, PdlcheckPlanReportsAccuracyRulesIdenticallyAcrossFormats) {
+  // The committed A7xx fixture pair: a 10-step recurrence whose bound
+  // (floored by the platform's fp32 ACCURACY) breaks the tolerance. The
+  // same two findings must surface in text, JSON and SARIF — same rules,
+  // same count, same locations — and A701 is an error, so exit 1.
+  const std::string platform =
+      std::string(PDL_SOURCE_DIR) + "/tests/fixtures/fp32-testbed.pdl.xml";
+  const std::string graph =
+      std::string(PDL_SOURCE_DIR) + "/tests/fixtures/tolerance.graph";
+
+  std::string text;
+  EXPECT_EQ(run(kPdlcheck + " --plan --graph " + graph + " " + platform, &text),
+            1);
+  EXPECT_NE(text.find("[A701-tolerance-exceeded]"), std::string::npos) << text;
+  EXPECT_NE(text.find("[A703-accumulation-blowup]"), std::string::npos) << text;
+  // The text findings carry the fixture's file:line anchors.
+  EXPECT_NE(text.find("tolerance.graph:15:"), std::string::npos) << text;
+  EXPECT_NE(text.find("tolerance.graph:27:"), std::string::npos) << text;
+
+  std::string json;
+  EXPECT_EQ(run(kPdlcheck + " --format=json --plan --graph " + graph + " " +
+                    platform,
+                &json),
+            1);
+  const testjson::ParseResult parsed_json = testjson::parse(json);
+  ASSERT_TRUE(parsed_json.ok) << parsed_json.error << "\n" << json;
+  EXPECT_TRUE(testjson::contains_string(parsed_json, "A701-tolerance-exceeded"));
+  EXPECT_TRUE(testjson::contains_string(parsed_json, "A703-accumulation-blowup"));
+
+  std::string sarif;
+  EXPECT_EQ(run(kPdlcheck + " --format=sarif --plan --graph " + graph + " " +
+                    platform,
+                &sarif),
+            1);
+  const testjson::ParseResult parsed_sarif = testjson::parse(sarif);
+  ASSERT_TRUE(parsed_sarif.ok) << parsed_sarif.error << "\n" << sarif;
+  EXPECT_TRUE(testjson::contains_string(parsed_sarif, "A701-tolerance-exceeded"));
+  EXPECT_TRUE(testjson::contains_string(parsed_sarif, "A703-accumulation-blowup"));
+  // The A703 accumulation chain rides along as a SARIF logical location.
+  EXPECT_TRUE(testjson::contains_string(
+      parsed_sarif, "s0->s1->s2->s3->s4->s5->s6->s7->s8->s9"))
+      << sarif;
+
+  // Identical finding multiset across formats: count occurrences per rule.
+  for (const char* rule :
+       {"A701-tolerance-exceeded", "A703-accumulation-blowup"}) {
+    std::size_t in_text = 0, in_json = 0, in_sarif = 0;
+    for (std::size_t p = text.find(rule); p != std::string::npos;
+         p = text.find(rule, p + 1))
+      ++in_text;
+    for (std::size_t p = json.find(rule); p != std::string::npos;
+         p = json.find(rule, p + 1))
+      ++in_json;
+    // SARIF mentions each rule in the result and once in the rules table.
+    for (std::size_t p = sarif.find(std::string("\"ruleId\":\"") + rule);
+         p != std::string::npos;
+         p = sarif.find(std::string("\"ruleId\":\"") + rule, p + 1))
+      ++in_sarif;
+    EXPECT_EQ(in_text, 1u) << rule;
+    EXPECT_EQ(in_json, 1u) << rule;
+    EXPECT_EQ(in_sarif, 1u) << rule;
+  }
+
+  // pdltool plan surfaces the same analysis.
+  std::string plan;
+  EXPECT_EQ(run(kPdltool + " plan " + platform + " " + graph, &plan), 1);
+  EXPECT_NE(plan.find("[A701-tolerance-exceeded]"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("[A703-accumulation-blowup]"), std::string::npos);
+
+  // Demoting A701 drops the exit code: the guard is tunable like every
+  // other rule family.
+  EXPECT_EQ(run(kPdlcheck + " --rule A701=info --plan --graph " + graph + " " +
+                platform),
+            0);
+}
+
 TEST_F(ToolsTest, PdlcheckSarifOutputIsValidJson) {
   const std::string platform =
       std::string(PDL_SOURCE_DIR) + "/tests/fixtures/undersized.pdl.xml";
